@@ -1,0 +1,79 @@
+"""Benches for the prose claims of §VIII and §IX (extensions)."""
+
+from benchmarks.conftest import once
+from repro.experiments.extensions import (
+    run_bankgroup_sweep,
+    run_optimizer_sweep,
+    run_schedule_overhead,
+)
+
+
+def test_bankgroup_scaling(benchmark, capsys):
+    """§IX: more bank groups (DDR5 has 8) => more internal bandwidth
+    and a larger update speedup."""
+    points = once(benchmark, run_bankgroup_sweep)
+    with capsys.disabled():
+        print()
+        for p in points:
+            print(
+                f"  {p.bankgroups} bank groups: peak "
+                f"{p.peak_internal_gbps:6.1f} GB/s, achieved "
+                f"{p.achieved_internal_gbps:6.1f} GB/s, update "
+                f"speedup {p.update_speedup:.2f}x"
+            )
+    speedups = [p.update_speedup for p in points]
+    assert speedups == sorted(speedups)
+    achieved = [p.achieved_internal_gbps for p in points]
+    assert achieved == sorted(achieved)
+    # DDR5-like (8 groups) meaningfully beats DDR4 (4 groups).
+    by_groups = {p.bankgroups: p for p in points}
+    assert (
+        by_groups[8].update_speedup > 1.2 * by_groups[4].update_speedup
+    )
+
+
+def test_optimizer_sweep(benchmark, capsys):
+    """§VIII: NAG maps like momentum; Adam-class algorithms multi-pass
+    with 'only a small overhead on the overall performance'."""
+    points = once(benchmark, run_optimizer_sweep)
+    with capsys.disabled():
+        print()
+        for p in points:
+            print(
+                f"  {p.name:12s} passes={p.passes} "
+                f"pim={p.ns_per_param_pim:6.3f} ns/param "
+                f"base={p.ns_per_param_baseline:6.3f} "
+                f"speedup={p.update_speedup:.2f}x"
+            )
+    by_name = {p.name: p for p in points}
+    # Single-pass linear optimizers: full-strength speedups.
+    for name in ("sgd", "momentum_sgd", "nag"):
+        assert by_name[name].passes == 1
+        assert by_name[name].update_speedup > 4.0
+    # Multi-pass adaptive optimizers cost more per parameter...
+    assert (
+        by_name["adam"].ns_per_param_pim
+        > by_name["momentum_sgd"].ns_per_param_pim
+    )
+    # ...but still deliver substantial speedups over their baselines.
+    for name in ("adam", "adagrad", "rmsprop"):
+        assert by_name[name].needs_extended_alu
+        assert by_name[name].update_speedup > 3.0
+
+
+def test_schedule_overhead(benchmark, capsys):
+    """§VIII: learning-rate scheduling costs a handful of MRWs."""
+    points = once(benchmark, run_schedule_overhead)
+    with capsys.disabled():
+        print()
+        for p in points:
+            print(
+                f"  {p.name:18s} {p.reprograms:4d} MRW reprograms over "
+                f"{p.steps} steps, worst error "
+                f"{p.worst_relative_error * 100:.1f}%"
+            )
+    for p in points:
+        # At most a few percent of steps need a reprogram; the
+        # approximation stays within the two-power-of-two bound.
+        assert p.reprograms <= max(60, p.steps // 25)
+        assert p.worst_relative_error <= 1.0 / 6.0 + 1e-9

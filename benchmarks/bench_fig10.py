@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 10 (memory energy breakdown)."""
+
+from benchmarks.conftest import once
+from repro.experiments.fig10 import render_fig10, run_fig10
+from repro.system.design import DesignPoint
+
+
+def test_fig10(benchmark, ctx, capsys):
+    result = once(benchmark, lambda: run_fig10(ctx))
+    with capsys.disabled():
+        print()
+        print(render_fig10(result))
+    for name in ctx.networks:
+        norm = result.normalized(name)
+        # Energy savings track the speedups; GradPIM-BD saves the most
+        # among the GradPIM variants.
+        assert norm[DesignPoint.GRADPIM_BUFFERED] < 1.0
+        assert norm[DesignPoint.GRADPIM_BUFFERED] <= norm[
+            DesignPoint.GRADPIM_DIRECT
+        ]
+        # ACT component roughly constant (paper observation).
+        energies = result.energies[name]
+        acts = [e.act for e in energies.values()]
+        assert max(acts) < 1.5 * min(acts)

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 11 (command bus + internal bandwidth)."""
+
+from benchmarks.conftest import once
+from repro.experiments.fig11 import render_fig11, run_fig11
+from repro.system.design import DesignPoint
+
+
+def test_fig11(benchmark, ctx, capsys):
+    result = once(benchmark, lambda: run_fig11(ctx))
+    with capsys.disabled():
+        print()
+        print(render_fig11(result))
+    # Paper: baseline ~15, GP-DR ~28, GP-BD ~113 GB/s, peak 181.28.
+    base = result.bandwidth(DesignPoint.BASELINE) / 1e9
+    direct = result.bandwidth(DesignPoint.GRADPIM_DIRECT) / 1e9
+    buffered = result.bandwidth(DesignPoint.GRADPIM_BUFFERED) / 1e9
+    assert 12.0 <= base <= 17.1
+    assert 20.0 <= direct <= 40.0
+    assert 80.0 <= buffered <= 145.0
+    assert 2.5 <= buffered / direct <= 4.5  # "almost 4.0x"
+    # The Direct variant saturates the command bus; Buffered exceeds it.
+    assert result.command_utilization(DesignPoint.GRADPIM_DIRECT) > 0.6
+    assert result.command_utilization(
+        DesignPoint.GRADPIM_BUFFERED
+    ) > 1.0

@@ -1,0 +1,74 @@
+"""Bench: regenerate Fig. 12 (sensitivity studies a-d)."""
+
+from benchmarks.conftest import once
+from repro.experiments.fig12 import (
+    render_fig12,
+    run_fig12a,
+    run_fig12b,
+    run_fig12c,
+    run_fig12d,
+)
+from repro.units import geomean
+
+
+def test_fig12a(benchmark, ctx, capsys):
+    points = once(benchmark, lambda: run_fig12a(ctx))
+    with capsys.disabled():
+        print()
+        for p in points:
+            print(
+                f"  {p.memory:10s} {p.array}x{p.array}: "
+                f"ops/bw={p.ops_per_bandwidth:6.2f} "
+                f"speedup={p.speedup * 100:.0f}%"
+            )
+    # Speedup grows with the operations/bandwidth ratio per grade...
+    for memory in {p.memory for p in points}:
+        series = sorted(
+            (p for p in points if p.memory == memory),
+            key=lambda p: p.ops_per_bandwidth,
+        )
+        assert series[-1].speedup > series[0].speedup
+    # ...and diminishes toward GPU-like (bandwidth-rich) ratios.
+    lowest = min(points, key=lambda p: p.ops_per_bandwidth)
+    assert lowest.speedup < 1.3
+
+
+def test_fig12b(benchmark, ctx, capsys):
+    result = once(benchmark, lambda: run_fig12b(ctx))
+    with capsys.disabled():
+        print()
+        for name, per_batch in result.items():
+            print(f"  {name}: {per_batch}")
+    # Smaller batches gain more (paper: "a continuous trend").
+    for name, per_batch in result.items():
+        assert per_batch[16] >= per_batch[64] * 0.99
+
+
+def test_fig12c(benchmark, ctx, capsys):
+    result = once(benchmark, lambda: run_fig12c(ctx))
+    geomeans = {
+        mix: geomean([result[n][mix] for n in result])
+        for mix in next(iter(result.values()))
+    }
+    with capsys.disabled():
+        print()
+        print(f"  geomean speedups per precision mix: {geomeans}")
+    # Paper: 8/32 1.94x, 16/32 1.43x, 8/16 1.39x, 32/32 1.26x.
+    assert geomeans["8/32"] > geomeans["16/32"]
+    assert geomeans["16/32"] > geomeans["32/32"]
+    assert 1.1 <= geomeans["32/32"] <= 1.5
+    assert 1.7 <= geomeans["8/32"] <= 2.4
+
+
+def test_fig12d(benchmark, ctx, capsys):
+    result = once(benchmark, lambda: run_fig12d(ctx))
+    with capsys.disabled():
+        print()
+        for name, per_mix in result.items():
+            print(f"  {name}: " + ", ".join(
+                f"{m}={v * 100:.0f}%" for m, v in per_mix.items()
+            ))
+    # Energy follows the speedup trend: deeper mixing saves more.
+    for name, per_mix in result.items():
+        assert per_mix["8/32"] <= per_mix["32/32"]
+        assert per_mix["8/32"] < 1.0

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 13 (layer characterization scatter)."""
+
+from benchmarks.conftest import once
+from repro.experiments.fig13 import correlation, render_fig13, run_fig13
+
+
+def test_fig13(benchmark, ctx, capsys):
+    points = once(benchmark, lambda: run_fig13(ctx))
+    with capsys.disabled():
+        print()
+        print(render_fig13(points))
+    # "A clear correlation between the weight/activation ratio and the
+    # speedup" (paper §VI-D).
+    assert correlation(points) > 0.6
+    # The scatter spans the paper's range: ~100% at the low end, large
+    # gains at the high end.
+    speedups = [p.speedup for p in points]
+    assert min(speedups) >= 0.99
+    assert max(speedups) > 2.0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 14 (distributed training, 4 nodes)."""
+
+from benchmarks.conftest import once
+from repro.experiments.fig14 import render_fig14, run_fig14
+from repro.units import geomean
+
+
+def test_fig14(benchmark, ctx, capsys):
+    results = once(benchmark, lambda: run_fig14(ctx))
+    with capsys.disabled():
+        print()
+        print(render_fig14(results))
+    gm = geomean([r.speedup for r in results.values()])
+    # Paper: "almost 2x better than the baseline with distributed
+    # training".
+    assert 1.5 <= gm <= 3.5
+    for r in results.values():
+        assert r.speedup >= 1.0
+        # Communication also improves (PIM-mapped accumulation).
+        assert r.gradpim.comm <= r.baseline.comm

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 2 (ResNet-18 traffic breakdown)."""
+
+from benchmarks.conftest import once
+from repro.experiments.fig2 import render_fig2, run_fig2
+
+
+def test_fig2(benchmark, ctx, capsys):
+    result = once(benchmark, lambda: run_fig2(ctx))
+    with capsys.disabled():
+        print()
+        print(render_fig2(result))
+    # Paper headline shapes: 45.9% / 22.4% / 80.5%.
+    assert 0.40 <= result.mixed_update_fraction <= 0.55
+    assert 0.14 <= result.full_update_fraction <= 0.30
+    assert result.last_block_update_fraction > 0.72

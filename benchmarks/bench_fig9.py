@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 9 (normalized execution time, 5 x 6)."""
+
+from benchmarks.conftest import once
+from repro.experiments.fig9 import render_fig9, run_fig9
+from repro.system.design import DesignPoint
+
+
+def test_fig9(benchmark, ctx, capsys):
+    result = once(benchmark, lambda: run_fig9(ctx))
+    with capsys.disabled():
+        print()
+        print(render_fig9(result))
+    # Paper geomeans: GP-DR 1.38x, TD 1.36x, GP-BD 1.94x overall.
+    assert 1.2 <= result.geomean_overall(
+        DesignPoint.GRADPIM_DIRECT
+    ) <= 1.6
+    assert 1.2 <= result.geomean_overall(DesignPoint.TENSORDIMM) <= 1.7
+    assert 1.7 <= result.geomean_overall(
+        DesignPoint.GRADPIM_BUFFERED
+    ) <= 2.4
+    # Update-phase speedups: paper 2.25x / 8.23x.
+    assert 1.5 <= result.geomean_update(
+        DesignPoint.GRADPIM_DIRECT
+    ) <= 3.0
+    assert 4.5 <= result.geomean_update(
+        DesignPoint.GRADPIM_BUFFERED
+    ) <= 10.0
+    # AoS diminishes the benefit (§VI-B).
+    for name, r in result.networks.items():
+        assert r.overall_speedup(DesignPoint.AOS) < r.overall_speedup(
+            DesignPoint.GRADPIM_BUFFERED
+        )

@@ -1,0 +1,20 @@
+"""Bench: report Tables II and III."""
+
+from benchmarks.conftest import once
+from repro.experiments.tables import render_tables, run_table2, run_table3
+
+
+def test_table2(benchmark, capsys):
+    timing, currents = once(benchmark, run_table2)
+    with capsys.disabled():
+        print()
+        print(render_tables())
+    assert timing.name == "DDR4-2133"
+    assert timing.tCCD_L == 6 and timing.tCCD_S == 4
+    assert currents.iddpre == 98.0
+
+
+def test_table3(benchmark):
+    modules, total = once(benchmark, run_table3)
+    assert sum(e.area_um2 for e in modules) < total.area_um2
+    assert total.area_um2 == 8267.8

@@ -1,0 +1,25 @@
+"""Shared full-size experiment context for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper at the
+evaluation's full fidelity (32-column sample windows, all five
+networks) and print the series the paper reports. Run them with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Full-size context shared across benchmarks (profiles cached)."""
+    return ExperimentContext(columns_per_stripe=32)
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,137 @@
+"""Bring your own optimizer: lower a custom update rule onto GradPIM.
+
+The paper supports momentum SGD natively and sketches how richer
+algorithms map (§VIII). This example defines *decoupled weight decay*
+(SGDW, Loshchilov & Hutter) through the recipe DSL, compiles it to a
+GradPIM command stream, verifies the stream functionally against a
+numpy reference, and prints what the hardware would actually see:
+command mix, per-column cost, scaler programming, and the Table I RFU
+encodings of the first few commands.
+
+Run:  python examples/custom_optimizer.py
+"""
+
+import numpy as np
+
+from repro.dram.commands import CommandType
+from repro.kernels.compiler import UpdateKernelCompiler
+from repro.optim.base import (
+    Lincomb,
+    Optimizer,
+    Term,
+    UpdatePass,
+    UpdateRecipe,
+)
+from repro.optim.precision import PRECISION_8_32
+from repro.pim.functional import FunctionalDRAM, FunctionalExecutor
+from repro.pim.isa import encode_command
+
+
+class SGDW(Optimizer):
+    """SGD with *decoupled* weight decay.
+
+    ``v <- alpha*v - eta*g``; ``theta <- (1 - eta*lambda)*theta + v``.
+    Unlike the paper's coupled form (Eq. 4), the decay multiplies theta
+    directly — still a linear combination, so the base ALU suffices.
+    """
+
+    name = "sgdw"
+
+    def __init__(self, eta=0.01, alpha=0.9, decay=1e-2):
+        self.eta = eta
+        self.alpha = alpha
+        self.decay = decay
+
+    def state_arrays(self):
+        return ("momentum",)
+
+    def recipe(self):
+        return UpdateRecipe(
+            passes=(
+                UpdatePass(
+                    ops=(
+                        Lincomb(
+                            "momentum",
+                            (
+                                Term(self.alpha, "momentum"),
+                                Term(-self.eta, "grad"),
+                            ),
+                        ),
+                        Lincomb(
+                            "theta",
+                            (
+                                Term(
+                                    1.0 - self.eta * self.decay, "theta"
+                                ),
+                                Term(1.0, "momentum"),
+                            ),
+                        ),
+                    ),
+                    inputs=frozenset({"theta", "grad", "momentum"}),
+                    outputs=frozenset({"theta", "momentum"}),
+                ),
+            )
+        )
+
+    def reference_step(self, theta, grad, state):
+        theta = np.asarray(theta, dtype=np.float64)
+        v = self.alpha * np.asarray(
+            state["momentum"], dtype=np.float64
+        ) - self.eta * np.asarray(grad, dtype=np.float64)
+        return (1 - self.eta * self.decay) * theta + v, {"momentum": v}
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n = 1024
+    opt = SGDW()
+    precision = PRECISION_8_32
+    spec = precision.quant_spec()
+
+    kernel = UpdateKernelCompiler().compile(opt, precision, n_params=n)
+
+    print(f"SGDW lowered to GradPIM ({kernel.total_commands} commands "
+          f"for {n} parameters)\n")
+    counts = {}
+    for cmd in kernel.commands:
+        counts[cmd.kind] = counts.get(cmd.kind, 0) + 1
+    for kind, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        print(f"  {kind.value:12s} {count:5d}")
+    print(f"  => {kernel.commands_per_hp_column():.2f} commands per "
+          "64 B column\n")
+
+    print("scaler programming (2^n +- 2^m approximations):")
+    for pass_idx, program in enumerate(kernel.scaler_programs()):
+        for slot, value in program.items():
+            print(f"  pass {pass_idx}, slot {slot}: {value.value:+.6f}")
+
+    print("\nTable I RFU encodings of the first PIM commands:")
+    shown = 0
+    for cmd in kernel.commands:
+        if cmd.kind in (CommandType.ACT, CommandType.PRE,
+                        CommandType.MRW):
+            continue
+        print(f"  {cmd.tag:22s} -> 0b{encode_command(cmd):05b}")
+        shown += 1
+        if shown == 8:
+            break
+
+    # Functional verification against the float64 reference.
+    theta = rng.normal(0, 0.3, n).astype(np.float32)
+    grad = rng.normal(0, 0.2, n).astype(np.float32)
+    v = rng.normal(0, 0.05, n).astype(np.float32)
+    dram = FunctionalDRAM()
+    kernel.layout.store_hp_array(dram, "theta", theta)
+    kernel.layout.store_hp_array(dram, "momentum", v)
+    kernel.layout.store_lp_array(dram, "q_grad", spec.quantize(grad))
+    FunctionalExecutor(dram, spec).execute(kernel.commands)
+
+    theta_pim = kernel.layout.load_hp_array(dram, "theta", np.float32, n)
+    theta_ref, _ = opt.reference_step(theta, grad, {"momentum": v})
+    err = float(np.max(np.abs(theta_pim - theta_ref)))
+    print(f"\nmax |theta_PIM - theta_ref| = {err:.2e} "
+          "(quantization + 2^n scaler error, as designed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Scaling out: GradPIM under distributed data parallelism (Fig. 14).
+
+Data parallelism shrinks forward/backward with the per-node batch but
+leaves the parameter update untouched — it is the sequential fraction
+of training. This example sweeps node counts on two contrasting
+workloads and shows GradPIM's advantage widening exactly as Amdahl
+predicts, plus the §V-D trick of running all-reduce's gradient
+accumulation on the PIM units.
+
+Run:  python examples/distributed_training.py
+"""
+
+from repro import DesignPoint, TrainingSimulator
+from repro.system.distributed import DistributedModel
+from repro.system.results import format_table
+
+
+def main() -> None:
+    simulator = TrainingSimulator(
+        designs=(DesignPoint.BASELINE, DesignPoint.GRADPIM_BUFFERED)
+    )
+
+    for network in ("ResNet18", "AlphaGoZero"):
+        print(f"[{network}]")
+        rows = []
+        for nodes in (2, 4, 8):
+            model = DistributedModel(simulator, nodes=nodes)
+            r = model.simulate(network)
+            rows.append(
+                [
+                    nodes,
+                    f"{r.baseline.comm * 1e3:.2f}",
+                    f"{r.baseline.fwd_bwd * 1e3:.2f}",
+                    f"{r.baseline.update * 1e3:.2f}",
+                    f"{r.gradpim.total * 1e3:.2f}",
+                    f"{r.speedup:.2f}x",
+                ]
+            )
+        print(
+            format_table(
+                ["nodes", "base comm (ms)", "base fw/bw (ms)",
+                 "base update (ms)", "GradPIM total (ms)", "speedup"],
+                rows,
+            )
+        )
+        print()
+
+    print(
+        "The update does not parallelize with data parallelism, so its"
+        "\nshare grows with node count - and GradPIM's speedup with it"
+        "\n(paper: ~2x at 4 nodes)."
+    )
+
+
+if __name__ == "__main__":
+    main()

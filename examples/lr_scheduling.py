@@ -1,0 +1,80 @@
+"""Learning-rate scheduling on GradPIM hardware (paper §VIII).
+
+The learning rate lives in a scaler slot, so scheduling it means
+reprogramming 2^n±2^m values through MRW commands. This example
+compares the three mechanisms the paper sketches on a 90-"epoch"
+training run: exact power-of-two stepping, and approximated cosine /
+polynomial decay — showing the approximation error and the (tiny)
+MRW reprogramming cost of each.
+
+Run:  python examples/lr_scheduling.py
+"""
+
+from repro.optim.schedule import (
+    CosineSchedule,
+    PolynomialSchedule,
+    StepSchedule,
+    schedule_error,
+)
+from repro.system.results import format_table
+
+STEPS_PER_EPOCH = 100
+EPOCHS = 90
+
+
+def main() -> None:
+    total = STEPS_PER_EPOCH * EPOCHS
+    schedules = {
+        "step (/2 every 30 epochs)": StepSchedule(
+            0.125, total, period=30 * STEPS_PER_EPOCH, factor=0.5
+        ),
+        "cosine annealing": CosineSchedule(0.125, total),
+        "polynomial (p=0.9)": PolynomialSchedule(0.125, total),
+    }
+
+    rows = []
+    for name, sched in schedules.items():
+        points = sched.mrw_reprogram_points()
+        rows.append(
+            [
+                name,
+                f"{schedule_error(sched) * 100:.1f}%",
+                len(points),
+                f"{len(points) / total * 100:.2f}%",
+            ]
+        )
+    print(f"{EPOCHS} epochs x {STEPS_PER_EPOCH} steps "
+          f"({total} updates)\n")
+    print(
+        format_table(
+            ["schedule", "worst LR error", "MRW reprograms",
+             "reprograms/steps"],
+            rows,
+        )
+    )
+
+    print("\ncosine annealing as the hardware sees it "
+          "(exact -> programmed):")
+    sched = schedules["cosine annealing"]
+    for epoch in (0, 22, 45, 67, 89):
+        step = epoch * STEPS_PER_EPOCH
+        exact = sched.lr(step)
+        hw = sched.hardware_lr(step)
+        print(
+            f"  epoch {epoch:2d}: {exact:.6f} -> {hw.value:.6f} "
+            f"(2^{hw.n}"
+            + (f" {'+' if hw.term > 0 else '-'} 2^{hw.m}"
+               if hw.term else "")
+            + ")"
+        )
+
+    print(
+        "\nEach reprogram is one MRW per rank (~"
+        "tMOD = 24 cycles): even the cosine schedule costs well under"
+        "\n0.1% of update-phase command slots — the paper's 'small "
+        "overhead'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Gradient descent *inside simulated DRAM*: a full training loop.
+
+This example fits a linear model to synthetic data where every
+parameter update executes as a GradPIM command stream against the
+byte-level functional DRAM: gradients are quantized to int8, written to
+the q_grad rows, dequantized in-DRAM, the momentum-SGD update runs on
+the bank-group ALUs, and the re-quantized weights are read back — the
+complete Fig. 5 pipeline, every step of every epoch.
+
+Alongside the numerics, the cycle-level model prices each update so you
+can watch baseline-vs-GradPIM time diverge while the loss falls.
+
+Run:  python examples/pim_training_loop.py
+"""
+
+import numpy as np
+
+from repro import DesignPoint, MomentumSGD, UpdateKernelCompiler
+from repro.optim.precision import PRECISION_8_32
+from repro.pim.functional import FunctionalDRAM, FunctionalExecutor
+from repro.system.update_model import UpdatePhaseModel
+
+N_FEATURES = 512
+N_SAMPLES = 256
+EPOCHS = 30
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    true_w = rng.normal(0, 0.5, N_FEATURES).astype(np.float32)
+    x = rng.normal(0, 1.0, (N_SAMPLES, N_FEATURES)).astype(np.float32)
+    y = x @ true_w + rng.normal(0, 0.01, N_SAMPLES).astype(np.float32)
+
+    optimizer = MomentumSGD(eta=0.01, alpha=0.9)
+    precision = PRECISION_8_32
+    spec = precision.quant_spec(exponent=-8)
+
+    # Compile the update kernel once; its layout tells us where the
+    # parameter arrays live in the (simulated) device.
+    kernel = UpdateKernelCompiler().compile(
+        optimizer, precision, n_params=N_FEATURES
+    )
+    dram = FunctionalDRAM()
+    layout = kernel.layout
+
+    w = np.zeros(N_FEATURES, dtype=np.float32)
+    v = np.zeros(N_FEATURES, dtype=np.float32)
+    layout.store_hp_array(dram, "theta", w)
+    layout.store_hp_array(dram, "momentum", v)
+
+    # Price one update on the cycle-level model (cached across epochs).
+    updates = UpdatePhaseModel(columns_per_stripe=16)
+    base = updates.profile(DesignPoint.BASELINE, optimizer, precision)
+    pim = updates.profile(
+        DesignPoint.GRADPIM_BUFFERED, optimizer, precision
+    )
+
+    print(
+        f"linear regression, {N_FEATURES} parameters, "
+        f"{N_SAMPLES} samples, momentum SGD on GradPIM\n"
+    )
+    print("epoch   loss        update: baseline    GradPIM-BD")
+    executor = FunctionalExecutor(dram, spec)
+    for epoch in range(EPOCHS):
+        # Forward/backward on the "NPU" (numpy): low-precision grads.
+        w = layout.load_hp_array(dram, "theta", np.float32, N_FEATURES)
+        pred = x @ w
+        loss = float(np.mean((pred - y) ** 2))
+        grad = (2.0 / N_SAMPLES) * (x.T @ (pred - y))
+
+        # The NPU writes quantized gradients into the q_grad rows...
+        layout.store_lp_array(dram, "q_grad", spec.quantize(grad))
+        # ...and the memory controller plays the GradPIM kernel.
+        executor.execute(kernel.commands)
+
+        if epoch % 5 == 0 or epoch == EPOCHS - 1:
+            print(
+                f"{epoch:5d}   {loss:9.5f}   "
+                f"{base.update_seconds(N_FEATURES) * 1e6:9.3f} us    "
+                f"{pim.update_seconds(N_FEATURES) * 1e6:9.3f} us"
+            )
+
+    final_w = layout.load_hp_array(dram, "theta", np.float32, N_FEATURES)
+    err = float(np.max(np.abs(final_w - true_w)))
+    print(f"\nmax |w - w*| after training in-DRAM: {err:.4f}")
+    print(
+        f"update speedup at this size: "
+        f"{base.seconds_per_param / pim.seconds_per_param:.2f}x "
+        "(GradPIM-Buffered over the no-PIM baseline)"
+    )
+
+
+if __name__ == "__main__":
+    main()

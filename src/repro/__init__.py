@@ -1,0 +1,102 @@
+"""GradPIM reproduction: processing-in-DRAM for gradient descent.
+
+A from-scratch Python implementation of the system described in
+*GradPIM: A Practical Processing-in-DRAM Architecture for Gradient
+Descent* (HPCA 2021), including every substrate its evaluation depends
+on: a cycle-level DDR4 timing simulator, the GradPIM unit's functional
+model and ISA, an optimizer-to-PIM kernel compiler, an NPU performance
+model, the five evaluated DNN workloads, and the harnesses regenerating
+every table and figure of the paper.
+
+Quick start::
+
+    from repro import TrainingSimulator, DesignPoint
+
+    result = TrainingSimulator().simulate("ResNet18")
+    print(result.overall_speedup(DesignPoint.GRADPIM_BUFFERED))
+
+See README.md for the architecture overview and examples/ for runnable
+scenarios.
+"""
+
+from repro.dram import (
+    DDR4_2133,
+    DDR4_3200,
+    HBM_LIKE,
+    AddressMapping,
+    Command,
+    CommandScheduler,
+    CommandType,
+    DeviceGeometry,
+    EnergyModel,
+    IssueModel,
+    TimingParams,
+    validate_trace,
+)
+from repro.kernels import (
+    BaselineStreamGenerator,
+    CompiledKernel,
+    UpdateKernelCompiler,
+)
+from repro.models import NetworkGraph, TrafficModel, build_network
+from repro.npu import NPUConfig, NPUEngine
+from repro.optim import (
+    SGD,
+    Adam,
+    AdamW,
+    AdaGrad,
+    MomentumSGD,
+    NAG,
+    PRECISIONS,
+    PrecisionConfig,
+    RMSprop,
+)
+from repro.pim import FunctionalDRAM, FunctionalExecutor, GradPIMUnit
+from repro.system import (
+    DesignPoint,
+    DistributedModel,
+    TrainingSimulator,
+    UpdatePhaseModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DDR4_2133",
+    "DDR4_3200",
+    "HBM_LIKE",
+    "AddressMapping",
+    "Command",
+    "CommandScheduler",
+    "CommandType",
+    "DeviceGeometry",
+    "EnergyModel",
+    "IssueModel",
+    "TimingParams",
+    "validate_trace",
+    "BaselineStreamGenerator",
+    "CompiledKernel",
+    "UpdateKernelCompiler",
+    "NetworkGraph",
+    "TrafficModel",
+    "build_network",
+    "NPUConfig",
+    "NPUEngine",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "AdaGrad",
+    "MomentumSGD",
+    "NAG",
+    "PRECISIONS",
+    "PrecisionConfig",
+    "RMSprop",
+    "FunctionalDRAM",
+    "FunctionalExecutor",
+    "GradPIMUnit",
+    "DesignPoint",
+    "DistributedModel",
+    "TrainingSimulator",
+    "UpdatePhaseModel",
+    "__version__",
+]

@@ -1,0 +1,140 @@
+"""Address mapping and data placement (paper Fig. 7 and §V-B).
+
+The GradPIM mapping places, from MSB to LSB::
+
+    | bank | row | bank group | column | byte-in-column |
+
+* Bank bits at the MSB make each bank a contiguous region of the physical
+  address space, so distinct parameter arrays (theta, v, g, Q(theta)) can
+  be allocated to distinct banks simply by aligning them to the bank size.
+* Bank-group bits *below* the row bits interleave consecutive row-sized
+  chunks across the four bank groups, so a streaming kernel engages all
+  bank groups concurrently.
+* Matching elements of two bank-aligned arrays land at the same
+  (bank group, row, column) in *different* banks — exactly the invariant
+  GradPIM needs (same group for register sharing, different bank so both
+  rows can be open at once).
+
+The rank bits may be placed between the bank-group and bank bits without
+violating the invariant (§V-B); we place them directly above the bank
+group so consecutive chunks also stripe across ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.errors import AddressError
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """Physical coordinates of one byte."""
+
+    rank: int
+    bankgroup: int
+    bank: int
+    row: int
+    col: int  # column-access index within the row (64 B granularity)
+    byte: int  # byte offset within the column access
+
+    def same_group_different_bank(self, other: "DecodedAddress") -> bool:
+        """The GradPIM placement invariant between two operand addresses."""
+        return (
+            self.rank == other.rank
+            and self.bankgroup == other.bankgroup
+            and self.bank != other.bank
+        )
+
+
+class AddressMapping:
+    """Bijective physical-address codec implementing the Fig. 7 scheme.
+
+    Field order from LSB: byte, column, bank group, rank, row, bank.
+    """
+
+    def __init__(self, geometry: DeviceGeometry = DEFAULT_GEOMETRY) -> None:
+        self.geometry = geometry
+        g = geometry
+        # Step size of each field, from LSB upward: incrementing a field
+        # by one moves the flat address by its step.
+        self._col_step = g.column_bytes
+        self._bg_step = self._col_step * g.columns_per_row  # one row chunk
+        self._rank_step = self._bg_step * g.bankgroups
+        self._row_step = self._rank_step * g.ranks
+        self._bank_step = self._row_step * g.rows
+        self.capacity = self._bank_step * g.banks_per_group
+        # Capacity check: the fields must tile the device exactly.
+        if self.capacity != g.total_bytes:
+            raise AddressError(
+                f"mapping covers {self.capacity} bytes but geometry holds "
+                f"{g.total_bytes}"
+            )
+
+    # ------------------------------------------------------------------
+    def decode(self, addr: int) -> DecodedAddress:
+        """Map a flat physical address to device coordinates."""
+        if not 0 <= addr < self.capacity:
+            raise AddressError(
+                f"address {addr:#x} outside capacity {self.capacity:#x}"
+            )
+        g = self.geometry
+        byte = addr % g.column_bytes
+        addr //= g.column_bytes
+        col = addr % g.columns_per_row
+        addr //= g.columns_per_row
+        bankgroup = addr % g.bankgroups
+        addr //= g.bankgroups
+        rank = addr % g.ranks
+        addr //= g.ranks
+        row = addr % g.rows
+        addr //= g.rows
+        bank = addr
+        return DecodedAddress(
+            rank=rank, bankgroup=bankgroup, bank=bank,
+            row=row, col=col, byte=byte,
+        )
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Map device coordinates back to the flat physical address."""
+        g = self.geometry
+        d = decoded
+        if not 0 <= d.bank < g.banks_per_group:
+            raise AddressError(f"bank {d.bank} out of range")
+        if not 0 <= d.rank < g.ranks:
+            raise AddressError(f"rank {d.rank} out of range")
+        if not 0 <= d.bankgroup < g.bankgroups:
+            raise AddressError(f"bank group {d.bankgroup} out of range")
+        if not 0 <= d.row < g.rows:
+            raise AddressError(f"row {d.row} out of range")
+        if not 0 <= d.col < g.columns_per_row:
+            raise AddressError(f"column {d.col} out of range")
+        if not 0 <= d.byte < g.column_bytes:
+            raise AddressError(f"byte {d.byte} out of range")
+        addr = d.bank
+        addr = addr * g.rows + d.row
+        addr = addr * g.ranks + d.rank
+        addr = addr * g.bankgroups + d.bankgroup
+        addr = addr * g.columns_per_row + d.col
+        addr = addr * g.column_bytes + d.byte
+        return addr
+
+    # ------------------------------------------------------------------
+    @property
+    def bank_region_bytes(self) -> int:
+        """Bytes of address space owned by one bank index (all ranks/groups)."""
+        return self._bank_step
+
+    def bank_base(self, bank: int) -> int:
+        """Flat address where bank index ``bank``'s region begins."""
+        if not 0 <= bank < self.geometry.banks_per_group:
+            raise AddressError(f"bank {bank} out of range")
+        return bank * self._bank_step
+
+    def element_coords(
+        self, bank: int, element_offset_bytes: int
+    ) -> DecodedAddress:
+        """Coordinates of a byte at ``element_offset_bytes`` into a
+        bank-aligned array stored in bank index ``bank``."""
+        return self.decode(self.bank_base(bank) + element_offset_bytes)

@@ -1,0 +1,103 @@
+"""Per-bank DDR4 state machine.
+
+A bank tracks its open row and the earliest cycles at which the three
+row-level transitions (activate, column access, precharge) become legal.
+The rules implemented here are the per-bank subset of JEDEC timing:
+
+* ACT requires the bank closed and ``tRP`` elapsed since the last PRE.
+* Column commands require the addressed row open and ``tRCD`` elapsed
+  since its ACT.
+* PRE requires ``tRAS`` since ACT, ``tRTP`` since the last read-type
+  column command, and ``tWR`` after the last write's data has been
+  restored through the sense amplifiers.
+
+Rank- and group-level rules (tRRD, tFAW, tCCD, tWTR) live in
+:mod:`repro.dram.rank` and :mod:`repro.dram.bankgroup`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.timing import TimingParams
+from repro.errors import SimulationError
+
+
+class BankState:
+    """Mutable timing state of one bank."""
+
+    __slots__ = ("timing", "open_row", "act_ready", "col_ready", "pre_ready")
+
+    def __init__(self, timing: TimingParams) -> None:
+        self.timing = timing
+        self.open_row: Optional[int] = None
+        self.act_ready = 0  # earliest legal ACT
+        self.col_ready = 0  # earliest legal column access to the open row
+        self.pre_ready = 0  # earliest legal PRE
+
+    # ------------------------------------------------------------------
+    def earliest(self, cmd: Command) -> int:
+        """Earliest cycle at which this bank permits ``cmd``.
+
+        Returns a cycle number; commands that are structurally illegal in
+        the current state (ACT on an open bank, column access to a closed
+        or different row) raise :class:`SimulationError` because the
+        kernel generators are supposed to produce well-formed streams.
+        """
+        if cmd.kind is CommandType.ACT:
+            if self.open_row is not None:
+                raise SimulationError(
+                    f"ACT to bank with open row {self.open_row} "
+                    f"(command row {cmd.row})"
+                )
+            return self.act_ready
+        if cmd.kind is CommandType.PRE:
+            if self.open_row is None:
+                raise SimulationError("PRE to a closed bank")
+            return self.pre_ready
+        if cmd.is_column():
+            if self.open_row is None:
+                raise SimulationError(
+                    f"column access {cmd.kind.value} to a closed bank"
+                )
+            if self.open_row != cmd.row:
+                raise SimulationError(
+                    f"column access to row {cmd.row} but row "
+                    f"{self.open_row} is open"
+                )
+            return self.col_ready
+        # ALU / register commands do not involve the bank.
+        return 0
+
+    # ------------------------------------------------------------------
+    def apply(self, cmd: Command, cycle: int) -> None:
+        """Update bank state after ``cmd`` issues at ``cycle``."""
+        t = self.timing
+        if cmd.kind is CommandType.ACT:
+            self.open_row = cmd.row
+            self.col_ready = cycle + t.tRCD
+            self.pre_ready = cycle + t.tRAS
+            # Next ACT is gated through PRE; act_ready is set on PRE.
+            return
+        if cmd.kind is CommandType.PRE:
+            self.open_row = None
+            self.act_ready = cycle + t.tRP
+            return
+        if cmd.is_read():
+            # Row must stay open for tRTP after a read-type access.
+            self.pre_ready = max(self.pre_ready, cycle + t.tRTP)
+            return
+        if cmd.kind is CommandType.WR:
+            data_end = cycle + t.tCWL + t.tBURST
+            self.pre_ready = max(self.pre_ready, data_end + t.tWR)
+            return
+        if cmd.is_write():
+            # WRITEBACK / QREG_STORE are the latter half of a write:
+            # register data enters the sense amplifiers immediately (no
+            # tCWL bus delay) but the row must stay open tWR for
+            # restoration (§IV-C).
+            data_end = cycle + t.tBURST
+            self.pre_ready = max(self.pre_ready, data_end + t.tWR)
+            return
+        # ALU / register commands: no bank effect.

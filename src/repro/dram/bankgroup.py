@@ -1,0 +1,98 @@
+"""Per-bank-group timing state: the locus of GradPIM's decoupling.
+
+Two resources live at the bank group:
+
+* the **bank-group I/O gating**, occupied for ``tCCD_L`` by every column
+  access to any bank in the group — conventional RD/WR *and* GradPIM
+  scaled reads / writebacks alike (paper §IV-C);
+* the **GradPIM parallel ALU**, occupied for ``tPIM`` by each arithmetic
+  or (de)quantization operation. ``tPIM`` "does not interfere with any
+  other commands, but prohibits other PIM arithmetic operations from
+  taking place within the same bank group" (§IV-C), so it serializes only
+  ALU commands.
+
+Because scaled reads and writebacks never reach the *global* I/O gating,
+accesses in different bank groups proceed fully in parallel — that is the
+internal-bandwidth multiplier the whole design rests on.
+
+The ``per_bank_pim`` flag models the AoS-PB comparator (§VI-B), which
+places one unit per *bank*: internal accesses and ALU operations then
+serialize per bank instead of per group, quadrupling the number of
+concurrent units in DDR4.
+"""
+
+from __future__ import annotations
+
+from repro.dram.commands import Command
+from repro.dram.timing import TimingParams
+
+
+class BankGroupState:
+    """Mutable timing state of one bank group."""
+
+    __slots__ = (
+        "timing",
+        "per_bank_pim",
+        "io_ready",
+        "alu_ready",
+        "wtr_ready",
+        "bank_io_ready",
+        "bank_alu_ready",
+    )
+
+    def __init__(
+        self,
+        timing: TimingParams,
+        banks_per_group: int,
+        per_bank_pim: bool = False,
+    ) -> None:
+        self.timing = timing
+        self.per_bank_pim = per_bank_pim
+        self.io_ready = 0  # bank-group I/O gating free (tCCD_L domain)
+        self.alu_ready = 0  # GradPIM ALU free (tPIM domain)
+        self.wtr_ready = 0  # earliest read-type access after a write burst
+        # AoS-PB: per-bank local I/O and per-bank ALU readiness.
+        self.bank_io_ready = [0] * banks_per_group
+        self.bank_alu_ready = [0] * banks_per_group
+
+    # ------------------------------------------------------------------
+    def earliest(self, cmd: Command) -> int:
+        """Earliest cycle this bank group permits ``cmd``."""
+        if cmd.is_column():
+            if cmd.is_internal_column() and self.per_bank_pim:
+                ready = self.bank_io_ready[cmd.bank]
+            else:
+                ready = self.io_ready
+            if cmd.is_read():
+                ready = max(ready, self.wtr_ready)
+            return ready
+        if cmd.is_pim_alu():
+            if self.per_bank_pim:
+                return self.bank_alu_ready[cmd.bank]
+            return self.alu_ready
+        return 0
+
+    # ------------------------------------------------------------------
+    def apply(self, cmd: Command, cycle: int) -> None:
+        """Update group state after ``cmd`` issues at ``cycle``."""
+        t = self.timing
+        if cmd.is_column():
+            if cmd.is_internal_column() and self.per_bank_pim:
+                self.bank_io_ready[cmd.bank] = cycle + t.tCCD_L
+            else:
+                self.io_ready = cycle + t.tCCD_L
+            if cmd.is_write():
+                # Same-group write-to-read turnaround (tWTR_L) measured
+                # from the end of the write data.
+                if cmd.kind.value == "WR":
+                    data_end = cycle + t.tCWL + t.tBURST
+                else:  # WRITEBACK: register data, no bus latency
+                    data_end = cycle + t.tBURST
+                self.wtr_ready = max(self.wtr_ready, data_end + t.tWTR_L)
+            return
+        if cmd.is_pim_alu():
+            if self.per_bank_pim:
+                self.bank_alu_ready[cmd.bank] = cycle + t.tPIM
+            else:
+                self.alu_ready = cycle + t.tPIM
+            return

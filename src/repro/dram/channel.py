@@ -1,0 +1,68 @@
+"""Channel-level shared resources: the off-chip data bus.
+
+The data bus carries read and write bursts for conventional RD/WR
+commands only — GradPIM internal accesses never appear here, which is
+the source of the "filtered traffic" in the paper's Fig. 1.
+
+Modelled effects:
+
+* burst occupancy: a RD's data occupies the bus for ``tBURST`` cycles
+  starting ``tCL`` after the command; a WR's starting ``tCWL`` after;
+* rank-to-rank switching bubbles (``rank_switch_penalty``);
+* read/write direction turnaround bubbles (2 cycles, JEDEC's
+  back-to-back RD-to-WR gap; the larger WR-to-RD gap is enforced by the
+  tWTR rules at rank / bank-group level).
+
+The command bus itself is modelled by the scheduler's issue ports, not
+here, because its structure is the design variable separating
+GradPIM-Direct from GradPIM-Buffered.
+"""
+
+from __future__ import annotations
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.timing import TimingParams
+
+#: Direction-change bubble on the data bus, cycles.
+TURNAROUND_GAP = 2
+
+
+class DataBusState:
+    """Mutable occupancy state of the channel data bus."""
+
+    __slots__ = ("timing", "busy_until", "last_kind", "last_rank")
+
+    def __init__(self, timing: TimingParams) -> None:
+        self.timing = timing
+        self.busy_until = 0  # first cycle the bus is free again
+        self.last_kind: CommandType | None = None
+        self.last_rank = -1
+
+    # ------------------------------------------------------------------
+    def _data_offset(self, kind: CommandType) -> int:
+        """Cycles between command issue and the start of its data burst."""
+        if kind is CommandType.RD:
+            return self.timing.tCL
+        return self.timing.tCWL
+
+    def earliest(self, cmd: Command) -> int:
+        """Earliest *issue* cycle so the data burst finds the bus free."""
+        if not cmd.is_external_column():
+            return 0
+        gap = 0
+        if self.last_kind is not None:
+            if self.last_kind is not cmd.kind:
+                gap = max(gap, TURNAROUND_GAP)
+            if self.last_rank != cmd.rank:
+                gap = max(gap, self.timing.rank_switch_penalty)
+        earliest_data_start = self.busy_until + gap
+        return earliest_data_start - self._data_offset(cmd.kind)
+
+    def apply(self, cmd: Command, cycle: int) -> None:
+        """Record the data burst of ``cmd`` issued at ``cycle``."""
+        if not cmd.is_external_column():
+            return
+        start = cycle + self._data_offset(cmd.kind)
+        self.busy_until = start + self.timing.tBURST
+        self.last_kind = cmd.kind
+        self.last_rank = cmd.rank

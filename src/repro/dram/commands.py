@@ -1,0 +1,197 @@
+"""DRAM and GradPIM command vocabulary.
+
+Commands fall into four families:
+
+* row commands: ``ACT`` / ``PRE`` / ``REF``
+* conventional column accesses: ``RD`` / ``WR`` (use the off-chip data bus)
+* GradPIM column accesses, confined to the bank-group I/O gating (paper
+  §IV-B): ``SCALED_READ`` (bank → temporary register, through the scaler),
+  ``WRITEBACK`` (temporary register → bank), ``QREG_LOAD`` (bank →
+  quantization register) and ``QREG_STORE`` (quantization register → bank).
+  The latter two are the Table I "Q. Reg" command's two directions.
+* GradPIM parallel-ALU operations: ``PIM_ADD`` / ``PIM_SUB`` /
+  ``PIM_QUANT`` / ``PIM_DEQUANT`` — register-to-register only, serialized
+  per bank group by ``tPIM``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: Register-id value denoting the quantization register (vs temporaries 0/1).
+QUANT_REG = 2
+
+
+class CommandType(enum.Enum):
+    """Every command the scheduler can issue."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    REF = "REF"
+    MRW = "MRW"  # mode-register write: programs a scaler slot (§IV-B)
+    RD = "RD"
+    WR = "WR"
+    SCALED_READ = "SCALED_READ"
+    WRITEBACK = "WRITEBACK"
+    QREG_LOAD = "QREG_LOAD"
+    QREG_STORE = "QREG_STORE"
+    PIM_ADD = "PIM_ADD"
+    PIM_SUB = "PIM_SUB"
+    PIM_QUANT = "PIM_QUANT"
+    PIM_DEQUANT = "PIM_DEQUANT"
+    # Extended-ALU operations (paper §VIII "expandability": adaptive
+    # optimizers need element-wise multiply and reciprocal square root;
+    # these are NOT part of the baseline GradPIM design and must be
+    # enabled explicitly).
+    PIM_MUL = "PIM_MUL"
+    PIM_RSQRT = "PIM_RSQRT"
+
+
+#: Column accesses (need an open row; occupy I/O gating for tCCD_L).
+COLUMN_COMMANDS = frozenset(
+    {
+        CommandType.RD,
+        CommandType.WR,
+        CommandType.SCALED_READ,
+        CommandType.WRITEBACK,
+        CommandType.QREG_LOAD,
+        CommandType.QREG_STORE,
+    }
+)
+
+#: Column accesses that also occupy the global I/O gating and off-chip bus.
+EXTERNAL_COLUMN_COMMANDS = frozenset({CommandType.RD, CommandType.WR})
+
+#: Column accesses confined to the bank group (GradPIM's decoupling).
+INTERNAL_COLUMN_COMMANDS = frozenset(
+    {
+        CommandType.SCALED_READ,
+        CommandType.WRITEBACK,
+        CommandType.QREG_LOAD,
+        CommandType.QREG_STORE,
+    }
+)
+
+#: Operations executed by the GradPIM parallel ALU (occupy it for tPIM).
+PIM_ALU_COMMANDS = frozenset(
+    {
+        CommandType.PIM_ADD,
+        CommandType.PIM_SUB,
+        CommandType.PIM_QUANT,
+        CommandType.PIM_DEQUANT,
+        CommandType.PIM_MUL,
+        CommandType.PIM_RSQRT,
+    }
+)
+
+#: The §VIII extension subset, rejected unless extended ALU is enabled.
+EXTENDED_ALU_COMMANDS = frozenset(
+    {CommandType.PIM_MUL, CommandType.PIM_RSQRT}
+)
+
+#: Commands that write data into cells (tWR applies before precharge).
+WRITE_COMMANDS = frozenset(
+    {CommandType.WR, CommandType.WRITEBACK, CommandType.QREG_STORE}
+)
+
+#: Commands that read cell data out of the sense amplifiers (tRTP applies).
+READ_COMMANDS = frozenset(
+    {CommandType.RD, CommandType.SCALED_READ, CommandType.QREG_LOAD}
+)
+
+
+@dataclass
+class Command:
+    """One command in a stream handed to the scheduler.
+
+    ``deps`` lists indices (into the same stream) of commands whose results
+    this command consumes; the scheduler will not issue a command before
+    all of its dependencies have *completed* (issue cycle + latency).
+
+    GradPIM operand fields (paper Table I):
+
+    * ``scale_id`` — which of the four pinned scaler constants a
+      ``SCALED_READ`` applies (0 encodes the identity scale).
+    * ``dst_reg`` / ``src_reg`` — temporary-register ids (0 or 1), or
+      :data:`QUANT_REG` for the quantization register.
+    * ``position`` — which quarter of the quantization register a
+      ``PIM_QUANT`` / ``PIM_DEQUANT`` touches (0..3).
+    """
+
+    kind: CommandType
+    rank: int = 0
+    bankgroup: int = 0
+    bank: int = 0
+    row: int = 0
+    col: int = 0
+    scale_id: int = 0
+    dst_reg: int = 0
+    src_reg: int = 0
+    position: int = 0
+    deps: tuple[int, ...] = ()
+    tag: Optional[str] = None  # free-form label for traces and tests
+    scaler: Optional[object] = None  # ScalerValue payload of an MRW
+
+    # Filled in by the scheduler.
+    issue_cycle: int = -1
+
+    def is_column(self) -> bool:
+        """True for commands that access an open row."""
+        return self.kind in COLUMN_COMMANDS
+
+    def is_internal_column(self) -> bool:
+        """True for GradPIM column accesses (bank-group confined)."""
+        return self.kind in INTERNAL_COLUMN_COMMANDS
+
+    def is_external_column(self) -> bool:
+        """True for conventional RD/WR (off-chip data bus)."""
+        return self.kind in EXTERNAL_COLUMN_COMMANDS
+
+    def is_pim_alu(self) -> bool:
+        """True for parallel-ALU operations."""
+        return self.kind in PIM_ALU_COMMANDS
+
+    def is_write(self) -> bool:
+        """True for commands that leave data to restore into the row."""
+        return self.kind in WRITE_COMMANDS
+
+    def is_read(self) -> bool:
+        """True for commands that pull data out of the sense amplifiers."""
+        return self.kind in READ_COMMANDS
+
+    def same_bank(self, other: "Command") -> bool:
+        """True when both commands address the same physical bank."""
+        return (
+            self.rank == other.rank
+            and self.bankgroup == other.bankgroup
+            and self.bank == other.bank
+        )
+
+
+def command_latency(kind: CommandType, timing) -> int:
+    """Completion latency of a command in cycles.
+
+    Completion is the point at which a dependent command may observe the
+    result (register valid, row open, data restored enough to reuse).
+    The values follow paper §IV-C: a scaled read or writeback is treated
+    as complete after ``tCCD_L``; an ALU operation after ``tPIM``.
+    """
+    if kind is CommandType.ACT:
+        return timing.tRCD
+    if kind is CommandType.PRE:
+        return timing.tRP
+    if kind is CommandType.REF:
+        return timing.tRFC
+    if kind is CommandType.MRW:
+        return timing.tMOD
+    if kind is CommandType.RD:
+        return timing.tCL + timing.tBURST
+    if kind is CommandType.WR:
+        return timing.tCWL + timing.tBURST
+    if kind in INTERNAL_COLUMN_COMMANDS:
+        return timing.tCCD_L
+    if kind in PIM_ALU_COMMANDS:
+        return timing.tPIM
+    raise ValueError(f"unknown command kind {kind!r}")

@@ -1,0 +1,66 @@
+"""IDD current tables for the DRAM energy model (paper Table II).
+
+The currents are per-device (one x8 chip); a 64-bit rank is built from
+eight such chips, so rank-level energy multiplies by ``chips_per_rank``
+(held by :class:`repro.dram.power.EnergyModel`).
+
+``IDDpre`` is the paper's addition (after O'Connor et al., MICRO'17): the
+partial current drawn by a column access that stays within the bank group
+(a GradPIM scaled read or writeback) and never drives the global I/O or
+the off-chip bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class IddCurrents:
+    """Operating currents in mA and supply voltage in volts."""
+
+    name: str
+    vdd: float  # supply voltage, V
+    idd0: float  # activate-precharge cycling
+    idd2p: float  # precharge power-down standby
+    idd2n: float  # precharge standby
+    idd3p: float  # active power-down standby
+    idd3n: float  # active standby
+    idd4r: float  # burst read
+    idd4w: float  # burst write
+    idd5b: float  # refresh burst
+    iddpre: float  # bank-group-internal column access (GradPIM)
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ConfigError("vdd must be positive")
+        for name in (
+            "idd0", "idd2p", "idd2n", "idd3p", "idd3n",
+            "idd4r", "idd4w", "idd5b", "iddpre",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.iddpre >= self.idd4r:
+            raise ConfigError(
+                "iddpre must be below idd4r: an internal access must cost "
+                "less than a full off-chip read"
+            )
+
+
+#: Paper Table II currents (IDD5B supplemented from the Micron 8 Gb x8
+#: DDR4-2133 datasheet the paper cites as [1]).
+DDR4_2133_CURRENTS = IddCurrents(
+    name="DDR4-2133",
+    vdd=1.2,
+    idd0=75.0,
+    idd2p=25.0,
+    idd2n=33.0,
+    idd3p=39.0,
+    idd3n=44.0,
+    idd4r=225.0,
+    idd4w=225.0,
+    idd5b=250.0,
+    iddpre=98.0,
+)

@@ -1,0 +1,93 @@
+"""Physical organization of the simulated memory system.
+
+The paper's default configuration (§VI-A): one channel of DDR4-2133 with
+4 ranks, 4 bank groups per rank, and 4 banks per bank group. At rank
+level one column access moves 64 bytes (eight x8 chips in lock-step), and
+a row holds 8 KiB (1 KiB per chip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import is_pow2
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Counts and sizes describing one memory channel."""
+
+    ranks: int = 4
+    bankgroups: int = 4  # per rank
+    banks_per_group: int = 4
+    rows: int = 65536  # per bank
+    row_bytes: int = 8192  # per rank (all chips combined)
+    column_bytes: int = 64  # one column access at rank level
+    chips_per_rank: int = 8  # x8 devices forming the 64-bit bus
+    dimms: int = 2  # modules on the channel (TensorDIMM's NMP count)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "ranks", "bankgroups", "banks_per_group", "rows",
+            "row_bytes", "column_bytes", "chips_per_rank", "dimms",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        for name in ("bankgroups", "banks_per_group", "rows", "row_bytes",
+                     "column_bytes"):
+            if not is_pow2(getattr(self, name)):
+                raise ConfigError(f"{name} must be a power of two")
+        if self.row_bytes % self.column_bytes != 0:
+            raise ConfigError("row_bytes must be a multiple of column_bytes")
+        if self.ranks % self.dimms != 0:
+            raise ConfigError("ranks must divide evenly across dimms")
+
+    @property
+    def ranks_per_dimm(self) -> int:
+        """Ranks sharing one DIMM (and one buffer device)."""
+        return self.ranks // self.dimms
+
+    def dimm_of_rank(self, rank: int) -> int:
+        """Which DIMM a rank sits on."""
+        return rank // self.ranks_per_dimm
+
+    @property
+    def banks_per_rank(self) -> int:
+        """Total banks in one rank."""
+        return self.bankgroups * self.banks_per_group
+
+    @property
+    def total_banks(self) -> int:
+        """Total banks in the channel."""
+        return self.ranks * self.banks_per_rank
+
+    @property
+    def columns_per_row(self) -> int:
+        """Column-access positions (64 B units) in one row."""
+        return self.row_bytes // self.column_bytes
+
+    @property
+    def bank_bytes(self) -> int:
+        """Capacity of one bank in bytes (rank level)."""
+        return self.rows * self.row_bytes
+
+    @property
+    def rank_bytes(self) -> int:
+        """Capacity of one rank in bytes."""
+        return self.bank_bytes * self.banks_per_rank
+
+    @property
+    def total_bytes(self) -> int:
+        """Capacity of the channel in bytes."""
+        return self.rank_bytes * self.ranks
+
+    @property
+    def pim_units(self) -> int:
+        """GradPIM units in the channel: one per bank group per rank."""
+        return self.ranks * self.bankgroups
+
+
+#: The paper's evaluation configuration.
+DEFAULT_GEOMETRY = DeviceGeometry()

@@ -1,0 +1,176 @@
+"""Micron-style IDD-based DRAM energy model (paper §VI-A, Fig. 10).
+
+Energy is computed per command class from the Table II currents:
+
+* **ACT/PRE pair** — the classic Micron power-calculator formula:
+  ``(IDD0*tRC - IDD3N*tRAS - IDD2N*(tRC - tRAS)) * VDD * tCK`` per chip.
+* **External read/write burst** — ``(IDD4R|W - IDD3N) * VDD * tBURST*tCK``
+  per chip, plus off-chip I/O energy per byte (bus switching and ODT).
+* **Internal (GradPIM) access** — same formula with ``IDDpre`` replacing
+  IDD4R/W, following O'Connor et al. (MICRO'17) as the paper does: a
+  bank-group-confined access drives neither the global I/O nor the pins.
+* **PIM ALU operation** — GradPIM unit component power (paper Table III)
+  times the ``tPIM`` occupancy. This is orders of magnitude below the
+  DRAM array energies, which is why the PIM slice in Fig. 10 is barely
+  visible.
+* **Background** — IDD3N (active standby) over the phase duration for all
+  chips in the channel.
+
+Absolute joules differ from the authors' (their spreadsheet has knobs we
+cannot see); all Fig. 10 comparisons are made on energies normalized to
+the baseline, where the formula's constant factors cancel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.currents import IddCurrents, DDR4_2133_CURRENTS
+from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import TimingParams, DDR4_2133
+
+#: Off-chip I/O energy, J per byte (≈1.3 / 1.6 pJ/bit: DQ switching plus
+#: on-die termination, DDR4 class links).
+IO_READ_ENERGY_PER_BYTE = 10.4e-12
+IO_WRITE_ENERGY_PER_BYTE = 12.8e-12
+
+#: GradPIM unit component power in watts (paper Table III, 32 nm).
+PIM_ADDER_W = 0.058e-3
+PIM_QUANTIZE_W = 0.056e-3
+PIM_DEQUANTIZE_W = 0.041e-3
+PIM_SCALER_W = 0.159e-3
+PIM_REGISTERS_W = 0.040e-3
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per component for one simulated phase."""
+
+    act: float = 0.0
+    rd: float = 0.0  # external reads, array + I/O
+    wr: float = 0.0  # external writes, array + I/O
+    pim: float = 0.0  # internal accesses + ALU + scaler
+    background: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total energy in joules."""
+        return self.act + self.rd + self.wr + self.pim + self.background
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            act=self.act + other.act,
+            rd=self.rd + other.rd,
+            wr=self.wr + other.wr,
+            pim=self.pim + other.pim,
+            background=self.background + other.background,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Return a copy with every component multiplied by ``factor``."""
+        return EnergyBreakdown(
+            act=self.act * factor,
+            rd=self.rd * factor,
+            wr=self.wr * factor,
+            pim=self.pim * factor,
+            background=self.background * factor,
+        )
+
+
+class EnergyModel:
+    """Per-command-class energy calculator for one channel."""
+
+    def __init__(
+        self,
+        timing: TimingParams = DDR4_2133,
+        currents: IddCurrents = DDR4_2133_CURRENTS,
+        geometry: DeviceGeometry = DEFAULT_GEOMETRY,
+    ) -> None:
+        self.timing = timing
+        self.currents = currents
+        self.geometry = geometry
+        self._tck_s = timing.tCK_ns * 1e-9
+        self._chips = geometry.chips_per_rank
+
+    # ------------------------------------------------------------------
+    # Per-event energies (joules, rank-level: all chips participating)
+    # ------------------------------------------------------------------
+    def act_pre_energy(self) -> float:
+        """One activate + precharge pair."""
+        c, t = self.currents, self.timing
+        per_chip = (
+            c.idd0 * t.tRC - c.idd3n * t.tRAS - c.idd2n * (t.tRC - t.tRAS)
+        ) * 1e-3 * c.vdd * self._tck_s
+        return per_chip * self._chips
+
+    def _burst_array_energy(self, current_ma: float) -> float:
+        c, t = self.currents, self.timing
+        per_chip = (
+            (current_ma - c.idd3n) * 1e-3 * c.vdd * t.tBURST * self._tck_s
+        )
+        return per_chip * self._chips
+
+    def external_read_energy(self) -> float:
+        """One 64 B read burst: array access plus pin I/O."""
+        return (
+            self._burst_array_energy(self.currents.idd4r)
+            + IO_READ_ENERGY_PER_BYTE * self.geometry.column_bytes
+        )
+
+    def external_write_energy(self) -> float:
+        """One 64 B write burst: array access plus pin I/O (ODT)."""
+        return (
+            self._burst_array_energy(self.currents.idd4w)
+            + IO_WRITE_ENERGY_PER_BYTE * self.geometry.column_bytes
+        )
+
+    def internal_access_energy(self) -> float:
+        """One GradPIM scaled read / writeback / qreg transfer (IDDpre)."""
+        return self._burst_array_energy(self.currents.iddpre)
+
+    def pim_alu_energy(self) -> float:
+        """One parallel-ALU operation (adder + registers, Table III)."""
+        t_op = self.timing.tPIM * self._tck_s
+        return (PIM_ADDER_W + PIM_REGISTERS_W) * t_op
+
+    def pim_quant_energy(self) -> float:
+        """One quantization/dequantization ALU operation."""
+        t_op = self.timing.tPIM * self._tck_s
+        return (
+            max(PIM_QUANTIZE_W, PIM_DEQUANTIZE_W) + PIM_REGISTERS_W
+        ) * t_op
+
+    def scaler_energy(self) -> float:
+        """Scaler contribution of one scaled read."""
+        return PIM_SCALER_W * self.timing.tCCD_L * self._tck_s
+
+    def background_energy(self, cycles: float) -> float:
+        """Active-standby energy of all chips over ``cycles``."""
+        c = self.currents
+        per_chip = c.idd3n * 1e-3 * c.vdd * cycles * self._tck_s
+        return per_chip * self._chips * self.geometry.ranks
+
+    # ------------------------------------------------------------------
+    def from_counts(
+        self,
+        n_act: float,
+        n_rd: float,
+        n_wr: float,
+        n_internal: float,
+        n_alu: float,
+        n_quant_ops: float = 0.0,
+        background_cycles: float = 0.0,
+    ) -> EnergyBreakdown:
+        """Aggregate an :class:`EnergyBreakdown` from event counts."""
+        pim = (
+            n_internal * (self.internal_access_energy() + self.scaler_energy())
+            + n_alu * self.pim_alu_energy()
+            + n_quant_ops * self.pim_quant_energy()
+        )
+        return EnergyBreakdown(
+            act=n_act * self.act_pre_energy(),
+            rd=n_rd * self.external_read_energy(),
+            wr=n_wr * self.external_write_energy(),
+            pim=pim,
+            background=self.background_energy(background_cycles),
+        )

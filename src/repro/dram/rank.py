@@ -1,0 +1,82 @@
+"""Per-rank timing state: activation windows and cross-group column rules.
+
+Implements:
+
+* ``tRRD_S`` / ``tRRD_L`` — minimum spacing between ACTs to different /
+  the same bank group within a rank;
+* ``tFAW`` — at most four ACTs within any rolling window;
+* ``tCCD_S`` — spacing between *external* column accesses (RD/WR) to
+  different bank groups of the same rank, which share the global I/O
+  gating. GradPIM scaled reads / writebacks are exempt: they never reach
+  the global I/O (paper §IV-C), which is precisely the decoupling that
+  unlocks bank-group parallelism;
+* ``tWTR_S`` — write-data-to-read turnaround across bank groups of the
+  same rank, applied to external accesses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.timing import TimingParams
+
+
+class RankState:
+    """Mutable timing state of one rank."""
+
+    __slots__ = (
+        "timing",
+        "act_window",
+        "last_act_cycle",
+        "last_act_group",
+        "ext_col_ready",
+        "wtr_ready",
+    )
+
+    def __init__(self, timing: TimingParams) -> None:
+        self.timing = timing
+        self.act_window: deque[int] = deque(maxlen=4)  # recent ACT cycles
+        self.last_act_cycle = -(10**9)
+        self.last_act_group = -1
+        self.ext_col_ready = 0  # global I/O gating free (tCCD_S domain)
+        self.wtr_ready = 0  # earliest external read after a write burst
+
+    # ------------------------------------------------------------------
+    def earliest(self, cmd: Command) -> int:
+        """Earliest cycle this rank permits ``cmd``."""
+        t = self.timing
+        if cmd.kind is CommandType.ACT:
+            ready = 0
+            if self.last_act_cycle >= 0:
+                spacing = (
+                    t.tRRD_L
+                    if cmd.bankgroup == self.last_act_group
+                    else t.tRRD_S
+                )
+                ready = self.last_act_cycle + spacing
+            if len(self.act_window) == 4:
+                ready = max(ready, self.act_window[0] + t.tFAW)
+            return ready
+        if cmd.is_external_column():
+            ready = self.ext_col_ready
+            if cmd.is_read():
+                ready = max(ready, self.wtr_ready)
+            return ready
+        return 0
+
+    # ------------------------------------------------------------------
+    def apply(self, cmd: Command, cycle: int) -> None:
+        """Update rank state after ``cmd`` issues at ``cycle``."""
+        t = self.timing
+        if cmd.kind is CommandType.ACT:
+            self.act_window.append(cycle)
+            self.last_act_cycle = cycle
+            self.last_act_group = cmd.bankgroup
+            return
+        if cmd.is_external_column():
+            self.ext_col_ready = cycle + t.tCCD_S
+            if cmd.kind is CommandType.WR:
+                data_end = cycle + t.tCWL + t.tBURST
+                self.wtr_ready = max(self.wtr_ready, data_end + t.tWTR_S)
+            return

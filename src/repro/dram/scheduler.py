@@ -1,0 +1,276 @@
+"""Cycle-level command scheduler (the memory controller model).
+
+The scheduler consumes a dependency-annotated command stream (produced by
+:mod:`repro.kernels`) and issues it against the DDR4 state machines,
+producing issue cycles for every command plus aggregate statistics.
+
+Two properties of real controllers matter for GradPIM and are modelled
+explicitly:
+
+* **Command-bus structure** (:class:`IssueModel`). A direct-attached
+  DDR4 channel has a single command/address bus: one command per tCK for
+  the whole channel, all ranks included. A buffered memory system
+  (paper §V-C, Fig. 8b) lets each DIMM's buffer chip generate commands
+  locally, so every rank gets its own command stream. This single knob
+  reproduces the ~4x internal-bandwidth gap between GradPIM-Direct and
+  GradPIM-Buffered (Fig. 11).
+
+* **Limited out-of-order lookahead** (``window``). The scheduler may pick
+  any of the next ``window`` pending commands per port whose dependencies
+  are satisfied, emulating an FR-FCFS-style reorder queue.
+
+Refresh is accounted analytically (a tRFC/tREFI derate applied by
+:mod:`repro.system.update_model`) rather than simulated, because the
+sampling windows used for steady-state measurement are much shorter than
+tREFI; this is documented in DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.dram.bank import BankState
+from repro.dram.bankgroup import BankGroupState
+from repro.dram.channel import DataBusState
+from repro.dram.commands import Command, command_latency
+from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.dram.rank import RankState
+from repro.dram.stats import TraceStats
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigError, SimulationError
+
+
+@dataclass(frozen=True)
+class IssueModel:
+    """Command-issue structure of the memory system.
+
+    ``port_of_rank[r]`` names the issue port that delivers commands to
+    rank ``r``; each port can issue one command per cycle.
+    """
+
+    name: str
+    port_of_rank: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.port_of_rank:
+            raise ConfigError("issue model needs at least one rank")
+        ports = set(self.port_of_rank)
+        if ports != set(range(len(ports))):
+            raise ConfigError(
+                f"ports must be dense 0..N-1, got {sorted(ports)}"
+            )
+
+    @property
+    def n_ports(self) -> int:
+        """Number of independent command generators."""
+        return len(set(self.port_of_rank))
+
+    @classmethod
+    def direct(cls, ranks: int) -> "IssueModel":
+        """Direct-attached channel: one command bus shared by all ranks."""
+        return cls(name="direct", port_of_rank=(0,) * ranks)
+
+    @classmethod
+    def buffered(cls, ranks: int) -> "IssueModel":
+        """Buffered memory system: one command generator per rank."""
+        return cls(name="buffered", port_of_rank=tuple(range(ranks)))
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one command stream."""
+
+    commands: list[Command]
+    stats: TraceStats
+    timing: TimingParams
+    geometry: DeviceGeometry
+    issue_model: IssueModel
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles until the last command completes."""
+        return self.stats.total_cycles
+
+    def issue_cycles(self) -> list[int]:
+        """Issue cycle of every command, in stream order."""
+        return [c.issue_cycle for c in self.commands]
+
+
+class CommandScheduler:
+    """Greedy earliest-feasible-cycle scheduler over the DDR4 state
+    machines.
+
+    The algorithm repeatedly selects, across all ports, the pending
+    dependency-ready command with the smallest feasible issue cycle
+    (ties broken by stream order), issues it, and updates the machine
+    state. Each port issues at most one command per cycle.
+    """
+
+    def __init__(
+        self,
+        timing: TimingParams,
+        geometry: DeviceGeometry = DEFAULT_GEOMETRY,
+        issue_model: Optional[IssueModel] = None,
+        per_bank_pim: bool = False,
+        window: int = 16,
+        data_bus_scope: str = "channel",
+    ) -> None:
+        """``data_bus_scope`` selects how external bursts share wiring:
+        ``"channel"`` (one bus, direct-attach), ``"dimm"`` (one private
+        bus per DIMM buffer device — TensorDIMM), or ``"rank"``."""
+        if issue_model is None:
+            issue_model = IssueModel.direct(geometry.ranks)
+        if len(issue_model.port_of_rank) != geometry.ranks:
+            raise ConfigError(
+                f"issue model covers {len(issue_model.port_of_rank)} ranks "
+                f"but geometry has {geometry.ranks}"
+            )
+        if window < 1:
+            raise ConfigError("window must be at least 1")
+        if data_bus_scope not in ("channel", "dimm", "rank"):
+            raise ConfigError(
+                f"unknown data_bus_scope {data_bus_scope!r}"
+            )
+        self.timing = timing
+        self.geometry = geometry
+        self.issue_model = issue_model
+        self.per_bank_pim = per_bank_pim
+        self.window = window
+        self.data_bus_scope = data_bus_scope
+
+    def _bus_of_rank(self, rank: int) -> int:
+        if self.data_bus_scope == "channel":
+            return 0
+        if self.data_bus_scope == "dimm":
+            return self.geometry.dimm_of_rank(rank)
+        return rank
+
+    # ------------------------------------------------------------------
+    def run(self, commands: Sequence[Command]) -> ScheduleResult:
+        """Schedule ``commands`` and return the annotated result.
+
+        Dependencies must point backwards (``dep < index``); forward or
+        self references raise :class:`SimulationError`.
+        """
+        timing = self.timing
+        geom = self.geometry
+        commands = list(commands)
+        for i, cmd in enumerate(commands):
+            for d in cmd.deps:
+                if d >= i or d < 0:
+                    raise SimulationError(
+                        f"command {i} has illegal dependency {d}"
+                    )
+
+        # State machines.
+        banks = [
+            [
+                [BankState(timing) for _ in range(geom.banks_per_group)]
+                for _ in range(geom.bankgroups)
+            ]
+            for _ in range(geom.ranks)
+        ]
+        groups = [
+            [
+                BankGroupState(
+                    timing, geom.banks_per_group, self.per_bank_pim
+                )
+                for _ in range(geom.bankgroups)
+            ]
+            for _ in range(geom.ranks)
+        ]
+        ranks = [RankState(timing) for _ in range(geom.ranks)]
+        n_buses = len({self._bus_of_rank(r) for r in range(geom.ranks)})
+        buses = [DataBusState(timing) for _ in range(n_buses)]
+
+        # Per-port pending queues, in stream order.
+        n_ports = self.issue_model.n_ports
+        queues: list[list[int]] = [[] for _ in range(n_ports)]
+        for i, cmd in enumerate(commands):
+            if not 0 <= cmd.rank < geom.ranks:
+                raise SimulationError(f"command {i} rank out of range")
+            queues[self.issue_model.port_of_rank[cmd.rank]].append(i)
+
+        completion = [0] * len(commands)
+        port_free = [0] * n_ports
+        stats = TraceStats()
+        remaining = len(commands)
+        window = self.window
+
+        while remaining:
+            best_cycle = None
+            best_port = -1
+            best_pos = -1
+            best_idx = -1
+            for port in range(n_ports):
+                queue = queues[port]
+                examined = 0
+                for pos, idx in enumerate(queue):
+                    if examined >= window:
+                        break
+                    examined += 1
+                    cmd = commands[idx]
+                    # Dependency readiness.
+                    ready = port_free[port]
+                    blocked = False
+                    for d in cmd.deps:
+                        if commands[d].issue_cycle < 0:
+                            blocked = True
+                            break
+                        if completion[d] > ready:
+                            ready = completion[d]
+                    if blocked:
+                        continue
+                    bank = banks[cmd.rank][cmd.bankgroup][cmd.bank]
+                    group = groups[cmd.rank][cmd.bankgroup]
+                    rank = ranks[cmd.rank]
+                    bus = buses[self._bus_of_rank(cmd.rank)]
+                    try:
+                        e = bank.earliest(cmd)
+                    except SimulationError:
+                        # Structurally not issuable yet (e.g. PRE of the
+                        # previous row hasn't gone out): skip; ordering
+                        # dependencies will unblock it later.
+                        continue
+                    e = max(
+                        ready,
+                        e,
+                        group.earliest(cmd),
+                        rank.earliest(cmd),
+                        bus.earliest(cmd),
+                    )
+                    if (
+                        best_cycle is None
+                        or e < best_cycle
+                        or (e == best_cycle and idx < best_idx)
+                    ):
+                        best_cycle, best_port = e, port
+                        best_pos, best_idx = pos, idx
+            if best_idx < 0:
+                raise SimulationError(
+                    "deadlock: no pending command is issuable "
+                    f"({remaining} remaining)"
+                )
+
+            cmd = commands[best_idx]
+            cycle = best_cycle
+            cmd.issue_cycle = cycle
+            completion[best_idx] = cycle + command_latency(cmd.kind, timing)
+            banks[cmd.rank][cmd.bankgroup][cmd.bank].apply(cmd, cycle)
+            groups[cmd.rank][cmd.bankgroup].apply(cmd, cycle)
+            ranks[cmd.rank].apply(cmd, cycle)
+            buses[self._bus_of_rank(cmd.rank)].apply(cmd, cycle)
+            port_free[best_port] = cycle + 1
+            queues[best_port].pop(best_pos)
+            stats.record(cmd, best_port)
+            remaining -= 1
+
+        stats.total_cycles = max(completion, default=0)
+        return ScheduleResult(
+            commands=commands,
+            stats=stats,
+            timing=timing,
+            geometry=geom,
+            issue_model=self.issue_model,
+        )

@@ -1,0 +1,200 @@
+"""DDR4 timing parameters (paper Table II plus JEDEC supplements).
+
+All parameters except ``tCK_ns`` are expressed in memory-clock cycles, as in
+the paper. Parameters present in the paper's Table II use the paper's
+values; parameters the paper relies on but does not tabulate (write
+recovery, read-to-precharge, write-to-read turnaround, refresh) use the
+JEDEC DDR4-2133 speed-bin values and are marked below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """A complete set of DRAM timing parameters for one device grade.
+
+    Attributes are named after the JEDEC parameters. ``tPIM`` is the
+    GradPIM extension: the worst-case occupancy of the parallel ALU in a
+    bank group (paper §IV-C).
+    """
+
+    name: str
+    tCK_ns: float  # clock period, ns
+    tCL: int  # read latency (CAS)
+    tRCD: int  # activate to column command
+    tRP: int  # precharge period
+    tRAS: int  # activate to precharge (min)
+    tCCD_L: int  # column-to-column, same bank group
+    tCCD_S: int  # column-to-column, different bank group
+    tBURST: int  # data burst duration (BL8 / 2)
+    tCWL: int  # write latency  [JEDEC, not in Table II]
+    tRRD_S: int  # activate-to-activate, different bank group  [JEDEC]
+    tRRD_L: int  # activate-to-activate, same bank group  [JEDEC]
+    tFAW: int  # four-activate window  [JEDEC]
+    tWR: int  # write recovery before precharge  [JEDEC]
+    tRTP: int  # read to precharge  [JEDEC]
+    tWTR_S: int  # write-to-read turnaround, different bank group  [JEDEC]
+    tWTR_L: int  # write-to-read turnaround, same bank group  [JEDEC]
+    tPIM: int  # GradPIM ALU occupancy (paper Table II)
+    tREFI: int  # refresh interval  [JEDEC]
+    tRFC: int  # refresh cycle time  [JEDEC]
+    rank_switch_penalty: int = 2  # bubble between bursts of different ranks
+    access_bytes: int = 64  # bytes per column access at rank level
+    tMOD: int = 24  # mode-register write to ready  [JEDEC]
+
+    def __post_init__(self) -> None:
+        if self.tCK_ns <= 0:
+            raise ConfigError(f"tCK_ns must be positive, got {self.tCK_ns}")
+        for name in (
+            "tCL", "tRCD", "tRP", "tRAS", "tCCD_L", "tCCD_S", "tBURST",
+            "tCWL", "tRRD_S", "tRRD_L", "tFAW", "tWR", "tRTP", "tWTR_S",
+            "tWTR_L", "tPIM", "tREFI", "tRFC",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.tCCD_S > self.tCCD_L:
+            raise ConfigError("tCCD_S cannot exceed tCCD_L")
+        if self.tRRD_S > self.tRRD_L:
+            raise ConfigError("tRRD_S cannot exceed tRRD_L")
+        if self.tRAS < self.tRCD:
+            raise ConfigError("tRAS must be at least tRCD")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def clock_hz(self) -> float:
+        """Command clock frequency in Hz."""
+        return 1e9 / self.tCK_ns
+
+    @property
+    def data_rate_mts(self) -> float:
+        """Data rate in mega-transfers/s (DDR: 2 transfers per clock)."""
+        return 2.0 * self.clock_hz / 1e6
+
+    @property
+    def tRC(self) -> int:
+        """Row cycle time: activate-to-activate on the same bank."""
+        return self.tRAS + self.tRP
+
+    def cycles_to_s(self, cycles: float) -> float:
+        """Convert a cycle count to seconds."""
+        return cycles * self.tCK_ns * 1e-9
+
+    def peak_offchip_bandwidth(self) -> float:
+        """Peak off-chip bandwidth of one channel in bytes/second.
+
+        One 64-byte burst can be transferred every ``tBURST`` cycles.
+        For DDR4-2133 this evaluates to about 17.1 GB/s, the figure the
+        paper quotes as the theoretical maximum.
+        """
+        return self.access_bytes / self.cycles_to_s(self.tBURST)
+
+    def per_bankgroup_bandwidth(self) -> float:
+        """Internal bandwidth of one bank group in bytes/second.
+
+        A bank group can serve one column access every ``tCCD_L`` cycles
+        (paper §IV-C assigns the same interval to scaled reads and
+        writebacks).
+        """
+        return self.access_bytes / self.cycles_to_s(self.tCCD_L)
+
+    def peak_internal_bandwidth(self, bankgroups: int, ranks: int) -> float:
+        """Aggregate bank-group-internal bandwidth in bytes/second.
+
+        For DDR4-2133 with 4 bank groups and 4 ranks this is ~181.6 GB/s;
+        the paper's Fig. 11 dotted line reads 181.28 GB/s (the small gap
+        comes from rounding tCK).
+        """
+        return self.per_bankgroup_bandwidth() * bankgroups * ranks
+
+    def with_overrides(self, **kwargs: object) -> "TimingParams":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Paper Table II grade. tCL/tRCD/tRP/tRAS/tCCD_L/tCCD_S/tPIM/tCK are the
+#: paper's values; the rest follow the JEDEC DDR4-2133 speed bin.
+DDR4_2133 = TimingParams(
+    name="DDR4-2133",
+    tCK_ns=0.94,
+    tCL=16,
+    tRCD=16,
+    tRP=16,
+    tRAS=36,
+    tCCD_L=6,
+    tCCD_S=4,
+    tBURST=4,
+    tCWL=14,
+    tRRD_S=4,
+    tRRD_L=6,
+    tFAW=26,
+    tWR=16,
+    tRTP=8,
+    tWTR_S=3,
+    tWTR_L=8,
+    tPIM=5,
+    tREFI=8298,  # 7.8 us
+    tRFC=373,  # 350 ns (8 Gb device)
+)
+
+#: Faster DDR4 grade used in the Fig. 12a sensitivity sweep.
+DDR4_3200 = TimingParams(
+    name="DDR4-3200",
+    tCK_ns=0.625,
+    tCL=22,
+    tRCD=22,
+    tRP=22,
+    tRAS=52,
+    tCCD_L=8,
+    tCCD_S=4,
+    tBURST=4,
+    tCWL=16,
+    tRRD_S=6,
+    tRRD_L=8,
+    tFAW=34,
+    tWR=24,
+    tRTP=12,
+    tWTR_S=4,
+    tWTR_L=12,
+    tPIM=7,
+    tREFI=12480,
+    tRFC=560,
+)
+
+#: HBM-like grade for Fig. 12a: much wider interface modelled as a higher
+#: effective burst rate. HBM2 has 8 channels x 128 bit at 2.0 GT/s
+#: (~256 GB/s per stack); we model one pseudo-channel-aggregated device
+#: whose off-chip bandwidth is ~15x DDR4-2133 by shrinking the effective
+#: burst occupancy. Bank-group timing follows HBM2 tCCD values.
+HBM_LIKE = TimingParams(
+    name="HBM-like",
+    tCK_ns=1.0,
+    tCL=14,
+    tRCD=14,
+    tRP=14,
+    tRAS=34,
+    tCCD_L=4,
+    tCCD_S=2,
+    tBURST=1,  # 64B every cycle: 8 channels hidden behind one interface
+    tCWL=7,
+    tRRD_S=4,
+    tRRD_L=6,
+    tFAW=30,
+    tWR=16,
+    tRTP=5,
+    tWTR_S=4,
+    tWTR_L=8,
+    tPIM=5,
+    tREFI=3900,
+    tRFC=260,
+)
+
+PRESETS: dict[str, TimingParams] = {
+    p.name: p for p in (DDR4_2133, DDR4_3200, HBM_LIKE)
+}

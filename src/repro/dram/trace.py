@@ -1,0 +1,131 @@
+"""Trace inspection: render scheduled command streams for humans/tools.
+
+Two formats:
+
+* :func:`format_trace` — a cycle-annotated text listing (what
+  ``examples/dram_timing_explorer.py`` shows);
+* :func:`trace_to_csv` — machine-readable rows for plotting command-bus
+  occupancy or bank activity in external tools.
+
+Both operate on commands that already carry issue cycles (i.e. the
+output of :class:`~repro.dram.scheduler.CommandScheduler.run`).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence
+
+from repro.dram.commands import Command
+from repro.errors import SimulationError
+
+CSV_HEADER = "cycle,kind,rank,bankgroup,bank,row,col,tag"
+
+
+def _sorted_issued(commands: Iterable[Command]) -> list[Command]:
+    commands = list(commands)
+    for cmd in commands:
+        if cmd.issue_cycle < 0:
+            raise SimulationError(
+                "trace contains an unissued command; schedule it first"
+            )
+    return sorted(commands, key=lambda c: (c.issue_cycle, c.rank))
+
+
+def format_trace(
+    commands: Iterable[Command],
+    limit: int | None = None,
+) -> str:
+    """Cycle-annotated text listing, in issue order."""
+    trace = _sorted_issued(commands)
+    if limit is not None:
+        trace = trace[:limit]
+    lines = []
+    for cmd in trace:
+        where = f"r{cmd.rank}/bg{cmd.bankgroup}/b{cmd.bank}"
+        place = ""
+        if cmd.is_column():
+            place = f" row={cmd.row} col={cmd.col}"
+        lines.append(
+            f"{cmd.issue_cycle:8d}  {cmd.kind.value:12s} {where:10s}"
+            f"{place}"
+            + (f"  [{cmd.tag}]" if cmd.tag else "")
+        )
+    return "\n".join(lines)
+
+
+def trace_to_csv(commands: Iterable[Command]) -> str:
+    """CSV rows (with header), in issue order."""
+    out = io.StringIO()
+    out.write(CSV_HEADER + "\n")
+    for cmd in _sorted_issued(commands):
+        tag = (cmd.tag or "").replace(",", ";")
+        out.write(
+            f"{cmd.issue_cycle},{cmd.kind.value},{cmd.rank},"
+            f"{cmd.bankgroup},{cmd.bank},{cmd.row},{cmd.col},{tag}\n"
+        )
+    return out.getvalue()
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RowBufferStats:
+    """Open-row behaviour of a command stream."""
+
+    hits: int  # column access to the already-open row
+    misses: int  # access whose row needed an ACT first
+    activations: int
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of column accesses that found their row open."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+def row_buffer_stats(commands: Iterable[Command]) -> RowBufferStats:
+    """Row-buffer hit/miss accounting over a stream (program order).
+
+    GradPIM's placement exists to make this number high: "the entire
+    procedure does not experience any row buffer miss except for when
+    a new row is opened for next data accesses" (paper §IV-D).
+    """
+    open_row: dict[tuple[int, int, int], int] = {}
+    pending: dict[tuple[int, int, int], int] = {}
+    hits = misses = activations = 0
+    for cmd in commands:
+        key = (cmd.rank, cmd.bankgroup, cmd.bank)
+        if cmd.kind.value == "ACT":
+            activations += 1
+            pending[key] = cmd.row
+        elif cmd.kind.value == "PRE":
+            open_row.pop(key, None)
+            pending.pop(key, None)
+        elif cmd.is_column():
+            if open_row.get(key) == cmd.row:
+                hits += 1
+            else:
+                misses += 1
+                open_row[key] = pending.get(key, cmd.row)
+    return RowBufferStats(
+        hits=hits, misses=misses, activations=activations
+    )
+
+
+def bus_occupancy(
+    commands: Sequence[Command], port_of_rank: Sequence[int]
+) -> dict[int, list[int]]:
+    """Issue cycles per command port — Fig. 11 (top)'s raw material."""
+    occupancy: dict[int, list[int]] = {}
+    for cmd in _sorted_issued(commands):
+        occupancy.setdefault(
+            port_of_rank[cmd.rank], []
+        ).append(cmd.issue_cycle)
+    return occupancy

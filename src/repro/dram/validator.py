@@ -1,0 +1,265 @@
+"""Independent timing-rule checker for scheduled command traces.
+
+This module deliberately re-implements the JEDEC rules from scratch as
+pairwise checks over a finished trace, sharing no logic with the
+scheduler's state machines. The test suite runs every scheduled trace
+through :func:`validate_trace`; a disagreement between the two
+implementations surfaces as a :class:`~repro.errors.TimingViolation`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dram.commands import Command, CommandType, command_latency
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.timing import TimingParams
+from repro.errors import TimingViolation
+
+
+def _data_interval(cmd: Command, timing: TimingParams) -> tuple[int, int]:
+    """(start, end) cycles of an external command's data burst."""
+    if cmd.kind is CommandType.RD:
+        start = cmd.issue_cycle + timing.tCL
+    else:
+        start = cmd.issue_cycle + timing.tCWL
+    return start, start + timing.tBURST
+
+
+def _write_data_end(cmd: Command, timing: TimingParams) -> int:
+    """Cycle at which a write-type command's data has fully arrived."""
+    if cmd.kind is CommandType.WR:
+        return cmd.issue_cycle + timing.tCWL + timing.tBURST
+    # WRITEBACK / QREG_STORE: register data, no bus latency.
+    return cmd.issue_cycle + timing.tBURST
+
+
+def validate_trace(
+    commands: Sequence[Command],
+    timing: TimingParams,
+    geometry: DeviceGeometry,
+    port_of_rank: Sequence[int],
+    per_bank_pim: bool = False,
+    data_bus_scope: str = "channel",
+) -> None:
+    """Raise :class:`TimingViolation` on the first rule breach.
+
+    ``commands`` must carry issue cycles (``issue_cycle >= 0``).
+    """
+    trace = sorted(
+        (c for c in commands),
+        key=lambda c: (c.issue_cycle, id(c)),
+    )
+    for cmd in trace:
+        if cmd.issue_cycle < 0:
+            raise TimingViolation(
+                "unissued", 0, "command without an issue cycle in trace"
+            )
+
+    _check_dependencies(commands, timing)
+    _check_ports(trace, port_of_rank)
+    _check_banks(trace, timing)
+    _check_bankgroups(trace, timing, per_bank_pim)
+    _check_ranks(trace, timing)
+    if data_bus_scope == "channel":
+        _check_data_bus(trace, timing)
+    elif data_bus_scope == "dimm":
+        for dimm in range(geometry.dimms):
+            subset = [
+                c
+                for c in trace
+                if geometry.dimm_of_rank(c.rank) == dimm
+            ]
+            _check_data_bus(subset, timing)
+    elif data_bus_scope == "rank":
+        for rank in range(geometry.ranks):
+            _check_data_bus([c for c in trace if c.rank == rank], timing)
+    else:
+        raise TimingViolation(
+            "config", 0, f"unknown data_bus_scope {data_bus_scope!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+def _check_dependencies(
+    commands: Sequence[Command], timing: TimingParams
+) -> None:
+    for i, cmd in enumerate(commands):
+        for d in cmd.deps:
+            dep = commands[d]
+            done = dep.issue_cycle + command_latency(dep.kind, timing)
+            if cmd.issue_cycle < done:
+                raise TimingViolation(
+                    "dependency",
+                    cmd.issue_cycle,
+                    f"command {i} issued before dependency {d} completed "
+                    f"at {done}",
+                )
+
+
+def _check_ports(
+    trace: Sequence[Command], port_of_rank: Sequence[int]
+) -> None:
+    seen: dict[tuple[int, int], int] = {}
+    for cmd in trace:
+        key = (port_of_rank[cmd.rank], cmd.issue_cycle)
+        seen[key] = seen.get(key, 0) + 1
+        if seen[key] > 1:
+            raise TimingViolation(
+                "command-bus",
+                cmd.issue_cycle,
+                f"port {key[0]} issued two commands in one cycle",
+            )
+
+
+def _check_banks(trace: Sequence[Command], timing: TimingParams) -> None:
+    state: dict[tuple[int, int, int], dict] = {}
+    for cmd in trace:
+        if not (
+            cmd.kind in (CommandType.ACT, CommandType.PRE) or cmd.is_column()
+        ):
+            continue
+        key = (cmd.rank, cmd.bankgroup, cmd.bank)
+        s = state.setdefault(
+            key,
+            {"row": None, "act": None, "pre": None, "rd": None, "wr_end": None},
+        )
+        t = cmd.issue_cycle
+        if cmd.kind is CommandType.ACT:
+            if s["row"] is not None:
+                raise TimingViolation("ACT-open", t, f"bank {key} already open")
+            if s["pre"] is not None and t < s["pre"] + timing.tRP:
+                raise TimingViolation("tRP", t, f"bank {key}")
+            s["row"], s["act"] = cmd.row, t
+        elif cmd.kind is CommandType.PRE:
+            if s["row"] is None:
+                raise TimingViolation("PRE-closed", t, f"bank {key}")
+            if t < s["act"] + timing.tRAS:
+                raise TimingViolation("tRAS", t, f"bank {key}")
+            if s["rd"] is not None and t < s["rd"] + timing.tRTP:
+                raise TimingViolation("tRTP", t, f"bank {key}")
+            if s["wr_end"] is not None and t < s["wr_end"] + timing.tWR:
+                raise TimingViolation("tWR", t, f"bank {key}")
+            s["row"], s["pre"] = None, t
+        else:  # column access
+            if s["row"] != cmd.row:
+                raise TimingViolation(
+                    "row-match",
+                    t,
+                    f"bank {key}: access to row {cmd.row}, open {s['row']}",
+                )
+            if t < s["act"] + timing.tRCD:
+                raise TimingViolation("tRCD", t, f"bank {key}")
+            if cmd.is_read():
+                s["rd"] = t if s["rd"] is None else max(s["rd"], t)
+            if cmd.is_write():
+                end = _write_data_end(cmd, timing)
+                s["wr_end"] = (
+                    end if s["wr_end"] is None else max(s["wr_end"], end)
+                )
+
+
+def _check_bankgroups(
+    trace: Sequence[Command], timing: TimingParams, per_bank_pim: bool
+) -> None:
+    col_last: dict[tuple, int] = {}
+    alu_last: dict[tuple, int] = {}
+    wtr_ready: dict[tuple[int, int], int] = {}
+    for cmd in trace:
+        t = cmd.issue_cycle
+        gkey = (cmd.rank, cmd.bankgroup)
+        if cmd.is_column():
+            if cmd.is_internal_column() and per_bank_pim:
+                key = (cmd.rank, cmd.bankgroup, cmd.bank, "pb")
+            else:
+                key = gkey
+            prev = col_last.get(key)
+            if prev is not None and t < prev + timing.tCCD_L:
+                raise TimingViolation(
+                    "tCCD_L", t, f"bank group {key}, prev at {prev}"
+                )
+            col_last[key] = t
+            if cmd.is_read():
+                ready = wtr_ready.get(gkey)
+                if ready is not None and t < ready:
+                    raise TimingViolation(
+                        "tWTR_L", t, f"bank group {gkey}, ready at {ready}"
+                    )
+            if cmd.is_write():
+                end = _write_data_end(cmd, timing) + timing.tWTR_L
+                wtr_ready[gkey] = max(wtr_ready.get(gkey, 0), end)
+        elif cmd.is_pim_alu():
+            key = (
+                (cmd.rank, cmd.bankgroup, cmd.bank)
+                if per_bank_pim
+                else gkey
+            )
+            prev = alu_last.get(key)
+            if prev is not None and t < prev + timing.tPIM:
+                raise TimingViolation(
+                    "tPIM", t, f"PIM unit {key}, prev at {prev}"
+                )
+            alu_last[key] = t
+
+
+def _check_ranks(trace: Sequence[Command], timing: TimingParams) -> None:
+    acts: dict[int, list[tuple[int, int]]] = {}
+    ext_last: dict[int, int] = {}
+    wtr_ready: dict[int, int] = {}
+    for cmd in trace:
+        t = cmd.issue_cycle
+        if cmd.kind is CommandType.ACT:
+            history = acts.setdefault(cmd.rank, [])
+            if history:
+                prev_t, prev_bg = history[-1]
+                spacing = (
+                    timing.tRRD_L
+                    if prev_bg == cmd.bankgroup
+                    else timing.tRRD_S
+                )
+                if t < prev_t + spacing:
+                    raise TimingViolation("tRRD", t, f"rank {cmd.rank}")
+            if len(history) >= 4 and t < history[-4][0] + timing.tFAW:
+                raise TimingViolation("tFAW", t, f"rank {cmd.rank}")
+            history.append((t, cmd.bankgroup))
+        elif cmd.is_external_column():
+            prev = ext_last.get(cmd.rank)
+            if prev is not None and t < prev + timing.tCCD_S:
+                raise TimingViolation("tCCD_S", t, f"rank {cmd.rank}")
+            ext_last[cmd.rank] = t
+            if cmd.is_read():
+                ready = wtr_ready.get(cmd.rank)
+                if ready is not None and t < ready:
+                    raise TimingViolation("tWTR_S", t, f"rank {cmd.rank}")
+            if cmd.kind is CommandType.WR:
+                end = _write_data_end(cmd, timing) + timing.tWTR_S
+                wtr_ready[cmd.rank] = max(wtr_ready.get(cmd.rank, 0), end)
+
+
+def _check_data_bus(trace: Sequence[Command], timing: TimingParams) -> None:
+    last_end = None
+    last_kind = None
+    last_rank = None
+    bursts = sorted(
+        (
+            (*_data_interval(c, timing), c.kind, c.rank)
+            for c in trace
+            if c.is_external_column()
+        ),
+        key=lambda x: x[0],
+    )
+    for start, end, kind, rank in bursts:
+        if last_end is not None:
+            gap = 0
+            if kind is not last_kind:
+                gap = max(gap, 2)
+            if rank != last_rank:
+                gap = max(gap, timing.rank_switch_penalty)
+            if start < last_end + gap:
+                raise TimingViolation(
+                    "data-bus",
+                    start,
+                    f"burst at {start} overlaps previous ending {last_end} "
+                    f"(required gap {gap})",
+                )
+        last_end, last_kind, last_rank = end, kind, rank

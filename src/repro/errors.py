@@ -1,0 +1,49 @@
+"""Exception hierarchy for the GradPIM reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class AddressError(ReproError):
+    """An address could not be mapped or violates a placement invariant."""
+
+
+class TimingViolation(ReproError):
+    """A DRAM command was issued in violation of a JEDEC timing rule.
+
+    Raised by the independent trace validator (``repro.dram.validator``),
+    never by the scheduler itself: the scheduler is supposed to produce
+    legal traces by construction, and the validator exists to prove it.
+    """
+
+    def __init__(self, rule: str, cycle: int, detail: str = "") -> None:
+        self.rule = rule
+        self.cycle = cycle
+        self.detail = detail
+        message = f"{rule} violated at cycle {cycle}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class IsaError(ReproError):
+    """A GradPIM command could not be encoded or decoded."""
+
+
+class CompileError(ReproError):
+    """The kernel compiler could not lower an optimizer to PIM commands."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""

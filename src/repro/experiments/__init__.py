@@ -1,0 +1,45 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes a ``run_*`` function returning a structured result
+plus a ``render`` helper producing the text report; the benchmarks in
+``benchmarks/`` wrap these, and ``python -m repro.experiments.runner``
+executes the full evaluation in one go.
+"""
+
+from repro.experiments.fig2 import run_fig2, render_fig2
+from repro.experiments.fig9 import run_fig9, render_fig9
+from repro.experiments.fig10 import run_fig10, render_fig10
+from repro.experiments.fig11 import run_fig11, render_fig11
+from repro.experiments.fig12 import (
+    run_fig12a,
+    run_fig12b,
+    run_fig12c,
+    run_fig12d,
+    render_fig12,
+)
+from repro.experiments.fig13 import run_fig13, render_fig13
+from repro.experiments.fig14 import run_fig14, render_fig14
+from repro.experiments.tables import run_table2, run_table3, render_tables
+
+__all__ = [
+    "run_fig2",
+    "render_fig2",
+    "run_fig9",
+    "render_fig9",
+    "run_fig10",
+    "render_fig10",
+    "run_fig11",
+    "render_fig11",
+    "run_fig12a",
+    "run_fig12b",
+    "run_fig12c",
+    "run_fig12d",
+    "render_fig12",
+    "run_fig13",
+    "render_fig13",
+    "run_fig14",
+    "render_fig14",
+    "run_table2",
+    "run_table3",
+    "render_tables",
+]

@@ -1,0 +1,97 @@
+"""Shared experiment configuration and caching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import TimingParams, DDR4_2133
+from repro.models.zoo import PAPER_NETWORKS
+from repro.npu.config import NPUConfig, DEFAULT_NPU
+from repro.optim.precision import PrecisionConfig, PRECISION_8_32
+from repro.optim.sgd import MomentumSGD
+from repro.system.training import TrainingSimulator
+from repro.system.update_model import UpdatePhaseModel
+
+#: Default paper configuration: momentum SGD with weight decay, 8/32.
+DEFAULT_OPTIMIZER_FACTORY = lambda: MomentumSGD(  # noqa: E731
+    eta=0.01, alpha=0.9, weight_decay=1e-4
+)
+
+
+@dataclass
+class ExperimentContext:
+    """Shared substrate handles so experiments reuse cycle-sim caches."""
+
+    timing: TimingParams = DDR4_2133
+    geometry: DeviceGeometry = DEFAULT_GEOMETRY
+    npu: NPUConfig = DEFAULT_NPU
+    precision: PrecisionConfig = PRECISION_8_32
+    columns_per_stripe: int = 32
+    networks: tuple[str, ...] = PAPER_NETWORKS
+    _update_models: dict = field(default_factory=dict)
+
+    def optimizer(self):
+        """A fresh default optimizer instance."""
+        return DEFAULT_OPTIMIZER_FACTORY()
+
+    def update_model(
+        self, timing: Optional[TimingParams] = None
+    ) -> UpdatePhaseModel:
+        """Shared (cached) update model for a timing grade."""
+        timing = timing if timing is not None else self.timing
+        key = timing.name
+        model = self._update_models.get(key)
+        if model is None:
+            model = UpdatePhaseModel(
+                timing=timing,
+                geometry=self.geometry,
+                columns_per_stripe=self.columns_per_stripe,
+            )
+            self._update_models[key] = model
+        return model
+
+    def simulator(
+        self,
+        precision: Optional[PrecisionConfig] = None,
+        npu: Optional[NPUConfig] = None,
+        timing: Optional[TimingParams] = None,
+        designs=None,
+    ) -> TrainingSimulator:
+        """A training simulator wired to the shared update model."""
+        timing = timing if timing is not None else self.timing
+        kwargs = {}
+        if designs is not None:
+            kwargs["designs"] = designs
+        return TrainingSimulator(
+            optimizer=self.optimizer(),
+            precision=precision if precision is not None else self.precision,
+            timing=timing,
+            geometry=self.geometry,
+            npu=npu if npu is not None else self.npu,
+            update_model=self.update_model(timing),
+            **kwargs,
+        )
+
+
+#: Module-level default context shared by runs invoked without one.
+DEFAULT_CONTEXT = ExperimentContext()
+
+
+def fused_update_bytes(optimizer, precision: PrecisionConfig) -> float:
+    """Per-parameter off-chip bytes of the *fundamental* update traffic.
+
+    This is the Fig. 2 accounting: read the quantized gradient and each
+    high-precision master copy, write the master copies and the
+    re-quantized weights (18 B/param for 8/32 momentum SGD, 20 B/param
+    at full precision).
+    """
+    n_hp = 1 + len(optimizer.state_arrays())  # theta + state
+    if precision.is_full:
+        # read grad + masters, write masters
+        return precision.hp_bytes * (1 + 2 * n_hp)
+    return (
+        2 * precision.lp_bytes  # read q_grad, write q_theta
+        + 2 * n_hp * precision.hp_bytes  # read + write masters
+    )

@@ -1,0 +1,169 @@
+"""Export experiment results as JSON for external plotting.
+
+The text renderers are for eyes; this module writes the same series as
+machine-readable files (one per figure) so users can regenerate the
+paper's plots with their tool of choice::
+
+    python -m repro.experiments.export out_dir/
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.common import DEFAULT_CONTEXT, ExperimentContext
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11, FIG11_DESIGNS
+from repro.experiments.fig12 import (
+    run_fig12a,
+    run_fig12b,
+    run_fig12c,
+    run_fig12d,
+)
+from repro.experiments.fig13 import correlation, run_fig13
+from repro.experiments.fig14 import run_fig14
+from repro.system.design import DESIGN_ORDER
+
+
+def fig2_data(context: ExperimentContext) -> dict:
+    result = run_fig2(context)
+    return {
+        "full_rows": [dataclasses.asdict(r) for r in result.full_rows],
+        "mixed_rows": [
+            dataclasses.asdict(r) for r in result.mixed_rows
+        ],
+        "full_update_fraction": result.full_update_fraction,
+        "mixed_update_fraction": result.mixed_update_fraction,
+        "last_block_update_fraction":
+            result.last_block_update_fraction,
+    }
+
+
+def fig9_data(context: ExperimentContext) -> dict:
+    result = run_fig9(context)
+    out: dict = {"networks": {}, "geomeans": {}}
+    for name, r in result.networks.items():
+        out["networks"][name] = {
+            "blocks": {
+                label: {d.value: v for d, v in per_design.items()}
+                for label, per_design in r.normalized_blocks().items()
+            },
+            "totals": {
+                d.value: v for d, v in r.normalized_totals().items()
+            },
+        }
+    for d in DESIGN_ORDER[1:]:
+        out["geomeans"][d.value] = {
+            "overall": result.geomean_overall(d),
+            "update": result.geomean_update(d),
+        }
+    return out
+
+
+def fig10_data(context: ExperimentContext) -> dict:
+    result = run_fig10(context)
+    out: dict = {}
+    for name, per_design in result.energies.items():
+        base = per_design[list(per_design)[0]].total
+        out[name] = {
+            d.value: {
+                "total": e.total / base,
+                "act": e.act / base,
+                "rd": e.rd / base,
+                "wr": e.wr / base,
+                "pim": e.pim / base,
+            }
+            for d, e in per_design.items()
+        }
+    return out
+
+
+def fig11_data(context: ExperimentContext) -> dict:
+    result = run_fig11(context)
+    return {
+        "peak_internal_gbps": result.peak_internal / 1e9,
+        "peak_offchip_gbps": result.peak_offchip / 1e9,
+        "designs": {
+            d.value: {
+                "bandwidth_gbps": result.bandwidth(d) / 1e9,
+                "command_utilization": result.command_utilization(d),
+            }
+            for d in FIG11_DESIGNS
+        },
+    }
+
+
+def fig12_data(context: ExperimentContext) -> dict:
+    return {
+        "a": [dataclasses.asdict(p) for p in run_fig12a(context)],
+        "b": run_fig12b(context),
+        "c": run_fig12c(context),
+        "d": run_fig12d(context),
+    }
+
+
+def fig13_data(context: ExperimentContext) -> dict:
+    points = run_fig13(context)
+    return {
+        "points": [dataclasses.asdict(p) for p in points],
+        "correlation": correlation(points),
+    }
+
+
+def fig14_data(context: ExperimentContext) -> dict:
+    results = run_fig14(context)
+    return {
+        name: {
+            "baseline": dataclasses.asdict(r.baseline),
+            "gradpim": dataclasses.asdict(r.gradpim),
+            "speedup": r.speedup,
+        }
+        for name, r in results.items()
+    }
+
+
+EXPORTERS = {
+    "fig2": fig2_data,
+    "fig9": fig9_data,
+    "fig10": fig10_data,
+    "fig11": fig11_data,
+    "fig12": fig12_data,
+    "fig13": fig13_data,
+    "fig14": fig14_data,
+}
+
+
+def export_all(
+    out_dir: str | Path,
+    context: ExperimentContext = DEFAULT_CONTEXT,
+    figures: tuple[str, ...] = tuple(EXPORTERS),
+) -> list[Path]:
+    """Write ``<figure>.json`` files; returns the written paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in figures:
+        data = EXPORTERS[name](context)
+        path = out_dir / f"{name}.json"
+        path.write_text(json.dumps(data, indent=2, sort_keys=True))
+        written.append(path)
+    return written
+
+
+def main(argv: list[str]) -> int:
+    """CLI: export every figure's data to the given directory."""
+    if len(argv) != 1:
+        print("usage: python -m repro.experiments.export <out_dir>")
+        return 2
+    for path in export_all(argv[0]):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

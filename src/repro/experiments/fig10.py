@@ -1,0 +1,81 @@
+"""Fig. 10: memory energy per network per design, ACT/RD/WR/PIM split.
+
+Paper observations reproduced: the saving tracks the speedup (it comes
+from removing off-chip transfers); ACT energy is nearly constant across
+designs; AoS variants pay extra RD/WR in Fwd/Bwd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.power import EnergyBreakdown
+from repro.experiments.common import DEFAULT_CONTEXT, ExperimentContext
+from repro.models.zoo import build_network
+from repro.system.design import DesignPoint, DESIGN_ORDER
+from repro.system.energy import EnergyAccountant
+from repro.system.results import format_table
+
+
+@dataclass
+class Fig10Result:
+    """Energy breakdowns, absolute joules plus baseline-normalized."""
+
+    energies: dict[str, dict[DesignPoint, EnergyBreakdown]]
+
+    def normalized(self, network: str) -> dict[DesignPoint, float]:
+        base = self.energies[network][DesignPoint.BASELINE].total
+        return {
+            d: e.total / base for d, e in self.energies[network].items()
+        }
+
+
+def run_fig10(
+    context: ExperimentContext = DEFAULT_CONTEXT,
+) -> Fig10Result:
+    """Price every network's training step on every design."""
+    simulator = context.simulator()
+    accountant = EnergyAccountant(
+        timing=context.timing,
+        geometry=context.geometry,
+        npu=context.npu,
+        precision=context.precision,
+    )
+    energies: dict[str, dict[DesignPoint, EnergyBreakdown]] = {}
+    for name in context.networks:
+        network = build_network(name)
+        result = simulator.simulate(network)
+        energies[name] = {
+            d: accountant.step_energy(
+                network, d, result.profiles[d], result.totals[d]
+            )
+            for d in DESIGN_ORDER
+        }
+    return Fig10Result(energies=energies)
+
+
+def render_fig10(result: Fig10Result) -> str:
+    """Text rendering: normalized energy with component split."""
+    out = ["Fig. 10 — memory energy, normalized to baseline"]
+    for name, per_design in result.energies.items():
+        base = per_design[DesignPoint.BASELINE].total
+        rows = []
+        for d in DESIGN_ORDER:
+            e = per_design[d]
+            rows.append(
+                [
+                    d.value,
+                    e.total / base,
+                    e.act / base,
+                    e.rd / base,
+                    e.wr / base,
+                    e.pim / base,
+                ]
+            )
+        out.append(f"\n[{name}]")
+        out.append(
+            format_table(
+                ["design", "total", "ACT", "RD", "WR", "PIM"], rows
+            )
+        )
+    return "\n".join(out)

@@ -1,0 +1,188 @@
+"""Fig. 12: sensitivity studies.
+
+(a) speedup vs operations/bandwidth ratio (MAC array size x memory
+    grade, AlphaGo Zero);
+(b) speedup vs minibatch size (16/32/64);
+(c) speedup vs precision mix (8/32, 16/32, 8/16, 32/32);
+(d) energy vs precision mix.
+
+Paper reference points: (a) 20-70 % gains over the NPU range, shrinking
+below 20 % toward GPU-like ratios; (b) smaller batches gain more;
+(c) 1.39x / 1.43x / 1.26x for 8/16, 16/32, 32/32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DDR4_2133, DDR4_3200, HBM_LIKE
+from repro.experiments.common import DEFAULT_CONTEXT, ExperimentContext
+from repro.models.zoo import build_network
+from repro.optim.precision import PRECISIONS
+from repro.system.design import DesignPoint
+from repro.system.energy import EnergyAccountant
+from repro.system.results import format_table, geomean_speedup
+
+#: MAC-array sizes of the Fig. 12a sweep.
+ARRAY_SIZES = (64, 128, 256, 512)
+#: Memory grades of the Fig. 12a sweep.
+MEMORY_GRADES = (DDR4_2133, DDR4_3200, HBM_LIKE)
+#: Minibatch sizes of Fig. 12b.
+BATCH_SIZES = (16, 32, 64)
+
+#: The design whose speedup the sensitivity plots track.
+DESIGN = DesignPoint.GRADPIM_BUFFERED
+_SENSITIVITY_DESIGNS = (DesignPoint.BASELINE, DESIGN)
+
+
+@dataclass(frozen=True)
+class Fig12aPoint:
+    """One marker of Fig. 12a."""
+
+    array: int
+    memory: str
+    ops_per_bandwidth: float
+    speedup: float
+
+
+def run_fig12a(
+    context: ExperimentContext = DEFAULT_CONTEXT,
+    network: str = "AlphaGoZero",
+) -> list[Fig12aPoint]:
+    """Sweep MAC array size x memory grade on AlphaGo Zero."""
+    points = []
+    for grade in MEMORY_GRADES:
+        for size in ARRAY_SIZES:
+            npu = context.npu.with_array(size, size)
+            sim = context.simulator(
+                npu=npu, timing=grade, designs=_SENSITIVITY_DESIGNS
+            )
+            result = sim.simulate(network)
+            points.append(
+                Fig12aPoint(
+                    array=size,
+                    memory=grade.name,
+                    ops_per_bandwidth=npu.ops_per_byte(
+                        grade.peak_offchip_bandwidth()
+                    ),
+                    speedup=result.overall_speedup(DESIGN),
+                )
+            )
+    return points
+
+
+def run_fig12b(
+    context: ExperimentContext = DEFAULT_CONTEXT,
+) -> dict[str, dict[int, float]]:
+    """Speedup per network per minibatch size."""
+    sim = context.simulator(designs=_SENSITIVITY_DESIGNS)
+    out: dict[str, dict[int, float]] = {}
+    for name in context.networks:
+        out[name] = {}
+        for batch in BATCH_SIZES:
+            network = build_network(name, batch=batch)
+            out[name][batch] = sim.simulate(network).overall_speedup(
+                DESIGN
+            )
+    return out
+
+
+def run_fig12c(
+    context: ExperimentContext = DEFAULT_CONTEXT,
+) -> dict[str, dict[str, float]]:
+    """Speedup per network per precision mix."""
+    out: dict[str, dict[str, float]] = {}
+    for pname, precision in PRECISIONS.items():
+        sim = context.simulator(
+            precision=precision, designs=_SENSITIVITY_DESIGNS
+        )
+        for name in context.networks:
+            out.setdefault(name, {})[pname] = sim.simulate(
+                name
+            ).overall_speedup(DESIGN)
+    return out
+
+
+def run_fig12d(
+    context: ExperimentContext = DEFAULT_CONTEXT,
+) -> dict[str, dict[str, float]]:
+    """GradPIM energy relative to baseline per precision mix."""
+    out: dict[str, dict[str, float]] = {}
+    for pname, precision in PRECISIONS.items():
+        sim = context.simulator(
+            precision=precision, designs=_SENSITIVITY_DESIGNS
+        )
+        accountant = EnergyAccountant(
+            timing=context.timing,
+            geometry=context.geometry,
+            npu=context.npu,
+            precision=precision,
+        )
+        for name in context.networks:
+            network = build_network(name)
+            result = sim.simulate(network)
+            base = accountant.step_energy(
+                network,
+                DesignPoint.BASELINE,
+                result.profiles[DesignPoint.BASELINE],
+                result.totals[DesignPoint.BASELINE],
+            )
+            pim = accountant.step_energy(
+                network, DESIGN, result.profiles[DESIGN],
+                result.totals[DESIGN],
+            )
+            out.setdefault(name, {})[pname] = pim.total / base.total
+    return out
+
+
+def render_fig12(
+    a: list[Fig12aPoint],
+    b: dict[str, dict[int, float]],
+    c: dict[str, dict[str, float]],
+    d: dict[str, dict[str, float]],
+) -> str:
+    """Text rendering of all four panels."""
+    out = ["Fig. 12a — speedup vs operations/bandwidth (AlphaGoZero)"]
+    out.append(
+        format_table(
+            ["memory", "array", "ops/bw", "speedup (%)"],
+            [
+                (p.memory, f"{p.array}x{p.array}", p.ops_per_bandwidth,
+                 p.speedup * 100.0)
+                for p in a
+            ],
+        )
+    )
+    out.append("\nFig. 12b — speedup (%) vs minibatch size")
+    batches = sorted(next(iter(b.values())))
+    out.append(
+        format_table(
+            ["network"] + [str(x) for x in batches],
+            [
+                [name] + [b[name][x] * 100.0 for x in batches]
+                for name in b
+            ],
+        )
+    )
+    out.append("\nFig. 12c — speedup (%) vs precision mix")
+    mixes = list(next(iter(c.values())))
+    out.append(
+        format_table(
+            ["network"] + mixes,
+            [[name] + [c[name][m] * 100.0 for m in mixes] for name in c],
+        )
+    )
+    for mix in mixes:
+        gm = geomean_speedup({n: c[n][mix] for n in c})
+        out.append(f"  geomean {mix}: {gm:.2f}x")
+    out.append(
+        "  (paper: 8/32 1.94x, 8/16 1.39x, 16/32 1.43x, 32/32 1.26x)"
+    )
+    out.append("\nFig. 12d — energy over baseline (%) vs precision mix")
+    out.append(
+        format_table(
+            ["network"] + mixes,
+            [[name] + [d[name][m] * 100.0 for m in mixes] for name in d],
+        )
+    )
+    return "\n".join(out)

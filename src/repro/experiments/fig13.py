@@ -1,0 +1,99 @@
+"""Fig. 13: per-layer speedup vs weight/activation ratio (log x).
+
+The paper's observation: speedup correlates with the weight/activation
+ratio — late convolutional layers and fully-connected layers (high
+ratio) gain the most because their update phase dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log10
+
+from repro.experiments.common import DEFAULT_CONTEXT, ExperimentContext
+from repro.system.design import DesignPoint
+from repro.system.results import format_table
+
+
+@dataclass(frozen=True)
+class Fig13Point:
+    """One scatter point."""
+
+    network: str
+    layer: str
+    weight_activation_ratio: float
+    speedup: float
+
+
+def run_fig13(
+    context: ExperimentContext = DEFAULT_CONTEXT,
+    design: DesignPoint = DesignPoint.GRADPIM_BUFFERED,
+) -> list[Fig13Point]:
+    """Collect the per-layer scatter across all networks."""
+    simulator = context.simulator(
+        designs=(DesignPoint.BASELINE, design)
+    )
+    points = []
+    for name in context.networks:
+        for layer, ratio, speedup in simulator.layer_speedups(
+            name, design
+        ):
+            points.append(
+                Fig13Point(
+                    network=name,
+                    layer=layer,
+                    weight_activation_ratio=ratio,
+                    speedup=speedup,
+                )
+            )
+    return points
+
+
+def correlation(points: list[Fig13Point]) -> float:
+    """Pearson correlation between log10(ratio) and speedup.
+
+    The paper claims "a clear correlation"; this quantifies it.
+    """
+    xs = [log10(p.weight_activation_ratio) for p in points]
+    ys = [p.speedup for p in points]
+    n = len(points)
+    mx, my = sum(xs) / n, sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    if sxx == 0 or syy == 0:
+        return 0.0
+    return sxy / (sxx * syy) ** 0.5
+
+
+def render_fig13(points: list[Fig13Point]) -> str:
+    """Text rendering: extremes per network plus the correlation."""
+    out = ["Fig. 13 — per-layer speedup vs weight/activation ratio"]
+    by_network: dict[str, list[Fig13Point]] = {}
+    for p in points:
+        by_network.setdefault(p.network, []).append(p)
+    rows = []
+    for name, pts in by_network.items():
+        lo = min(pts, key=lambda p: p.weight_activation_ratio)
+        hi = max(pts, key=lambda p: p.weight_activation_ratio)
+        rows.append(
+            [
+                name,
+                f"{lo.layer} (w/a={lo.weight_activation_ratio:.3f})",
+                f"{lo.speedup * 100:.0f}%",
+                f"{hi.layer} (w/a={hi.weight_activation_ratio:.1f})",
+                f"{hi.speedup * 100:.0f}%",
+            ]
+        )
+    out.append(
+        format_table(
+            ["network", "lowest-ratio layer", "speedup",
+             "highest-ratio layer", "speedup"],
+            rows,
+        )
+    )
+    out.append(
+        f"correlation(log10 ratio, speedup) = {correlation(points):.3f} "
+        "(paper: 'a clear correlation')"
+    )
+    return "\n".join(out)

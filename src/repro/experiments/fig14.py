@@ -1,0 +1,61 @@
+"""Fig. 14: distributed data-parallel training, 4 nodes at 100 Gb/s.
+
+Paper headline: GradPIM's distributed performance is "almost 2x better
+than the baseline" because the update phase does not parallelize with
+data parallelism while forward/backward shrink with the per-node batch.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import DEFAULT_CONTEXT, ExperimentContext
+from repro.system.design import DesignPoint
+from repro.system.distributed import DistributedModel, DistributedResult
+from repro.system.results import format_table, geomean_speedup
+
+
+def run_fig14(
+    context: ExperimentContext = DEFAULT_CONTEXT,
+    nodes: int = 4,
+) -> dict[str, DistributedResult]:
+    """Simulate the distributed step for every network."""
+    simulator = context.simulator(
+        designs=(DesignPoint.BASELINE, DesignPoint.GRADPIM_BUFFERED)
+    )
+    model = DistributedModel(simulator, nodes=nodes)
+    return {name: model.simulate(name) for name in context.networks}
+
+
+def render_fig14(results: dict[str, DistributedResult]) -> str:
+    """Text rendering: the stacked bars, baseline-normalized."""
+    rows = []
+    for name, r in results.items():
+        base = r.baseline.total
+        rows.append(
+            [
+                name,
+                r.baseline.comm / base,
+                r.baseline.fwd_bwd / base,
+                r.baseline.update / base,
+                r.gradpim.comm / base,
+                r.gradpim.fwd_bwd / base,
+                r.gradpim.update / base,
+                f"{r.speedup:.2f}x",
+            ]
+        )
+    gm = geomean_speedup({n: r.speedup for n, r in results.items()})
+    return "\n".join(
+        [
+            "Fig. 14 — distributed training (4 nodes), normalized to "
+            "baseline",
+            format_table(
+                [
+                    "network",
+                    "base comm", "base fw/bw", "base pup",
+                    "pim comm", "pim fw/bw", "pim pup",
+                    "speedup",
+                ],
+                rows,
+            ),
+            f"geomean speedup: {gm:.2f}x (paper: ~2x)",
+        ]
+    )

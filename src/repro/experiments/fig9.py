@@ -1,0 +1,87 @@
+"""Fig. 9: normalized execution time per block, 5 networks x 6 designs.
+
+Paper headline geomeans: GradPIM-Direct 1.38x, TensorDIMM 1.36x,
+GradPIM-Buffered 1.94x overall; 2.25x / 8.23x on the update phase for
+the Direct / Buffered variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import DEFAULT_CONTEXT, ExperimentContext
+from repro.system.design import DesignPoint, DESIGN_ORDER
+from repro.system.results import format_table, geomean_speedup
+from repro.system.training import NetworkResult
+
+
+@dataclass
+class Fig9Result:
+    """Per-network results plus the cross-network summaries."""
+
+    networks: dict[str, NetworkResult]
+
+    def overall_speedups(self, design: DesignPoint) -> dict[str, float]:
+        return {
+            name: r.overall_speedup(design)
+            for name, r in self.networks.items()
+        }
+
+    def update_speedups(self, design: DesignPoint) -> dict[str, float]:
+        return {
+            name: r.update_speedup(design)
+            for name, r in self.networks.items()
+        }
+
+    def geomean_overall(self, design: DesignPoint) -> float:
+        return geomean_speedup(self.overall_speedups(design))
+
+    def geomean_update(self, design: DesignPoint) -> float:
+        return geomean_speedup(self.update_speedups(design))
+
+
+def run_fig9(context: ExperimentContext = DEFAULT_CONTEXT) -> Fig9Result:
+    """Simulate every network on every design point."""
+    simulator = context.simulator()
+    return Fig9Result(
+        networks={
+            name: simulator.simulate(name) for name in context.networks
+        }
+    )
+
+
+def render_fig9(result: Fig9Result) -> str:
+    """Text rendering: normalized blocks per network plus geomeans."""
+    out = ["Fig. 9 — normalized execution time (filled part = update)"]
+    for name, r in result.networks.items():
+        out.append(f"\n[{name}]")
+        norm = r.normalized_blocks()
+        totals = r.normalized_totals()
+        rows = []
+        for label, per_design in norm.items():
+            rows.append(
+                [label] + [per_design[d] for d in DESIGN_ORDER]
+            )
+        rows.append(["Total"] + [totals[d] for d in DESIGN_ORDER])
+        out.append(
+            format_table(
+                ["block"] + [d.value for d in DESIGN_ORDER], rows
+            )
+        )
+    out.append("\ngeomean speedups vs paper:")
+    paper = {
+        DesignPoint.GRADPIM_DIRECT: (1.38, 2.25),
+        DesignPoint.TENSORDIMM: (1.36, None),
+        DesignPoint.GRADPIM_BUFFERED: (1.94, 8.23),
+    }
+    for design, (p_overall, p_update) in paper.items():
+        measured = result.geomean_overall(design)
+        upd = result.geomean_update(design)
+        line = (
+            f"  {design.value}: overall {measured:.2f}x "
+            f"(paper {p_overall:.2f}x), update {upd:.2f}x"
+        )
+        if p_update:
+            line += f" (paper {p_update:.2f}x)"
+        out.append(line)
+    return "\n".join(out)

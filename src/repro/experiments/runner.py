@@ -1,0 +1,67 @@
+"""Run the full evaluation: every table and figure, one report.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner fig9 fig11 # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.common import DEFAULT_CONTEXT
+from repro.experiments.fig2 import render_fig2, run_fig2
+from repro.experiments.fig9 import render_fig9, run_fig9
+from repro.experiments.fig10 import render_fig10, run_fig10
+from repro.experiments.fig11 import render_fig11, run_fig11
+from repro.experiments.fig12 import (
+    render_fig12,
+    run_fig12a,
+    run_fig12b,
+    run_fig12c,
+    run_fig12d,
+)
+from repro.experiments.fig13 import render_fig13, run_fig13
+from repro.experiments.fig14 import render_fig14, run_fig14
+from repro.experiments.tables import render_tables
+
+
+def _run_fig12() -> str:
+    ctx = DEFAULT_CONTEXT
+    return render_fig12(
+        run_fig12a(ctx), run_fig12b(ctx), run_fig12c(ctx), run_fig12d(ctx)
+    )
+
+
+EXPERIMENTS = {
+    "tables": render_tables,
+    "fig2": lambda: render_fig2(run_fig2(DEFAULT_CONTEXT)),
+    "fig9": lambda: render_fig9(run_fig9(DEFAULT_CONTEXT)),
+    "fig10": lambda: render_fig10(run_fig10(DEFAULT_CONTEXT)),
+    "fig11": lambda: render_fig11(run_fig11(DEFAULT_CONTEXT)),
+    "fig12": _run_fig12,
+    "fig13": lambda: render_fig13(run_fig13(DEFAULT_CONTEXT)),
+    "fig14": lambda: render_fig14(run_fig14(DEFAULT_CONTEXT)),
+}
+
+
+def main(argv: list[str]) -> int:
+    """Entry point: run the selected (or all) experiments."""
+    names = argv or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from "
+              f"{list(EXPERIMENTS)}")
+        return 2
+    for name in names:
+        start = time.time()
+        print("=" * 72)
+        print(EXPERIMENTS[name]())
+        print(f"[{name} done in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,67 @@
+"""Tables II and III: configuration constants reported as the paper does."""
+
+from __future__ import annotations
+
+from repro.dram.currents import DDR4_2133_CURRENTS, IddCurrents
+from repro.dram.timing import DDR4_2133, TimingParams
+from repro.pim.unit import (
+    LayoutEntry,
+    PIM_LAYOUT,
+    PIM_LAYOUT_TOTAL,
+    PIM_AREA_OVERHEAD_FRACTION,
+)
+from repro.system.results import format_table
+
+
+def run_table2() -> tuple[TimingParams, IddCurrents]:
+    """Table II: the DRAM parameters the whole evaluation uses."""
+    return DDR4_2133, DDR4_2133_CURRENTS
+
+
+def run_table3() -> tuple[tuple[LayoutEntry, ...], LayoutEntry]:
+    """Table III: GradPIM unit layout results (from the paper)."""
+    return PIM_LAYOUT, PIM_LAYOUT_TOTAL
+
+
+def render_tables() -> str:
+    """Render both tables."""
+    timing, currents = run_table2()
+    modules, total = run_table3()
+    timing_rows = [
+        ("tCK", f"{timing.tCK_ns} ns"),
+        ("tCL", timing.tCL),
+        ("tRCD", timing.tRCD),
+        ("tRP", timing.tRP),
+        ("tRAS", timing.tRAS),
+        ("tCCD_L", timing.tCCD_L),
+        ("tCCD_S", timing.tCCD_S),
+        ("tPIM", timing.tPIM),
+    ]
+    current_rows = [
+        ("Vdd", f"{currents.vdd} V"),
+        ("IDD0", currents.idd0),
+        ("IDD2P", currents.idd2p),
+        ("IDD2N", currents.idd2n),
+        ("IDD3P", currents.idd3p),
+        ("IDD3N", currents.idd3n),
+        ("IDD4W", currents.idd4w),
+        ("IDD4R", currents.idd4r),
+        ("IDDpre", currents.iddpre),
+    ]
+    layout_rows = [
+        (e.module, e.area_um2, e.power_mw) for e in modules
+    ] + [(total.module, total.area_um2, total.power_mw)]
+    return "\n".join(
+        [
+            "Table II — DRAM parameters (DDR4-2133)",
+            format_table(["timing", "value"], timing_rows),
+            "",
+            format_table(["current (mA)", "value"], current_rows),
+            "",
+            "Table III — GradPIM unit layout",
+            format_table(["module", "area (um^2)", "power (mW)"],
+                         layout_rows),
+            f"area overhead: {PIM_AREA_OVERHEAD_FRACTION:.2%} of an x8 "
+            "8Gb DDR4 device (paper: 0.01%)",
+        ]
+    )

@@ -1,0 +1,29 @@
+"""Kernel generation: optimizers -> GradPIM / baseline command streams.
+
+* :mod:`repro.kernels.layout` — places each parameter array of a recipe
+  into banks per the paper's Fig. 7 rules (same bank group, different
+  banks, quarter-row packing for quantized copies).
+* :mod:`repro.kernels.compiler` — lowers an optimizer recipe plus a
+  precision mix into the dequantize / update / quantize command phases of
+  Fig. 5, with register allocation and dependency edges.
+* :mod:`repro.kernels.streams` — the no-PIM baseline: the DDR RD/WR
+  stream an NPU issues to do the same update over the off-chip bus.
+"""
+
+from repro.kernels.layout import UpdateLayout, ArrayPlacement
+from repro.kernels.compiler import (
+    UpdateKernelCompiler,
+    CompiledKernel,
+    GRAD_ACCUMULATE,
+)
+from repro.kernels.streams import BaselineStreamGenerator, BaselineStream
+
+__all__ = [
+    "UpdateLayout",
+    "ArrayPlacement",
+    "UpdateKernelCompiler",
+    "CompiledKernel",
+    "GRAD_ACCUMULATE",
+    "BaselineStreamGenerator",
+    "BaselineStream",
+]

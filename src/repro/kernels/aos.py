@@ -1,0 +1,198 @@
+"""AoS (array-of-structures) update kernels (paper §V-B, §VI-B).
+
+In the AoS placement the per-parameter working set — theta, state,
+gradient and the quantized copies — is packed into one structure stored
+contiguously, so a single open row in a single bank holds everything an
+update needs. That removes the multi-bank requirement (the reason the
+per-bank ``AoS-PB`` variant is only possible with AoS) at two costs the
+paper quantifies:
+
+* every Fwd/Bwd burst that wants one field drags the whole structure
+  through the bus — the 4x effective-bandwidth loss applied by
+  :class:`repro.models.traffic.TrafficModel`;
+* the update kernel operates on structure columns with lane-local ALU
+  operations (this is a timing model only: the lane-shuffling ALU is
+  hypothetical hardware the paper posits for the comparison, so there
+  is no functional semantics to verify here).
+
+Kernel shape per structure column: one scaled read, the recipe's ALU
+operations plus two lane-marshalling operations, one writeback.
+Consecutive columns alternate temporary registers so the ALU pipeline
+overlaps the bank accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.errors import CompileError
+from repro.optim.base import Lincomb, Mul, RsqrtMul, UpdateRecipe
+from repro.optim.precision import PrecisionConfig, PRECISION_8_32
+
+#: Extra ALU operations per column for gathering/scattering lanes of a
+#: structure into operand positions.
+LANE_MARSHALLING_OPS = 2
+
+
+@dataclass
+class AoSKernel:
+    """A generated AoS update stream."""
+
+    commands: list[Command]
+    params_per_column: int
+    n_columns: int  # per unit
+    n_units: int
+    structure_bytes: int
+
+    @property
+    def total_params(self) -> int:
+        return self.params_per_column * self.n_columns * self.n_units
+
+    @property
+    def total_commands(self) -> int:
+        return len(self.commands)
+
+
+def structure_bytes(optimizer, precision: PrecisionConfig) -> int:
+    """Bytes of one parameter's structure, padded to a power-of-two
+    stride so structures never straddle columns."""
+    n_hp = 2 + len(optimizer.state_arrays())  # theta + grad + state
+    raw = n_hp * precision.hp_bytes
+    if not precision.is_full:
+        raw += 2 * precision.lp_bytes  # q_theta + q_grad
+    stride = 1
+    while stride < raw:
+        stride *= 2
+    return stride
+
+
+def alu_ops_per_column(recipe: UpdateRecipe) -> int:
+    """ALU operations one structure column needs."""
+    ops = LANE_MARSHALLING_OPS
+    for op in recipe.all_ops():
+        if isinstance(op, Lincomb):
+            ops += len(op.terms) - 1
+        elif isinstance(op, Mul):
+            ops += 1
+        elif isinstance(op, RsqrtMul):
+            ops += 2
+        else:  # pragma: no cover - closed union
+            raise CompileError(f"unknown op {op!r}")
+    return ops
+
+
+class AoSKernelGenerator:
+    """Generates the AoS / AoS-PB update command streams."""
+
+    def __init__(
+        self,
+        geometry: DeviceGeometry = DEFAULT_GEOMETRY,
+        per_bank: bool = False,
+    ) -> None:
+        self.geometry = geometry
+        self.per_bank = per_bank
+
+    def generate(
+        self,
+        optimizer,
+        precision: PrecisionConfig = PRECISION_8_32,
+        columns_per_unit: int = 32,
+    ) -> AoSKernel:
+        """Build a steady-state sample: every unit streams one row."""
+        geom = self.geometry
+        if not 1 <= columns_per_unit <= geom.columns_per_row:
+            raise CompileError(
+                f"columns_per_unit must be in [1, {geom.columns_per_row}]"
+            )
+        recipe = optimizer.recipe()
+        n_alu = alu_ops_per_column(recipe)
+        struct = structure_bytes(optimizer, precision)
+        params_per_col = geom.column_bytes // struct
+        if params_per_col < 1:
+            raise CompileError(
+                f"structure of {struct} B exceeds a {geom.column_bytes} B "
+                "column"
+            )
+
+        banks = range(geom.banks_per_group) if self.per_bank else (0,)
+        units = [
+            (rank, bg, bank)
+            for rank in range(geom.ranks)
+            for bg in range(geom.bankgroups)
+            for bank in banks
+        ]
+
+        commands: list[Command] = []
+        acts: dict[tuple[int, int, int], int] = {}
+        # last ALU index per (unit, reg): the WAR edge for reloading.
+        reg_last: dict[tuple[tuple[int, int, int], int], int] = {}
+        accesses: dict[tuple[int, int, int], list[int]] = {
+            u: [] for u in units
+        }
+
+        for unit in units:
+            rank, bg, bank = unit
+            commands.append(
+                Command(
+                    CommandType.ACT, rank=rank, bankgroup=bg, bank=bank,
+                    row=0, tag="act",
+                )
+            )
+            acts[unit] = len(commands) - 1
+
+        for col in range(columns_per_unit):
+            for unit in units:
+                rank, bg, bank = unit
+                reg = col % 2
+                deps = [acts[unit]]
+                if (unit, reg) in reg_last:
+                    deps.append(reg_last[(unit, reg)])
+                commands.append(
+                    Command(
+                        CommandType.SCALED_READ,
+                        rank=rank, bankgroup=bg, bank=bank,
+                        row=0, col=col, dst_reg=reg,
+                        deps=tuple(deps), tag=f"sr:{col}",
+                    )
+                )
+                accesses[unit].append(len(commands) - 1)
+                prev = len(commands) - 1
+                for a in range(n_alu):
+                    commands.append(
+                        Command(
+                            CommandType.PIM_ADD,
+                            rank=rank, bankgroup=bg, bank=bank,
+                            dst_reg=reg, src_reg=reg,
+                            deps=(prev,), tag=f"alu:{col}:{a}",
+                        )
+                    )
+                    prev = len(commands) - 1
+                commands.append(
+                    Command(
+                        CommandType.WRITEBACK,
+                        rank=rank, bankgroup=bg, bank=bank,
+                        row=0, col=col, src_reg=reg,
+                        deps=(prev, acts[unit]), tag=f"wb:{col}",
+                    )
+                )
+                accesses[unit].append(len(commands) - 1)
+                reg_last[(unit, reg)] = len(commands) - 1
+
+        for unit in units:
+            rank, bg, bank = unit
+            commands.append(
+                Command(
+                    CommandType.PRE, rank=rank, bankgroup=bg, bank=bank,
+                    row=0, deps=tuple(accesses[unit]), tag="pre-final",
+                )
+            )
+
+        return AoSKernel(
+            commands=commands,
+            params_per_column=params_per_col,
+            n_columns=columns_per_unit,
+            n_units=len(units),
+            structure_bytes=struct,
+        )

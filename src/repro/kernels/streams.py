@@ -1,0 +1,344 @@
+"""Baseline (no-PIM) update-phase DDR streams (paper §VI-B "Baseline").
+
+The baseline NPU owns the update: per high-precision column it reads the
+quantized gradient, the master weights and every optimizer-state array
+over the off-chip bus, computes on its dedicated 32-bit update units,
+and writes the master copies plus the re-quantized weights back. This
+module generates that RD/WR command stream so the same cycle-level
+scheduler measures baseline effective bandwidth — including read/write
+turnaround and row behaviour — instead of assuming a constant.
+
+The identical stream also models TensorDIMM's buffer-chip update
+(§VI-B): same accesses, but scheduled with per-rank command generation
+and per-DIMM private data buses (rank-level parallelism), which is
+exactly how the comparator differs architecturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.errors import CompileError
+from repro.kernels.layout import UpdateLayout, ColumnCoords
+from repro.optim.precision import PrecisionConfig, PRECISION_8_32
+from repro.units import ceil_div
+
+
+@dataclass
+class BaselineStream:
+    """A generated baseline update stream."""
+
+    commands: list[Command]
+    layout: UpdateLayout
+    precision: PrecisionConfig
+    n_hp_columns: int
+    reads: int
+    writes: int
+
+    @property
+    def total_commands(self) -> int:
+        return len(self.commands)
+
+    def offchip_bytes(self, geometry: DeviceGeometry) -> int:
+        """Bytes this update moves over the off-chip bus."""
+        return (self.reads + self.writes) * geometry.column_bytes
+
+
+class BaselineStreamGenerator:
+    """Generates the no-PIM update stream for an optimizer + precision."""
+
+    def __init__(self, geometry: DeviceGeometry = DEFAULT_GEOMETRY) -> None:
+        self.geometry = geometry
+
+    # ------------------------------------------------------------------
+    def arrays(
+        self, optimizer, precision: PrecisionConfig, fused: bool
+    ) -> tuple[str, ...]:
+        """Names of every DRAM-resident array the baseline touches."""
+        states = tuple(optimizer.state_arrays())
+        if precision.is_full:
+            return ("grad", "theta") + states
+        if fused:
+            return ("q_grad", "theta") + states + ("q_theta",)
+        return ("q_grad", "grad", "theta") + states + ("q_theta",)
+
+    def generate(
+        self,
+        optimizer,
+        precision: PrecisionConfig = PRECISION_8_32,
+        n_params: int | None = None,
+        columns_per_stripe: int | None = None,
+        fused: bool = False,
+    ) -> BaselineStream:
+        """Build the command stream (sampled or full-array).
+
+        The default (``fused=False``) mirrors the paper's baseline NPU,
+        whose "dedicated 32 bit modules ... including adders and
+        quantize/dequantize units" execute the same three memory-resident
+        phases GradPIM does, only over the off-chip bus: dequantize
+        (read q_grad, write grad), update (read grad/theta/state, write
+        theta/state), quantize (read theta, write q_theta).
+
+        ``fused=True`` is the ablation variant: an idealized NPU that
+        converts precision on the fly and never materializes the
+        high-precision gradient in DRAM, saving 8 bytes/parameter.
+        """
+        all_arrays = self.arrays(optimizer, precision, fused)
+        hp_arrays = [a for a in all_arrays if not a.startswith("q_")]
+        q_arrays = [a for a in all_arrays if a.startswith("q_")]
+        layout = self._build_layout(hp_arrays, q_arrays, precision,
+                                    n_params, columns_per_stripe, fused)
+        columns = self._column_plan(precision, n_params, columns_per_stripe)
+
+        ratio = precision.ratio if not precision.is_full else 1
+        states = tuple(optimizer.state_arrays())
+        emitter = _StreamEmitter(self.geometry, layout)
+
+        if not precision.is_full and not fused:
+            # Phase 1 — dequantize: q_grad -> grad over the bus.
+            for stripe, hp_cols in _round_robin(columns, ratio):
+                lp_col = hp_cols[0] // ratio
+                rd = emitter.access(
+                    CommandType.RD, "q_grad", lp_col, packed=True
+                )
+                for j in hp_cols:
+                    emitter.access(CommandType.WR, "grad", j, deps=[rd])
+
+        # Phase 2 — update: read operands, write master copies.
+        grad_name = (
+            "q_grad" if (fused and not precision.is_full) else "grad"
+        )
+        for stripe, hp_cols in _round_robin(columns, ratio):
+            lp_col = hp_cols[0] // ratio
+            shared: list[int] = []
+            if grad_name == "q_grad":
+                shared.append(
+                    emitter.access(
+                        CommandType.RD, "q_grad", lp_col, packed=True
+                    )
+                )
+            for j in hp_cols:
+                reads = list(shared)
+                if grad_name == "grad":
+                    reads.append(emitter.access(CommandType.RD, "grad", j))
+                reads.append(emitter.access(CommandType.RD, "theta", j))
+                for name in states:
+                    reads.append(emitter.access(CommandType.RD, name, j))
+                emitter.access(CommandType.WR, "theta", j, deps=reads)
+                for name in states:
+                    emitter.access(CommandType.WR, name, j, deps=reads)
+                if fused and not precision.is_full:
+                    # Fused quantize: q_theta produced on the fly.
+                    if j == hp_cols[-1]:
+                        emitter.access(
+                            CommandType.WR,
+                            "q_theta",
+                            lp_col,
+                            packed=True,
+                            deps=reads,
+                        )
+
+        if not precision.is_full and not fused:
+            # Phase 3 — quantize: theta -> q_theta over the bus.
+            for stripe, hp_cols in _round_robin(columns, ratio):
+                lp_col = hp_cols[0] // ratio
+                reads = [
+                    emitter.access(CommandType.RD, "theta", j)
+                    for j in hp_cols
+                ]
+                emitter.access(
+                    CommandType.WR, "q_theta", lp_col, packed=True,
+                    deps=reads,
+                )
+
+        emitter.close_all_rows()
+        return BaselineStream(
+            commands=emitter.commands,
+            layout=layout,
+            precision=precision,
+            n_hp_columns=sum(len(c) for c in columns),
+            reads=emitter.reads,
+            writes=emitter.writes,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_layout(
+        self,
+        hp_arrays: list[str],
+        q_arrays: list[str],
+        precision: PrecisionConfig,
+        n_params: int | None,
+        columns_per_stripe: int | None,
+        fused: bool,
+    ) -> UpdateLayout:
+        columns = self._column_plan(precision, n_params, columns_per_stripe)
+        n_hp_columns = max((max(c) + 1 for c in columns if c), default=1)
+        ratios = {name: precision.ratio for name in q_arrays}
+        all_arrays = frozenset(hp_arrays + q_arrays)
+        try:
+            # Prefer every array in its own bank when the set fits.
+            return UpdateLayout(
+                [all_arrays], ratios, n_hp_columns, self.geometry
+            )
+        except CompileError:
+            # Otherwise arrays only conflict within their phase: the
+            # dequantize / update / quantize structure of the baseline
+            # (or the whole fused loop, minus the quantized pair that
+            # can share a bank because their accesses never alternate
+            # within a row).
+            hp = frozenset(hp_arrays)
+            if fused or precision.is_full:
+                groups = [hp | {q} for q in q_arrays] or [hp]
+            else:
+                groups = [
+                    frozenset({"q_grad", "grad"}),
+                    hp,
+                    frozenset({"theta", "q_theta"}),
+                ]
+            return UpdateLayout(groups, ratios, n_hp_columns, self.geometry)
+
+    def _column_plan(
+        self,
+        precision: PrecisionConfig,
+        n_params: int | None,
+        columns_per_stripe: int | None,
+    ) -> list[list[int]]:
+        geom = self.geometry
+        stripes = geom.bankgroups * geom.ranks
+        cpr = geom.columns_per_row
+        ratio = precision.ratio if not precision.is_full else 1
+        if (n_params is None) == (columns_per_stripe is None):
+            raise CompileError(
+                "give exactly one of n_params / columns_per_stripe"
+            )
+        if columns_per_stripe is not None:
+            k = ceil_div(columns_per_stripe, ratio) * ratio
+            if k > cpr:
+                raise CompileError(f"columns_per_stripe must be <= {cpr}")
+            return [
+                list(range(s * cpr, s * cpr + k)) for s in range(stripes)
+            ]
+        lanes = geom.column_bytes // precision.hp_bytes
+        n_cols = ceil_div(n_params, lanes)
+        n_cols = ceil_div(n_cols, ratio) * ratio
+        plan: list[list[int]] = [[] for _ in range(stripes)]
+        for j in range(n_cols):
+            plan[(j // cpr) % stripes].append(j)
+        return plan
+
+
+# ----------------------------------------------------------------------
+def _round_robin(
+    columns: list[list[int]], group: int
+) -> list[tuple[int, list[int]]]:
+    """Interleave per-stripe column lists in chunks of ``group``."""
+    out: list[tuple[int, list[int]]] = []
+    position = [0] * len(columns)
+    remaining = sum(len(c) for c in columns)
+    while remaining:
+        for s, cols in enumerate(columns):
+            p = position[s]
+            if p >= len(cols):
+                continue
+            chunk = cols[p : p + group]
+            position[s] = p + len(chunk)
+            remaining -= len(chunk)
+            out.append((s, chunk))
+    return out
+
+
+class _StreamEmitter:
+    """Row-aware RD/WR emitter over an :class:`UpdateLayout`."""
+
+    def __init__(self, geometry: DeviceGeometry, layout: UpdateLayout):
+        self.geometry = geometry
+        self.layout = layout
+        self.commands: list[Command] = []
+        self.reads = 0
+        self.writes = 0
+        self._rows: dict[tuple[int, int, int], list] = {}
+
+    def access(
+        self,
+        kind: CommandType,
+        array: str,
+        index: int,
+        packed: bool = False,
+        deps: list[int] | None = None,
+    ) -> int:
+        coords = (
+            self.layout.lp_coords(array, index)
+            if packed
+            else self.layout.hp_coords(array, index)
+        )
+        all_deps = list(deps or ())
+        all_deps.extend(self._open_row(coords))
+        cmd = Command(
+            kind,
+            rank=coords.rank,
+            bankgroup=coords.bankgroup,
+            bank=coords.bank,
+            row=coords.row,
+            col=coords.col,
+            deps=tuple(dict.fromkeys(all_deps)),
+            tag=f"{kind.value.lower()}:{array}:{index}",
+        )
+        i = len(self.commands)
+        self.commands.append(cmd)
+        self._rows[(coords.rank, coords.bankgroup, coords.bank)][1].append(i)
+        if kind is CommandType.RD:
+            self.reads += 1
+        else:
+            self.writes += 1
+        return i
+
+    def _open_row(self, coords: ColumnCoords) -> list[int]:
+        key = (coords.rank, coords.bankgroup, coords.bank)
+        entry = self._rows.get(key)
+        deps: list[int] = []
+        if entry is not None:
+            open_row, accesses, act_index = entry
+            if open_row == coords.row:
+                return [act_index]
+            pre = Command(
+                CommandType.PRE,
+                rank=coords.rank,
+                bankgroup=coords.bankgroup,
+                bank=coords.bank,
+                row=open_row,
+                deps=tuple(accesses) if accesses else (act_index,),
+                tag="pre",
+            )
+            self.commands.append(pre)
+            deps.append(len(self.commands) - 1)
+        act = Command(
+            CommandType.ACT,
+            rank=coords.rank,
+            bankgroup=coords.bankgroup,
+            bank=coords.bank,
+            row=coords.row,
+            deps=tuple(deps),
+            tag="act",
+        )
+        self.commands.append(act)
+        self._rows[key] = [coords.row, [], len(self.commands) - 1]
+        return [len(self.commands) - 1]
+
+    def close_all_rows(self) -> None:
+        for key in sorted(self._rows):
+            open_row, accesses, act_index = self._rows[key]
+            rank, bankgroup, bank = key
+            self.commands.append(
+                Command(
+                    CommandType.PRE,
+                    rank=rank,
+                    bankgroup=bankgroup,
+                    bank=bank,
+                    row=open_row,
+                    deps=tuple(accesses) if accesses else (act_index,),
+                    tag="pre-final",
+                )
+            )
+        self._rows.clear()

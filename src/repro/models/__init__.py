@@ -1,0 +1,34 @@
+"""DNN workload models (paper §VI-A).
+
+Layer-graph builders for the five evaluated networks — ResNet-18,
+ResNet-50, MobileNetV2, MLP1 and AlphaGo Zero — with exact tensor
+shapes, the paper's per-network block groupings (Fig. 9's x-axis), and
+the MBS+BNFF-aware traffic model that produces Fig. 2.
+"""
+
+from repro.models.layers import LayerSpec, conv_layer, linear_layer, pool_layer
+from repro.models.graph import NetworkGraph
+from repro.models.resnet import build_resnet18, build_resnet50
+from repro.models.mobilenet import build_mobilenet_v2
+from repro.models.mlp import build_mlp1
+from repro.models.alphago import build_alphago_zero
+from repro.models.zoo import NETWORK_BUILDERS, build_network, PAPER_NETWORKS
+from repro.models.traffic import TrafficModel, PhaseTraffic
+
+__all__ = [
+    "LayerSpec",
+    "conv_layer",
+    "linear_layer",
+    "pool_layer",
+    "NetworkGraph",
+    "build_resnet18",
+    "build_resnet50",
+    "build_mobilenet_v2",
+    "build_mlp1",
+    "build_alphago_zero",
+    "NETWORK_BUILDERS",
+    "build_network",
+    "PAPER_NETWORKS",
+    "TrafficModel",
+    "PhaseTraffic",
+]

@@ -1,0 +1,47 @@
+"""AlphaGo Zero network (Silver et al., Nature 2017).
+
+19x19 board, 17 input planes, a 256-filter convolutional stem, 19
+residual blocks of two 3x3x256 convolutions, and the policy/value
+heads. Fig. 9 groups the bars as Conv / Residual / Policy / Head
+(value); the residual tower dominates both compute and weights.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import NetworkGraph
+from repro.models.layers import LayerSpec, conv_layer, linear_layer
+
+#: Residual tower depth (the 20-block AlphaGo Zero variant).
+RESIDUAL_BLOCKS = 19
+
+
+def build_alphago_zero(batch: int = 32) -> NetworkGraph:
+    """The AlphaGo Zero training workload."""
+    layers: list[LayerSpec] = []
+    layers.append(
+        conv_layer("conv_stem", "Conv", 17, 256, 19, 19, 3, 1, 1, batch)
+    )
+    for b in range(RESIDUAL_BLOCKS):
+        for half in ("a", "b"):
+            layers.append(
+                conv_layer(
+                    f"res{b}{half}", "Residual",
+                    256, 256, 19, 19, 3, 1, 1, batch,
+                )
+            )
+    # Policy head: 1x1x2 conv + fc to 362 moves.
+    layers.append(
+        conv_layer("policy_conv", "Policy", 256, 2, 19, 19, 1, 1, 0, batch)
+    )
+    layers.append(
+        linear_layer("policy_fc", "Policy", 2 * 19 * 19, 362, batch)
+    )
+    # Value head: 1x1x1 conv + fc 256 + fc 1.
+    layers.append(
+        conv_layer("value_conv", "Head", 256, 1, 19, 19, 1, 1, 0, batch)
+    )
+    layers.append(linear_layer("value_fc1", "Head", 19 * 19, 256, batch))
+    layers.append(linear_layer("value_fc2", "Head", 256, 1, batch))
+    return NetworkGraph(
+        name="AlphaGoZero", layers=tuple(layers), batch=batch
+    )

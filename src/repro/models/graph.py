@@ -1,0 +1,68 @@
+"""Network container: an ordered layer list with block groupings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.models.layers import LayerSpec
+
+
+@dataclass(frozen=True)
+class NetworkGraph:
+    """One evaluated network: layers in execution order plus metadata."""
+
+    name: str
+    layers: tuple[LayerSpec, ...]
+    batch: int
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ConfigError("network needs at least one layer")
+        if self.batch <= 0:
+            raise ConfigError("batch must be positive")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate layer names in {self.name}")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_weights(self) -> int:
+        """Trainable parameters in the whole network."""
+        return sum(layer.weights for layer in self.layers)
+
+    @property
+    def block_labels(self) -> tuple[str, ...]:
+        """Block labels in first-appearance order (Fig. 9 x-axis)."""
+        seen: dict[str, None] = {}
+        for layer in self.layers:
+            seen.setdefault(layer.block, None)
+        return tuple(seen)
+
+    def block(self, label: str) -> tuple[LayerSpec, ...]:
+        """Layers belonging to one block."""
+        selected = tuple(l for l in self.layers if l.block == label)
+        if not selected:
+            raise ConfigError(f"no block {label!r} in {self.name}")
+        return selected
+
+    def trainable_layers(self) -> tuple[LayerSpec, ...]:
+        """Layers with parameters."""
+        return tuple(l for l in self.layers if l.is_trainable)
+
+    def total_fwd_macs(self) -> int:
+        """Forward MACs for a full minibatch."""
+        return sum(layer.fwd_macs() for layer in self.layers)
+
+    def total_activations(self) -> int:
+        """Output activation elements across layers, one sample."""
+        return sum(layer.out_activations for layer in self.layers)
+
+    def summary(self) -> str:
+        """One-line description used by examples and reports."""
+        return (
+            f"{self.name}: {len(self.layers)} layers, "
+            f"{self.total_weights / 1e6:.2f}M params, "
+            f"batch {self.batch}, "
+            f"{self.total_fwd_macs() / 1e9:.1f} GMACs/batch fwd"
+        )

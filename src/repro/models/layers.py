@@ -1,0 +1,137 @@
+"""Layer descriptors: shapes, parameter counts, and GEMM mappings.
+
+Batch normalization does not appear as a layer: the evaluation applies
+BNFF (batch-normalization fission and fusion, paper §II), which folds
+BN into the adjacent convolutions, so BN contributes neither a DRAM
+round trip nor a separate kernel. Element-wise residual additions are
+similarly fused into the consuming layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.npu.im2col import (
+    ConvGemms,
+    conv_gemm_shapes,
+    conv_output_hw,
+    linear_gemm_shapes,
+)
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One trainable or data-moving layer of a network.
+
+    ``in_activations`` / ``out_activations`` are element counts for a
+    single sample (the batch multiplies in at the traffic model), and
+    ``weights`` the trainable parameter count.
+    """
+
+    name: str
+    block: str  # the paper's Fig. 9 block label
+    kind: str  # 'conv' | 'linear' | 'pool'
+    weights: int
+    in_activations: int
+    out_activations: int
+    gemms: Optional[ConvGemms]  # None for pooling
+
+    def __post_init__(self) -> None:
+        if self.weights < 0:
+            raise ConfigError("negative weight count")
+        if self.in_activations <= 0 or self.out_activations <= 0:
+            raise ConfigError("activations must be positive")
+
+    @property
+    def is_trainable(self) -> bool:
+        """True if the layer has parameters to update."""
+        return self.weights > 0
+
+    def weight_activation_ratio(self, batch: int) -> float:
+        """Weights / activations, the Fig. 13 x-axis."""
+        acts = (self.in_activations + self.out_activations) * batch
+        return self.weights / acts
+
+    def fwd_macs(self) -> int:
+        """Forward multiply-accumulates (batch folded into the GEMM)."""
+        return self.gemms.forward.macs if self.gemms else 0
+
+
+# ----------------------------------------------------------------------
+def conv_layer(
+    name: str,
+    block: str,
+    in_ch: int,
+    out_ch: int,
+    in_h: int,
+    in_w: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    batch: int,
+    groups: int = 1,
+    bias: bool = False,
+) -> LayerSpec:
+    """A convolution layer (optionally grouped / depthwise)."""
+    out_h, out_w = conv_output_hw(in_h, in_w, kernel, stride, padding)
+    weights = out_ch * (in_ch // groups) * kernel * kernel
+    if bias:
+        weights += out_ch
+    return LayerSpec(
+        name=name,
+        block=block,
+        kind="conv",
+        weights=weights,
+        in_activations=in_ch * in_h * in_w,
+        out_activations=out_ch * out_h * out_w,
+        gemms=conv_gemm_shapes(
+            in_ch, out_ch, in_h, in_w, kernel, stride, padding, batch,
+            groups,
+        ),
+    )
+
+
+def linear_layer(
+    name: str,
+    block: str,
+    in_features: int,
+    out_features: int,
+    batch: int,
+    bias: bool = True,
+) -> LayerSpec:
+    """A fully-connected layer."""
+    weights = in_features * out_features + (out_features if bias else 0)
+    return LayerSpec(
+        name=name,
+        block=block,
+        kind="linear",
+        weights=weights,
+        in_activations=in_features,
+        out_activations=out_features,
+        gemms=linear_gemm_shapes(in_features, out_features, batch),
+    )
+
+
+def pool_layer(
+    name: str,
+    block: str,
+    channels: int,
+    in_h: int,
+    in_w: int,
+    kernel: int,
+    stride: int,
+    padding: int = 0,
+) -> LayerSpec:
+    """A pooling layer: moves activations, trains nothing."""
+    out_h, out_w = conv_output_hw(in_h, in_w, kernel, stride, padding)
+    return LayerSpec(
+        name=name,
+        block=block,
+        kind="pool",
+        weights=0,
+        in_activations=channels * in_h * in_w,
+        out_activations=channels * out_h * out_w,
+        gemms=None,
+    )

@@ -1,0 +1,29 @@
+"""MLP1: the multi-layer perceptron workload (paper's [62], MNIST-style).
+
+The paper evaluates "MLP" at minibatch 128 and groups its Fig. 9 bars
+into Input / H1 / H2 / Output blocks, i.e. a four-layer perceptron.
+The exact widths are not given; we use 784-2048-2048-10, which yields
+the weight-dominated profile (weight/activation ratio well above 1,
+Fig. 13's right side) the paper attributes to MLPs.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import NetworkGraph
+from repro.models.layers import linear_layer
+
+
+def build_mlp1(
+    batch: int = 128,
+    input_dim: int = 784,
+    hidden: int = 2048,
+    classes: int = 10,
+) -> NetworkGraph:
+    """The MLP1 workload: Input -> H1 -> H2 -> Output."""
+    layers = (
+        linear_layer("input", "Input", input_dim, hidden, batch),
+        linear_layer("h1", "H1", hidden, hidden, batch),
+        linear_layer("h2", "H2", hidden, hidden, batch),
+        linear_layer("output", "Output", hidden, classes, batch),
+    )
+    return NetworkGraph(name="MLP1", layers=layers, batch=batch)

@@ -1,0 +1,76 @@
+"""MobileNetV2 (Sandler et al., CVPR'18) for ImageNet.
+
+Inverted-residual bottlenecks with depthwise convolutions. The seven
+bottleneck stages are grouped into the five Fig. 9 blocks by resolution:
+Block0 = stem + 16-channel stage, Block1 = 24-channel (56x56),
+Block2 = 32-channel (28x28), Block3 = 64+96 (14x14),
+Block4 = 160+320 + final 1x1 (7x7), plus FC.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import NetworkGraph
+from repro.models.layers import LayerSpec, conv_layer, linear_layer, pool_layer
+
+#: (expansion t, out channels c, repeats n, first stride s) per stage.
+_V2_STAGES = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+#: Fig. 9 block label per stage index.
+_STAGE_BLOCK = ("Block0", "Block1", "Block2", "Block3", "Block3",
+                "Block4", "Block4")
+
+
+def build_mobilenet_v2(batch: int = 32) -> NetworkGraph:
+    """MobileNetV2, 224x224 inputs, width multiplier 1.0."""
+    layers: list[LayerSpec] = []
+    layers.append(
+        conv_layer("conv0", "Block0", 3, 32, 224, 224, 3, 2, 1, batch)
+    )
+    h = w = 112
+    in_ch = 32
+    for stage_idx, (t, c, n, s) in enumerate(_V2_STAGES):
+        block = _STAGE_BLOCK[stage_idx]
+        for rep in range(n):
+            stride = s if rep == 0 else 1
+            hidden = in_ch * t
+            name = f"ir{stage_idx}_{rep}"
+            if t != 1:
+                layers.append(
+                    conv_layer(
+                        f"{name}_expand", block,
+                        in_ch, hidden, h, w, 1, 1, 0, batch,
+                    )
+                )
+            layers.append(
+                conv_layer(
+                    f"{name}_dw", block,
+                    hidden, hidden, h, w, 3, stride, 1, batch,
+                    groups=hidden,
+                )
+            )
+            if stride == 2:
+                h //= 2
+                w //= 2
+            layers.append(
+                conv_layer(
+                    f"{name}_project", block,
+                    hidden, c, h, w, 1, 1, 0, batch,
+                )
+            )
+            in_ch = c
+    layers.append(
+        conv_layer("conv_last", "Block4", 320, 1280, 7, 7, 1, 1, 0, batch)
+    )
+    layers.append(pool_layer("avgpool", "Block4", 1280, 7, 7, 7, 7))
+    layers.append(linear_layer("fc", "FC", 1280, 1000, batch))
+    return NetworkGraph(
+        name="MobileNet", layers=tuple(layers), batch=batch
+    )

@@ -1,0 +1,122 @@
+"""ResNet-18 and ResNet-50 for ImageNet (He et al., CVPR'16).
+
+Layer names follow the paper's Fig. 2 convention: ``convNs`` is a
+stage's strided first convolution, ``convNm`` the main 3x3 (or
+bottleneck) convolutions, ``convNp`` the 1x1 projection shortcut.
+Blocks follow Fig. 9: ``Block0`` (stem) through ``Block4`` plus ``FC``.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import NetworkGraph
+from repro.models.layers import LayerSpec, conv_layer, linear_layer, pool_layer
+
+#: (channels, blocks) per stage for the two depths.
+_RESNET18_STAGES = ((64, 2), (128, 2), (256, 2), (512, 2))
+_RESNET50_STAGES = ((256, 3), (512, 4), (1024, 6), (2048, 3))
+
+
+def build_resnet18(batch: int = 32) -> NetworkGraph:
+    """ResNet-18, 224x224 inputs, basic blocks."""
+    layers: list[LayerSpec] = []
+    layers.append(
+        conv_layer("conv0", "Block0", 3, 64, 224, 224, 7, 2, 3, batch)
+    )
+    layers.append(pool_layer("maxpool1", "Block0", 64, 112, 112, 3, 2, 1))
+
+    h = w = 56
+    in_ch = 64
+    for stage_idx, (ch, blocks) in enumerate(_RESNET18_STAGES):
+        stage = stage_idx + 2  # paper names stages conv2..conv5
+        block_label = f"Block{stage_idx + 1}"
+        for b in range(blocks):
+            stride = 2 if (b == 0 and stage_idx > 0) else 1
+            if stride == 2:
+                layers.append(
+                    conv_layer(
+                        f"conv{stage}s", block_label,
+                        in_ch, ch, h, w, 3, 2, 1, batch,
+                    )
+                )
+                h //= 2
+                w //= 2
+                layers.append(
+                    conv_layer(
+                        f"conv{stage}p", block_label,
+                        in_ch, ch, h * 2, w * 2, 1, 2, 0, batch,
+                    )
+                )
+            else:
+                layers.append(
+                    conv_layer(
+                        f"conv{stage}m{b}a", block_label,
+                        in_ch, ch, h, w, 3, 1, 1, batch,
+                    )
+                )
+            layers.append(
+                conv_layer(
+                    f"conv{stage}m{b}b", block_label,
+                    ch, ch, h, w, 3, 1, 1, batch,
+                )
+            )
+            in_ch = ch
+    layers.append(pool_layer("avgpool6", "Block4", 512, 7, 7, 7, 7))
+    layers.append(linear_layer("fc7", "FC", 512, 1000, batch))
+    return NetworkGraph(name="ResNet18", layers=tuple(layers), batch=batch)
+
+
+def build_resnet50(batch: int = 32) -> NetworkGraph:
+    """ResNet-50, 224x224 inputs, bottleneck blocks."""
+    layers: list[LayerSpec] = []
+    layers.append(
+        conv_layer("conv0", "Block0", 3, 64, 224, 224, 7, 2, 3, batch)
+    )
+    layers.append(pool_layer("maxpool1", "Block0", 64, 112, 112, 3, 2, 1))
+
+    h = w = 56
+    in_ch = 64
+    for stage_idx, (out_ch, blocks) in enumerate(_RESNET50_STAGES):
+        stage = stage_idx + 2
+        block_label = f"Block{stage_idx + 1}"
+        mid = out_ch // 4
+        for b in range(blocks):
+            stride = 2 if (b == 0 and stage_idx > 0) else 1
+            prefix = f"conv{stage}" + (
+                "s" if stride == 2 else f"m{b}"
+            )
+            # 1x1 reduce
+            layers.append(
+                conv_layer(
+                    f"{prefix}a", block_label,
+                    in_ch, mid, h, w, 1, 1, 0, batch,
+                )
+            )
+            # 3x3 (carries the stride)
+            layers.append(
+                conv_layer(
+                    f"{prefix}b", block_label,
+                    mid, mid, h, w, 3, stride, 1, batch,
+                )
+            )
+            if stride == 2:
+                h //= 2
+                w //= 2
+            # 1x1 expand
+            layers.append(
+                conv_layer(
+                    f"{prefix}c", block_label,
+                    mid, out_ch, h, w, 1, 1, 0, batch,
+                )
+            )
+            if b == 0:
+                layers.append(
+                    conv_layer(
+                        f"conv{stage}p", block_label,
+                        in_ch, out_ch,
+                        h * stride, w * stride, 1, stride, 0, batch,
+                    )
+                )
+            in_ch = out_ch
+    layers.append(pool_layer("avgpool6", "Block4", 2048, 7, 7, 7, 7))
+    layers.append(linear_layer("fc7", "FC", 2048, 1000, batch))
+    return NetworkGraph(name="ResNet50", layers=tuple(layers), batch=batch)

@@ -1,0 +1,153 @@
+"""Per-layer DRAM traffic with MBS + BNFF data reuse (paper §II, Fig. 2).
+
+The paper applies MiniBatch Serialization and BN fission/fusion so that
+inter-layer activation traffic is minimized: each activation tensor
+crosses the off-chip bus once per phase that produces or consumes it,
+instead of bouncing per layer. The resulting per-phase accounting:
+
+* **Fwd** — write the layer's output activations; read its weights
+  (re-read once per MBS sub-batch); the first layer also reads the
+  network input.
+* **Bact** — write the input-activation gradients; re-read the weights.
+  The upstream gradient arrives fused from the previous Bact step.
+* **Bwgt** — write the weight gradients (quantized in mixed precision).
+  MBS keeps each sub-batch resident through its backward pass, so the
+  saved input activations and the output gradient are still on-chip
+  when the weight-gradient GEMM runs — re-reading them is exactly the
+  traffic MBS exists to remove.
+* **Wup** — bytes per parameter supplied by the caller (it depends on
+  the optimizer's state count and on whether the accounting is the
+  fused 2-phase or the explicit 3-phase baseline; see
+  ``repro.system.update_model``).
+
+MBS sub-batching: a layer whose per-sample working set exceeds the
+global buffer is split into sub-batches, and its weights are re-read
+once per sub-batch — the weight-vs-activation traffic trade MBS makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.models.graph import NetworkGraph
+from repro.models.layers import LayerSpec
+from repro.npu.config import NPUConfig, DEFAULT_NPU
+from repro.optim.precision import PrecisionConfig, PRECISION_8_32
+from repro.units import ceil_div
+
+
+@dataclass(frozen=True)
+class PhaseTraffic:
+    """Bytes moved per phase for one layer (or summed over layers)."""
+
+    fwd: float
+    bact: float
+    bwgt: float
+    wup: float
+
+    @property
+    def total(self) -> float:
+        return self.fwd + self.bact + self.bwgt + self.wup
+
+    @property
+    def fwd_bwd(self) -> float:
+        """Everything except the update phase."""
+        return self.fwd + self.bact + self.bwgt
+
+    def __add__(self, other: "PhaseTraffic") -> "PhaseTraffic":
+        return PhaseTraffic(
+            fwd=self.fwd + other.fwd,
+            bact=self.bact + other.bact,
+            bwgt=self.bwgt + other.bwgt,
+            wup=self.wup + other.wup,
+        )
+
+
+ZERO_TRAFFIC = PhaseTraffic(0.0, 0.0, 0.0, 0.0)
+
+
+class TrafficModel:
+    """Computes per-layer, per-phase DRAM traffic."""
+
+    def __init__(
+        self,
+        precision: PrecisionConfig = PRECISION_8_32,
+        npu: NPUConfig = DEFAULT_NPU,
+        update_bytes_per_param: float = 18.0,
+        aos_weight_penalty: float = 1.0,
+    ) -> None:
+        """``update_bytes_per_param`` sets the Wup accounting;
+        ``aos_weight_penalty`` multiplies all weight-array traffic in
+        Fwd/Bact/Bwgt (4.0 for the AoS placement, §VI-B: every burst
+        carries the full structure but only one field is useful)."""
+        if update_bytes_per_param < 0:
+            raise ConfigError("update bytes must be non-negative")
+        if aos_weight_penalty < 1.0:
+            raise ConfigError("AoS penalty cannot be below 1")
+        self.precision = precision
+        self.npu = npu
+        self.update_bytes_per_param = update_bytes_per_param
+        self.aos_weight_penalty = aos_weight_penalty
+
+    # ------------------------------------------------------------------
+    def subbatches(self, layer: LayerSpec, batch: int) -> int:
+        """MBS sub-batch count for one layer."""
+        per_sample = (
+            (layer.in_activations + layer.out_activations)
+            * self.precision.lp_bytes
+        )
+        fit = max(1, self.npu.global_buffer_bytes // max(1, per_sample))
+        return min(batch, ceil_div(batch, fit))
+
+    def layer_traffic(
+        self, layer: LayerSpec, batch: int, first_layer: bool = False
+    ) -> PhaseTraffic:
+        """Bytes per phase for one layer over a full minibatch."""
+        lp = self.precision.lp_bytes
+        acts_in = layer.in_activations * batch * lp
+        acts_out = layer.out_activations * batch * lp
+        wp = self.aos_weight_penalty
+        weight_read = layer.weights * lp * self.subbatches(layer, batch) * wp
+        grad_bytes = lp if not self.precision.is_full else (
+            self.precision.hp_bytes
+        )
+        grad_write = layer.weights * grad_bytes * wp
+
+        fwd = acts_out + weight_read + (acts_in if first_layer else 0.0)
+        bact = acts_in + weight_read
+        bwgt = grad_write if layer.is_trainable else 0.0
+        wup = layer.weights * self.update_bytes_per_param
+        return PhaseTraffic(fwd=fwd, bact=bact, bwgt=bwgt, wup=wup)
+
+    # ------------------------------------------------------------------
+    def network_traffic(self, network: NetworkGraph) -> PhaseTraffic:
+        """Whole-network traffic per training iteration."""
+        total = ZERO_TRAFFIC
+        for i, layer in enumerate(network.layers):
+            total = total + self.layer_traffic(
+                layer, network.batch, first_layer=(i == 0)
+            )
+        return total
+
+    def per_layer(
+        self, network: NetworkGraph
+    ) -> list[tuple[LayerSpec, PhaseTraffic]]:
+        """(layer, traffic) pairs in execution order (Fig. 2's bars)."""
+        return [
+            (
+                layer,
+                self.layer_traffic(
+                    layer, network.batch, first_layer=(i == 0)
+                ),
+            )
+            for i, layer in enumerate(network.layers)
+        ]
+
+    def update_fraction(self, network: NetworkGraph) -> float:
+        """Wup share of total traffic (paper: 45.9 % for mixed
+        ResNet-18, 22.4 % full precision)."""
+        t = self.network_traffic(network)
+        if t.total == 0:
+            return 0.0
+        return t.wup / t.total

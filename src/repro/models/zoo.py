@@ -1,0 +1,40 @@
+"""Registry of the paper's five evaluation networks (§VI-A)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.models.alphago import build_alphago_zero
+from repro.models.graph import NetworkGraph
+from repro.models.mlp import build_mlp1
+from repro.models.mobilenet import build_mobilenet_v2
+from repro.models.resnet import build_resnet18, build_resnet50
+
+NETWORK_BUILDERS: dict[str, Callable[..., NetworkGraph]] = {
+    "ResNet18": build_resnet18,
+    "ResNet50": build_resnet50,
+    "MobileNet": build_mobilenet_v2,
+    "MLP1": build_mlp1,
+    "AlphaGoZero": build_alphago_zero,
+}
+
+#: Evaluation order used throughout the paper's figures.
+PAPER_NETWORKS = tuple(NETWORK_BUILDERS)
+
+#: Default minibatch per network (§VI-B: 32, but 128 for the MLP).
+DEFAULT_BATCH = {name: 32 for name in PAPER_NETWORKS}
+DEFAULT_BATCH["MLP1"] = 128
+
+
+def build_network(name: str, batch: int | None = None) -> NetworkGraph:
+    """Build one of the paper's networks by name."""
+    try:
+        builder = NETWORK_BUILDERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown network {name!r}; choose from {PAPER_NETWORKS}"
+        )
+    if batch is None:
+        batch = DEFAULT_BATCH[name]
+    return builder(batch=batch)

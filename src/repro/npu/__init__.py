@@ -1,0 +1,36 @@
+"""NPU performance model (paper §V-A, Fig. 6).
+
+The paper's NPU is a DianNao-style accelerator: 256 multiplier-adder
+trees of 256 inputs each (one output activation per tree per cycle),
+fed through an im2col module from double-buffered 256x256 local buffers,
+with a global buffer aggregating macroblocks.
+
+For the evaluation, only two things about the NPU matter:
+
+* how many cycles a layer's GEMMs take on a TxT array (including the
+  utilization loss when matrix dimensions do not fill the array — the
+  effect behind the Fig. 12a rolloff), and
+* how many bytes each phase moves to/from DRAM (delegated to
+  :mod:`repro.models.traffic`).
+
+Phase time is then ``max(compute, memory)``: double buffering overlaps
+the two streams.
+"""
+
+from repro.npu.config import NPUConfig, DEFAULT_NPU
+from repro.npu.mac import gemm_cycles, GemmShape
+from repro.npu.im2col import conv_gemm_shapes, conv_output_hw
+from repro.npu.dataflow import phase_time_seconds
+from repro.npu.engine import NPUEngine, LayerCompute
+
+__all__ = [
+    "NPUConfig",
+    "DEFAULT_NPU",
+    "gemm_cycles",
+    "GemmShape",
+    "conv_gemm_shapes",
+    "conv_output_hw",
+    "phase_time_seconds",
+    "NPUEngine",
+    "LayerCompute",
+]

@@ -1,0 +1,62 @@
+"""NPU configuration (paper §V-A, §VI-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.units import MIB
+
+
+@dataclass(frozen=True)
+class NPUConfig:
+    """Array geometry and clocking of the modelled NPU.
+
+    The default is the paper's synthesized design: 256x256 MAC adder
+    trees at 1 GHz with an 8-bit datapath, double-buffered 256x256 local
+    buffers, and a multi-megabyte global buffer for macroblocks.
+    """
+
+    array_rows: int = 256  # adder trees
+    array_cols: int = 256  # inputs per tree
+    clock_hz: float = 1.0e9
+    global_buffer_bytes: int = 4 * MIB
+    stream_efficiency: float = 0.88  # achieved fraction of peak DRAM BW
+
+    def __post_init__(self) -> None:
+        if self.array_rows <= 0 or self.array_cols <= 0:
+            raise ConfigError("array dimensions must be positive")
+        if self.clock_hz <= 0:
+            raise ConfigError("clock must be positive")
+        if not 0.0 < self.stream_efficiency <= 1.0:
+            raise ConfigError("stream_efficiency must be in (0, 1]")
+        if self.global_buffer_bytes <= 0:
+            raise ConfigError("global buffer must be positive")
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak multiply-accumulates per cycle."""
+        return self.array_rows * self.array_cols
+
+    @property
+    def peak_macs_per_second(self) -> float:
+        """Peak MAC throughput."""
+        return self.macs_per_cycle * self.clock_hz
+
+    def with_array(self, rows: int, cols: int) -> "NPUConfig":
+        """Copy with a different MAC array (Fig. 12a sweep)."""
+        return replace(self, array_rows=rows, array_cols=cols)
+
+    def ops_per_byte(self, dram_bandwidth: float) -> float:
+        """Operations/bandwidth ratio, the Fig. 12a x-axis.
+
+        Defined as peak MAC/s (counting one MAC as one op) divided by
+        peak DRAM bytes/s, normalized the way the paper's axis spans
+        roughly 0.1-10 for 64x64..512x512 arrays against DDR4/HBM.
+        """
+        if dram_bandwidth <= 0:
+            raise ConfigError("bandwidth must be positive")
+        return self.peak_macs_per_second / dram_bandwidth / 1000.0
+
+
+DEFAULT_NPU = NPUConfig()

@@ -1,0 +1,33 @@
+"""Phase timing: compute/memory overlap through double buffering.
+
+The NPU's local buffers are double-buffered and the global buffer
+aggregates macroblocks (paper §V-A), so to first order a phase's time
+is the maximum of its compute time and its DRAM streaming time — the
+standard roofline of a well-pipelined accelerator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.npu.config import NPUConfig
+
+
+def phase_time_seconds(
+    compute_cycles: float,
+    traffic_bytes: float,
+    npu: NPUConfig,
+    dram_bandwidth: float,
+) -> float:
+    """``max(compute, memory)`` for one layer phase.
+
+    ``dram_bandwidth`` is the peak off-chip bandwidth in bytes/second;
+    the NPU's achieved streaming fraction (``stream_efficiency``)
+    derates it.
+    """
+    if compute_cycles < 0 or traffic_bytes < 0:
+        raise ConfigError("negative compute or traffic")
+    if dram_bandwidth <= 0:
+        raise ConfigError("bandwidth must be positive")
+    compute_s = compute_cycles / npu.clock_hz
+    memory_s = traffic_bytes / (dram_bandwidth * npu.stream_efficiency)
+    return max(compute_s, memory_s)

@@ -1,0 +1,47 @@
+"""Per-layer compute-cycle model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.npu.config import NPUConfig, DEFAULT_NPU
+from repro.npu.mac import gemm_cycles
+
+if TYPE_CHECKING:  # avoid a models <-> npu import cycle at runtime
+    from repro.models.layers import LayerSpec
+
+
+@dataclass(frozen=True)
+class LayerCompute:
+    """MAC-array cycles for one layer's three phases."""
+
+    fwd_cycles: int
+    bact_cycles: int
+    bwgt_cycles: int
+
+    @property
+    def total(self) -> int:
+        return self.fwd_cycles + self.bact_cycles + self.bwgt_cycles
+
+
+class NPUEngine:
+    """Evaluates layer compute time on a configured NPU."""
+
+    def __init__(self, config: NPUConfig = DEFAULT_NPU) -> None:
+        self.config = config
+
+    def layer_compute(self, layer: LayerSpec) -> LayerCompute:
+        """Cycles for fwd / backward-activation / backward-weight.
+
+        Pooling layers have no GEMM; their element-wise work is far
+        below the memory time and is modelled as zero compute.
+        """
+        if layer.gemms is None:
+            return LayerCompute(0, 0, 0)
+        cfg = self.config
+        return LayerCompute(
+            fwd_cycles=gemm_cycles(layer.gemms.forward, cfg),
+            bact_cycles=gemm_cycles(layer.gemms.backward_act, cfg),
+            bwgt_cycles=gemm_cycles(layer.gemms.backward_wgt, cfg),
+        )

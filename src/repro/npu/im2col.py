@@ -1,0 +1,89 @@
+"""im2col / col2im shape algebra (paper §V-A).
+
+The NPU converts convolutions into GEMMs by unfolding input patches
+into a Toeplitz matrix (im2col); the backward pass uses the inverse
+(col2im). Only the resulting GEMM shapes matter to the performance
+model; the dedicated im2col module in the NPU keeps the unfolding from
+multiplying DRAM traffic (§V-A), which is why the traffic model charges
+activations once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.npu.mac import GemmShape
+
+
+def conv_output_hw(
+    h: int, w: int, kernel: int, stride: int, padding: int
+) -> tuple[int, int]:
+    """Spatial output size of a convolution."""
+    if min(h, w, kernel, stride) <= 0 or padding < 0:
+        raise ConfigError("invalid convolution geometry")
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ConfigError(
+            f"convolution produces empty output: {h}x{w} k{kernel} "
+            f"s{stride} p{padding}"
+        )
+    return out_h, out_w
+
+
+@dataclass(frozen=True)
+class ConvGemms:
+    """GEMM shapes for the three phases of one convolution layer."""
+
+    forward: GemmShape
+    backward_act: GemmShape
+    backward_wgt: GemmShape
+
+
+def conv_gemm_shapes(
+    in_ch: int,
+    out_ch: int,
+    in_h: int,
+    in_w: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    batch: int,
+    groups: int = 1,
+) -> ConvGemms:
+    """GEMM shapes of a (possibly grouped/depthwise) convolution.
+
+    With im2col, forward is ``[out_ch, in_ch*k*k] x [in_ch*k*k, HW*B]``.
+    The data-gradient GEMM transposes the weights; the weight-gradient
+    GEMM contracts over the batch-spatial dimension.
+    """
+    if in_ch % groups or out_ch % groups:
+        raise ConfigError("channels must divide groups")
+    out_h, out_w = conv_output_hw(in_h, in_w, kernel, stride, padding)
+    k2 = kernel * kernel
+    icg = in_ch // groups
+    ocg = out_ch // groups
+    spatial = out_h * out_w * batch
+    # Grouped convs run one GEMM per group; shapes below are one group's
+    # GEMM with the group count folded into the N dimension so total
+    # MACs are exact.
+    forward = GemmShape(m=ocg, k=icg * k2, n=spatial * groups)
+    backward_act = GemmShape(m=icg * k2, k=ocg, n=spatial * groups)
+    backward_wgt = GemmShape(m=ocg, k=spatial, n=icg * k2 * groups)
+    return ConvGemms(
+        forward=forward,
+        backward_act=backward_act,
+        backward_wgt=backward_wgt,
+    )
+
+
+def linear_gemm_shapes(
+    in_features: int, out_features: int, batch: int
+) -> ConvGemms:
+    """GEMM shapes of a fully-connected layer."""
+    return ConvGemms(
+        forward=GemmShape(m=out_features, k=in_features, n=batch),
+        backward_act=GemmShape(m=in_features, k=out_features, n=batch),
+        backward_wgt=GemmShape(m=out_features, k=batch, n=in_features),
+    )

@@ -1,0 +1,68 @@
+"""MAC-array timing for blocked GEMMs (paper §V-A).
+
+The array computes a TxT block-matrix product in T cycles: each of the
+T adder trees consumes T operand pairs per cycle, and the local-buffer
+columns rotate so after T cycles every (row, column) pairing has been
+accumulated. A full GEMM is tiled into ceil(M/T) x ceil(N/T) x
+ceil(K/T) such block passes.
+
+Two non-idealities matter for the sensitivity study (Fig. 12a):
+
+* **edge waste** — ceil rounding means a 361-wide output on a 512-wide
+  array still pays full block passes;
+* **fill/drain** — each block pass pays the adder-tree pipeline depth
+  (log2 of the tree inputs) plus a fixed issue overhead before results
+  stream out; for very large arrays this fixed cost stops the compute
+  time from shrinking.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.npu.config import NPUConfig
+from repro.units import ceil_div
+
+#: Fixed per-block-pass overhead (control/setup), cycles.
+BLOCK_ISSUE_OVERHEAD = 4
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """An M x K by K x N matrix multiplication."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise ConfigError(f"GEMM dims must be positive: {self}")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count."""
+        return self.m * self.k * self.n
+
+
+def gemm_cycles(shape: GemmShape, npu: NPUConfig) -> int:
+    """Cycles to run one GEMM on the NPU's adder-tree array.
+
+    The M dimension maps to trees (output rows), K to tree inputs, and
+    N to the cycles of each block pass.
+    """
+    t_rows, t_cols = npu.array_rows, npu.array_cols
+    blocks = (
+        ceil_div(shape.m, t_rows)
+        * ceil_div(shape.k, t_cols)
+        * ceil_div(shape.n, t_rows)
+    )
+    per_block = t_rows + _tree_depth(t_cols) + BLOCK_ISSUE_OVERHEAD
+    return blocks * per_block
+
+
+def _tree_depth(inputs: int) -> int:
+    """Pipeline depth of an adder tree with ``inputs`` leaves."""
+    return max(1, math.ceil(math.log2(inputs)))

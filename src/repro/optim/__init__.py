@@ -1,0 +1,72 @@
+"""Parameter-update algorithms (paper §III-A, §VIII).
+
+Each optimizer provides both a textbook numpy reference and a hardware
+*recipe* — a small declarative program over named parameter arrays that
+the kernel compiler (:mod:`repro.kernels.compiler`) lowers to GradPIM
+command streams and the recipe interpreter executes with
+hardware-faithful rounding for verification.
+
+SGD, momentum SGD (with weight decay) and NAG lower onto the baseline
+GradPIM ALU (add/sub + scaled loads). Adam, AdaGrad and RMSprop need the
+paper's §VIII extended ALU (element-wise multiply and rsqrt) and
+multi-pass execution; their recipes mark ``needs_extended_alu``.
+"""
+
+from repro.optim.base import (
+    Term,
+    Lincomb,
+    Mul,
+    RsqrtMul,
+    UpdatePass,
+    UpdateRecipe,
+    Optimizer,
+    interpret_recipe,
+    approximate_coefficients,
+)
+from repro.optim.precision import (
+    PrecisionConfig,
+    PRECISION_8_32,
+    PRECISION_16_32,
+    PRECISION_8_16,
+    PRECISION_FULL,
+    PRECISIONS,
+)
+from repro.optim.sgd import SGD, MomentumSGD, NAG
+from repro.optim.adaptive import Adam, AdamW, AdaGrad, RMSprop
+from repro.optim.schedule import (
+    CosineSchedule,
+    LRSchedule,
+    PolynomialSchedule,
+    StepSchedule,
+    schedule_error,
+)
+
+__all__ = [
+    "Term",
+    "Lincomb",
+    "Mul",
+    "RsqrtMul",
+    "UpdatePass",
+    "UpdateRecipe",
+    "Optimizer",
+    "interpret_recipe",
+    "approximate_coefficients",
+    "PrecisionConfig",
+    "PRECISION_8_32",
+    "PRECISION_16_32",
+    "PRECISION_8_16",
+    "PRECISION_FULL",
+    "PRECISIONS",
+    "SGD",
+    "MomentumSGD",
+    "NAG",
+    "Adam",
+    "AdamW",
+    "AdaGrad",
+    "RMSprop",
+    "LRSchedule",
+    "StepSchedule",
+    "CosineSchedule",
+    "PolynomialSchedule",
+    "schedule_error",
+]

@@ -1,0 +1,336 @@
+"""Adaptive optimizers: Adam, AdaGrad, RMSprop (paper §VIII).
+
+The paper's baseline ALU cannot square gradients or take square roots;
+§VIII sketches the path: extend the ALU and run multi-pass when the
+working set exceeds the four banks of a group. These classes implement
+that sketch:
+
+* element-wise multiply and rsqrt map to the extended-ALU commands
+  (``PIM_MUL`` / ``PIM_RSQRT``);
+* each recipe is split into passes of at most four DRAM arrays, with an
+  explicit intermediate array (``update_dir``) written back between
+  passes — exactly the "separate array ... for storing intermediate
+  values" mechanism of §VIII;
+* Adam's bias correction is folded into the learning-rate coefficient
+  (it is a per-step scalar, reprogrammable through MRW like any scaler
+  value), parameterized by the step count ``t``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.optim.base import (
+    Lincomb,
+    Mul,
+    Optimizer,
+    RsqrtMul,
+    Term,
+    UpdatePass,
+    UpdateRecipe,
+)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with rsqrt-style epsilon.
+
+    ``m <- b1*m + (1-b1)*g``; ``v <- b2*v + (1-b2)*g*g``;
+    ``theta <- theta - eta_t * m * rsqrt(v + eps)`` with the bias
+    correction folded into ``eta_t = eta * sqrt(1-b2^t) / (1-b1^t)``.
+    """
+
+    name = "adam"
+
+    def __init__(
+        self,
+        eta: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        step: int = 1,
+    ) -> None:
+        if eta <= 0:
+            raise ConfigError(f"learning rate must be positive, got {eta}")
+        for name, b in (("beta1", beta1), ("beta2", beta2)):
+            if not 0.0 <= b < 1.0:
+                raise ConfigError(f"{name} must be in [0,1), got {b}")
+        if step < 1:
+            raise ConfigError(f"step must be >= 1, got {step}")
+        self.eta = eta
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.step = step
+
+    @property
+    def eta_t(self) -> float:
+        """Learning rate with bias correction folded in."""
+        return (
+            self.eta
+            * math.sqrt(1.0 - self.beta2**self.step)
+            / (1.0 - self.beta1**self.step)
+        )
+
+    def state_arrays(self) -> tuple[str, ...]:
+        return ("exp_avg", "exp_avg_sq")
+
+    def recipe(self) -> UpdateRecipe:
+        # Three passes so each one fits the three programmable scaler
+        # slots (they are MRW-reprogrammed between passes) and the four
+        # banks of a group (§VIII multi-pass).
+        first_moment = UpdatePass(
+            ops=(
+                Lincomb(
+                    "exp_avg",
+                    (
+                        Term(self.beta1, "exp_avg"),
+                        Term(1.0 - self.beta1, "grad"),
+                    ),
+                ),
+            ),
+            inputs=frozenset({"grad", "exp_avg"}),
+            outputs=frozenset({"exp_avg"}),
+        )
+        second_moment = UpdatePass(
+            ops=(
+                Mul("_gg", Term(1.0 - self.beta2, "grad"), "grad"),
+                Lincomb(
+                    "exp_avg_sq",
+                    (Term(self.beta2, "exp_avg_sq"), Term(1.0, "_gg")),
+                ),
+                RsqrtMul(
+                    "update_dir", "exp_avg", "exp_avg_sq", self.epsilon
+                ),
+            ),
+            inputs=frozenset({"grad", "exp_avg", "exp_avg_sq"}),
+            outputs=frozenset({"exp_avg_sq", "update_dir"}),
+        )
+        apply = UpdatePass(
+            ops=(
+                Lincomb(
+                    "theta",
+                    (Term(1.0, "theta"), Term(-self.eta_t, "update_dir")),
+                ),
+            ),
+            inputs=frozenset({"theta", "update_dir"}),
+            outputs=frozenset({"theta"}),
+        )
+        return UpdateRecipe(
+            passes=(first_moment, second_moment, apply),
+            needs_extended_alu=True,
+        )
+
+    def reference_step(
+        self,
+        theta: np.ndarray,
+        grad: np.ndarray,
+        state: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        theta = np.asarray(theta, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64)
+        m = np.asarray(state["exp_avg"], dtype=np.float64)
+        v = np.asarray(state["exp_avg_sq"], dtype=np.float64)
+        m_new = self.beta1 * m + (1 - self.beta1) * grad
+        v_new = self.beta2 * v + (1 - self.beta2) * grad * grad
+        theta_new = theta - self.eta_t * m_new / np.sqrt(
+            v_new + self.epsilon
+        )
+        return theta_new, {"exp_avg": m_new, "exp_avg_sq": v_new}
+
+
+class AdamW(Adam):
+    """AdamW (Loshchilov & Hutter): Adam with decoupled weight decay.
+
+    Identical moment updates; the apply pass becomes
+    ``theta <- (1 - eta*lambda) * theta - eta_t * m * rsqrt(v + eps)``
+    — still a linear combination, so only the final pass changes.
+    """
+
+    name = "adamw"
+
+    def __init__(
+        self,
+        eta: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        step: int = 1,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(
+            eta=eta, beta1=beta1, beta2=beta2, epsilon=epsilon, step=step
+        )
+        if weight_decay < 0:
+            raise ConfigError(
+                f"weight decay must be non-negative, got {weight_decay}"
+            )
+        self.weight_decay = weight_decay
+
+    def recipe(self) -> UpdateRecipe:
+        base = super().recipe()
+        theta_coef = 1.0 - self.eta * self.weight_decay
+        apply = UpdatePass(
+            ops=(
+                Lincomb(
+                    "theta",
+                    (
+                        Term(theta_coef, "theta"),
+                        Term(-self.eta_t, "update_dir"),
+                    ),
+                ),
+            ),
+            inputs=frozenset({"theta", "update_dir"}),
+            outputs=frozenset({"theta"}),
+        )
+        return UpdateRecipe(
+            passes=base.passes[:-1] + (apply,),
+            needs_extended_alu=True,
+        )
+
+    def reference_step(
+        self,
+        theta: np.ndarray,
+        grad: np.ndarray,
+        state: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        theta64 = np.asarray(theta, dtype=np.float64)
+        adam_theta, new_state = super().reference_step(
+            theta, grad, state
+        )
+        decay = self.eta * self.weight_decay * theta64
+        return adam_theta - decay, new_state
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad (Duchi et al., 2011).
+
+    ``acc <- acc + g*g``; ``theta <- theta - eta * g * rsqrt(acc+eps)``.
+    """
+
+    name = "adagrad"
+
+    def __init__(self, eta: float = 0.01, epsilon: float = 1e-10) -> None:
+        if eta <= 0:
+            raise ConfigError(f"learning rate must be positive, got {eta}")
+        self.eta = eta
+        self.epsilon = epsilon
+
+    def state_arrays(self) -> tuple[str, ...]:
+        return ("accumulator",)
+
+    def recipe(self) -> UpdateRecipe:
+        accumulate = UpdatePass(
+            ops=(
+                Mul("_gg", Term(1.0, "grad"), "grad"),
+                Lincomb(
+                    "accumulator",
+                    (Term(1.0, "accumulator"), Term(1.0, "_gg")),
+                ),
+                RsqrtMul(
+                    "update_dir", "grad", "accumulator", self.epsilon
+                ),
+            ),
+            inputs=frozenset({"grad", "accumulator"}),
+            outputs=frozenset({"accumulator", "update_dir"}),
+        )
+        apply = UpdatePass(
+            ops=(
+                Lincomb(
+                    "theta",
+                    (Term(1.0, "theta"), Term(-self.eta, "update_dir")),
+                ),
+            ),
+            inputs=frozenset({"theta", "update_dir"}),
+            outputs=frozenset({"theta"}),
+        )
+        return UpdateRecipe(
+            passes=(accumulate, apply), needs_extended_alu=True
+        )
+
+    def reference_step(
+        self,
+        theta: np.ndarray,
+        grad: np.ndarray,
+        state: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        theta = np.asarray(theta, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64)
+        acc = np.asarray(state["accumulator"], dtype=np.float64)
+        acc_new = acc + grad * grad
+        theta_new = theta - self.eta * grad / np.sqrt(
+            acc_new + self.epsilon
+        )
+        return theta_new, {"accumulator": acc_new}
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Tieleman & Hinton).
+
+    ``acc <- rho*acc + (1-rho)*g*g``;
+    ``theta <- theta - eta * g * rsqrt(acc+eps)``.
+    """
+
+    name = "rmsprop"
+
+    def __init__(
+        self,
+        eta: float = 0.01,
+        rho: float = 0.99,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if eta <= 0:
+            raise ConfigError(f"learning rate must be positive, got {eta}")
+        if not 0.0 <= rho < 1.0:
+            raise ConfigError(f"rho must be in [0,1), got {rho}")
+        self.eta = eta
+        self.rho = rho
+        self.epsilon = epsilon
+
+    def state_arrays(self) -> tuple[str, ...]:
+        return ("square_avg",)
+
+    def recipe(self) -> UpdateRecipe:
+        accumulate = UpdatePass(
+            ops=(
+                Mul("_gg", Term(1.0 - self.rho, "grad"), "grad"),
+                Lincomb(
+                    "square_avg",
+                    (Term(self.rho, "square_avg"), Term(1.0, "_gg")),
+                ),
+                RsqrtMul("update_dir", "grad", "square_avg", self.epsilon),
+            ),
+            inputs=frozenset({"grad", "square_avg"}),
+            outputs=frozenset({"square_avg", "update_dir"}),
+        )
+        apply = UpdatePass(
+            ops=(
+                Lincomb(
+                    "theta",
+                    (Term(1.0, "theta"), Term(-self.eta, "update_dir")),
+                ),
+            ),
+            inputs=frozenset({"theta", "update_dir"}),
+            outputs=frozenset({"theta"}),
+        )
+        return UpdateRecipe(
+            passes=(accumulate, apply), needs_extended_alu=True
+        )
+
+    def reference_step(
+        self,
+        theta: np.ndarray,
+        grad: np.ndarray,
+        state: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        theta = np.asarray(theta, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64)
+        acc = np.asarray(state["square_avg"], dtype=np.float64)
+        acc_new = self.rho * acc + (1 - self.rho) * grad * grad
+        theta_new = theta - self.eta * grad / np.sqrt(
+            acc_new + self.epsilon
+        )
+        return theta_new, {"square_avg": acc_new}

@@ -1,0 +1,277 @@
+"""Optimizer interface and the update-recipe DSL.
+
+A *recipe* is the single source of truth for an optimizer's hardware
+semantics. It is consumed twice:
+
+* the kernel compiler lowers it, op by op, to GradPIM commands with
+  register allocation (:mod:`repro.kernels.compiler`);
+* :func:`interpret_recipe` executes it directly on numpy arrays with the
+  same operation order, dtype rounding, and (optionally) the same
+  2^n±2^m-approximated coefficients the scaler applies.
+
+Because both consumers walk the identical structure, a compiled kernel
+executed on the functional DRAM must agree bit-for-bit with the
+interpreter — a property the test suite checks on random tensors.
+
+Recipe operations:
+
+* :class:`Lincomb` — ``target = c1*s1 + c2*s2 + ...`` folded left to
+  right (one scaled read plus one add per term);
+* :class:`Mul` — ``target = (c*a) * b`` (extended ALU, §VIII);
+* :class:`RsqrtMul` — ``target = a * rsqrt(b + eps)`` (extended ALU).
+
+Operations are grouped into :class:`UpdatePass` objects; every pass may
+touch at most ``banks_per_group`` distinct DRAM-resident arrays (the
+paper's multi-pass rule, §VIII).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import CompileError, ConfigError
+from repro.pim.scaler import ScalerValue
+
+
+@dataclass(frozen=True)
+class Term:
+    """One ``coefficient * array`` contribution to a linear combination."""
+
+    coef: float
+    source: str
+
+    def __post_init__(self) -> None:
+        if self.coef == 0.0:
+            raise ConfigError(
+                f"zero coefficient on {self.source!r}: drop the term instead"
+            )
+
+
+@dataclass(frozen=True)
+class Lincomb:
+    """``target = sum(coef_i * source_i)``, folded left to right."""
+
+    target: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ConfigError("Lincomb needs at least one term")
+
+    def sources(self) -> tuple[str, ...]:
+        return tuple(t.source for t in self.terms)
+
+    def coefficients(self) -> tuple[float, ...]:
+        return tuple(t.coef for t in self.terms)
+
+
+@dataclass(frozen=True)
+class Mul:
+    """``target = (coef * a) * b`` element-wise (extended ALU)."""
+
+    target: str
+    a: Term
+    b: str
+
+    def sources(self) -> tuple[str, ...]:
+        return (self.a.source, self.b)
+
+    def coefficients(self) -> tuple[float, ...]:
+        return (self.a.coef,)
+
+
+@dataclass(frozen=True)
+class RsqrtMul:
+    """``target = a * rsqrt(b + epsilon)`` element-wise (extended ALU)."""
+
+    target: str
+    a: str
+    b: str
+    epsilon: float = 1e-8
+
+    def sources(self) -> tuple[str, ...]:
+        return (self.a, self.b)
+
+    def coefficients(self) -> tuple[float, ...]:
+        return ()
+
+
+RecipeOp = Lincomb | Mul | RsqrtMul
+
+
+@dataclass(frozen=True)
+class UpdatePass:
+    """One multi-pass stage: ops plus the DRAM arrays it touches.
+
+    ``inputs`` are arrays read from banks; ``outputs`` are arrays written
+    back. Arrays appearing in ops but in neither set are register-only
+    intermediates (names conventionally start with ``_``).
+    """
+
+    ops: tuple[RecipeOp, ...]
+    inputs: frozenset[str]
+    outputs: frozenset[str]
+
+    def dram_arrays(self) -> frozenset[str]:
+        """Arrays that occupy banks during this pass."""
+        return self.inputs | self.outputs
+
+
+@dataclass(frozen=True)
+class UpdateRecipe:
+    """A full update step as an ordered sequence of passes."""
+
+    passes: tuple[UpdatePass, ...]
+    needs_extended_alu: bool = False
+
+    def all_ops(self) -> tuple[RecipeOp, ...]:
+        return tuple(op for p in self.passes for op in p.ops)
+
+    def coefficients(self) -> tuple[float, ...]:
+        """Every scaled-load coefficient, in first-use order, deduplicated."""
+        seen: dict[float, None] = {}
+        for op in self.all_ops():
+            for c in op.coefficients():
+                if c != 1.0:
+                    seen.setdefault(c, None)
+        return tuple(seen)
+
+    def validate_bank_budget(self, banks_per_group: int) -> None:
+        """Raise :class:`CompileError` if any pass needs too many banks."""
+        for i, p in enumerate(self.passes):
+            arrays = p.dram_arrays()
+            if len(arrays) > banks_per_group:
+                raise CompileError(
+                    f"pass {i} touches {len(arrays)} arrays "
+                    f"{sorted(arrays)} but the bank group has only "
+                    f"{banks_per_group} banks; split into more passes "
+                    "(paper SVIII)"
+                )
+
+
+# ----------------------------------------------------------------------
+def approximate_coefficients(
+    recipe: UpdateRecipe,
+) -> dict[float, ScalerValue]:
+    """Map each distinct coefficient to its programmed scaler value."""
+    return {
+        c: ScalerValue.approximate(c) for c in recipe.coefficients()
+    }
+
+
+def interpret_recipe(
+    recipe: UpdateRecipe,
+    arrays: Mapping[str, np.ndarray],
+    dtype: np.dtype = np.dtype(np.float32),
+    approximate: bool = True,
+) -> dict[str, np.ndarray]:
+    """Execute a recipe with hardware-faithful semantics.
+
+    ``arrays`` supplies the DRAM-resident inputs; the returned dict holds
+    every array after the update (inputs unchanged unless also outputs).
+    With ``approximate=True`` every coefficient passes through the
+    2^n±2^m scaler approximation, matching what the compiled kernel does.
+    """
+    coef_map = approximate_coefficients(recipe) if approximate else {}
+
+    def scale(coef: float, x: np.ndarray) -> np.ndarray:
+        if coef == 1.0:
+            return x.astype(dtype)
+        value = coef_map[coef].value if approximate else coef
+        return (x.astype(dtype) * dtype.type(value)).astype(dtype)
+
+    env: dict[str, np.ndarray] = {
+        name: np.asarray(a, dtype=dtype).copy() for name, a in arrays.items()
+    }
+    for p in recipe.passes:
+        for name in p.inputs:
+            if name not in env:
+                raise CompileError(f"recipe input {name!r} was not supplied")
+        for op in p.ops:
+            if isinstance(op, Lincomb):
+                acc = scale(op.terms[0].coef, env[op.terms[0].source])
+                for t in op.terms[1:]:
+                    acc = (acc + scale(t.coef, env[t.source])).astype(dtype)
+                env[op.target] = acc
+            elif isinstance(op, Mul):
+                a = scale(op.a.coef, env[op.a.source])
+                env[op.target] = (a * env[op.b].astype(dtype)).astype(dtype)
+            elif isinstance(op, RsqrtMul):
+                b = env[op.b].astype(np.float64)
+                r = (1.0 / np.sqrt(b + op.epsilon)).astype(dtype)
+                env[op.target] = (
+                    env[op.a].astype(dtype) * r
+                ).astype(dtype)
+            else:  # pragma: no cover - closed union
+                raise CompileError(f"unknown op {op!r}")
+    return env
+
+
+# ----------------------------------------------------------------------
+class Optimizer(abc.ABC):
+    """Base class for parameter-update algorithms.
+
+    Subclasses define hyperparameters in ``__init__``, the optimizer
+    state layout, a textbook float64 reference, and the hardware recipe.
+    """
+
+    name: str = "optimizer"
+
+    @abc.abstractmethod
+    def state_arrays(self) -> tuple[str, ...]:
+        """Names of per-parameter state arrays (e.g. ``('momentum',)``)."""
+
+    @abc.abstractmethod
+    def recipe(self) -> UpdateRecipe:
+        """The hardware update recipe over ``theta``/``grad``/state."""
+
+    @abc.abstractmethod
+    def reference_step(
+        self,
+        theta: np.ndarray,
+        grad: np.ndarray,
+        state: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Textbook float64 update: returns (new_theta, new_state)."""
+
+    # ------------------------------------------------------------------
+    def init_state(self, n: int) -> dict[str, np.ndarray]:
+        """Zero-initialized state arrays for ``n`` parameters."""
+        return {
+            name: np.zeros(n, dtype=np.float64)
+            for name in self.state_arrays()
+        }
+
+    def hardware_step(
+        self,
+        theta: np.ndarray,
+        grad: np.ndarray,
+        state: Mapping[str, np.ndarray],
+        dtype: np.dtype = np.dtype(np.float32),
+        approximate: bool = True,
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Run the recipe interpreter: what the PIM kernel computes."""
+        arrays = {"theta": theta, "grad": grad}
+        arrays.update(state)
+        env = interpret_recipe(
+            self.recipe(), arrays, dtype=dtype, approximate=approximate
+        )
+        new_state = {name: env[name] for name in self.state_arrays()}
+        return env["theta"], new_state
+
+    def scaler_program(self) -> dict[float, ScalerValue]:
+        """Coefficient -> scaler value map the kernel must program."""
+        return approximate_coefficients(self.recipe())
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        passes = self.recipe().passes
+        return (
+            f"{self.name}: {len(passes)} pass(es), "
+            f"{sum(len(p.ops) for p in passes)} ops, "
+            f"extended_alu={self.recipe().needs_extended_alu}"
+        )

@@ -1,0 +1,80 @@
+"""Mixed-precision configurations (paper §VI-C, Fig. 12c/d).
+
+A precision mix ``lp/hp`` stores master copies (weights, optimizer
+state) at ``hp`` bits and the NPU-facing copies (activations, gradients,
+forward weights) at ``lp`` bits. The paper's default is 8/32; Fig. 12c/d
+also evaluate 16/32, 8/16, and full precision 32/32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.pim.quant import QuantSpec
+
+
+@dataclass(frozen=True)
+class PrecisionConfig:
+    """One low/high precision pairing."""
+
+    lp_bits: int
+    hp_bits: int
+
+    def __post_init__(self) -> None:
+        if self.lp_bits not in (8, 16, 32):
+            raise ConfigError(f"unsupported lp_bits {self.lp_bits}")
+        if self.hp_bits not in (16, 32):
+            raise ConfigError(f"unsupported hp_bits {self.hp_bits}")
+        if self.lp_bits > self.hp_bits:
+            raise ConfigError(
+                f"lp must not exceed hp, got {self.lp_bits}/{self.hp_bits}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Paper-style label, e.g. ``8/32``."""
+        return f"{self.lp_bits}/{self.hp_bits}"
+
+    @property
+    def is_full(self) -> bool:
+        """True for full precision (no quantize/dequantize phases)."""
+        return self.lp_bits == self.hp_bits
+
+    @property
+    def lp_bytes(self) -> int:
+        """Bytes per low-precision element."""
+        return self.lp_bits // 8
+
+    @property
+    def hp_bytes(self) -> int:
+        """Bytes per high-precision element."""
+        return self.hp_bits // 8
+
+    @property
+    def ratio(self) -> int:
+        """hp/lp width ratio = quantization-register positions."""
+        return self.hp_bits // self.lp_bits
+
+    def quant_spec(self, exponent: int = -6) -> QuantSpec:
+        """The :class:`QuantSpec` realizing this mix in the PIM unit."""
+        if self.is_full:
+            raise ConfigError(
+                "full precision has no quantization; callers must branch "
+                "on is_full"
+            )
+        return QuantSpec(
+            hp_bits=self.hp_bits, lp_bits=self.lp_bits, exponent=exponent
+        )
+
+
+PRECISION_8_32 = PrecisionConfig(8, 32)
+PRECISION_16_32 = PrecisionConfig(16, 32)
+PRECISION_8_16 = PrecisionConfig(8, 16)
+PRECISION_FULL = PrecisionConfig(32, 32)
+
+#: The four mixes of Fig. 12c/d, keyed by paper label.
+PRECISIONS: dict[str, PrecisionConfig] = {
+    p.name: p
+    for p in (PRECISION_8_32, PRECISION_16_32, PRECISION_8_16, PRECISION_FULL)
+}

@@ -1,0 +1,173 @@
+"""Learning-rate scheduling on GradPIM (paper §VIII).
+
+The scaler slots hold the learning rate, so scheduling it means
+reprogramming them over training. The paper sketches three mechanisms,
+all implemented here:
+
+* **power-of-two stepping** — "Scaling the values each time by 2 can be
+  easily implemented using a shifter": :class:`StepSchedule` with a
+  power-of-two decay factor is *exact* on the hardware;
+* **approximated decay curves** — "For more complicated scheduling such
+  as cosine or polynomial decay, we may choose to approximate the
+  decaying function": :class:`CosineSchedule` and
+  :class:`PolynomialSchedule` emit, per step, the nearest 2^n±2^m
+  scaler value; :func:`schedule_error` quantifies the approximation;
+* **host-provided rates** — "utilize the mode register and let the NPU
+  provide the new learning rate value": :func:`mrw_reprogram_points`
+  reports how many MRW commands a training run needs, which is the
+  (tiny) performance overhead of that path.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.errors import ConfigError
+from repro.pim.scaler import ScalerValue
+
+
+class LRSchedule(abc.ABC):
+    """A learning-rate schedule over training steps."""
+
+    def __init__(self, base_lr: float, total_steps: int) -> None:
+        if base_lr <= 0:
+            raise ConfigError(f"base_lr must be positive, got {base_lr}")
+        if total_steps < 1:
+            raise ConfigError("total_steps must be at least 1")
+        self.base_lr = base_lr
+        self.total_steps = total_steps
+
+    @abc.abstractmethod
+    def lr(self, step: int) -> float:
+        """Exact learning rate at ``step`` (0-based)."""
+
+    def _check_step(self, step: int) -> None:
+        if not 0 <= step < self.total_steps:
+            raise ConfigError(
+                f"step {step} outside [0, {self.total_steps})"
+            )
+
+    # ------------------------------------------------------------------
+    def hardware_lr(self, step: int) -> ScalerValue:
+        """The 2^n±2^m scaler value GradPIM would program at ``step``."""
+        return ScalerValue.approximate(self.lr(step))
+
+    def schedule(self) -> list[float]:
+        """Exact rates for every step."""
+        return [self.lr(s) for s in range(self.total_steps)]
+
+    def hardware_schedule(self) -> list[ScalerValue]:
+        """Programmed scaler values for every step."""
+        return [self.hardware_lr(s) for s in range(self.total_steps)]
+
+    def mrw_reprogram_points(self) -> list[int]:
+        """Steps at which the programmed scaler value changes.
+
+        Each entry costs one MRW command per rank (~tMOD cycles) — the
+        §VIII "small overhead"; between entries the hardware rate is
+        constant even if the exact schedule drifts within one
+        quantization bin.
+        """
+        points = []
+        previous: ScalerValue | None = None
+        for step in range(self.total_steps):
+            value = self.hardware_lr(step)
+            if value != previous:
+                points.append(step)
+                previous = value
+        return points
+
+
+def schedule_error(schedule: LRSchedule) -> float:
+    """Worst-case relative error of the hardware schedule."""
+    worst = 0.0
+    for step in range(schedule.total_steps):
+        exact = schedule.lr(step)
+        approx = schedule.hardware_lr(step).value
+        worst = max(worst, abs(approx - exact) / exact)
+    return worst
+
+
+# ----------------------------------------------------------------------
+class StepSchedule(LRSchedule):
+    """Multiply the rate by ``factor`` every ``period`` steps.
+
+    With a power-of-two ``factor`` (the paper's shifter path) every
+    scheduled rate that starts as 2^n±2^m stays exactly representable.
+    """
+
+    def __init__(
+        self,
+        base_lr: float,
+        total_steps: int,
+        period: int,
+        factor: float = 0.5,
+    ) -> None:
+        super().__init__(base_lr, total_steps)
+        if period < 1:
+            raise ConfigError("period must be at least 1")
+        if not 0 < factor < 1:
+            raise ConfigError("factor must be in (0, 1)")
+        self.period = period
+        self.factor = factor
+
+    def lr(self, step: int) -> float:
+        self._check_step(step)
+        return self.base_lr * self.factor ** (step // self.period)
+
+    @property
+    def factor_is_power_of_two(self) -> bool:
+        """True when the decay runs on the shifter exactly."""
+        mantissa, _ = math.frexp(self.factor)
+        return mantissa == 0.5
+
+
+class CosineSchedule(LRSchedule):
+    """Cosine annealing (Loshchilov & Hutter, the paper's [70])."""
+
+    def __init__(
+        self,
+        base_lr: float,
+        total_steps: int,
+        min_lr: float | None = None,
+    ) -> None:
+        super().__init__(base_lr, total_steps)
+        self.min_lr = min_lr if min_lr is not None else base_lr / 100.0
+        if not 0 < self.min_lr <= base_lr:
+            raise ConfigError("min_lr must be in (0, base_lr]")
+
+    def lr(self, step: int) -> float:
+        self._check_step(step)
+        if self.total_steps == 1:
+            return self.base_lr
+        progress = step / (self.total_steps - 1)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class PolynomialSchedule(LRSchedule):
+    """Polynomial decay (the paper's [106], PSPNet-style)."""
+
+    def __init__(
+        self,
+        base_lr: float,
+        total_steps: int,
+        power: float = 0.9,
+        min_lr: float = 1e-6,
+    ) -> None:
+        super().__init__(base_lr, total_steps)
+        if power <= 0:
+            raise ConfigError("power must be positive")
+        if not 0 < min_lr <= base_lr:
+            raise ConfigError("min_lr must be in (0, base_lr]")
+        self.power = power
+        self.min_lr = min_lr
+
+    def lr(self, step: int) -> float:
+        self._check_step(step)
+        if self.total_steps == 1:
+            return self.base_lr
+        progress = step / (self.total_steps - 1)
+        decayed = self.base_lr * (1.0 - progress) ** self.power
+        return max(decayed, self.min_lr)

@@ -1,0 +1,190 @@
+"""SGD-family optimizers: plain SGD, momentum (+weight decay), NAG.
+
+These are the algorithms the paper demonstrates on GradPIM (§III-A,
+§IV-D, §VIII): all are linear combinations of ``theta``, ``grad`` and
+momentum, so they lower onto the baseline add/sub ALU with scaled loads.
+
+Equations (paper Eq. 1-4):
+
+* SGD:            ``theta <- theta - eta * g``
+* momentum SGD:   ``v <- alpha*v - eta*(beta*theta + g)``;
+                  ``theta <- theta + v``
+* NAG (PyTorch-style Nesterov): ``v <- alpha*v + g``;
+                  ``theta <- theta - eta*(g + alpha*v)``
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.optim.base import (
+    Lincomb,
+    Optimizer,
+    Term,
+    UpdatePass,
+    UpdateRecipe,
+)
+
+
+def _check_lr(eta: float) -> None:
+    if eta <= 0:
+        raise ConfigError(f"learning rate must be positive, got {eta}")
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent (paper Eq. 1)."""
+
+    name = "sgd"
+
+    def __init__(self, eta: float = 0.01) -> None:
+        _check_lr(eta)
+        self.eta = eta
+
+    def state_arrays(self) -> tuple[str, ...]:
+        return ()
+
+    def recipe(self) -> UpdateRecipe:
+        update = UpdatePass(
+            ops=(
+                Lincomb(
+                    "theta",
+                    (Term(1.0, "theta"), Term(-self.eta, "grad")),
+                ),
+            ),
+            inputs=frozenset({"theta", "grad"}),
+            outputs=frozenset({"theta"}),
+        )
+        return UpdateRecipe(passes=(update,))
+
+    def reference_step(
+        self,
+        theta: np.ndarray,
+        grad: np.ndarray,
+        state: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        theta = np.asarray(theta, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64)
+        return theta - self.eta * grad, {}
+
+
+class MomentumSGD(Optimizer):
+    """SGD with momentum and optional weight decay (paper Eq. 2-4).
+
+    This is the algorithm the paper walks through in Fig. 5:
+    ``v_t = alpha*v_{t-1} - eta*(beta*theta_t + g_t)`` and
+    ``theta_{t+1} = theta_t + v_t``.
+    """
+
+    name = "momentum_sgd"
+
+    def __init__(
+        self,
+        eta: float = 0.01,
+        alpha: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        _check_lr(eta)
+        if not 0.0 <= alpha < 1.0:
+            raise ConfigError(f"momentum alpha must be in [0,1), got {alpha}")
+        if weight_decay < 0.0:
+            raise ConfigError(
+                f"weight decay must be non-negative, got {weight_decay}"
+            )
+        self.eta = eta
+        self.alpha = alpha
+        self.weight_decay = weight_decay
+
+    def state_arrays(self) -> tuple[str, ...]:
+        return ("momentum",)
+
+    def recipe(self) -> UpdateRecipe:
+        v_terms = [Term(-self.eta, "grad")]
+        if self.alpha:
+            v_terms.insert(0, Term(self.alpha, "momentum"))
+        if self.weight_decay:
+            v_terms.append(Term(-self.eta * self.weight_decay, "theta"))
+        update = UpdatePass(
+            ops=(
+                Lincomb("momentum", tuple(v_terms)),
+                Lincomb(
+                    "theta",
+                    (Term(1.0, "theta"), Term(1.0, "momentum")),
+                ),
+            ),
+            inputs=frozenset({"theta", "grad", "momentum"}),
+            outputs=frozenset({"theta", "momentum"}),
+        )
+        return UpdateRecipe(passes=(update,))
+
+    def reference_step(
+        self,
+        theta: np.ndarray,
+        grad: np.ndarray,
+        state: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        theta = np.asarray(theta, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64)
+        v = np.asarray(state["momentum"], dtype=np.float64)
+        v_new = self.alpha * v - self.eta * (
+            self.weight_decay * theta + grad
+        )
+        return theta + v_new, {"momentum": v_new}
+
+
+class NAG(Optimizer):
+    """Nesterov accelerated gradient, PyTorch-style formulation.
+
+    ``v <- alpha*v + g``; ``theta <- theta - eta*g - eta*alpha*v``.
+    Linear in all arrays, so it lowers onto the base ALU (paper §VIII:
+    "Some algorithms such as NAG can be supported with GradPIM naturally
+    in the same way").
+    """
+
+    name = "nag"
+
+    def __init__(self, eta: float = 0.01, alpha: float = 0.9) -> None:
+        _check_lr(eta)
+        if not 0.0 < alpha < 1.0:
+            raise ConfigError(f"alpha must be in (0,1), got {alpha}")
+        self.eta = eta
+        self.alpha = alpha
+
+    def state_arrays(self) -> tuple[str, ...]:
+        return ("momentum",)
+
+    def recipe(self) -> UpdateRecipe:
+        update = UpdatePass(
+            ops=(
+                Lincomb(
+                    "momentum",
+                    (Term(self.alpha, "momentum"), Term(1.0, "grad")),
+                ),
+                Lincomb(
+                    "theta",
+                    (
+                        Term(1.0, "theta"),
+                        Term(-self.eta, "grad"),
+                        Term(-self.eta * self.alpha, "momentum"),
+                    ),
+                ),
+            ),
+            inputs=frozenset({"theta", "grad", "momentum"}),
+            outputs=frozenset({"theta", "momentum"}),
+        )
+        return UpdateRecipe(passes=(update,))
+
+    def reference_step(
+        self,
+        theta: np.ndarray,
+        grad: np.ndarray,
+        state: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        theta = np.asarray(theta, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64)
+        v = np.asarray(state["momentum"], dtype=np.float64)
+        v_new = self.alpha * v + grad
+        theta_new = theta - self.eta * (grad + self.alpha * v_new)
+        return theta_new, {"momentum": v_new}

@@ -1,0 +1,36 @@
+"""GradPIM unit: functional model of the in-DRAM update logic.
+
+One GradPIM unit sits at each bank group's I/O gating (paper Fig. 4) and
+contains:
+
+* two 64-byte **temporary registers** (operand/result staging),
+* one 64-byte **quantization register** (low-precision staging),
+* a **scaler** approximating hyperparameters as ``±(2^n ± 2^m)``,
+* a **parallel ALU** doing element-wise add/sub/quantize/dequantize.
+
+This subpackage provides bit-exact functional semantics for those
+components plus the Table I command encoding and a byte-level functional
+DRAM used to verify compiled kernels against numpy optimizer references.
+"""
+
+from repro.pim.scaler import ScalerValue, ScalerTable
+from repro.pim.quant import QuantSpec
+from repro.pim.registers import RegisterFile
+from repro.pim.unit import GradPIMUnit, PIM_LAYOUT, LayoutEntry
+from repro.pim.isa import encode_command, decode_command, EncodedCommand
+from repro.pim.functional import FunctionalDRAM, FunctionalExecutor
+
+__all__ = [
+    "ScalerValue",
+    "ScalerTable",
+    "QuantSpec",
+    "RegisterFile",
+    "GradPIMUnit",
+    "PIM_LAYOUT",
+    "LayoutEntry",
+    "encode_command",
+    "decode_command",
+    "EncodedCommand",
+    "FunctionalDRAM",
+    "FunctionalExecutor",
+]

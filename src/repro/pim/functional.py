@@ -1,0 +1,202 @@
+"""Byte-level functional DRAM and a command-stream executor.
+
+These two classes give the reproduction its ground truth: a compiled
+GradPIM kernel is *executed* — every scaled read, ALU op, and writeback
+actually moves bytes — and the resulting parameter arrays are compared
+against numpy optimizer references by the test suite.
+
+Functional execution is deliberately independent of timing: it runs the
+stream in program order (which the dependency edges make equivalent to
+any legal schedule) so a timing bug cannot mask a semantics bug and vice
+versa.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dram.address import AddressMapping
+from repro.dram.commands import Command, CommandType, QUANT_REG
+from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.errors import SimulationError
+from repro.pim.quant import QuantSpec
+from repro.pim.unit import GradPIMUnit
+
+
+class FunctionalDRAM:
+    """Sparse byte store addressed by (rank, bankgroup, bank, row, col)."""
+
+    def __init__(self, geometry: DeviceGeometry = DEFAULT_GEOMETRY) -> None:
+        self.geometry = geometry
+        self.mapping = AddressMapping(geometry)
+        self._columns: dict[tuple[int, int, int, int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def read_column(
+        self, rank: int, bankgroup: int, bank: int, row: int, col: int
+    ) -> np.ndarray:
+        """Read one 64 B column (zeros if never written)."""
+        key = (rank, bankgroup, bank, row, col)
+        data = self._columns.get(key)
+        if data is None:
+            return np.zeros(self.geometry.column_bytes, dtype=np.uint8)
+        return data.copy()
+
+    def write_column(
+        self,
+        rank: int,
+        bankgroup: int,
+        bank: int,
+        row: int,
+        col: int,
+        data: np.ndarray,
+    ) -> None:
+        """Write one 64 B column."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (self.geometry.column_bytes,):
+            raise SimulationError(
+                f"column write needs {self.geometry.column_bytes} bytes"
+            )
+        self._columns[(rank, bankgroup, bank, row, col)] = data.copy()
+
+    # ------------------------------------------------------------------
+    def store_array(self, bank: int, array: np.ndarray, base: int = 0) -> None:
+        """Store a flat array into bank-aligned space (Fig. 7 placement).
+
+        ``base`` is a byte offset inside the bank's region; it must be
+        column aligned so elements never straddle column boundaries.
+        """
+        cb = self.geometry.column_bytes
+        if base % cb != 0:
+            raise SimulationError("array base must be column aligned")
+        raw = np.ascontiguousarray(array).view(np.uint8).ravel()
+        padded_len = -(-len(raw) // cb) * cb
+        padded = np.zeros(padded_len, dtype=np.uint8)
+        padded[: len(raw)] = raw
+        for i in range(0, padded_len, cb):
+            coords = self.mapping.element_coords(bank, base + i)
+            self.write_column(
+                coords.rank,
+                coords.bankgroup,
+                coords.bank,
+                coords.row,
+                coords.col,
+                padded[i : i + cb],
+            )
+
+    def load_array(
+        self, bank: int, dtype: np.dtype, count: int, base: int = 0
+    ) -> np.ndarray:
+        """Read back ``count`` elements of ``dtype`` from bank space."""
+        cb = self.geometry.column_bytes
+        if base % cb != 0:
+            raise SimulationError("array base must be column aligned")
+        nbytes = count * np.dtype(dtype).itemsize
+        padded_len = -(-nbytes // cb) * cb
+        out = np.zeros(padded_len, dtype=np.uint8)
+        for i in range(0, padded_len, cb):
+            coords = self.mapping.element_coords(bank, base + i)
+            out[i : i + cb] = self.read_column(
+                coords.rank,
+                coords.bankgroup,
+                coords.bank,
+                coords.row,
+                coords.col,
+            )
+        return out[:nbytes].view(dtype).copy()
+
+
+class FunctionalExecutor:
+    """Executes a GradPIM command stream against a :class:`FunctionalDRAM`.
+
+    One :class:`GradPIMUnit` is instantiated per bank group (or per bank
+    with ``per_bank_pim``, the AoS-PB configuration).
+    """
+
+    def __init__(
+        self,
+        dram: FunctionalDRAM,
+        quant: QuantSpec | None = None,
+        per_bank_pim: bool = False,
+        rsqrt_epsilon: float = 1e-8,
+    ) -> None:
+        self.dram = dram
+        self.quant = quant if quant is not None else QuantSpec()
+        self.per_bank_pim = per_bank_pim
+        self.rsqrt_epsilon = rsqrt_epsilon
+        self._units: dict[tuple[int, int, int], GradPIMUnit] = {}
+
+    # ------------------------------------------------------------------
+    def unit_for(self, rank: int, bankgroup: int, bank: int) -> GradPIMUnit:
+        """The GradPIM unit serving a (rank, bankgroup[, bank])."""
+        key = (rank, bankgroup, bank if self.per_bank_pim else -1)
+        unit = self._units.get(key)
+        if unit is None:
+            unit = GradPIMUnit(self.quant)
+            self._units[key] = unit
+        return unit
+
+    def program_scaler(self, slot: int, value) -> None:
+        """Program a scaler slot on every unit (the broadcast MRW)."""
+        geom = self.dram.geometry
+        banks = geom.banks_per_group if self.per_bank_pim else 1
+        for rank in range(geom.ranks):
+            for bg in range(geom.bankgroups):
+                for bank in range(banks):
+                    self.unit_for(rank, bg, bank).scalers.program(slot, value)
+
+    # ------------------------------------------------------------------
+    def execute(self, commands: Sequence[Command]) -> None:
+        """Run a stream in program order, moving real bytes."""
+        for cmd in commands:
+            self._execute_one(cmd)
+
+    def _execute_one(self, cmd: Command) -> None:
+        kind = cmd.kind
+        if kind in (CommandType.ACT, CommandType.PRE, CommandType.REF):
+            return
+        if kind is CommandType.MRW:
+            # Programs one scaler slot on every unit of the rank.
+            geom = self.dram.geometry
+            banks = geom.banks_per_group if self.per_bank_pim else 1
+            for bg in range(geom.bankgroups):
+                for bank in range(banks):
+                    self.unit_for(cmd.rank, bg, bank).scalers.program(
+                        cmd.scale_id, cmd.scaler
+                    )
+            return
+        unit = self.unit_for(cmd.rank, cmd.bankgroup, cmd.bank)
+        dram = self.dram
+        where = (cmd.rank, cmd.bankgroup, cmd.bank, cmd.row, cmd.col)
+        if kind is CommandType.SCALED_READ:
+            column = dram.read_column(*where)
+            unit.scaled_read(column, cmd.scale_id, cmd.dst_reg)
+        elif kind is CommandType.WRITEBACK:
+            if cmd.src_reg == QUANT_REG:
+                dram.write_column(*where, unit.qreg_store())
+            else:
+                dram.write_column(*where, unit.writeback(cmd.src_reg))
+        elif kind is CommandType.QREG_LOAD:
+            unit.qreg_load(dram.read_column(*where))
+        elif kind is CommandType.QREG_STORE:
+            dram.write_column(*where, unit.qreg_store())
+        elif kind is CommandType.PIM_ADD:
+            unit.parallel_add(cmd.dst_reg)
+        elif kind is CommandType.PIM_SUB:
+            unit.parallel_sub(cmd.dst_reg)
+        elif kind is CommandType.PIM_MUL:
+            unit.parallel_mul(cmd.dst_reg)
+        elif kind is CommandType.PIM_RSQRT:
+            unit.parallel_rsqrt(cmd.dst_reg, self.rsqrt_epsilon)
+        elif kind is CommandType.PIM_QUANT:
+            unit.quantize(cmd.src_reg, cmd.position)
+        elif kind is CommandType.PIM_DEQUANT:
+            unit.dequantize(cmd.position, cmd.dst_reg)
+        elif kind in (CommandType.RD, CommandType.WR):
+            # Host-side accesses move data the executor does not model
+            # (the NPU owns that data); nothing to do functionally.
+            return
+        else:  # pragma: no cover - vocabulary is closed
+            raise SimulationError(f"cannot execute {kind.value}")

@@ -1,0 +1,179 @@
+"""GradPIM command encoding over the DDR4 RFU signals (paper Table I).
+
+The DDR4 standard leaves five configurable command signals for RFU
+operations once bank-group/bank/row/column addresses are accounted for
+(A12/BC_n, A17, A13, A11, A10/AP — paper footnote 2). GradPIM packs its
+opcode and operands into those five bits:
+
+======  ====  ====  ======  ======  =======
+Func    Op0   Op1   Param0  Param1  Src/Dst
+======  ====  ====  ======  ======  =======
+Scaled  L     L     scale id (2b)    dst
+DeQuant H     L     position (2b)    dst
+Quant   H     H     position (2b)    src
+Wrback  L     H     L       L        src
+Q. Reg  L     H     H       L        rd/wr
+Add     L     H     H       H        dst
+Sub     L     H     L       H        dst
+======  ====  ====  ======  ======  =======
+
+The Q. Reg command's rd/wr bit selects direction: ``wr`` fills the
+quantization register from a bank column (:data:`CommandType.QREG_LOAD`),
+``rd`` drains it into a bank column (:data:`CommandType.QREG_STORE`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.commands import Command, CommandType, QUANT_REG
+from repro.errors import IsaError
+
+#: Bit positions within the 5-bit RFU field, MSB first.
+_OP0, _OP1, _P0, _P1, _SD = 4, 3, 2, 1, 0
+
+#: Command kinds that have a Table I encoding.
+ENCODABLE = frozenset(
+    {
+        CommandType.SCALED_READ,
+        CommandType.PIM_DEQUANT,
+        CommandType.PIM_QUANT,
+        CommandType.WRITEBACK,
+        CommandType.QREG_LOAD,
+        CommandType.QREG_STORE,
+        CommandType.PIM_ADD,
+        CommandType.PIM_SUB,
+    }
+)
+
+
+@dataclass(frozen=True)
+class EncodedCommand:
+    """A decoded RFU field: kind plus operand values."""
+
+    kind: CommandType
+    scale_id: int = 0
+    position: int = 0
+    reg: int = 0  # dst for reads/ALU, src for quant/writeback
+
+
+def _bit(value: int, position: int) -> int:
+    return (value >> position) & 1
+
+
+def encode_command(cmd: Command) -> int:
+    """Pack a GradPIM command's opcode/operands into the 5 RFU bits."""
+    k = cmd.kind
+    if k not in ENCODABLE:
+        raise IsaError(f"{k.value} has no RFU encoding")
+    if k is CommandType.SCALED_READ:
+        if not 0 <= cmd.scale_id < 4:
+            raise IsaError(f"scale id {cmd.scale_id} out of range")
+        return (
+            (cmd.scale_id << _P1) | (_reg_bit(cmd.dst_reg) << _SD)
+        )  # Op = LL
+    if k is CommandType.PIM_DEQUANT:
+        _check_position(cmd.position)
+        return (
+            (1 << _OP0)
+            | (cmd.position << _P1)
+            | (_reg_bit(cmd.dst_reg) << _SD)
+        )
+    if k is CommandType.PIM_QUANT:
+        _check_position(cmd.position)
+        return (
+            (1 << _OP0)
+            | (1 << _OP1)
+            | (cmd.position << _P1)
+            | (_reg_bit(cmd.src_reg) << _SD)
+        )
+    if k is CommandType.WRITEBACK:
+        if cmd.src_reg == QUANT_REG:
+            # Draining the quantization register is the Q.Reg rd form.
+            return (1 << _OP1) | (1 << _P0) | (0 << _P1) | (0 << _SD)
+        return (1 << _OP1) | (_reg_bit(cmd.src_reg) << _SD)
+    if k is CommandType.QREG_STORE:
+        return (1 << _OP1) | (1 << _P0) | (0 << _SD)
+    if k is CommandType.QREG_LOAD:
+        return (1 << _OP1) | (1 << _P0) | (1 << _SD)
+    if k is CommandType.PIM_ADD:
+        return (
+            (1 << _OP1)
+            | (1 << _P0)
+            | (1 << _P1)
+            | (_reg_bit(cmd.dst_reg) << _SD)
+        )
+    if k is CommandType.PIM_SUB:
+        return (
+            (1 << _OP1) | (1 << _P1) | (_reg_bit(cmd.dst_reg) << _SD)
+        )
+    raise IsaError(f"unhandled kind {k.value}")  # pragma: no cover
+
+
+def decode_command(bits: int) -> EncodedCommand:
+    """Unpack a 5-bit RFU field back into kind and operands."""
+    if not 0 <= bits < 32:
+        raise IsaError(f"RFU field must be 5 bits, got {bits:#x}")
+    op0, op1 = _bit(bits, _OP0), _bit(bits, _OP1)
+    p0, p1, sd = _bit(bits, _P0), _bit(bits, _P1), _bit(bits, _SD)
+    if op0 == 0 and op1 == 0:
+        return EncodedCommand(
+            kind=CommandType.SCALED_READ,
+            scale_id=(p0 << 1) | p1,
+            reg=sd,
+        )
+    if op0 == 1 and op1 == 0:
+        return EncodedCommand(
+            kind=CommandType.PIM_DEQUANT, position=(p0 << 1) | p1, reg=sd
+        )
+    if op0 == 1 and op1 == 1:
+        return EncodedCommand(
+            kind=CommandType.PIM_QUANT, position=(p0 << 1) | p1, reg=sd
+        )
+    # op0 == 0, op1 == 1: the four L-H functions.
+    if p0 == 0 and p1 == 0:
+        return EncodedCommand(kind=CommandType.WRITEBACK, reg=sd)
+    if p0 == 1 and p1 == 0:
+        kind = CommandType.QREG_LOAD if sd else CommandType.QREG_STORE
+        return EncodedCommand(kind=kind, reg=QUANT_REG)
+    if p0 == 1 and p1 == 1:
+        return EncodedCommand(kind=CommandType.PIM_ADD, reg=sd)
+    return EncodedCommand(kind=CommandType.PIM_SUB, reg=sd)
+
+
+#: Extended encodings occupy a sixth command signal (paper §IV-E: "we can
+#: add an extra command signal or occupy unused command combinations").
+#: Bit 5 set marks the extension space.
+_EXT = 5
+
+EXTENDED = frozenset({CommandType.PIM_MUL, CommandType.PIM_RSQRT})
+
+
+def encode_extended(cmd: Command) -> int:
+    """Encode a §VIII extended-ALU command into the 6-bit space."""
+    if cmd.kind is CommandType.PIM_MUL:
+        return (1 << _EXT) | (_reg_bit(cmd.dst_reg) << _SD)
+    if cmd.kind is CommandType.PIM_RSQRT:
+        return (1 << _EXT) | (1 << _P1) | (_reg_bit(cmd.dst_reg) << _SD)
+    raise IsaError(f"{cmd.kind.value} is not an extended-ALU command")
+
+
+def decode_extended(bits: int) -> EncodedCommand:
+    """Decode a 6-bit extended field back into kind and operands."""
+    if not _bit(bits, _EXT):
+        raise IsaError("not an extended encoding (bit 5 clear)")
+    sd = _bit(bits, _SD)
+    if _bit(bits, _P1):
+        return EncodedCommand(kind=CommandType.PIM_RSQRT, reg=sd)
+    return EncodedCommand(kind=CommandType.PIM_MUL, reg=sd)
+
+
+def _reg_bit(reg: int) -> int:
+    if reg not in (0, 1):
+        raise IsaError(f"temporary register id must be 0 or 1, got {reg}")
+    return reg
+
+
+def _check_position(position: int) -> None:
+    if not 0 <= position < 4:
+        raise IsaError(f"quant position {position} out of range")

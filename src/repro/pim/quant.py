@@ -1,0 +1,116 @@
+"""Quantization semantics for mixed-precision training (paper §IV-D).
+
+GradPIM converts between a high-precision master representation (what
+the optimizer updates, stored across full columns) and a low-precision
+representation (what the NPU reads/writes during forward/backward).
+
+The hardware datapath is a shifter + rounder, so the quantization step
+size is a power of two: ``Q(x) = clip(round(x / 2^e))`` into a signed
+``lp_bits`` integer, and ``DQ(q) = q * 2^e``. Both directions are exact,
+deterministic operations, which lets the test suite compare compiled
+PIM kernels bit-for-bit against numpy references.
+
+Supported high-precision element types:
+
+* ``float32`` / ``float16`` — master weights as IEEE floats (the default,
+  matching mixed-precision training practice);
+* ``int32`` fixed point — a hardware-exact mode where the ALU is a plain
+  integer adder; the quantization exponent then counts fractional bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_HP_DTYPES = {32: np.float32, 16: np.float16}
+_LP_DTYPES = {8: np.int8, 16: np.int16}
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """Quantization geometry and arithmetic for one precision mix.
+
+    ``exponent`` is the power-of-two step size ``2^exponent`` of the
+    low-precision grid.
+    """
+
+    hp_bits: int = 32
+    lp_bits: int = 8
+    exponent: int = -6
+
+    def __post_init__(self) -> None:
+        if self.hp_bits not in _HP_DTYPES:
+            raise ConfigError(f"unsupported hp_bits {self.hp_bits}")
+        if self.lp_bits not in _LP_DTYPES:
+            raise ConfigError(f"unsupported lp_bits {self.lp_bits}")
+        if self.lp_bits >= self.hp_bits:
+            raise ConfigError(
+                "low precision must be narrower than high precision, got "
+                f"{self.lp_bits}/{self.hp_bits}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def hp_dtype(self) -> np.dtype:
+        """Numpy dtype of the high-precision representation."""
+        return np.dtype(_HP_DTYPES[self.hp_bits])
+
+    @property
+    def lp_dtype(self) -> np.dtype:
+        """Numpy dtype of the low-precision representation."""
+        return np.dtype(_LP_DTYPES[self.lp_bits])
+
+    @property
+    def ratio(self) -> int:
+        """How many low-precision columns pack into one hp column.
+
+        This is also the number of quant-register "positions": 4 for
+        8/32-bit mixing, 2 for 16/32 and 8/16 (paper §IV-D supports up
+        to four).
+        """
+        return self.hp_bits // self.lp_bits
+
+    @property
+    def step(self) -> float:
+        """The quantization step ``2^exponent``."""
+        return float(np.ldexp(1.0, self.exponent))
+
+    @property
+    def qmin(self) -> int:
+        """Smallest representable code."""
+        return -(1 << (self.lp_bits - 1))
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable code."""
+        return (1 << (self.lp_bits - 1)) - 1
+
+    # ------------------------------------------------------------------
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """High-precision array -> low-precision codes.
+
+        Round-half-to-even (the IEEE default, what a hardware rounder
+        produces from the truncated guard/round/sticky path) then
+        saturate.
+        """
+        scaled = np.asarray(x, dtype=np.float64) / self.step
+        codes = np.rint(scaled)
+        return np.clip(codes, self.qmin, self.qmax).astype(self.lp_dtype)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """Low-precision codes -> high-precision array."""
+        return (np.asarray(q, dtype=np.float64) * self.step).astype(
+            self.hp_dtype
+        )
+
+    def roundtrip_error_bound(self) -> float:
+        """Worst-case |x - DQ(Q(x))| for in-range x: half a step."""
+        return self.step / 2.0
+
+    def representable_range(self) -> tuple[float, float]:
+        """(lo, hi) values representable without saturation."""
+        return (self.qmin * self.step, self.qmax * self.step)

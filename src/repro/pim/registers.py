@@ -1,0 +1,124 @@
+"""GradPIM register file: two temporaries plus one quantization register.
+
+Registers are 64 bytes wide — "the same width of the global sense
+amplifiers (i.e., 64 Bytes in total for a rank)" (paper §IV-A). The
+quantization register is dedicated to low-precision values because they
+"stay longer (four times for 8-bit quantization) in the register",
+simplifying the control path (§IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.commands import QUANT_REG
+from repro.errors import ConfigError, SimulationError
+
+#: Width of every register, bytes.
+REGISTER_BYTES = 64
+
+#: Number of temporary registers per unit.
+NUM_TEMP_REGS = 2
+
+
+class RegisterFile:
+    """Byte-level storage of one GradPIM unit's registers."""
+
+    def __init__(self) -> None:
+        self._temps = [
+            np.zeros(REGISTER_BYTES, dtype=np.uint8)
+            for _ in range(NUM_TEMP_REGS)
+        ]
+        self._quant = np.zeros(REGISTER_BYTES, dtype=np.uint8)
+        self._temp_valid = [False] * NUM_TEMP_REGS
+        self._quant_valid = np.zeros(REGISTER_BYTES, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def write_temp(self, reg: int, data: np.ndarray) -> None:
+        """Fill a temporary register with 64 bytes."""
+        self._check_temp(reg)
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (REGISTER_BYTES,):
+            raise SimulationError(
+                f"register write needs {REGISTER_BYTES} bytes, "
+                f"got shape {data.shape}"
+            )
+        self._temps[reg][:] = data
+        self._temp_valid[reg] = True
+
+    def read_temp(self, reg: int) -> np.ndarray:
+        """Read a temporary register's 64 bytes (copy)."""
+        self._check_temp(reg)
+        if not self._temp_valid[reg]:
+            raise SimulationError(
+                f"read of temporary register {reg} before any write"
+            )
+        return self._temps[reg].copy()
+
+    def temp_written(self, reg: int) -> bool:
+        """True once the register holds defined data."""
+        self._check_temp(reg)
+        return self._temp_valid[reg]
+
+    # ------------------------------------------------------------------
+    def write_quant(self, data: np.ndarray) -> None:
+        """Fill the whole quantization register (a QREG_LOAD)."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (REGISTER_BYTES,):
+            raise SimulationError(
+                f"quant register write needs {REGISTER_BYTES} bytes"
+            )
+        self._quant[:] = data
+        self._quant_valid[:] = True
+
+    def write_quant_slice(
+        self, position: int, positions: int, data: np.ndarray
+    ) -> None:
+        """Fill one of ``positions`` equal slices (a PIM_QUANT result)."""
+        lo, hi = self._slice_bounds(position, positions)
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (hi - lo,):
+            raise SimulationError(
+                f"quant slice needs {hi - lo} bytes, got {data.shape}"
+            )
+        self._quant[lo:hi] = data
+        self._quant_valid[lo:hi] = True
+
+    def read_quant(self) -> np.ndarray:
+        """Read the whole quantization register (a QREG_STORE source)."""
+        if not self._quant_valid.all():
+            raise SimulationError(
+                "quant register stored before all positions were filled"
+            )
+        return self._quant.copy()
+
+    def read_quant_slice(self, position: int, positions: int) -> np.ndarray:
+        """Read one slice (a PIM_DEQUANT source)."""
+        lo, hi = self._slice_bounds(position, positions)
+        if not self._quant_valid[lo:hi].all():
+            raise SimulationError(
+                f"dequantize of unwritten quant-register position {position}"
+            )
+        return self._quant[lo:hi].copy()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _slice_bounds(position: int, positions: int) -> tuple[int, int]:
+        if positions not in (1, 2, 4):
+            raise ConfigError(f"positions must be 1, 2 or 4, got {positions}")
+        if not 0 <= position < positions:
+            raise SimulationError(
+                f"position {position} out of range for {positions} slices"
+            )
+        width = REGISTER_BYTES // positions
+        return position * width, (position + 1) * width
+
+    @staticmethod
+    def _check_temp(reg: int) -> None:
+        if reg == QUANT_REG:
+            raise SimulationError(
+                "quantization register accessed through temporary-register "
+                "port"
+            )
+        if not 0 <= reg < NUM_TEMP_REGS:
+            raise SimulationError(f"temporary register {reg} out of range")

@@ -1,0 +1,178 @@
+"""The GradPIM scaler: hyperparameters approximated as ``±(2^n ± 2^m)``.
+
+"To simplify the scaler, we approximate the scaler values in 2^n ± 2^m
+and implement the scaler with shifters and adders. The values of n and m
+assigned to each opcode can be programmed with MRW" (paper §IV-B). A
+scaled read applies one of four pinned scaler values, selected by the
+2-bit scale id of the command (Table I).
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Exponent range reachable by the hardware shifters.
+MIN_EXP = -31
+MAX_EXP = 15
+
+
+@dataclass(frozen=True)
+class ScalerValue:
+    """One programmed scaler constant ``sign * (2^n + term * 2^m)``.
+
+    ``term`` is +1, -1, or 0 (0 means a pure power of two, i.e. the
+    second shifter is disabled).
+    """
+
+    sign: int
+    n: int
+    term: int = 0
+    m: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sign not in (-1, 1):
+            raise ConfigError(f"sign must be +-1, got {self.sign}")
+        if self.term not in (-1, 0, 1):
+            raise ConfigError(f"term must be -1, 0, or 1, got {self.term}")
+        if not MIN_EXP <= self.n <= MAX_EXP:
+            raise ConfigError(f"n={self.n} outside shifter range")
+        if self.term != 0 and not MIN_EXP <= self.m <= MAX_EXP:
+            raise ConfigError(f"m={self.m} outside shifter range")
+        if self.term != 0 and self.m >= self.n:
+            raise ConfigError(
+                "m must be strictly below n so 2^n dominates "
+                f"(n={self.n}, m={self.m})"
+            )
+
+    @property
+    def value(self) -> float:
+        """Exact float value of the programmed constant.
+
+        Sums of two powers of two are exactly representable in float64
+        (and in float32 for the exponent range used here), so functional
+        simulation with this value is bit-deterministic.
+        """
+        v = math.ldexp(1.0, self.n)
+        if self.term:
+            v += self.term * math.ldexp(1.0, self.m)
+        return self.sign * v
+
+    @classmethod
+    def identity(cls) -> "ScalerValue":
+        """The scale applied by scale id 0: exactly 1.0."""
+        return cls(sign=1, n=0)
+
+    @classmethod
+    def approximate(cls, target: float) -> "ScalerValue":
+        """Best hardware-reachable approximation of ``target``.
+
+        Considers every ``±2^n`` and ``±(2^n ± 2^m)`` combination whose
+        leading power can possibly be closest to ``target`` (n within
+        one of floor(log2 |target|), plus the range boundaries) and
+        returns the one minimizing the relative error. Exact zero is
+        not representable (the hardware always shifts something);
+        requesting 0 is a configuration error. Results are memoized:
+        learning-rate schedules approximate thousands of values.
+        """
+        if target == 0.0:
+            raise ConfigError("scaler cannot represent exact zero")
+        return _approximate_cached(float(target))
+
+    @classmethod
+    def _approximate_uncached(cls, target: float) -> "ScalerValue":
+        sign = 1 if target > 0 else -1
+        magnitude = abs(target)
+        k = math.floor(math.log2(magnitude))
+        exponents = {
+            min(max(n, MIN_EXP), MAX_EXP) for n in (k - 1, k, k + 1)
+        }
+        exponents.update((MIN_EXP, MAX_EXP))
+        best: Optional[ScalerValue] = None
+        best_err = math.inf
+        for n in sorted(exponents):
+            candidates = [cls(sign=sign, n=n)]
+            for m in range(MIN_EXP, n):
+                candidates.append(cls(sign=sign, n=n, term=1, m=m))
+                candidates.append(cls(sign=sign, n=n, term=-1, m=m))
+            for cand in candidates:
+                err = abs(abs(cand.value) - magnitude) / magnitude
+                if err < best_err:
+                    best, best_err = cand, err
+        assert best is not None
+        return best
+
+    def relative_error(self, target: float) -> float:
+        """Relative error of this constant against ``target``."""
+        if target == 0.0:
+            raise ConfigError("relative error against zero is undefined")
+        return abs(self.value - target) / abs(target)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Scale an array, preserving its dtype.
+
+        Floating-point lanes multiply by the exact constant; integer
+        (fixed-point) lanes use the shift-and-add datapath the hardware
+        implements.
+        """
+        if np.issubdtype(x.dtype, np.floating):
+            return (x * x.dtype.type(self.value)).astype(x.dtype)
+        # Fixed-point: x * 2^n computed as shifts on widened values.
+        wide = x.astype(np.int64)
+        out = _shift(wide, self.n)
+        if self.term:
+            out = out + self.term * _shift(wide, self.m)
+        out = self.sign * out
+        info = np.iinfo(x.dtype)
+        return np.clip(out, info.min, info.max).astype(x.dtype)
+
+
+@functools.lru_cache(maxsize=65536)
+def _approximate_cached(target: float) -> ScalerValue:
+    return ScalerValue._approximate_uncached(target)
+
+
+def _shift(x: np.ndarray, exponent: int) -> np.ndarray:
+    """Arithmetic shift by a possibly negative exponent."""
+    if exponent >= 0:
+        return x << exponent
+    return x >> (-exponent)
+
+
+class ScalerTable:
+    """The four MRW-programmable scaler slots of one GradPIM unit.
+
+    Slot 0 is pinned to the identity so a plain (unscaled) load is always
+    available; slots 1-3 hold η, α, ηβ (or whatever the optimizer kernel
+    programs).
+    """
+
+    SLOTS = 4
+
+    def __init__(self) -> None:
+        self._slots: list[ScalerValue] = [
+            ScalerValue.identity() for _ in range(self.SLOTS)
+        ]
+
+    def program(self, slot: int, value: ScalerValue) -> None:
+        """Program one slot (the MRW command of §IV-B)."""
+        if not 0 <= slot < self.SLOTS:
+            raise ConfigError(f"scale slot {slot} out of range")
+        if slot == 0 and value != ScalerValue.identity():
+            raise ConfigError("slot 0 is reserved for the identity scale")
+        self._slots[slot] = value
+
+    def __getitem__(self, slot: int) -> ScalerValue:
+        if not 0 <= slot < self.SLOTS:
+            raise ConfigError(f"scale slot {slot} out of range")
+        return self._slots[slot]
+
+    def values(self) -> tuple[ScalerValue, ...]:
+        """The current contents of all slots."""
+        return tuple(self._slots)

@@ -1,0 +1,157 @@
+"""Functional model of one GradPIM unit (paper Fig. 4, Table III).
+
+The unit executes the operational semantics of §IV-B on 64-byte column
+payloads:
+
+* **scaled read** — a column arrives from a bank through the scaler and
+  lands in a temporary register;
+* **parallel add/sub** — element-wise combine of the two temporary
+  registers into one of them;
+* **quantize / dequantize** — convert between a high-precision temporary
+  register and one position of the quantization register;
+* **writeback / qreg transfers** — move register payloads back to banks.
+
+Element interpretation (float32 master weights with int8/int16 codes, or
+int32 fixed point) is supplied per kernel by a :class:`QuantSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.pim.quant import QuantSpec
+from repro.pim.registers import RegisterFile, REGISTER_BYTES
+from repro.pim.scaler import ScalerTable, ScalerValue
+
+
+@dataclass(frozen=True)
+class LayoutEntry:
+    """One row of the paper's Table III (45 nm layout scaled to 32 nm)."""
+
+    module: str
+    area_um2: float
+    power_mw: float
+
+
+#: Paper Table III: per-module layout results of the GradPIM unit.
+PIM_LAYOUT: tuple[LayoutEntry, ...] = (
+    LayoutEntry("Adder", 320.1, 0.058),
+    LayoutEntry("Quantize", 275.4, 0.056),
+    LayoutEntry("Dequantize", 244.8, 0.041),
+    LayoutEntry("Scaler", 606.1, 0.159),
+    LayoutEntry("Registers (x3)", 206.7, 0.040),
+)
+
+#: Paper Table III totals (the total row includes wiring overhead the
+#: per-module rows do not sum to).
+PIM_LAYOUT_TOTAL = LayoutEntry("Total", 8267.8, 1.74)
+
+#: DRAM area of an x8 8Gb DDR4 device that the unit overhead is quoted
+#: against: 0.01 % (paper §VI-A).
+PIM_AREA_OVERHEAD_FRACTION = 0.0001
+
+
+class GradPIMUnit:
+    """One bank group's GradPIM logic: registers + scaler + ALU."""
+
+    def __init__(self, quant: QuantSpec | None = None) -> None:
+        self.regs = RegisterFile()
+        self.scalers = ScalerTable()
+        self.quant = quant if quant is not None else QuantSpec()
+
+    # ------------------------------------------------------------------
+    # Column-access side (bank <-> registers)
+    # ------------------------------------------------------------------
+    def scaled_read(
+        self, column: np.ndarray, scale_id: int, dst_reg: int
+    ) -> None:
+        """Load a 64 B column into ``dst_reg`` through the scaler."""
+        payload = _as_column(column)
+        scaler = self.scalers[scale_id]
+        if scaler != ScalerValue.identity():
+            lanes = payload.view(self.quant.hp_dtype)
+            payload = scaler.apply(lanes).view(np.uint8)
+        self.regs.write_temp(dst_reg, payload)
+
+    def writeback(self, src_reg: int) -> np.ndarray:
+        """Drain a temporary register toward a bank column."""
+        return self.regs.read_temp(src_reg)
+
+    def qreg_load(self, column: np.ndarray) -> None:
+        """Fill the quantization register from a bank column."""
+        self.regs.write_quant(_as_column(column))
+
+    def qreg_store(self) -> np.ndarray:
+        """Drain the quantization register toward a bank column."""
+        return self.regs.read_quant()
+
+    # ------------------------------------------------------------------
+    # Parallel-ALU side (register <-> register)
+    # ------------------------------------------------------------------
+    def parallel_add(self, dst_reg: int) -> None:
+        """dst = temp0 + temp1, element-wise in the hp dtype."""
+        self._combine(dst_reg, subtract=False)
+
+    def parallel_sub(self, dst_reg: int) -> None:
+        """dst = temp0 - temp1 (dst 0) or temp1 - temp0 (dst 1).
+
+        The ALU always subtracts *the other* register from the
+        destination's current value, mirroring two-operand hardware.
+        """
+        self._combine(dst_reg, subtract=True)
+
+    def _combine(self, dst_reg: int, subtract: bool) -> None:
+        dtype = self.quant.hp_dtype
+        a = self.regs.read_temp(dst_reg).view(dtype)
+        b = self.regs.read_temp(1 - dst_reg).view(dtype)
+        out = (a - b) if subtract else (a + b)
+        self.regs.write_temp(dst_reg, out.astype(dtype).view(np.uint8))
+
+    def parallel_mul(self, dst_reg: int) -> None:
+        """dst = temp0 * temp1 — extended-ALU operation (paper §VIII)."""
+        dtype = self.quant.hp_dtype
+        a = self.regs.read_temp(dst_reg).view(dtype)
+        b = self.regs.read_temp(1 - dst_reg).view(dtype)
+        self.regs.write_temp(
+            dst_reg, (a * b).astype(dtype).view(np.uint8)
+        )
+
+    def parallel_rsqrt(self, dst_reg: int, epsilon: float) -> None:
+        """dst = 1/sqrt(dst + epsilon) — extended-ALU operation (§VIII).
+
+        ``epsilon`` is an MRW-programmable constant, like the scaler
+        slots; it keeps the operation defined at zero.
+        """
+        dtype = self.quant.hp_dtype
+        x = self.regs.read_temp(dst_reg).view(dtype).astype(np.float64)
+        with np.errstate(divide="ignore"):
+            out = 1.0 / np.sqrt(x + epsilon)
+        self.regs.write_temp(dst_reg, out.astype(dtype).view(np.uint8))
+
+    def quantize(self, src_reg: int, position: int) -> None:
+        """Quantize a hp temporary register into one qreg position."""
+        lanes = self.regs.read_temp(src_reg).view(self.quant.hp_dtype)
+        codes = self.quant.quantize(lanes)
+        self.regs.write_quant_slice(
+            position, self.quant.ratio, codes.view(np.uint8)
+        )
+
+    def dequantize(self, position: int, dst_reg: int) -> None:
+        """Dequantize one qreg position into a hp temporary register."""
+        codes_bytes = self.regs.read_quant_slice(position, self.quant.ratio)
+        codes = codes_bytes.view(self.quant.lp_dtype)
+        values = self.quant.dequantize(codes)
+        self.regs.write_temp(dst_reg, values.view(np.uint8))
+
+
+def _as_column(column: np.ndarray) -> np.ndarray:
+    column = np.asarray(column, dtype=np.uint8)
+    if column.shape != (REGISTER_BYTES,):
+        raise SimulationError(
+            f"column payload must be {REGISTER_BYTES} bytes, "
+            f"got {column.shape}"
+        )
+    return column

@@ -1,0 +1,34 @@
+"""System-level simulation: the paper's six design points end-to-end.
+
+This package glues the substrates together: the update-phase profiles
+come from cycle-level scheduling of compiled kernels
+(:mod:`repro.system.update_model`), the Fwd/Bwd phases from the NPU
+roofline plus the traffic model, and the whole-step results
+(:mod:`repro.system.training`) feed every figure of the evaluation.
+"""
+
+from repro.system.design import DesignPoint, DesignConfig, DESIGNS
+from repro.system.update_model import UpdatePhaseModel, UpdateProfile
+from repro.system.training import (
+    TrainingSimulator,
+    NetworkResult,
+    BlockTimes,
+    PhaseTimes,
+)
+from repro.system.energy import EnergyAccountant
+from repro.system.distributed import DistributedModel, DistributedResult
+
+__all__ = [
+    "DesignPoint",
+    "DesignConfig",
+    "DESIGNS",
+    "UpdatePhaseModel",
+    "UpdateProfile",
+    "TrainingSimulator",
+    "NetworkResult",
+    "BlockTimes",
+    "PhaseTimes",
+    "EnergyAccountant",
+    "DistributedModel",
+    "DistributedResult",
+]

@@ -1,0 +1,129 @@
+"""The six evaluated design points (paper §VI-B, Fig. 9).
+
+================= =====================================================
+Baseline          NPU executes the update over the off-chip bus with
+                  dedicated 32-bit adders and quantize/dequantize units.
+GradPIM-Direct    GradPIM units at every bank group; commands from the
+                  host controller over the single channel command bus.
+TensorDIMM        Near-memory processors on each DIMM's buffer device;
+                  rank-level parallelism, per-DIMM private data buses.
+GradPIM-Buffered  GradPIM units commanded by per-rank buffer devices
+                  (Fig. 8b), removing the command-bus bottleneck.
+AoS               GradPIM-Buffered with array-of-structures placement:
+                  update streams one bank per group; Fwd/Bwd weight
+                  traffic pays the 4x burst-efficiency penalty.
+AoS-PB            AoS with one GradPIM unit per *bank* instead of per
+                  bank group (more units, same placement penalty).
+================= =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.scheduler import IssueModel
+
+
+class DesignPoint(enum.Enum):
+    """One bar group of Fig. 9/10."""
+
+    BASELINE = "Baseline"
+    GRADPIM_DIRECT = "GradPIM-DR"
+    TENSORDIMM = "TensorDIMM"
+    GRADPIM_BUFFERED = "GradPIM-BD"
+    AOS = "AOS"
+    AOS_PB = "AOS-PB"
+
+
+#: How each design executes the update phase.
+UPDATE_BASELINE_STREAM = "baseline-stream"  # RD/WR over the channel
+UPDATE_NMP_STREAM = "nmp-stream"  # RD/WR behind DIMM buffers
+UPDATE_PIM_KERNEL = "pim-kernel"  # GradPIM command stream
+UPDATE_AOS_KERNEL = "aos-kernel"  # AoS structure stream
+
+
+@dataclass(frozen=True)
+class DesignConfig:
+    """Scheduling and traffic knobs of one design point."""
+
+    point: DesignPoint
+    update_kind: str
+    buffered_commands: bool  # per-rank command generation
+    data_bus_scope: str  # for external bursts during the update
+    per_bank_pim: bool = False
+    aos_weight_penalty: float = 1.0  # Fwd/Bwd weight-traffic multiplier
+    update_uses_offchip_bus: bool = False  # update competes with channel
+
+    @property
+    def label(self) -> str:
+        return self.point.value
+
+    def issue_model(self, geometry: DeviceGeometry) -> IssueModel:
+        """Command-generation structure for the update phase."""
+        if not self.buffered_commands:
+            return IssueModel.direct(geometry.ranks)
+        if self.update_kind == UPDATE_NMP_STREAM:
+            # One command generator per DIMM buffer device.
+            return IssueModel(
+                name="per-dimm",
+                port_of_rank=tuple(
+                    geometry.dimm_of_rank(r) for r in range(geometry.ranks)
+                ),
+            )
+        return IssueModel.buffered(geometry.ranks)
+
+
+DESIGNS: dict[DesignPoint, DesignConfig] = {
+    DesignPoint.BASELINE: DesignConfig(
+        point=DesignPoint.BASELINE,
+        update_kind=UPDATE_BASELINE_STREAM,
+        buffered_commands=False,
+        data_bus_scope="channel",
+        update_uses_offchip_bus=True,
+    ),
+    DesignPoint.GRADPIM_DIRECT: DesignConfig(
+        point=DesignPoint.GRADPIM_DIRECT,
+        update_kind=UPDATE_PIM_KERNEL,
+        buffered_commands=False,
+        data_bus_scope="channel",
+    ),
+    DesignPoint.TENSORDIMM: DesignConfig(
+        point=DesignPoint.TENSORDIMM,
+        update_kind=UPDATE_NMP_STREAM,
+        buffered_commands=True,
+        data_bus_scope="dimm",
+    ),
+    DesignPoint.GRADPIM_BUFFERED: DesignConfig(
+        point=DesignPoint.GRADPIM_BUFFERED,
+        update_kind=UPDATE_PIM_KERNEL,
+        buffered_commands=True,
+        data_bus_scope="channel",
+    ),
+    DesignPoint.AOS: DesignConfig(
+        point=DesignPoint.AOS,
+        update_kind=UPDATE_AOS_KERNEL,
+        buffered_commands=True,
+        data_bus_scope="channel",
+        aos_weight_penalty=4.0,
+    ),
+    DesignPoint.AOS_PB: DesignConfig(
+        point=DesignPoint.AOS_PB,
+        update_kind=UPDATE_AOS_KERNEL,
+        buffered_commands=True,
+        data_bus_scope="channel",
+        per_bank_pim=True,
+        aos_weight_penalty=4.0,
+    ),
+}
+
+#: Fig. 9 bar order.
+DESIGN_ORDER = (
+    DesignPoint.BASELINE,
+    DesignPoint.GRADPIM_DIRECT,
+    DesignPoint.TENSORDIMM,
+    DesignPoint.GRADPIM_BUFFERED,
+    DesignPoint.AOS,
+    DesignPoint.AOS_PB,
+)

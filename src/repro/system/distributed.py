@@ -1,0 +1,125 @@
+"""Distributed data-parallel training (paper §V-D, §VI-E, Fig. 14).
+
+Four NPU nodes split the minibatch; each node runs forward/backward on
+its shard, the nodes ring-all-reduce the weight gradients over a
+100 Gb/s torus, and every node applies the (identical) parameter update
+locally. The paper's observations this model reproduces:
+
+* the update phase does not shrink with more nodes (it is the
+  "sequential portion" of data parallelism), so its share grows and
+  GradPIM's benefit is amplified at smaller per-node batches;
+* the all-reduce's gradient accumulation itself maps onto GradPIM
+  (§V-D), accelerating the memory side of communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.kernels.compiler import GRAD_ACCUMULATE
+from repro.models.zoo import build_network, DEFAULT_BATCH
+from repro.optim.precision import PRECISION_FULL
+from repro.system.design import DesignPoint
+from repro.system.training import TrainingSimulator
+
+#: 100 Gb/s links (paper cites [75]) in bytes/second.
+DEFAULT_LINK_BANDWIDTH = 100e9 / 8
+
+
+@dataclass(frozen=True)
+class NodeTimes:
+    """Per-node phase times of one distributed step."""
+
+    comm: float
+    fwd_bwd: float
+    update: float
+
+    @property
+    def total(self) -> float:
+        return self.comm + self.fwd_bwd + self.update
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """Fig. 14's two stacked bars for one network."""
+
+    network: str
+    nodes: int
+    baseline: NodeTimes
+    gradpim: NodeTimes
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline.total / self.gradpim.total
+
+
+class DistributedModel:
+    """Distributed-step model around a :class:`TrainingSimulator`."""
+
+    def __init__(
+        self,
+        simulator: TrainingSimulator,
+        nodes: int = 4,
+        link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    ) -> None:
+        if nodes < 2:
+            raise ConfigError("distributed training needs >= 2 nodes")
+        self.simulator = simulator
+        self.nodes = nodes
+        self.link_bandwidth = link_bandwidth
+
+    # ------------------------------------------------------------------
+    def _allreduce_volume(self, n_params: int, grad_bytes: int) -> float:
+        """Ring all-reduce bytes per node (reduce-scatter + all-gather)."""
+        n = self.nodes
+        return 2.0 * (n - 1) / n * n_params * grad_bytes
+
+    def simulate(self, network_name: str) -> DistributedResult:
+        """One distributed training step, baseline vs GradPIM-Buffered."""
+        batch = DEFAULT_BATCH[network_name]
+        per_node = max(1, batch // self.nodes)
+        network = build_network(network_name, batch=per_node)
+        result = self.simulator.simulate(network)
+        n_params = network.total_weights
+        precision = self.simulator.precision
+        grad_bytes = precision.lp_bytes
+
+        transfer = (
+            self._allreduce_volume(n_params, grad_bytes)
+            / self.link_bandwidth
+        )
+        # Gradient accumulation during reduce-scatter: (n-1)/n of the
+        # parameters are summed into the local array at each node.
+        acc_elems = n_params * (self.nodes - 1) / self.nodes
+        update_model = self.simulator.update_model
+
+        # Baseline: the NPU accumulates over the off-chip bus — read the
+        # local partial, add, write back (2 x hp bytes per element) at
+        # the baseline's achieved update bandwidth.
+        base_profile = result.profiles[DesignPoint.BASELINE]
+        acc_bytes = acc_elems * 2 * precision.hp_bytes
+        base_acc = acc_bytes / max(base_profile.external_bandwidth, 1.0)
+
+        # GradPIM: the accumulate lowers onto the PIM units (§V-D).
+        pim_profile = update_model.profile(
+            DesignPoint.GRADPIM_BUFFERED, GRAD_ACCUMULATE, PRECISION_FULL
+        )
+        pim_acc = pim_profile.update_seconds(acc_elems)
+
+        baseline = NodeTimes(
+            comm=transfer + base_acc,
+            fwd_bwd=result.totals[DesignPoint.BASELINE].fwd_bwd,
+            update=result.totals[DesignPoint.BASELINE].update,
+        )
+        gradpim = NodeTimes(
+            comm=transfer + pim_acc,
+            fwd_bwd=result.totals[DesignPoint.GRADPIM_BUFFERED].fwd_bwd,
+            update=result.totals[DesignPoint.GRADPIM_BUFFERED].update,
+        )
+        return DistributedResult(
+            network=network_name,
+            nodes=self.nodes,
+            baseline=baseline,
+            gradpim=gradpim,
+        )

@@ -1,0 +1,149 @@
+"""Whole-step memory-energy accounting (paper Fig. 10).
+
+Energy per training step is assembled from two sources:
+
+* the **update phase** — per-parameter event counts measured by the
+  update profile (activations, external reads/writes, internal
+  accesses, ALU and quantization operations) times the network's
+  parameter count, priced by the IDD model;
+* the **Fwd/Bwd phases** — the traffic model's bytes converted to
+  64-byte access counts, split into reads (weights, network input) and
+  writes (activations, gradients), plus one ACT per row's worth of
+  streamed columns.
+
+TensorDIMM's update accesses never leave the DIMM, so their I/O price
+is halved (buffer-to-device trace instead of a full channel) — the
+device-array energy is unchanged.
+"""
+
+from __future__ import annotations
+
+
+from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.dram.power import (
+    EnergyBreakdown,
+    EnergyModel,
+    IO_READ_ENERGY_PER_BYTE,
+    IO_WRITE_ENERGY_PER_BYTE,
+)
+from repro.dram.timing import TimingParams, DDR4_2133
+from repro.models.graph import NetworkGraph
+from repro.models.traffic import TrafficModel
+from repro.npu.config import NPUConfig, DEFAULT_NPU
+from repro.optim.precision import PrecisionConfig, PRECISION_8_32
+from repro.system.design import DesignPoint, DESIGNS
+from repro.system.training import PhaseTimes
+from repro.system.update_model import UpdateProfile
+
+#: Extra row activations beyond the streaming minimum (conflicts,
+#: refresh-induced reopens).
+ACT_INFLATION = 1.2
+
+
+class EnergyAccountant:
+    """Prices a network's training step for one design point."""
+
+    def __init__(
+        self,
+        timing: TimingParams = DDR4_2133,
+        geometry: DeviceGeometry = DEFAULT_GEOMETRY,
+        npu: NPUConfig = DEFAULT_NPU,
+        precision: PrecisionConfig = PRECISION_8_32,
+    ) -> None:
+        self.timing = timing
+        self.geometry = geometry
+        self.npu = npu
+        self.precision = precision
+        self.model = EnergyModel(timing=timing, geometry=geometry)
+
+    # ------------------------------------------------------------------
+    def update_energy(
+        self, profile: UpdateProfile, n_params: float
+    ) -> EnergyBreakdown:
+        """Update-phase energy from per-parameter event counts."""
+        n_rd = profile.reads_per_param * n_params
+        n_wr = profile.writes_per_param * n_params
+        breakdown = self.model.from_counts(
+            n_act=profile.acts_per_param * n_params,
+            n_rd=n_rd,
+            n_wr=n_wr,
+            n_internal=profile.internal_accesses_per_param * n_params,
+            n_alu=profile.alu_ops_per_param * n_params,
+            n_quant_ops=profile.quant_ops_per_param * n_params,
+            background_cycles=profile.update_seconds(n_params)
+            / (self.timing.tCK_ns * 1e-9),
+        )
+        if profile.design is DesignPoint.TENSORDIMM:
+            # Accesses terminate at the buffer device, not the channel
+            # pins: charge half the I/O energy per burst.
+            cb = self.geometry.column_bytes
+            breakdown = EnergyBreakdown(
+                act=breakdown.act,
+                rd=breakdown.rd
+                - 0.5 * n_rd * cb * IO_READ_ENERGY_PER_BYTE,
+                wr=breakdown.wr
+                - 0.5 * n_wr * cb * IO_WRITE_ENERGY_PER_BYTE,
+                pim=breakdown.pim,
+                background=breakdown.background,
+            )
+        return breakdown
+
+    # ------------------------------------------------------------------
+    def fwd_bwd_energy(
+        self,
+        network: NetworkGraph,
+        design: DesignPoint,
+        times: PhaseTimes,
+    ) -> EnergyBreakdown:
+        """Forward/backward energy from the traffic model."""
+        config = DESIGNS[design]
+        traffic = TrafficModel(
+            precision=self.precision,
+            npu=self.npu,
+            update_bytes_per_param=0.0,
+            aos_weight_penalty=config.aos_weight_penalty,
+        )
+        cb = self.geometry.column_bytes
+        read_bytes = 0.0
+        write_bytes = 0.0
+        for i, layer in enumerate(network.layers):
+            t = traffic.layer_traffic(
+                layer, network.batch, first_layer=(i == 0)
+            )
+            lp = self.precision.lp_bytes
+            acts_out = layer.out_activations * network.batch * lp
+            acts_in = layer.in_activations * network.batch * lp
+            # Fwd: weights (+ first input) read, outputs written.
+            read_bytes += t.fwd - acts_out
+            write_bytes += acts_out
+            # Bact: weights read, input-gradients written.
+            read_bytes += t.bact - acts_in
+            write_bytes += acts_in
+            # Bwgt: gradient writes only.
+            write_bytes += t.bwgt
+        n_rd = read_bytes / cb
+        n_wr = write_bytes / cb
+        n_act = (
+            (n_rd + n_wr) / self.geometry.columns_per_row * ACT_INFLATION
+        )
+        return self.model.from_counts(
+            n_act=n_act,
+            n_rd=n_rd,
+            n_wr=n_wr,
+            n_internal=0.0,
+            n_alu=0.0,
+            background_cycles=times.fwd_bwd / (self.timing.tCK_ns * 1e-9),
+        )
+
+    # ------------------------------------------------------------------
+    def step_energy(
+        self,
+        network: NetworkGraph,
+        design: DesignPoint,
+        profile: UpdateProfile,
+        times: PhaseTimes,
+    ) -> EnergyBreakdown:
+        """Total memory energy of one training step."""
+        return self.fwd_bwd_energy(network, design, times) + (
+            self.update_energy(profile, network.total_weights)
+        )

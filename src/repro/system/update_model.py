@@ -1,0 +1,213 @@
+"""Update-phase profiling: cycle-level sampling, analytical scaling.
+
+For each (design, optimizer, precision) the model compiles the matching
+command stream for a steady-state sample window, schedules it against
+the DDR4 state machines, validates the trace, and converts the result
+into per-parameter rates (time, command counts, energy-event counts).
+The training simulator then scales those rates by each layer's
+parameter count — the hybrid methodology of DESIGN.md §3.
+
+Refresh is folded in analytically: every profile's time is derated by
+``tREFI / (tREFI - tRFC)`` (the share of time the rank is unavailable),
+because sample windows are far shorter than a refresh interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.commands import CommandType
+from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.dram.scheduler import CommandScheduler
+from repro.dram.timing import TimingParams, DDR4_2133
+from repro.dram.validator import validate_trace
+from repro.errors import ConfigError
+from repro.kernels.aos import AoSKernelGenerator
+from repro.kernels.compiler import UpdateKernelCompiler
+from repro.kernels.streams import BaselineStreamGenerator
+from repro.optim.precision import PrecisionConfig, PRECISION_8_32
+from repro.system.design import (
+    DesignConfig,
+    DesignPoint,
+    DESIGNS,
+    UPDATE_AOS_KERNEL,
+    UPDATE_BASELINE_STREAM,
+    UPDATE_NMP_STREAM,
+    UPDATE_PIM_KERNEL,
+)
+
+
+@dataclass(frozen=True)
+class UpdateProfile:
+    """Steady-state per-parameter rates of one design's update phase."""
+
+    design: DesignPoint
+    optimizer_name: str
+    precision: str
+    seconds_per_param: float
+    commands_per_param: float
+    internal_accesses_per_param: float
+    external_accesses_per_param: float
+    reads_per_param: float
+    writes_per_param: float
+    acts_per_param: float
+    alu_ops_per_param: float
+    quant_ops_per_param: float
+    internal_bandwidth: float  # achieved, bytes/s
+    external_bandwidth: float  # achieved, bytes/s
+    command_bus_utilization: float  # aggregated over generators
+    offchip_bytes_per_param: float  # crossing the channel to the NPU
+
+    def update_seconds(self, n_params: float) -> float:
+        """Update-phase time for a layer/network of ``n_params``."""
+        return self.seconds_per_param * n_params
+
+
+class UpdatePhaseModel:
+    """Profiles and caches update-phase behaviour per design point."""
+
+    def __init__(
+        self,
+        timing: TimingParams = DDR4_2133,
+        geometry: DeviceGeometry = DEFAULT_GEOMETRY,
+        columns_per_stripe: int = 32,
+        window: int = 16,
+        extended_alu: bool = False,
+        validate: bool = True,
+        fuse_quantize: bool = False,
+        fused_baseline: bool = False,
+    ) -> None:
+        self.timing = timing
+        self.geometry = geometry
+        self.columns_per_stripe = columns_per_stripe
+        self.window = window
+        self.extended_alu = extended_alu
+        self.validate = validate
+        self.fuse_quantize = fuse_quantize
+        self.fused_baseline = fused_baseline
+        self._cache: dict[tuple, UpdateProfile] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def refresh_derate(self) -> float:
+        """Time multiplier covering refresh unavailability."""
+        t = self.timing
+        return t.tREFI / (t.tREFI - t.tRFC)
+
+    def profile(
+        self,
+        design: DesignPoint,
+        optimizer,
+        precision: PrecisionConfig = PRECISION_8_32,
+    ) -> UpdateProfile:
+        """Measure (or fetch the cached) profile for one design point."""
+        key = (design, optimizer.name, precision.name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        config = DESIGNS[design]
+        built = self._build_stream(config, optimizer, precision)
+        commands, n_params, offchip_accesses = built
+        issue_model = config.issue_model(self.geometry)
+        scheduler = CommandScheduler(
+            self.timing,
+            self.geometry,
+            issue_model,
+            per_bank_pim=config.per_bank_pim,
+            window=self.window,
+            data_bus_scope=config.data_bus_scope,
+        )
+        result = scheduler.run(commands)
+        if self.validate:
+            validate_trace(
+                result.commands,
+                self.timing,
+                self.geometry,
+                issue_model.port_of_rank,
+                per_bank_pim=config.per_bank_pim,
+                data_bus_scope=config.data_bus_scope,
+            )
+        stats = result.stats
+        seconds = stats.elapsed_seconds(self.timing) * self.refresh_derate
+        cb = self.geometry.column_bytes
+        quant_ops = stats.count(CommandType.PIM_QUANT) + stats.count(
+            CommandType.PIM_DEQUANT
+        )
+        profile = UpdateProfile(
+            design=design,
+            optimizer_name=optimizer.name,
+            precision=precision.name,
+            seconds_per_param=seconds / n_params,
+            commands_per_param=stats.issued_commands / n_params,
+            internal_accesses_per_param=stats.internal_accesses() / n_params,
+            external_accesses_per_param=stats.external_accesses() / n_params,
+            reads_per_param=stats.count(CommandType.RD) / n_params,
+            writes_per_param=stats.count(CommandType.WR) / n_params,
+            acts_per_param=stats.count(CommandType.ACT) / n_params,
+            alu_ops_per_param=(stats.alu_ops() - quant_ops) / n_params,
+            quant_ops_per_param=quant_ops / n_params,
+            internal_bandwidth=stats.internal_bandwidth(
+                self.timing, self.geometry
+            ),
+            external_bandwidth=stats.external_bandwidth(
+                self.timing, self.geometry
+            ),
+            command_bus_utilization=stats.command_bus_utilization(),
+            offchip_bytes_per_param=offchip_accesses * cb / n_params,
+        )
+        self._cache[key] = profile
+        return profile
+
+    def profiles(
+        self, optimizer, precision: PrecisionConfig = PRECISION_8_32
+    ) -> dict[DesignPoint, UpdateProfile]:
+        """Profiles for every design point."""
+        return {
+            point: self.profile(point, optimizer, precision)
+            for point in DESIGNS
+        }
+
+    # ------------------------------------------------------------------
+    def _build_stream(
+        self, config: DesignConfig, optimizer, precision: PrecisionConfig
+    ):
+        """Returns (commands, params represented, off-chip accesses)."""
+        hp_lanes = self.geometry.column_bytes // precision.hp_bytes
+        if config.update_kind in (
+            UPDATE_BASELINE_STREAM, UPDATE_NMP_STREAM
+        ):
+            stream = BaselineStreamGenerator(self.geometry).generate(
+                optimizer,
+                precision,
+                columns_per_stripe=self.columns_per_stripe,
+                fused=self.fused_baseline,
+            )
+            n_params = stream.n_hp_columns * hp_lanes
+            # Only the direct-attached baseline's accesses cross the
+            # channel; TensorDIMM's stay behind the buffer devices.
+            offchip = (
+                stream.reads + stream.writes
+                if config.update_uses_offchip_bus
+                else 0
+            )
+            return stream.commands, n_params, offchip
+        if config.update_kind == UPDATE_PIM_KERNEL:
+            kernel = UpdateKernelCompiler(
+                self.geometry, extended_alu=self.extended_alu
+            ).compile(
+                optimizer,
+                precision,
+                columns_per_stripe=self.columns_per_stripe,
+                fuse_quantize=self.fuse_quantize,
+            )
+            return kernel.commands, kernel.n_hp_columns * hp_lanes, 0
+        if config.update_kind == UPDATE_AOS_KERNEL:
+            kernel = AoSKernelGenerator(
+                self.geometry, per_bank=config.per_bank_pim
+            ).generate(
+                optimizer,
+                precision,
+                columns_per_unit=self.columns_per_stripe,
+            )
+            return kernel.commands, kernel.total_params, 0
+        raise ConfigError(f"unknown update kind {config.update_kind!r}")

@@ -1,0 +1,67 @@
+"""Small unit-conversion and math helpers shared across the library."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    """Convert a byte count to decimal megabytes (as used in the paper)."""
+    return n_bytes / MB
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert a byte count to decimal gigabytes."""
+    return n_bytes / GB
+
+
+def gbps(n_bytes: float, seconds: float) -> float:
+    """Bandwidth in GB/s for ``n_bytes`` moved over ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return n_bytes / seconds / GB
+
+
+def ns_to_s(nanoseconds: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return nanoseconds * 1e-9
+
+
+def s_to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * 1e9
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    The paper reports overall speedups as geometric means across networks.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def is_pow2(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0

@@ -1,0 +1,122 @@
+"""Address-mapping tests: bijectivity and the Fig. 7 placement invariant."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.address import AddressMapping, DecodedAddress
+from repro.dram.geometry import DeviceGeometry
+from repro.errors import AddressError
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return AddressMapping(DeviceGeometry())
+
+
+def test_capacity_matches_geometry(mapping):
+    assert mapping.capacity == DeviceGeometry().total_bytes
+
+
+def test_address_zero(mapping):
+    d = mapping.decode(0)
+    assert (d.rank, d.bankgroup, d.bank, d.row, d.col, d.byte) == (
+        0, 0, 0, 0, 0, 0,
+    )
+
+
+def test_consecutive_row_chunks_stripe_bankgroups(mapping):
+    # Fig. 7: the bank-group bits sit right above the column bits, so
+    # consecutive 8 KiB chunks land in successive bank groups.
+    g = mapping.geometry
+    first = mapping.decode(0)
+    second = mapping.decode(g.row_bytes)
+    assert second.bankgroup == (first.bankgroup + 1) % g.bankgroups
+    assert second.bank == first.bank
+    assert second.row == first.row
+
+
+def test_rank_bits_above_bankgroup(mapping):
+    g = mapping.geometry
+    d = mapping.decode(g.row_bytes * g.bankgroups)
+    assert d.rank == 1
+    assert d.bankgroup == 0
+    assert d.row == 0
+
+
+def test_bank_bits_at_msb(mapping):
+    # The bank id owns the top bits: each bank is one contiguous region.
+    base = mapping.bank_base(1)
+    d = mapping.decode(base)
+    assert d.bank == 1
+    assert (d.rank, d.bankgroup, d.row, d.col) == (0, 0, 0, 0)
+
+
+def test_bank_region_bytes(mapping):
+    assert (
+        mapping.bank_region_bytes * mapping.geometry.banks_per_group
+        == mapping.capacity
+    )
+
+
+@given(st.integers(min_value=0, max_value=DeviceGeometry().total_bytes - 1))
+@settings(max_examples=300)
+def test_decode_encode_roundtrip(addr):
+    mapping = AddressMapping(DeviceGeometry())
+    assert mapping.encode(mapping.decode(addr)) == addr
+
+
+@given(
+    st.integers(min_value=0, max_value=2**20),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=200)
+def test_placement_invariant(offset, bank_a, bank_b):
+    """Matching offsets of bank-aligned arrays share (rank, group, row,
+    col) — the §V-B requirement — whenever banks differ."""
+    mapping = AddressMapping(DeviceGeometry())
+    offset = (offset // 64) * 64  # column aligned
+    a = mapping.element_coords(bank_a, offset)
+    b = mapping.element_coords(bank_b, offset)
+    assert a.rank == b.rank
+    assert a.bankgroup == b.bankgroup
+    assert a.row == b.row
+    assert a.col == b.col
+    if bank_a != bank_b:
+        assert a.same_group_different_bank(b)
+    else:
+        assert not a.same_group_different_bank(b)
+
+
+def test_decode_rejects_out_of_range(mapping):
+    with pytest.raises(AddressError):
+        mapping.decode(mapping.capacity)
+
+
+def test_decode_rejects_negative(mapping):
+    with pytest.raises(AddressError):
+        mapping.decode(-1)
+
+
+def test_encode_rejects_bad_fields(mapping):
+    with pytest.raises(AddressError):
+        mapping.encode(
+            DecodedAddress(rank=9, bankgroup=0, bank=0, row=0, col=0, byte=0)
+        )
+    with pytest.raises(AddressError):
+        mapping.encode(
+            DecodedAddress(rank=0, bankgroup=0, bank=0, row=0, col=999,
+                           byte=0)
+        )
+
+
+def test_bank_base_rejects_out_of_range(mapping):
+    with pytest.raises(AddressError):
+        mapping.bank_base(4)
+
+
+def test_small_geometry_roundtrip():
+    g = DeviceGeometry(ranks=2, rows=64, dimms=2)
+    m = AddressMapping(g)
+    for addr in range(0, m.capacity, m.capacity // 97):
+        assert m.encode(m.decode(addr)) == addr

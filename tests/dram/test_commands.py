@@ -1,0 +1,128 @@
+"""Command-vocabulary tests: classification and latencies."""
+
+import pytest
+
+from repro.dram.commands import (
+    Command,
+    CommandType,
+    EXTERNAL_COLUMN_COMMANDS,
+    INTERNAL_COLUMN_COMMANDS,
+    PIM_ALU_COMMANDS,
+    EXTENDED_ALU_COMMANDS,
+    command_latency,
+)
+from repro.dram.timing import DDR4_2133
+
+
+def test_internal_and_external_disjoint():
+    assert not INTERNAL_COLUMN_COMMANDS & EXTERNAL_COLUMN_COMMANDS
+
+
+def test_extended_subset_of_alu():
+    assert EXTENDED_ALU_COMMANDS < PIM_ALU_COMMANDS
+
+
+@pytest.mark.parametrize(
+    "kind", [CommandType.SCALED_READ, CommandType.QREG_LOAD]
+)
+def test_internal_reads_classified(kind):
+    cmd = Command(kind)
+    assert cmd.is_column()
+    assert cmd.is_internal_column()
+    assert cmd.is_read()
+    assert not cmd.is_write()
+    assert not cmd.is_external_column()
+
+
+@pytest.mark.parametrize(
+    "kind", [CommandType.WRITEBACK, CommandType.QREG_STORE]
+)
+def test_internal_writes_classified(kind):
+    cmd = Command(kind)
+    assert cmd.is_internal_column()
+    assert cmd.is_write()
+    assert not cmd.is_read()
+
+
+def test_rd_is_external_read():
+    cmd = Command(CommandType.RD)
+    assert cmd.is_external_column()
+    assert cmd.is_read()
+
+
+def test_wr_is_external_write():
+    cmd = Command(CommandType.WR)
+    assert cmd.is_external_column()
+    assert cmd.is_write()
+
+
+@pytest.mark.parametrize(
+    "kind",
+    [
+        CommandType.PIM_ADD,
+        CommandType.PIM_SUB,
+        CommandType.PIM_QUANT,
+        CommandType.PIM_DEQUANT,
+        CommandType.PIM_MUL,
+        CommandType.PIM_RSQRT,
+    ],
+)
+def test_alu_commands_are_not_column(kind):
+    cmd = Command(kind)
+    assert cmd.is_pim_alu()
+    assert not cmd.is_column()
+
+
+def test_act_pre_are_neither():
+    for kind in (CommandType.ACT, CommandType.PRE):
+        cmd = Command(kind)
+        assert not cmd.is_column()
+        assert not cmd.is_pim_alu()
+
+
+def test_same_bank():
+    a = Command(CommandType.RD, rank=1, bankgroup=2, bank=3)
+    b = Command(CommandType.WR, rank=1, bankgroup=2, bank=3)
+    c = Command(CommandType.WR, rank=1, bankgroup=2, bank=0)
+    assert a.same_bank(b)
+    assert not a.same_bank(c)
+
+
+def test_scaled_read_latency_is_tccd_l():
+    # §IV-C: "the memory controller regards the operation as complete
+    # after tCCD_L".
+    assert (
+        command_latency(CommandType.SCALED_READ, DDR4_2133)
+        == DDR4_2133.tCCD_L
+    )
+
+
+def test_alu_latency_is_tpim():
+    assert command_latency(CommandType.PIM_ADD, DDR4_2133) == (
+        DDR4_2133.tPIM
+    )
+
+
+def test_rd_latency_includes_burst():
+    assert command_latency(CommandType.RD, DDR4_2133) == (
+        DDR4_2133.tCL + DDR4_2133.tBURST
+    )
+
+
+def test_wr_latency_includes_cwl():
+    assert command_latency(CommandType.WR, DDR4_2133) == (
+        DDR4_2133.tCWL + DDR4_2133.tBURST
+    )
+
+
+def test_act_latency_is_trcd():
+    assert command_latency(CommandType.ACT, DDR4_2133) == DDR4_2133.tRCD
+
+
+def test_pre_latency_is_trp():
+    assert command_latency(CommandType.PRE, DDR4_2133) == DDR4_2133.tRP
+
+
+def test_every_kind_has_latency():
+    for kind in CommandType:
+        assert command_latency(kind, DDR4_2133) > 0

@@ -1,0 +1,66 @@
+"""Device-geometry tests."""
+
+import pytest
+
+from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.errors import ConfigError
+
+
+def test_default_matches_paper():
+    g = DEFAULT_GEOMETRY
+    assert g.ranks == 4
+    assert g.bankgroups == 4
+    assert g.banks_per_group == 4
+    assert g.column_bytes == 64
+
+
+def test_bank_counts():
+    g = DEFAULT_GEOMETRY
+    assert g.banks_per_rank == 16
+    assert g.total_banks == 64
+
+
+def test_columns_per_row():
+    assert DEFAULT_GEOMETRY.columns_per_row == 128
+
+
+def test_capacity_is_8gb_per_rank():
+    # 8 chips x 8 Gb = 8 GiB per rank.
+    assert DEFAULT_GEOMETRY.rank_bytes == 8 * 1024**3
+
+
+def test_total_capacity():
+    assert DEFAULT_GEOMETRY.total_bytes == 32 * 1024**3
+
+
+def test_pim_units_one_per_group_per_rank():
+    assert DEFAULT_GEOMETRY.pim_units == 16
+
+
+def test_ranks_per_dimm():
+    assert DEFAULT_GEOMETRY.ranks_per_dimm == 2
+
+
+def test_dimm_of_rank():
+    g = DEFAULT_GEOMETRY
+    assert [g.dimm_of_rank(r) for r in range(4)] == [0, 0, 1, 1]
+
+
+def test_rejects_non_pow2_bankgroups():
+    with pytest.raises(ConfigError):
+        DeviceGeometry(bankgroups=3)
+
+
+def test_rejects_row_not_multiple_of_column():
+    with pytest.raises(ConfigError):
+        DeviceGeometry(row_bytes=8192, column_bytes=48)
+
+
+def test_rejects_zero_ranks():
+    with pytest.raises(ConfigError):
+        DeviceGeometry(ranks=0)
+
+
+def test_rejects_ranks_not_divisible_by_dimms():
+    with pytest.raises(ConfigError):
+        DeviceGeometry(ranks=4, dimms=3)

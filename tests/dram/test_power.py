@@ -1,0 +1,96 @@
+"""Energy-model tests: formula sanity and the orderings the paper uses."""
+
+import pytest
+
+from repro.dram.currents import DDR4_2133_CURRENTS
+from repro.dram.power import EnergyBreakdown, EnergyModel
+from repro.dram.timing import DDR4_2133
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+def test_all_event_energies_positive(model):
+    assert model.act_pre_energy() > 0
+    assert model.external_read_energy() > 0
+    assert model.external_write_energy() > 0
+    assert model.internal_access_energy() > 0
+    assert model.pim_alu_energy() > 0
+    assert model.pim_quant_energy() > 0
+    assert model.scaler_energy() > 0
+
+
+def test_internal_access_cheaper_than_external(model):
+    """The core energy argument: a bank-group-confined access (IDDpre)
+    costs less than a full off-chip read/write."""
+    assert model.internal_access_energy() < model.external_read_energy()
+    assert model.internal_access_energy() < model.external_write_energy()
+
+
+def test_internal_access_saves_more_than_half(model):
+    # IDDpre (98 mA) vs IDD4R (225 mA) plus saved I/O: at least 2x.
+    assert (
+        model.external_read_energy()
+        > 2 * model.internal_access_energy()
+    )
+
+
+def test_pim_alu_orders_of_magnitude_below_access(model):
+    """Why the PIM slice of Fig. 10 is barely visible."""
+    assert model.pim_alu_energy() < model.internal_access_energy() / 10
+
+
+def test_background_scales_linearly(model):
+    assert model.background_energy(2000) == pytest.approx(
+        2 * model.background_energy(1000)
+    )
+
+
+def test_from_counts_composition(model):
+    e = model.from_counts(
+        n_act=10, n_rd=100, n_wr=50, n_internal=200, n_alu=300,
+        n_quant_ops=40, background_cycles=1e4,
+    )
+    assert e.act == pytest.approx(10 * model.act_pre_energy())
+    assert e.rd == pytest.approx(100 * model.external_read_energy())
+    assert e.wr == pytest.approx(50 * model.external_write_energy())
+    assert e.total == e.act + e.rd + e.wr + e.pim + e.background
+
+
+def test_breakdown_addition():
+    a = EnergyBreakdown(act=1, rd=2, wr=3, pim=4, background=5)
+    b = EnergyBreakdown(act=10, rd=20, wr=30, pim=40, background=50)
+    c = a + b
+    assert c.act == 11 and c.rd == 22 and c.wr == 33
+    assert c.total == pytest.approx(165)
+
+
+def test_breakdown_scaling():
+    a = EnergyBreakdown(act=1, rd=2, wr=3, pim=4, background=5)
+    s = a.scaled(2.0)
+    assert s.total == pytest.approx(2 * a.total)
+
+
+def test_currents_reject_iddpre_above_idd4r():
+    with pytest.raises(ConfigError):
+        DDR4_2133_CURRENTS.__class__(
+            name="bad", vdd=1.2, idd0=75, idd2p=25, idd2n=33, idd3p=39,
+            idd3n=44, idd4r=100, idd4w=225, idd5b=250, iddpre=150,
+        )
+
+
+def test_currents_reject_nonpositive():
+    with pytest.raises(ConfigError):
+        DDR4_2133_CURRENTS.__class__(
+            name="bad", vdd=1.2, idd0=0, idd2p=25, idd2n=33, idd3p=39,
+            idd3n=44, idd4r=225, idd4w=225, idd5b=250, iddpre=98,
+        )
+
+
+def test_act_energy_magnitude_reasonable(model):
+    """ACT/PRE of a whole rank should land in the nanojoule range
+    (10-40 nJ for DDR4 x8 chips) — a guard against unit slips."""
+    assert 1e-9 < model.act_pre_energy() < 100e-9

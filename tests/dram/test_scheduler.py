@@ -1,0 +1,185 @@
+"""Scheduler tests: legality, issue models, dependency handling."""
+
+import copy
+
+import pytest
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.scheduler import CommandScheduler, IssueModel
+from repro.dram.timing import DDR4_2133
+from repro.dram.validator import validate_trace
+from repro.errors import ConfigError, SimulationError
+
+T = DDR4_2133
+GEOM = DeviceGeometry()
+
+
+def _basic_kernel(rank=0, bg=0, bank=0, row=3):
+    return [
+        Command(CommandType.ACT, rank=rank, bankgroup=bg, bank=bank,
+                row=row),
+        Command(CommandType.SCALED_READ, rank=rank, bankgroup=bg,
+                bank=bank, row=row, col=0, deps=(0,)),
+        Command(CommandType.PIM_ADD, rank=rank, bankgroup=bg,
+                deps=(1,)),
+        Command(CommandType.WRITEBACK, rank=rank, bankgroup=bg,
+                bank=bank, row=row, col=0, deps=(2,)),
+        Command(CommandType.PRE, rank=rank, bankgroup=bg, bank=bank,
+                row=row, deps=(3,)),
+    ]
+
+
+def _run(commands, **kwargs):
+    sched = CommandScheduler(T, GEOM, **kwargs)
+    return sched.run(copy.deepcopy(commands))
+
+
+class TestIssueModel:
+    def test_direct_single_port(self):
+        im = IssueModel.direct(4)
+        assert im.n_ports == 1
+        assert im.port_of_rank == (0, 0, 0, 0)
+
+    def test_buffered_port_per_rank(self):
+        im = IssueModel.buffered(4)
+        assert im.n_ports == 4
+
+    def test_rejects_sparse_ports(self):
+        with pytest.raises(ConfigError):
+            IssueModel(name="bad", port_of_rank=(0, 2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            IssueModel(name="bad", port_of_rank=())
+
+
+class TestScheduling:
+    def test_basic_kernel_cycles(self):
+        res = _run(_basic_kernel())
+        issues = res.issue_cycles()
+        assert issues[0] == 0
+        assert issues[1] == T.tRCD  # ACT -> column
+        assert issues[2] == issues[1] + T.tCCD_L  # read completes
+        assert issues[3] == issues[2] + T.tPIM  # ALU completes
+        assert issues[4] == issues[3] + T.tBURST + T.tWR  # tWR before PRE
+
+    def test_trace_is_valid(self):
+        res = _run(_basic_kernel())
+        validate_trace(res.commands, T, GEOM, (0, 0, 0, 0))
+
+    def test_independent_groups_overlap_under_buffered(self):
+        cmds = _basic_kernel(rank=0) + [
+            Command(
+                c.kind, rank=1, bankgroup=c.bankgroup, bank=c.bank,
+                row=c.row, col=c.col,
+                deps=tuple(d + 5 for d in c.deps),
+            )
+            for c in _basic_kernel(rank=1)
+        ]
+        direct = _run(cmds, issue_model=IssueModel.direct(GEOM.ranks))
+        buffered = _run(cmds, issue_model=IssueModel.buffered(GEOM.ranks))
+        assert buffered.total_cycles <= direct.total_cycles
+
+    def test_port_serializes_one_command_per_cycle(self):
+        # 8 ACTs to different banks, no deps: a single port needs >= 8
+        # distinct cycles.
+        cmds = [
+            Command(CommandType.ACT, rank=0, bankgroup=bg, bank=b, row=0)
+            for bg in range(4)
+            for b in range(2)
+        ]
+        res = _run(cmds)
+        issues = res.issue_cycles()
+        assert len(set(issues)) == len(issues)
+
+    def test_rejects_forward_dependency(self):
+        cmds = [
+            Command(CommandType.ACT, row=0, deps=(1,)),
+            Command(CommandType.PRE, row=0),
+        ]
+        with pytest.raises(SimulationError):
+            _run(cmds)
+
+    def test_rejects_self_dependency(self):
+        cmds = [Command(CommandType.ACT, row=0, deps=(0,))]
+        with pytest.raises(SimulationError):
+            _run(cmds)
+
+    def test_rejects_rank_out_of_range(self):
+        cmds = [Command(CommandType.ACT, rank=99, row=0)]
+        with pytest.raises(SimulationError):
+            _run(cmds)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigError):
+            CommandScheduler(T, GEOM, window=0)
+
+    def test_rejects_bad_bus_scope(self):
+        with pytest.raises(ConfigError):
+            CommandScheduler(T, GEOM, data_bus_scope="weird")
+
+    def test_rejects_mismatched_issue_model(self):
+        with pytest.raises(ConfigError):
+            CommandScheduler(T, GEOM, issue_model=IssueModel.direct(2))
+
+    def test_stats_count_commands(self):
+        res = _run(_basic_kernel())
+        assert res.stats.issued_commands == 5
+        assert res.stats.count(CommandType.SCALED_READ) == 1
+        assert res.stats.internal_accesses() == 2
+
+    def test_deps_enforced_across_ports(self):
+        # Rank 1's command depends on rank 0's ALU op: even with
+        # separate ports it must wait for completion.
+        cmds = [
+            Command(CommandType.ACT, rank=0, row=0),
+            Command(CommandType.SCALED_READ, rank=0, row=0, deps=(0,)),
+            Command(CommandType.ACT, rank=1, row=0, deps=(1,)),
+        ]
+        res = _run(cmds, issue_model=IssueModel.buffered(GEOM.ranks))
+        issues = res.issue_cycles()
+        assert issues[2] >= issues[1] + T.tCCD_L
+
+
+class TestDataBusScopes:
+    def _rw_stream(self):
+        cmds = []
+        for rank in range(2):
+            base = len(cmds)
+            cmds.append(
+                Command(CommandType.ACT, rank=rank, row=0)
+            )
+            for col in range(8):
+                cmds.append(
+                    Command(
+                        CommandType.RD, rank=rank, row=0, col=col,
+                        deps=(base,),
+                    )
+                )
+        return cmds
+
+    def test_dimm_scope_beats_channel_scope(self):
+        cmds = self._rw_stream()
+        shared = _run(
+            cmds, issue_model=IssueModel.buffered(GEOM.ranks),
+            data_bus_scope="channel",
+        )
+        # Ranks 0 and 1 share a DIMM: use rank scope for full privacy.
+        private = _run(
+            cmds, issue_model=IssueModel.buffered(GEOM.ranks),
+            data_bus_scope="rank",
+        )
+        assert private.total_cycles < shared.total_cycles
+
+    def test_scoped_traces_validate(self):
+        cmds = self._rw_stream()
+        for scope in ("channel", "dimm", "rank"):
+            res = _run(
+                cmds, issue_model=IssueModel.buffered(GEOM.ranks),
+                data_bus_scope=scope,
+            )
+            validate_trace(
+                res.commands, T, GEOM, tuple(range(GEOM.ranks)),
+                data_bus_scope=scope,
+            )

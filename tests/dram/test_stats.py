@@ -1,0 +1,82 @@
+"""Trace-statistics tests."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.stats import TraceStats
+from repro.dram.timing import DDR4_2133
+
+GEOM = DeviceGeometry()
+
+
+def _stats_with(kinds, ports=None):
+    stats = TraceStats()
+    ports = ports or [0] * len(kinds)
+    for kind, port in zip(kinds, ports):
+        stats.record(Command(kind), port)
+    return stats
+
+
+def test_counts_by_type():
+    stats = _stats_with(
+        [CommandType.RD, CommandType.RD, CommandType.WR]
+    )
+    assert stats.count(CommandType.RD) == 2
+    assert stats.count(CommandType.WR) == 1
+    assert stats.count(CommandType.ACT) == 0
+
+
+def test_internal_vs_external_accesses():
+    stats = _stats_with(
+        [
+            CommandType.SCALED_READ,
+            CommandType.WRITEBACK,
+            CommandType.QREG_LOAD,
+            CommandType.QREG_STORE,
+            CommandType.RD,
+        ]
+    )
+    assert stats.internal_accesses() == 4
+    assert stats.external_accesses() == 1
+    assert stats.internal_bytes(GEOM) == 4 * 64
+    assert stats.external_bytes(GEOM) == 64
+
+
+def test_alu_ops():
+    stats = _stats_with(
+        [CommandType.PIM_ADD, CommandType.PIM_QUANT, CommandType.RD]
+    )
+    assert stats.alu_ops() == 2
+
+
+def test_port_accounting():
+    stats = _stats_with(
+        [CommandType.RD, CommandType.RD, CommandType.RD],
+        ports=[0, 1, 1],
+    )
+    assert stats.port_issued == [1, 2]
+
+
+def test_bandwidths():
+    stats = _stats_with([CommandType.SCALED_READ] * 10)
+    stats.total_cycles = 100
+    seconds = DDR4_2133.cycles_to_s(100)
+    assert stats.internal_bandwidth(DDR4_2133, GEOM) == pytest.approx(
+        10 * 64 / seconds
+    )
+    assert stats.external_bandwidth(DDR4_2133, GEOM) == 0.0
+
+
+def test_command_bus_utilization_can_exceed_one():
+    """Buffered command generation can exceed one command per cycle in
+    aggregate — the Fig. 11 (top) y-axis runs to 400 %."""
+    stats = _stats_with([CommandType.PIM_ADD] * 8, ports=[0, 1, 2, 3] * 2)
+    stats.total_cycles = 4
+    assert stats.command_bus_utilization() == pytest.approx(2.0)
+
+
+def test_zero_cycles_zero_bandwidth():
+    stats = TraceStats()
+    assert stats.command_bus_utilization() == 0.0
+    assert stats.internal_bandwidth(DDR4_2133, GEOM) == 0.0

@@ -1,0 +1,103 @@
+"""Timing-parameter tests: presets, derived bandwidths, validation."""
+
+import pytest
+
+from repro.dram.timing import DDR4_2133, DDR4_3200, HBM_LIKE, PRESETS
+from repro.errors import ConfigError
+
+
+def test_presets_registered():
+    assert set(PRESETS) == {"DDR4-2133", "DDR4-3200", "HBM-like"}
+
+
+def test_paper_table2_values():
+    t = DDR4_2133
+    assert t.tCK_ns == 0.94
+    assert t.tCL == 16
+    assert t.tRCD == 16
+    assert t.tRP == 16
+    assert t.tRAS == 36
+    assert t.tCCD_L == 6
+    assert t.tCCD_S == 4
+    assert t.tPIM == 5
+
+
+def test_peak_offchip_bandwidth_matches_paper():
+    # The paper quotes 17.1 GB/s as the channel's theoretical maximum.
+    assert DDR4_2133.peak_offchip_bandwidth() / 1e9 == pytest.approx(
+        17.1, abs=0.15
+    )
+
+
+def test_peak_internal_bandwidth_matches_paper():
+    # The paper's Fig. 11 dotted line: 181.28 GB/s for 4 groups x 4 ranks.
+    bw = DDR4_2133.peak_internal_bandwidth(4, 4) / 1e9
+    assert bw == pytest.approx(181.28, rel=0.01)
+
+
+def test_per_bankgroup_bandwidth_exceeds_half_offchip():
+    # Background §III-B: one bank group alone provides more than half
+    # the off-chip bandwidth.
+    assert (
+        DDR4_2133.per_bankgroup_bandwidth()
+        > DDR4_2133.peak_offchip_bandwidth() / 2
+    )
+
+
+def test_trc_is_tras_plus_trp():
+    assert DDR4_2133.tRC == DDR4_2133.tRAS + DDR4_2133.tRP
+
+
+def test_cycles_to_seconds():
+    assert DDR4_2133.cycles_to_s(1000) == pytest.approx(940e-9)
+
+
+def test_clock_hz():
+    assert DDR4_2133.clock_hz == pytest.approx(1e9 / 0.94)
+
+
+def test_data_rate():
+    assert DDR4_2133.data_rate_mts == pytest.approx(2127.66, rel=1e-3)
+
+
+def test_with_overrides_returns_new_instance():
+    fast = DDR4_2133.with_overrides(tPIM=3)
+    assert fast.tPIM == 3
+    assert DDR4_2133.tPIM == 5
+    assert fast.tCL == DDR4_2133.tCL
+
+
+def test_faster_grade_has_shorter_clock():
+    assert DDR4_3200.tCK_ns < DDR4_2133.tCK_ns
+
+
+def test_hbm_like_has_much_higher_bandwidth():
+    assert (
+        HBM_LIKE.peak_offchip_bandwidth()
+        > 3 * DDR4_2133.peak_offchip_bandwidth()
+    )
+
+
+def test_rejects_nonpositive_tck():
+    with pytest.raises(ConfigError):
+        DDR4_2133.with_overrides(tCK_ns=0.0)
+
+
+def test_rejects_nonpositive_timing():
+    with pytest.raises(ConfigError):
+        DDR4_2133.with_overrides(tRAS=0)
+
+
+def test_rejects_tccd_s_above_tccd_l():
+    with pytest.raises(ConfigError):
+        DDR4_2133.with_overrides(tCCD_S=8, tCCD_L=6)
+
+
+def test_rejects_trrd_s_above_trrd_l():
+    with pytest.raises(ConfigError):
+        DDR4_2133.with_overrides(tRRD_S=10, tRRD_L=6)
+
+
+def test_rejects_tras_below_trcd():
+    with pytest.raises(ConfigError):
+        DDR4_2133.with_overrides(tRAS=10, tRCD=16)

@@ -1,0 +1,122 @@
+"""Trace-inspection utility tests."""
+
+import copy
+
+import pytest
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.scheduler import CommandScheduler, IssueModel
+from repro.dram.timing import DDR4_2133
+from repro.dram.trace import (
+    CSV_HEADER,
+    bus_occupancy,
+    format_trace,
+    trace_to_csv,
+)
+from repro.errors import SimulationError
+
+GEOM = DeviceGeometry()
+
+
+@pytest.fixture(scope="module")
+def scheduled():
+    cmds = [
+        Command(CommandType.ACT, row=3, tag="act"),
+        Command(CommandType.SCALED_READ, row=3, col=1, deps=(0,),
+                tag="sr:x"),
+        Command(CommandType.PIM_ADD, deps=(1,)),
+        Command(CommandType.WRITEBACK, row=3, col=1, deps=(2,),
+                tag="wb,x"),
+    ]
+    return CommandScheduler(DDR4_2133, GEOM).run(cmds)
+
+
+def test_format_trace_in_cycle_order(scheduled):
+    text = format_trace(scheduled.commands)
+    cycles = [int(line.split()[0]) for line in text.splitlines()]
+    assert cycles == sorted(cycles)
+
+
+def test_format_trace_includes_tags_and_rows(scheduled):
+    text = format_trace(scheduled.commands)
+    assert "[sr:x]" in text
+    assert "row=3 col=1" in text
+
+
+def test_format_trace_limit(scheduled):
+    text = format_trace(scheduled.commands, limit=2)
+    assert len(text.splitlines()) == 2
+
+
+def test_csv_shape(scheduled):
+    csv = trace_to_csv(scheduled.commands)
+    lines = csv.strip().splitlines()
+    assert lines[0] == CSV_HEADER
+    assert len(lines) == 1 + len(scheduled.commands)
+    # Commas inside tags are sanitized.
+    assert "wb;x" in csv
+
+
+def test_bus_occupancy_counts_every_command(scheduled):
+    occ = bus_occupancy(scheduled.commands, (0,) * GEOM.ranks)
+    assert sum(len(v) for v in occ.values()) == len(scheduled.commands)
+
+
+def test_bus_occupancy_splits_ports():
+    cmds = [
+        Command(CommandType.ACT, rank=0, row=0),
+        Command(CommandType.ACT, rank=3, row=0),
+    ]
+    res = CommandScheduler(
+        DDR4_2133, GEOM, IssueModel.buffered(GEOM.ranks)
+    ).run(copy.deepcopy(cmds))
+    occ = bus_occupancy(res.commands, tuple(range(GEOM.ranks)))
+    assert set(occ) == {0, 3}
+
+
+def test_unissued_commands_rejected():
+    with pytest.raises(SimulationError):
+        format_trace([Command(CommandType.ACT, row=0)])
+    with pytest.raises(SimulationError):
+        trace_to_csv([Command(CommandType.ACT, row=0)])
+
+
+class TestRowBufferStats:
+    def test_streaming_kernel_is_nearly_all_hits(self):
+        """§IV-D: GradPIM's update experiences no row-buffer misses
+        beyond opening each row once."""
+        from repro.dram.trace import row_buffer_stats
+        from repro.kernels.compiler import UpdateKernelCompiler
+        from repro.optim import MomentumSGD
+        from repro.optim.precision import PRECISION_8_32
+
+        kernel = UpdateKernelCompiler().compile(
+            MomentumSGD(eta=0.01, alpha=0.9),
+            PRECISION_8_32,
+            columns_per_stripe=32,
+        )
+        stats = row_buffer_stats(kernel.commands)
+        assert stats.hit_rate > 0.95
+        # One miss per (bank, row) opened, each paired with its ACT.
+        assert stats.misses == stats.activations
+
+    def test_alternating_rows_thrash(self):
+        from repro.dram.trace import row_buffer_stats
+
+        cmds = []
+        for i in range(8):
+            row = i % 2
+            cmds.append(Command(CommandType.ACT, row=row))
+            cmds.append(Command(CommandType.RD, row=row))
+            cmds.append(Command(CommandType.PRE, row=row))
+        stats = row_buffer_stats(cmds)
+        assert stats.hit_rate == 0.0
+        assert stats.activations == 8
+
+    def test_empty_stream(self):
+        from repro.dram.trace import row_buffer_stats
+
+        stats = row_buffer_stats([])
+        assert stats.accesses == 0
+        assert stats.hit_rate == 0.0

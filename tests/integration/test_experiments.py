@@ -1,0 +1,152 @@
+"""Experiment-harness smoke tests with a reduced context.
+
+Every figure's ``run_*`` must execute and reproduce its headline shape.
+A shared small context (2 networks, 8-column samples) keeps this suite
+fast; the benchmarks run the full-size versions.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, fused_update_bytes
+from repro.experiments.fig2 import render_fig2, run_fig2
+from repro.experiments.fig9 import render_fig9, run_fig9
+from repro.experiments.fig10 import render_fig10, run_fig10
+from repro.experiments.fig11 import render_fig11, run_fig11
+from repro.experiments.fig12 import run_fig12b, run_fig12c
+from repro.experiments.fig13 import correlation, render_fig13, run_fig13
+from repro.experiments.fig14 import render_fig14, run_fig14
+from repro.experiments.tables import render_tables, run_table2, run_table3
+from repro.optim import MomentumSGD, SGD
+from repro.optim.precision import PRECISION_8_32, PRECISION_FULL
+from repro.system.design import DesignPoint
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        columns_per_stripe=8, networks=("ResNet18", "MLP1")
+    )
+
+
+class TestFig2:
+    def test_headline_shares(self, ctx):
+        result = run_fig2(ctx)
+        assert 0.40 <= result.mixed_update_fraction <= 0.55
+        assert 0.14 <= result.full_update_fraction <= 0.30
+        assert result.last_block_update_fraction > 0.7
+
+    def test_mixed_panel_smaller_than_full(self, ctx):
+        result = run_fig2(ctx)
+        full = sum(r.total_mb for r in result.full_rows)
+        mixed = sum(r.total_mb for r in result.mixed_rows)
+        assert mixed < 0.6 * full
+
+    def test_render(self, ctx):
+        text = render_fig2(run_fig2(ctx))
+        assert "45.9%" in text and "conv0" in text
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_fig9(ctx)
+
+    def test_geomeans_in_paper_neighbourhood(self, result):
+        assert 1.2 <= result.geomean_overall(
+            DesignPoint.GRADPIM_DIRECT
+        ) <= 1.8
+        assert 1.6 <= result.geomean_overall(
+            DesignPoint.GRADPIM_BUFFERED
+        ) <= 3.2
+
+    def test_buffered_always_best_gradpim(self, result):
+        for name, r in result.networks.items():
+            assert r.overall_speedup(
+                DesignPoint.GRADPIM_BUFFERED
+            ) >= r.overall_speedup(DesignPoint.GRADPIM_DIRECT)
+
+    def test_render(self, result):
+        text = render_fig9(result)
+        assert "geomean" in text and "Total" in text
+
+
+class TestFig10:
+    def test_normalized_energies(self, ctx):
+        result = run_fig10(ctx)
+        for name in ctx.networks:
+            norm = result.normalized(name)
+            assert norm[DesignPoint.BASELINE] == pytest.approx(1.0)
+            assert norm[DesignPoint.GRADPIM_BUFFERED] < 1.0
+        assert "ACT" in render_fig10(result)
+
+
+class TestFig11:
+    def test_bandwidth_ordering(self, ctx):
+        result = run_fig11(ctx)
+        assert result.bandwidth(
+            DesignPoint.GRADPIM_BUFFERED
+        ) > result.bandwidth(DesignPoint.GRADPIM_DIRECT)
+        assert result.bandwidth(
+            DesignPoint.GRADPIM_DIRECT
+        ) > result.bandwidth(DesignPoint.BASELINE)
+        assert result.peak_internal / 1e9 == pytest.approx(
+            181.3, rel=0.01
+        )
+        assert "GB/s" in render_fig11(result)
+
+
+class TestFig12:
+    def test_batch_sensitivity(self, ctx):
+        result = run_fig12b(ctx)
+        for name in ctx.networks:
+            assert result[name][16] >= result[name][64] * 0.99
+
+    def test_precision_sensitivity(self, ctx):
+        result = run_fig12c(ctx)
+        for name in ctx.networks:
+            # Full precision gains least (paper Fig. 12c).
+            assert result[name]["8/32"] >= result[name]["32/32"]
+
+
+class TestFig13:
+    def test_positive_correlation(self, ctx):
+        points = run_fig13(ctx)
+        assert correlation(points) > 0.5
+        assert "correlation" in render_fig13(points)
+
+
+class TestFig14:
+    def test_distributed_speedups(self, ctx):
+        results = run_fig14(ctx)
+        for name, r in results.items():
+            assert r.speedup > 1.0
+        assert "geomean" in render_fig14(results)
+
+
+class TestTables:
+    def test_table2_returns_paper_values(self):
+        timing, currents = run_table2()
+        assert timing.tPIM == 5
+        assert currents.iddpre == 98.0
+
+    def test_table3_totals(self):
+        modules, total = run_table3()
+        assert len(modules) == 5
+        assert total.power_mw == 1.74
+
+    def test_render(self):
+        text = render_tables()
+        assert "Table II" in text and "Table III" in text
+
+
+class TestCommonHelpers:
+    def test_fused_update_bytes_momentum(self):
+        opt = MomentumSGD(eta=0.01, alpha=0.9)
+        assert fused_update_bytes(opt, PRECISION_8_32) == 18.0
+        assert fused_update_bytes(opt, PRECISION_FULL) == 20.0
+
+    def test_fused_update_bytes_sgd(self):
+        assert fused_update_bytes(SGD(eta=0.1), PRECISION_8_32) == 10.0
+
+    def test_update_models_cached_per_grade(self, ctx):
+        assert ctx.update_model() is ctx.update_model()

@@ -1,0 +1,53 @@
+"""JSON-export tests."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.export import EXPORTERS, export_all, main
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        columns_per_stripe=8, networks=("MLP1",)
+    )
+
+
+def test_every_figure_has_an_exporter():
+    assert set(EXPORTERS) == {
+        "fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    }
+
+
+def test_export_cheap_figures(tmp_path, ctx):
+    paths = export_all(
+        tmp_path, ctx, figures=("fig2", "fig11", "fig13")
+    )
+    assert [p.name for p in paths] == [
+        "fig2.json", "fig11.json", "fig13.json",
+    ]
+    for path in paths:
+        data = json.loads(path.read_text())
+        assert data  # valid, non-empty JSON
+
+
+def test_fig11_export_structure(tmp_path, ctx):
+    (path,) = export_all(tmp_path, ctx, figures=("fig11",))
+    data = json.loads(path.read_text())
+    assert data["peak_internal_gbps"] == pytest.approx(181.6, rel=0.01)
+    assert "GradPIM-BD" in data["designs"]
+
+
+def test_fig9_export_structure(tmp_path, ctx):
+    (path,) = export_all(tmp_path, ctx, figures=("fig9",))
+    data = json.loads(path.read_text())
+    assert "MLP1" in data["networks"]
+    assert "GradPIM-BD" in data["geomeans"]
+    assert data["geomeans"]["GradPIM-BD"]["overall"] > 1.0
+
+
+def test_cli_usage_error(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out

@@ -1,0 +1,24 @@
+"""Runner-CLI smoke tests (cheap subset only)."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+def test_every_figure_registered():
+    assert set(EXPERIMENTS) == {
+        "tables", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig14",
+    }
+
+
+def test_main_runs_cheap_subset(capsys):
+    assert main(["tables", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "update share" in out
+
+
+def test_main_rejects_unknown(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiments" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""AoS kernel-generator tests."""
+
+import pytest
+
+from repro.dram.commands import CommandType
+from repro.dram.geometry import DeviceGeometry
+from repro.errors import CompileError
+from repro.kernels.aos import (
+    AoSKernelGenerator,
+    alu_ops_per_column,
+    structure_bytes,
+)
+from repro.optim import Adam, MomentumSGD, SGD
+from repro.optim.precision import PRECISION_8_32, PRECISION_FULL
+
+GEOM = DeviceGeometry()
+MOMENTUM = MomentumSGD(eta=0.01, alpha=0.9, weight_decay=1e-4)
+
+
+class TestStructureBytes:
+    def test_momentum_mixed_structure(self):
+        # theta + grad + momentum (4 B each) + two 1 B codes -> 14 -> 16.
+        assert structure_bytes(MOMENTUM, PRECISION_8_32) == 16
+
+    def test_sgd_full_structure(self):
+        # theta + grad only, full precision: 8 bytes.
+        assert structure_bytes(SGD(eta=0.1), PRECISION_FULL) == 8
+
+    def test_adam_structure(self):
+        # theta + grad + m + v = 16 B + 2 codes -> 32.
+        assert structure_bytes(Adam(eta=0.001), PRECISION_8_32) == 32
+
+
+def test_alu_ops_counted_from_recipe():
+    # Momentum with decay: (3-1) + (2-1) lincomb adds + 2 marshalling.
+    assert alu_ops_per_column(MOMENTUM.recipe()) == 5
+
+
+class TestGeneration:
+    def test_unit_count_per_group(self):
+        kernel = AoSKernelGenerator(GEOM).generate(
+            MOMENTUM, PRECISION_8_32, columns_per_unit=4
+        )
+        assert kernel.n_units == GEOM.pim_units
+
+    def test_unit_count_per_bank(self):
+        kernel = AoSKernelGenerator(GEOM, per_bank=True).generate(
+            MOMENTUM, PRECISION_8_32, columns_per_unit=4
+        )
+        assert kernel.n_units == GEOM.total_banks
+
+    def test_params_per_column(self):
+        kernel = AoSKernelGenerator(GEOM).generate(
+            MOMENTUM, PRECISION_8_32, columns_per_unit=4
+        )
+        assert kernel.params_per_column == 4  # 64 B / 16 B structures
+
+    def test_each_column_has_read_modify_write(self):
+        kernel = AoSKernelGenerator(GEOM).generate(
+            MOMENTUM, PRECISION_8_32, columns_per_unit=2
+        )
+        counts = {}
+        for c in kernel.commands:
+            counts[c.kind] = counts.get(c.kind, 0) + 1
+        work = kernel.n_units * kernel.n_columns
+        assert counts[CommandType.SCALED_READ] == work
+        assert counts[CommandType.WRITEBACK] == work
+        assert counts[CommandType.PIM_ADD] == work * 5
+
+    def test_acts_paired_with_pres(self):
+        kernel = AoSKernelGenerator(GEOM).generate(
+            MOMENTUM, PRECISION_8_32, columns_per_unit=2
+        )
+        acts = sum(
+            1 for c in kernel.commands if c.kind is CommandType.ACT
+        )
+        pres = sum(
+            1 for c in kernel.commands if c.kind is CommandType.PRE
+        )
+        assert acts == pres == kernel.n_units
+
+    def test_deps_point_backwards(self):
+        kernel = AoSKernelGenerator(GEOM).generate(
+            MOMENTUM, PRECISION_8_32, columns_per_unit=3
+        )
+        for i, cmd in enumerate(kernel.commands):
+            assert all(0 <= d < i for d in cmd.deps)
+
+    def test_rejects_bad_column_count(self):
+        with pytest.raises(CompileError):
+            AoSKernelGenerator(GEOM).generate(
+                MOMENTUM, PRECISION_8_32, columns_per_unit=0
+            )

@@ -1,0 +1,274 @@
+"""Compiler tests: the compiled kernel IS the optimizer.
+
+The load-bearing property of the whole reproduction: executing the
+compiled command stream on the byte-level functional DRAM produces
+bit-for-bit the same parameter arrays as the recipe interpreter (which
+is itself validated against the float64 textbook optimizers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dram.commands import CommandType
+from repro.errors import CompileError
+from repro.kernels.compiler import GRAD_ACCUMULATE, UpdateKernelCompiler
+from repro.optim import (
+    Adam,
+    AdamW,
+    AdaGrad,
+    MomentumSGD,
+    NAG,
+    RMSprop,
+    SGD,
+    interpret_recipe,
+)
+from repro.optim.precision import (
+    PRECISION_16_32,
+    PRECISION_8_16,
+    PRECISION_8_32,
+    PRECISION_FULL,
+)
+from repro.pim.functional import FunctionalDRAM, FunctionalExecutor
+
+LINEAR_OPTIMIZERS = [
+    SGD(eta=0.01),
+    MomentumSGD(eta=0.01, alpha=0.9, weight_decay=1e-4),
+    NAG(eta=0.01, alpha=0.9),
+]
+ADAPTIVE_OPTIMIZERS = [
+    Adam(eta=0.005),
+    AdamW(eta=0.005, weight_decay=0.02),
+    AdaGrad(eta=0.05),
+    RMSprop(eta=0.01),
+]
+MIXED_PRECISIONS = [PRECISION_8_32, PRECISION_16_32, PRECISION_8_16]
+
+
+def _execute_kernel(opt, precision, n, rng, extended=False,
+                    fuse_quantize=False):
+    """Compile + functionally execute; returns (outputs, expected)."""
+    hp = precision.hp_bytes
+    dtype = {4: np.float32, 2: np.float16}[hp]
+    theta = rng.normal(0, 0.4, n).astype(dtype)
+    grad = rng.normal(0, 0.2, n).astype(dtype)
+    state = {
+        name: rng.normal(0, 0.02, n).astype(dtype) ** 2
+        for name in opt.state_arrays()
+    }
+
+    compiler = UpdateKernelCompiler(extended_alu=extended)
+    kernel = compiler.compile(
+        opt, precision, n_params=n, fuse_quantize=fuse_quantize
+    )
+    dram = FunctionalDRAM()
+    layout = kernel.layout
+    layout.store_hp_array(dram, "theta", theta)
+    for name, arr in state.items():
+        layout.store_hp_array(dram, name, arr)
+
+    if precision.is_full:
+        grad_in = grad
+        layout.store_hp_array(dram, "grad", grad)
+        executor = FunctionalExecutor(dram)
+    else:
+        spec = precision.quant_spec()
+        q_grad = spec.quantize(grad)
+        layout.store_lp_array(dram, "q_grad", q_grad)
+        grad_in = spec.dequantize(q_grad)
+        executor = FunctionalExecutor(dram, spec)
+    executor.execute(kernel.commands)
+
+    arrays = {"theta": theta, "grad": grad_in}
+    arrays.update(state)
+    expected = interpret_recipe(
+        opt.recipe(), arrays, dtype=np.dtype(dtype)
+    )
+
+    outputs = {
+        "theta": layout.load_hp_array(dram, "theta", dtype, n)
+    }
+    for name in opt.state_arrays():
+        outputs[name] = layout.load_hp_array(dram, name, dtype, n)
+    if not precision.is_full:
+        outputs["q_theta"] = layout.load_lp_array(
+            dram, "q_theta", precision.quant_spec().lp_dtype, n
+        )
+        expected["q_theta"] = precision.quant_spec().quantize(
+            expected["theta"]
+        )
+    return outputs, expected
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize(
+        "opt", LINEAR_OPTIMIZERS, ids=lambda o: o.name
+    )
+    @pytest.mark.parametrize(
+        "precision", MIXED_PRECISIONS + [PRECISION_FULL],
+        ids=lambda p: p.name,
+    )
+    def test_linear_optimizers(self, opt, precision, rng):
+        outputs, expected = _execute_kernel(opt, precision, 777, rng)
+        for name, out in outputs.items():
+            np.testing.assert_array_equal(
+                out, expected[name], err_msg=name
+            )
+
+    @pytest.mark.parametrize(
+        "opt", ADAPTIVE_OPTIMIZERS, ids=lambda o: o.name
+    )
+    def test_adaptive_optimizers(self, opt, rng):
+        outputs, expected = _execute_kernel(
+            opt, PRECISION_8_32, 500, rng, extended=True
+        )
+        for name, out in outputs.items():
+            np.testing.assert_allclose(
+                out.astype(np.float64),
+                expected[name].astype(np.float64),
+                atol=1e-6,
+                err_msg=name,
+            )
+
+    def test_multi_stripe_array(self, rng):
+        """An array spanning all 16 stripes and several rows."""
+        opt = MomentumSGD(eta=0.01, alpha=0.9)
+        outputs, expected = _execute_kernel(
+            opt, PRECISION_8_32, 40000, rng
+        )
+        np.testing.assert_array_equal(
+            outputs["theta"], expected["theta"]
+        )
+
+    def test_fuse_quantize_same_result(self, rng):
+        opt = MomentumSGD(eta=0.01, alpha=0.9, weight_decay=1e-4)
+        fused, expected = _execute_kernel(
+            opt, PRECISION_8_32, 900, rng, fuse_quantize=True
+        )
+        for name in fused:
+            np.testing.assert_array_equal(
+                fused[name], expected[name], err_msg=name
+            )
+
+    def test_grad_accumulate_kernel(self, rng):
+        acc = rng.normal(size=300).astype(np.float32)
+        incoming = rng.normal(size=300).astype(np.float32)
+        kernel = UpdateKernelCompiler().compile(
+            GRAD_ACCUMULATE, PRECISION_FULL, n_params=300
+        )
+        dram = FunctionalDRAM()
+        kernel.layout.store_hp_array(dram, "theta", acc)
+        kernel.layout.store_hp_array(dram, "incoming", incoming)
+        FunctionalExecutor(dram).execute(kernel.commands)
+        out = kernel.layout.load_hp_array(dram, "theta", np.float32, 300)
+        np.testing.assert_array_equal(out, acc + incoming)
+
+
+class TestKernelStructure:
+    def test_momentum_command_rate_matches_fig5(self):
+        """Fig. 5's momentum procedure: 9 update commands per column
+        (4 scaled reads, 3 adds, 2 writebacks)."""
+        opt = MomentumSGD(eta=0.01, alpha=0.9, weight_decay=1e-4)
+        kernel = UpdateKernelCompiler().compile(
+            opt, PRECISION_8_32, columns_per_stripe=16
+        )
+        update_cmds = kernel.phase_counts["update"]
+        per_column = update_cmds / kernel.n_hp_columns
+        # 9 per column plus a little row-management overhead.
+        assert 9.0 <= per_column < 10.0
+
+    def test_dequantize_phase_shape(self):
+        """1 qreg load + ratio x (dequant + writeback) per lp column."""
+        opt = SGD(eta=0.01)
+        kernel = UpdateKernelCompiler().compile(
+            opt, PRECISION_8_32, columns_per_stripe=16
+        )
+        counts = {}
+        for cmd in kernel.commands:
+            counts[cmd.kind] = counts.get(cmd.kind, 0) + 1
+        n_lp = kernel.n_hp_columns // 4
+        assert counts[CommandType.QREG_LOAD] == n_lp
+        assert counts[CommandType.PIM_DEQUANT] == kernel.n_hp_columns
+        assert counts[CommandType.QREG_STORE] == n_lp
+        assert counts[CommandType.PIM_QUANT] == kernel.n_hp_columns
+
+    def test_full_precision_skips_quant_phases(self):
+        opt = MomentumSGD(eta=0.01, alpha=0.9)
+        kernel = UpdateKernelCompiler().compile(
+            opt, PRECISION_FULL, columns_per_stripe=16
+        )
+        kinds = {cmd.kind for cmd in kernel.commands}
+        assert CommandType.QREG_LOAD not in kinds
+        assert CommandType.PIM_QUANT not in kinds
+        assert "dequantize" not in kernel.phase_counts
+
+    def test_acts_paired_with_pres(self):
+        opt = MomentumSGD(eta=0.01, alpha=0.9)
+        kernel = UpdateKernelCompiler().compile(
+            opt, PRECISION_8_32, columns_per_stripe=8
+        )
+        acts = sum(
+            1 for c in kernel.commands if c.kind is CommandType.ACT
+        )
+        pres = sum(
+            1 for c in kernel.commands if c.kind is CommandType.PRE
+        )
+        assert acts == pres
+
+    def test_mrw_reprogramming_between_adam_passes(self):
+        kernel = UpdateKernelCompiler(extended_alu=True).compile(
+            Adam(eta=0.001), PRECISION_8_32, columns_per_stripe=8
+        )
+        mrws = [
+            c for c in kernel.commands if c.kind is CommandType.MRW
+        ]
+        # Three passes with distinct coefficients on four ranks.
+        assert len(mrws) >= 3 * 4
+        assert len(kernel.pass_slots) == 3
+
+    def test_commands_dependencies_point_backwards(self):
+        kernel = UpdateKernelCompiler().compile(
+            MomentumSGD(eta=0.01, alpha=0.9), PRECISION_8_32,
+            columns_per_stripe=8,
+        )
+        for i, cmd in enumerate(kernel.commands):
+            assert all(0 <= d < i for d in cmd.deps)
+
+    def test_scale_ids_within_slots(self):
+        kernel = UpdateKernelCompiler().compile(
+            MomentumSGD(eta=0.01, alpha=0.9, weight_decay=1e-4),
+            PRECISION_8_32,
+            columns_per_stripe=8,
+        )
+        for cmd in kernel.commands:
+            if cmd.kind is CommandType.SCALED_READ:
+                assert 0 <= cmd.scale_id < 4
+
+
+class TestCompileErrors:
+    def test_adaptive_requires_extended_alu(self):
+        with pytest.raises(CompileError):
+            UpdateKernelCompiler().compile(
+                Adam(eta=0.001), PRECISION_8_32, n_params=64
+            )
+
+    def test_requires_exactly_one_size_argument(self):
+        compiler = UpdateKernelCompiler()
+        opt = SGD(eta=0.01)
+        with pytest.raises(CompileError):
+            compiler.compile(opt, PRECISION_8_32)
+        with pytest.raises(CompileError):
+            compiler.compile(
+                opt, PRECISION_8_32, n_params=10, columns_per_stripe=4
+            )
+
+    def test_rejects_zero_params(self):
+        with pytest.raises(CompileError):
+            UpdateKernelCompiler().compile(
+                SGD(eta=0.01), PRECISION_8_32, n_params=0
+            )
+
+    def test_rejects_oversized_sample(self):
+        with pytest.raises(CompileError):
+            UpdateKernelCompiler().compile(
+                SGD(eta=0.01), PRECISION_8_32, columns_per_stripe=999
+            )

@@ -1,0 +1,168 @@
+"""Layout tests: bank coloring and the same-group/different-bank rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.geometry import DeviceGeometry
+from repro.errors import CompileError
+from repro.kernels.layout import UpdateLayout
+from repro.pim.functional import FunctionalDRAM
+
+GEOM = DeviceGeometry()
+
+
+def _momentum_layout(n_cols=512):
+    """The Fig. 5 working set: theta/momentum/grad + quantized copies."""
+    return UpdateLayout(
+        liveness_groups=[
+            frozenset({"q_grad", "grad"}),
+            frozenset({"theta", "q_theta"}),
+            frozenset({"theta", "grad", "momentum"}),
+        ],
+        packed_ratios={"q_grad": 4, "q_theta": 4},
+        n_hp_columns=n_cols,
+        geometry=GEOM,
+    )
+
+
+class TestColoring:
+    def test_conflicting_arrays_get_distinct_banks(self):
+        layout = _momentum_layout()
+        banks = {
+            name: layout.placement(name).bank
+            for name in ("theta", "grad", "momentum")
+        }
+        assert len(set(banks.values())) == 3
+
+    def test_quantized_copies_avoid_their_pairs(self):
+        layout = _momentum_layout()
+        assert (
+            layout.placement("q_grad").bank
+            != layout.placement("grad").bank
+        )
+        assert (
+            layout.placement("q_theta").bank
+            != layout.placement("theta").bank
+        )
+
+    def test_non_conflicting_arrays_may_share(self):
+        layout = UpdateLayout(
+            [frozenset({"a", "b"}), frozenset({"c", "d"})],
+            {},
+            128,
+            GEOM,
+        )
+        used = {
+            layout.placement(n).bank for n in ("a", "b", "c", "d")
+        }
+        assert len(used) <= 2
+
+    def test_too_many_live_arrays_rejected(self):
+        with pytest.raises(CompileError):
+            UpdateLayout(
+                [frozenset({"a", "b", "c", "d", "e"})], {}, 128, GEOM
+            )
+
+    def test_shared_bank_stacks_rows(self):
+        layout = UpdateLayout(
+            [frozenset({"a", "b"}), frozenset({"a", "c"}),
+             frozenset({"b", "c"})],
+            {},
+            128,
+            GEOM,
+        )
+        # Three mutually-conflicting arrays in >= 3 banks.
+        banks = {layout.placement(n).bank for n in "abc"}
+        assert len(banks) == 3
+
+
+class TestAddressing:
+    def test_placement_invariant_all_columns(self):
+        """Matching hp columns of every pair of arrays share
+        (rank, group, row-offset, column) in different banks."""
+        layout = _momentum_layout(4096)
+        for j in (0, 1, 127, 128, 2047, 2048, 4095):
+            a = layout.hp_coords("theta", j)
+            b = layout.hp_coords("momentum", j)
+            assert (a.rank, a.bankgroup, a.col) == (
+                b.rank, b.bankgroup, b.col,
+            )
+            assert a.bank != b.bank
+
+    def test_quarter_row_packing_alignment(self):
+        """lp column j//4 sits in the same stripe as hp column j —
+        the §V-B rule that wastes capacity to save bandwidth."""
+        layout = _momentum_layout(4096)
+        for j in (0, 4, 127, 128, 500, 2048, 4092):
+            hp = layout.hp_coords("theta", j)
+            lp = layout.lp_coords("q_theta", j // 4)
+            assert hp.rank == lp.rank
+            assert hp.bankgroup == lp.bankgroup
+
+    def test_lp_columns_use_first_quarter_of_row(self):
+        layout = _momentum_layout(4096)
+        cpr = GEOM.columns_per_row
+        for c in range(cpr // 4):
+            assert layout.lp_coords("q_theta", c).col < cpr // 4
+
+    def test_stripe_rotation(self):
+        layout = _momentum_layout(4096)
+        a = layout.hp_coords("theta", 0)
+        b = layout.hp_coords("theta", GEOM.columns_per_row)
+        assert b.bankgroup == (a.bankgroup + 1) % GEOM.bankgroups
+
+    def test_row_advances_after_all_stripes(self):
+        layout = _momentum_layout(8192)
+        stripes = GEOM.bankgroups * GEOM.ranks
+        j = GEOM.columns_per_row * stripes
+        a = layout.hp_coords("theta", 0)
+        b = layout.hp_coords("theta", j)
+        assert b.row == a.row + 1
+        assert b.bankgroup == a.bankgroup and b.rank == a.rank
+
+    def test_out_of_reservation_rejected(self):
+        layout = _momentum_layout(128)
+        with pytest.raises(CompileError):
+            layout.hp_coords("theta", 10**7)
+
+    def test_unknown_array_rejected(self):
+        layout = _momentum_layout()
+        with pytest.raises(CompileError):
+            layout.placement("nonexistent")
+
+
+class TestFunctionalRoundTrip:
+    @given(st.integers(min_value=1, max_value=6000))
+    @settings(max_examples=25, deadline=None)
+    def test_hp_store_load(self, n):
+        layout = _momentum_layout(max(1, -(-n * 4 // 64)) + 8)
+        dram = FunctionalDRAM(GEOM)
+        rng = np.random.default_rng(n)
+        values = rng.normal(size=n).astype(np.float32)
+        layout.store_hp_array(dram, "theta", values)
+        out = layout.load_hp_array(dram, "theta", np.float32, n)
+        np.testing.assert_array_equal(out, values)
+
+    def test_lp_store_load(self):
+        layout = _momentum_layout(512)
+        dram = FunctionalDRAM(GEOM)
+        values = np.arange(-100, 100, dtype=np.int8)
+        layout.store_lp_array(dram, "q_grad", values)
+        out = layout.load_lp_array(dram, "q_grad", np.int8, len(values))
+        np.testing.assert_array_equal(out, values)
+
+    def test_arrays_do_not_clobber_each_other(self, rng):
+        layout = _momentum_layout(512)
+        dram = FunctionalDRAM(GEOM)
+        theta = rng.normal(size=1000).astype(np.float32)
+        momentum = rng.normal(size=1000).astype(np.float32)
+        layout.store_hp_array(dram, "theta", theta)
+        layout.store_hp_array(dram, "momentum", momentum)
+        np.testing.assert_array_equal(
+            layout.load_hp_array(dram, "theta", np.float32, 1000), theta
+        )
+        np.testing.assert_array_equal(
+            layout.load_hp_array(dram, "momentum", np.float32, 1000),
+            momentum,
+        )

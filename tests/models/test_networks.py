@@ -1,0 +1,143 @@
+"""Workload tests: shapes against published parameter counts."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.graph import NetworkGraph
+from repro.models.layers import conv_layer, linear_layer
+from repro.models.zoo import (
+    DEFAULT_BATCH,
+    PAPER_NETWORKS,
+    build_network,
+)
+
+
+class TestRegistry:
+    def test_five_paper_networks(self):
+        assert PAPER_NETWORKS == (
+            "ResNet18", "ResNet50", "MobileNet", "MLP1", "AlphaGoZero",
+        )
+
+    def test_default_batches(self):
+        assert DEFAULT_BATCH["ResNet18"] == 32
+        assert DEFAULT_BATCH["MLP1"] == 128  # §VI-B
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ConfigError):
+            build_network("VGG16")
+
+    def test_custom_batch(self):
+        net = build_network("ResNet18", batch=16)
+        assert net.batch == 16
+
+
+class TestParameterCounts:
+    """Trainable parameter counts versus the published architectures
+    (conv + fc weights; BN folded by BNFF)."""
+
+    def test_resnet18(self):
+        net = build_network("ResNet18")
+        assert net.total_weights == pytest.approx(11.68e6, rel=0.01)
+
+    def test_resnet50(self):
+        net = build_network("ResNet50")
+        assert net.total_weights == pytest.approx(25.5e6, rel=0.02)
+
+    def test_mobilenet_v2(self):
+        net = build_network("MobileNet")
+        assert net.total_weights == pytest.approx(3.4e6, rel=0.05)
+
+    def test_alphago_zero(self):
+        # Stem + 38 res convs (0.59M each) + heads ~ 22.8M.
+        net = build_network("AlphaGoZero")
+        assert net.total_weights == pytest.approx(22.8e6, rel=0.02)
+
+    def test_mlp1(self):
+        net = build_network("MLP1")
+        expected = (
+            784 * 2048 + 2048 + 2048 * 2048 + 2048
+            + 2048 * 2048 + 2048 + 2048 * 10 + 10
+        )
+        assert net.total_weights == expected
+
+
+class TestBlocks:
+    def test_resnet18_blocks_match_fig9(self):
+        net = build_network("ResNet18")
+        assert net.block_labels == (
+            "Block0", "Block1", "Block2", "Block3", "Block4", "FC",
+        )
+
+    def test_mlp_blocks_match_fig9(self):
+        net = build_network("MLP1")
+        assert net.block_labels == ("Input", "H1", "H2", "Output")
+
+    def test_alphago_blocks_match_fig9(self):
+        net = build_network("AlphaGoZero")
+        assert net.block_labels == ("Conv", "Residual", "Policy", "Head")
+
+    def test_block_lookup(self):
+        net = build_network("ResNet18")
+        assert all(
+            l.block == "Block4" for l in net.block("Block4")
+        )
+
+    def test_unknown_block_rejected(self):
+        net = build_network("ResNet18")
+        with pytest.raises(ConfigError):
+            net.block("Block9")
+
+
+class TestGraphInvariants:
+    @pytest.mark.parametrize("name", PAPER_NETWORKS)
+    def test_layer_names_unique(self, name):
+        net = build_network(name)
+        names = [l.name for l in net.layers]
+        assert len(set(names)) == len(names)
+
+    @pytest.mark.parametrize("name", PAPER_NETWORKS)
+    def test_activations_chain(self, name):
+        """Each layer's input matches its predecessor's output (except
+        across residual/projection branches, which fan out)."""
+        net = build_network(name)
+        # At minimum the first layer consumes the network input and all
+        # counts are positive.
+        assert all(l.in_activations > 0 for l in net.layers)
+        assert all(l.out_activations > 0 for l in net.layers)
+
+    @pytest.mark.parametrize("name", PAPER_NETWORKS)
+    def test_trainable_layers_have_gemms(self, name):
+        net = build_network(name)
+        for layer in net.trainable_layers():
+            assert layer.gemms is not None
+
+    def test_resnet18_macs_match_published(self):
+        # ~1.82 GMAC per 224x224 image.
+        net = build_network("ResNet18", batch=1)
+        assert net.total_fwd_macs() == pytest.approx(1.82e9, rel=0.05)
+
+    def test_resnet50_macs_match_published(self):
+        net = build_network("ResNet50", batch=1)
+        assert net.total_fwd_macs() == pytest.approx(4.1e9, rel=0.05)
+
+    def test_mobilenet_macs_match_published(self):
+        net = build_network("MobileNet", batch=1)
+        assert net.total_fwd_macs() == pytest.approx(0.3e9, rel=0.1)
+
+    def test_duplicate_layer_names_rejected(self):
+        layer = linear_layer("same", "B", 8, 8, 1)
+        with pytest.raises(ConfigError):
+            NetworkGraph(name="bad", layers=(layer, layer), batch=1)
+
+    def test_summary_mentions_name(self):
+        net = build_network("ResNet18")
+        assert "ResNet18" in net.summary()
+
+    def test_weight_activation_ratio_rises_with_depth(self):
+        """The Fig. 13 premise: late conv layers have higher w/a."""
+        net = build_network("ResNet18")
+        early = net.block("Block1")[0]
+        late = [l for l in net.block("Block4") if l.is_trainable][-1]
+        assert late.weight_activation_ratio(32) > (
+            10 * early.weight_activation_ratio(32)
+        )

@@ -1,0 +1,149 @@
+"""Traffic-model tests: the Fig. 2 accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.traffic import TrafficModel, PhaseTraffic, ZERO_TRAFFIC
+from repro.models.zoo import build_network
+from repro.optim.precision import PRECISION_8_32, PRECISION_FULL
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return build_network("ResNet18")
+
+
+class TestPhaseTraffic:
+    def test_totals(self):
+        t = PhaseTraffic(1, 2, 3, 4)
+        assert t.total == 10
+        assert t.fwd_bwd == 6
+
+    def test_addition(self):
+        t = PhaseTraffic(1, 2, 3, 4) + PhaseTraffic(10, 20, 30, 40)
+        assert (t.fwd, t.bact, t.bwgt, t.wup) == (11, 22, 33, 44)
+
+    def test_zero(self):
+        assert ZERO_TRAFFIC.total == 0
+
+
+class TestFig2Headlines:
+    def test_mixed_precision_update_share(self, resnet):
+        """Paper: 45.9% of traffic is the update phase (8/32)."""
+        model = TrafficModel(
+            precision=PRECISION_8_32, update_bytes_per_param=18.0
+        )
+        share = model.update_fraction(resnet)
+        assert 0.40 <= share <= 0.55
+
+    def test_full_precision_update_share(self, resnet):
+        """Paper: 22.4% at full precision."""
+        model = TrafficModel(
+            precision=PRECISION_FULL, update_bytes_per_param=20.0
+        )
+        share = model.update_fraction(resnet)
+        assert 0.15 <= share <= 0.30
+
+    def test_last_block_dominated_by_update(self, resnet):
+        """Paper: up to 80.5% for the conv5m block."""
+        model = TrafficModel(
+            precision=PRECISION_8_32, update_bytes_per_param=18.0
+        )
+        total = ZERO_TRAFFIC
+        for layer in resnet.block("Block4"):
+            total = total + model.layer_traffic(layer, resnet.batch)
+        assert total.wup / total.total > 0.7
+
+    def test_mixed_precision_shrinks_fwd_bwd(self, resnet):
+        mixed = TrafficModel(precision=PRECISION_8_32,
+                             update_bytes_per_param=18.0)
+        full = TrafficModel(precision=PRECISION_FULL,
+                            update_bytes_per_param=20.0)
+        assert (
+            mixed.network_traffic(resnet).fwd_bwd
+            < 0.3 * full.network_traffic(resnet).fwd_bwd
+        )
+
+    def test_update_share_grows_with_mixed_precision(self, resnet):
+        """The paper's §II motivation in one assertion."""
+        mixed = TrafficModel(precision=PRECISION_8_32,
+                             update_bytes_per_param=18.0)
+        full = TrafficModel(precision=PRECISION_FULL,
+                            update_bytes_per_param=20.0)
+        assert mixed.update_fraction(resnet) > (
+            1.8 * full.update_fraction(resnet)
+        )
+
+
+class TestMechanics:
+    def test_first_layer_reads_input(self, resnet):
+        model = TrafficModel()
+        first = model.layer_traffic(
+            resnet.layers[0], resnet.batch, first_layer=True
+        )
+        later = model.layer_traffic(
+            resnet.layers[0], resnet.batch, first_layer=False
+        )
+        assert first.fwd > later.fwd
+
+    def test_pool_layers_have_no_update(self, resnet):
+        model = TrafficModel()
+        pool = next(l for l in resnet.layers if l.kind == "pool")
+        t = model.layer_traffic(pool, resnet.batch)
+        assert t.wup == 0 and t.bwgt == 0
+
+    def test_aos_penalty_scales_weight_traffic(self, resnet):
+        plain = TrafficModel(update_bytes_per_param=0.0)
+        aos = TrafficModel(
+            update_bytes_per_param=0.0, aos_weight_penalty=4.0
+        )
+        fc = next(l for l in resnet.layers if l.kind == "linear")
+        t_plain = plain.layer_traffic(fc, resnet.batch)
+        t_aos = aos.layer_traffic(fc, resnet.batch)
+        # FC traffic is weight-dominated: ~4x.
+        assert t_aos.fwd > 3.0 * t_plain.fwd
+
+    def test_aos_penalty_spares_activations(self, resnet):
+        plain = TrafficModel(update_bytes_per_param=0.0)
+        aos = TrafficModel(
+            update_bytes_per_param=0.0, aos_weight_penalty=4.0
+        )
+        conv0 = resnet.layers[0]  # activation-dominated
+        ratio = (
+            aos.layer_traffic(conv0, resnet.batch).fwd
+            / plain.layer_traffic(conv0, resnet.batch).fwd
+        )
+        assert ratio < 1.5
+
+    def test_subbatching_kicks_in_for_large_working_sets(self, resnet):
+        model = TrafficModel()
+        conv0 = resnet.layers[0]
+        fc = next(l for l in resnet.layers if l.kind == "linear")
+        assert model.subbatches(conv0, resnet.batch) > 1
+        assert model.subbatches(fc, resnet.batch) == 1
+
+    def test_full_precision_gradient_writes_are_hp(self, resnet):
+        mixed = TrafficModel(precision=PRECISION_8_32,
+                             update_bytes_per_param=0.0)
+        full = TrafficModel(precision=PRECISION_FULL,
+                            update_bytes_per_param=0.0)
+        conv = resnet.layers[2]
+        assert full.layer_traffic(conv, resnet.batch).bwgt == (
+            pytest.approx(
+                4 * mixed.layer_traffic(conv, resnet.batch).bwgt
+            )
+        )
+
+    def test_per_layer_matches_network_total(self, resnet):
+        model = TrafficModel(update_bytes_per_param=18.0)
+        total = ZERO_TRAFFIC
+        for _, t in model.per_layer(resnet):
+            total = total + t
+        net = model.network_traffic(resnet)
+        assert total.total == pytest.approx(net.total)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TrafficModel(update_bytes_per_param=-1.0)
+        with pytest.raises(ConfigError):
+            TrafficModel(aos_weight_penalty=0.5)

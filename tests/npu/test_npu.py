@@ -1,0 +1,149 @@
+"""NPU-model tests: config, MAC timing, im2col algebra, roofline."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.npu.config import DEFAULT_NPU, NPUConfig
+from repro.npu.dataflow import phase_time_seconds
+from repro.npu.engine import NPUEngine
+from repro.npu.im2col import (
+    conv_gemm_shapes,
+    conv_output_hw,
+    linear_gemm_shapes,
+)
+from repro.npu.mac import GemmShape, gemm_cycles
+from repro.models.layers import conv_layer, pool_layer
+
+
+class TestConfig:
+    def test_default_is_the_paper_npu(self):
+        assert DEFAULT_NPU.array_rows == 256
+        assert DEFAULT_NPU.array_cols == 256
+        assert DEFAULT_NPU.clock_hz == 1e9
+        assert DEFAULT_NPU.macs_per_cycle == 65536
+
+    def test_peak_throughput(self):
+        assert DEFAULT_NPU.peak_macs_per_second == pytest.approx(
+            65.536e12
+        )
+
+    def test_with_array(self):
+        small = DEFAULT_NPU.with_array(64, 64)
+        assert small.macs_per_cycle == 4096
+        assert DEFAULT_NPU.array_rows == 256  # original untouched
+
+    def test_ops_per_byte_scales_with_array(self):
+        big = DEFAULT_NPU.with_array(512, 512)
+        assert big.ops_per_byte(17e9) > DEFAULT_NPU.ops_per_byte(17e9)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            NPUConfig(array_rows=0)
+        with pytest.raises(ConfigError):
+            NPUConfig(stream_efficiency=1.5)
+        with pytest.raises(ConfigError):
+            DEFAULT_NPU.ops_per_byte(0.0)
+
+
+class TestGemmCycles:
+    def test_single_block(self):
+        shape = GemmShape(256, 256, 256)
+        cycles = gemm_cycles(shape, DEFAULT_NPU)
+        # One block pass: 256 streaming cycles plus fill/drain.
+        assert 256 <= cycles <= 300
+
+    def test_blocks_scale_linearly(self):
+        one = gemm_cycles(GemmShape(256, 256, 256), DEFAULT_NPU)
+        four = gemm_cycles(GemmShape(512, 256, 512), DEFAULT_NPU)
+        assert four == 4 * one
+
+    def test_ceil_rounding_wastes_small_gemms(self):
+        """A 300-wide output on a 512-wide array pays the full pass —
+        the Fig. 12a large-array rolloff."""
+        big = DEFAULT_NPU.with_array(512, 512)
+        small_work = gemm_cycles(GemmShape(300, 300, 300), big)
+        full_work = gemm_cycles(GemmShape(512, 512, 512), big)
+        assert small_work == full_work
+
+    def test_larger_array_fewer_cycles_on_big_gemm(self):
+        shape = GemmShape(2048, 2048, 2048)
+        small = gemm_cycles(shape, DEFAULT_NPU.with_array(64, 64))
+        large = gemm_cycles(shape, DEFAULT_NPU.with_array(512, 512))
+        assert large < small
+
+    def test_rejects_empty_gemm(self):
+        with pytest.raises(ConfigError):
+            GemmShape(0, 1, 1)
+
+
+class TestIm2col:
+    def test_output_size_same_padding(self):
+        assert conv_output_hw(56, 56, 3, 1, 1) == (56, 56)
+
+    def test_output_size_strided(self):
+        assert conv_output_hw(224, 224, 7, 2, 3) == (112, 112)
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(ConfigError):
+            conv_output_hw(2, 2, 5, 1, 0)
+
+    def test_forward_macs_match_formula(self):
+        g = conv_gemm_shapes(64, 128, 56, 56, 3, 1, 1, batch=32)
+        expected = 128 * 64 * 9 * 56 * 56 * 32
+        assert g.forward.macs == expected
+
+    def test_backward_macs_match_forward(self):
+        g = conv_gemm_shapes(64, 128, 56, 56, 3, 1, 1, batch=32)
+        assert g.backward_act.macs == g.forward.macs
+        assert g.backward_wgt.macs == g.forward.macs
+
+    def test_depthwise_groups(self):
+        g = conv_gemm_shapes(
+            32, 32, 112, 112, 3, 1, 1, batch=1, groups=32
+        )
+        assert g.forward.macs == 32 * 9 * 112 * 112
+
+    def test_group_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            conv_gemm_shapes(30, 64, 56, 56, 3, 1, 1, 32, groups=4)
+
+    def test_linear_shapes(self):
+        g = linear_gemm_shapes(512, 1000, 32)
+        assert g.forward.macs == 512 * 1000 * 32
+
+
+class TestRoofline:
+    def test_compute_bound(self):
+        t = phase_time_seconds(1e6, 0.0, DEFAULT_NPU, 17e9)
+        assert t == pytest.approx(1e-3)
+
+    def test_memory_bound(self):
+        t = phase_time_seconds(0.0, 17e9 * 0.88, DEFAULT_NPU, 17e9)
+        assert t == pytest.approx(1.0)
+
+    def test_max_of_both(self):
+        compute = phase_time_seconds(2e6, 0.0, DEFAULT_NPU, 17e9)
+        memory = phase_time_seconds(0.0, 1e6, DEFAULT_NPU, 17e9)
+        both = phase_time_seconds(2e6, 1e6, DEFAULT_NPU, 17e9)
+        assert both == max(compute, memory)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            phase_time_seconds(-1, 0, DEFAULT_NPU, 17e9)
+        with pytest.raises(ConfigError):
+            phase_time_seconds(0, 0, DEFAULT_NPU, 0)
+
+
+class TestEngine:
+    def test_conv_layer_compute(self):
+        layer = conv_layer("c", "B", 64, 64, 56, 56, 3, 1, 1, batch=32)
+        compute = NPUEngine().layer_compute(layer)
+        assert compute.fwd_cycles > 0
+        assert compute.total == (
+            compute.fwd_cycles + compute.bact_cycles + compute.bwgt_cycles
+        )
+
+    def test_pool_layer_is_free(self):
+        layer = pool_layer("p", "B", 64, 56, 56, 2, 2)
+        compute = NPUEngine().layer_compute(layer)
+        assert compute.total == 0

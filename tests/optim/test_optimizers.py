@@ -1,0 +1,221 @@
+"""Optimizer tests: hardware recipes against textbook references.
+
+The central property: the *hardware* step (recipe interpreted with
+float32 arithmetic and 2^n±2^m-approximated coefficients) must track
+the float64 textbook step within the error budget of the approximation,
+and with ``approximate=False`` the only difference is float32 rounding.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.optim import (
+    SGD,
+    Adam,
+    AdamW,
+    AdaGrad,
+    MomentumSGD,
+    NAG,
+    RMSprop,
+)
+
+ALL_OPTIMIZERS = [
+    SGD(eta=0.01),
+    MomentumSGD(eta=0.01, alpha=0.9),
+    MomentumSGD(eta=0.01, alpha=0.9, weight_decay=1e-4),
+    NAG(eta=0.01, alpha=0.9),
+    Adam(eta=0.001),
+    AdamW(eta=0.001, weight_decay=0.01),
+    AdaGrad(eta=0.01),
+    RMSprop(eta=0.01),
+]
+
+LINEAR = ALL_OPTIMIZERS[:4]
+ADAPTIVE = ALL_OPTIMIZERS[4:]
+
+
+def _tensors(rng, n=256):
+    theta = rng.normal(0, 0.5, n)
+    grad = rng.normal(0, 0.2, n)
+    return theta, grad
+
+
+@pytest.mark.parametrize("opt", ALL_OPTIMIZERS, ids=lambda o: o.name)
+class TestAgainstReference:
+    def test_exact_mode_matches_float64_reference(self, opt, rng):
+        theta, grad = _tensors(rng)
+        state = opt.init_state(len(theta))
+        ref_theta, _ = opt.reference_step(theta, grad, state)
+        hw_theta, _ = opt.hardware_step(
+            theta.astype(np.float32),
+            grad.astype(np.float32),
+            {k: v.astype(np.float32) for k, v in state.items()},
+            approximate=False,
+        )
+        np.testing.assert_allclose(hw_theta, ref_theta, atol=1e-5)
+
+    def test_approximate_mode_within_scaler_budget(self, opt, rng):
+        theta, grad = _tensors(rng)
+        state = opt.init_state(len(theta))
+        ref_theta, _ = opt.reference_step(theta, grad, state)
+        hw_theta, _ = opt.hardware_step(
+            theta.astype(np.float32),
+            grad.astype(np.float32),
+            {k: v.astype(np.float32) for k, v in state.items()},
+        )
+        # The update magnitude is O(eta * |grad|); the scaler error is a
+        # few percent of that, far below |theta| itself.
+        delta = np.max(np.abs(hw_theta - ref_theta))
+        step = np.max(np.abs(ref_theta - theta)) + 1e-12
+        assert delta <= 0.25 * step + 1e-6
+
+    def test_multi_step_state_consistency(self, opt, rng):
+        """Hardware state arrays track the reference over 5 steps."""
+        theta, _ = _tensors(rng, 64)
+        theta32 = theta.astype(np.float32)
+        ref_theta = theta.copy()
+        state = opt.init_state(64)
+        state32 = {k: v.astype(np.float32) for k, v in state.items()}
+        for step in range(5):
+            grad = rng.normal(0, 0.2, 64)
+            ref_theta, state = opt.reference_step(ref_theta, grad, state)
+            theta32, state32 = opt.hardware_step(
+                theta32, grad.astype(np.float32), state32,
+                approximate=False,
+            )
+        np.testing.assert_allclose(theta32, ref_theta, atol=1e-4)
+
+    def test_describe_mentions_name(self, opt):
+        assert opt.name in opt.describe()
+
+
+@pytest.mark.parametrize("opt", LINEAR, ids=lambda o: o.name)
+def test_linear_optimizers_fit_base_alu(opt):
+    assert not opt.recipe().needs_extended_alu
+
+
+@pytest.mark.parametrize("opt", ADAPTIVE, ids=lambda o: o.name)
+def test_adaptive_optimizers_need_extension(opt):
+    assert opt.recipe().needs_extended_alu
+
+
+@pytest.mark.parametrize("opt", ADAPTIVE, ids=lambda o: o.name)
+def test_adaptive_recipes_are_multi_pass(opt):
+    """The §VIII multi-pass rule: each pass fits four banks."""
+    recipe = opt.recipe()
+    assert len(recipe.passes) >= 2
+    recipe.validate_bank_budget(4)
+
+
+@pytest.mark.parametrize("opt", ALL_OPTIMIZERS, ids=lambda o: o.name)
+def test_scaler_slot_budget_per_pass(opt):
+    """No single pass may need more than the 3 programmable scaler
+    slots — they can only be MRW-reprogrammed between passes."""
+    for p in opt.recipe().passes:
+        coefs = {
+            c for op in p.ops for c in op.coefficients() if c != 1.0
+        }
+        assert len(coefs) <= 3
+
+
+class TestConvergence:
+    """Optimizers must actually optimize: a quadratic bowl converges."""
+
+    @pytest.mark.parametrize(
+        "opt",
+        [
+            SGD(eta=0.1),
+            MomentumSGD(eta=0.05, alpha=0.9),
+            NAG(eta=0.05, alpha=0.9),
+            Adam(eta=0.1),
+            AdaGrad(eta=0.5),
+            RMSprop(eta=0.05),
+        ],
+        ids=lambda o: o.name,
+    )
+    def test_quadratic_bowl(self, opt, rng):
+        theta = rng.normal(0, 1.0, 32).astype(np.float32)
+        state = {
+            k: v.astype(np.float32)
+            for k, v in opt.init_state(32).items()
+        }
+        start = float(np.sum(theta.astype(np.float64) ** 2))
+        for step in range(150):
+            if isinstance(opt, Adam):
+                opt.step = step + 1
+            grad = 2.0 * theta  # d/dtheta of sum(theta^2)
+            theta, state = opt.hardware_step(theta, grad, state)
+        end = float(np.sum(theta.astype(np.float64) ** 2))
+        assert end < 0.05 * start
+
+
+class TestValidation:
+    def test_negative_learning_rate_rejected(self):
+        for ctor in (SGD, MomentumSGD, NAG, Adam, AdaGrad, RMSprop):
+            with pytest.raises(ConfigError):
+                ctor(eta=-1.0)
+
+    def test_momentum_range(self):
+        with pytest.raises(ConfigError):
+            MomentumSGD(alpha=1.0)
+
+    def test_weight_decay_nonnegative(self):
+        with pytest.raises(ConfigError):
+            MomentumSGD(weight_decay=-0.1)
+
+    def test_adam_betas(self):
+        with pytest.raises(ConfigError):
+            Adam(beta1=1.5)
+        with pytest.raises(ConfigError):
+            Adam(beta2=-0.1)
+
+    def test_adam_step_positive(self):
+        with pytest.raises(ConfigError):
+            Adam(step=0)
+
+    def test_rmsprop_rho(self):
+        with pytest.raises(ConfigError):
+            RMSprop(rho=2.0)
+
+
+def test_adam_bias_correction_folded():
+    early = Adam(eta=0.001, step=1)
+    late = Adam(eta=0.001, step=10000)
+    # At t=1 the folded rate is eta*sqrt(1-b2)/(1-b1) < eta; it decays
+    # toward plain eta as both corrections approach 1.
+    assert early.eta_t == pytest.approx(
+        0.001 * (1 - 0.999) ** 0.5 / (1 - 0.9)
+    )
+    assert late.eta_t == pytest.approx(0.001, rel=1e-3)
+
+
+def test_momentum_without_decay_has_two_coefficients():
+    opt = MomentumSGD(eta=0.01, alpha=0.9, weight_decay=0.0)
+    assert len(opt.recipe().coefficients()) == 2
+
+
+def test_momentum_with_decay_has_three_coefficients():
+    opt = MomentumSGD(eta=0.01, alpha=0.9, weight_decay=1e-4)
+    assert len(opt.recipe().coefficients()) == 3
+
+
+@given(
+    st.floats(min_value=1e-4, max_value=0.5),
+    st.floats(min_value=0.0, max_value=0.99),
+)
+@settings(max_examples=30, deadline=None)
+def test_momentum_hardware_tracks_reference(eta, alpha):
+    rng = np.random.default_rng(7)
+    opt = MomentumSGD(eta=eta, alpha=alpha)
+    theta = rng.normal(0, 1, 64)
+    grad = rng.normal(0, 1, 64)
+    state = opt.init_state(64)
+    ref, _ = opt.reference_step(theta, grad, state)
+    hw, _ = opt.hardware_step(
+        theta.astype(np.float32), grad.astype(np.float32),
+        {k: v.astype(np.float32) for k, v in state.items()},
+        approximate=False,
+    )
+    np.testing.assert_allclose(hw, ref, atol=1e-4)

@@ -1,0 +1,60 @@
+"""Precision-configuration tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.optim.precision import (
+    PRECISION_8_16,
+    PRECISION_8_32,
+    PRECISION_16_32,
+    PRECISION_FULL,
+    PRECISIONS,
+    PrecisionConfig,
+)
+
+
+def test_registry_matches_fig12c():
+    assert set(PRECISIONS) == {"8/32", "16/32", "8/16", "32/32"}
+
+
+def test_default_mix_properties():
+    p = PRECISION_8_32
+    assert p.name == "8/32"
+    assert p.lp_bytes == 1
+    assert p.hp_bytes == 4
+    assert p.ratio == 4
+    assert not p.is_full
+
+
+def test_half_ratio_mixes():
+    assert PRECISION_16_32.ratio == 2
+    assert PRECISION_8_16.ratio == 2
+
+
+def test_full_precision():
+    assert PRECISION_FULL.is_full
+    assert PRECISION_FULL.ratio == 1
+
+
+def test_quant_spec_generation():
+    spec = PRECISION_8_32.quant_spec(exponent=-5)
+    assert spec.hp_bits == 32
+    assert spec.lp_bits == 8
+    assert spec.exponent == -5
+
+
+def test_full_precision_has_no_quant_spec():
+    with pytest.raises(ConfigError):
+        PRECISION_FULL.quant_spec()
+
+
+def test_rejects_lp_above_hp():
+    with pytest.raises(ConfigError):
+        PrecisionConfig(32, 16)
+
+
+def test_rejects_unknown_widths():
+    with pytest.raises(ConfigError):
+        PrecisionConfig(4, 32)
+    with pytest.raises(ConfigError):
+        PrecisionConfig(8, 64)

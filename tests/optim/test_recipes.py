@@ -1,0 +1,168 @@
+"""Recipe-DSL tests: structure, validation, interpretation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError, ConfigError
+from repro.optim.base import (
+    Lincomb,
+    Mul,
+    RsqrtMul,
+    Term,
+    UpdatePass,
+    UpdateRecipe,
+    approximate_coefficients,
+    interpret_recipe,
+)
+
+
+def _simple_recipe():
+    return UpdateRecipe(
+        passes=(
+            UpdatePass(
+                ops=(
+                    Lincomb(
+                        "theta",
+                        (Term(1.0, "theta"), Term(-0.01, "grad")),
+                    ),
+                ),
+                inputs=frozenset({"theta", "grad"}),
+                outputs=frozenset({"theta"}),
+            ),
+        )
+    )
+
+
+class TestStructure:
+    def test_term_rejects_zero_coefficient(self):
+        with pytest.raises(ConfigError):
+            Term(0.0, "grad")
+
+    def test_lincomb_requires_terms(self):
+        with pytest.raises(ConfigError):
+            Lincomb("x", ())
+
+    def test_lincomb_accessors(self):
+        op = Lincomb("v", (Term(0.9, "v"), Term(-0.01, "g")))
+        assert op.sources() == ("v", "g")
+        assert op.coefficients() == (0.9, -0.01)
+
+    def test_mul_accessors(self):
+        op = Mul("gg", Term(0.5, "g"), "g")
+        assert op.sources() == ("g", "g")
+        assert op.coefficients() == (0.5,)
+
+    def test_rsqrt_has_no_coefficients(self):
+        op = RsqrtMul("u", "m", "v")
+        assert op.coefficients() == ()
+
+    def test_recipe_coefficients_deduplicated(self):
+        recipe = UpdateRecipe(
+            passes=(
+                UpdatePass(
+                    ops=(
+                        Lincomb("a", (Term(0.9, "a"), Term(0.9, "b"))),
+                        Lincomb("b", (Term(-0.5, "a"), Term(1.0, "b"))),
+                    ),
+                    inputs=frozenset({"a", "b"}),
+                    outputs=frozenset({"a", "b"}),
+                ),
+            )
+        )
+        assert recipe.coefficients() == (0.9, -0.5)
+
+    def test_bank_budget_validation(self):
+        recipe = UpdateRecipe(
+            passes=(
+                UpdatePass(
+                    ops=(
+                        Lincomb("a", (Term(1.0, "b"),)),
+                    ),
+                    inputs=frozenset({"a", "b", "c", "d", "e"}),
+                    outputs=frozenset({"a"}),
+                ),
+            )
+        )
+        with pytest.raises(CompileError):
+            recipe.validate_bank_budget(4)
+        recipe.validate_bank_budget(5)
+
+    def test_dram_arrays_union(self):
+        p = UpdatePass(
+            ops=(), inputs=frozenset({"a"}), outputs=frozenset({"b"})
+        )
+        assert p.dram_arrays() == frozenset({"a", "b"})
+
+
+class TestInterpreter:
+    def test_plain_sgd_semantics(self):
+        recipe = _simple_recipe()
+        theta = np.array([1.0, 2.0], dtype=np.float32)
+        grad = np.array([1.0, -1.0], dtype=np.float32)
+        env = interpret_recipe(
+            recipe, {"theta": theta, "grad": grad}, approximate=False
+        )
+        np.testing.assert_allclose(
+            env["theta"], [1.0 - 0.01, 2.0 + 0.01], rtol=1e-6
+        )
+
+    def test_approximate_uses_scaler_values(self):
+        recipe = _simple_recipe()
+        coef_map = approximate_coefficients(recipe)
+        theta = np.zeros(4, dtype=np.float32)
+        grad = np.ones(4, dtype=np.float32)
+        env = interpret_recipe(recipe, {"theta": theta, "grad": grad})
+        expected = np.float32(coef_map[-0.01].value)
+        np.testing.assert_array_equal(env["theta"], expected)
+
+    def test_missing_input_rejected(self):
+        recipe = _simple_recipe()
+        with pytest.raises(CompileError):
+            interpret_recipe(recipe, {"theta": np.zeros(2)})
+
+    def test_intermediates_visible_in_env(self):
+        recipe = UpdateRecipe(
+            passes=(
+                UpdatePass(
+                    ops=(
+                        Mul("_gg", Term(1.0, "g"), "g"),
+                        Lincomb("acc", (Term(1.0, "acc"),
+                                        Term(1.0, "_gg"))),
+                    ),
+                    inputs=frozenset({"g", "acc"}),
+                    outputs=frozenset({"acc"}),
+                ),
+            ),
+            needs_extended_alu=True,
+        )
+        g = np.array([3.0], dtype=np.float32)
+        acc = np.array([1.0], dtype=np.float32)
+        env = interpret_recipe(
+            recipe, {"g": g, "acc": acc}, approximate=False
+        )
+        assert env["_gg"][0] == 9.0
+        assert env["acc"][0] == 10.0
+
+    def test_rsqrt_semantics(self):
+        recipe = UpdateRecipe(
+            passes=(
+                UpdatePass(
+                    ops=(RsqrtMul("u", "m", "v", epsilon=0.0),),
+                    inputs=frozenset({"m", "v"}),
+                    outputs=frozenset({"u"}),
+                ),
+            ),
+            needs_extended_alu=True,
+        )
+        m = np.array([8.0], dtype=np.float32)
+        v = np.array([4.0], dtype=np.float32)
+        env = interpret_recipe(recipe, {"m": m, "v": v})
+        assert env["u"][0] == pytest.approx(4.0)
+
+    def test_inputs_not_mutated(self):
+        recipe = _simple_recipe()
+        theta = np.ones(4, dtype=np.float32)
+        interpret_recipe(
+            recipe, {"theta": theta, "grad": np.ones(4, np.float32)}
+        )
+        assert np.all(theta == 1.0)

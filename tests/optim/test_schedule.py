@@ -1,0 +1,146 @@
+"""Learning-rate scheduling tests (paper §VIII)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.optim.schedule import (
+    CosineSchedule,
+    PolynomialSchedule,
+    StepSchedule,
+    schedule_error,
+)
+
+
+class TestStepSchedule:
+    def test_halving_is_exact_on_hardware(self):
+        """The paper's shifter path: scaling by 2 is exact."""
+        sched = StepSchedule(
+            base_lr=0.5, total_steps=40, period=10, factor=0.5
+        )
+        assert sched.factor_is_power_of_two
+        assert schedule_error(sched) == 0.0
+
+    def test_decay_at_period_boundaries(self):
+        sched = StepSchedule(
+            base_lr=0.5, total_steps=30, period=10, factor=0.5
+        )
+        assert sched.lr(0) == 0.5
+        assert sched.lr(9) == 0.5
+        assert sched.lr(10) == 0.25
+        assert sched.lr(29) == 0.125
+
+    def test_reprogram_points_are_period_starts(self):
+        sched = StepSchedule(
+            base_lr=0.5, total_steps=30, period=10, factor=0.5
+        )
+        assert sched.mrw_reprogram_points() == [0, 10, 20]
+
+    def test_non_pow2_factor_flagged(self):
+        sched = StepSchedule(
+            base_lr=0.5, total_steps=10, period=5, factor=0.3
+        )
+        assert not sched.factor_is_power_of_two
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StepSchedule(0.1, 10, period=0)
+        with pytest.raises(ConfigError):
+            StepSchedule(0.1, 10, period=5, factor=1.5)
+
+
+class TestCosineSchedule:
+    def test_endpoints(self):
+        sched = CosineSchedule(base_lr=0.1, total_steps=100)
+        assert sched.lr(0) == pytest.approx(0.1)
+        assert sched.lr(99) == pytest.approx(sched.min_lr)
+
+    def test_monotone_decay(self):
+        sched = CosineSchedule(base_lr=0.1, total_steps=50)
+        rates = sched.schedule()
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_hardware_error_bounded(self):
+        """The 2^n±2^m approximation stays within its 1/6 bound over
+        the entire annealing curve."""
+        sched = CosineSchedule(base_lr=0.1, total_steps=200)
+        assert schedule_error(sched) <= 1.0 / 6.0 + 1e-9
+
+    def test_far_fewer_reprograms_than_steps(self):
+        """MRW cost: the coarse scaler grid means the value changes
+        much less often than every step — the §VIII 'small overhead'."""
+        sched = CosineSchedule(base_lr=0.1, total_steps=1000)
+        points = sched.mrw_reprogram_points()
+        assert points[0] == 0
+        assert len(points) < 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CosineSchedule(base_lr=0.1, total_steps=10, min_lr=0.5)
+        with pytest.raises(ConfigError):
+            CosineSchedule(base_lr=-0.1, total_steps=10)
+
+
+class TestPolynomialSchedule:
+    def test_endpoints(self):
+        sched = PolynomialSchedule(base_lr=0.1, total_steps=100)
+        assert sched.lr(0) == pytest.approx(0.1)
+        assert sched.lr(99) == pytest.approx(sched.min_lr)
+
+    def test_monotone_decay(self):
+        sched = PolynomialSchedule(
+            base_lr=0.1, total_steps=60, power=0.9
+        )
+        rates = sched.schedule()
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_hardware_error_bounded(self):
+        sched = PolynomialSchedule(base_lr=0.1, total_steps=200)
+        assert schedule_error(sched) <= 1.0 / 6.0 + 1e-9
+
+    def test_min_lr_floor(self):
+        sched = PolynomialSchedule(
+            base_lr=0.1, total_steps=100, power=3.0, min_lr=1e-3
+        )
+        assert sched.lr(99) == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PolynomialSchedule(base_lr=0.1, total_steps=10, power=-1)
+
+
+class TestCommon:
+    def test_out_of_range_step_rejected(self):
+        sched = CosineSchedule(base_lr=0.1, total_steps=10)
+        with pytest.raises(ConfigError):
+            sched.lr(10)
+        with pytest.raises(ConfigError):
+            sched.lr(-1)
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(ConfigError):
+            CosineSchedule(base_lr=0.1, total_steps=0)
+
+    def test_hardware_schedule_length(self):
+        sched = CosineSchedule(base_lr=0.1, total_steps=25)
+        assert len(sched.hardware_schedule()) == 25
+
+    @given(
+        st.floats(min_value=1e-4, max_value=1.0),
+        st.integers(min_value=2, max_value=64),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_hardware_values_track_exact(self, base_lr, steps):
+        sched = CosineSchedule(base_lr=base_lr, total_steps=steps)
+        for step in range(steps):
+            exact = sched.lr(step)
+            approx = sched.hardware_lr(step).value
+            assert abs(approx - exact) / exact <= 1.0 / 6.0 + 1e-9
+
+    def test_step_schedule_reprograms_align_with_decays(self):
+        sched = StepSchedule(
+            base_lr=0.25, total_steps=100, period=25, factor=0.5
+        )
+        assert sched.mrw_reprogram_points() == [0, 25, 50, 75]

@@ -1,0 +1,152 @@
+"""Functional-DRAM and executor tests."""
+
+import numpy as np
+import pytest
+
+from repro.dram.commands import Command, CommandType, QUANT_REG
+from repro.dram.geometry import DeviceGeometry
+from repro.errors import SimulationError
+from repro.pim.functional import FunctionalDRAM, FunctionalExecutor
+from repro.pim.quant import QuantSpec
+from repro.pim.scaler import ScalerValue
+
+
+@pytest.fixture()
+def dram():
+    return FunctionalDRAM(DeviceGeometry())
+
+
+class TestFunctionalDRAM:
+    def test_unwritten_columns_read_zero(self, dram):
+        col = dram.read_column(0, 0, 0, 0, 0)
+        assert col.shape == (64,)
+        assert not col.any()
+
+    def test_column_roundtrip(self, dram):
+        payload = np.arange(64, dtype=np.uint8)
+        dram.write_column(1, 2, 3, 4, 5, payload)
+        np.testing.assert_array_equal(
+            dram.read_column(1, 2, 3, 4, 5), payload
+        )
+
+    def test_read_returns_copy(self, dram):
+        payload = np.arange(64, dtype=np.uint8)
+        dram.write_column(0, 0, 0, 0, 0, payload)
+        view = dram.read_column(0, 0, 0, 0, 0)
+        view[:] = 0
+        assert dram.read_column(0, 0, 0, 0, 0)[1] == 1
+
+    def test_wrong_width_rejected(self, dram):
+        with pytest.raises(SimulationError):
+            dram.write_column(0, 0, 0, 0, 0, np.zeros(8, dtype=np.uint8))
+
+    def test_array_roundtrip_through_bank_space(self, dram, rng):
+        values = rng.normal(size=1000).astype(np.float32)
+        dram.store_array(2, values)
+        out = dram.load_array(2, np.float32, 1000)
+        np.testing.assert_array_equal(out, values)
+
+    def test_array_spans_stripes(self, dram, rng):
+        # > 8 KiB spills into the next bank group (Fig. 7 interleave).
+        values = rng.normal(size=5000).astype(np.float32)
+        dram.store_array(0, values)
+        np.testing.assert_array_equal(
+            dram.load_array(0, np.float32, 5000), values
+        )
+
+    def test_unaligned_base_rejected(self, dram):
+        with pytest.raises(SimulationError):
+            dram.store_array(0, np.zeros(4, dtype=np.float32), base=7)
+
+
+class TestExecutor:
+    def test_scaled_read_writeback_moves_bytes(self, dram):
+        values = np.arange(16, dtype=np.float32)
+        dram.write_column(0, 0, 1, 0, 0, values.view(np.uint8))
+        ex = FunctionalExecutor(dram)
+        ex.execute(
+            [
+                Command(CommandType.SCALED_READ, bank=1, row=0, col=0,
+                        dst_reg=0),
+                Command(CommandType.WRITEBACK, bank=2, row=0, col=0,
+                        src_reg=0),
+            ]
+        )
+        out = dram.read_column(0, 0, 2, 0, 0).view(np.float32)
+        np.testing.assert_array_equal(out, values)
+
+    def test_scaler_programming_reaches_all_units(self, dram):
+        ex = FunctionalExecutor(dram)
+        ex.program_scaler(1, ScalerValue(sign=1, n=-1))
+        for rank in range(dram.geometry.ranks):
+            for bg in range(dram.geometry.bankgroups):
+                unit = ex.unit_for(rank, bg, 0)
+                assert unit.scalers[1].value == 0.5
+
+    def test_add_pipeline(self, dram):
+        a = np.full(16, 3.0, dtype=np.float32)
+        b = np.full(16, 4.0, dtype=np.float32)
+        dram.write_column(0, 0, 0, 0, 0, a.view(np.uint8))
+        dram.write_column(0, 0, 1, 0, 0, b.view(np.uint8))
+        ex = FunctionalExecutor(dram)
+        ex.execute(
+            [
+                Command(CommandType.SCALED_READ, bank=0, dst_reg=0),
+                Command(CommandType.SCALED_READ, bank=1, dst_reg=1),
+                Command(CommandType.PIM_ADD, dst_reg=0),
+                Command(CommandType.WRITEBACK, bank=2, src_reg=0),
+            ]
+        )
+        out = dram.read_column(0, 0, 2, 0, 0).view(np.float32)
+        assert np.all(out == 7.0)
+
+    def test_qreg_quant_dequant_path(self, dram):
+        spec = QuantSpec(exponent=-6)
+        values = np.linspace(-1, 1, 16).astype(np.float32)
+        dram.write_column(0, 0, 0, 0, 0, values.view(np.uint8))
+        ex = FunctionalExecutor(dram, spec)
+        cmds = [
+            Command(CommandType.SCALED_READ, bank=0, dst_reg=0),
+        ]
+        for pos in range(4):
+            cmds.append(
+                Command(CommandType.PIM_QUANT, src_reg=0, position=pos)
+            )
+        cmds.append(Command(CommandType.QREG_STORE, bank=1))
+        ex.execute(cmds)
+        codes = dram.read_column(0, 0, 1, 0, 0).view(np.int8)
+        np.testing.assert_array_equal(
+            codes[:16], spec.quantize(values)
+        )
+
+    def test_rd_wr_are_noops(self, dram):
+        ex = FunctionalExecutor(dram)
+        ex.execute([Command(CommandType.RD), Command(CommandType.WR)])
+
+    def test_act_pre_are_noops(self, dram):
+        ex = FunctionalExecutor(dram)
+        ex.execute([Command(CommandType.ACT), Command(CommandType.PRE)])
+
+    def test_per_bank_units_are_distinct(self, dram):
+        ex = FunctionalExecutor(dram, per_bank_pim=True)
+        a = ex.unit_for(0, 0, 0)
+        b = ex.unit_for(0, 0, 1)
+        assert a is not b
+
+    def test_per_group_units_shared_across_banks(self, dram):
+        ex = FunctionalExecutor(dram)
+        assert ex.unit_for(0, 0, 0) is ex.unit_for(0, 0, 3)
+
+    def test_mul_rsqrt_extension(self, dram):
+        a = np.full(16, 9.0, dtype=np.float32)
+        dram.write_column(0, 0, 0, 0, 0, a.view(np.uint8))
+        ex = FunctionalExecutor(dram, rsqrt_epsilon=0.0)
+        ex.execute(
+            [
+                Command(CommandType.SCALED_READ, bank=0, dst_reg=0),
+                Command(CommandType.PIM_RSQRT, dst_reg=0),
+                Command(CommandType.WRITEBACK, bank=1, src_reg=0),
+            ]
+        )
+        out = dram.read_column(0, 0, 1, 0, 0).view(np.float32)
+        assert out[0] == pytest.approx(1.0 / 3.0)

@@ -1,0 +1,172 @@
+"""ISA tests: the Table I truth table round-trips through 5 RFU bits."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandType, QUANT_REG
+from repro.errors import IsaError
+from repro.pim.isa import (
+    ENCODABLE,
+    EXTENDED,
+    decode_command,
+    decode_extended,
+    encode_command,
+    encode_extended,
+)
+
+
+def _roundtrip(cmd):
+    return decode_command(encode_command(cmd))
+
+
+class TestTableOne:
+    @pytest.mark.parametrize("scale_id", range(4))
+    @pytest.mark.parametrize("dst", (0, 1))
+    def test_scaled_read(self, scale_id, dst):
+        decoded = _roundtrip(
+            Command(CommandType.SCALED_READ, scale_id=scale_id,
+                    dst_reg=dst)
+        )
+        assert decoded.kind is CommandType.SCALED_READ
+        assert decoded.scale_id == scale_id
+        assert decoded.reg == dst
+
+    @pytest.mark.parametrize("position", range(4))
+    @pytest.mark.parametrize("dst", (0, 1))
+    def test_dequant(self, position, dst):
+        decoded = _roundtrip(
+            Command(CommandType.PIM_DEQUANT, position=position,
+                    dst_reg=dst)
+        )
+        assert decoded.kind is CommandType.PIM_DEQUANT
+        assert decoded.position == position
+        assert decoded.reg == dst
+
+    @pytest.mark.parametrize("position", range(4))
+    def test_quant(self, position):
+        decoded = _roundtrip(
+            Command(CommandType.PIM_QUANT, position=position, src_reg=1)
+        )
+        assert decoded.kind is CommandType.PIM_QUANT
+        assert decoded.position == position
+        assert decoded.reg == 1
+
+    @pytest.mark.parametrize("src", (0, 1))
+    def test_writeback(self, src):
+        decoded = _roundtrip(
+            Command(CommandType.WRITEBACK, src_reg=src)
+        )
+        assert decoded.kind is CommandType.WRITEBACK
+        assert decoded.reg == src
+
+    def test_writeback_from_quant_reg_is_qreg_store(self):
+        decoded = _roundtrip(
+            Command(CommandType.WRITEBACK, src_reg=QUANT_REG)
+        )
+        assert decoded.kind is CommandType.QREG_STORE
+
+    def test_qreg_directions(self):
+        load = _roundtrip(Command(CommandType.QREG_LOAD))
+        store = _roundtrip(Command(CommandType.QREG_STORE))
+        assert load.kind is CommandType.QREG_LOAD
+        assert store.kind is CommandType.QREG_STORE
+
+    @pytest.mark.parametrize("dst", (0, 1))
+    def test_add_sub(self, dst):
+        add = _roundtrip(Command(CommandType.PIM_ADD, dst_reg=dst))
+        sub = _roundtrip(Command(CommandType.PIM_SUB, dst_reg=dst))
+        assert add.kind is CommandType.PIM_ADD and add.reg == dst
+        assert sub.kind is CommandType.PIM_SUB and sub.reg == dst
+
+    def test_encodings_fit_five_bits(self):
+        for kind in ENCODABLE:
+            bits = encode_command(Command(kind, src_reg=0, dst_reg=0))
+            assert 0 <= bits < 32
+
+    def test_no_encoding_collisions(self):
+        """Distinct (kind, operands) must map to distinct bit patterns."""
+        seen = {}
+        for kind in ENCODABLE:
+            for scale in range(4):
+                for pos in range(4):
+                    for reg in (0, 1):
+                        cmd = Command(
+                            kind, scale_id=scale, position=pos,
+                            src_reg=reg, dst_reg=reg,
+                        )
+                        try:
+                            bits = encode_command(cmd)
+                        except IsaError:
+                            continue
+                        decoded = decode_command(bits)
+                        prev = seen.get(bits)
+                        if prev is not None:
+                            assert prev == decoded
+                        seen[bits] = decoded
+
+    def test_every_5bit_pattern_decodes(self):
+        for bits in range(32):
+            decoded = decode_command(bits)
+            assert decoded.kind in ENCODABLE or decoded.kind in (
+                CommandType.QREG_LOAD, CommandType.QREG_STORE,
+            )
+
+
+class TestErrors:
+    def test_act_has_no_encoding(self):
+        with pytest.raises(IsaError):
+            encode_command(Command(CommandType.ACT))
+
+    def test_rd_has_no_encoding(self):
+        with pytest.raises(IsaError):
+            encode_command(Command(CommandType.RD))
+
+    def test_bad_scale_id(self):
+        with pytest.raises(IsaError):
+            encode_command(
+                Command(CommandType.SCALED_READ, scale_id=4)
+            )
+
+    def test_bad_position(self):
+        with pytest.raises(IsaError):
+            encode_command(
+                Command(CommandType.PIM_QUANT, position=5)
+            )
+
+    def test_bad_register(self):
+        with pytest.raises(IsaError):
+            encode_command(
+                Command(CommandType.PIM_ADD, dst_reg=3)
+            )
+
+    def test_decode_rejects_wide_field(self):
+        with pytest.raises(IsaError):
+            decode_command(32)
+
+
+class TestExtended:
+    def test_mul_roundtrip(self):
+        bits = encode_extended(Command(CommandType.PIM_MUL, dst_reg=1))
+        decoded = decode_extended(bits)
+        assert decoded.kind is CommandType.PIM_MUL
+        assert decoded.reg == 1
+
+    def test_rsqrt_roundtrip(self):
+        bits = encode_extended(Command(CommandType.PIM_RSQRT, dst_reg=0))
+        decoded = decode_extended(bits)
+        assert decoded.kind is CommandType.PIM_RSQRT
+
+    def test_extended_bit_set(self):
+        for kind in EXTENDED:
+            assert encode_extended(Command(kind)) >= 32
+
+    def test_base_ops_rejected_by_extended_encoder(self):
+        with pytest.raises(IsaError):
+            encode_extended(Command(CommandType.PIM_ADD))
+
+    def test_extended_not_in_base_encoder(self):
+        with pytest.raises(IsaError):
+            encode_command(Command(CommandType.PIM_MUL))
+
+    def test_decode_extended_requires_bit(self):
+        with pytest.raises(IsaError):
+            decode_extended(0)

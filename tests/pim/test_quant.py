@@ -1,0 +1,101 @@
+"""Quantization-spec tests: round trips, saturation, geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.pim.quant import QuantSpec
+
+
+class TestGeometry:
+    def test_default_is_8_32(self):
+        q = QuantSpec()
+        assert q.hp_dtype == np.float32
+        assert q.lp_dtype == np.int8
+        assert q.ratio == 4
+
+    def test_16_32_ratio(self):
+        assert QuantSpec(32, 16).ratio == 2
+
+    def test_8_16_ratio(self):
+        q = QuantSpec(16, 8)
+        assert q.ratio == 2
+        assert q.hp_dtype == np.float16
+
+    def test_code_range(self):
+        q = QuantSpec(32, 8)
+        assert q.qmin == -128
+        assert q.qmax == 127
+
+    def test_16bit_code_range(self):
+        q = QuantSpec(32, 16)
+        assert q.qmin == -32768
+        assert q.qmax == 32767
+
+    def test_step(self):
+        assert QuantSpec(exponent=-6).step == pytest.approx(2**-6)
+
+    def test_rejects_lp_not_below_hp(self):
+        with pytest.raises(ConfigError):
+            QuantSpec(hp_bits=16, lp_bits=16)
+
+    def test_rejects_unknown_widths(self):
+        with pytest.raises(ConfigError):
+            QuantSpec(hp_bits=64, lp_bits=8)
+        with pytest.raises(ConfigError):
+            QuantSpec(hp_bits=32, lp_bits=4)
+
+
+class TestRoundTrip:
+    def test_grid_values_exact(self):
+        q = QuantSpec(exponent=-6)
+        x = np.array([0.0, 0.5, -0.25, 1.984375], dtype=np.float32)
+        np.testing.assert_array_equal(q.dequantize(q.quantize(x)), x)
+
+    def test_saturation(self):
+        q = QuantSpec(exponent=-6)
+        x = np.array([100.0, -100.0], dtype=np.float32)
+        codes = q.quantize(x)
+        np.testing.assert_array_equal(codes, [127, -128])
+
+    def test_representable_range(self):
+        q = QuantSpec(exponent=-6)
+        lo, hi = q.representable_range()
+        assert lo == pytest.approx(-2.0)
+        assert hi == pytest.approx(127 / 64)
+
+    def test_round_half_to_even(self):
+        q = QuantSpec(exponent=0)  # step 1
+        x = np.array([0.5, 1.5, 2.5, -0.5], dtype=np.float32)
+        np.testing.assert_array_equal(q.quantize(x), [0, 2, 2, 0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1.875, max_value=1.875, width=32),
+            min_size=1, max_size=64,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_error_bounded(self, values):
+        q = QuantSpec(exponent=-6)
+        x = np.array(values, dtype=np.float32)
+        back = q.dequantize(q.quantize(x))
+        bound = q.roundtrip_error_bound() + 1e-7
+        assert np.all(np.abs(back.astype(np.float64) - x) <= bound)
+
+    @given(st.integers(min_value=-128, max_value=127))
+    @settings(max_examples=50, deadline=None)
+    def test_codes_are_fixed_points(self, code):
+        """Quantize(dequantize(code)) == code for every code."""
+        q = QuantSpec(exponent=-6)
+        c = np.array([code], dtype=np.int8)
+        assert q.quantize(q.dequantize(c))[0] == code
+
+    def test_fp16_master_roundtrip(self):
+        q = QuantSpec(hp_bits=16, lp_bits=8, exponent=-4)
+        x = np.array([0.5, -0.75, 1.25], dtype=np.float16)
+        back = q.dequantize(q.quantize(x))
+        assert back.dtype == np.float16
+        assert np.all(np.abs(back.astype(np.float64) - x.astype(np.float64))
+                      <= q.roundtrip_error_bound() + 1e-6)

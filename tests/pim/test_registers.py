@@ -1,0 +1,115 @@
+"""Register-file tests: widths, validity tracking, the quant register."""
+
+import numpy as np
+import pytest
+
+from repro.dram.commands import QUANT_REG
+from repro.errors import ConfigError, SimulationError
+from repro.pim.registers import NUM_TEMP_REGS, REGISTER_BYTES, RegisterFile
+
+
+def _payload(fill=7):
+    return np.full(REGISTER_BYTES, fill, dtype=np.uint8)
+
+
+def test_width_matches_paper():
+    # "the same width of the global sense amplifiers (64 Bytes)".
+    assert REGISTER_BYTES == 64
+    assert NUM_TEMP_REGS == 2
+
+
+def test_temp_roundtrip():
+    rf = RegisterFile()
+    rf.write_temp(0, _payload(3))
+    np.testing.assert_array_equal(rf.read_temp(0), _payload(3))
+
+
+def test_temps_independent():
+    rf = RegisterFile()
+    rf.write_temp(0, _payload(1))
+    rf.write_temp(1, _payload(2))
+    assert rf.read_temp(0)[0] == 1
+    assert rf.read_temp(1)[0] == 2
+
+
+def test_read_before_write_rejected():
+    rf = RegisterFile()
+    with pytest.raises(SimulationError):
+        rf.read_temp(0)
+
+
+def test_temp_written_flag():
+    rf = RegisterFile()
+    assert not rf.temp_written(1)
+    rf.write_temp(1, _payload())
+    assert rf.temp_written(1)
+
+
+def test_wrong_width_rejected():
+    rf = RegisterFile()
+    with pytest.raises(SimulationError):
+        rf.write_temp(0, np.zeros(32, dtype=np.uint8))
+
+
+def test_quant_reg_not_a_temp():
+    rf = RegisterFile()
+    with pytest.raises(SimulationError):
+        rf.write_temp(QUANT_REG, _payload())
+
+
+def test_out_of_range_temp():
+    rf = RegisterFile()
+    with pytest.raises(SimulationError):
+        rf.read_temp(5)
+
+
+def test_quant_full_roundtrip():
+    rf = RegisterFile()
+    rf.write_quant(_payload(9))
+    np.testing.assert_array_equal(rf.read_quant(), _payload(9))
+
+
+def test_quant_slices_fill_then_drain():
+    rf = RegisterFile()
+    for pos in range(4):
+        rf.write_quant_slice(pos, 4, np.full(16, pos, dtype=np.uint8))
+    out = rf.read_quant()
+    for pos in range(4):
+        assert np.all(out[pos * 16:(pos + 1) * 16] == pos)
+
+
+def test_quant_store_before_full_rejected():
+    """Draining a partially-filled quantization register is a kernel
+    bug: Fig. 5 fills all positions before the writeback."""
+    rf = RegisterFile()
+    rf.write_quant_slice(0, 4, np.zeros(16, dtype=np.uint8))
+    with pytest.raises(SimulationError):
+        rf.read_quant()
+
+
+def test_quant_slice_read_unwritten_rejected():
+    rf = RegisterFile()
+    with pytest.raises(SimulationError):
+        rf.read_quant_slice(2, 4)
+
+
+def test_quant_slice_halves():
+    rf = RegisterFile()
+    rf.write_quant_slice(0, 2, np.full(32, 1, dtype=np.uint8))
+    rf.write_quant_slice(1, 2, np.full(32, 2, dtype=np.uint8))
+    out = rf.read_quant()
+    assert np.all(out[:32] == 1) and np.all(out[32:] == 2)
+
+
+def test_bad_positions_rejected():
+    rf = RegisterFile()
+    with pytest.raises(ConfigError):
+        rf.write_quant_slice(0, 3, np.zeros(21, dtype=np.uint8))
+    with pytest.raises(SimulationError):
+        rf.write_quant_slice(4, 4, np.zeros(16, dtype=np.uint8))
+
+
+def test_bad_slice_width_rejected():
+    rf = RegisterFile()
+    with pytest.raises(SimulationError):
+        rf.write_quant_slice(0, 4, np.zeros(8, dtype=np.uint8))

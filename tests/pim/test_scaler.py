@@ -1,0 +1,167 @@
+"""Scaler tests: the 2^n ± 2^m approximation and its datapath."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.pim.scaler import MAX_EXP, MIN_EXP, ScalerTable, ScalerValue
+
+
+class TestScalerValue:
+    def test_identity_is_exactly_one(self):
+        assert ScalerValue.identity().value == 1.0
+
+    def test_pure_power_of_two(self):
+        assert ScalerValue(sign=1, n=-3).value == 0.125
+
+    def test_two_term_sum(self):
+        assert ScalerValue(sign=1, n=0, term=1, m=-1).value == 1.5
+
+    def test_two_term_difference(self):
+        assert ScalerValue(sign=1, n=0, term=-1, m=-2).value == 0.75
+
+    def test_negative_sign(self):
+        assert ScalerValue(sign=-1, n=-2).value == -0.25
+
+    def test_rejects_bad_sign(self):
+        with pytest.raises(ConfigError):
+            ScalerValue(sign=0, n=0)
+
+    def test_rejects_bad_term(self):
+        with pytest.raises(ConfigError):
+            ScalerValue(sign=1, n=0, term=2, m=-1)
+
+    def test_rejects_m_not_below_n(self):
+        with pytest.raises(ConfigError):
+            ScalerValue(sign=1, n=0, term=1, m=0)
+
+    def test_rejects_exponent_out_of_range(self):
+        with pytest.raises(ConfigError):
+            ScalerValue(sign=1, n=MAX_EXP + 1)
+        with pytest.raises(ConfigError):
+            ScalerValue(sign=1, n=0, term=1, m=MIN_EXP - 1)
+
+
+class TestApproximate:
+    @pytest.mark.parametrize(
+        "target", [1.0, 0.5, -0.25, 1.5, 0.75, 3.0, -6.0]
+    )
+    def test_exactly_representable(self, target):
+        approx = ScalerValue.approximate(target)
+        assert approx.value == target
+
+    def test_paper_learning_rate(self):
+        # eta = 0.01 ~ 2^-7 + 2^-9 = 0.009765625 (2.3% error).
+        approx = ScalerValue.approximate(0.01)
+        assert approx.relative_error(0.01) < 0.05
+
+    def test_momentum_constant(self):
+        approx = ScalerValue.approximate(0.9)
+        assert approx.relative_error(0.9) < 0.05
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            ScalerValue.approximate(0.0)
+
+    @given(
+        st.floats(
+            min_value=1e-6, max_value=1e4,
+            allow_nan=False, allow_infinity=False,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_relative_error_bounded(self, target):
+        """Two powers of two always land within ~1/6 of any magnitude
+        in range (worst case is the midpoint between neighbours)."""
+        approx = ScalerValue.approximate(target)
+        assert approx.relative_error(target) <= 1.0 / 6.0 + 1e-9
+
+    @given(st.floats(min_value=1e-6, max_value=1e4))
+    @settings(max_examples=40, deadline=None)
+    def test_sign_follows_target(self, magnitude):
+        assert ScalerValue.approximate(magnitude).value > 0
+        assert ScalerValue.approximate(-magnitude).value < 0
+
+    @given(
+        st.floats(
+            min_value=1e-6, max_value=1e4,
+            allow_nan=False, allow_infinity=False,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_worse_than_best_pure_power(self, target):
+        """The narrowed two-term search must dominate the best single
+        power of two (a cheap independent optimality floor)."""
+        approx = ScalerValue.approximate(target)
+        best_pure = min(
+            (
+                abs(math.ldexp(1.0, n) - target) / target
+                for n in range(MIN_EXP, MAX_EXP + 1)
+            ),
+        )
+        assert approx.relative_error(target) <= best_pure + 1e-12
+
+    def test_approximate_is_cached(self):
+        assert ScalerValue.approximate(0.01) is (
+            ScalerValue.approximate(0.01)
+        )
+
+
+class TestApply:
+    def test_float32_lane_scaling(self):
+        s = ScalerValue(sign=1, n=-1)
+        x = np.array([2.0, -4.0, 0.5], dtype=np.float32)
+        out = s.apply(x)
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, [1.0, -2.0, 0.25])
+
+    def test_float32_stays_float32(self):
+        s = ScalerValue.approximate(0.9)
+        x = np.ones(16, dtype=np.float32)
+        assert s.apply(x).dtype == np.float32
+
+    def test_fixed_point_shift(self):
+        s = ScalerValue(sign=1, n=-2)
+        x = np.array([64, -64, 7], dtype=np.int32)
+        np.testing.assert_array_equal(s.apply(x), [16, -16, 1])
+
+    def test_fixed_point_two_term(self):
+        s = ScalerValue(sign=1, n=0, term=1, m=-1)  # 1.5
+        x = np.array([8], dtype=np.int32)
+        np.testing.assert_array_equal(s.apply(x), [12])
+
+    def test_fixed_point_saturates(self):
+        s = ScalerValue(sign=1, n=4)
+        x = np.array([2**30], dtype=np.int32)
+        assert s.apply(x)[0] == np.iinfo(np.int32).max
+
+
+class TestScalerTable:
+    def test_slot_zero_is_identity(self):
+        table = ScalerTable()
+        assert table[0].value == 1.0
+
+    def test_program_and_read(self):
+        table = ScalerTable()
+        value = ScalerValue.approximate(0.01)
+        table.program(2, value)
+        assert table[2] == value
+
+    def test_slot_zero_locked(self):
+        table = ScalerTable()
+        with pytest.raises(ConfigError):
+            table.program(0, ScalerValue.approximate(0.5))
+
+    def test_rejects_out_of_range_slot(self):
+        table = ScalerTable()
+        with pytest.raises(ConfigError):
+            table.program(4, ScalerValue.identity())
+        with pytest.raises(ConfigError):
+            table[-1]
+
+    def test_values_snapshot(self):
+        table = ScalerTable()
+        assert len(table.values()) == 4

@@ -1,0 +1,124 @@
+"""GradPIM-unit semantics: scaled reads, ALU, quantize/dequantize."""
+
+import numpy as np
+import pytest
+
+from repro.pim.quant import QuantSpec
+from repro.pim.scaler import ScalerValue
+from repro.pim.unit import (
+    GradPIMUnit,
+    PIM_LAYOUT,
+    PIM_LAYOUT_TOTAL,
+    PIM_AREA_OVERHEAD_FRACTION,
+)
+from repro.errors import SimulationError
+
+
+def _column(values, dtype=np.float32):
+    lanes = np.zeros(64 // np.dtype(dtype).itemsize, dtype=dtype)
+    lanes[: len(values)] = values
+    return lanes.view(np.uint8)
+
+
+@pytest.fixture()
+def unit():
+    return GradPIMUnit(QuantSpec(exponent=-6))
+
+
+class TestScaledRead:
+    def test_identity_load(self, unit):
+        unit.scaled_read(_column([1.0, -2.0]), 0, 0)
+        out = unit.writeback(0).view(np.float32)
+        assert out[0] == 1.0 and out[1] == -2.0
+
+    def test_scaled_load(self, unit):
+        unit.scalers.program(1, ScalerValue(sign=-1, n=-1))
+        unit.scaled_read(_column([4.0]), 1, 1)
+        assert unit.writeback(1).view(np.float32)[0] == -2.0
+
+    def test_rejects_bad_payload(self, unit):
+        with pytest.raises(SimulationError):
+            unit.scaled_read(np.zeros(8, dtype=np.uint8), 0, 0)
+
+
+class TestParallelALU:
+    def test_add(self, unit):
+        unit.scaled_read(_column([1.0, 2.0]), 0, 0)
+        unit.scaled_read(_column([10.0, 20.0]), 0, 1)
+        unit.parallel_add(0)
+        out = unit.writeback(0).view(np.float32)
+        assert out[0] == 11.0 and out[1] == 22.0
+
+    def test_sub_direction_follows_dst(self, unit):
+        unit.scaled_read(_column([10.0]), 0, 0)
+        unit.scaled_read(_column([4.0]), 0, 1)
+        unit.parallel_sub(0)
+        assert unit.writeback(0).view(np.float32)[0] == 6.0
+
+    def test_sub_other_direction(self, unit):
+        unit.scaled_read(_column([10.0]), 0, 0)
+        unit.scaled_read(_column([4.0]), 0, 1)
+        unit.parallel_sub(1)
+        assert unit.writeback(1).view(np.float32)[0] == -6.0
+
+    def test_mul_extension(self, unit):
+        unit.scaled_read(_column([3.0]), 0, 0)
+        unit.scaled_read(_column([-2.0]), 0, 1)
+        unit.parallel_mul(0)
+        assert unit.writeback(0).view(np.float32)[0] == -6.0
+
+    def test_rsqrt_extension(self, unit):
+        unit.scaled_read(_column([4.0]), 0, 0)
+        unit.parallel_rsqrt(0, epsilon=0.0)
+        assert unit.writeback(0).view(np.float32)[0] == pytest.approx(0.5)
+
+    def test_rsqrt_epsilon_guards_zero(self, unit):
+        unit.scaled_read(_column([0.0]), 0, 0)
+        unit.parallel_rsqrt(0, epsilon=1e-8)
+        assert np.isfinite(unit.writeback(0).view(np.float32)[0])
+
+
+class TestQuantPath:
+    def test_quantize_fills_position(self, unit):
+        unit.scaled_read(_column([0.5] * 16), 0, 0)
+        for pos in range(4):
+            unit.quantize(0, pos)
+        codes = unit.qreg_store().view(np.int8)
+        assert np.all(codes == 32)  # 0.5 / 2^-6
+
+    def test_dequantize_reads_position(self, unit):
+        codes = np.full(64, 16, dtype=np.int8)  # 0.25 at step 2^-6
+        unit.qreg_load(codes.view(np.uint8))
+        unit.dequantize(0, 0)
+        out = unit.writeback(0).view(np.float32)
+        assert np.all(out == 0.25)
+
+    def test_quant_dequant_roundtrip_through_unit(self, unit):
+        values = np.linspace(-1.5, 1.5, 16).astype(np.float32)
+        unit.scaled_read(values.view(np.uint8), 0, 0)
+        unit.quantize(0, 2)
+        recovered = GradPIMUnit(unit.quant)
+        recovered.regs.write_quant(
+            np.zeros(64, dtype=np.uint8)
+        )
+        recovered.regs.write_quant_slice(
+            2, 4, unit.regs.read_quant_slice(2, 4)
+        )
+        recovered.dequantize(2, 1)
+        out = recovered.writeback(1).view(np.float32)
+        assert np.max(np.abs(out - values)) <= unit.quant.step / 2 + 1e-7
+
+
+class TestLayoutConstants:
+    def test_table3_modules(self):
+        names = [e.module for e in PIM_LAYOUT]
+        assert names == [
+            "Adder", "Quantize", "Dequantize", "Scaler", "Registers (x3)",
+        ]
+
+    def test_table3_total(self):
+        assert PIM_LAYOUT_TOTAL.area_um2 == 8267.8
+        assert PIM_LAYOUT_TOTAL.power_mw == 1.74
+
+    def test_area_overhead_is_0_01_percent(self):
+        assert PIM_AREA_OVERHEAD_FRACTION == pytest.approx(1e-4)

@@ -1,0 +1,77 @@
+"""Design-point configuration and result-formatting tests."""
+
+import pytest
+
+from repro.dram.geometry import DeviceGeometry
+from repro.system.design import (
+    DESIGN_ORDER,
+    DESIGNS,
+    DesignPoint,
+    UPDATE_AOS_KERNEL,
+    UPDATE_BASELINE_STREAM,
+    UPDATE_NMP_STREAM,
+    UPDATE_PIM_KERNEL,
+)
+from repro.system.results import format_table, geomean_speedup
+
+GEOM = DeviceGeometry()
+
+
+class TestDesignConfigs:
+    def test_all_six_designs(self):
+        assert len(DESIGN_ORDER) == 6
+        assert set(DESIGN_ORDER) == set(DESIGNS)
+
+    def test_baseline_uses_offchip_bus(self):
+        cfg = DESIGNS[DesignPoint.BASELINE]
+        assert cfg.update_kind == UPDATE_BASELINE_STREAM
+        assert cfg.update_uses_offchip_bus
+
+    def test_direct_single_command_port(self):
+        cfg = DESIGNS[DesignPoint.GRADPIM_DIRECT]
+        assert cfg.update_kind == UPDATE_PIM_KERNEL
+        assert cfg.issue_model(GEOM).n_ports == 1
+
+    def test_buffered_port_per_rank(self):
+        cfg = DESIGNS[DesignPoint.GRADPIM_BUFFERED]
+        assert cfg.issue_model(GEOM).n_ports == GEOM.ranks
+
+    def test_tensordimm_port_per_dimm(self):
+        cfg = DESIGNS[DesignPoint.TENSORDIMM]
+        assert cfg.update_kind == UPDATE_NMP_STREAM
+        assert cfg.issue_model(GEOM).n_ports == GEOM.dimms
+        assert cfg.data_bus_scope == "dimm"
+
+    def test_aos_designs_pay_weight_penalty(self):
+        assert DESIGNS[DesignPoint.AOS].aos_weight_penalty == 4.0
+        assert DESIGNS[DesignPoint.AOS_PB].aos_weight_penalty == 4.0
+        assert DESIGNS[DesignPoint.AOS].update_kind == UPDATE_AOS_KERNEL
+
+    def test_aos_pb_is_per_bank(self):
+        assert DESIGNS[DesignPoint.AOS_PB].per_bank_pim
+        assert not DESIGNS[DesignPoint.AOS].per_bank_pim
+
+    def test_labels_match_paper(self):
+        assert DesignPoint.BASELINE.value == "Baseline"
+        assert DesignPoint.GRADPIM_BUFFERED.value == "GradPIM-BD"
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.0], ["long-name", 0.123]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(l) == len(lines[0]) for l in lines[1:2])
+
+    def test_format_table_number_styles(self):
+        table = format_table(["x"], [[1234.0], [12.345], [0.001234], [0]])
+        assert "1234" in table
+        assert "12.35" in table or "12.34" in table
+
+    def test_geomean_speedup(self):
+        assert geomean_speedup({"a": 2.0, "b": 8.0}) == pytest.approx(
+            4.0
+        )

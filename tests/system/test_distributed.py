@@ -1,0 +1,94 @@
+"""Distributed-training tests: Fig. 14's claims."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.system.design import DesignPoint
+from repro.system.distributed import DistributedModel
+from repro.system.training import TrainingSimulator
+
+
+@pytest.fixture(scope="module")
+def model(update_model, momentum_optimizer):
+    simulator = TrainingSimulator(
+        optimizer=momentum_optimizer,
+        update_model=update_model,
+        designs=(DesignPoint.BASELINE, DesignPoint.GRADPIM_BUFFERED),
+    )
+    return DistributedModel(simulator, nodes=4)
+
+
+@pytest.fixture(scope="module")
+def resnet(model):
+    return model.simulate("ResNet18")
+
+
+def test_gradpim_wins_distributed(resnet):
+    assert resnet.speedup > 1.3
+
+
+def test_update_does_not_shrink_with_nodes(
+    model, update_model, momentum_optimizer
+):
+    """§VI-E: the update phase is the sequential portion — per-node
+    update time is the same as single-node."""
+    single = TrainingSimulator(
+        optimizer=momentum_optimizer,
+        update_model=update_model,
+        designs=(DesignPoint.BASELINE, DesignPoint.GRADPIM_BUFFERED),
+    ).simulate("ResNet18")
+    distributed = model.simulate("ResNet18")
+    assert distributed.baseline.update == pytest.approx(
+        single.totals[DesignPoint.BASELINE].update, rel=0.01
+    )
+
+
+def test_fwd_bwd_shrinks_with_nodes(
+    model, update_model, momentum_optimizer
+):
+    single = TrainingSimulator(
+        optimizer=momentum_optimizer,
+        update_model=update_model,
+        designs=(DesignPoint.BASELINE, DesignPoint.GRADPIM_BUFFERED),
+    ).simulate("ResNet18")
+    distributed = model.simulate("ResNet18")
+    assert distributed.baseline.fwd_bwd < (
+        0.5 * single.totals[DesignPoint.BASELINE].fwd_bwd
+    )
+
+
+def test_distributed_speedup_exceeds_single_node(
+    model, update_model, momentum_optimizer
+):
+    """§VI-E: 'GradPIM shows much better scalability' — the speedup at
+    4 nodes beats the single-node speedup."""
+    single = TrainingSimulator(
+        optimizer=momentum_optimizer,
+        update_model=update_model,
+        designs=(DesignPoint.BASELINE, DesignPoint.GRADPIM_BUFFERED),
+    ).simulate("ResNet18")
+    distributed = model.simulate("ResNet18")
+    assert distributed.speedup > single.overall_speedup(
+        DesignPoint.GRADPIM_BUFFERED
+    )
+
+
+def test_pim_accumulate_faster_than_baseline(resnet):
+    assert resnet.gradpim.comm < resnet.baseline.comm
+
+
+def test_node_times_structure(resnet):
+    assert resnet.nodes == 4
+    assert resnet.baseline.total == pytest.approx(
+        resnet.baseline.comm
+        + resnet.baseline.fwd_bwd
+        + resnet.baseline.update
+    )
+
+
+def test_rejects_single_node(update_model, momentum_optimizer):
+    simulator = TrainingSimulator(
+        optimizer=momentum_optimizer, update_model=update_model
+    )
+    with pytest.raises(ConfigError):
+        DistributedModel(simulator, nodes=1)

@@ -1,0 +1,82 @@
+"""Energy-accounting tests: Fig. 10's qualitative claims."""
+
+import pytest
+
+from repro.models.zoo import build_network
+from repro.system.design import DesignPoint, DESIGN_ORDER
+from repro.system.energy import EnergyAccountant
+from repro.system.training import TrainingSimulator
+
+
+@pytest.fixture(scope="module")
+def energies(update_model, momentum_optimizer):
+    simulator = TrainingSimulator(
+        optimizer=momentum_optimizer, update_model=update_model
+    )
+    network = build_network("ResNet18")
+    result = simulator.simulate(network)
+    accountant = EnergyAccountant()
+    return {
+        d: accountant.step_energy(
+            network, d, result.profiles[d], result.totals[d]
+        )
+        for d in DESIGN_ORDER
+    }
+
+
+def test_all_components_nonnegative(energies):
+    for e in energies.values():
+        assert e.act >= 0 and e.rd >= 0 and e.wr >= 0
+        assert e.pim >= 0 and e.background >= 0
+
+
+def test_gradpim_saves_energy(energies):
+    """Fig. 10: the PIM designs consume less memory energy."""
+    base = energies[DesignPoint.BASELINE].total
+    for d in (
+        DesignPoint.GRADPIM_DIRECT,
+        DesignPoint.GRADPIM_BUFFERED,
+    ):
+        assert energies[d].total < base
+
+
+def test_act_energy_roughly_constant(energies):
+    """Fig. 10: 'energy consumption of row activation is almost the
+    same across all architectures'."""
+    acts = [e.act for e in energies.values()]
+    assert max(acts) < 1.5 * min(acts)
+
+
+def test_savings_come_from_rd_wr(energies):
+    """Fig. 10: 'most of the energy reduction comes from the reduced
+    amount of read/write'."""
+    base = energies[DesignPoint.BASELINE]
+    bd = energies[DesignPoint.GRADPIM_BUFFERED]
+    rw_saving = (base.rd + base.wr) - (bd.rd + bd.wr)
+    total_saving = base.total - bd.total
+    assert rw_saving > 0.6 * total_saving
+
+
+def test_pim_component_only_on_pim_designs(energies):
+    assert energies[DesignPoint.BASELINE].pim == 0.0
+    assert energies[DesignPoint.GRADPIM_BUFFERED].pim > 0.0
+
+
+def test_pim_component_is_small(energies):
+    """The Table III logic is micro-watts: a sliver of the total."""
+    bd = energies[DesignPoint.GRADPIM_BUFFERED]
+    assert bd.pim < 0.35 * bd.total
+
+
+def test_aos_spends_more_rd_wr_than_gradpim(energies):
+    """Fig. 10: AoS's Fwd/Bwd inflation shows up as RD/WR energy."""
+    aos = energies[DesignPoint.AOS]
+    bd = energies[DesignPoint.GRADPIM_BUFFERED]
+    assert aos.rd + aos.wr > bd.rd + bd.wr
+
+
+def test_tensordimm_between_baseline_and_gradpim(energies):
+    base = energies[DesignPoint.BASELINE].total
+    td = energies[DesignPoint.TENSORDIMM].total
+    bd = energies[DesignPoint.GRADPIM_BUFFERED].total
+    assert bd < td < base

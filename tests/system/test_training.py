@@ -1,0 +1,159 @@
+"""Training-simulator tests: Fig. 9 structure and orderings."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.zoo import build_network
+from repro.system.design import DesignPoint, DESIGN_ORDER
+from repro.system.training import PhaseTimes, TrainingSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator(update_model, momentum_optimizer):
+    return TrainingSimulator(
+        optimizer=momentum_optimizer, update_model=update_model
+    )
+
+
+@pytest.fixture(scope="module")
+def resnet_result(simulator):
+    return simulator.simulate("ResNet18")
+
+
+class TestPhaseTimes:
+    def test_totals(self):
+        t = PhaseTimes(fwd=1, bact=2, bwgt=3, update=4)
+        assert t.fwd_bwd == 6
+        assert t.total == 10
+
+    def test_addition(self):
+        t = PhaseTimes(1, 1, 1, 1) + PhaseTimes(2, 2, 2, 2)
+        assert t.total == 12
+
+
+class TestResNetResult:
+    def test_all_designs_present(self, resnet_result):
+        assert set(resnet_result.totals) == set(DESIGN_ORDER)
+
+    def test_blocks_match_network(self, resnet_result):
+        labels = [b.label for b in resnet_result.blocks]
+        assert labels == [
+            "Block0", "Block1", "Block2", "Block3", "Block4", "FC",
+        ]
+
+    def test_baseline_speedup_is_one(self, resnet_result):
+        assert resnet_result.overall_speedup(
+            DesignPoint.BASELINE
+        ) == pytest.approx(1.0)
+
+    def test_overall_speedups_in_paper_neighbourhood(
+        self, resnet_result
+    ):
+        """ResNet-18: GP-DR ~1.4x, GP-BD ~2x in Fig. 9."""
+        dr = resnet_result.overall_speedup(DesignPoint.GRADPIM_DIRECT)
+        bd = resnet_result.overall_speedup(DesignPoint.GRADPIM_BUFFERED)
+        assert 1.15 <= dr <= 1.7
+        assert 1.5 <= bd <= 2.6
+        assert bd > dr
+
+    def test_fwd_bwd_same_across_non_aos_designs(self, resnet_result):
+        base = resnet_result.totals[DesignPoint.BASELINE].fwd_bwd
+        for d in (
+            DesignPoint.GRADPIM_DIRECT,
+            DesignPoint.TENSORDIMM,
+            DesignPoint.GRADPIM_BUFFERED,
+        ):
+            assert resnet_result.totals[d].fwd_bwd == pytest.approx(
+                base
+            )
+
+    def test_aos_pays_fwd_bwd_penalty(self, resnet_result):
+        base = resnet_result.totals[DesignPoint.BASELINE].fwd_bwd
+        aos = resnet_result.totals[DesignPoint.AOS].fwd_bwd
+        assert aos > base * 1.1
+
+    def test_aos_diminishes_overall_benefit(self, resnet_result):
+        """§VI-B: 'most of the benefit from using GradPIM is
+        diminished'."""
+        assert resnet_result.overall_speedup(
+            DesignPoint.AOS
+        ) < resnet_result.overall_speedup(
+            DesignPoint.GRADPIM_BUFFERED
+        )
+
+    def test_normalized_blocks_max_is_one_for_baseline(
+        self, resnet_result
+    ):
+        norm = resnet_result.normalized_blocks()
+        slowest = max(
+            per_design[DesignPoint.BASELINE]
+            for per_design in norm.values()
+        )
+        assert slowest == pytest.approx(1.0)
+
+    def test_normalized_totals_baseline_is_one(self, resnet_result):
+        assert resnet_result.normalized_totals()[
+            DesignPoint.BASELINE
+        ] == pytest.approx(1.0)
+
+    def test_update_fraction_high_for_mixed_precision(
+        self, resnet_result
+    ):
+        """§II: the update phase dominates the baseline step."""
+        assert resnet_result.update_fraction(
+            DesignPoint.BASELINE
+        ) > 0.35
+
+
+class TestAcrossNetworks:
+    def test_weight_heavy_networks_gain_more(self, simulator):
+        """MLP (weight-heavy) must gain far more than MobileNet
+        (activation-heavy) — the Fig. 9/13 story."""
+        mlp = simulator.simulate("MLP1")
+        mobilenet = simulator.simulate("MobileNet")
+        d = DesignPoint.GRADPIM_BUFFERED
+        assert mlp.overall_speedup(d) > 2 * mobilenet.overall_speedup(d)
+
+    def test_layer_speedups_structure(self, simulator):
+        points = simulator.layer_speedups("MLP1")
+        assert len(points) == 4
+        for name, ratio, speedup in points:
+            assert ratio > 0
+            assert speedup >= 0.99
+
+    def test_layer_speedup_correlates_with_ratio(self, simulator):
+        points = simulator.layer_speedups("ResNet18")
+        lo = min(points, key=lambda p: p[1])
+        hi = max(points, key=lambda p: p[1])
+        assert hi[2] > lo[2]
+
+    def test_smaller_batch_raises_speedup(
+        self, momentum_optimizer, update_model
+    ):
+        sim = TrainingSimulator(
+            optimizer=momentum_optimizer,
+            update_model=update_model,
+            designs=(
+                DesignPoint.BASELINE, DesignPoint.GRADPIM_BUFFERED,
+            ),
+        )
+        d = DesignPoint.GRADPIM_BUFFERED
+        small = sim.simulate(
+            build_network("ResNet18", batch=16)
+        ).overall_speedup(d)
+        large = sim.simulate(
+            build_network("ResNet18", batch=64)
+        ).overall_speedup(d)
+        assert small > large
+
+
+class TestValidation:
+    def test_design_set_must_include_baseline(
+        self, momentum_optimizer, update_model
+    ):
+        with pytest.raises(ConfigError):
+            TrainingSimulator(
+                optimizer=momentum_optimizer,
+                update_model=update_model,
+                designs=(DesignPoint.GRADPIM_BUFFERED,),
+            )

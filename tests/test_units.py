@@ -1,0 +1,85 @@
+"""Unit-conversion helper tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_bytes_to_mb_uses_decimal_megabytes():
+    assert units.bytes_to_mb(50_000_000) == 50.0
+
+
+def test_bytes_to_gb():
+    assert units.bytes_to_gb(17_100_000_000) == pytest.approx(17.1)
+
+
+def test_gbps():
+    assert units.gbps(17e9, 1.0) == pytest.approx(17.0)
+
+
+def test_gbps_rejects_zero_time():
+    with pytest.raises(ValueError):
+        units.gbps(1.0, 0.0)
+
+
+def test_ns_roundtrip():
+    assert units.s_to_ns(units.ns_to_s(123.0)) == pytest.approx(123.0)
+
+
+def test_geomean_known_value():
+    assert units.geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+
+def test_geomean_single_value():
+    assert units.geomean([3.7]) == pytest.approx(3.7)
+
+
+def test_geomean_rejects_empty():
+    with pytest.raises(ValueError):
+        units.geomean([])
+
+
+def test_geomean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.geomean([1.0, 0.0])
+
+
+@given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+def test_geomean_between_min_and_max(values):
+    g = units.geomean(values)
+    assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+def test_ceil_div_exact():
+    assert units.ceil_div(8, 4) == 2
+
+
+def test_ceil_div_rounds_up():
+    assert units.ceil_div(9, 4) == 3
+
+
+def test_ceil_div_zero_numerator():
+    assert units.ceil_div(0, 4) == 0
+
+
+def test_ceil_div_rejects_nonpositive_divisor():
+    with pytest.raises(ValueError):
+        units.ceil_div(4, 0)
+
+
+@given(st.integers(0, 10**9), st.integers(1, 10**6))
+def test_ceil_div_matches_math(a, b):
+    assert units.ceil_div(a, b) == math.ceil(a / b)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 64, 4096])
+def test_is_pow2_true(n):
+    assert units.is_pow2(n)
+
+
+@pytest.mark.parametrize("n", [0, -2, 3, 12, 100])
+def test_is_pow2_false(n):
+    assert not units.is_pow2(n)
