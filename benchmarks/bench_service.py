@@ -1,0 +1,85 @@
+"""Bench: the service layer — cache latency and pool scaling.
+
+Cold-vs-warm cache on a full-fidelity ResNet-50 Fig. 9-style job, and
+worker-pool scaling (1/2/4 processes) over a 16-spec sweep. Run with
+the rest of the suite::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import once
+from repro.service.api import submit, submit_many
+from repro.service.cache import ResultCache
+from repro.service.pool import clear_model_cache
+from repro.service.spec import SimJobSpec
+from repro.service.sweep import expand_grid
+from repro.system.design import DesignPoint
+
+
+def test_cold_vs_warm_cache(benchmark, capsys):
+    """A repeated fig9-style ResNet-50 job must be ~free the second time."""
+    spec = SimJobSpec(network="ResNet50")  # full six-design job
+    cache = ResultCache()
+
+    def cold_then_warm():
+        t0 = time.perf_counter()
+        cold = submit(spec, cache=cache)
+        t1 = time.perf_counter()
+        warm = submit(spec, cache=cache)
+        t2 = time.perf_counter()
+        return cold, warm, t1 - t0, t2 - t1
+
+    cold, warm, cold_s, warm_s = once(benchmark, cold_then_warm)
+    with capsys.disabled():
+        print()
+        print(
+            f"[service] ResNet50 fig9 job: cold {cold_s * 1e3:.1f} ms, "
+            f"warm {warm_s * 1e6:.0f} us "
+            f"({cold_s / max(warm_s, 1e-9):.0f}x)"
+        )
+    assert cold.ok and warm.ok and warm.from_cache
+    assert warm.result is cold.result
+    assert warm_s < cold_s / 100  # cache hits must be ~free
+    assert cold.result.overall_speedup(DesignPoint.GRADPIM_BUFFERED) > 1.0
+
+
+def test_pool_scaling(benchmark, capsys):
+    """1/2/4-worker wall-clock over a 16-spec sweep, results identical."""
+    specs = expand_grid(
+        {"network": "ResNet18", "columns_per_stripe": 16},
+        {
+            "network": ["ResNet18", "MobileNet", "MLP1", "AlphaGoZero"],
+            "precision": ["8/32", "32/32"],
+            "batch": [16, 32],
+        },
+    )
+    assert len(specs) == 16
+
+    def sweep_at_each_width():
+        timings = {}
+        outputs = {}
+        for jobs in (1, 2, 4):
+            clear_model_cache()  # cold profiles for every width
+            t0 = time.perf_counter()
+            results = submit_many(
+                specs, jobs=jobs, cache=ResultCache()
+            )
+            timings[jobs] = time.perf_counter() - t0
+            outputs[jobs] = [r.result.to_dict() for r in results]
+        return timings, outputs
+
+    timings, outputs = once(benchmark, sweep_at_each_width)
+    with capsys.disabled():
+        print()
+        print(f"[service] host cores: {os.cpu_count()}")
+        for jobs, seconds in timings.items():
+            print(
+                f"[service] 16-spec sweep, {jobs} worker(s): "
+                f"{seconds:.2f} s ({timings[1] / seconds:.2f}x)"
+            )
+    assert outputs[1] == outputs[2] == outputs[4]  # bit-identical

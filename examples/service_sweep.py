@@ -1,0 +1,64 @@
+"""Sweep DRAM timing grades x design points through repro.service.
+
+Expands a timing-grade x precision campaign over ResNet-18 into job
+specs, fans them across worker processes, and prints the per-design
+speedup table plus geomean aggregates — then repeats the sweep to show
+the content-addressed cache serving every job without re-simulation.
+
+Run:  python examples/service_sweep.py
+"""
+
+from repro.service import ResultCache, run_sweep
+from repro.system.design import DesignPoint
+from repro.system.results import format_table
+
+BASE = {
+    "network": "ResNet18",
+    # Compare the paper's two headline GradPIM variants per job.
+    "designs": ["Baseline", "GradPIM-DR", "GradPIM-BD"],
+    "columns_per_stripe": 16,
+}
+AXES = {
+    "timing": ["DDR4-2133", "DDR4-3200", "HBM-like"],
+    "precision": ["8/32", "32/32"],
+}
+
+
+def main() -> None:
+    cache = ResultCache()
+    sweep = run_sweep(BASE, AXES, jobs=4, cache=cache)
+
+    print("ResNet-18: timing grade x precision, overall speedup\n")
+    rows = [
+        (
+            row["timing"],
+            row["precision"],
+            f"{row['overall:GradPIM-DR']:.2f}x",
+            f"{row['overall:GradPIM-BD']:.2f}x",
+            f"{row['update:GradPIM-BD']:.2f}x",
+        )
+        for row in sweep.table()
+    ]
+    print(
+        format_table(
+            ["timing", "precision", "GP-DR overall", "GP-BD overall",
+             "GP-BD update"],
+            rows,
+        )
+    )
+    print(
+        "\ngeomean over the sweep: "
+        f"GP-DR {sweep.geomean_overall(DesignPoint.GRADPIM_DIRECT):.2f}x, "
+        f"GP-BD {sweep.geomean_overall(DesignPoint.GRADPIM_BUFFERED):.2f}x"
+    )
+
+    again = run_sweep(BASE, AXES, jobs=4, cache=cache)
+    print(
+        f"\nre-run: {again.cache_hit_fraction:.0%} of "
+        f"{len(again.jobs)} jobs served from cache "
+        f"(stats: {cache.stats()})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,17 @@ from repro.system import (
     TrainingSimulator,
     UpdatePhaseModel,
 )
+from repro.optim.registry import OPTIMIZERS, build_optimizer
+from repro.service import (
+    ResultCache,
+    SimJobResult,
+    SimJobSpec,
+    SweepResult,
+    expand_grid,
+    run_sweep,
+    submit,
+    submit_many,
+)
 
 __version__ = "1.0.0"
 
@@ -98,5 +109,15 @@ __all__ = [
     "DistributedModel",
     "TrainingSimulator",
     "UpdatePhaseModel",
+    "OPTIMIZERS",
+    "build_optimizer",
+    "ResultCache",
+    "SimJobResult",
+    "SimJobSpec",
+    "SweepResult",
+    "expand_grid",
+    "run_sweep",
+    "submit",
+    "submit_many",
     "__version__",
 ]

@@ -1,23 +1,50 @@
-"""Shared experiment configuration and caching."""
+"""Shared experiment configuration and caching.
+
+Experiments route their training-step simulations through the
+:mod:`repro.service` layer: each request becomes a declarative
+:class:`~repro.service.spec.SimJobSpec`, is checked against the
+context's content-addressed result cache, and cache misses fan out
+across ``jobs`` worker processes. Configurations the spec language
+cannot name (a hand-built timing object, say) fall back to direct
+simulation, so the old object-level API keeps working unchanged.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional, Sequence
 
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
-from repro.dram.timing import TimingParams, DDR4_2133
-from repro.models.zoo import PAPER_NETWORKS
+from repro.dram.timing import PRESETS, TimingParams, DDR4_2133
+from repro.errors import ConfigError
+from repro.models.zoo import PAPER_NETWORKS, build_network
 from repro.npu.config import NPUConfig, DEFAULT_NPU
-from repro.optim.precision import PrecisionConfig, PRECISION_8_32
-from repro.optim.sgd import MomentumSGD
-from repro.system.training import TrainingSimulator
+from repro.optim.precision import PrecisionConfig, PRECISION_8_32, PRECISIONS
+from repro.optim.registry import build_optimizer
+from repro.service.api import submit_many
+from repro.service.cache import ResultCache
+from repro.service.spec import (
+    DEFAULT_OPTIMIZER,
+    DEFAULT_OPTIMIZER_PARAMS,
+    SimJobSpec,
+)
+from repro.system.design import DesignPoint
+from repro.system.training import NetworkResult, TrainingSimulator
 from repro.system.update_model import UpdatePhaseModel
 
 #: Default paper configuration: momentum SGD with weight decay, 8/32.
-DEFAULT_OPTIMIZER_FACTORY = lambda: MomentumSGD(  # noqa: E731
-    eta=0.01, alpha=0.9, weight_decay=1e-4
+DEFAULT_OPTIMIZER_FACTORY = lambda: build_optimizer(  # noqa: E731
+    DEFAULT_OPTIMIZER, DEFAULT_OPTIMIZER_PARAMS
 )
+
+
+def _overrides(value, default) -> dict:
+    """The fields on which ``value`` differs from ``default``."""
+    return {
+        name: getattr(value, name)
+        for name in vars(default)
+        if getattr(value, name) != getattr(default, name)
+    }
 
 
 @dataclass
@@ -30,18 +57,29 @@ class ExperimentContext:
     precision: PrecisionConfig = PRECISION_8_32
     columns_per_stripe: int = 32
     networks: tuple[str, ...] = PAPER_NETWORKS
+    optimizer_name: str = DEFAULT_OPTIMIZER
+    optimizer_params: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_OPTIMIZER_PARAMS)
+    )
+    jobs: int = 1  # worker processes for service-routed simulations
+    cache: ResultCache = field(default_factory=ResultCache)
     _update_models: dict = field(default_factory=dict)
 
     def optimizer(self):
-        """A fresh default optimizer instance."""
-        return DEFAULT_OPTIMIZER_FACTORY()
+        """A fresh optimizer instance for this context's algorithm."""
+        return build_optimizer(self.optimizer_name, self.optimizer_params)
 
     def update_model(
         self, timing: Optional[TimingParams] = None
     ) -> UpdatePhaseModel:
-        """Shared (cached) update model for a timing grade."""
+        """Shared (cached) update model for a timing grade.
+
+        Keyed by the full (frozen, hashable) timing object: two grades
+        sharing a name but differing in parameters must not share a
+        model.
+        """
         timing = timing if timing is not None else self.timing
-        key = timing.name
+        key = timing
         model = self._update_models.get(key)
         if model is None:
             model = UpdatePhaseModel(
@@ -73,6 +111,123 @@ class ExperimentContext:
             update_model=self.update_model(timing),
             **kwargs,
         )
+
+    # ------------------------------------------------------------------
+    # Service routing
+    # ------------------------------------------------------------------
+    def job_spec(
+        self,
+        network: str,
+        *,
+        precision: Optional[PrecisionConfig] = None,
+        timing: Optional[TimingParams] = None,
+        npu: Optional[NPUConfig] = None,
+        designs: Optional[Sequence[DesignPoint]] = None,
+        batch: Optional[int] = None,
+    ) -> SimJobSpec:
+        """This context's configuration as a declarative job spec.
+
+        Raises :class:`ConfigError` when the configuration cannot be
+        named declaratively (e.g. a hand-built timing object) — callers
+        then fall back to :meth:`simulator`.
+        """
+        timing = timing if timing is not None else self.timing
+        if PRESETS.get(timing.name) != timing:
+            raise ConfigError(
+                f"timing {timing.name!r} is not a registered preset"
+            )
+        precision = precision if precision is not None else self.precision
+        if PRECISIONS.get(precision.name) != precision:
+            raise ConfigError(
+                f"precision {precision.name!r} is not a registered mix"
+            )
+        npu = npu if npu is not None else self.npu
+        kwargs = {}
+        if designs is not None:
+            kwargs["designs"] = tuple(d.value for d in designs)
+        return SimJobSpec(
+            network=network,
+            batch=batch,
+            optimizer=self.optimizer_name,
+            optimizer_params=dict(self.optimizer_params),
+            precision=precision.name,
+            timing=timing.name,
+            geometry=_overrides(self.geometry, DEFAULT_GEOMETRY),
+            npu=_overrides(npu, DEFAULT_NPU),
+            columns_per_stripe=self.columns_per_stripe,
+            **kwargs,
+        )
+
+    def network_result(
+        self,
+        network: str,
+        *,
+        precision: Optional[PrecisionConfig] = None,
+        timing: Optional[TimingParams] = None,
+        npu: Optional[NPUConfig] = None,
+        designs: Optional[Sequence[DesignPoint]] = None,
+        batch: Optional[int] = None,
+    ) -> NetworkResult:
+        """One network's training-step result, via the service."""
+        return self.network_results(
+            (network,),
+            precision=precision,
+            timing=timing,
+            npu=npu,
+            designs=designs,
+            batch=batch,
+        )[network]
+
+    def network_results(
+        self,
+        networks: Optional[Sequence[str]] = None,
+        *,
+        precision: Optional[PrecisionConfig] = None,
+        timing: Optional[TimingParams] = None,
+        npu: Optional[NPUConfig] = None,
+        designs: Optional[Sequence[DesignPoint]] = None,
+        batch: Optional[int] = None,
+    ) -> dict[str, NetworkResult]:
+        """Per-network training-step results, cached and fanned out.
+
+        Every request goes through :func:`repro.service.api.submit_many`
+        with this context's cache and worker count; unspeccable
+        configurations run directly through :meth:`simulator`.
+        """
+        names = tuple(networks) if networks is not None else self.networks
+        try:
+            specs = [
+                self.job_spec(
+                    name,
+                    precision=precision,
+                    timing=timing,
+                    npu=npu,
+                    designs=designs,
+                    batch=batch,
+                )
+                for name in names
+            ]
+        except ConfigError:
+            sim = self.simulator(
+                precision=precision,
+                npu=npu,
+                timing=timing,
+                designs=designs,
+            )
+            return {
+                name: sim.simulate(build_network(name, batch=batch))
+                for name in names
+            }
+        results = submit_many(specs, jobs=self.jobs, cache=self.cache)
+        out = {}
+        for name, job in zip(names, results):
+            if not job.ok:
+                detail = f"\n{job.traceback}" if job.traceback else ""
+                raise RuntimeError(
+                    f"simulation of {name!r} failed: {job.error}{detail}"
+                )
+            out[name] = job.result
+        return out
 
 
 #: Module-level default context shared by runs invoked without one.

@@ -156,11 +156,34 @@ def export_all(
 
 
 def main(argv: list[str]) -> int:
-    """CLI: export every figure's data to the given directory."""
-    if len(argv) != 1:
-        print("usage: python -m repro.experiments.export <out_dir>")
+    """CLI: export every figure's data to the given directory.
+
+    ``--jobs N`` / ``--cache-dir DIR`` route the underlying simulations
+    through the service layer's worker pool and persistent cache.
+    """
+    from repro.experiments.runner import _HelpRequested, parse_args
+    from repro.service.cache import ResultCache
+
+    usage = (
+        "usage: python -m repro.experiments.export "
+        "[--jobs N] [--cache-dir DIR] <out_dir>"
+    )
+    try:
+        positional, jobs, cache_dir = parse_args(argv)
+    except _HelpRequested:
+        print(usage)
+        return 0
+    except ValueError as exc:
+        print(exc)
+        print(usage)
         return 2
-    for path in export_all(argv[0]):
+    if len(positional) != 1:
+        print(usage)
+        return 2
+    context = ExperimentContext(
+        jobs=jobs, cache=ResultCache(directory=cache_dir)
+    )
+    for path in export_all(positional[0], context):
         print(f"wrote {path}")
     return 0
 

@@ -34,7 +34,7 @@ def run_fig10(
     context: ExperimentContext = DEFAULT_CONTEXT,
 ) -> Fig10Result:
     """Price every network's training step on every design."""
-    simulator = context.simulator()
+    results = context.network_results()
     accountant = EnergyAccountant(
         timing=context.timing,
         geometry=context.geometry,
@@ -44,7 +44,7 @@ def run_fig10(
     energies: dict[str, dict[DesignPoint, EnergyBreakdown]] = {}
     for name in context.networks:
         network = build_network(name)
-        result = simulator.simulate(network)
+        result = results[name]
         energies[name] = {
             d: accountant.step_energy(
                 network, d, result.profiles[d], result.totals[d]

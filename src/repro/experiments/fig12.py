@@ -54,10 +54,12 @@ def run_fig12a(
     for grade in MEMORY_GRADES:
         for size in ARRAY_SIZES:
             npu = context.npu.with_array(size, size)
-            sim = context.simulator(
-                npu=npu, timing=grade, designs=_SENSITIVITY_DESIGNS
+            result = context.network_result(
+                network,
+                npu=npu,
+                timing=grade,
+                designs=_SENSITIVITY_DESIGNS,
             )
-            result = sim.simulate(network)
             points.append(
                 Fig12aPoint(
                     array=size,
@@ -75,15 +77,13 @@ def run_fig12b(
     context: ExperimentContext = DEFAULT_CONTEXT,
 ) -> dict[str, dict[int, float]]:
     """Speedup per network per minibatch size."""
-    sim = context.simulator(designs=_SENSITIVITY_DESIGNS)
-    out: dict[str, dict[int, float]] = {}
-    for name in context.networks:
-        out[name] = {}
-        for batch in BATCH_SIZES:
-            network = build_network(name, batch=batch)
-            out[name][batch] = sim.simulate(network).overall_speedup(
-                DESIGN
-            )
+    out: dict[str, dict[int, float]] = {name: {} for name in context.networks}
+    for batch in BATCH_SIZES:
+        results = context.network_results(
+            batch=batch, designs=_SENSITIVITY_DESIGNS
+        )
+        for name in context.networks:
+            out[name][batch] = results[name].overall_speedup(DESIGN)
     return out
 
 
@@ -93,13 +93,13 @@ def run_fig12c(
     """Speedup per network per precision mix."""
     out: dict[str, dict[str, float]] = {}
     for pname, precision in PRECISIONS.items():
-        sim = context.simulator(
+        results = context.network_results(
             precision=precision, designs=_SENSITIVITY_DESIGNS
         )
         for name in context.networks:
-            out.setdefault(name, {})[pname] = sim.simulate(
+            out.setdefault(name, {})[pname] = results[
                 name
-            ).overall_speedup(DESIGN)
+            ].overall_speedup(DESIGN)
     return out
 
 
@@ -109,7 +109,7 @@ def run_fig12d(
     """GradPIM energy relative to baseline per precision mix."""
     out: dict[str, dict[str, float]] = {}
     for pname, precision in PRECISIONS.items():
-        sim = context.simulator(
+        results = context.network_results(
             precision=precision, designs=_SENSITIVITY_DESIGNS
         )
         accountant = EnergyAccountant(
@@ -120,7 +120,7 @@ def run_fig12d(
         )
         for name in context.networks:
             network = build_network(name)
-            result = sim.simulate(network)
+            result = results[name]
             base = accountant.step_energy(
                 network,
                 DesignPoint.BASELINE,

@@ -41,13 +41,8 @@ class Fig9Result:
 
 
 def run_fig9(context: ExperimentContext = DEFAULT_CONTEXT) -> Fig9Result:
-    """Simulate every network on every design point."""
-    simulator = context.simulator()
-    return Fig9Result(
-        networks={
-            name: simulator.simulate(name) for name in context.networks
-        }
-    )
+    """Simulate every network on every design point (via the service)."""
+    return Fig9Result(networks=context.network_results())
 
 
 def render_fig9(result: Fig9Result) -> str:

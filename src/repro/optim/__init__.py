@@ -33,6 +33,11 @@ from repro.optim.precision import (
 )
 from repro.optim.sgd import SGD, MomentumSGD, NAG
 from repro.optim.adaptive import Adam, AdamW, AdaGrad, RMSprop
+from repro.optim.registry import (
+    OPTIMIZERS,
+    build_optimizer,
+    optimizer_names,
+)
 from repro.optim.schedule import (
     CosineSchedule,
     LRSchedule,
@@ -60,6 +65,9 @@ __all__ = [
     "SGD",
     "MomentumSGD",
     "NAG",
+    "OPTIMIZERS",
+    "build_optimizer",
+    "optimizer_names",
     "Adam",
     "AdamW",
     "AdaGrad",

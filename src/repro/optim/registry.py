@@ -1,0 +1,50 @@
+"""Name-based optimizer construction for declarative job specs.
+
+The service layer (:mod:`repro.service`) describes simulations as plain
+JSON-able dictionaries, so optimizers must be constructible from a
+``(name, hyperparameters)`` pair rather than a Python object. Every
+optimizer class registers here under its ``name`` attribute; hyper-
+parameter validation stays in each class's ``__init__``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ConfigError
+from repro.optim.adaptive import AdaGrad, Adam, AdamW, RMSprop
+from repro.optim.base import Optimizer
+from repro.optim.sgd import NAG, SGD, MomentumSGD
+
+#: Every constructible optimizer, keyed by its ``name`` attribute.
+OPTIMIZERS: dict[str, type[Optimizer]] = {
+    cls.name: cls
+    for cls in (SGD, MomentumSGD, NAG, Adam, AdamW, AdaGrad, RMSprop)
+}
+
+
+def optimizer_names() -> tuple[str, ...]:
+    """The registered optimizer names, in registration order."""
+    return tuple(OPTIMIZERS)
+
+
+def build_optimizer(
+    name: str, hyperparameters: Mapping[str, float] | None = None
+) -> Optimizer:
+    """Construct an optimizer by name.
+
+    ``hyperparameters`` are passed as keyword arguments; omitted ones
+    take the class defaults, unknown ones raise :class:`ConfigError`.
+    """
+    try:
+        cls = OPTIMIZERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown optimizer {name!r}; choose from {optimizer_names()}"
+        )
+    try:
+        return cls(**dict(hyperparameters or {}))
+    except TypeError as exc:
+        raise ConfigError(
+            f"bad hyperparameters for optimizer {name!r}: {exc}"
+        ) from None

@@ -1,0 +1,50 @@
+"""Simulation-as-a-service layer over the GradPIM model.
+
+The request-driven front door for every simulation in the repo:
+
+* :mod:`repro.service.spec` — declarative, content-hashable
+  :class:`SimJobSpec` job descriptions;
+* :mod:`repro.service.cache` — a content-addressed result cache
+  (in-memory LRU + optional on-disk JSON store);
+* :mod:`repro.service.pool` — a worker-pool executor with per-job
+  error isolation and a serial fallback;
+* :mod:`repro.service.sweep` — grid/campaign expansion with structured
+  :class:`SweepResult` aggregation;
+* :mod:`repro.service.api` — ``submit()`` / ``submit_many()`` /
+  ``run_sweep()``, plus ``python -m repro.service`` for JSON job files.
+
+Quick start::
+
+    from repro.service import SimJobSpec, submit
+
+    job = SimJobSpec(network="ResNet50")
+    print(submit(job).result.overall_speedup(
+        DesignPoint.GRADPIM_BUFFERED))
+"""
+
+from repro.service.api import (
+    DEFAULT_CACHE,
+    SimJobResult,
+    submit,
+    submit_many,
+)
+from repro.service.cache import ResultCache, cache_key
+from repro.service.pool import execute_spec, run_specs
+from repro.service.spec import ResolvedJob, SimJobSpec
+from repro.service.sweep import SweepResult, expand_grid, run_sweep
+
+__all__ = [
+    "DEFAULT_CACHE",
+    "ResolvedJob",
+    "ResultCache",
+    "SimJobResult",
+    "SimJobSpec",
+    "SweepResult",
+    "cache_key",
+    "execute_spec",
+    "expand_grid",
+    "run_specs",
+    "run_sweep",
+    "submit",
+    "submit_many",
+]

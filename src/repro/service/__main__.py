@@ -1,0 +1,135 @@
+"""CLI: submit JSON job files to the simulation service.
+
+Job files name either an explicit job list or a sweep::
+
+    {"jobs": [{"network": "ResNet50"}, {"network": "MLP1"}]}
+
+    {"sweep": {"base": {"network": "ResNet50"},
+               "axes": {"timing": ["DDR4-2133", "HBM-like"],
+                        "precision": ["8/32", "32/32"]}}}
+
+Results are emitted as JSON (stdout or ``--output``)::
+
+    python -m repro.service jobs.json --jobs 4 --cache-dir .repro-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.service.api import submit_many
+from repro.service.cache import ResultCache
+from repro.service.spec import SimJobSpec
+from repro.service.sweep import expand_grid, SweepResult
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description=(
+            "Run GradPIM training-step simulations from a JSON job "
+            "file, with content-addressed caching and a worker pool."
+        ),
+    )
+    parser.add_argument(
+        "job_file",
+        help="path to the JSON job file, or '-' to read stdin",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cache misses (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist results as JSON files under DIR",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        metavar="FILE",
+        help="write results to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--summary-only",
+        action="store_true",
+        help="omit the full per-design result payloads",
+    )
+    return parser
+
+
+def _load_request(path: str) -> dict:
+    text = (
+        sys.stdin.read() if path == "-" else Path(path).read_text()
+    )
+    data = json.loads(text)
+    if not isinstance(data, dict) or not (
+        ("jobs" in data) ^ ("sweep" in data)
+    ):
+        raise ConfigError(
+            "the job file must be an object with exactly one of "
+            "'jobs' (a list of specs) or 'sweep' ({'base', 'axes'})"
+        )
+    return data
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    cache = ResultCache(directory=args.cache_dir)
+    try:
+        request = _load_request(args.job_file)
+        if "sweep" in request:
+            sweep = request["sweep"]
+            specs = expand_grid(
+                sweep.get("base", {}), sweep.get("axes", {})
+            )
+            axes = {k: list(v) for k, v in sweep.get("axes", {}).items()}
+        else:
+            specs = [SimJobSpec.from_dict(d) for d in request["jobs"]]
+            axes = {}
+    except (OSError, ValueError, ConfigError) as exc:
+        print(f"bad job file: {exc}", file=sys.stderr)
+        return 2
+
+    results = submit_many(specs, jobs=args.jobs, cache=cache)
+    if axes:
+        payload = SweepResult(axes=axes, jobs=results).to_dict(
+            include_results=not args.summary_only
+        )
+    else:
+        payload = {
+            "n_jobs": len(results),
+            "n_failures": sum(not r.ok for r in results),
+            "jobs": [
+                r.to_dict(include_result=not args.summary_only)
+                for r in results
+            ],
+        }
+    payload["cache"] = cache.stats()
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0 if all(r.ok for r in results) else 1
+
+
+def entry() -> None:
+    """Console-script entry point (``repro-service``)."""
+    raise SystemExit(main())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,196 @@
+"""The simulation service's Python API.
+
+Every simulation request in the repo funnels through :func:`submit` /
+:func:`submit_many`: specs are checked against the content-addressed
+cache first, only the misses are executed (serially or across a worker
+pool), and fresh results are written back. Callers get
+:class:`SimJobResult` envelopes carrying the result or an isolated
+per-job error — a bad spec in a 100-job campaign costs one row, not the
+campaign.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.service import pool
+from repro.service.cache import ResultCache, cache_key
+from repro.service.spec import SimJobSpec
+from repro.system.training import NetworkResult
+
+#: Process-wide default cache (in-memory only; pass your own
+#: :class:`ResultCache` with a directory for persistence).
+DEFAULT_CACHE = ResultCache()
+
+
+@dataclass
+class SimJobResult:
+    """Outcome envelope of one submitted job."""
+
+    spec: SimJobSpec
+    status: str  # "ok" | "error"
+    result: Optional[NetworkResult] = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    from_cache: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        """JSON-able form (what the CLI emits)."""
+        out = {
+            "key": cache_key(self.spec),
+            "spec": self.spec.to_dict(),
+            "status": self.status,
+            "from_cache": self.from_cache,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.traceback is not None:
+            out["traceback"] = self.traceback
+        if self.result is not None:
+            out["speedups"] = _speedup_summary(self.result)
+            if include_result:
+                out["result"] = self.result.to_dict()
+        return out
+
+
+def _speedup_summary(result: NetworkResult) -> dict:
+    """Per-design overall/update speedups — the headline numbers."""
+    from repro.system.design import DesignPoint
+
+    out = {}
+    for design in result.totals:
+        if design is DesignPoint.BASELINE:
+            continue
+        out[design.value] = {
+            "overall": result.overall_speedup(design),
+            "update": result.update_speedup(design),
+        }
+    return out
+
+
+def submit(
+    spec: SimJobSpec, cache: Optional[ResultCache] = DEFAULT_CACHE
+) -> SimJobResult:
+    """Run (or fetch) one job. ``cache=None`` disables caching."""
+    start = time.perf_counter()
+    if cache is not None:
+        cached = cache.get(spec)
+        if cached is not None:
+            return SimJobResult(
+                spec=spec,
+                status="ok",
+                result=cached,
+                from_cache=True,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+    try:
+        result = pool.execute_spec(spec)
+    except Exception as exc:  # per-job isolation
+        import traceback as tb
+
+        return SimJobResult(
+            spec=spec,
+            status="error",
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=tb.format_exc(),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+    if cache is not None:
+        cache.put(spec, result)
+    return SimJobResult(
+        spec=spec,
+        status="ok",
+        result=result,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def submit_many(
+    specs: Sequence[SimJobSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = DEFAULT_CACHE,
+) -> list[SimJobResult]:
+    """Run a batch of jobs, fanning cache misses across ``jobs`` workers.
+
+    Results come back in spec order. Duplicate specs in one batch are
+    executed once.
+    """
+    start = time.perf_counter()
+    outcomes: dict[int, SimJobResult] = {}
+    pending: list[tuple[int, SimJobSpec]] = []
+    seen_keys: dict[str, int] = {}
+    duplicates: list[tuple[int, int]] = []  # (position, first position)
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            cached = cache.get(spec)
+            if cached is not None:
+                outcomes[i] = SimJobResult(
+                    spec=spec,
+                    status="ok",
+                    result=cached,
+                    from_cache=True,
+                )
+                continue
+        key = cache_key(spec)
+        if key in seen_keys:
+            duplicates.append((i, seen_keys[key]))
+            continue
+        seen_keys[key] = i
+        pending.append((i, spec))
+
+    if pending:
+        payloads = pool.run_specs([s for _, s in pending], jobs=jobs)
+        batch_elapsed = time.perf_counter() - start
+        for (i, spec), payload in zip(pending, payloads):
+            elapsed = (
+                payload.get("elapsed_seconds", batch_elapsed)
+                if payload is not None
+                else batch_elapsed
+            )
+            if payload is not None and payload.get("status") == "ok":
+                result = NetworkResult.from_dict(payload["result"])
+                if cache is not None:
+                    cache.put(spec, result)
+                outcomes[i] = SimJobResult(
+                    spec=spec,
+                    status="ok",
+                    result=result,
+                    elapsed_seconds=elapsed,
+                )
+            else:
+                error = (
+                    payload.get("error", "unknown worker failure")
+                    if payload is not None
+                    else "worker returned no payload"
+                )
+                outcomes[i] = SimJobResult(
+                    spec=spec,
+                    status="error",
+                    error=error,
+                    traceback=(
+                        payload.get("traceback")
+                        if payload is not None
+                        else None
+                    ),
+                    elapsed_seconds=elapsed,
+                )
+    for i, first in duplicates:
+        original = outcomes[first]
+        outcomes[i] = SimJobResult(
+            spec=specs[i],
+            status=original.status,
+            result=original.result,
+            error=original.error,
+            traceback=original.traceback,
+            from_cache=original.from_cache,
+            elapsed_seconds=original.elapsed_seconds,
+        )
+    return [outcomes[i] for i in range(len(specs))]

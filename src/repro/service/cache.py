@@ -1,0 +1,135 @@
+"""Content-addressed result cache: in-memory LRU + optional disk store.
+
+Results are keyed by ``sha256(canonical spec JSON | code version)`` so a
+repeated request is served without re-simulation, while any change to
+the spec *or* to the package version invalidates cleanly. The disk
+layer stores one JSON file per key (spec alongside result, for
+auditability) and backfills the memory layer on hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional
+
+from repro.service.spec import SimJobSpec
+from repro.system.training import NetworkResult
+
+
+def _code_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def cache_key(spec: SimJobSpec, version: Optional[str] = None) -> str:
+    """The content address of one (spec, code version) pair."""
+    version = version if version is not None else _code_version()
+    return hashlib.sha256(
+        f"{spec.canonical_json()}|{version}".encode("utf-8")
+    ).hexdigest()
+
+
+class ResultCache:
+    """LRU of :class:`NetworkResult` objects, optionally disk-backed.
+
+    ``capacity`` bounds the in-memory layer only; the disk layer (when a
+    ``directory`` is given) keeps everything ever stored.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        directory: str | Path | None = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: OrderedDict[str, NetworkResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk files are left alone)."""
+        self._memory.clear()
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, spec: SimJobSpec) -> Optional[NetworkResult]:
+        """The cached result for ``spec``, or None."""
+        key = cache_key(spec)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return cached
+        if self.directory is not None:
+            result = self._load_disk(key)
+            if result is not None:
+                self._store_memory(key, result)
+                self.hits += 1
+                self.disk_hits += 1
+                return result
+        self.misses += 1
+        return None
+
+    def put(self, spec: SimJobSpec, result: NetworkResult) -> str:
+        """Store a result under its content address; returns the key."""
+        key = cache_key(spec)
+        self._store_memory(key, result)
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "version": _code_version(),
+                "spec": spec.to_dict(),
+                "result": result.to_dict(),
+            }
+            self._path(key).write_text(
+                json.dumps(payload, sort_keys=True)
+            )
+        return key
+
+    # ------------------------------------------------------------------
+    def _store_memory(self, key: str, result: NetworkResult) -> None:
+        if self.capacity == 0:
+            return
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def _load_disk(self, key: str) -> Optional[NetworkResult]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("version") != _code_version():
+                return None  # stale: written by a different code version
+            return NetworkResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # missing or corrupt: treat as a miss
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Hit/miss counters plus occupancy, for logs and tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "entries": len(self._memory),
+            "capacity": self.capacity,
+            "directory": (
+                str(self.directory) if self.directory is not None else None
+            ),
+        }

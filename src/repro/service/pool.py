@@ -1,0 +1,169 @@
+"""Spec execution and the worker-pool executor.
+
+``execute_spec`` is the single choke point where a declarative
+:class:`~repro.service.spec.SimJobSpec` becomes a cycle-level
+simulation. Update-phase models are shared process-locally (keyed by
+their configuration) so a batch of jobs on the same substrate reuses
+the expensive command-stream profiles exactly like
+``ExperimentContext`` always did.
+
+``run_specs`` fans a batch across a ``multiprocessing`` pool (fork
+start method, with a serial fallback when the platform refuses) with
+per-job error isolation: one failing spec yields an error payload, the
+rest of the batch completes. Results cross the process boundary as
+plain dicts — the same lossless form the disk cache uses — so parallel
+runs are bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Optional, Sequence
+
+from repro.models.zoo import build_network
+from repro.service.spec import ResolvedJob, SimJobSpec
+from repro.system.training import NetworkResult, TrainingSimulator
+from repro.system.update_model import UpdatePhaseModel
+
+#: Process-local update-model cache (cycle-sim profiles are expensive).
+#: UpdatePhaseModel caches profiles internally by optimizer *name* only,
+#: so the key must carry the full optimizer identity (hyperparameters
+#: change the compiled command stream, e.g. weight_decay=0 drops a term).
+_MODELS: dict[tuple, UpdatePhaseModel] = {}
+
+
+def _substrate_key(spec: SimJobSpec) -> tuple:
+    """Groups jobs whose update-phase profiles are shareable."""
+    return (
+        spec.timing,
+        spec.columns_per_stripe,
+        tuple(sorted(spec.geometry.items())),
+        spec.optimizer,
+        tuple(sorted(spec.optimizer_params.items())),
+        spec.precision,
+    )
+
+
+def _shared_update_model(
+    spec: SimJobSpec, job: ResolvedJob
+) -> UpdatePhaseModel:
+    key = _substrate_key(spec)
+    model = _MODELS.get(key)
+    if model is None:
+        model = UpdatePhaseModel(
+            timing=job.timing,
+            geometry=job.geometry,
+            columns_per_stripe=job.columns_per_stripe,
+        )
+        _MODELS[key] = model
+    return model
+
+
+def clear_model_cache() -> None:
+    """Drop this process's update-model cache (benchmarks, tests)."""
+    _MODELS.clear()
+
+
+def execute_spec(spec: SimJobSpec) -> NetworkResult:
+    """Run one job to completion in this process."""
+    job = spec.resolve()
+    simulator = TrainingSimulator(
+        optimizer=job.optimizer,
+        precision=job.precision,
+        timing=job.timing,
+        geometry=job.geometry,
+        npu=job.npu,
+        update_model=_shared_update_model(spec, job),
+        designs=job.designs,
+    )
+    return simulator.simulate(build_network(spec.network, batch=job.batch))
+
+
+# ----------------------------------------------------------------------
+# Worker-pool execution
+# ----------------------------------------------------------------------
+def _warm_shared_substrates(specs: Sequence[SimJobSpec]) -> None:
+    """Profile substrates used by >1 spec in the parent, pre-fork.
+
+    Forked workers inherit the parent's warm ``_MODELS``, so a profile
+    shared by many jobs is computed once instead of once per worker;
+    substrates unique to one spec stay cold and profile in parallel
+    inside their worker.
+    """
+    counts: dict[tuple, SimJobSpec] = {}
+    shared: dict[tuple, SimJobSpec] = {}
+    for spec in specs:
+        key = _substrate_key(spec)
+        if key in counts and key not in shared:
+            shared[key] = counts[key]
+        counts.setdefault(key, spec)
+    for spec in shared.values():
+        try:
+            job = spec.resolve()
+            model = _shared_update_model(spec, job)
+            for design in job.designs:
+                model.profile(design, job.optimizer, job.precision)
+        except Exception:
+            pass  # the owning worker will surface the real error
+
+
+def _run_payload(spec_dict: dict) -> dict:
+    """Worker body: never raises — errors become payloads."""
+    start = time.perf_counter()
+    try:
+        spec = SimJobSpec.from_dict(spec_dict)
+        result = execute_spec(spec).to_dict()
+        return {
+            "status": "ok",
+            "result": result,
+            "elapsed_seconds": time.perf_counter() - start,
+        }
+    except Exception as exc:  # per-job isolation
+        return {
+            "status": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "elapsed_seconds": time.perf_counter() - start,
+        }
+
+
+def run_specs(
+    specs: Sequence[SimJobSpec], jobs: int = 1
+) -> list[Optional[dict]]:
+    """Execute ``specs`` with up to ``jobs`` worker processes.
+
+    Returns one payload per spec, in order: ``{"status": "ok",
+    "result": <NetworkResult dict>}`` or ``{"status": "error", ...}``.
+    ``jobs <= 1`` (or a pool that fails to start) runs serially in this
+    process, which also warms this process's model cache.
+
+    Parallel dispatch sorts jobs by substrate (timing grade, geometry,
+    optimizer, precision) and hands each worker a contiguous chunk, so
+    jobs sharing a substrate profile it once per worker instead of once
+    per job; caller order is restored before returning.
+    """
+    payloads = [s.to_dict() for s in specs]
+    if jobs > 1 and len(specs) > 1:
+        _warm_shared_substrates(specs)
+        order = sorted(
+            range(len(specs)), key=lambda i: _substrate_key(specs[i])
+        )
+        n_workers = min(jobs, len(specs))
+        chunksize = -(-len(specs) // n_workers)  # ceil division
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=n_workers) as pool:
+                sorted_out = pool.map(
+                    _run_payload,
+                    [payloads[i] for i in order],
+                    chunksize=chunksize,
+                )
+            out: list[Optional[dict]] = [None] * len(specs)
+            for i, payload in zip(order, sorted_out):
+                out[i] = payload
+            return out
+        except (OSError, ValueError):
+            pass  # sandboxed / fork-less platform: fall through to serial
+    return [_run_payload(p) for p in payloads]

@@ -1,0 +1,257 @@
+"""Declarative simulation job specifications.
+
+A :class:`SimJobSpec` names everything a training-step simulation
+depends on — network, batch, optimizer and hyperparameters, precision
+mix, DRAM timing grade, geometry and NPU overrides, design set, sample
+window — as plain JSON-able values. Specs round-trip losslessly through
+``to_dict``/``from_dict`` and hash deterministically, which is what
+makes the result cache content-addressed: two callers asking for the
+same simulation get the same key no matter how they spelled the dict.
+
+Canonicalization rules:
+
+* dictionaries hash key-order-insensitively (the canonical JSON is
+  dumped with sorted keys);
+* the design set is stored deduplicated in paper bar order, so
+  ``("Baseline", "AOS")`` and ``("AOS", "Baseline")`` are the same job;
+* defaults are materialized at construction, so a spec that spells a
+  default explicitly equals one that omitted it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.dram.geometry import DEFAULT_GEOMETRY, DeviceGeometry
+from repro.dram.timing import PRESETS, TimingParams
+from repro.errors import ConfigError
+from repro.models.zoo import DEFAULT_BATCH, NETWORK_BUILDERS
+from repro.npu.config import DEFAULT_NPU, NPUConfig
+from repro.optim.base import Optimizer
+from repro.optim.precision import PrecisionConfig, PRECISIONS
+from repro.optim.registry import build_optimizer
+from repro.system.design import DESIGN_ORDER, DesignPoint
+
+#: Geometry fields a spec may override.
+_GEOMETRY_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(DeviceGeometry)
+)
+#: NPU fields a spec may override.
+_NPU_FIELDS = frozenset(f.name for f in dataclasses.fields(NPUConfig))
+#: Canonical design order (paper Fig. 9 bar order).
+_DESIGN_RANK = {d.value: i for i, d in enumerate(DESIGN_ORDER)}
+
+#: The paper's default update algorithm, as (name, hyperparameters).
+DEFAULT_OPTIMIZER = "momentum_sgd"
+DEFAULT_OPTIMIZER_PARAMS: dict[str, float] = {
+    "eta": 0.01,
+    "alpha": 0.9,
+    "weight_decay": 1e-4,
+}
+
+
+def _canonical_designs(designs: Sequence[str]) -> tuple[str, ...]:
+    """Validate, dedupe, and order a design set canonically."""
+    seen = []
+    for value in designs:
+        if value not in _DESIGN_RANK:
+            raise ConfigError(
+                f"unknown design point {value!r}; choose from "
+                f"{tuple(_DESIGN_RANK)}"
+            )
+        if value not in seen:
+            seen.append(value)
+    if DesignPoint.BASELINE.value not in seen:
+        raise ConfigError("the design set must include the baseline")
+    return tuple(sorted(seen, key=_DESIGN_RANK.__getitem__))
+
+
+def _check_overrides(
+    overrides: Mapping[str, Any], allowed: frozenset, what: str
+) -> dict:
+    unknown = sorted(set(overrides) - allowed)
+    if unknown:
+        raise ConfigError(
+            f"unknown {what} override(s) {unknown}; choose from "
+            f"{sorted(allowed)}"
+        )
+    return dict(overrides)
+
+
+@dataclass(frozen=True)
+class ResolvedJob:
+    """A spec's concrete simulation inputs (constructed objects)."""
+
+    network: str
+    batch: int
+    optimizer: Optimizer
+    precision: PrecisionConfig
+    timing: TimingParams
+    geometry: DeviceGeometry
+    npu: NPUConfig
+    designs: tuple[DesignPoint, ...]
+    columns_per_stripe: int
+
+
+@dataclass(frozen=True, eq=False)
+class SimJobSpec:
+    """One fully parameterized training-step simulation request.
+
+    ``eq``/``hash`` are defined over the canonical dict form (the
+    generated ones would choke on the mapping-typed fields).
+    """
+
+    network: str
+    batch: Optional[int] = None
+    optimizer: str = DEFAULT_OPTIMIZER
+    optimizer_params: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_OPTIMIZER_PARAMS)
+    )
+    precision: str = "8/32"
+    timing: str = "DDR4-2133"
+    geometry: Mapping[str, int] = field(default_factory=dict)
+    npu: Mapping[str, float] = field(default_factory=dict)
+    designs: tuple[str, ...] = tuple(d.value for d in DESIGN_ORDER)
+    columns_per_stripe: int = 32
+
+    def __post_init__(self) -> None:
+        if self.network not in NETWORK_BUILDERS:
+            raise ConfigError(
+                f"unknown network {self.network!r}; choose from "
+                f"{tuple(NETWORK_BUILDERS)}"
+            )
+        if self.batch is None:
+            # Materialize the zoo default so an explicit batch=32 and an
+            # omitted batch hash to the same content address.
+            object.__setattr__(
+                self, "batch", DEFAULT_BATCH[self.network]
+            )
+        if self.batch <= 0:
+            raise ConfigError(f"batch must be positive, got {self.batch}")
+        if self.precision not in PRECISIONS:
+            raise ConfigError(
+                f"unknown precision {self.precision!r}; choose from "
+                f"{tuple(PRECISIONS)}"
+            )
+        if self.timing not in PRESETS:
+            raise ConfigError(
+                f"unknown timing preset {self.timing!r}; choose from "
+                f"{tuple(PRESETS)}"
+            )
+        if self.columns_per_stripe <= 0:
+            raise ConfigError(
+                "columns_per_stripe must be positive, got "
+                f"{self.columns_per_stripe}"
+            )
+        object.__setattr__(
+            self,
+            "optimizer_params",
+            dict(self.optimizer_params),
+        )
+        object.__setattr__(
+            self,
+            "geometry",
+            _check_overrides(self.geometry, _GEOMETRY_FIELDS, "geometry"),
+        )
+        object.__setattr__(
+            self,
+            "npu",
+            _check_overrides(self.npu, _NPU_FIELDS, "npu"),
+        )
+        object.__setattr__(
+            self, "designs", _canonical_designs(self.designs)
+        )
+        # Surface bad optimizer names/hyperparameters at spec time, not
+        # deep inside a worker process.
+        build_optimizer(self.optimizer, self.optimizer_params)
+        # Same for geometry/NPU override values.
+        dataclasses.replace(DEFAULT_GEOMETRY, **self.geometry)
+        dataclasses.replace(DEFAULT_NPU, **self.npu)
+
+    # ------------------------------------------------------------------
+    # Equality / serialization
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimJobSpec):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_json())
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able dict; the exact inverse of :meth:`from_dict`."""
+        return {
+            "network": self.network,
+            "batch": self.batch,
+            "optimizer": self.optimizer,
+            "optimizer_params": dict(self.optimizer_params),
+            "precision": self.precision,
+            "timing": self.timing,
+            "geometry": dict(self.geometry),
+            "npu": dict(self.npu),
+            "designs": list(self.designs),
+            "columns_per_stripe": self.columns_per_stripe,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimJobSpec":
+        """Build a spec from a dict, rejecting unknown keys."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - fields)
+        if unknown:
+            raise ConfigError(
+                f"unknown spec field(s) {unknown}; choose from "
+                f"{sorted(fields)}"
+            )
+        if "network" not in data:
+            raise ConfigError("a job spec must name a network")
+        kwargs = dict(data)
+        if "designs" in kwargs:
+            kwargs["designs"] = tuple(kwargs["designs"])
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimJobSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def canonical_json(self) -> str:
+        """Deterministic minimal JSON: sorted keys, no whitespace."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def content_hash(self) -> str:
+        """Stable hex digest identifying this job's inputs."""
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")
+        ).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(self) -> ResolvedJob:
+        """Construct the concrete simulation inputs this spec names."""
+        return ResolvedJob(
+            network=self.network,
+            batch=self.batch,
+            optimizer=build_optimizer(
+                self.optimizer, self.optimizer_params
+            ),
+            precision=PRECISIONS[self.precision],
+            timing=PRESETS[self.timing],
+            geometry=dataclasses.replace(DEFAULT_GEOMETRY, **self.geometry),
+            npu=dataclasses.replace(DEFAULT_NPU, **self.npu),
+            designs=tuple(DesignPoint(v) for v in self.designs),
+            columns_per_stripe=self.columns_per_stripe,
+        )

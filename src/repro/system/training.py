@@ -16,6 +16,7 @@ the 'Total' group to the baseline total).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
@@ -59,6 +60,13 @@ class PhaseTimes:
             update=self.update + other.update,
         )
 
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseTimes":
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class BlockTimes:
@@ -66,6 +74,22 @@ class BlockTimes:
 
     label: str
     times: Mapping[DesignPoint, PhaseTimes]
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "times": {d.value: t.to_dict() for d, t in self.times.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BlockTimes":
+        return cls(
+            label=data["label"],
+            times={
+                DesignPoint(v): PhaseTimes.from_dict(t)
+                for v, t in data["times"].items()
+            },
+        )
 
 
 @dataclass
@@ -116,6 +140,48 @@ class NetworkResult:
         """Fig. 9 'Total' group: each design / baseline total."""
         base = self.totals[DesignPoint.BASELINE].total
         return {d: t.total / base for d, t in self.totals.items()}
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe form (floats survive a dump/load exactly).
+
+        This is what the service layer ships across worker processes and
+        stores in the on-disk result cache.
+        """
+        return {
+            "network": self.network,
+            "batch": self.batch,
+            "precision": self.precision,
+            "optimizer": self.optimizer,
+            "blocks": [b.to_dict() for b in self.blocks],
+            "totals": {
+                d.value: t.to_dict() for d, t in self.totals.items()
+            },
+            "profiles": {
+                d.value: p.to_dict() for d, p in self.profiles.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkResult":
+        """Inverse of :meth:`to_dict`, preserving mapping order."""
+        return cls(
+            network=data["network"],
+            batch=data["batch"],
+            precision=data["precision"],
+            optimizer=data["optimizer"],
+            blocks=tuple(
+                BlockTimes.from_dict(b) for b in data["blocks"]
+            ),
+            totals={
+                DesignPoint(v): PhaseTimes.from_dict(t)
+                for v, t in data["totals"].items()
+            },
+            profiles={
+                DesignPoint(v): UpdateProfile.from_dict(p)
+                for v, p in data["profiles"].items()
+            },
+        )
 
 
 class TrainingSimulator:

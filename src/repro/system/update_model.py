@@ -14,6 +14,7 @@ because sample windows are far shorter than a refresh interval.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.dram.commands import CommandType
@@ -61,6 +62,20 @@ class UpdateProfile:
     def update_seconds(self, n_params: float) -> float:
         """Update-phase time for a layer/network of ``n_params``."""
         return self.seconds_per_param * n_params
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe representation (the design enum by its value)."""
+        out = dataclasses.asdict(self)
+        out["design"] = self.design.value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UpdateProfile":
+        """Inverse of :meth:`to_dict` (exact: floats never reformatted)."""
+        fields = dict(data)
+        fields["design"] = DesignPoint(fields["design"])
+        return cls(**fields)
 
 
 class UpdatePhaseModel:

@@ -22,3 +22,23 @@ def test_main_runs_cheap_subset(capsys):
 def test_main_rejects_unknown(capsys):
     assert main(["fig99"]) == 2
     assert "unknown experiments" in capsys.readouterr().out
+
+
+def test_main_accepts_jobs_flag(capsys):
+    assert main(["--jobs", "2", "tables"]) == 0
+    assert "Table II" in capsys.readouterr().out
+
+
+def test_main_accepts_cache_dir(tmp_path, capsys):
+    assert main([f"--cache-dir={tmp_path}", "tables"]) == 0
+    assert "Table II" in capsys.readouterr().out
+
+
+def test_main_rejects_bad_jobs(capsys):
+    assert main(["--jobs", "zero", "tables"]) == 2
+    assert "--jobs" in capsys.readouterr().out
+
+
+def test_main_rejects_unknown_flag(capsys):
+    assert main(["--fidelity", "high"]) == 2
+    assert "unknown option" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""Service API surface and the ``python -m repro.service`` CLI."""
+
+import json
+
+import pytest
+
+from repro.service.__main__ import main
+from repro.service.cache import ResultCache
+from repro.service.spec import SimJobSpec
+
+CHEAP = {
+    "network": "MLP1",
+    "columns_per_stripe": 8,
+    "designs": ["Baseline", "GradPIM-BD"],
+}
+
+
+class TestCLI:
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        assert "job_file" in capsys.readouterr().out
+
+    def test_job_list_emits_json(self, tmp_path, capsys):
+        job_file = tmp_path / "jobs.json"
+        job_file.write_text(json.dumps({"jobs": [CHEAP]}))
+        assert main([str(job_file), "--summary-only"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_jobs"] == 1
+        assert payload["n_failures"] == 0
+        job = payload["jobs"][0]
+        assert job["status"] == "ok"
+        assert job["speedups"]["GradPIM-BD"]["overall"] > 1.0
+        assert "result" not in job  # --summary-only
+
+    def test_sweep_file_with_disk_cache(self, tmp_path, capsys):
+        job_file = tmp_path / "sweep.json"
+        job_file.write_text(
+            json.dumps(
+                {
+                    "sweep": {
+                        "base": CHEAP,
+                        "axes": {"batch": [64, 128]},
+                    }
+                }
+            )
+        )
+        cache_dir = tmp_path / "cache"
+        args = [
+            str(job_file), "--summary-only",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cache_hit_fraction"] == 0.0
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache_hit_fraction"] == 1.0
+
+        def strip(rows):  # provenance differs; numbers must not
+            return [
+                {k: v for k, v in r.items() if k != "from_cache"}
+                for r in rows
+            ]
+
+        assert strip(second["table"]) == strip(first["table"])
+
+    def test_output_file(self, tmp_path, capsys):
+        job_file = tmp_path / "jobs.json"
+        job_file.write_text(json.dumps({"jobs": [CHEAP]}))
+        out_file = tmp_path / "results.json"
+        assert main(
+            [str(job_file), "--summary-only", "-o", str(out_file)]
+        ) == 0
+        assert json.loads(out_file.read_text())["n_jobs"] == 1
+
+    def test_bad_job_file_exits_2(self, tmp_path, capsys):
+        job_file = tmp_path / "bad.json"
+        job_file.write_text('{"jobs": [], "sweep": {}}')
+        assert main([str(job_file)]) == 2
+
+    def test_missing_file_exits_2(self, tmp_path):
+        assert main([str(tmp_path / "nope.json")]) == 2
+
+    def test_failing_job_exits_1(self, tmp_path, capsys, monkeypatch):
+        from repro.service import pool
+
+        monkeypatch.setattr(
+            pool,
+            "execute_spec",
+            lambda s: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        job_file = tmp_path / "jobs.json"
+        job_file.write_text(json.dumps({"jobs": [CHEAP]}))
+        assert main([str(job_file), "--summary-only"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_failures"] == 1
+
+    def test_bad_jobs_value_exits_2(self, tmp_path, capsys):
+        job_file = tmp_path / "jobs.json"
+        job_file.write_text(json.dumps({"jobs": [CHEAP]}))
+        assert main([str(job_file), "--jobs", "0"]) == 2
+
+
+class TestSubmitEnvelope:
+    def test_to_dict_shapes(self):
+        from repro.service.api import submit
+
+        spec = SimJobSpec.from_dict(CHEAP)
+        result = submit(spec, cache=ResultCache())
+        payload = result.to_dict()
+        assert payload["status"] == "ok"
+        assert payload["spec"] == spec.to_dict()
+        assert len(payload["key"]) == 64  # sha256 hex
+        assert payload["result"]["network"] == "MLP1"
+        summary = payload["speedups"]["GradPIM-BD"]
+        assert summary["overall"] > 1.0
+
+    def test_no_cache_mode_reexecutes(self, monkeypatch):
+        from repro.service import api, pool
+
+        calls = []
+        real = pool.execute_spec
+
+        def counting(s):
+            calls.append(s)
+            return real(s)
+
+        monkeypatch.setattr(pool, "execute_spec", counting)
+        spec = SimJobSpec.from_dict(CHEAP)
+        api.submit(spec, cache=None)
+        api.submit(spec, cache=None)
+        assert len(calls) == 2

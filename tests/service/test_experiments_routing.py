@@ -1,0 +1,83 @@
+"""Experiments route through the service: caching + identical output."""
+
+import pytest
+
+from repro.dram.timing import TimingParams, DDR4_2133
+from repro.experiments.common import ExperimentContext
+from repro.experiments.fig9 import render_fig9, run_fig9
+from repro.service import pool
+from repro.service.cache import ResultCache
+
+
+@pytest.fixture()
+def ctx():
+    return ExperimentContext(
+        columns_per_stripe=8, networks=("MLP1",)
+    )
+
+
+class TestServiceRouting:
+    def test_fig9_runs_through_submit_many(self, ctx, monkeypatch):
+        calls = []
+        real = pool.execute_spec
+
+        def counting(spec):
+            calls.append(spec)
+            return real(spec)
+
+        monkeypatch.setattr(pool, "execute_spec", counting)
+        run_fig9(ctx)
+        assert [s.network for s in calls] == ["MLP1"]
+
+    def test_repeat_figure_served_from_cache(self, ctx, monkeypatch):
+        run_fig9(ctx)
+        monkeypatch.setattr(
+            pool,
+            "execute_spec",
+            lambda s: (_ for _ in ()).throw(
+                AssertionError("cache should have served this")
+            ),
+        )
+        run_fig9(ctx)  # identical context: every job is a cache hit
+        assert ctx.cache.stats()["hits"] >= 1
+
+    def test_pooled_figure_output_byte_identical(self, ctx):
+        serial = render_fig9(run_fig9(ctx))
+        pooled_ctx = ExperimentContext(
+            columns_per_stripe=8,
+            networks=("MLP1",),
+            jobs=2,
+            cache=ResultCache(),
+        )
+        assert render_fig9(run_fig9(pooled_ctx)) == serial
+
+    def test_unspeccable_timing_falls_back_to_direct(self, monkeypatch):
+        import dataclasses
+
+        custom = dataclasses.replace(DDR4_2133, tCL=18)
+        assert isinstance(custom, TimingParams)
+        ctx = ExperimentContext(
+            timing=custom, columns_per_stripe=8, networks=("MLP1",)
+        )
+        # The service must never see this request ...
+        monkeypatch.setattr(
+            pool,
+            "execute_spec",
+            lambda s: (_ for _ in ()).throw(
+                AssertionError("unspeccable config reached the service")
+            ),
+        )
+        results = ctx.network_results()
+        # ... yet the direct path still answers.
+        assert results["MLP1"].network == "MLP1"
+
+    def test_job_spec_reflects_context(self, ctx):
+        spec = ctx.job_spec("MLP1")
+        assert spec.columns_per_stripe == 8
+        assert spec.optimizer == "momentum_sgd"
+        assert spec.timing == "DDR4-2133"
+        assert spec.geometry == {}  # default geometry: no overrides
+
+    def test_batch_override_round_trips(self, ctx):
+        results = ctx.network_results(batch=16)
+        assert results["MLP1"].batch == 16

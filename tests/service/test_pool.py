@@ -1,0 +1,135 @@
+"""Worker pool: parallel == serial, error isolation, dedup."""
+
+import pytest
+
+from repro.service import api, pool
+from repro.service.cache import ResultCache
+from repro.service.pool import run_specs
+from repro.service.spec import SimJobSpec
+
+CHEAP = dict(columns_per_stripe=8, designs=("Baseline", "GradPIM-BD"))
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [
+        SimJobSpec(network="MLP1", batch=b, **CHEAP)
+        for b in (16, 32, 64, 128)
+    ]
+
+
+class TestPoolMatchesSerial:
+    def test_results_identical_spec_for_spec(self, specs):
+        serial = run_specs(specs, jobs=1)
+        parallel = run_specs(specs, jobs=4)
+        assert [p["status"] for p in parallel] == ["ok"] * len(specs)
+        for s, p in zip(serial, parallel):
+            assert s["result"] == p["result"]  # exact float equality
+
+    def test_submit_many_parallel_matches_serial(self, specs):
+        serial = api.submit_many(specs, jobs=1, cache=ResultCache())
+        parallel = api.submit_many(specs, jobs=2, cache=ResultCache())
+        for s, p in zip(serial, parallel):
+            assert s.ok and p.ok
+            assert s.result.to_dict() == p.result.to_dict()
+
+
+class TestErrorIsolation:
+    def test_one_failing_job_does_not_sink_the_batch(
+        self, specs, monkeypatch
+    ):
+        real = pool.execute_spec
+
+        def flaky(spec):
+            if spec.batch == 32:
+                raise RuntimeError("injected fault")
+            return real(spec)
+
+        monkeypatch.setattr(pool, "execute_spec", flaky)
+        results = api.submit_many(specs, jobs=1, cache=ResultCache())
+        assert [r.ok for r in results] == [True, False, True, True]
+        assert "injected fault" in results[1].error
+        assert results[1].result is None
+
+    def test_worker_payload_carries_traceback(self, monkeypatch):
+        def boom(spec):
+            raise ValueError("bad geometry")
+
+        monkeypatch.setattr(pool, "execute_spec", boom)
+        (payload,) = run_specs(
+            [SimJobSpec(network="MLP1", **CHEAP)], jobs=1
+        )
+        assert payload["status"] == "error"
+        assert "bad geometry" in payload["error"]
+        assert "Traceback" in payload["traceback"]
+
+
+class TestBatchSemantics:
+    def test_duplicates_executed_once(self, monkeypatch):
+        calls = []
+        real = pool.execute_spec
+
+        def counting(s):
+            calls.append(s)
+            return real(s)
+
+        monkeypatch.setattr(pool, "execute_spec", counting)
+        spec = SimJobSpec(network="MLP1", **CHEAP)
+        results = api.submit_many(
+            [spec, spec, spec], jobs=1, cache=ResultCache()
+        )
+        assert len(calls) == 1
+        assert all(r.ok for r in results)
+        assert (
+            results[0].result.to_dict() == results[2].result.to_dict()
+        )
+
+    def test_order_preserved(self, specs):
+        results = api.submit_many(specs, jobs=2, cache=ResultCache())
+        assert [r.spec.batch for r in results] == [16, 32, 64, 128]
+
+    def test_model_cache_shared_within_process(self, specs):
+        before = len(pool._MODELS)
+        run_specs(specs, jobs=1)
+        # All four jobs share one substrate configuration.
+        assert len(pool._MODELS) <= before + 1
+
+    def test_hyperparameters_do_not_share_profiles(self):
+        # UpdatePhaseModel caches profiles by optimizer *name*, so the
+        # shared-model key must separate differing hyperparameters:
+        # weight_decay=0 drops a term from the compiled command stream.
+        with_decay = SimJobSpec(
+            network="MLP1",
+            optimizer_params={
+                "eta": 0.01, "alpha": 0.9, "weight_decay": 1e-4,
+            },
+            **CHEAP,
+        )
+        without_decay = SimJobSpec(
+            network="MLP1",
+            optimizer_params={
+                "eta": 0.01, "alpha": 0.9, "weight_decay": 0.0,
+            },
+            **CHEAP,
+        )
+        a = pool.execute_spec(with_decay)
+        b = pool.execute_spec(without_decay)
+        from repro.system.design import DesignPoint
+
+        # The baseline stream touches the same arrays either way; the
+        # compiled PIM kernel gains a scaled-load term with decay.
+        pim = DesignPoint.GRADPIM_BUFFERED
+        assert (
+            a.profiles[pim].seconds_per_param
+            != b.profiles[pim].seconds_per_param
+        )
+        # And re-running in the same process reproduces both exactly.
+        fresh = run_specs([without_decay, with_decay], jobs=1)
+        assert (
+            fresh[0]["result"]["profiles"]["GradPIM-BD"]
+            == b.to_dict()["profiles"]["GradPIM-BD"]
+        )
+        assert (
+            fresh[1]["result"]["profiles"]["GradPIM-BD"]
+            == a.to_dict()["profiles"]["GradPIM-BD"]
+        )

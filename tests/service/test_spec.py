@@ -1,0 +1,205 @@
+"""SimJobSpec: round-trip, hashing, validation (property-based)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.service.spec import SimJobSpec
+from repro.system.design import DESIGN_ORDER
+
+NETWORKS = ("ResNet18", "ResNet50", "MobileNet", "MLP1", "AlphaGoZero")
+PRECISIONS = ("8/32", "16/32", "8/16", "32/32")
+TIMINGS = ("DDR4-2133", "DDR4-3200", "HBM-like")
+ALL_DESIGNS = tuple(d.value for d in DESIGN_ORDER)
+
+_eta = st.floats(1e-4, 0.5, allow_nan=False, allow_infinity=False)
+_alpha = st.floats(0.0, 0.99, allow_nan=False, allow_infinity=False)
+
+optimizers = st.one_of(
+    st.tuples(st.just("sgd"), st.fixed_dictionaries({"eta": _eta})),
+    st.tuples(
+        st.just("momentum_sgd"),
+        st.fixed_dictionaries(
+            {"eta": _eta, "alpha": _alpha},
+            optional={"weight_decay": st.floats(0.0, 0.01)},
+        ),
+    ),
+    st.tuples(
+        st.just("adam"),
+        st.fixed_dictionaries({"eta": _eta, "beta1": _alpha}),
+    ),
+)
+
+design_sets = st.sets(
+    st.sampled_from(ALL_DESIGNS), min_size=0, max_size=5
+).map(lambda s: ("Baseline",) + tuple(s))
+
+
+@st.composite
+def specs(draw):
+    name, params = draw(optimizers)
+    return SimJobSpec(
+        network=draw(st.sampled_from(NETWORKS)),
+        batch=draw(st.one_of(st.none(), st.integers(1, 256))),
+        optimizer=name,
+        optimizer_params=params,
+        precision=draw(st.sampled_from(PRECISIONS)),
+        timing=draw(st.sampled_from(TIMINGS)),
+        geometry=draw(
+            st.fixed_dictionaries(
+                {}, optional={"ranks": st.sampled_from((2, 4, 8))}
+            )
+        ),
+        npu=draw(
+            st.fixed_dictionaries(
+                {},
+                optional={"array_rows": st.sampled_from((64, 128, 256))},
+            )
+        ),
+        designs=draw(design_sets),
+        columns_per_stripe=draw(st.sampled_from((8, 16, 32))),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(specs())
+    def test_dict_round_trip_lossless(self, spec):
+        assert SimJobSpec.from_dict(spec.to_dict()) == spec
+        assert SimJobSpec.from_dict(spec.to_dict()).to_dict() == (
+            spec.to_dict()
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(specs())
+    def test_json_round_trip_lossless(self, spec):
+        assert SimJobSpec.from_json(spec.to_json()) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(specs())
+    def test_hash_stable_across_round_trip(self, spec):
+        assert (
+            SimJobSpec.from_dict(spec.to_dict()).content_hash()
+            == spec.content_hash()
+        )
+
+
+class TestHashing:
+    @settings(max_examples=60, deadline=None)
+    @given(specs(), st.randoms(use_true_random=False))
+    def test_hash_key_order_insensitive(self, spec, rnd):
+        d = spec.to_dict()
+        shuffled_keys = list(d)
+        rnd.shuffle(shuffled_keys)
+        shuffled = {k: d[k] for k in shuffled_keys}
+        assert (
+            SimJobSpec.from_dict(shuffled).content_hash()
+            == spec.content_hash()
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(specs(), st.randoms(use_true_random=False))
+    def test_hash_design_order_insensitive(self, spec, rnd):
+        d = spec.to_dict()
+        designs = list(d["designs"])
+        rnd.shuffle(designs)
+        d["designs"] = designs
+        assert (
+            SimJobSpec.from_dict(d).content_hash() == spec.content_hash()
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(specs(), specs())
+    def test_hash_collision_distinct(self, a, b):
+        # Differing canonical content must produce differing hashes;
+        # equal content must produce equal hashes.
+        if a.canonical_json() == b.canonical_json():
+            assert a.content_hash() == b.content_hash()
+        else:
+            assert a.content_hash() != b.content_hash()
+
+    def test_explicit_defaults_equal_omitted_defaults(self):
+        assert (
+            SimJobSpec(network="MLP1").content_hash()
+            == SimJobSpec(
+                network="MLP1", precision="8/32", timing="DDR4-2133"
+            ).content_hash()
+        )
+
+
+class TestValidation:
+    def test_unknown_network(self):
+        with pytest.raises(ConfigError, match="unknown network"):
+            SimJobSpec(network="VGG16")
+
+    def test_unknown_precision(self):
+        with pytest.raises(ConfigError, match="unknown precision"):
+            SimJobSpec(network="MLP1", precision="4/32")
+
+    def test_unknown_timing(self):
+        with pytest.raises(ConfigError, match="unknown timing"):
+            SimJobSpec(network="MLP1", timing="DDR5-4800")
+
+    def test_designs_must_include_baseline(self):
+        with pytest.raises(ConfigError, match="baseline"):
+            SimJobSpec(network="MLP1", designs=("GradPIM-BD",))
+
+    def test_unknown_design(self):
+        with pytest.raises(ConfigError, match="unknown design"):
+            SimJobSpec(network="MLP1", designs=("Baseline", "GradPIM-XX"))
+
+    def test_unknown_optimizer(self):
+        with pytest.raises(ConfigError, match="unknown optimizer"):
+            SimJobSpec(network="MLP1", optimizer="lion")
+
+    def test_bad_hyperparameter_name(self):
+        with pytest.raises(ConfigError, match="hyperparameters"):
+            SimJobSpec(
+                network="MLP1",
+                optimizer="sgd",
+                optimizer_params={"learning_rate": 0.1},
+            )
+
+    def test_bad_geometry_override(self):
+        with pytest.raises(ConfigError, match="geometry"):
+            SimJobSpec(network="MLP1", geometry={"lanes": 2})
+
+    def test_unknown_dict_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown spec field"):
+            SimJobSpec.from_dict({"network": "MLP1", "fidelity": "high"})
+
+    def test_missing_network_rejected(self):
+        with pytest.raises(ConfigError, match="network"):
+            SimJobSpec.from_dict({"precision": "8/32"})
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(ConfigError, match="batch"):
+            SimJobSpec(network="MLP1", batch=0)
+
+
+class TestResolve:
+    def test_resolves_defaults(self):
+        job = SimJobSpec(network="MLP1").resolve()
+        assert job.batch == 128  # the MLP's zoo default
+        assert job.optimizer.name == "momentum_sgd"
+        assert job.timing.name == "DDR4-2133"
+        assert len(job.designs) == 6
+
+    def test_resolves_overrides(self):
+        spec = SimJobSpec(
+            network="ResNet18",
+            batch=16,
+            npu={"array_rows": 128},
+            geometry={"ranks": 2},
+        )
+        job = spec.resolve()
+        assert job.batch == 16
+        assert job.npu.array_rows == 128
+        assert job.geometry.ranks == 2
+
+    def test_canonical_json_is_deterministic(self):
+        spec = SimJobSpec(network="MLP1")
+        assert spec.canonical_json() == spec.canonical_json()
+        assert json.loads(spec.canonical_json()) == spec.to_dict()

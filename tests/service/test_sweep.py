@@ -1,0 +1,106 @@
+"""Sweep expansion and campaign aggregation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.cache import ResultCache
+from repro.service.sweep import SweepResult, expand_grid, run_sweep
+from repro.system.design import DesignPoint
+
+BASE = {
+    "network": "MLP1",
+    "columns_per_stripe": 8,
+    "designs": ["Baseline", "GradPIM-BD"],
+}
+
+
+class TestExpandGrid:
+    def test_cartesian_product_in_axis_order(self):
+        specs = expand_grid(
+            BASE,
+            {"timing": ["DDR4-2133", "HBM-like"], "batch": [16, 32]},
+        )
+        assert len(specs) == 4
+        assert [(s.timing, s.batch) for s in specs] == [
+            ("DDR4-2133", 16),
+            ("DDR4-2133", 32),
+            ("HBM-like", 16),
+            ("HBM-like", 32),
+        ]
+
+    def test_axis_overrides_base(self):
+        (spec,) = expand_grid(
+            {**BASE, "precision": "8/32"}, {"precision": ["32/32"]}
+        )
+        assert spec.precision == "32/32"
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigError, match="unknown sweep axis"):
+            expand_grid(BASE, {"fidelity": ["high"]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError, match="no values"):
+            expand_grid(BASE, {"batch": []})
+
+    def test_bad_combination_fails_at_expansion(self):
+        with pytest.raises(ConfigError, match="unknown precision"):
+            expand_grid(BASE, {"precision": ["8/32", "7/32"]})
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def cache(self):
+        return ResultCache()
+
+    @pytest.fixture(scope="class")
+    def sweep(self, cache):
+        return run_sweep(
+            BASE,
+            {"timing": ["DDR4-2133", "HBM-like"], "batch": [64, 128]},
+            cache=cache,
+        )
+
+    def test_all_jobs_succeed(self, sweep):
+        assert len(sweep.jobs) == 4
+        assert not sweep.failures
+        assert sweep.cache_hit_fraction == 0.0
+
+    def test_table_rows_carry_axes_and_speedups(self, sweep):
+        rows = sweep.table()
+        assert len(rows) == 4
+        for row in rows:
+            assert row["timing"] in ("DDR4-2133", "HBM-like")
+            assert row["batch"] in (64, 128)
+            assert row["overall:GradPIM-BD"] > 1.0
+            assert row["update:GradPIM-BD"] > 1.0
+
+    def test_geomean_aggregation(self, sweep):
+        gm = sweep.geomean_overall(DesignPoint.GRADPIM_BUFFERED)
+        speedups = sweep.speedups(DesignPoint.GRADPIM_BUFFERED)
+        assert min(speedups) <= gm <= max(speedups)
+
+    def test_repeat_served_from_cache(self, sweep, cache):
+        again = run_sweep(
+            BASE,
+            {"timing": ["DDR4-2133", "HBM-like"], "batch": [64, 128]},
+            cache=cache,
+        )
+        assert again.cache_hit_fraction >= 0.9  # acceptance criterion
+        for a, b in zip(sweep.jobs, again.jobs):
+            assert a.result.to_dict() == b.result.to_dict()
+
+    def test_to_dict_is_json_shaped(self, sweep):
+        import json
+
+        payload = sweep.to_dict()
+        assert payload["n_jobs"] == 4
+        assert json.loads(json.dumps(payload))  # serializable
+
+    def test_geomean_without_design_raises(self, sweep):
+        with pytest.raises(ConfigError, match="no successful job"):
+            sweep.geomean_overall(DesignPoint.AOS)
+
+    def test_failures_surface_in_table(self):
+        result = SweepResult(axes={}, jobs=[])
+        assert result.table() == []
+        assert result.cache_hit_fraction == 0.0
