@@ -1,0 +1,273 @@
+"""Seed-vs-incremental scheduler benchmark -> BENCH_scheduler.json.
+
+Times the reference (seed) scheduling pipeline against the incremental
+event-driven engine on every design point of the paper's evaluation,
+verifies exact equivalence on each timed stream, and emits a JSON
+record seeding the repo's performance trajectory.
+
+Three measurements per (design, window):
+
+* ``run`` — one ``CommandScheduler.run`` over the design's compiled
+  update stream: reference greedy loop vs incremental engine.
+* ``profile`` — a cold end-to-end ``UpdatePhaseModel.profile()``
+  (stream compile + schedule + trace validation + rate extraction):
+  seed configuration (reference engine, thorough family-by-family
+  validator) vs new configuration (incremental engine, fused
+  sort-and-sweep validator).
+* equivalence — issue cycles and ``TraceStats`` must match exactly,
+  and one ResNet-18 ``NetworkResult`` (the paper's Fig. 9 workload)
+  must serialize byte-identically under both configurations.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py            # full
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --quick    # CI
+    PYTHONPATH=src python benchmarks/bench_scheduler.py -o out.json
+
+Exit status is non-zero when any design point schedules slower on the
+incremental engine than on the reference, or when any equivalence
+check fails — the CI benchmark smoke job gates on this.
+
+JSON schema (``BENCH_scheduler.json``)::
+
+    {
+      "benchmark": "scheduler",
+      "quick": bool,
+      "timing": "<DDR grade>",
+      "optimizer": "<name>",
+      "precision": "<mix>",
+      "columns_per_stripe": int,
+      "fig9_resnet_identical": bool,
+      "results": [
+        {
+          "design": "<design point>",
+          "window": int,
+          "n_commands": int,
+          "run_reference_s": float,   # best-of-N, seed greedy loop
+          "run_incremental_s": float, # best-of-N, event-driven engine
+          "run_speedup": float,
+          "profile_seed_s": float,    # cold profile(), seed config
+          "profile_new_s": float,     # cold profile(), new config
+          "profile_speedup": float,
+          "schedules_identical": bool
+        }, ...
+      ],
+      "summary": {
+        "min_run_speedup": float,
+        "min_profile_speedup": float,
+        "pim_kernel_profile_speedup": float  # geomean over pim-kernel designs
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.dram.scheduler import CommandScheduler
+from repro.models.zoo import build_network
+from repro.optim.precision import PRECISION_8_32
+from repro.optim.registry import build_optimizer
+from repro.system.design import DESIGNS, UPDATE_PIM_KERNEL
+from repro.system.training import TrainingSimulator
+from repro.system.update_model import UpdatePhaseModel
+
+#: (engine, thorough_validate) of the two compared configurations.
+SEED_CONFIG = {"engine": "reference", "thorough_validate": True}
+NEW_CONFIG = {"engine": "incremental", "thorough_validate": False}
+
+OPTIMIZER = ("momentum_sgd", {
+    "eta": 0.01, "alpha": 0.9, "weight_decay": 1e-4,
+})
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = math.inf
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def _stats_equal(a, b) -> bool:
+    return (
+        a.counts == b.counts
+        and a.total_cycles == b.total_cycles
+        and a.issued_commands == b.issued_commands
+        and a.port_issued == b.port_issued
+    )
+
+
+def bench_design(design, window: int, repeats: int) -> dict:
+    """Time one design point at one lookahead window."""
+    config = DESIGNS[design]
+    optimizer = build_optimizer(*OPTIMIZER)
+    model = UpdatePhaseModel(window=window)
+    commands, _, _, dependents = model._build_stream(
+        config, optimizer, PRECISION_8_32
+    )
+    issue_model = config.issue_model(model.geometry)
+    kwargs = dict(
+        per_bank_pim=config.per_bank_pim,
+        window=window,
+        data_bus_scope=config.data_bus_scope,
+    )
+    reference = CommandScheduler(
+        model.timing, model.geometry, issue_model,
+        engine="reference", **kwargs,
+    )
+    incremental = CommandScheduler(
+        model.timing, model.geometry, issue_model,
+        engine="incremental", **kwargs,
+    )
+    ref_result = reference.run(commands)
+    new_result = incremental.run(commands, dependents=dependents)
+    identical = (
+        ref_result.issue_cycles() == new_result.issue_cycles()
+        and _stats_equal(ref_result.stats, new_result.stats)
+    )
+    run_ref = _best_of(lambda: reference.run(commands), repeats)
+    run_new = _best_of(
+        lambda: incremental.run(commands, dependents=dependents), repeats
+    )
+
+    # Cold end-to-end profile(): a fresh model per invocation so the
+    # internal profile cache never hides the work being measured.
+    def profile(config_kwargs):
+        UpdatePhaseModel(window=window, **config_kwargs).profile(
+            design, optimizer
+        )
+
+    prof_seed = _best_of(lambda: profile(SEED_CONFIG), repeats)
+    prof_new = _best_of(lambda: profile(NEW_CONFIG), repeats)
+    return {
+        "design": design.value,
+        "window": window,
+        "n_commands": len(commands),
+        "run_reference_s": run_ref,
+        "run_incremental_s": run_new,
+        "run_speedup": run_ref / run_new,
+        "profile_seed_s": prof_seed,
+        "profile_new_s": prof_new,
+        "profile_speedup": prof_seed / prof_new,
+        "schedules_identical": identical,
+    }
+
+
+def check_fig9_resnet() -> bool:
+    """ResNet-18 NetworkResult must be byte-identical on both configs."""
+    payloads = []
+    for config in (SEED_CONFIG, NEW_CONFIG):
+        optimizer = build_optimizer(*OPTIMIZER)
+        simulator = TrainingSimulator(
+            optimizer=optimizer,
+            precision=PRECISION_8_32,
+            update_model=UpdatePhaseModel(**config),
+        )
+        result = simulator.simulate(build_network("ResNet18"))
+        payloads.append(
+            json.dumps(result.to_dict(), sort_keys=True).encode()
+        )
+    return payloads[0] == payloads[1]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the incremental scheduler vs the seed."
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="one window, fewer repeats (the CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--output", "-o", default="BENCH_scheduler.json",
+        help="where to write the JSON record",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per measurement (default: 3 quick, 4 full)",
+    )
+    args = parser.parse_args(argv)
+    windows = (16,) if args.quick else (8, 16, 32)
+    repeats = args.repeats or (3 if args.quick else 4)
+
+    results = []
+    for design in DESIGNS:
+        for window in windows:
+            row = bench_design(design, window, repeats)
+            results.append(row)
+            print(
+                f"{row['design']:12s} w={window:<3d} "
+                f"run {row['run_reference_s'] * 1e3:7.1f} -> "
+                f"{row['run_incremental_s'] * 1e3:6.1f} ms "
+                f"(x{row['run_speedup']:4.1f})  "
+                f"profile {row['profile_seed_s'] * 1e3:7.1f} -> "
+                f"{row['profile_new_s'] * 1e3:6.1f} ms "
+                f"(x{row['profile_speedup']:4.1f})  "
+                f"identical={row['schedules_identical']}",
+                file=sys.stderr,
+            )
+    fig9_ok = check_fig9_resnet()
+    print(f"fig9 ResNet-18 byte-identical: {fig9_ok}", file=sys.stderr)
+
+    pim_rows = [
+        r for r in results
+        if DESIGNS[
+            next(d for d in DESIGNS if d.value == r["design"])
+        ].update_kind == UPDATE_PIM_KERNEL
+    ]
+    geomean = math.exp(
+        sum(math.log(r["profile_speedup"]) for r in pim_rows)
+        / len(pim_rows)
+    )
+    payload = {
+        "benchmark": "scheduler",
+        "quick": args.quick,
+        "timing": "DDR4-2133",
+        "optimizer": OPTIMIZER[0],
+        "precision": PRECISION_8_32.name,
+        "columns_per_stripe": 32,
+        "fig9_resnet_identical": fig9_ok,
+        "results": results,
+        "summary": {
+            "min_run_speedup": min(r["run_speedup"] for r in results),
+            "min_profile_speedup": min(
+                r["profile_speedup"] for r in results
+            ),
+            "pim_kernel_profile_speedup": geomean,
+        },
+    }
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}", file=sys.stderr)
+
+    failures = [
+        r["design"] for r in results
+        if r["run_speedup"] < 1.0 or not r["schedules_identical"]
+    ]
+    if not fig9_ok:
+        failures.append("fig9-resnet")
+    if failures:
+        print(
+            f"REGRESSION: {sorted(set(failures))}", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

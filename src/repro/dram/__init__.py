@@ -29,6 +29,7 @@ from repro.dram.currents import IddCurrents, DDR4_2133_CURRENTS
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
 from repro.dram.commands import Command, CommandType
 from repro.dram.address import AddressMapping, DecodedAddress
+from repro.dram.engine import build_dependents
 from repro.dram.scheduler import CommandScheduler, IssueModel, ScheduleResult
 from repro.dram.power import EnergyModel, EnergyBreakdown
 from repro.dram.validator import validate_trace
@@ -50,6 +51,7 @@ __all__ = [
     "CommandScheduler",
     "IssueModel",
     "ScheduleResult",
+    "build_dependents",
     "EnergyModel",
     "EnergyBreakdown",
     "validate_trace",

@@ -102,9 +102,14 @@ READ_COMMANDS = frozenset(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Command:
     """One command in a stream handed to the scheduler.
+
+    The class is slotted: command streams run to tens of thousands of
+    instances per profile, and every hot path (kernel emission, the
+    scheduling engines, trace validation) is dominated by attribute
+    traffic on them.
 
     ``deps`` lists indices (into the same stream) of commands whose results
     this command consumes; the scheduler will not issue a command before

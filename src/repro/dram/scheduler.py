@@ -23,12 +23,36 @@ Refresh is accounted analytically (a tRFC/tREFI derate applied by
 :mod:`repro.system.update_model`) rather than simulated, because the
 sampling windows used for steady-state measurement are much shorter than
 tREFI; this is documented in DESIGN.md §3.
+
+Performance
+-----------
+
+Two interchangeable engines produce the schedule:
+
+* ``engine="incremental"`` (the default) — the event-driven engine in
+  :mod:`repro.dram.engine`: dependency reference-counting, per-candidate
+  earliest-cycle caching invalidated through state-machine version
+  stamps, and index-linked ready queues. This is the hot path behind
+  every ``UpdatePhaseModel.profile()``.
+* ``engine="reference"`` — the original greedy loop, kept verbatim as
+  the equivalence oracle for tests and ``benchmarks/bench_scheduler.py``.
+
+Both engines produce identical issue cycles and statistics on every
+stream; the contract is enforced by golden and property tests
+(``tests/dram/test_engine_equivalence.py``).
+
+``run`` never mutates the caller's :class:`Command` objects: commands
+are scheduled over fresh copies and the annotated copies are returned
+in the :class:`ScheduleResult`, so re-scheduling the same stream (or
+scheduling it under a different configuration) always starts clean.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Optional, Sequence
+
+from repro.dram.engine import schedule_incremental
 
 from repro.dram.bank import BankState
 from repro.dram.bankgroup import BankGroupState
@@ -115,10 +139,14 @@ class CommandScheduler:
         per_bank_pim: bool = False,
         window: int = 16,
         data_bus_scope: str = "channel",
+        engine: str = "incremental",
     ) -> None:
         """``data_bus_scope`` selects how external bursts share wiring:
         ``"channel"`` (one bus, direct-attach), ``"dimm"`` (one private
-        bus per DIMM buffer device — TensorDIMM), or ``"rank"``."""
+        bus per DIMM buffer device — TensorDIMM), or ``"rank"``.
+        ``engine`` picks the implementation: ``"incremental"`` (fast,
+        default) or ``"reference"`` (the original greedy loop, kept as
+        the equivalence oracle)."""
         if issue_model is None:
             issue_model = IssueModel.direct(geometry.ranks)
         if len(issue_model.port_of_rank) != geometry.ranks:
@@ -132,12 +160,15 @@ class CommandScheduler:
             raise ConfigError(
                 f"unknown data_bus_scope {data_bus_scope!r}"
             )
+        if engine not in ("incremental", "reference"):
+            raise ConfigError(f"unknown engine {engine!r}")
         self.timing = timing
         self.geometry = geometry
         self.issue_model = issue_model
         self.per_bank_pim = per_bank_pim
         self.window = window
         self.data_bus_scope = data_bus_scope
+        self.engine = engine
 
     def _bus_of_rank(self, rank: int) -> int:
         if self.data_bus_scope == "channel":
@@ -147,21 +178,73 @@ class CommandScheduler:
         return rank
 
     # ------------------------------------------------------------------
-    def run(self, commands: Sequence[Command]) -> ScheduleResult:
+    def run(
+        self,
+        commands: Sequence[Command],
+        dependents: Optional[Sequence[Sequence[int]]] = None,
+    ) -> ScheduleResult:
         """Schedule ``commands`` and return the annotated result.
 
         Dependencies must point backwards (``dep < index``); forward or
-        self references raise :class:`SimulationError`.
+        self references raise :class:`SimulationError`. The caller's
+        command objects are never mutated: scheduling happens over
+        fresh copies, which the result carries.
+
+        ``dependents`` optionally supplies the precomputed
+        dependent-command adjacency (see
+        :func:`repro.dram.engine.build_dependents`); kernel generators
+        cache it so repeated scheduling skips the rebuild.
         """
-        timing = self.timing
         geom = self.geometry
-        commands = list(commands)
         for i, cmd in enumerate(commands):
             for d in cmd.deps:
                 if d >= i or d < 0:
                     raise SimulationError(
                         f"command {i} has illegal dependency {d}"
                     )
+        for i, cmd in enumerate(commands):
+            if not 0 <= cmd.rank < geom.ranks:
+                raise SimulationError(f"command {i} rank out of range")
+        copies = [_fresh_copy(cmd) for cmd in commands]
+        if self.engine == "reference":
+            stats = self._run_reference(copies)
+        else:
+            stats = self._run_incremental(copies, dependents)
+        return ScheduleResult(
+            commands=copies,
+            stats=stats,
+            timing=self.timing,
+            geometry=geom,
+            issue_model=self.issue_model,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_incremental(
+        self,
+        commands: list[Command],
+        dependents: Optional[Sequence[Sequence[int]]],
+    ) -> TraceStats:
+        """The event-driven engine (see :mod:`repro.dram.engine`)."""
+        geom = self.geometry
+        bus_ids = tuple(
+            self._bus_of_rank(r) for r in range(geom.ranks)
+        )
+        return schedule_incremental(
+            self.timing,
+            geom,
+            self.issue_model,
+            self.per_bank_pim,
+            self.window,
+            bus_ids,
+            commands,
+            dependents,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_reference(self, commands: list[Command]) -> TraceStats:
+        """The original greedy loop, kept as the equivalence oracle."""
+        timing = self.timing
+        geom = self.geometry
 
         # State machines.
         banks = [
@@ -188,8 +271,6 @@ class CommandScheduler:
         n_ports = self.issue_model.n_ports
         queues: list[list[int]] = [[] for _ in range(n_ports)]
         for i, cmd in enumerate(commands):
-            if not 0 <= cmd.rank < geom.ranks:
-                raise SimulationError(f"command {i} rank out of range")
             queues[self.issue_model.port_of_rank[cmd.rank]].append(i)
 
         completion = [0] * len(commands)
@@ -267,10 +348,29 @@ class CommandScheduler:
             remaining -= 1
 
         stats.total_cycles = max(completion, default=0)
-        return ScheduleResult(
-            commands=commands,
-            stats=stats,
-            timing=timing,
-            geometry=geom,
-            issue_model=self.issue_model,
-        )
+        return stats
+
+
+def _fresh_copy(cmd: Command) -> Command:
+    """A clean, unissued copy of ``cmd`` (deps tuples are shared).
+
+    Field-by-field into a bare slotted instance: meaningfully faster
+    than ``copy.copy``/``dataclasses.replace`` at stream scale, and
+    guarded by a test that diffs the field list against the dataclass.
+    """
+    out = Command.__new__(Command)
+    out.kind = cmd.kind
+    out.rank = cmd.rank
+    out.bankgroup = cmd.bankgroup
+    out.bank = cmd.bank
+    out.row = cmd.row
+    out.col = cmd.col
+    out.scale_id = cmd.scale_id
+    out.dst_reg = cmd.dst_reg
+    out.src_reg = cmd.src_reg
+    out.position = cmd.position
+    out.deps = cmd.deps
+    out.tag = cmd.tag
+    out.scaler = cmd.scaler
+    out.issue_cycle = -1
+    return out

@@ -1,17 +1,48 @@
 """Independent timing-rule checker for scheduled command traces.
 
-This module deliberately re-implements the JEDEC rules from scratch as
-pairwise checks over a finished trace, sharing no logic with the
-scheduler's state machines. The test suite runs every scheduled trace
-through :func:`validate_trace`; a disagreement between the two
-implementations surfaces as a :class:`~repro.errors.TimingViolation`.
+This module deliberately re-implements the JEDEC rules from scratch,
+sharing no logic with the scheduler's state machines. The test suite
+runs every scheduled trace through :func:`validate_trace`; a
+disagreement between the two implementations surfaces as a
+:class:`~repro.errors.TimingViolation`.
+
+Performance
+-----------
+
+Two checking modes cover the same rules:
+
+* the default is a **single sort-and-sweep pass**: the trace is sorted
+  once by issue cycle and every rule family (command-bus slots, bank
+  row-state, bank-group tCCD_L/tWTR_L/tPIM, rank tRRD/tFAW/tCCD_S/
+  tWTR_S) advances its running state per command — linear in trace
+  length after the sort. Data-bus occupancy is a second
+  sort-and-sweep over the external bursts of each bus scope.
+* ``thorough=True`` retains the original family-by-family checkers,
+  each walking the full trace with its own state reconstruction. The
+  test suite runs both modes and asserts they accept the same traces
+  and reject the same seeded violations.
+
+Production sweeps that trust the (property-tested) scheduler can skip
+validation entirely via ``SimJobSpec(validate=False)`` /
+``--no-validate``; see :mod:`repro.service`.
 """
 
 from __future__ import annotations
 
+import operator
 from typing import Sequence
 
-from repro.dram.commands import Command, CommandType, command_latency
+from repro.dram.commands import (
+    COLUMN_COMMANDS,
+    Command,
+    CommandType,
+    EXTERNAL_COLUMN_COMMANDS,
+    INTERNAL_COLUMN_COMMANDS,
+    PIM_ALU_COMMANDS,
+    READ_COMMANDS,
+    WRITE_COMMANDS,
+    command_latency,
+)
 from repro.dram.geometry import DeviceGeometry
 from repro.dram.timing import TimingParams
 from repro.errors import TimingViolation
@@ -41,11 +72,25 @@ def validate_trace(
     port_of_rank: Sequence[int],
     per_bank_pim: bool = False,
     data_bus_scope: str = "channel",
+    thorough: bool = False,
 ) -> None:
     """Raise :class:`TimingViolation` on the first rule breach.
 
-    ``commands`` must carry issue cycles (``issue_cycle >= 0``).
+    ``commands`` must carry issue cycles (``issue_cycle >= 0``). The
+    default mode is the linear fused sweep; ``thorough=True`` runs the
+    original family-by-family checkers instead (same rules, kept as a
+    second, independent formulation for the test suite).
     """
+    if data_bus_scope not in ("channel", "dimm", "rank"):
+        raise TimingViolation(
+            "config", 0, f"unknown data_bus_scope {data_bus_scope!r}"
+        )
+    if not thorough:
+        _validate_sweep(
+            commands, timing, geometry, port_of_rank,
+            per_bank_pim, data_bus_scope,
+        )
+        return
     trace = sorted(
         (c for c in commands),
         key=lambda c: (c.issue_cycle, id(c)),
@@ -71,29 +116,259 @@ def validate_trace(
                 if geometry.dimm_of_rank(c.rank) == dimm
             ]
             _check_data_bus(subset, timing)
-    elif data_bus_scope == "rank":
+    else:  # rank
         for rank in range(geometry.ranks):
             _check_data_bus([c for c in trace if c.rank == rank], timing)
-    else:
+
+
+# ----------------------------------------------------------------------
+# Fused single-pass checker (the default mode)
+# ----------------------------------------------------------------------
+def _validate_sweep(
+    commands: Sequence[Command],
+    timing: TimingParams,
+    geometry: DeviceGeometry,
+    port_of_rank: Sequence[int],
+    per_bank_pim: bool,
+    data_bus_scope: str,
+) -> None:
+    """All rule families in one pass over the cycle-sorted trace.
+
+    State per family is carried in dictionaries keyed exactly like the
+    thorough checkers'; every command advances each family it belongs
+    to, so the cost is one dict update per (command, family) instead of
+    one full trace walk per family.
+    """
+    trace = sorted(commands, key=operator.attrgetter("issue_cycle"))
+    if trace and trace[0].issue_cycle < 0:
         raise TimingViolation(
-            "config", 0, f"unknown data_bus_scope {data_bus_scope!r}"
+            "unissued", 0, "command without an issue cycle in trace"
         )
+    _check_dependencies(commands, timing)
+
+    t_ = timing
+    tRP, tRAS, tRTP, tWR, tRCD = t_.tRP, t_.tRAS, t_.tRTP, t_.tWR, t_.tRCD
+    tCCD_L, tCCD_S, tPIM = t_.tCCD_L, t_.tCCD_S, t_.tPIM
+    tWTR_L, tWTR_S = t_.tWTR_L, t_.tWTR_S
+    tRRD_L, tRRD_S, tFAW = t_.tRRD_L, t_.tRRD_S, t_.tFAW
+    tCL, tCWL, tBURST = t_.tCL, t_.tCWL, t_.tBURST
+
+    # Per-kind classification, resolved once.
+    ACT, PRE, RD, WR = (
+        CommandType.ACT, CommandType.PRE, CommandType.RD, CommandType.WR
+    )
+    kind_flags = {
+        k: (
+            k in COLUMN_COMMANDS,
+            k in INTERNAL_COLUMN_COMMANDS,
+            k in EXTERNAL_COLUMN_COMMANDS,
+            k in PIM_ALU_COMMANDS,
+            k in READ_COMMANDS,
+            k in WRITE_COMMANDS,
+        )
+        for k in CommandType
+    }
+
+    port_last: dict[int, int] = {}  # port -> last issue cycle
+    bank_state: dict[tuple, list] = {}  # [row, act, pre, rd, wr_end]
+    col_last: dict[tuple, int] = {}
+    alu_last: dict[tuple, int] = {}
+    g_wtr: dict[tuple, int] = {}
+    acts: dict[int, list] = {}
+    ext_last: dict[int, int] = {}
+    r_wtr: dict[int, int] = {}
+    bursts: dict[int, list] = {}  # bus id -> [(start, end, kind, rank)]
+    if data_bus_scope == "channel":
+        bus_of_rank = [0] * geometry.ranks
+    elif data_bus_scope == "dimm":
+        bus_of_rank = [
+            geometry.dimm_of_rank(r) for r in range(geometry.ranks)
+        ]
+    else:  # rank
+        bus_of_rank = list(range(geometry.ranks))
+
+    for cmd in trace:
+        t = cmd.issue_cycle
+        kind = cmd.kind
+        is_col, is_int, is_ext, is_alu, is_rd, is_wr = kind_flags[kind]
+        rank = cmd.rank
+
+        # Command-bus slots (the trace is cycle-sorted, so a reused
+        # slot shows up as two consecutive equal cycles per port).
+        port = port_of_rank[rank]
+        if port_last.get(port) == t:
+            raise TimingViolation(
+                "command-bus",
+                t,
+                f"port {port} issued two commands in one cycle",
+            )
+        port_last[port] = t
+
+        gkey = (rank, cmd.bankgroup)
+
+        # Bank row-state rules.
+        if kind is ACT or kind is PRE or is_col:
+            key = (rank, cmd.bankgroup, cmd.bank)
+            s = bank_state.get(key)
+            if s is None:
+                s = bank_state[key] = [None, None, None, None, None]
+            if kind is ACT:
+                if s[0] is not None:
+                    raise TimingViolation(
+                        "ACT-open", t, f"bank {key} already open"
+                    )
+                if s[2] is not None and t < s[2] + tRP:
+                    raise TimingViolation("tRP", t, f"bank {key}")
+                s[0], s[1] = cmd.row, t
+            elif kind is PRE:
+                if s[0] is None:
+                    raise TimingViolation("PRE-closed", t, f"bank {key}")
+                if t < s[1] + tRAS:
+                    raise TimingViolation("tRAS", t, f"bank {key}")
+                if s[3] is not None and t < s[3] + tRTP:
+                    raise TimingViolation("tRTP", t, f"bank {key}")
+                if s[4] is not None and t < s[4] + tWR:
+                    raise TimingViolation("tWR", t, f"bank {key}")
+                s[0], s[2] = None, t
+            else:  # column access
+                if s[0] != cmd.row:
+                    raise TimingViolation(
+                        "row-match",
+                        t,
+                        f"bank {key}: access to row {cmd.row}, "
+                        f"open {s[0]}",
+                    )
+                if t < s[1] + tRCD:
+                    raise TimingViolation("tRCD", t, f"bank {key}")
+                if is_rd:
+                    s[3] = t if s[3] is None else max(s[3], t)
+                if is_wr:
+                    end = _write_data_end(cmd, timing)
+                    s[4] = end if s[4] is None else max(s[4], end)
+
+        # Bank-group rules (tCCD_L, tWTR_L, tPIM).
+        if is_col:
+            ckey = (
+                (rank, cmd.bankgroup, cmd.bank, "pb")
+                if is_int and per_bank_pim
+                else gkey
+            )
+            prev = col_last.get(ckey)
+            if prev is not None and t < prev + tCCD_L:
+                raise TimingViolation(
+                    "tCCD_L", t, f"bank group {ckey}, prev at {prev}"
+                )
+            col_last[ckey] = t
+            if is_rd:
+                ready = g_wtr.get(gkey)
+                if ready is not None and t < ready:
+                    raise TimingViolation(
+                        "tWTR_L", t, f"bank group {gkey}, ready at {ready}"
+                    )
+            if is_wr:
+                end = _write_data_end(cmd, timing) + tWTR_L
+                prev_end = g_wtr.get(gkey, 0)
+                if end > prev_end:
+                    g_wtr[gkey] = end
+        elif is_alu:
+            akey = (
+                (rank, cmd.bankgroup, cmd.bank)
+                if per_bank_pim
+                else gkey
+            )
+            prev = alu_last.get(akey)
+            if prev is not None and t < prev + tPIM:
+                raise TimingViolation(
+                    "tPIM", t, f"PIM unit {akey}, prev at {prev}"
+                )
+            alu_last[akey] = t
+
+        # Rank rules (tRRD, tFAW, tCCD_S, tWTR_S).
+        if kind is ACT:
+            history = acts.get(rank)
+            if history is None:
+                history = acts[rank] = []
+            if history:
+                prev_t, prev_bg = history[-1]
+                spacing = (
+                    tRRD_L if prev_bg == cmd.bankgroup else tRRD_S
+                )
+                if t < prev_t + spacing:
+                    raise TimingViolation("tRRD", t, f"rank {rank}")
+            if len(history) >= 4 and t < history[-4][0] + tFAW:
+                raise TimingViolation("tFAW", t, f"rank {rank}")
+            history.append((t, cmd.bankgroup))
+        elif is_ext:
+            prev = ext_last.get(rank)
+            if prev is not None and t < prev + tCCD_S:
+                raise TimingViolation("tCCD_S", t, f"rank {rank}")
+            ext_last[rank] = t
+            if is_rd:
+                ready = r_wtr.get(rank)
+                if ready is not None and t < ready:
+                    raise TimingViolation("tWTR_S", t, f"rank {rank}")
+            if kind is WR:
+                end = t + tCWL + tBURST + tWTR_S
+                prev_end = r_wtr.get(rank, 0)
+                if end > prev_end:
+                    r_wtr[rank] = end
+            # Data-bus bursts, grouped by scope for the second sweep.
+            start = t + (tCL if kind is RD else tCWL)
+            bus = bus_of_rank[rank]
+            lst = bursts.get(bus)
+            if lst is None:
+                lst = bursts[bus] = []
+            lst.append((start, start + tBURST, kind, rank))
+
+    # Data-bus occupancy: sort-and-sweep per bus.
+    rank_switch = timing.rank_switch_penalty
+    for lst in bursts.values():
+        lst.sort(key=_burst_start)
+        last_end = None
+        last_kind = None
+        last_rank = None
+        for start, end, kind, rank in lst:
+            if last_end is not None:
+                gap = 0
+                if kind is not last_kind:
+                    gap = 2
+                if rank != last_rank and rank_switch > gap:
+                    gap = rank_switch
+                if start < last_end + gap:
+                    raise TimingViolation(
+                        "data-bus",
+                        start,
+                        f"burst at {start} overlaps previous ending "
+                        f"{last_end} (required gap {gap})",
+                    )
+            last_end, last_kind, last_rank = end, kind, rank
+
+
+def _burst_start(burst: tuple) -> int:
+    return burst[0]
 
 
 # ----------------------------------------------------------------------
 def _check_dependencies(
     commands: Sequence[Command], timing: TimingParams
 ) -> None:
+    # One latency resolution per kind, one completion per command —
+    # the dep sweep itself is then pure integer compares.
+    latency = {
+        k: command_latency(k, timing) for k in CommandType
+    }
+    done = [
+        c.issue_cycle + latency[c.kind] for c in commands
+    ]
     for i, cmd in enumerate(commands):
+        t = cmd.issue_cycle
         for d in cmd.deps:
-            dep = commands[d]
-            done = dep.issue_cycle + command_latency(dep.kind, timing)
-            if cmd.issue_cycle < done:
+            if t < done[d]:
                 raise TimingViolation(
                     "dependency",
-                    cmd.issue_cycle,
-                    f"command {i} issued before dependency {d} completed "
-                    f"at {done}",
+                    t,
+                    f"command {i} issued before dependency {d} "
+                    f"completed at {done[d]}",
                 )
 
 

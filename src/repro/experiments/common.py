@@ -62,6 +62,10 @@ class ExperimentContext:
         default_factory=lambda: dict(DEFAULT_OPTIMIZER_PARAMS)
     )
     jobs: int = 1  # worker processes for service-routed simulations
+    #: Run the independent trace validator on every profiled schedule
+    #: (``--no-validate`` on the runner CLI turns it off for faster
+    #: sweeps; the scheduler stays property-tested either way).
+    validate: bool = True
     cache: ResultCache = field(default_factory=ResultCache)
     _update_models: dict = field(default_factory=dict)
 
@@ -86,6 +90,7 @@ class ExperimentContext:
                 timing=timing,
                 geometry=self.geometry,
                 columns_per_stripe=self.columns_per_stripe,
+                validate=self.validate,
             )
             self._update_models[key] = model
         return model
@@ -155,6 +160,7 @@ class ExperimentContext:
             geometry=_overrides(self.geometry, DEFAULT_GEOMETRY),
             npu=_overrides(npu, DEFAULT_NPU),
             columns_per_stripe=self.columns_per_stripe,
+            validate=self.validate,
             **kwargs,
         )
 

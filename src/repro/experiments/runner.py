@@ -6,11 +6,18 @@ Usage::
     python -m repro.experiments.runner fig9 fig11     # a subset
     python -m repro.experiments.runner --jobs 4 fig9  # 4 workers
     python -m repro.experiments.runner --cache-dir .repro-cache
+    python -m repro.experiments.runner --no-validate fig9
 
 Simulations route through :mod:`repro.service`, so ``--jobs N`` fans
 cache misses across worker processes and ``--cache-dir`` persists
 results between invocations. Figure output (stdout) is byte-identical
 regardless of worker count; progress/timing lines go to stderr.
+
+``--no-validate`` skips the independent trace checker on every
+profiled schedule — faster sweeps at the cost of the redundant
+cross-check (the scheduler itself stays property-tested against its
+reference implementation). Figure output is identical either way;
+validated and unvalidated runs use separate cache entries.
 """
 
 from __future__ import annotations
@@ -55,7 +62,7 @@ EXPERIMENTS = {
 
 USAGE = (
     "usage: python -m repro.experiments.runner "
-    "[--jobs N] [--cache-dir DIR] [figure ...]"
+    "[--jobs N] [--cache-dir DIR] [--no-validate] [figure ...]"
 )
 
 
@@ -64,16 +71,21 @@ class _HelpRequested(ValueError):
 
 
 def parse_args(argv: list[str]):
-    """Split argv into (figure names, jobs, cache_dir) or raise ValueError."""
+    """Split argv into (figure names, jobs, cache_dir, validate) or
+    raise ValueError."""
     names: list[str] = []
     jobs = 1
     cache_dir = None
+    validate = True
     i = 0
     while i < len(argv):
         arg = argv[i]
         if arg in ("-h", "--help"):
             raise _HelpRequested(USAGE)
-        if arg.startswith("--jobs"):
+        if arg == "--no-validate":
+            validate = False
+            i += 1
+        elif arg.startswith("--jobs"):
             value, i = _flag_value(argv, i, "--jobs")
             try:
                 jobs = int(value)
@@ -88,7 +100,7 @@ def parse_args(argv: list[str]):
         else:
             names.append(arg)
             i += 1
-    return names, jobs, cache_dir
+    return names, jobs, cache_dir, validate
 
 
 def _flag_value(argv: list[str], i: int, flag: str) -> tuple[str, int]:
@@ -105,7 +117,7 @@ def _flag_value(argv: list[str], i: int, flag: str) -> tuple[str, int]:
 def main(argv: list[str]) -> int:
     """Entry point: run the selected (or all) experiments."""
     try:
-        names, jobs, cache_dir = parse_args(argv)
+        names, jobs, cache_dir, validate = parse_args(argv)
     except _HelpRequested as exc:
         print(exc)
         return 0
@@ -120,7 +132,9 @@ def main(argv: list[str]) -> int:
               f"{list(EXPERIMENTS)}")
         return 2
     ctx = ExperimentContext(
-        jobs=jobs, cache=ResultCache(directory=cache_dir)
+        jobs=jobs,
+        validate=validate,
+        cache=ResultCache(directory=cache_dir),
     )
     for name in names:
         start = time.time()

@@ -24,8 +24,10 @@ overlaps the bank accesses.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.dram.commands import Command, CommandType
+from repro.dram.engine import build_dependents
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
 from repro.errors import CompileError
 from repro.optim.base import Lincomb, Mul, RsqrtMul, UpdateRecipe
@@ -53,6 +55,12 @@ class AoSKernel:
     @property
     def total_commands(self) -> int:
         return len(self.commands)
+
+    @cached_property
+    def dependents(self) -> list[list[int]]:
+        """Dependent-command adjacency, computed once per kernel (fed
+        to :meth:`CommandScheduler.run` by the update model)."""
+        return build_dependents(self.commands)
 
 
 def structure_bytes(optimizer, precision: PrecisionConfig) -> int:

@@ -25,9 +25,11 @@ two must agree, which the test suite verifies.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional
 
 from repro.dram.commands import Command, CommandType, QUANT_REG
+from repro.dram.engine import build_dependents
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
 from repro.errors import CompileError
 from repro.kernels.layout import UpdateLayout, ColumnCoords
@@ -93,6 +95,12 @@ class CompiledKernel:
     @property
     def total_commands(self) -> int:
         return len(self.commands)
+
+    @cached_property
+    def dependents(self) -> list[list[int]]:
+        """Dependent-command adjacency, computed once per kernel (fed
+        to :meth:`CommandScheduler.run` by the update model)."""
+        return build_dependents(self.commands)
 
     def commands_per_hp_column(self) -> float:
         """Average commands per high-precision column."""

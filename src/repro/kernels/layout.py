@@ -80,6 +80,7 @@ class UpdateLayout:
         self._placements = self._place(
             liveness_groups, packed_ratios, n_hp_columns
         )
+        self._coord_cache: dict[tuple, ColumnCoords] = {}
 
     # ------------------------------------------------------------------
     def _place(
@@ -159,12 +160,31 @@ class UpdateLayout:
         return tuple(self._placements)
 
     def hp_coords(self, name: str, col_index: int) -> ColumnCoords:
-        """Coordinates of high-precision column ``col_index``."""
-        return self._coords(self.placement(name), col_index, packed=False)
+        """Coordinates of high-precision column ``col_index``.
+
+        Memoized: kernels revisit the same (array, column) across
+        passes/phases, and ``ColumnCoords`` is frozen so instances are
+        safely shared.
+        """
+        key = (name, col_index, False)
+        out = self._coord_cache.get(key)
+        if out is None:
+            out = self._coords(
+                self.placement(name), col_index, packed=False
+            )
+            self._coord_cache[key] = out
+        return out
 
     def lp_coords(self, name: str, lp_col_index: int) -> ColumnCoords:
         """Coordinates of low-precision (packed) column ``lp_col_index``."""
-        return self._coords(self.placement(name), lp_col_index, packed=True)
+        key = (name, lp_col_index, True)
+        out = self._coord_cache.get(key)
+        if out is None:
+            out = self._coords(
+                self.placement(name), lp_col_index, packed=True
+            )
+            self._coord_cache[key] = out
+        return out
 
     def _coords(
         self, placement: ArrayPlacement, index: int, packed: bool

@@ -17,8 +17,10 @@ exactly how the comparator differs architecturally.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.dram.commands import Command, CommandType
+from repro.dram.engine import build_dependents
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
 from repro.errors import CompileError
 from repro.kernels.layout import UpdateLayout, ColumnCoords
@@ -40,6 +42,15 @@ class BaselineStream:
     @property
     def total_commands(self) -> int:
         return len(self.commands)
+
+    @cached_property
+    def dependents(self) -> list[list[int]]:
+        """Dependent-command adjacency, computed once per stream.
+
+        Passed to :meth:`CommandScheduler.run` so re-scheduling the
+        same stream (different windows, issue models, engines) skips
+        the O(commands + deps) rebuild."""
+        return build_dependents(self.commands)
 
     def offchip_bytes(self, geometry: DeviceGeometry) -> int:
         """Bytes this update moves over the off-chip bus."""

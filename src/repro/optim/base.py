@@ -267,6 +267,19 @@ class Optimizer(abc.ABC):
         """Coefficient -> scaler value map the kernel must program."""
         return approximate_coefficients(self.recipe())
 
+    def cache_key(self) -> tuple:
+        """Hashable identity for profile memoization.
+
+        Two optimizers with the same key compile to the same command
+        streams: the recipe (frozen dataclasses, including every
+        hyperparameter-derived coefficient) fully determines the PIM
+        kernels, and the state-array names determine the baseline
+        streams. Keying on this instead of ``name`` lets one shared
+        :class:`~repro.system.update_model.UpdatePhaseModel` serve
+        jobs whose optimizers differ in hyperparameters.
+        """
+        return (self.name, self.recipe(), tuple(self.state_arrays()))
+
     def describe(self) -> str:
         """Human-readable one-line summary."""
         passes = self.recipe().passes

@@ -11,11 +11,18 @@ Job files name either an explicit job list or a sweep::
 Results are emitted as JSON (stdout or ``--output``)::
 
     python -m repro.service jobs.json --jobs 4 --cache-dir .repro-cache
+
+``--no-validate`` forces ``validate: false`` onto every job: the
+independent trace checker is skipped, trading the redundant cross-check
+of each scheduled trace for sweep throughput (the scheduler itself is
+property-tested against a reference implementation). Validated and
+unvalidated runs hash — and therefore cache — separately.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -63,6 +70,14 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit the full per-design result payloads",
     )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help=(
+            "skip trace validation on every job (faster sweeps; the "
+            "scheduler stays property-tested against its reference)"
+        ),
+    )
     return parser
 
 
@@ -101,6 +116,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (OSError, ValueError, ConfigError) as exc:
         print(f"bad job file: {exc}", file=sys.stderr)
         return 2
+    if args.no_validate:
+        specs = [
+            dataclasses.replace(s, validate=False) for s in specs
+        ]
 
     results = submit_many(specs, jobs=args.jobs, cache=cache)
     if axes:

@@ -28,9 +28,12 @@ from repro.system.training import NetworkResult, TrainingSimulator
 from repro.system.update_model import UpdatePhaseModel
 
 #: Process-local update-model cache (cycle-sim profiles are expensive).
-#: UpdatePhaseModel caches profiles internally by optimizer *name* only,
-#: so the key must carry the full optimizer identity (hyperparameters
-#: change the compiled command stream, e.g. weight_decay=0 drops a term).
+#: Keyed by hardware substrate only — timing grade, geometry, stripe
+#: width, validation mode. The model itself memoizes profiles per
+#: (design, optimizer identity, precision) — the identity covers
+#: hyperparameters (see ``Optimizer.cache_key``), so one model safely
+#: serves every job on the substrate: a worker computes each profile
+#: once across all its jobs instead of once per job.
 _MODELS: dict[tuple, UpdatePhaseModel] = {}
 
 
@@ -40,9 +43,7 @@ def _substrate_key(spec: SimJobSpec) -> tuple:
         spec.timing,
         spec.columns_per_stripe,
         tuple(sorted(spec.geometry.items())),
-        spec.optimizer,
-        tuple(sorted(spec.optimizer_params.items())),
-        spec.precision,
+        spec.validate,
     )
 
 
@@ -56,6 +57,7 @@ def _shared_update_model(
             timing=job.timing,
             geometry=job.geometry,
             columns_per_stripe=job.columns_per_stripe,
+            validate=job.validate,
         )
         _MODELS[key] = model
     return model
@@ -140,9 +142,9 @@ def run_specs(
     process, which also warms this process's model cache.
 
     Parallel dispatch sorts jobs by substrate (timing grade, geometry,
-    optimizer, precision) and hands each worker a contiguous chunk, so
-    jobs sharing a substrate profile it once per worker instead of once
-    per job; caller order is restored before returning.
+    stripe width, validation mode) and hands each worker a contiguous
+    chunk, so jobs sharing a substrate profile it once per worker
+    instead of once per job; caller order is restored before returning.
     """
     payloads = [s.to_dict() for s in specs]
     if jobs > 1 and len(specs) > 1:

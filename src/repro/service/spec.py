@@ -95,6 +95,7 @@ class ResolvedJob:
     npu: NPUConfig
     designs: tuple[DesignPoint, ...]
     columns_per_stripe: int
+    validate: bool
 
 
 @dataclass(frozen=True, eq=False)
@@ -117,6 +118,14 @@ class SimJobSpec:
     npu: Mapping[str, float] = field(default_factory=dict)
     designs: tuple[str, ...] = tuple(d.value for d in DESIGN_ORDER)
     columns_per_stripe: int = 32
+    #: Run the independent trace validator on every profiled schedule.
+    #: Validation roughly re-checks what the property-tested scheduler
+    #: already guarantees; production sweeps may turn it off for speed
+    #: (the ``--no-validate`` CLI flag), at the cost of losing the
+    #: redundant cross-check on that run's traces. The flag is part of
+    #: the job's content hash, so validated and unvalidated runs cache
+    #: separately.
+    validate: bool = True
 
     def __post_init__(self) -> None:
         if self.network not in NETWORK_BUILDERS:
@@ -146,6 +155,10 @@ class SimJobSpec:
             raise ConfigError(
                 "columns_per_stripe must be positive, got "
                 f"{self.columns_per_stripe}"
+            )
+        if not isinstance(self.validate, bool):
+            raise ConfigError(
+                f"validate must be a boolean, got {self.validate!r}"
             )
         object.__setattr__(
             self,
@@ -196,6 +209,7 @@ class SimJobSpec:
             "npu": dict(self.npu),
             "designs": list(self.designs),
             "columns_per_stripe": self.columns_per_stripe,
+            "validate": self.validate,
         }
 
     @classmethod
@@ -254,4 +268,5 @@ class SimJobSpec:
             npu=dataclasses.replace(DEFAULT_NPU, **self.npu),
             designs=tuple(DesignPoint(v) for v in self.designs),
             columns_per_stripe=self.columns_per_stripe,
+            validate=self.validate,
         )

@@ -10,6 +10,20 @@ parameter count — the hybrid methodology of DESIGN.md §3.
 Refresh is folded in analytically: every profile's time is derated by
 ``tREFI / (tREFI - tRFC)`` (the share of time the rank is unavailable),
 because sample windows are far shorter than a refresh interval.
+
+Performance
+-----------
+
+``profile()`` is the hot path of every figure, sweep and service job.
+It schedules through the incremental event-driven engine by default
+(``engine="reference"`` selects the original greedy loop, kept as the
+equivalence oracle), hands the scheduler the kernel's precomputed
+dependent-command lists, validates with the linear fused checker
+(``thorough_validate=True`` for the family-by-family reference,
+``validate=False`` to skip checking entirely), and memoizes finished
+profiles by (design, full optimizer identity, precision) so one model
+instance serves arbitrarily many jobs. ``benchmarks/bench_scheduler.py``
+tracks the seed-vs-current timings in ``BENCH_scheduler.json``.
 """
 
 from __future__ import annotations
@@ -78,6 +92,24 @@ class UpdateProfile:
         return cls(**fields)
 
 
+def _optimizer_key(optimizer) -> tuple:
+    """Full stream-shaping identity of an optimizer-like object.
+
+    Duck-typed pseudo-optimizers (e.g. the distributed gradient
+    accumulator) provide ``name``/``recipe``/``state_arrays`` without
+    subclassing :class:`~repro.optim.base.Optimizer`, so fall back to
+    assembling the same tuple ``Optimizer.cache_key`` returns.
+    """
+    cache_key = getattr(optimizer, "cache_key", None)
+    if cache_key is not None:
+        return cache_key()
+    return (
+        optimizer.name,
+        optimizer.recipe(),
+        tuple(optimizer.state_arrays()),
+    )
+
+
 class UpdatePhaseModel:
     """Profiles and caches update-phase behaviour per design point."""
 
@@ -91,7 +123,16 @@ class UpdatePhaseModel:
         validate: bool = True,
         fuse_quantize: bool = False,
         fused_baseline: bool = False,
+        engine: str = "incremental",
+        thorough_validate: bool = False,
     ) -> None:
+        """``validate`` runs the independent trace checker on every
+        profiled schedule (production sweeps may disable it — see
+        ``SimJobSpec(validate=False)``); ``thorough_validate`` selects
+        the family-by-family checker instead of the fused sweep.
+        ``engine`` selects the scheduler implementation
+        (``"incremental"`` or the ``"reference"`` oracle) — see
+        :mod:`repro.dram.scheduler`."""
         self.timing = timing
         self.geometry = geometry
         self.columns_per_stripe = columns_per_stripe
@@ -100,6 +141,8 @@ class UpdatePhaseModel:
         self.validate = validate
         self.fuse_quantize = fuse_quantize
         self.fused_baseline = fused_baseline
+        self.engine = engine
+        self.thorough_validate = thorough_validate
         self._cache: dict[tuple, UpdateProfile] = {}
 
     # ------------------------------------------------------------------
@@ -115,14 +158,21 @@ class UpdatePhaseModel:
         optimizer,
         precision: PrecisionConfig = PRECISION_8_32,
     ) -> UpdateProfile:
-        """Measure (or fetch the cached) profile for one design point."""
-        key = (design, optimizer.name, precision.name)
+        """Measure (or fetch the cached) profile for one design point.
+
+        Profiles are memoized on the full optimizer identity
+        (:meth:`~repro.optim.base.Optimizer.cache_key`), not just its
+        name: hyperparameters change the compiled command stream
+        (e.g. ``weight_decay=0`` drops a scaled-load term), so one
+        shared model can safely serve jobs with different optimizers.
+        """
+        key = (design, _optimizer_key(optimizer), precision.name)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
         config = DESIGNS[design]
         built = self._build_stream(config, optimizer, precision)
-        commands, n_params, offchip_accesses = built
+        commands, n_params, offchip_accesses, dependents = built
         issue_model = config.issue_model(self.geometry)
         scheduler = CommandScheduler(
             self.timing,
@@ -131,8 +181,9 @@ class UpdatePhaseModel:
             per_bank_pim=config.per_bank_pim,
             window=self.window,
             data_bus_scope=config.data_bus_scope,
+            engine=self.engine,
         )
-        result = scheduler.run(commands)
+        result = scheduler.run(commands, dependents=dependents)
         if self.validate:
             validate_trace(
                 result.commands,
@@ -141,6 +192,7 @@ class UpdatePhaseModel:
                 issue_model.port_of_rank,
                 per_bank_pim=config.per_bank_pim,
                 data_bus_scope=config.data_bus_scope,
+                thorough=self.thorough_validate,
             )
         stats = result.stats
         seconds = stats.elapsed_seconds(self.timing) * self.refresh_derate
@@ -186,7 +238,8 @@ class UpdatePhaseModel:
     def _build_stream(
         self, config: DesignConfig, optimizer, precision: PrecisionConfig
     ):
-        """Returns (commands, params represented, off-chip accesses)."""
+        """Returns (commands, params represented, off-chip accesses,
+        dependent-command adjacency)."""
         hp_lanes = self.geometry.column_bytes // precision.hp_bytes
         if config.update_kind in (
             UPDATE_BASELINE_STREAM, UPDATE_NMP_STREAM
@@ -205,7 +258,7 @@ class UpdatePhaseModel:
                 if config.update_uses_offchip_bus
                 else 0
             )
-            return stream.commands, n_params, offchip
+            return stream.commands, n_params, offchip, stream.dependents
         if config.update_kind == UPDATE_PIM_KERNEL:
             kernel = UpdateKernelCompiler(
                 self.geometry, extended_alu=self.extended_alu
@@ -215,7 +268,12 @@ class UpdatePhaseModel:
                 columns_per_stripe=self.columns_per_stripe,
                 fuse_quantize=self.fuse_quantize,
             )
-            return kernel.commands, kernel.n_hp_columns * hp_lanes, 0
+            return (
+                kernel.commands,
+                kernel.n_hp_columns * hp_lanes,
+                0,
+                kernel.dependents,
+            )
         if config.update_kind == UPDATE_AOS_KERNEL:
             kernel = AoSKernelGenerator(
                 self.geometry, per_bank=config.per_bank_pim
@@ -224,5 +282,10 @@ class UpdatePhaseModel:
                 precision,
                 columns_per_unit=self.columns_per_stripe,
             )
-            return kernel.commands, kernel.total_params, 0
+            return (
+                kernel.commands,
+                kernel.total_params,
+                0,
+                kernel.dependents,
+            )
         raise ConfigError(f"unknown update kind {config.update_kind!r}")

@@ -33,13 +33,16 @@ def _legal_pair(row=0):
 
 
 def _check(trace, rule):
-    with pytest.raises(TimingViolation) as exc:
-        validate_trace(trace, T, GEOM, PORTS)
-    assert exc.value.rule == rule
+    """Both checking modes must flag the same seeded violation."""
+    for thorough in (False, True):
+        with pytest.raises(TimingViolation) as exc:
+            validate_trace(trace, T, GEOM, PORTS, thorough=thorough)
+        assert exc.value.rule == rule, f"thorough={thorough}"
 
 
 def test_legal_trace_passes():
     validate_trace(_legal_pair(), T, GEOM, PORTS)
+    validate_trace(_legal_pair(), T, GEOM, PORTS, thorough=True)
 
 
 def test_trcd_violation():
@@ -216,3 +219,76 @@ def test_unissued_command_rejected():
     cmd = Command(CommandType.ACT, row=0)
     with pytest.raises(TimingViolation):
         validate_trace([cmd], T, GEOM, PORTS)
+
+
+class TestModeEquivalence:
+    """Fused sweep and thorough checker agree on real traces."""
+
+    def _scheduled(self, design):
+        from repro.dram.scheduler import CommandScheduler
+        from repro.optim.registry import build_optimizer
+        from repro.optim.precision import PRECISION_8_32
+        from repro.system.design import DESIGNS
+        from repro.system.update_model import UpdatePhaseModel
+
+        model = UpdatePhaseModel(columns_per_stripe=8)
+        optimizer = build_optimizer(
+            "momentum_sgd",
+            {"eta": 0.01, "alpha": 0.9, "weight_decay": 1e-4},
+        )
+        config = DESIGNS[design]
+        commands, _, _, deps = model._build_stream(
+            config, optimizer, PRECISION_8_32
+        )
+        issue_model = config.issue_model(model.geometry)
+        result = CommandScheduler(
+            model.timing, model.geometry, issue_model,
+            per_bank_pim=config.per_bank_pim,
+            data_bus_scope=config.data_bus_scope,
+        ).run(commands, dependents=deps)
+        return config, issue_model, result
+
+    def test_all_design_traces_pass_both_modes(self):
+        from repro.system.design import DesignPoint
+
+        for design in DesignPoint:
+            config, issue_model, result = self._scheduled(design)
+            for thorough in (False, True):
+                validate_trace(
+                    result.commands,
+                    T,
+                    GEOM,
+                    issue_model.port_of_rank,
+                    per_bank_pim=config.per_bank_pim,
+                    data_bus_scope=config.data_bus_scope,
+                    thorough=thorough,
+                )
+
+    def test_corrupted_trace_fails_both_modes(self):
+        from repro.system.design import DesignPoint
+
+        _, issue_model, result = self._scheduled(
+            DesignPoint.GRADPIM_BUFFERED
+        )
+        # Pull one mid-trace command several cycles earlier: some rule
+        # (which one depends on the command) must fire in both modes.
+        victim = result.commands[len(result.commands) // 2]
+        victim.issue_cycle = max(victim.issue_cycle - 3, 0)
+        for thorough in (False, True):
+            with pytest.raises(TimingViolation):
+                validate_trace(
+                    result.commands,
+                    T,
+                    GEOM,
+                    issue_model.port_of_rank,
+                    data_bus_scope="channel",
+                    thorough=thorough,
+                )
+
+    def test_bad_scope_rejected_in_both_modes(self):
+        for thorough in (False, True):
+            with pytest.raises(TimingViolation):
+                validate_trace(
+                    _legal_pair(), T, GEOM, PORTS,
+                    data_bus_scope="hyperbus", thorough=thorough,
+                )

@@ -42,3 +42,17 @@ def test_main_rejects_bad_jobs(capsys):
 def test_main_rejects_unknown_flag(capsys):
     assert main(["--fidelity", "high"]) == 2
     assert "unknown option" in capsys.readouterr().out
+
+
+def test_main_accepts_no_validate(capsys):
+    assert main(["--no-validate", "tables", "fig2"]) == 0
+    assert "Fig. 2" in capsys.readouterr().out
+
+
+def test_parse_args_no_validate():
+    from repro.experiments.runner import parse_args
+
+    assert parse_args(["fig9"]) == (["fig9"], 1, None, True)
+    assert parse_args(["--no-validate", "fig9"]) == (
+        ["fig9"], 1, None, False,
+    )

@@ -132,3 +132,29 @@ class TestSubmitEnvelope:
         api.submit(spec, cache=None)
         api.submit(spec, cache=None)
         assert len(calls) == 2
+
+
+class TestNoValidateFlag:
+    def test_no_validate_overrides_every_job(self, tmp_path, capsys):
+        job_file = tmp_path / "jobs.json"
+        job_file.write_text(json.dumps({"jobs": [CHEAP]}))
+        assert main(
+            [str(job_file), "--summary-only", "--no-validate"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (job,) = payload["jobs"]
+        assert job["spec"]["validate"] is False
+        assert job["status"] == "ok"
+
+    def test_no_validate_caches_separately(self, tmp_path, capsys):
+        job_file = tmp_path / "jobs.json"
+        job_file.write_text(json.dumps({"jobs": [CHEAP]}))
+        cache_dir = tmp_path / "cache"
+        args = [str(job_file), "--summary-only",
+                f"--cache-dir={cache_dir}"]
+        assert main(args) == 0
+        capsys.readouterr()
+        # An unvalidated run of the same jobs is a cache miss.
+        assert main(args + ["--no-validate"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["misses"] == 1

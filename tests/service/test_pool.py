@@ -133,3 +133,70 @@ class TestBatchSemantics:
             fresh[1]["result"]["profiles"]["GradPIM-BD"]
             == a.to_dict()["profiles"]["GradPIM-BD"]
         )
+
+
+class TestSubstrateMemoization:
+    def test_hyperparam_variants_share_one_model(self):
+        # The substrate key is hardware-only; profiles are memoized
+        # inside the model by full optimizer identity, so two jobs
+        # differing only in hyperparameters share one UpdatePhaseModel.
+        pool.clear_model_cache()
+        a = SimJobSpec(
+            network="MLP1",
+            optimizer_params={"eta": 0.01, "alpha": 0.9,
+                              "weight_decay": 1e-4},
+            **CHEAP,
+        )
+        b = SimJobSpec(
+            network="MLP1",
+            optimizer_params={"eta": 0.01, "alpha": 0.9,
+                              "weight_decay": 0.0},
+            **CHEAP,
+        )
+        run_specs([a, b], jobs=1)
+        assert len(pool._MODELS) == 1
+        (model,) = pool._MODELS.values()
+        # Both optimizer identities are separately cached inside it.
+        designs = {key[0] for key in model._cache}
+        identities = {key[1] for key in model._cache}
+        assert len(identities) == 2
+        assert len(designs) == 2  # Baseline + GradPIM-BD
+
+    def test_profiles_computed_once_across_jobs(self, monkeypatch):
+        from repro.dram.scheduler import CommandScheduler
+
+        pool.clear_model_cache()
+        runs = []
+        real = CommandScheduler.run
+
+        def counting(self, commands, dependents=None):
+            runs.append(len(commands))
+            return real(self, commands, dependents)
+
+        monkeypatch.setattr(CommandScheduler, "run", counting)
+        specs = [
+            SimJobSpec(network="MLP1", batch=b, **CHEAP)
+            for b in (16, 32, 64)
+        ]
+        run_specs(specs, jobs=1)
+        # One schedule per design in the set, not per job.
+        assert len(runs) == len(CHEAP["designs"])
+
+    def test_validate_flag_reaches_the_model(self):
+        pool.clear_model_cache()
+        spec = SimJobSpec(network="MLP1", validate=False, **CHEAP)
+        result = pool.execute_spec(spec)
+        assert result is not None
+        (key,) = pool._MODELS
+        assert pool._MODELS[key].validate is False
+        # Validated and unvalidated substrates do not share models.
+        pool.execute_spec(SimJobSpec(network="MLP1", **CHEAP))
+        assert len(pool._MODELS) == 2
+
+    def test_no_validate_matches_validated_results(self):
+        pool.clear_model_cache()
+        on = pool.execute_spec(SimJobSpec(network="MLP1", **CHEAP))
+        off = pool.execute_spec(
+            SimJobSpec(network="MLP1", validate=False, **CHEAP)
+        )
+        assert on.to_dict() == off.to_dict()

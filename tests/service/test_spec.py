@@ -203,3 +203,29 @@ class TestResolve:
         spec = SimJobSpec(network="MLP1")
         assert spec.canonical_json() == spec.canonical_json()
         assert json.loads(spec.canonical_json()) == spec.to_dict()
+
+
+class TestValidateFlag:
+    def test_default_on_and_round_trips(self):
+        spec = SimJobSpec(network="MLP1")
+        assert spec.validate is True
+        assert spec.to_dict()["validate"] is True
+        off = SimJobSpec.from_dict({"network": "MLP1", "validate": False})
+        assert off.validate is False
+        assert SimJobSpec.from_dict(off.to_dict()) == off
+
+    def test_validate_is_part_of_the_content_hash(self):
+        on = SimJobSpec(network="MLP1")
+        off = SimJobSpec(network="MLP1", validate=False)
+        assert on.content_hash() != off.content_hash()
+
+    def test_validate_must_be_boolean(self):
+        with pytest.raises(ConfigError):
+            SimJobSpec(network="MLP1", validate="yes")
+
+    def test_resolve_carries_validate(self):
+        assert SimJobSpec(network="MLP1").resolve().validate is True
+        assert (
+            SimJobSpec(network="MLP1", validate=False).resolve().validate
+            is False
+        )
