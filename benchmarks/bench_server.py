@@ -1,0 +1,231 @@
+"""Server load benchmark -> BENCH_server.json.
+
+Boots the HTTP gateway in-process on an ephemeral port, hammers it from
+T client threads issuing synchronous (``?wait=``) requests over a mixed
+hot/cold spec population — hot requests repeat one spec (exercising the
+result cache and in-flight coalescing), cold requests are all distinct
+(forcing real simulations) — then reports client-observed latency
+percentiles, throughput, and the server's own ``/metrics`` telemetry.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_server.py            # full
+    PYTHONPATH=src python benchmarks/bench_server.py --quick    # CI
+    PYTHONPATH=src python benchmarks/bench_server.py -o out.json
+
+Exit status is non-zero when any request fails, when the server's
+request-latency percentiles come back zero, or when coalescing/caching
+never triggered — the CI smoke job gates on this.
+
+JSON schema (``BENCH_server.json``)::
+
+    {
+      "benchmark": "server",
+      "quick": bool,
+      "threads": int,
+      "requests_total": int,
+      "hot_fraction": float,
+      "duration_seconds": float,
+      "throughput_rps": float,
+      "client_latency": {"all": {...}, "hot": {...}, "cold": {...}},
+      "server": {
+        "request_latency": {endpoint: {p50/p95/p99/count/sum}},
+        "executions_total": int,
+        "coalesced_total": int,
+        "cache_hits_total": int,
+        "queued_total": int,
+        "rejected_total": int
+      },
+      "failures": int
+    }
+
+Each ``client_latency`` entry is a streaming-histogram snapshot:
+``{count, sum, p50, p95, p99}`` in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.server import ServerClient, ServerConfig, running_server
+from repro.server.metrics import StreamingHistogram
+
+#: Hot spec: every thread repeats this one (cache + coalescing path).
+#: batch=7 < the cold range (8 + index), so no cold spec can ever
+#: collide with it and pollute the hot/cold latency split.
+HOT_SPEC = {
+    "network": "MLP1",
+    "batch": 7,
+    "columns_per_stripe": 8,
+    "designs": ["Baseline", "GradPIM-BD"],
+}
+
+#: Every 10-request window issues 7 hot, 3 cold (deterministic).
+HOT_PER_WINDOW = 7
+
+
+def _cold_spec(index: int) -> dict:
+    """A spec unique to ``index`` (forces a real simulation)."""
+    return {
+        "network": "MLP1",
+        "batch": 8 + index,  # unique batch -> unique content hash
+        "columns_per_stripe": 8,
+        "designs": ["Baseline", "GradPIM-BD"],
+    }
+
+
+def run_load(
+    url: str, threads: int, requests_per_thread: int
+) -> tuple[dict[str, StreamingHistogram], int]:
+    """Fire the workload; returns per-temperature histograms, failures."""
+    histograms = {
+        "all": StreamingHistogram(),
+        "hot": StreamingHistogram(),
+        "cold": StreamingHistogram(),
+    }
+    failures = [0] * threads  # one slot per thread: no shared writes
+    barrier = threading.Barrier(threads)
+
+    def worker(thread_index: int) -> None:
+        client = ServerClient(url, timeout=120.0, max_retries=10)
+        barrier.wait()  # synchronized start: real concurrency
+        for i in range(requests_per_thread):
+            hot = (i % 10) < HOT_PER_WINDOW
+            if hot:
+                spec = HOT_SPEC
+            else:
+                spec = _cold_spec(
+                    thread_index * requests_per_thread + i
+                )
+            start = time.perf_counter()
+            try:
+                [envelope] = client.submit(spec, wait=120)
+                ok = envelope["status"] == "done"
+            except Exception:
+                ok = False
+            elapsed = time.perf_counter() - start
+            if not ok:
+                failures[thread_index] += 1
+                continue
+            histograms["all"].record(elapsed)
+            histograms["hot" if hot else "cold"].record(elapsed)
+
+    pool = [
+        threading.Thread(target=worker, args=(t,)) for t in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return histograms, sum(failures)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Load-benchmark the repro HTTP gateway."
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small CI-sized run"
+    )
+    parser.add_argument(
+        "--threads", type=int, default=None, metavar="T",
+        help="client threads (default: 4 quick, 8 full)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None, metavar="R",
+        help="requests per thread (default: 25 quick, 100 full)",
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_server.json", metavar="FILE"
+    )
+    args = parser.parse_args(argv)
+    threads = args.threads or (4 if args.quick else 8)
+    requests_per_thread = args.requests or (25 if args.quick else 100)
+
+    config = ServerConfig(port=0, queue_depth=max(64, threads * 4))
+    with running_server(config) as server:
+        scraper = ServerClient(server.url)
+        print(f"[bench_server] serving on {server.url}", file=sys.stderr)
+        started = time.perf_counter()
+        histograms, failures = run_load(
+            server.url, threads, requests_per_thread
+        )
+        duration = time.perf_counter() - started
+        server_latency = scraper.latency_summary()
+        counters = {
+            name: server.metrics.counter_value(name)
+            for name in (
+                "executions_total",
+                "coalesced_total",
+                "cache_hits_total",
+                "queued_total",
+                "rejected_total",
+            )
+        }
+
+    total = threads * requests_per_thread
+    record = {
+        "benchmark": "server",
+        "quick": bool(args.quick),
+        "threads": threads,
+        "requests_total": total,
+        "hot_fraction": HOT_PER_WINDOW / 10,
+        "duration_seconds": duration,
+        "throughput_rps": (total - failures) / duration,
+        "client_latency": {
+            name: hist.snapshot() for name, hist in histograms.items()
+        },
+        "server": {
+            "request_latency": server_latency,
+            **{k: int(v) for k, v in counters.items()},
+        },
+        "failures": failures,
+    }
+    Path(args.output).write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+
+    all_latency = record["client_latency"]["all"]
+    print(
+        f"[bench_server] {total} requests, {threads} threads: "
+        f"{record['throughput_rps']:.0f} req/s, "
+        f"p50 {all_latency['p50'] * 1e3:.2f} ms, "
+        f"p95 {all_latency['p95'] * 1e3:.2f} ms, "
+        f"p99 {all_latency['p99'] * 1e3:.2f} ms",
+        file=sys.stderr,
+    )
+    print(
+        f"[bench_server] executions {counters['executions_total']:.0f}, "
+        f"coalesced {counters['coalesced_total']:.0f}, "
+        f"cache hits {counters['cache_hits_total']:.0f}, "
+        f"failures {failures}",
+        file=sys.stderr,
+    )
+    print(f"wrote {args.output}", file=sys.stderr)
+
+    problems = []
+    if failures:
+        problems.append(f"{failures} requests failed")
+    post = server_latency.get("POST /v1/jobs", {})
+    if not all(
+        post.get(q, 0.0) > 0.0 for q in ("p50", "p95", "p99")
+    ):
+        problems.append(
+            "server-side POST /v1/jobs latency percentiles are zero"
+        )
+    if counters["cache_hits_total"] + counters["coalesced_total"] <= 0:
+        problems.append("hot traffic never hit the cache or coalesced")
+    if counters["executions_total"] >= total:
+        problems.append("no request sharing at all (every request ran)")
+    for problem in problems:
+        print(f"[bench_server] FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Serve simulations over HTTP and consume them with the client.
+
+Boots the gateway on an ephemeral port, submits a 20-spec campaign
+(plus a burst of duplicate requests to show in-flight coalescing)
+through ``repro.server.client``, then prints the per-endpoint latency
+percentiles the server accumulated in its ``/metrics`` histograms.
+
+Run:  PYTHONPATH=src python examples/server_client.py
+"""
+
+import threading
+
+from repro.server import ServerClient, ServerConfig, running_server
+
+BASE = {
+    "network": "MLP1",
+    "columns_per_stripe": 8,
+    "designs": ["Baseline", "GradPIM-DR", "GradPIM-BD"],
+}
+
+#: 20 distinct jobs: a batch-size sweep at two precision mixes.
+CAMPAIGN = [
+    dict(BASE, batch=batch, precision=precision)
+    for precision in ("8/32", "32/32")
+    for batch in (8, 16, 24, 32, 48, 64, 96, 128, 192, 256)
+]
+
+
+def main() -> None:
+    with running_server(ServerConfig(port=0)) as server:
+        print(f"server listening on {server.url}\n")
+        client = ServerClient(server.url)
+
+        envelopes = client.submit(CAMPAIGN, wait=60)
+        done = [e for e in envelopes if e["status"] == "done"]
+        print(f"batch: {len(done)}/{len(CAMPAIGN)} jobs done")
+        if not done:
+            print(
+                "no jobs finished inside the wait cap — poll the ids "
+                "in the envelopes (client.wait_for) on slow machines"
+            )
+            return
+        best = max(
+            done, key=lambda e: e["speedups"]["GradPIM-BD"]["overall"]
+        )
+        print(
+            "best GradPIM-BD overall speedup: "
+            f"{best['speedups']['GradPIM-BD']['overall']:.2f}x "
+            f"(batch {best['spec']['batch']}, "
+            f"precision {best['spec']['precision']})"
+        )
+
+        # A burst of identical requests: one execution, N-1 coalesced
+        # attachments (or cache hits once the result lands).
+        hot = dict(BASE, batch=512)
+        burst = [
+            threading.Thread(
+                target=lambda: ServerClient(server.url).submit(
+                    hot, wait=60
+                )
+            )
+            for _ in range(8)
+        ]
+        for thread in burst:
+            thread.start()
+        for thread in burst:
+            thread.join()
+        print(
+            "\nburst of 8 identical requests: "
+            f"executions={server.metrics.counter_value('executions_total'):.0f} "
+            f"coalesced={server.metrics.counter_value('coalesced_total'):.0f} "
+            f"cached={server.metrics.counter_value('cache_hits_total'):.0f}"
+        )
+
+        print("\nper-endpoint request latency (from /metrics):")
+        for endpoint, stats in sorted(client.latency_summary().items()):
+            print(
+                f"  {endpoint:28s} n={stats.get('count', 0):4.0f}  "
+                f"p50 {stats.get('p50', 0) * 1e3:7.2f} ms  "
+                f"p95 {stats.get('p95', 0) * 1e3:7.2f} ms  "
+                f"p99 {stats.get('p99', 0) * 1e3:7.2f} ms"
+            )
+
+
+if __name__ == "__main__":
+    main()

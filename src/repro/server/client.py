@@ -1,0 +1,246 @@
+"""A stdlib (urllib) client for the simulation gateway.
+
+Speaks the ``/v1`` JSON protocol, honours 503 + ``Retry-After``
+backpressure with bounded retries, and can digest ``/metrics`` into a
+per-endpoint latency summary — everything the examples, benchmark, and
+CI smoke need without leaving the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.server.metrics import parse_prometheus
+from repro.service.spec import SimJobSpec
+
+SpecLike = Union[SimJobSpec, Mapping]
+
+
+class ServerError(Exception):
+    """A non-2xx response (after any backpressure retries).
+
+    ``envelopes`` holds the job envelopes of any specs the server DID
+    accept before the failure (partial batch under backpressure) — the
+    caller can still poll those ids instead of resubmitting everything.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        envelopes: Optional[list] = None,
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.envelopes = envelopes or []
+
+
+def _spec_dict(spec: SpecLike) -> dict:
+    return spec.to_dict() if isinstance(spec, SimJobSpec) else dict(spec)
+
+
+class ServerClient:
+    """Client for one gateway base URL (e.g. ``http://127.0.0.1:8037``).
+
+    ``max_retries`` bounds how many 503 (queue full) responses a submit
+    absorbs by sleeping the server-advertised ``Retry-After`` before
+    giving up and raising :class:`ServerError`.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        max_retries: int = 5,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.max_retries = max_retries
+
+    # ------------------------------------------------------------------
+    # Raw HTTP
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+    ) -> tuple[int, dict, str]:
+        """Returns ``(status, headers, body_text)``; never raises for
+        HTTP-level errors (only transport failures propagate)."""
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return (
+                    response.status,
+                    dict(response.headers),
+                    response.read().decode("utf-8"),
+                )
+        except urllib.error.HTTPError as exc:
+            return (
+                exc.code,
+                dict(exc.headers),
+                exc.read().decode("utf-8", errors="replace"),
+            )
+
+    def _json(self, method: str, path: str, body: Optional[dict] = None):
+        status, _, text = self._request(method, path, body)
+        payload = _parse_body(text)
+        if status >= 400:
+            raise ServerError(
+                status, payload.get("error", text) if payload else text
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        status, _, text = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServerError(status, text)
+        return text
+
+    def submit(
+        self,
+        specs: Union[SpecLike, Sequence[SpecLike]],
+        wait: float = 0.0,
+    ) -> list[dict]:
+        """Submit one spec or a batch; returns the job envelopes.
+
+        ``wait`` blocks server-side until completion (bounded by the
+        server's ``max_wait_seconds``). 503 responses are retried after
+        the advertised ``Retry-After``, resubmitting only the specs the
+        server did not accept.
+        """
+        if isinstance(specs, (SimJobSpec, Mapping)):
+            batch = [_spec_dict(specs)]
+        else:
+            batch = [_spec_dict(s) for s in specs]
+        envelopes: list[dict] = []
+        remaining = batch
+        suffix = f"?wait={wait:g}" if wait > 0 else ""
+        for attempt in range(self.max_retries + 1):
+            status, headers, text = self._request(
+                "POST", f"/v1/jobs{suffix}", {"jobs": remaining}
+            )
+            payload = _parse_body(text)
+            if status in (200, 202):
+                envelopes.extend(payload["jobs"])
+                return envelopes
+            if status == 503:
+                envelopes.extend(payload.get("jobs", []) if payload else [])
+                if attempt < self.max_retries:
+                    accepted = payload.get("accepted", 0) if payload else 0
+                    remaining = remaining[accepted:]
+                    retry_after = float(headers.get("Retry-After", 1.0))
+                    time.sleep(retry_after)
+                    continue
+            raise ServerError(
+                status,
+                payload.get("error", text) if payload else text,
+                envelopes=envelopes,
+            )
+        raise ServerError(  # pragma: no cover
+            503, "retries exhausted", envelopes=envelopes
+        )
+
+    def job(self, job_id: str, summary: bool = False) -> dict:
+        suffix = "?summary=1" if summary else ""
+        return self._json("GET", f"/v1/jobs/{job_id}{suffix}")
+
+    def wait_for(
+        self,
+        job_ids: Sequence[str],
+        timeout: float = 60.0,
+        poll_seconds: float = 0.05,
+    ) -> list[dict]:
+        """Poll until every job is finished (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        done: dict[str, dict] = {}
+        while len(done) < len(job_ids):
+            for job_id in job_ids:
+                if job_id in done:
+                    continue
+                envelope = self.job(job_id)
+                if envelope["status"] in ("done", "error"):
+                    done[job_id] = envelope
+            if len(done) < len(job_ids):
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"{len(job_ids) - len(done)} of {len(job_ids)} "
+                        "jobs still pending"
+                    )
+                time.sleep(poll_seconds)
+        return [done[job_id] for job_id in job_ids]
+
+    def result(self, spec_hash: str) -> dict:
+        """Direct cache lookup (``GET /v1/results/{spec_hash}``)."""
+        return self._json("GET", f"/v1/results/{spec_hash}")
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def latency_summary(self) -> dict[str, dict[str, float]]:
+        """Per-endpoint request-latency digest from ``/metrics``.
+
+        Returns ``{endpoint: {"p50": s, "p95": s, "p99": s,
+        "count": n, "sum": s}}``.
+        """
+        metrics = parse_prometheus(self.metrics_text())
+        out: dict[str, dict[str, float]] = {}
+        for labels, value in metrics.get(
+            "repro_server_request_seconds", {}
+        ).items():
+            endpoint = _label_value(labels, "endpoint")
+            quantile = _label_value(labels, "quantile")
+            if endpoint is None or quantile is None:
+                continue
+            out.setdefault(endpoint, {})[
+                f"p{int(float(quantile) * 100)}"
+            ] = value
+        for family, key in (
+            ("repro_server_request_seconds_count", "count"),
+            ("repro_server_request_seconds_sum", "sum"),
+        ):
+            for labels, value in metrics.get(family, {}).items():
+                endpoint = _label_value(labels, "endpoint")
+                if endpoint is not None:
+                    out.setdefault(endpoint, {})[key] = value
+        return out
+
+
+def _parse_body(text: str) -> dict:
+    try:
+        payload = json.loads(text)
+        return payload if isinstance(payload, dict) else {}
+    except ValueError:
+        return {}
+
+
+def _label_value(label_text: str, name: str) -> Optional[str]:
+    """Extract one label's value from a ``{a="x",b="y"}`` section."""
+    marker = f'{name}="'
+    start = label_text.find(marker)
+    if start < 0:
+        return None
+    start += len(marker)
+    end = label_text.find('"', start)
+    return label_text[start:end] if end >= 0 else None

@@ -1,0 +1,271 @@
+"""The background dispatcher: bounded queue, coalescing, execution.
+
+This is the scaling mechanic of the gateway. Every accepted spec
+resolves to one of three dispositions at submit time, all decided under
+one lock:
+
+``cached``
+    The result cache already holds the spec's content address — the
+    job completes immediately, no queue traffic.
+``coalesced``
+    An execution for the same content address is already queued or
+    running — the job *attaches* to it. N concurrent requests for one
+    spec cost one simulation and one cache write; every attached job
+    receives the identical result.
+``queued``
+    A new :class:`Execution` enters the bounded dispatcher queue. A
+    full queue raises :class:`Backpressure` (the HTTP layer answers
+    503 + ``Retry-After``) instead of hiding unbounded latency.
+
+A single daemon thread drains the queue and feeds the existing
+``repro.service`` execution path: serially via
+:func:`repro.service.api.submit` when ``workers == 1``, or in drained
+batches via :func:`repro.service.api.submit_many` across the
+``repro.service.pool`` worker processes when ``workers > 1``. Either
+way results land in the server's :class:`ResultCache` and every job
+attached to the execution is finished with the same outcome.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.server.config import ServerConfig
+from repro.server.jobs import Job, JobStore
+from repro.server.metrics import MetricsRegistry
+from repro.service import api
+from repro.service.cache import ResultCache, cache_key
+from repro.service.spec import SimJobSpec
+
+
+class Backpressure(Exception):
+    """The dispatcher queue is full; retry after ``retry_after`` s."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"dispatcher queue full; retry after {retry_after:g}s"
+        )
+        self.retry_after = retry_after
+
+
+@dataclass
+class Execution:
+    """One unique simulation in flight, shared by N attached jobs."""
+
+    key: str
+    spec: SimJobSpec
+    job_ids: list[str]
+    created: float = field(default_factory=time.monotonic)
+    started: bool = False
+
+
+_SENTINEL = object()
+
+
+class Dispatcher:
+    """Bounded-queue executor with in-flight request coalescing."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        cache: ResultCache,
+        jobs: JobStore,
+        metrics: MetricsRegistry,
+    ) -> None:
+        self.config = config
+        self.cache = cache
+        self.jobs = jobs
+        self.metrics = metrics
+        self._queue: queue.Queue = queue.Queue(maxsize=config.queue_depth)
+        self._inflight: dict[str, Execution] = {}
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        metrics.gauge("queue_depth", self.queue_depth)
+        metrics.gauge("inflight_executions", lambda: len(self._inflight))
+
+    def queue_depth(self) -> int:
+        """Executions waiting in the queue (approximate, lock-free)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Submission (called from HTTP request threads)
+    # ------------------------------------------------------------------
+    def submit(self, spec: SimJobSpec) -> tuple[Job, str]:
+        """Admit one spec; returns ``(job, disposition)``.
+
+        Raises :class:`Backpressure` when the queue is full (the job is
+        not retained).
+        """
+        key = cache_key(spec)
+        # Probe the cache before taking the dispatcher lock: with a
+        # disk-backed cache a cold lookup is file I/O, and serializing
+        # every request thread behind it would cap admission at
+        # single-file-read speed. The cost is a benign race — a spec
+        # completing in the window between this miss and the registry
+        # check below re-executes instead of coalescing, converging on
+        # the identical content-addressed result.
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            job = self.jobs.create(spec, key)
+            self.metrics.inc("cache_hits_total")
+            self.jobs.finish(
+                job.id,
+                api.SimJobResult(
+                    spec=spec,
+                    status="ok",
+                    result=cached,
+                    from_cache=True,
+                ),
+            )
+            return job, "cached"
+        with self._lock:
+            execution = self._inflight.get(key)
+            if execution is not None:
+                if len(execution.job_ids) >= self.config.max_coalesced:
+                    # Attachments are admission too: a hot-spec flood
+                    # must hit backpressure, not grow the job store.
+                    self.metrics.inc("rejected_total")
+                    raise Backpressure(self.config.retry_after_seconds)
+                job = self.jobs.create(spec, key)
+                job.coalesced = True
+                execution.job_ids.append(job.id)
+                if execution.started:
+                    self.jobs.mark_running(job.id)
+                self.metrics.inc("coalesced_total")
+                return job, "coalesced"
+            job = self.jobs.create(spec, key)
+            execution = Execution(key=key, spec=spec, job_ids=[job.id])
+            try:
+                self._queue.put_nowait(execution)
+            except queue.Full:
+                self.jobs.discard(job.id)
+                self.metrics.inc("rejected_total")
+                raise Backpressure(self.config.retry_after_seconds)
+            self._inflight[key] = execution
+            self.metrics.inc("queued_total")
+            return job, "queued"
+
+    # ------------------------------------------------------------------
+    # Execution (the dispatcher thread)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server-dispatcher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        self._queue.put(_SENTINEL)  # blocks until a slot frees; always drained
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._fail_drained()
+                return
+            batch = [item]
+            if self.config.workers > 1:
+                # Drain what is already queued (bounded, so at most
+                # queue_depth) and fan it across the worker pool.
+                while len(batch) < self.config.queue_depth:
+                    try:
+                        nxt = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if nxt is _SENTINEL:
+                        self._execute(batch)
+                        self._fail_drained()
+                        return
+                    batch.append(nxt)
+            self._execute(batch)
+
+    def _fail_drained(self) -> None:
+        """Fail executions enqueued behind the stop sentinel.
+
+        Request threads can still be admitting work while the HTTP
+        accept loop winds down; silently dropping their executions
+        would strand jobs in ``queued`` forever (and hang any
+        ``?wait=`` blocker for its full timeout). Finish them with an
+        explicit error instead.
+        """
+        while True:
+            try:
+                execution = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if execution is _SENTINEL:
+                continue
+            outcome = api.SimJobResult(
+                spec=execution.spec,
+                status="error",
+                error="RuntimeError: server shutting down",
+            )
+            with self._lock:
+                self._inflight.pop(execution.key, None)
+                attached = list(execution.job_ids)
+            for job_id in attached:
+                self.jobs.finish(job_id, outcome)
+
+    def _execute(self, batch: list[Execution]) -> None:
+        now = time.monotonic()
+        with self._lock:
+            for execution in batch:
+                execution.started = True
+                for job_id in execution.job_ids:
+                    self.jobs.mark_running(job_id)
+        for execution in batch:
+            self.metrics.observe(
+                "queue_wait_seconds", now - execution.created
+            )
+        started = time.perf_counter()
+        try:
+            # cache=None: admission already resolved these as misses
+            # (counting them once); the write-back below is explicit so
+            # its ordering against the registry pop stays under our
+            # control.
+            if len(batch) > 1:
+                outcomes = api.submit_many(
+                    [e.spec for e in batch],
+                    jobs=self.config.workers,
+                    cache=None,
+                )
+            else:
+                outcomes = [api.submit(batch[0].spec, cache=None)]
+        except Exception as exc:  # the service API isolates per-job
+            # errors; this guards the dispatcher thread itself.
+            outcomes = [
+                api.SimJobResult(
+                    spec=e.spec,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                for e in batch
+            ]
+        elapsed = time.perf_counter() - started
+        for execution, outcome in zip(batch, outcomes):
+            self.metrics.observe("execute_seconds", elapsed / len(batch))
+            self.metrics.inc("executions_total")
+            if not outcome.ok:
+                self.metrics.inc("execution_errors_total")
+            if outcome.ok and outcome.result is not None:
+                self.cache.put(execution.spec, outcome.result)
+            # Pop the in-flight entry *after* the cache write above: a
+            # submitter who misses the registry is then guaranteed to
+            # hit the cache, so no duplicate execution can slip through
+            # the gap. Snapshot the attached jobs under the same lock —
+            # once the entry is gone, nothing can attach.
+            with self._lock:
+                self._inflight.pop(execution.key, None)
+                attached = list(execution.job_ids)
+            for job_id in attached:
+                self.jobs.finish(job_id, outcome)

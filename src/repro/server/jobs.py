@@ -1,0 +1,121 @@
+"""Job records and the bounded job store backing ``/v1/jobs``.
+
+Every spec accepted by ``POST /v1/jobs`` becomes one :class:`Job` with
+a server-unique id, a lifecycle (``queued`` → ``running`` → ``done`` |
+``error``), and a completion event request threads can block on
+(``?wait=``). The store caps retained *finished* jobs so a long-lived
+server doesn't accumulate history without bound; queued/running jobs
+are never evicted.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.service.api import SimJobResult
+from repro.service.spec import SimJobSpec
+
+#: Lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+
+
+@dataclass
+class Job:
+    """One accepted simulation request."""
+
+    id: str
+    spec: SimJobSpec
+    key: str  # content address (spec hash | code version)
+    status: str = QUEUED
+    #: True when this request attached to an execution another request
+    #: had already started (in-flight coalescing).
+    coalesced: bool = False
+    outcome: Optional[SimJobResult] = None
+    created: float = field(default_factory=time.monotonic)
+    finished: Optional[float] = None
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        """The ``GET /v1/jobs/{id}`` envelope."""
+        out = {
+            "id": self.id,
+            "status": self.status,
+            "spec_hash": self.key,
+            "coalesced": self.coalesced,
+        }
+        if self.outcome is not None:
+            envelope = self.outcome.to_dict(include_result=include_result)
+            envelope.pop("key", None)  # already present as spec_hash
+            envelope.pop("status", None)  # lifecycle status wins
+            out.update(envelope)
+        else:
+            out["spec"] = self.spec.to_dict()
+        return out
+
+
+class JobStore:
+    """Thread-safe id → :class:`Job` map with finished-job eviction."""
+
+    def __init__(self, max_finished: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._finished: OrderedDict[str, None] = OrderedDict()
+        self._ids = itertools.count(1)
+        self.max_finished = max_finished
+
+    def create(self, spec: SimJobSpec, key: str) -> Job:
+        with self._lock:
+            job = Job(id=f"job-{next(self._ids):08d}", spec=spec, key=key)
+            self._jobs[job.id] = job
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def discard(self, job_id: str) -> None:
+        """Forget a job that was never admitted (backpressure path)."""
+        with self._lock:
+            self._jobs.pop(job_id, None)
+
+    def mark_running(self, job_id: str) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None and job.status == QUEUED:
+                job.status = RUNNING
+
+    def finish(self, job_id: str, outcome: SimJobResult) -> None:
+        """Record the outcome and wake any ``?wait=`` blockers."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return
+            job.outcome = outcome
+            job.status = DONE if outcome.ok else ERROR
+            job.finished = time.monotonic()
+            self._finished[job_id] = None
+            while len(self._finished) > self.max_finished:
+                evicted, _ = self._finished.popitem(last=False)
+                self._jobs.pop(evicted, None)
+        job.done_event.set()
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Jobs per lifecycle state (gauges for ``/metrics``)."""
+        out = {QUEUED: 0, RUNNING: 0, DONE: 0, ERROR: 0}
+        with self._lock:
+            for job in self._jobs.values():
+                out[job.status] += 1
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

@@ -24,17 +24,20 @@ Quick start::
 
 from repro.service.api import (
     DEFAULT_CACHE,
+    DEFAULT_CACHE_MAX_ENTRIES,
     SimJobResult,
     submit,
     submit_many,
 )
-from repro.service.cache import ResultCache, cache_key
+from repro.service.cache import DEFAULT_MAX_ENTRIES, ResultCache, cache_key
 from repro.service.pool import execute_spec, run_specs
 from repro.service.spec import ResolvedJob, SimJobSpec
 from repro.service.sweep import SweepResult, expand_grid, run_sweep
 
 __all__ = [
     "DEFAULT_CACHE",
+    "DEFAULT_CACHE_MAX_ENTRIES",
+    "DEFAULT_MAX_ENTRIES",
     "ResolvedJob",
     "ResultCache",
     "SimJobResult",

@@ -12,6 +12,11 @@ Results are emitted as JSON (stdout or ``--output``)::
 
     python -m repro.service jobs.json --jobs 4 --cache-dir .repro-cache
 
+``repro-service cache-stats --cache-dir DIR`` reports the cache
+configuration and a disk scan (entries, bytes, entries stranded by a
+code-version bump) without running anything. Live hit/miss counters
+appear in the ``cache`` block of every job run's output instead.
+
 ``--no-validate`` forces ``validate: false`` onto every job: the
 independent trace checker is skipped, trading the redundant cross-check
 of each scheduled trace for sweep throughput (the scheduler itself is
@@ -96,7 +101,43 @@ def _load_request(path: str) -> dict:
     return data
 
 
+def _cache_stats_main(argv: Sequence[str]) -> int:
+    """``repro-service cache-stats``: inspect a disk cache directory.
+
+    Reports configuration plus the disk scan only. The live hit/miss
+    counters (``ResultCache.stats()``) are process-local — a one-shot
+    CLI has necessarily served nothing, so printing them here would
+    always show zeros; job runs print them per invocation instead.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-service cache-stats",
+        description=(
+            "Report result-cache statistics: entry count, bytes, and "
+            "entries stranded by a code-version bump."
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="the disk cache directory to scan (omit for memory-only)",
+    )
+    args = parser.parse_args(argv)
+    cache = ResultCache(directory=args.cache_dir)
+    stats = cache.stats()
+    payload = {
+        "max_entries": stats["max_entries"],
+        "directory": stats["directory"],
+    }
+    payload.update(cache.disk_stats())
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cache-stats":
+        return _cache_stats_main(list(argv[1:]))
     args = _parser().parse_args(argv)
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)

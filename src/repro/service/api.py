@@ -11,18 +11,54 @@ campaign.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.service import pool
-from repro.service.cache import ResultCache, cache_key
+from repro.service.cache import DEFAULT_MAX_ENTRIES, ResultCache, cache_key
 from repro.service.spec import SimJobSpec
 from repro.system.training import NetworkResult
 
-#: Process-wide default cache (in-memory only; pass your own
+def _env_cache_max_entries() -> int:
+    """``REPRO_CACHE_MAX_ENTRIES``, or the default if unset/invalid.
+
+    Invalid values warn and fall back rather than raise: this runs at
+    import time, and a typo'd environment variable must not take down
+    every console script with a bare traceback.
+    """
+    raw = os.environ.get("REPRO_CACHE_MAX_ENTRIES")
+    if raw is None:
+        return DEFAULT_MAX_ENTRIES
+    try:
+        value = int(raw)
+        if value < 0:
+            raise ValueError(raw)
+    except ValueError:
+        import warnings
+
+        warnings.warn(
+            f"REPRO_CACHE_MAX_ENTRIES={raw!r} is not a non-negative "
+            f"integer; using the default ({DEFAULT_MAX_ENTRIES})",
+            stacklevel=2,
+        )
+        return DEFAULT_MAX_ENTRIES
+    return value
+
+
+#: Bound on the process-wide default cache. :data:`DEFAULT_CACHE` lives
+#: for the whole process, so it must not grow without limit in a
+#: long-lived server: it keeps at most this many results (LRU) unless
+#: overridden by the ``REPRO_CACHE_MAX_ENTRIES`` environment variable.
+#: The HTTP gateway does not use this cache at all — it builds its own
+#: from ``ServerConfig.cache_max_entries``.
+DEFAULT_CACHE_MAX_ENTRIES = _env_cache_max_entries()
+
+#: Process-wide default cache (in-memory only, bounded to
+#: :data:`DEFAULT_CACHE_MAX_ENTRIES` results; pass your own
 #: :class:`ResultCache` with a directory for persistence).
-DEFAULT_CACHE = ResultCache()
+DEFAULT_CACHE = ResultCache(max_entries=DEFAULT_CACHE_MAX_ENTRIES)
 
 
 @dataclass

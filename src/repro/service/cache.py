@@ -5,18 +5,34 @@ repeated request is served without re-simulation, while any change to
 the spec *or* to the package version invalidates cleanly. The disk
 layer stores one JSON file per key (spec alongside result, for
 auditability) and backfills the memory layer on hit.
+
+The cache is safe to share across threads (the HTTP gateway serves
+``get``/``put`` from many request threads at once): the memory layer is
+guarded by a lock, and disk writes go through a temp file renamed into
+place with :func:`os.replace`, so a reader racing a writer sees either
+the complete previous file or the complete new one — never a partial
+write. Corrupt or truncated files (e.g. from a crashed process) degrade
+to a miss.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
 from repro.service.spec import SimJobSpec
 from repro.system.training import NetworkResult
+
+#: Default bound on the in-memory layer. At ~10-100 KB per serialized
+#: :class:`NetworkResult` this caps resident results at a few tens of
+#: MB; long-lived processes (the HTTP server) can lower or raise it via
+#: ``max_entries``.
+DEFAULT_MAX_ENTRIES = 512
 
 
 def _code_version() -> str:
@@ -36,31 +52,55 @@ def cache_key(spec: SimJobSpec, version: Optional[str] = None) -> str:
 class ResultCache:
     """LRU of :class:`NetworkResult` objects, optionally disk-backed.
 
-    ``capacity`` bounds the in-memory layer only; the disk layer (when a
-    ``directory`` is given) keeps everything ever stored.
+    ``max_entries`` bounds the in-memory layer (default
+    :data:`DEFAULT_MAX_ENTRIES`; ``0`` disables it); the disk layer
+    (when a ``directory`` is given) keeps everything ever stored — it
+    is the content-addressed archive, bounded only by disk.
+    ``capacity`` is accepted as a keyword alias of ``max_entries`` for
+    backwards compatibility.
     """
 
     def __init__(
         self,
-        capacity: int = 512,
+        max_entries: Optional[int] = None,
         directory: str | Path | None = None,
+        *,
+        capacity: Optional[int] = None,
     ) -> None:
-        if capacity < 0:
-            raise ValueError(f"capacity must be >= 0, got {capacity}")
-        self.capacity = capacity
+        if max_entries is not None and capacity is not None:
+            raise ValueError(
+                "pass max_entries or its alias capacity, not both"
+            )
+        if max_entries is None:
+            max_entries = (
+                capacity if capacity is not None else DEFAULT_MAX_ENTRIES
+            )
+        if max_entries < 0:
+            raise ValueError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        self.max_entries = max_entries
         self.directory = Path(directory) if directory is not None else None
         self._memory: OrderedDict[str, NetworkResult] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
 
+    @property
+    def capacity(self) -> int:
+        """Backwards-compatible alias of :attr:`max_entries`."""
+        return self.max_entries
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def clear(self) -> None:
         """Drop the in-memory layer (disk files are left alone)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     def _path(self, key: str) -> Path:
         assert self.directory is not None
@@ -69,26 +109,38 @@ class ResultCache:
     # ------------------------------------------------------------------
     def get(self, spec: SimJobSpec) -> Optional[NetworkResult]:
         """The cached result for ``spec``, or None."""
-        key = cache_key(spec)
-        cached = self._memory.get(key)
-        if cached is not None:
-            self._memory.move_to_end(key)
-            self.hits += 1
-            return cached
+        return self.lookup(cache_key(spec))
+
+    def lookup(self, key: str) -> Optional[NetworkResult]:
+        """The cached result stored under content address ``key``.
+
+        This is what serves ``GET /v1/results/{spec_hash}``: callers
+        that already hold a content hash don't need to reconstruct the
+        spec to ask for its result.
+        """
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return cached
         if self.directory is not None:
             result = self._load_disk(key)
             if result is not None:
-                self._store_memory(key, result)
-                self.hits += 1
-                self.disk_hits += 1
+                with self._lock:
+                    self._store_memory(key, result)
+                    self.hits += 1
+                    self.disk_hits += 1
                 return result
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None
 
     def put(self, spec: SimJobSpec, result: NetworkResult) -> str:
         """Store a result under its content address; returns the key."""
         key = cache_key(spec)
-        self._store_memory(key, result)
+        with self._lock:
+            self._store_memory(key, result)
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             payload = {
@@ -96,18 +148,25 @@ class ResultCache:
                 "spec": spec.to_dict(),
                 "result": result.to_dict(),
             }
-            self._path(key).write_text(
-                json.dumps(payload, sort_keys=True)
+            # Write-then-rename so concurrent readers (and writers of
+            # the same key, which converge on identical bytes) never
+            # observe a partial file.
+            path = self._path(key)
+            tmp = path.with_name(
+                f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
             )
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
         return key
 
     # ------------------------------------------------------------------
     def _store_memory(self, key: str, result: NetworkResult) -> None:
-        if self.capacity == 0:
+        # Caller holds self._lock.
+        if self.max_entries == 0:
             return
         self._memory[key] = result
         self._memory.move_to_end(key)
-        while len(self._memory) > self.capacity:
+        while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
 
     def _load_disk(self, key: str) -> Optional[NetworkResult]:
@@ -122,14 +181,42 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Hit/miss counters plus occupancy, for logs and tests."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "disk_hits": self.disk_hits,
-            "entries": len(self._memory),
-            "capacity": self.capacity,
-            "directory": (
-                str(self.directory) if self.directory is not None else None
-            ),
-        }
+        """Hit/miss counters plus occupancy, for logs and telemetry.
+
+        Cheap (no disk scan — see :meth:`disk_stats` for that), so the
+        server's ``/metrics`` endpoint can call it per scrape.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "entries": len(self._memory),
+                "max_entries": self.max_entries,
+                "capacity": self.max_entries,  # legacy key
+                "directory": (
+                    str(self.directory)
+                    if self.directory is not None
+                    else None
+                ),
+            }
+
+    def disk_stats(self) -> dict:
+        """Scan the disk layer: entry count, bytes, staleness.
+
+        ``stale_entries`` counts files written by a different code
+        version — still on disk, but unservable by this process.
+        """
+        out = {"disk_entries": 0, "disk_bytes": 0, "stale_entries": 0}
+        if self.directory is None or not self.directory.is_dir():
+            return out
+        version = _code_version()
+        for path in self.directory.glob("*.json"):
+            try:
+                out["disk_bytes"] += path.stat().st_size
+                out["disk_entries"] += 1
+                if json.loads(path.read_text()).get("version") != version:
+                    out["stale_entries"] += 1
+            except (OSError, ValueError):
+                out["stale_entries"] += 1
+        return out

@@ -1,0 +1,77 @@
+"""Shared fixtures for the HTTP gateway tests.
+
+Servers bind port 0 (OS-assigned) so parallel test runs never collide;
+specs use the cheapest MLP1 configuration so a cold execution is tens
+of milliseconds.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.server import ServerClient, ServerConfig, create_server
+
+#: The cheapest full job: ~50 ms cold, sub-ms from a warm model.
+CHEAP_SPEC = {
+    "network": "MLP1",
+    "columns_per_stripe": 8,
+    "designs": ["Baseline", "GradPIM-BD"],
+}
+
+
+def cheap_spec(batch: int = 128) -> dict:
+    return dict(CHEAP_SPEC, batch=batch)
+
+
+def wait_until(predicate, timeout=10.0, poll=0.005):
+    """Poll until ``predicate()`` is true (tests of async behaviour)."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError("condition never became true")
+        time.sleep(poll)
+
+
+@pytest.fixture()
+def live_server():
+    """Factory: start background servers, stop them all at teardown."""
+    servers = []
+
+    def start(**overrides) -> tuple:
+        config = ServerConfig(**{"port": 0, **overrides})
+        server = create_server(config)
+        server.start_background()
+        servers.append(server)
+        return server, ServerClient(server.url, max_retries=0)
+
+    yield start
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture()
+def gated_executor(monkeypatch):
+    """Block every execution on an event; returns (release, calls).
+
+    Patches ``repro.service.pool.execute_spec`` (the in-process
+    execution choke point the dispatcher funnels through) with a gate,
+    so tests can hold the dispatcher mid-execution and observe
+    coalescing/backpressure deterministically.
+    """
+    from repro.service import pool
+
+    release = threading.Event()
+    calls: list = []
+    real = pool.execute_spec
+
+    def gated(spec):
+        calls.append(spec)
+        assert release.wait(timeout=30), "gate never released"
+        return real(spec)
+
+    monkeypatch.setattr(pool, "execute_spec", gated)
+    return release, calls

@@ -1,0 +1,122 @@
+"""The urllib client: retries, error surfacing, telemetry digestion."""
+
+import threading
+
+import pytest
+
+from repro.server import ServerClient, ServerError
+from repro.service.spec import SimJobSpec
+from tests.server.conftest import cheap_spec, wait_until
+
+
+class TestSubmitShapes:
+    def test_accepts_simjobspec_objects(self, live_server):
+        _, client = live_server()
+        spec = SimJobSpec.from_dict(cheap_spec(batch=16))
+        [envelope] = client.submit(spec, wait=30)
+        assert envelope["status"] == "done"
+        assert envelope["spec_hash"]
+
+    def test_accepts_mixed_batch(self, live_server):
+        _, client = live_server()
+        batch = [
+            SimJobSpec.from_dict(cheap_spec(batch=16)),
+            cheap_spec(batch=32),
+        ]
+        envelopes = client.submit(batch, wait=30)
+        assert [e["status"] for e in envelopes] == ["done", "done"]
+
+    def test_server_error_carries_status(self, live_server):
+        _, client = live_server()
+        with pytest.raises(ServerError) as exc:
+            client.submit({"network": "NoSuchNet"})
+        assert exc.value.status == 400
+        assert "NoSuchNet" in str(exc.value)
+
+    def test_wait_for_timeout(self, live_server, gated_executor):
+        release, calls = gated_executor
+        _, client = live_server()
+        [envelope] = client.submit(cheap_spec(batch=16))
+        with pytest.raises(TimeoutError):
+            client.wait_for([envelope["id"]], timeout=0.2)
+        release.set()
+        [finished] = client.wait_for([envelope["id"]])
+        assert finished["status"] == "done"
+
+
+class TestBackpressureRetries:
+    def test_retry_resubmits_only_unaccepted_specs(
+        self, live_server, gated_executor
+    ):
+        """A 503 mid-batch is absorbed: the client sleeps the advertised
+        Retry-After and resubmits the remainder until all are in."""
+        release, calls = gated_executor
+        server, _ = live_server(
+            queue_depth=1, retry_after_seconds=0.05
+        )
+        patient = ServerClient(server.url, max_retries=20)
+        # Occupy the dispatcher so the queue backs up immediately.
+        patient.submit(cheap_spec(batch=16))
+        wait_until(lambda: len(calls) == 1)
+        releaser = threading.Timer(0.3, release.set)
+        releaser.start()
+        try:
+            envelopes = patient.submit(
+                [cheap_spec(batch=b) for b in (32, 64, 96)]
+            )
+            assert len(envelopes) == 3
+            finished = patient.wait_for([e["id"] for e in envelopes])
+            assert {job["status"] for job in finished} == {"done"}
+        finally:
+            releaser.cancel()
+            release.set()
+
+    def test_retries_exhausted_raises(
+        self, live_server, gated_executor
+    ):
+        release, calls = gated_executor
+        server, _ = live_server(
+            queue_depth=1, retry_after_seconds=0.01
+        )
+        impatient = ServerClient(server.url, max_retries=1)
+        impatient.submit(cheap_spec(batch=16))
+        wait_until(lambda: len(calls) == 1)
+        impatient.submit(cheap_spec(batch=32))  # fills the queue
+        with pytest.raises(ServerError) as exc:
+            impatient.submit(cheap_spec(batch=64))
+        assert exc.value.status == 503
+        release.set()
+
+    def test_partial_acceptance_envelopes_survive_the_error(
+        self, live_server, gated_executor
+    ):
+        """Specs the server accepted before the 503 remain pollable via
+        ServerError.envelopes — the caller need not resubmit them."""
+        release, calls = gated_executor
+        server, _ = live_server(queue_depth=1)
+        client = ServerClient(server.url, max_retries=0)
+        client.submit(cheap_spec(batch=16))
+        wait_until(lambda: len(calls) == 1)
+        with pytest.raises(ServerError) as exc:
+            client.submit(
+                [cheap_spec(batch=32), cheap_spec(batch=64)]
+            )
+        assert exc.value.status == 503
+        assert len(exc.value.envelopes) == 1
+        accepted_id = exc.value.envelopes[0]["id"]
+        release.set()
+        [finished] = client.wait_for([accepted_id])
+        assert finished["status"] == "done"
+
+
+class TestTelemetryDigest:
+    def test_latency_summary_per_endpoint(self, live_server):
+        _, client = live_server()
+        client.submit(cheap_spec(batch=16), wait=30)
+        for _ in range(3):
+            client.healthz()
+        summary = client.latency_summary()
+        health = summary["GET /healthz"]
+        assert health["count"] == 3
+        assert health["sum"] > 0
+        assert set(health) >= {"p50", "p95", "p99", "count", "sum"}

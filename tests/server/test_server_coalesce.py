@@ -1,0 +1,129 @@
+"""In-flight request coalescing — the gateway's scaling mechanic.
+
+The acceptance bar: M concurrent POSTs of one spec must execute the
+backend exactly once (one ``pool.execute_spec`` invocation, one cache
+write), and every response must carry the identical result and spec
+hash.
+"""
+
+import threading
+import time
+
+from repro.server import ServerClient
+from tests.server.conftest import cheap_spec, wait_until
+
+
+class TestCoalescing:
+    def test_concurrent_identical_posts_execute_once(
+        self, live_server, gated_executor
+    ):
+        """M threads POST the same spec; the pool runs it exactly once."""
+        release, calls = gated_executor
+        server, _ = live_server()
+        M = 8
+        spec = cheap_spec(batch=96)
+        envelopes: list = [None] * M
+        errors: list = []
+
+        def post(i):
+            try:
+                client = ServerClient(server.url)
+                envelopes[i] = client.submit(spec)[0]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=post, args=(i,)) for i in range(M)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        assert all(e is not None for e in envelopes)
+
+        # Exactly one execution entered the backend; it is still gated,
+        # so every request necessarily either started it or attached.
+        wait_until(lambda: len(calls) == 1)
+        dispositions = sorted(e["disposition"] for e in envelopes)
+        assert dispositions.count("queued") == 1
+        assert dispositions.count("coalesced") == M - 1
+        release.set()
+
+        client = ServerClient(server.url)
+        finished = client.wait_for([e["id"] for e in envelopes])
+        # Backend executed exactly once in total.
+        assert len(calls) == 1
+        assert server.metrics.counter_value("executions_total") == 1
+        assert server.metrics.counter_value("coalesced_total") == M - 1
+        # All M responses: done, identical spec hash, identical result.
+        assert {job["status"] for job in finished} == {"done"}
+        assert len({job["spec_hash"] for job in finished}) == 1
+        reference = finished[0]["result"]
+        assert all(job["result"] == reference for job in finished)
+        # One cache write: the shared result is the cached object.
+        assert server.cache.stats()["entries"] == 1
+        coalesced_flags = [job["coalesced"] for job in finished]
+        assert coalesced_flags.count(True) == M - 1
+
+    def test_coalesced_after_completion_hits_cache(
+        self, live_server
+    ):
+        """Once the execution finishes, later posts are cache hits."""
+        _, client = live_server()
+        spec = cheap_spec(batch=112)
+        [first] = client.submit(spec, wait=30)
+        assert first["disposition"] == "queued"
+        [second] = client.submit(spec, wait=30)
+        assert second["disposition"] == "cached"
+        assert second["result"] == first["result"]
+
+    def test_distinct_specs_do_not_coalesce(
+        self, live_server, gated_executor
+    ):
+        release, calls = gated_executor
+        server, client = live_server()
+        client.submit(cheap_spec(batch=16))
+        client.submit(cheap_spec(batch=32))
+        wait_until(lambda: len(calls) >= 1)
+        assert server.metrics.counter_value("coalesced_total") == 0
+        release.set()
+
+    def test_attachment_flood_hits_backpressure(
+        self, live_server, gated_executor
+    ):
+        """Coalescing is admission too: attachments on one in-flight
+        execution are bounded, and the overflow gets a 503."""
+        release, calls = gated_executor
+        server, client = live_server(max_coalesced=2)
+        spec = cheap_spec(batch=16)
+        client.submit(spec)  # the execution (1 attached job)
+        wait_until(lambda: len(calls) == 1)
+        client.submit(spec)  # attachment #2: at the bound
+        status, headers, _ = client._request("POST", "/v1/jobs", spec)
+        assert status == 503
+        assert "Retry-After" in headers
+        assert server.metrics.counter_value("rejected_total") == 1
+        release.set()
+
+    def test_stop_fails_executions_queued_behind_sentinel(
+        self, live_server, gated_executor
+    ):
+        """Work admitted while the dispatcher is stopping is failed
+        explicitly, never stranded in 'queued'."""
+        release, calls = gated_executor
+        server, client = live_server()
+        [first] = client.submit(cheap_spec(batch=16))
+        wait_until(lambda: len(calls) == 1)  # dispatcher gated
+        stopper = threading.Thread(target=server.dispatcher.stop)
+        stopper.start()
+        # The stop sentinel is now queued; this job lands behind it.
+        wait_until(lambda: server.dispatcher.queue_depth() >= 1)
+        [late] = client.submit(cheap_spec(batch=32))
+        release.set()
+        stopper.join(timeout=30)
+        assert not stopper.is_alive()
+        assert client.job(first["id"])["status"] == "done"
+        envelope = client.job(late["id"])
+        assert envelope["status"] == "error"
+        assert "shutting down" in envelope["error"]

@@ -1,0 +1,83 @@
+"""ServerConfig validation and the ``repro-server`` CLI."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.server import ServerConfig, create_server
+from repro.server.__main__ import main
+from repro.server.app import ReproServer
+from repro.service.cache import DEFAULT_MAX_ENTRIES
+
+
+class TestServerConfig:
+    def test_defaults(self):
+        config = ServerConfig()
+        assert config.queue_depth == 64
+        assert config.workers == 1
+        assert config.cache_max_entries == DEFAULT_MAX_ENTRIES
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"port": -1},
+            {"queue_depth": 0},
+            {"workers": 0},
+            {"retry_after_seconds": 0},
+            {"max_coalesced": 0},
+            {"cache_max_entries": -1},
+            {"max_batch": 0},
+            {"max_finished_jobs": 0},
+            {"max_wait_seconds": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, overrides):
+        with pytest.raises(ConfigError):
+            ServerConfig(**overrides)
+
+    def test_cache_limit_flows_into_server_cache(self):
+        server = create_server(
+            ServerConfig(port=0, cache_max_entries=7)
+        )
+        try:
+            assert server.cache.max_entries == 7
+        finally:
+            server.server_close()
+
+    def test_cache_dir_flows_into_server_cache(self, tmp_path):
+        server = create_server(
+            ServerConfig(port=0, cache_dir=str(tmp_path / "cache"))
+        )
+        try:
+            assert str(server.cache.directory).endswith("cache")
+        finally:
+            server.server_close()
+
+
+class TestCLI:
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--queue-depth" in out and "--url-file" in out
+
+    def test_bad_config_exits_2(self, capsys):
+        assert main(["--queue-depth", "0"]) == 2
+        assert "cannot start server" in capsys.readouterr().err
+
+    def test_url_file_written_on_ephemeral_port(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        served = []
+        monkeypatch.setattr(
+            ReproServer,
+            "serve_forever",
+            lambda self, poll_interval=0.5: served.append(self.url),
+        )
+        url_file = tmp_path / "server.url"
+        assert main(["--port", "0", "--url-file", str(url_file)]) == 0
+        url = url_file.read_text().strip()
+        assert url.startswith("http://127.0.0.1:")
+        assert int(url.rsplit(":", 1)[1]) > 0
+        assert served == [url]
+        assert url in capsys.readouterr().err
