@@ -1,0 +1,354 @@
+"""Channel-scaling benchmark -> BENCH_channels.json.
+
+Sweeps the channel count of the HBM2 substrate (1/2/4/8 independent
+channels, each with its own command bus, data bus, and bank state
+machines), measuring
+
+* **architectural scaling** — the simulated update rate: channels
+  partition the parameters, so ``seconds_per_param`` must scale by
+  exactly ``1/channels`` and achieved internal bandwidth by
+  ``channels``;
+* **scheduling wall-clock** — one ``CommandScheduler.run`` over the
+  channel-replicated stream, serial vs fanned across per-channel worker
+  processes (``repro.service.pool.schedule_channels``); the parallel
+  path must produce identical schedules, and its speedup is recorded
+  honestly — it depends on available cores and on the per-channel work
+  amortizing the fork, so a single-core host records a slowdown (<1)
+  and the bench gates on identity, never on the speedup;
+* **the channels=1 golden** — a ResNet-18 Fig. 9 ``NetworkResult``
+  under the current defaults must serialize byte-identically to the
+  checked-in pre-channel golden (``golden_fig9_resnet18.json``) and to
+  the retained seed configuration (reference greedy scheduler +
+  thorough validator), and the multi-channel partitioning code path
+  must reproduce the single-channel schedule bit-for-bit. These are
+  the gates that make the whole channel dimension safe to ship.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_channels.py           # full
+    PYTHONPATH=src python benchmarks/bench_channels.py --quick   # CI
+
+Exit status is non-zero when the channels=1 golden diverges, when the
+architectural scaling is off, or when parallel scheduling produces a
+different schedule than serial.
+
+JSON schema (``BENCH_channels.json``)::
+
+    {
+      "benchmark": "channels",
+      "quick": bool,
+      "timing": "HBM-like",
+      "optimizer": "<name>",
+      "columns_per_stripe": int,
+      "fig9_channels1_identical": bool,
+      "partition_path_identical": bool,
+      "results": [
+        {
+          "channels": int,
+          "n_commands": int,
+          "schedule_serial_s": float,
+          "schedule_parallel_s": float,
+          "parallel_workers": int,
+          "parallel_speedup": float,
+          "parallel_identical": bool,
+          "sim_ns_per_param": float,
+          "rate_scaling_vs_one_channel": float,
+          "achieved_internal_gbps": float,
+          "peak_internal_gbps": float
+        }, ...
+      ],
+      "summary": {
+        "max_channels": int,
+        "rate_scaling_at_max": float,
+        "best_parallel_speedup": float
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.dram.geometry import DeviceGeometry
+from repro.dram.scheduler import CommandScheduler, replicate_across_channels
+from repro.dram.timing import HBM_LIKE
+from repro.models.zoo import build_network
+from repro.optim.precision import PRECISION_8_32
+from repro.optim.registry import build_optimizer
+from repro.service.pool import schedule_channels
+from repro.system.design import DESIGNS, DesignPoint
+from repro.system.training import TrainingSimulator
+from repro.system.update_model import UpdatePhaseModel
+
+DESIGN = DesignPoint.GRADPIM_BUFFERED
+OPTIMIZER = ("momentum_sgd", {
+    "eta": 0.01, "alpha": 0.9, "weight_decay": 1e-4,
+})
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = math.inf
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def bench_channels(
+    n_channels: int,
+    columns_per_stripe: int,
+    repeats: int,
+    one_channel_rate: float | None,
+) -> dict:
+    """One channel count: simulated rates plus scheduling wall-clock."""
+    optimizer = build_optimizer(*OPTIMIZER)
+    geometry = DeviceGeometry(channels=n_channels)
+    model = UpdatePhaseModel(
+        timing=HBM_LIKE,
+        geometry=geometry,
+        columns_per_stripe=columns_per_stripe,
+    )
+    profile = model.profile(DESIGN, optimizer, PRECISION_8_32)
+
+    config = DESIGNS[DESIGN]
+    commands, _, _, dependents = model._build_stream(
+        config, optimizer, PRECISION_8_32
+    )
+    if n_channels > 1:
+        commands, dependents = replicate_across_channels(
+            commands, n_channels, dependents
+        )
+    scheduler = CommandScheduler(
+        HBM_LIKE,
+        geometry,
+        config.issue_model(geometry),
+        per_bank_pim=config.per_bank_pim,
+        data_bus_scope=config.data_bus_scope,
+    )
+    serial = scheduler.run(commands, dependents=dependents)
+    parallel = schedule_channels(
+        scheduler, commands, dependents=dependents, workers=n_channels
+    )
+    identical = (
+        serial.issue_cycles() == parallel.issue_cycles()
+        and serial.stats == parallel.stats
+    )
+    serial_s = _best_of(
+        lambda: scheduler.run(commands, dependents=dependents), repeats
+    )
+    parallel_s = _best_of(
+        lambda: schedule_channels(
+            scheduler, commands, dependents=dependents,
+            workers=n_channels,
+        ),
+        repeats,
+    )
+    rate = profile.seconds_per_param
+    return {
+        "channels": n_channels,
+        "n_commands": len(commands),
+        "schedule_serial_s": serial_s,
+        "schedule_parallel_s": parallel_s,
+        "parallel_workers": n_channels,
+        "parallel_speedup": serial_s / parallel_s,
+        "parallel_identical": identical,
+        "sim_ns_per_param": rate * 1e9,
+        "rate_scaling_vs_one_channel": (
+            one_channel_rate / rate if one_channel_rate else 1.0
+        ),
+        "achieved_internal_gbps": profile.internal_bandwidth / 1e9,
+        "peak_internal_gbps": HBM_LIKE.peak_internal_bandwidth(
+            geometry.bankgroups, geometry.ranks, n_channels
+        )
+        / 1e9,
+    }
+
+
+#: Pre-channel ResNet-18 Fig. 9 NetworkResult, captured from the seed
+#: behavior and checked into the repo — the reference the channels=1
+#: gate compares against (an in-process A/B of two current configs
+#: could not catch a regression both of them share).
+GOLDEN_PATH = Path(__file__).with_name("golden_fig9_resnet18.json")
+
+
+def check_fig9_channels1(network: str = "ResNet18") -> bool:
+    """The fig9 golden: a channels=1 run of the current defaults must
+    be byte-identical to the checked-in pre-channel golden artifact
+    *and* to the retained seed configuration (reference greedy
+    scheduler + thorough family-by-family validator)."""
+    payloads = []
+    for config in (
+        {"engine": "reference", "thorough_validate": True},
+        {},  # current defaults (incremental engine, fused validator)
+    ):
+        optimizer = build_optimizer(*OPTIMIZER)
+        simulator = TrainingSimulator(
+            optimizer=optimizer,
+            precision=PRECISION_8_32,
+            update_model=UpdatePhaseModel(**config),
+        )
+        result = simulator.simulate(build_network(network))
+        payloads.append(
+            json.dumps(result.to_dict(), sort_keys=True).encode()
+        )
+    if payloads[0] != payloads[1]:
+        return False
+    if network == "ResNet18":
+        golden = json.dumps(
+            json.loads(GOLDEN_PATH.read_text()), sort_keys=True
+        ).encode()
+        return payloads[1] == golden
+    return True
+
+
+def check_partition_path_identity(columns_per_stripe: int) -> bool:
+    """The multi-channel partitioning code path must reproduce the
+    single-channel schedule bit-for-bit: the same stream scheduled on a
+    channels=1 geometry (partitioning bypassed) and on a channels=2
+    geometry with every command in channel 0 (partitioned, one empty
+    channel) must carry identical issue cycles."""
+    optimizer = build_optimizer(*OPTIMIZER)
+    model = UpdatePhaseModel(
+        timing=HBM_LIKE, columns_per_stripe=columns_per_stripe
+    )
+    config = DESIGNS[DESIGN]
+    commands, _, _, dependents = model._build_stream(
+        config, optimizer, PRECISION_8_32
+    )
+    results = []
+    for geometry in (DeviceGeometry(), DeviceGeometry(channels=2)):
+        scheduler = CommandScheduler(
+            HBM_LIKE,
+            geometry,
+            config.issue_model(geometry),
+            per_bank_pim=config.per_bank_pim,
+            data_bus_scope=config.data_bus_scope,
+        )
+        results.append(
+            scheduler.run(commands, dependents=dependents).issue_cycles()
+        )
+    return results[0] == results[1]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark multi-channel scheduling scaling."
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer channel counts and repeats (the CI configuration)",
+    )
+    parser.add_argument(
+        "--output", "-o", default="BENCH_channels.json",
+        help="where to write the JSON record",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per measurement (default: 2 quick, 3 full)",
+    )
+    args = parser.parse_args(argv)
+    channel_counts = (1, 4) if args.quick else (1, 2, 4, 8)
+    columns = 16 if args.quick else 32
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    results = []
+    one_channel_rate = None
+    for n_channels in channel_counts:
+        row = bench_channels(
+            n_channels, columns, repeats, one_channel_rate
+        )
+        if n_channels == 1:
+            one_channel_rate = row["sim_ns_per_param"] * 1e-9
+        results.append(row)
+        print(
+            f"channels={n_channels:<2d} "
+            f"schedule {row['schedule_serial_s'] * 1e3:7.1f} ms serial "
+            f"/ {row['schedule_parallel_s'] * 1e3:7.1f} ms parallel "
+            f"(x{row['parallel_speedup']:4.2f})  "
+            f"rate x{row['rate_scaling_vs_one_channel']:4.2f}  "
+            f"internal {row['achieved_internal_gbps']:6.1f} GB/s  "
+            f"identical={row['parallel_identical']}",
+            file=sys.stderr,
+        )
+    # Always the ResNet-18 workload: the checked-in golden artifact is
+    # what makes this gate able to catch a regression that every
+    # current configuration shares.
+    golden_ok = check_fig9_channels1("ResNet18")
+    print(
+        f"fig9 channels=1 byte-identical to golden + seed config: "
+        f"{golden_ok}",
+        file=sys.stderr,
+    )
+    partition_ok = check_partition_path_identity(columns)
+    print(
+        f"partition path reproduces single-channel schedule: "
+        f"{partition_ok}",
+        file=sys.stderr,
+    )
+
+    failures = []
+    if not golden_ok:
+        failures.append("fig9-channels1-golden")
+    if not partition_ok:
+        failures.append("partition-path-divergence")
+    for row in results:
+        if not row["parallel_identical"]:
+            failures.append(f"parallel-divergence@{row['channels']}")
+        expected = float(row["channels"])
+        if abs(row["rate_scaling_vs_one_channel"] - expected) > 1e-6:
+            failures.append(f"rate-scaling@{row['channels']}")
+
+    payload = {
+        "benchmark": "channels",
+        "quick": args.quick,
+        "timing": HBM_LIKE.name,
+        "optimizer": OPTIMIZER[0],
+        "precision": PRECISION_8_32.name,
+        "columns_per_stripe": columns,
+        "fig9_channels1_identical": golden_ok,
+        "partition_path_identical": partition_ok,
+        "results": results,
+        "summary": {
+            "max_channels": max(r["channels"] for r in results),
+            "rate_scaling_at_max": max(
+                r["rate_scaling_vs_one_channel"] for r in results
+            ),
+            # Only rows that actually exercised the parallel fan-out
+            # (channels=1 degenerates to the serial loop twice, which
+            # would report timing noise as a "speedup").
+            "best_parallel_speedup": max(
+                (
+                    r["parallel_speedup"]
+                    for r in results
+                    if r["channels"] > 1
+                ),
+                default=None,
+            ),
+        },
+    }
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}", file=sys.stderr)
+
+    if failures:
+        print(f"REGRESSION: {sorted(set(failures))}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

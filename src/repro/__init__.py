@@ -23,6 +23,7 @@ from repro.dram import (
     DDR4_2133,
     DDR4_3200,
     HBM_LIKE,
+    PRESET_CHANNELS,
     AddressMapping,
     Command,
     CommandScheduler,
@@ -76,6 +77,7 @@ __all__ = [
     "DDR4_2133",
     "DDR4_3200",
     "HBM_LIKE",
+    "PRESET_CHANNELS",
     "AddressMapping",
     "Command",
     "CommandScheduler",

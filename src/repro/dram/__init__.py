@@ -1,11 +1,13 @@
-"""DDR4 DRAM timing simulator substrate.
+"""DRAM timing simulator substrate.
 
 This subpackage implements the memory-system substrate the GradPIM paper
 builds on: JEDEC DDR4 timing state machines at bank / bank-group / rank /
-channel granularity, a cycle-level memory-controller issue engine with a
-configurable command-bus model (the lever that separates GradPIM-Direct
-from GradPIM-Buffered), the Fig. 7 address mapping, and a Micron-style
-IDD-based energy model.
+channel granularity (multi-channel devices give every channel a private
+replica of the whole stack), a cycle-level memory-controller issue engine
+with a configurable command-bus model (the lever that separates
+GradPIM-Direct from GradPIM-Buffered), the Fig. 7 address mapping with
+channel bits above the rank bits, and a Micron-style IDD-based energy
+model.
 
 The public surface:
 
@@ -23,6 +25,7 @@ from repro.dram.timing import (
     DDR4_2133,
     DDR4_3200,
     HBM_LIKE,
+    PRESET_CHANNELS,
     PRESETS,
 )
 from repro.dram.currents import IddCurrents, DDR4_2133_CURRENTS
@@ -30,7 +33,15 @@ from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
 from repro.dram.commands import Command, CommandType
 from repro.dram.address import AddressMapping, DecodedAddress
 from repro.dram.engine import build_dependents
-from repro.dram.scheduler import CommandScheduler, IssueModel, ScheduleResult
+from repro.dram.parallel import schedule_channels
+from repro.dram.scheduler import (
+    ChannelPartition,
+    CommandScheduler,
+    IssueModel,
+    ScheduleResult,
+    replicate_across_channels,
+    split_channels,
+)
 from repro.dram.power import EnergyModel, EnergyBreakdown
 from repro.dram.validator import validate_trace
 
@@ -39,6 +50,7 @@ __all__ = [
     "DDR4_2133",
     "DDR4_3200",
     "HBM_LIKE",
+    "PRESET_CHANNELS",
     "PRESETS",
     "IddCurrents",
     "DDR4_2133_CURRENTS",
@@ -48,10 +60,14 @@ __all__ = [
     "CommandType",
     "AddressMapping",
     "DecodedAddress",
+    "ChannelPartition",
     "CommandScheduler",
     "IssueModel",
     "ScheduleResult",
     "build_dependents",
+    "replicate_across_channels",
+    "schedule_channels",
+    "split_channels",
     "EnergyModel",
     "EnergyBreakdown",
     "validate_trace",

@@ -17,7 +17,13 @@ The GradPIM mapping places, from MSB to LSB::
 
 The rank bits may be placed between the bank-group and bank bits without
 violating the invariant (§V-B); we place them directly above the bank
-group so consecutive chunks also stripe across ranks.
+group so consecutive chunks also stripe across ranks. Channel bits sit
+directly above the rank bits (still below the row bits), so striping
+continues across channels and matching elements of two bank-aligned
+arrays land at the same (channel, rank, group, row, col) — the §V-B
+invariant holds *within every channel*. A single-channel geometry
+contributes zero channel bits and reproduces the historical mapping
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -38,11 +44,13 @@ class DecodedAddress:
     row: int
     col: int  # column-access index within the row (64 B granularity)
     byte: int  # byte offset within the column access
+    channel: int = 0
 
     def same_group_different_bank(self, other: "DecodedAddress") -> bool:
         """The GradPIM placement invariant between two operand addresses."""
         return (
-            self.rank == other.rank
+            self.channel == other.channel
+            and self.rank == other.rank
             and self.bankgroup == other.bankgroup
             and self.bank != other.bank
         )
@@ -51,7 +59,8 @@ class DecodedAddress:
 class AddressMapping:
     """Bijective physical-address codec implementing the Fig. 7 scheme.
 
-    Field order from LSB: byte, column, bank group, rank, row, bank.
+    Field order from LSB: byte, column, bank group, rank, channel, row,
+    bank.
     """
 
     def __init__(self, geometry: DeviceGeometry = DEFAULT_GEOMETRY) -> None:
@@ -62,7 +71,8 @@ class AddressMapping:
         self._col_step = g.column_bytes
         self._bg_step = self._col_step * g.columns_per_row  # one row chunk
         self._rank_step = self._bg_step * g.bankgroups
-        self._row_step = self._rank_step * g.ranks
+        self._channel_step = self._rank_step * g.ranks
+        self._row_step = self._channel_step * g.channels
         self._bank_step = self._row_step * g.rows
         self.capacity = self._bank_step * g.banks_per_group
         # Capacity check: the fields must tile the device exactly.
@@ -88,12 +98,14 @@ class AddressMapping:
         addr //= g.bankgroups
         rank = addr % g.ranks
         addr //= g.ranks
+        channel = addr % g.channels
+        addr //= g.channels
         row = addr % g.rows
         addr //= g.rows
         bank = addr
         return DecodedAddress(
             rank=rank, bankgroup=bankgroup, bank=bank,
-            row=row, col=col, byte=byte,
+            row=row, col=col, byte=byte, channel=channel,
         )
 
     def encode(self, decoded: DecodedAddress) -> int:
@@ -104,6 +116,8 @@ class AddressMapping:
             raise AddressError(f"bank {d.bank} out of range")
         if not 0 <= d.rank < g.ranks:
             raise AddressError(f"rank {d.rank} out of range")
+        if not 0 <= d.channel < g.channels:
+            raise AddressError(f"channel {d.channel} out of range")
         if not 0 <= d.bankgroup < g.bankgroups:
             raise AddressError(f"bank group {d.bankgroup} out of range")
         if not 0 <= d.row < g.rows:
@@ -114,6 +128,7 @@ class AddressMapping:
             raise AddressError(f"byte {d.byte} out of range")
         addr = d.bank
         addr = addr * g.rows + d.row
+        addr = addr * g.channels + d.channel
         addr = addr * g.ranks + d.rank
         addr = addr * g.bankgroups + d.bankgroup
         addr = addr * g.columns_per_row + d.col
@@ -123,7 +138,8 @@ class AddressMapping:
     # ------------------------------------------------------------------
     @property
     def bank_region_bytes(self) -> int:
-        """Bytes of address space owned by one bank index (all ranks/groups)."""
+        """Bytes of address space owned by one bank index (all channels,
+        ranks and groups)."""
         return self._bank_step
 
     def bank_base(self, bank: int) -> int:

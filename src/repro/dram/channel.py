@@ -46,7 +46,14 @@ class DataBusState:
         return self.timing.tCWL
 
     def earliest(self, cmd: Command) -> int:
-        """Earliest *issue* cycle so the data burst finds the bus free."""
+        """Earliest *issue* cycle so the data burst finds the bus free.
+
+        Clamped to 0: on a fresh bus ``busy_until + gap`` can be smaller
+        than the command's data offset, and a negative issue cycle must
+        never escape into earliest-cycle caches (the incremental
+        engine's dirty-set cache reserves negative values for the
+        "structurally blocked" sentinel).
+        """
         if not cmd.is_external_column():
             return 0
         gap = 0
@@ -56,7 +63,7 @@ class DataBusState:
             if self.last_rank != cmd.rank:
                 gap = max(gap, self.timing.rank_switch_penalty)
         earliest_data_start = self.busy_until + gap
-        return earliest_data_start - self._data_offset(cmd.kind)
+        return max(0, earliest_data_start - self._data_offset(cmd.kind))
 
     def apply(self, cmd: Command, cycle: int) -> None:
         """Record the data burst of ``cmd`` issued at ``cycle``."""

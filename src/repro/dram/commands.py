@@ -131,6 +131,7 @@ class Command:
     bank: int = 0
     row: int = 0
     col: int = 0
+    channel: int = 0  # channels are fully independent state machines
     scale_id: int = 0
     dst_reg: int = 0
     src_reg: int = 0
@@ -169,7 +170,8 @@ class Command:
     def same_bank(self, other: "Command") -> bool:
         """True when both commands address the same physical bank."""
         return (
-            self.rank == other.rank
+            self.channel == other.channel
+            and self.rank == other.rank
             and self.bankgroup == other.bankgroup
             and self.bank == other.bank
         )

@@ -4,6 +4,12 @@ The paper's default configuration (§VI-A): one channel of DDR4-2133 with
 4 ranks, 4 bank groups per rank, and 4 banks per bank group. At rank
 level one column access moves 64 bytes (eight x8 chips in lock-step), and
 a row holds 8 KiB (1 KiB per chip).
+
+``channels`` generalizes the organization to multi-channel devices
+(HBM2 stacks expose 8). Channels are fully independent: each carries its
+own command bus, data bus, ranks, bank groups, and GradPIM units, so
+cross-channel parallelism is exposed to the scheduler as disjoint state
+machines rather than a widened single interface.
 """
 
 from __future__ import annotations
@@ -16,9 +22,11 @@ from repro.units import is_pow2
 
 @dataclass(frozen=True)
 class DeviceGeometry:
-    """Counts and sizes describing one memory channel."""
+    """Counts and sizes describing a memory device of one or more
+    identical, independent channels. Per-channel quantities keep their
+    historical names; device-wide aggregates multiply by ``channels``."""
 
-    ranks: int = 4
+    ranks: int = 4  # per channel
     bankgroups: int = 4  # per rank
     banks_per_group: int = 4
     rows: int = 65536  # per bank
@@ -26,17 +34,19 @@ class DeviceGeometry:
     column_bytes: int = 64  # one column access at rank level
     chips_per_rank: int = 8  # x8 devices forming the 64-bit bus
     dimms: int = 2  # modules on the channel (TensorDIMM's NMP count)
+    channels: int = 1  # independent channels (8 for an HBM2 stack)
 
     def __post_init__(self) -> None:
         for name in (
             "ranks", "bankgroups", "banks_per_group", "rows",
             "row_bytes", "column_bytes", "chips_per_rank", "dimms",
+            "channels",
         ):
             value = getattr(self, name)
             if value <= 0:
                 raise ConfigError(f"{name} must be positive, got {value}")
         for name in ("bankgroups", "banks_per_group", "rows", "row_bytes",
-                     "column_bytes"):
+                     "column_bytes", "channels"):
             if not is_pow2(getattr(self, name)):
                 raise ConfigError(f"{name} must be a power of two")
         if self.row_bytes % self.column_bytes != 0:
@@ -59,9 +69,14 @@ class DeviceGeometry:
         return self.bankgroups * self.banks_per_group
 
     @property
-    def total_banks(self) -> int:
-        """Total banks in the channel."""
+    def banks_per_channel(self) -> int:
+        """Total banks in one channel."""
         return self.ranks * self.banks_per_rank
+
+    @property
+    def total_banks(self) -> int:
+        """Total banks in the device (all channels)."""
+        return self.banks_per_channel * self.channels
 
     @property
     def columns_per_row(self) -> int:
@@ -79,14 +94,24 @@ class DeviceGeometry:
         return self.bank_bytes * self.banks_per_rank
 
     @property
-    def total_bytes(self) -> int:
-        """Capacity of the channel in bytes."""
+    def channel_bytes(self) -> int:
+        """Capacity of one channel in bytes."""
         return self.rank_bytes * self.ranks
 
     @property
-    def pim_units(self) -> int:
-        """GradPIM units in the channel: one per bank group per rank."""
+    def total_bytes(self) -> int:
+        """Capacity of the device (all channels) in bytes."""
+        return self.channel_bytes * self.channels
+
+    @property
+    def pim_units_per_channel(self) -> int:
+        """GradPIM units in one channel: one per bank group per rank."""
         return self.ranks * self.bankgroups
+
+    @property
+    def pim_units(self) -> int:
+        """GradPIM units in the device (all channels)."""
+        return self.pim_units_per_channel * self.channels
 
 
 #: The paper's evaluation configuration.

@@ -1,0 +1,92 @@
+"""Cross-process parallel scheduling of multi-channel streams.
+
+Channels share no DRAM state, so a multi-channel stream's partitions
+schedule independently — the same embarrassing parallelism the service
+worker pool exploits across jobs, reused one level down. This module
+implements the fan-out with the primitives the scheduler already
+exposes (:meth:`CommandScheduler.run`'s ``partition_runner`` hook and
+:meth:`CommandScheduler.schedule_partition`); the service layer
+re-exports :func:`schedule_channels` so job-level and channel-level
+parallelism share one front door (``repro.service.pool``).
+
+Results are identical to ``scheduler.run``: each worker runs the exact
+per-channel scheduling the serial loop would, and the parent merges
+statistics the same way. Serial fallback on platforms without ``fork``.
+
+Wall-clock is machine-dependent: each call forks a fresh pool, so the
+fan-out only pays off when per-channel scheduling work exceeds the
+fork-and-pickle overhead *and* cores are actually available — on a
+single-core host the parallel path is strictly overhead (the channel
+benchmark records both timings honestly rather than gating on a
+speedup).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+from repro.dram.scheduler import CommandScheduler, ScheduleResult
+from repro.dram.stats import TraceStats
+
+#: Fork-inherited work table: the parent stashes (scheduler,
+#: partitions) here before creating the pool, so forked workers read
+#: them from inherited memory instead of unpickling tens of thousands
+#: of commands per channel. ``_CHANNEL_LOCK`` serializes concurrent
+#: callers (the gateway runs threaded): two threads interleaving
+#: set-globals -> fork -> clear would hand one caller's partitions to
+#: the other's workers.
+_CHANNEL_WORK: dict = {}
+_CHANNEL_LOCK = threading.Lock()
+
+
+def _run_partition(index: int) -> tuple[int, list[int], object]:
+    """Worker body: schedule one channel's partition, ship back only
+    the issue cycles and stats (the parent re-annotates its own command
+    copies)."""
+    scheduler = _CHANNEL_WORK["scheduler"]
+    part = _CHANNEL_WORK["parts"][index]
+    stats = scheduler.schedule_partition(part)
+    return part.channel, [c.issue_cycle for c in part.commands], stats
+
+
+def schedule_channels(
+    scheduler: CommandScheduler,
+    commands,
+    dependents=None,
+    workers: int = 1,
+) -> ScheduleResult:
+    """Schedule a multi-channel stream with channels fanned across up
+    to ``workers`` processes (see the module docstring)."""
+
+    def runner(parts):
+        live = [p for p in parts if p.commands]
+        if workers <= 1 or len(live) <= 1:
+            return None  # nothing to parallelize: serial loop
+        with _CHANNEL_LOCK:
+            _CHANNEL_WORK["scheduler"] = scheduler
+            _CHANNEL_WORK["parts"] = live
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(
+                    processes=min(workers, len(live))
+                ) as pool:
+                    out = pool.map(_run_partition, range(len(live)))
+            except (OSError, ValueError):
+                return None  # fork-less platform: serial loop
+            finally:
+                _CHANNEL_WORK.clear()
+        stats_by_channel = {}
+        for part, (channel, cycles, stats) in zip(live, out):
+            assert part.channel == channel
+            for cmd, cycle in zip(part.commands, cycles):
+                cmd.issue_cycle = cycle
+            stats_by_channel[channel] = stats
+        return [
+            stats_by_channel[p.channel] if p.commands else TraceStats()
+            for p in parts
+        ]
+
+    return scheduler.run(
+        commands, dependents=dependents, partition_runner=runner
+    )

@@ -45,6 +45,20 @@ stream; the contract is enforced by golden and property tests
 are scheduled over fresh copies and the annotated copies are returned
 in the :class:`ScheduleResult`, so re-scheduling the same stream (or
 scheduling it under a different configuration) always starts clean.
+
+Channels
+--------
+
+A multi-channel geometry (``DeviceGeometry.channels > 1``) gives every
+channel its own full replica of the state machines: banks, bank groups,
+ranks, data buses *and* issue ports. Channels share nothing, so the
+scheduler partitions the stream by ``Command.channel`` and schedules
+each partition independently (:func:`split_channels`); dependencies may
+not cross channels. Statistics aggregate across channels
+(:meth:`TraceStats.merge_channels`) with elapsed time set by the
+slowest channel. A single-channel geometry bypasses the partitioning
+entirely, so ``channels=1`` schedules are bit-identical to the
+historical single-channel implementation.
 """
 
 from __future__ import annotations
@@ -182,6 +196,7 @@ class CommandScheduler:
         self,
         commands: Sequence[Command],
         dependents: Optional[Sequence[Sequence[int]]] = None,
+        partition_runner=None,
     ) -> ScheduleResult:
         """Schedule ``commands`` and return the annotated result.
 
@@ -194,6 +209,13 @@ class CommandScheduler:
         dependent-command adjacency (see
         :func:`repro.dram.engine.build_dependents`); kernel generators
         cache it so repeated scheduling skips the rebuild.
+
+        ``partition_runner`` (multi-channel geometries only) is a
+        callable taking the list of :class:`ChannelPartition` and
+        returning one :class:`TraceStats` per partition with the
+        partitions' commands annotated — the hook the service pool uses
+        to schedule channels in parallel processes. Returning ``None``
+        falls back to the in-process serial loop.
         """
         geom = self.geometry
         for i, cmd in enumerate(commands):
@@ -205,8 +227,17 @@ class CommandScheduler:
         for i, cmd in enumerate(commands):
             if not 0 <= cmd.rank < geom.ranks:
                 raise SimulationError(f"command {i} rank out of range")
+            if not 0 <= cmd.channel < geom.channels:
+                raise SimulationError(
+                    f"command {i} channel {cmd.channel} out of range "
+                    f"(geometry has {geom.channels})"
+                )
         copies = [_fresh_copy(cmd) for cmd in commands]
-        if self.engine == "reference":
+        if geom.channels > 1:
+            stats = self._run_channels(
+                commands, copies, dependents, partition_runner
+            )
+        elif self.engine == "reference":
             stats = self._run_reference(copies)
         else:
             stats = self._run_incremental(copies, dependents)
@@ -217,6 +248,41 @@ class CommandScheduler:
             geometry=geom,
             issue_model=self.issue_model,
         )
+
+    # ------------------------------------------------------------------
+    def schedule_partition(self, partition: "ChannelPartition") -> TraceStats:
+        """Schedule one channel's sub-stream in place (issue cycles are
+        written onto ``partition.commands``). Channels share no state,
+        so partitions may be scheduled in any order — or in parallel
+        processes (see ``repro.service.pool.schedule_channels``)."""
+        if self.engine == "reference":
+            return self._run_reference(partition.commands)
+        return self._run_incremental(
+            partition.commands, partition.dependents
+        )
+
+    def _run_channels(
+        self,
+        commands: Sequence[Command],
+        copies: list[Command],
+        dependents: Optional[Sequence[Sequence[int]]],
+        partition_runner=None,
+    ) -> TraceStats:
+        """Partition by channel, schedule each independently, merge."""
+        parts = split_channels(
+            commands, self.geometry.channels, dependents
+        )
+        per_channel = None
+        if partition_runner is not None:
+            per_channel = partition_runner(parts)
+        if per_channel is None:
+            per_channel = [self.schedule_partition(p) for p in parts]
+        for part in parts:
+            for local, global_i in enumerate(part.indices):
+                copies[global_i].issue_cycle = (
+                    part.commands[local].issue_cycle
+                )
+        return TraceStats.merge_channels(per_channel)
 
     # ------------------------------------------------------------------
     def _run_incremental(
@@ -365,6 +431,7 @@ def _fresh_copy(cmd: Command) -> Command:
     out.bank = cmd.bank
     out.row = cmd.row
     out.col = cmd.col
+    out.channel = cmd.channel
     out.scale_id = cmd.scale_id
     out.dst_reg = cmd.dst_reg
     out.src_reg = cmd.src_reg
@@ -374,3 +441,104 @@ def _fresh_copy(cmd: Command) -> Command:
     out.scaler = cmd.scaler
     out.issue_cycle = -1
     return out
+
+
+@dataclass
+class ChannelPartition:
+    """One channel's share of a multi-channel stream.
+
+    ``commands`` are fresh copies with dependency indices remapped to
+    the partition's own index space; ``indices`` maps them back to the
+    global stream (``commands[i]`` came from global ``indices[i]``).
+    """
+
+    channel: int
+    indices: list[int]
+    commands: list[Command]
+    dependents: Optional[list[list[int]]]
+
+
+def split_channels(
+    commands: Sequence[Command],
+    n_channels: int,
+    dependents: Optional[Sequence[Sequence[int]]] = None,
+) -> list[ChannelPartition]:
+    """Partition a stream into per-channel sub-streams, one partition
+    per channel id (empty channels get empty partitions so channel ids
+    and per-channel statistics stay aligned).
+
+    Dependencies must stay within a channel: channels share no state
+    machines and schedule independently, so a cross-channel edge has no
+    well-defined completion order. Such streams raise
+    :class:`SimulationError`.
+    """
+    local_index = [0] * len(commands)
+    parts = [
+        ChannelPartition(
+            channel=c,
+            indices=[],
+            commands=[],
+            dependents=None if dependents is None else [],
+        )
+        for c in range(n_channels)
+    ]
+    for i, cmd in enumerate(commands):
+        if not 0 <= cmd.channel < n_channels:
+            raise SimulationError(
+                f"command {i} channel {cmd.channel} out of range "
+                f"(device has {n_channels})"
+            )
+        part = parts[cmd.channel]
+        local_index[i] = len(part.indices)
+        part.indices.append(i)
+    for i, cmd in enumerate(commands):
+        part = parts[cmd.channel]
+        copy = _fresh_copy(cmd)
+        if cmd.deps:
+            for d in cmd.deps:
+                if commands[d].channel != cmd.channel:
+                    raise SimulationError(
+                        f"command {i} (channel {cmd.channel}) depends "
+                        f"on command {d} in channel "
+                        f"{commands[d].channel}; dependencies cannot "
+                        "cross channels"
+                    )
+            copy.deps = tuple(local_index[d] for d in cmd.deps)
+        part.commands.append(copy)
+        if dependents is not None:
+            part.dependents.append(
+                [local_index[j] for j in dependents[i]]
+            )
+    return parts
+
+
+def replicate_across_channels(
+    commands: Sequence[Command],
+    channels: int,
+    dependents: Optional[Sequence[Sequence[int]]] = None,
+) -> tuple[list[Command], Optional[list[list[int]]]]:
+    """Tile a single-channel stream across every channel of a device.
+
+    Replica ``c`` is the same stream targeted at channel ``c`` with its
+    dependency indices shifted into its own block — the embarrassingly
+    parallel update-phase partitioning: each channel runs an identical
+    steady-state sample over its own slice of the parameters.
+    """
+    n = len(commands)
+    out: list[Command] = []
+    out_deps: Optional[list[list[int]]] = (
+        None if dependents is None else []
+    )
+    for c in range(channels):
+        offset = c * n
+        for cmd in commands:
+            copy = _fresh_copy(cmd)
+            copy.channel = c
+            if cmd.deps:
+                copy.deps = tuple(d + offset for d in cmd.deps)
+            out.append(copy)
+        if dependents is not None:
+            out_deps.extend(
+                [j + offset for j in lst] for lst in dependents
+            )
+    return out, out_deps

@@ -17,6 +17,32 @@ class TraceStats:
     total_cycles: int = 0
     issued_commands: int = 0
     port_issued: list[int] = field(default_factory=list)
+    #: Per-channel completion cycles of a multi-channel schedule,
+    #: indexed by channel id. Empty for single-channel runs, where
+    #: ``total_cycles`` carries the whole story (kept empty there so
+    #: ``channels=1`` stats stay identical to the historical form).
+    channel_cycles: list[int] = field(default_factory=list)
+
+    @classmethod
+    def merge_channels(
+        cls, per_channel: list["TraceStats"]
+    ) -> "TraceStats":
+        """Aggregate independent per-channel schedules into device
+        stats: counts and command totals sum, per-port totals sum
+        position-wise (every channel owns a full replica of the issue
+        ports), and elapsed time is the slowest channel."""
+        merged = cls()
+        for stats in per_channel:
+            for kind, n in stats.counts.items():
+                merged.counts[kind] = merged.counts.get(kind, 0) + n
+            merged.issued_commands += stats.issued_commands
+            for port, n in enumerate(stats.port_issued):
+                while len(merged.port_issued) <= port:
+                    merged.port_issued.append(0)
+                merged.port_issued[port] += n
+            merged.channel_cycles.append(stats.total_cycles)
+        merged.total_cycles = max(merged.channel_cycles, default=0)
+        return merged
 
     def record(self, cmd: Command, port: int) -> None:
         """Count one issued command."""

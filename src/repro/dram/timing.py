@@ -104,14 +104,19 @@ class TimingParams:
         """
         return self.access_bytes / self.cycles_to_s(self.tCCD_L)
 
-    def peak_internal_bandwidth(self, bankgroups: int, ranks: int) -> float:
+    def peak_internal_bandwidth(
+        self, bankgroups: int, ranks: int, channels: int = 1
+    ) -> float:
         """Aggregate bank-group-internal bandwidth in bytes/second.
 
         For DDR4-2133 with 4 bank groups and 4 ranks this is ~181.6 GB/s;
         the paper's Fig. 11 dotted line reads 181.28 GB/s (the small gap
-        comes from rounding tCK).
+        comes from rounding tCK). Channels multiply the aggregate: every
+        channel carries its own full set of ranks and bank groups.
         """
-        return self.per_bankgroup_bandwidth() * bankgroups * ranks
+        return (
+            self.per_bankgroup_bandwidth() * bankgroups * ranks * channels
+        )
 
     def with_overrides(self, **kwargs: object) -> "TimingParams":
         """Return a copy with selected fields replaced."""
@@ -167,11 +172,16 @@ DDR4_3200 = TimingParams(
     tRFC=560,
 )
 
-#: HBM-like grade for Fig. 12a: much wider interface modelled as a higher
-#: effective burst rate. HBM2 has 8 channels x 128 bit at 2.0 GT/s
-#: (~256 GB/s per stack); we model one pseudo-channel-aggregated device
-#: whose off-chip bandwidth is ~15x DDR4-2133 by shrinking the effective
-#: burst occupancy. Bank-group timing follows HBM2 tCCD values.
+#: HBM2 grade for Fig. 12a and the channel-scaling studies. These are
+#: *per-channel* timings of a real HBM2 stack: 8 independent channels,
+#: each 128 bit wide at 2.0 GT/s, so one 64 B access is a BL4 burst
+#: occupying the channel's data bus for 2 clock cycles (~32 GB/s per
+#: channel, ~256 GB/s per stack across all 8 channels). Bank-group
+#: timing follows HBM2 tCCD values. The channel count itself is a
+#: geometry property (:data:`PRESET_CHANNELS` carries the pairing);
+#: earlier revisions faked the stack as one aggregated interface with
+#: ``tBURST=1``, which serialized per-channel turnaround and contention
+#: effects onto a single bus.
 HBM_LIKE = TimingParams(
     name="HBM-like",
     tCK_ns=1.0,
@@ -181,7 +191,7 @@ HBM_LIKE = TimingParams(
     tRAS=34,
     tCCD_L=4,
     tCCD_S=2,
-    tBURST=1,  # 64B every cycle: 8 channels hidden behind one interface
+    tBURST=2,  # 64 B = BL4 on a 128-bit channel: 2 cycles per burst
     tCWL=7,
     tRRD_S=4,
     tRRD_L=6,
@@ -197,4 +207,14 @@ HBM_LIKE = TimingParams(
 
 PRESETS: dict[str, TimingParams] = {
     p.name: p for p in (DDR4_2133, DDR4_3200, HBM_LIKE)
+}
+
+#: Channel count each preset's physical package ships with. Timing
+#: parameters are per channel; substrate builders (``SimJobSpec``,
+#: the Fig. 12a sweep) pair a preset with this geometry default unless
+#: the caller overrides it explicitly.
+PRESET_CHANNELS: dict[str, int] = {
+    DDR4_2133.name: 1,
+    DDR4_3200.name: 1,
+    HBM_LIKE.name: 8,
 }

@@ -85,23 +85,74 @@ def validate_trace(
         raise TimingViolation(
             "config", 0, f"unknown data_bus_scope {data_bus_scope!r}"
         )
+    if geometry.channels > 1:
+        # Channels are fully independent replicas of every state
+        # machine (ports, banks, groups, ranks, data buses), so each
+        # channel's sub-trace checks in isolation. Dependencies index
+        # the *global* stream and are checked once, up front.
+        groups: list[list[Command]] = [
+            [] for _ in range(geometry.channels)
+        ]
+        for i, cmd in enumerate(commands):
+            if not 0 <= cmd.channel < geometry.channels:
+                raise TimingViolation(
+                    "channel",
+                    max(cmd.issue_cycle, 0),
+                    f"command {i} channel {cmd.channel} out of range",
+                )
+        _require_issued(commands)
+        _check_dependencies(commands, timing)
+        for cmd in commands:
+            groups[cmd.channel].append(cmd)
+        for subset in groups:
+            if not thorough:
+                _validate_sweep(
+                    subset, timing, geometry, port_of_rank,
+                    per_bank_pim, data_bus_scope, check_deps=False,
+                )
+            else:
+                _validate_thorough(
+                    subset, timing, geometry, port_of_rank,
+                    per_bank_pim, data_bus_scope,
+                )
+        return
     if not thorough:
         _validate_sweep(
             commands, timing, geometry, port_of_rank,
             per_bank_pim, data_bus_scope,
         )
         return
-    trace = sorted(
-        (c for c in commands),
-        key=lambda c: (c.issue_cycle, id(c)),
+    _require_issued(commands)
+    _check_dependencies(commands, timing)
+    _validate_thorough(
+        commands, timing, geometry, port_of_rank,
+        per_bank_pim, data_bus_scope,
     )
-    for cmd in trace:
+
+
+def _require_issued(commands: Sequence[Command]) -> None:
+    for cmd in commands:
         if cmd.issue_cycle < 0:
             raise TimingViolation(
                 "unissued", 0, "command without an issue cycle in trace"
             )
 
-    _check_dependencies(commands, timing)
+
+def _validate_thorough(
+    commands: Sequence[Command],
+    timing: TimingParams,
+    geometry: DeviceGeometry,
+    port_of_rank: Sequence[int],
+    per_bank_pim: bool,
+    data_bus_scope: str,
+) -> None:
+    """The family-by-family checkers over one channel's trace (the
+    dependency and unissued checks are the caller's job)."""
+    trace = sorted(
+        (c for c in commands),
+        key=lambda c: (c.issue_cycle, id(c)),
+    )
+    _require_issued(trace)
     _check_ports(trace, port_of_rank)
     _check_banks(trace, timing)
     _check_bankgroups(trace, timing, per_bank_pim)
@@ -131,20 +182,24 @@ def _validate_sweep(
     port_of_rank: Sequence[int],
     per_bank_pim: bool,
     data_bus_scope: str,
+    check_deps: bool = True,
 ) -> None:
     """All rule families in one pass over the cycle-sorted trace.
 
     State per family is carried in dictionaries keyed exactly like the
     thorough checkers'; every command advances each family it belongs
     to, so the cost is one dict update per (command, family) instead of
-    one full trace walk per family.
+    one full trace walk per family. ``check_deps=False`` skips the
+    dependency sweep (multi-channel validation checks dependencies once
+    globally, then sweeps each channel's sub-trace).
     """
     trace = sorted(commands, key=operator.attrgetter("issue_cycle"))
     if trace and trace[0].issue_cycle < 0:
         raise TimingViolation(
             "unissued", 0, "command without an issue cycle in trace"
         )
-    _check_dependencies(commands, timing)
+    if check_deps:
+        _check_dependencies(commands, timing)
 
     t_ = timing
     tRP, tRAS, tRTP, tWR, tRCD = t_.tRP, t_.tRAS, t_.tRTP, t_.tWR, t_.tRCD

@@ -11,6 +11,7 @@ simulation, so the old object-level API keeps working unchanged.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -73,22 +74,36 @@ class ExperimentContext:
         """A fresh optimizer instance for this context's algorithm."""
         return build_optimizer(self.optimizer_name, self.optimizer_params)
 
+    def _resolved_geometry(
+        self, channels: Optional[int] = None
+    ) -> DeviceGeometry:
+        """The context geometry, optionally re-pinned to a channel
+        count (the same override the spec path's ``channels`` field
+        applies, so service-routed and direct simulations agree)."""
+        if channels is None or channels == self.geometry.channels:
+            return self.geometry
+        return dataclasses.replace(self.geometry, channels=channels)
+
     def update_model(
-        self, timing: Optional[TimingParams] = None
+        self,
+        timing: Optional[TimingParams] = None,
+        channels: Optional[int] = None,
     ) -> UpdatePhaseModel:
         """Shared (cached) update model for a timing grade.
 
-        Keyed by the full (frozen, hashable) timing object: two grades
-        sharing a name but differing in parameters must not share a
-        model.
+        Keyed by the full (frozen, hashable) timing object plus the
+        effective channel count: two grades sharing a name but
+        differing in parameters — or the same grade on a different
+        channel count — must not share a model.
         """
         timing = timing if timing is not None else self.timing
-        key = timing
+        geometry = self._resolved_geometry(channels)
+        key = (timing, geometry.channels)
         model = self._update_models.get(key)
         if model is None:
             model = UpdatePhaseModel(
                 timing=timing,
-                geometry=self.geometry,
+                geometry=geometry,
                 columns_per_stripe=self.columns_per_stripe,
                 validate=self.validate,
             )
@@ -101,6 +116,7 @@ class ExperimentContext:
         npu: Optional[NPUConfig] = None,
         timing: Optional[TimingParams] = None,
         designs=None,
+        channels: Optional[int] = None,
     ) -> TrainingSimulator:
         """A training simulator wired to the shared update model."""
         timing = timing if timing is not None else self.timing
@@ -111,9 +127,9 @@ class ExperimentContext:
             optimizer=self.optimizer(),
             precision=precision if precision is not None else self.precision,
             timing=timing,
-            geometry=self.geometry,
+            geometry=self._resolved_geometry(channels),
             npu=npu if npu is not None else self.npu,
-            update_model=self.update_model(timing),
+            update_model=self.update_model(timing, channels=channels),
             **kwargs,
         )
 
@@ -129,8 +145,15 @@ class ExperimentContext:
         npu: Optional[NPUConfig] = None,
         designs: Optional[Sequence[DesignPoint]] = None,
         batch: Optional[int] = None,
+        channels: Optional[int] = None,
     ) -> SimJobSpec:
         """This context's configuration as a declarative job spec.
+
+        ``channels`` defaults to the context geometry's count (always
+        passed explicitly, so the spec's timing-preset materialization
+        never silently diverges from the direct :meth:`simulator`
+        fallback — an HBM sweep opts into the 8-channel stack via
+        ``channels=PRESET_CHANNELS[...]``, as Fig. 12a does).
 
         Raises :class:`ConfigError` when the configuration cannot be
         named declaratively (e.g. a hand-built timing object) — callers
@@ -150,6 +173,8 @@ class ExperimentContext:
         kwargs = {}
         if designs is not None:
             kwargs["designs"] = tuple(d.value for d in designs)
+        geometry = _overrides(self.geometry, DEFAULT_GEOMETRY)
+        geometry.pop("channels", None)  # spelled via the channels field
         return SimJobSpec(
             network=network,
             batch=batch,
@@ -157,10 +182,15 @@ class ExperimentContext:
             optimizer_params=dict(self.optimizer_params),
             precision=precision.name,
             timing=timing.name,
-            geometry=_overrides(self.geometry, DEFAULT_GEOMETRY),
+            geometry=geometry,
             npu=_overrides(npu, DEFAULT_NPU),
             columns_per_stripe=self.columns_per_stripe,
             validate=self.validate,
+            channels=(
+                channels
+                if channels is not None
+                else self.geometry.channels
+            ),
             **kwargs,
         )
 
@@ -173,6 +203,7 @@ class ExperimentContext:
         npu: Optional[NPUConfig] = None,
         designs: Optional[Sequence[DesignPoint]] = None,
         batch: Optional[int] = None,
+        channels: Optional[int] = None,
     ) -> NetworkResult:
         """One network's training-step result, via the service."""
         return self.network_results(
@@ -182,6 +213,7 @@ class ExperimentContext:
             npu=npu,
             designs=designs,
             batch=batch,
+            channels=channels,
         )[network]
 
     def network_results(
@@ -193,12 +225,14 @@ class ExperimentContext:
         npu: Optional[NPUConfig] = None,
         designs: Optional[Sequence[DesignPoint]] = None,
         batch: Optional[int] = None,
+        channels: Optional[int] = None,
     ) -> dict[str, NetworkResult]:
         """Per-network training-step results, cached and fanned out.
 
         Every request goes through :func:`repro.service.api.submit_many`
         with this context's cache and worker count; unspeccable
-        configurations run directly through :meth:`simulator`.
+        configurations run directly through :meth:`simulator` with the
+        same effective geometry (including ``channels``).
         """
         names = tuple(networks) if networks is not None else self.networks
         try:
@@ -210,6 +244,7 @@ class ExperimentContext:
                     npu=npu,
                     designs=designs,
                     batch=batch,
+                    channels=channels,
                 )
                 for name in names
             ]
@@ -219,6 +254,7 @@ class ExperimentContext:
                 npu=npu,
                 timing=timing,
                 designs=designs,
+                channels=channels,
             )
             return {
                 name: sim.simulate(build_network(name, batch=batch))

@@ -14,6 +14,10 @@ Three claims the paper makes in prose get quantified here:
 * **Learning-rate scheduling** (§VIII): approximated decay curves cost
   one MRW per change — :func:`run_schedule_overhead` counts them for a
   realistic training run.
+* **Channel scaling**: the PIM benchmarking literature identifies
+  channel-level parallelism as the first-order scaling knob of real
+  PIM systems — :func:`run_channel_sweep` sweeps 1/2/4/8 independent
+  channels (8 is the HBM2 stack) with real per-channel buses.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dram.geometry import DeviceGeometry
-from repro.dram.timing import DDR4_2133
+from repro.dram.timing import DDR4_2133, HBM_LIKE, TimingParams
 from repro.optim import Adam, AdaGrad, MomentumSGD, NAG, RMSprop, SGD
 from repro.optim.precision import PRECISION_8_32
 from repro.optim.schedule import (
@@ -73,6 +77,73 @@ def run_bankgroup_sweep(
                 / 1e9,
                 achieved_internal_gbps=pim.internal_bandwidth / 1e9,
                 update_speedup=base.seconds_per_param
+                / pim.seconds_per_param,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ChannelPoint:
+    """One channel count of the channel-scaling sweep."""
+
+    channels: int
+    peak_internal_gbps: float
+    achieved_internal_gbps: float
+    ns_per_param: float  # GradPIM-Buffered update rate
+    update_speedup: float  # GradPIM-Buffered over baseline
+    scaling_vs_one_channel: float  # update-rate gain over channels=1
+
+
+def run_channel_sweep(
+    channel_counts: tuple[int, ...] = (1, 2, 4, 8),
+    timing: TimingParams = HBM_LIKE,
+    columns_per_stripe: int = 16,
+    channel_workers: int = 1,
+) -> list[ChannelPoint]:
+    """Update-phase gains as independent channels scale toward HBM2.
+
+    Each point models every channel with its own command bus, data bus
+    and bank state machines; ``channel_workers > 1`` schedules channels
+    in parallel worker processes (identical results; wall-clock gains
+    require real cores and enough per-channel work to amortize the
+    fork).
+    """
+    optimizer = MomentumSGD(eta=0.01, alpha=0.9, weight_decay=1e-4)
+    out = []
+    one_channel_rate = None
+    for n_channels in channel_counts:
+        geometry = DeviceGeometry(channels=n_channels)
+        model = UpdatePhaseModel(
+            timing=timing,
+            geometry=geometry,
+            columns_per_stripe=columns_per_stripe,
+            channel_workers=channel_workers,
+        )
+        base = model.profile(
+            DesignPoint.BASELINE, optimizer, PRECISION_8_32
+        )
+        pim = model.profile(
+            DesignPoint.GRADPIM_BUFFERED, optimizer, PRECISION_8_32
+        )
+        if one_channel_rate is None:
+            # Normalize to channels=1 even when the sweep omits it:
+            # channels partition the parameters exactly, so the first
+            # point's rate times its channel count is the one-channel
+            # rate (exact — the channel benchmark gates on it).
+            one_channel_rate = pim.seconds_per_param * n_channels
+        out.append(
+            ChannelPoint(
+                channels=n_channels,
+                peak_internal_gbps=timing.peak_internal_bandwidth(
+                    geometry.bankgroups, geometry.ranks, n_channels
+                )
+                / 1e9,
+                achieved_internal_gbps=pim.internal_bandwidth / 1e9,
+                ns_per_param=pim.seconds_per_param * 1e9,
+                update_speedup=base.seconds_per_param
+                / pim.seconds_per_param,
+                scaling_vs_one_channel=one_channel_rate
                 / pim.seconds_per_param,
             )
         )

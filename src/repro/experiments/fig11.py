@@ -58,9 +58,14 @@ def run_fig11(
     return Fig11Result(
         profiles=profiles,
         peak_internal=context.timing.peak_internal_bandwidth(
-            context.geometry.bankgroups, context.geometry.ranks
+            context.geometry.bankgroups,
+            context.geometry.ranks,
+            context.geometry.channels,
         ),
-        peak_offchip=context.timing.peak_offchip_bandwidth(),
+        peak_offchip=(
+            context.timing.peak_offchip_bandwidth()
+            * context.geometry.channels
+        ),
     )
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dram.timing import DDR4_2133, DDR4_3200, HBM_LIKE
+from repro.dram.timing import DDR4_2133, DDR4_3200, HBM_LIKE, PRESET_CHANNELS
 from repro.experiments.common import DEFAULT_CONTEXT, ExperimentContext
 from repro.models.zoo import build_network
 from repro.optim.precision import PRECISIONS
@@ -52,6 +52,15 @@ def run_fig12a(
     """Sweep MAC array size x memory grade on AlphaGo Zero."""
     points = []
     for grade in MEMORY_GRADES:
+        # Timing parameters are per channel; the device the NPU sees
+        # aggregates every channel of the grade's physical package
+        # (8 for the HBM2 stack, 1 for the DDR4 grades) — passed
+        # explicitly so the service-routed and direct simulation paths
+        # model the same substrate.
+        grade_channels = PRESET_CHANNELS.get(grade.name, 1)
+        device_bandwidth = (
+            grade.peak_offchip_bandwidth() * grade_channels
+        )
         for size in ARRAY_SIZES:
             npu = context.npu.with_array(size, size)
             result = context.network_result(
@@ -59,14 +68,13 @@ def run_fig12a(
                 npu=npu,
                 timing=grade,
                 designs=_SENSITIVITY_DESIGNS,
+                channels=grade_channels,
             )
             points.append(
                 Fig12aPoint(
                     array=size,
                     memory=grade.name,
-                    ops_per_bandwidth=npu.ops_per_byte(
-                        grade.peak_offchip_bandwidth()
-                    ),
+                    ops_per_bandwidth=npu.ops_per_byte(device_bandwidth),
                     speedup=result.overall_speedup(DESIGN),
                 )
             )

@@ -12,12 +12,47 @@ import json
 import time
 import urllib.error
 import urllib.request
+from email.utils import parsedate_to_datetime
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.server.metrics import parse_prometheus
 from repro.service.spec import SimJobSpec
 
 SpecLike = Union[SimJobSpec, Mapping]
+
+
+def parse_retry_after(
+    value: Optional[str],
+    default: float = 1.0,
+    now: Optional[float] = None,
+) -> float:
+    """Seconds to wait per an RFC-7231 ``Retry-After`` header.
+
+    The header carries either delta-seconds (``"2"``) or an HTTP-date
+    (``"Wed, 21 Oct 2015 07:28:00 GMT"``); both forms are accepted,
+    anything unparsable falls back to ``default``, and dates already in
+    the past clamp to 0. ``now`` is the reference POSIX timestamp for
+    date arithmetic (tests pin it; production uses the current time).
+    """
+    if value is None:
+        return default
+    text = value.strip()
+    try:
+        seconds = float(text)
+    except ValueError:
+        try:
+            target = parsedate_to_datetime(text)
+        except (TypeError, ValueError):
+            return default
+        if target.tzinfo is None:
+            # RFC 5322 allows "-0000" for unknown offsets; treat the
+            # naive result as UTC like every mainstream client does.
+            from datetime import timezone
+
+            target = target.replace(tzinfo=timezone.utc)
+        reference = time.time() if now is None else now
+        seconds = target.timestamp() - reference
+    return max(0.0, seconds)
 
 
 class ServerError(Exception):
@@ -48,7 +83,11 @@ class ServerClient:
 
     ``max_retries`` bounds how many 503 (queue full) responses a submit
     absorbs by sleeping the server-advertised ``Retry-After`` before
-    giving up and raising :class:`ServerError`.
+    giving up and raising :class:`ServerError`. ``Retry-After`` is
+    parsed in both RFC-7231 forms (delta-seconds and HTTP-date, see
+    :func:`parse_retry_after`) and the resulting sleep is capped at
+    ``retry_after_cap`` seconds so a skewed server clock or a
+    pathological header can never stall the client for hours.
     """
 
     def __init__(
@@ -56,10 +95,12 @@ class ServerClient:
         base_url: str,
         timeout: float = 30.0,
         max_retries: int = 5,
+        retry_after_cap: float = 30.0,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.max_retries = max_retries
+        self.retry_after_cap = retry_after_cap
 
     # ------------------------------------------------------------------
     # Raw HTTP
@@ -150,7 +191,10 @@ class ServerClient:
                 if attempt < self.max_retries:
                     accepted = payload.get("accepted", 0) if payload else 0
                     remaining = remaining[accepted:]
-                    retry_after = float(headers.get("Retry-After", 1.0))
+                    retry_after = min(
+                        parse_retry_after(headers.get("Retry-After")),
+                        self.retry_after_cap,
+                    )
                     time.sleep(retry_after)
                     continue
             raise ServerError(

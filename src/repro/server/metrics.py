@@ -77,7 +77,16 @@ class StreamingHistogram:
             self._max = max(self._max, seconds)
 
     def quantile(self, q: float) -> float:
-        """The ``q``-quantile (0..1) of everything recorded, or 0.0."""
+        """The ``q``-quantile (0..1) of everything recorded.
+
+        An empty histogram reports 0.0 (the documented no-data
+        sentinel — never an interpolated fiction). A quantile landing
+        in the open-ended overflow bucket reports the observed maximum:
+        the log-spaced resolution ends at ``hi``, so interpolating
+        across ``[hi, max)`` would fabricate latencies nothing ever
+        exhibited, while the maximum is a real observation. Interior
+        buckets interpolate linearly, clamped to the observed min/max.
+        """
         if not 0 <= q <= 1:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
@@ -89,6 +98,8 @@ class StreamingHistogram:
                 if n == 0:
                     continue
                 if cumulative + n >= target:
+                    if i == len(self._counts) - 1:
+                        return self._max  # overflow: no resolution
                     lo_edge, hi_edge = self._bucket_bounds(i)
                     lo_edge = max(lo_edge, self._min)
                     hi_edge = min(hi_edge, self._max)

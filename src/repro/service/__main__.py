@@ -83,6 +83,17 @@ def _parser() -> argparse.ArgumentParser:
             "scheduler stays property-tested against its reference)"
         ),
     )
+    parser.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "force every job onto an N-channel device (default: each "
+            "job's own 'channels' field, falling back to its timing "
+            "preset's physical channel count — 8 for HBM2)"
+        ),
+    )
     return parser
 
 
@@ -161,6 +172,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         specs = [
             dataclasses.replace(s, validate=False) for s in specs
         ]
+    if args.channels is not None:
+        try:
+            specs = [
+                dataclasses.replace(s, channels=args.channels)
+                for s in specs
+            ]
+        except ConfigError as exc:
+            print(f"bad --channels: {exc}", file=sys.stderr)
+            return 2
 
     results = submit_many(specs, jobs=args.jobs, cache=cache)
     if axes:

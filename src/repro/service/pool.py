@@ -22,6 +22,10 @@ import time
 import traceback
 from typing import Optional, Sequence
 
+# Channel-level parallel scheduling lives beside the scheduler
+# (repro.dram.parallel) and is re-exported here so job-level and
+# channel-level parallelism share one front door.
+from repro.dram.parallel import schedule_channels  # noqa: F401
 from repro.models.zoo import build_network
 from repro.service.spec import ResolvedJob, SimJobSpec
 from repro.system.training import NetworkResult, TrainingSimulator
@@ -43,6 +47,7 @@ def _substrate_key(spec: SimJobSpec) -> tuple:
         spec.timing,
         spec.columns_per_stripe,
         tuple(sorted(spec.geometry.items())),
+        spec.channels,
         spec.validate,
     )
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence
 
 from repro.dram.geometry import DEFAULT_GEOMETRY, DeviceGeometry
-from repro.dram.timing import PRESETS, TimingParams
+from repro.dram.timing import PRESET_CHANNELS, PRESETS, TimingParams
 from repro.errors import ConfigError
 from repro.models.zoo import DEFAULT_BATCH, NETWORK_BUILDERS
 from repro.npu.config import DEFAULT_NPU, NPUConfig
@@ -118,6 +118,13 @@ class SimJobSpec:
     npu: Mapping[str, float] = field(default_factory=dict)
     designs: tuple[str, ...] = tuple(d.value for d in DESIGN_ORDER)
     columns_per_stripe: int = 32
+    #: Independent memory channels. ``None`` materializes to the timing
+    #: preset's physical channel count (8 for the HBM2 stack, 1 for the
+    #: DDR4 grades), so an HBM2 job models the real multi-channel
+    #: device unless the caller pins a count explicitly. Channels live
+    #: here — not in the ``geometry`` override map — so every spelling
+    #: hashes to one content address.
+    channels: Optional[int] = None
     #: Run the independent trace validator on every profiled schedule.
     #: Validation roughly re-checks what the property-tested scheduler
     #: already guarantees; production sweeps may turn it off for speed
@@ -170,6 +177,31 @@ class SimJobSpec:
             "geometry",
             _check_overrides(self.geometry, _GEOMETRY_FIELDS, "geometry"),
         )
+        # Canonicalize the channel count: an explicit field wins, a
+        # ``geometry`` override folds into the field, and omission
+        # materializes the timing preset's physical channel count.
+        geometry_channels = self.geometry.pop("channels", None)
+        if self.channels is None:
+            channels = (
+                geometry_channels
+                if geometry_channels is not None
+                else PRESET_CHANNELS.get(self.timing, 1)
+            )
+            object.__setattr__(self, "channels", channels)
+        elif (
+            geometry_channels is not None
+            and geometry_channels != self.channels
+        ):
+            raise ConfigError(
+                f"channels given twice and disagreeing: field says "
+                f"{self.channels}, geometry override says "
+                f"{geometry_channels}"
+            )
+        if not isinstance(self.channels, int) or self.channels < 1:
+            raise ConfigError(
+                f"channels must be a positive integer, got "
+                f"{self.channels!r}"
+            )
         object.__setattr__(
             self,
             "npu",
@@ -181,8 +213,11 @@ class SimJobSpec:
         # Surface bad optimizer names/hyperparameters at spec time, not
         # deep inside a worker process.
         build_optimizer(self.optimizer, self.optimizer_params)
-        # Same for geometry/NPU override values.
-        dataclasses.replace(DEFAULT_GEOMETRY, **self.geometry)
+        # Same for geometry/NPU override values (pow-of-two channel
+        # counts are enforced by the geometry's own validation).
+        dataclasses.replace(
+            DEFAULT_GEOMETRY, channels=self.channels, **self.geometry
+        )
         dataclasses.replace(DEFAULT_NPU, **self.npu)
 
     # ------------------------------------------------------------------
@@ -209,6 +244,7 @@ class SimJobSpec:
             "npu": dict(self.npu),
             "designs": list(self.designs),
             "columns_per_stripe": self.columns_per_stripe,
+            "channels": self.channels,
             "validate": self.validate,
         }
 
@@ -264,7 +300,9 @@ class SimJobSpec:
             ),
             precision=PRECISIONS[self.precision],
             timing=PRESETS[self.timing],
-            geometry=dataclasses.replace(DEFAULT_GEOMETRY, **self.geometry),
+            geometry=dataclasses.replace(
+                DEFAULT_GEOMETRY, channels=self.channels, **self.geometry
+            ),
             npu=dataclasses.replace(DEFAULT_NPU, **self.npu),
             designs=tuple(DesignPoint(v) for v in self.designs),
             columns_per_stripe=self.columns_per_stripe,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.dram.geometry import DeviceGeometry
 from repro.dram.scheduler import IssueModel
@@ -55,10 +56,19 @@ class DesignConfig:
     per_bank_pim: bool = False
     aos_weight_penalty: float = 1.0  # Fwd/Bwd weight-traffic multiplier
     update_uses_offchip_bus: bool = False  # update competes with channel
+    #: Pin the design to a channel count regardless of the geometry
+    #: (``None`` inherits ``DeviceGeometry.channels``). All paper
+    #: designs inherit; single-channel ablations of a multi-channel
+    #: substrate set 1.
+    channels: Optional[int] = None
 
     @property
     def label(self) -> str:
         return self.point.value
+
+    def effective_channels(self, geometry: DeviceGeometry) -> int:
+        """Channels this design's update phase spreads across."""
+        return self.channels if self.channels else geometry.channels
 
     def issue_model(self, geometry: DeviceGeometry) -> IssueModel:
         """Command-generation structure for the update phase."""

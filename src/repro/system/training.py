@@ -215,6 +215,20 @@ class TrainingSimulator:
         )
 
     # ------------------------------------------------------------------
+    def offchip_bandwidth(self) -> float:
+        """Peak NPU-visible off-chip bandwidth in bytes/second.
+
+        Timing parameters describe one channel; every channel of the
+        device contributes its own data bus, so the NPU's
+        forward/backward traffic sees the full cross-channel aggregate
+        (one channel leaves this identical to the historical
+        per-channel figure).
+        """
+        return (
+            self.timing.peak_offchip_bandwidth() * self.geometry.channels
+        )
+
+    # ------------------------------------------------------------------
     def simulate(self, network: NetworkGraph | str) -> NetworkResult:
         """Simulate one training step of ``network`` on every design."""
         if isinstance(network, str):
@@ -223,7 +237,7 @@ class TrainingSimulator:
             d: self.update_model.profile(d, self.optimizer, self.precision)
             for d in self.designs
         }
-        bandwidth = self.timing.peak_offchip_bandwidth()
+        bandwidth = self.offchip_bandwidth()
 
         per_design_layers: dict[DesignPoint, list[PhaseTimes]] = {}
         for design in self.designs:
@@ -303,7 +317,7 @@ class TrainingSimulator:
         result = self.simulate(network)
         base_profile = result.profiles[DesignPoint.BASELINE]
         design_profile = result.profiles[design]
-        bandwidth = self.timing.peak_offchip_bandwidth()
+        bandwidth = self.offchip_bandwidth()
         traffic = TrafficModel(
             precision=self.precision,
             npu=self.npu,

@@ -33,7 +33,12 @@ from dataclasses import dataclass
 
 from repro.dram.commands import CommandType
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
-from repro.dram.scheduler import CommandScheduler
+from repro.dram.parallel import schedule_channels
+from repro.dram.scheduler import (
+    CommandScheduler,
+    replicate_across_channels,
+)
+from repro.dram.stats import TraceStats
 from repro.dram.timing import TimingParams, DDR4_2133
 from repro.dram.validator import validate_trace
 from repro.errors import ConfigError
@@ -125,6 +130,7 @@ class UpdatePhaseModel:
         fused_baseline: bool = False,
         engine: str = "incremental",
         thorough_validate: bool = False,
+        channel_workers: int = 1,
     ) -> None:
         """``validate`` runs the independent trace checker on every
         profiled schedule (production sweeps may disable it — see
@@ -132,7 +138,15 @@ class UpdatePhaseModel:
         the family-by-family checker instead of the fused sweep.
         ``engine`` selects the scheduler implementation
         (``"incremental"`` or the ``"reference"`` oracle) — see
-        :mod:`repro.dram.scheduler`."""
+        :mod:`repro.dram.scheduler`. ``channel_workers > 1`` schedules
+        a multi-channel geometry's per-channel partitions for real,
+        fanned across that many worker processes (channels are
+        embarrassingly parallel; see
+        :func:`repro.dram.parallel.schedule_channels`); the serial
+        default exploits the replicas being identical — it schedules
+        one channel and aggregates exactly, so the hot path stays
+        independent of the channel count. Both paths produce identical
+        profiles (a tested invariant)."""
         self.timing = timing
         self.geometry = geometry
         self.columns_per_stripe = columns_per_stripe
@@ -143,6 +157,7 @@ class UpdatePhaseModel:
         self.fused_baseline = fused_baseline
         self.engine = engine
         self.thorough_validate = thorough_validate
+        self.channel_workers = channel_workers
         self._cache: dict[tuple, UpdateProfile] = {}
 
     # ------------------------------------------------------------------
@@ -173,28 +188,63 @@ class UpdatePhaseModel:
         config = DESIGNS[design]
         built = self._build_stream(config, optimizer, precision)
         commands, n_params, offchip_accesses, dependents = built
-        issue_model = config.issue_model(self.geometry)
-        scheduler = CommandScheduler(
-            self.timing,
-            self.geometry,
-            issue_model,
-            per_bank_pim=config.per_bank_pim,
-            window=self.window,
-            data_bus_scope=config.data_bus_scope,
-            engine=self.engine,
-        )
-        result = scheduler.run(commands, dependents=dependents)
+        channels = config.effective_channels(self.geometry)
+        # Channels are embarrassingly parallel: every channel runs the
+        # same steady-state sample over its own parameter slice, so the
+        # compiled single-channel kernel tiles across the device and
+        # the sample represents channels-times the parameters in the
+        # (per-channel) elapsed time.
+        if channels > 1 and self.channel_workers > 1:
+            # Real partitioned scheduling, channels fanned across
+            # worker processes.
+            geometry = dataclasses.replace(
+                self.geometry, channels=channels
+            )
+            commands, dependents = replicate_across_channels(
+                commands, channels, dependents
+            )
+            issue_model = config.issue_model(geometry)
+            scheduler = self._scheduler(config, geometry, issue_model)
+            result = schedule_channels(
+                scheduler,
+                commands,
+                dependents=dependents,
+                workers=self.channel_workers,
+            )
+            stats = result.stats
+        else:
+            # One channel's schedule suffices: the replicas are
+            # byte-identical streams and the scheduler is
+            # deterministic, so per-channel schedules are equal (the
+            # property the equivalence tests and the channel benchmark
+            # gate assert). Scheduling once and aggregating exactly
+            # keeps the hot path independent of the channel count.
+            geometry = (
+                self.geometry
+                if self.geometry.channels == 1
+                else dataclasses.replace(self.geometry, channels=1)
+            )
+            issue_model = config.issue_model(geometry)
+            scheduler = self._scheduler(config, geometry, issue_model)
+            result = scheduler.run(commands, dependents=dependents)
+            stats = (
+                TraceStats.merge_channels([result.stats] * channels)
+                if channels > 1
+                else result.stats
+            )
         if self.validate:
             validate_trace(
                 result.commands,
                 self.timing,
-                self.geometry,
+                geometry,
                 issue_model.port_of_rank,
                 per_bank_pim=config.per_bank_pim,
                 data_bus_scope=config.data_bus_scope,
                 thorough=self.thorough_validate,
             )
-        stats = result.stats
+        if channels > 1:
+            n_params *= channels
+            offchip_accesses *= channels
         seconds = stats.elapsed_seconds(self.timing) * self.refresh_derate
         cb = self.geometry.column_bytes
         quant_ops = stats.count(CommandType.PIM_QUANT) + stats.count(
@@ -224,6 +274,19 @@ class UpdatePhaseModel:
         )
         self._cache[key] = profile
         return profile
+
+    def _scheduler(
+        self, config: DesignConfig, geometry, issue_model
+    ) -> CommandScheduler:
+        return CommandScheduler(
+            self.timing,
+            geometry,
+            issue_model,
+            per_bank_pim=config.per_bank_pim,
+            window=self.window,
+            data_bus_scope=config.data_bus_scope,
+            engine=self.engine,
+        )
 
     def profiles(
         self, optimizer, precision: PrecisionConfig = PRECISION_8_32

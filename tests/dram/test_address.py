@@ -120,3 +120,118 @@ def test_small_geometry_roundtrip():
     m = AddressMapping(g)
     for addr in range(0, m.capacity, m.capacity // 97):
         assert m.encode(m.decode(addr)) == addr
+
+
+# ----------------------------------------------------------------------
+# Channel bits
+# ----------------------------------------------------------------------
+_MULTI = DeviceGeometry(rows=256, channels=8)
+
+
+def test_single_channel_mapping_is_bit_identical():
+    """Zero channel bits: the multi-channel codec reproduces the
+    historical single-channel mapping exactly."""
+    g1 = DeviceGeometry()
+    m = AddressMapping(g1)
+    for addr in range(0, m.capacity, m.capacity // 101):
+        d = m.decode(addr)
+        assert d.channel == 0
+        assert m.encode(d) == addr
+
+
+def test_channel_bits_above_rank_below_row():
+    m = AddressMapping(_MULTI)
+    g = _MULTI
+    one_channel = g.row_bytes * g.bankgroups * g.ranks
+    d = m.decode(one_channel)
+    assert (d.channel, d.rank, d.bankgroup, d.row, d.bank) == (
+        1, 0, 0, 0, 0,
+    )
+    d = m.decode(one_channel * g.channels)  # wraps into the row bits
+    assert (d.channel, d.row) == (0, 1)
+
+
+@given(
+    st.integers(min_value=0, max_value=_MULTI.total_bytes - 1),
+)
+@settings(max_examples=300)
+def test_decode_encode_roundtrip_with_channels(addr):
+    """The codec stays a bijection over the full geometry including
+    the channel bits."""
+    mapping = AddressMapping(_MULTI)
+    decoded = mapping.decode(addr)
+    assert 0 <= decoded.channel < _MULTI.channels
+    assert mapping.encode(decoded) == addr
+
+
+@given(
+    channels=st.sampled_from([1, 2, 4, 8]),
+    ranks=st.sampled_from([1, 2, 4]),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_bijection_across_geometries(channels, ranks, seed):
+    g = DeviceGeometry(
+        rows=128, ranks=ranks, dimms=min(ranks, 2), channels=channels
+    )
+    m = AddressMapping(g)
+    addr = seed % g.total_bytes
+    assert m.encode(m.decode(addr)) == addr
+    # Distinct addresses stay distinct through decode (injectivity on a
+    # stratified probe around the channel-bit boundaries).
+    step = g.row_bytes * g.bankgroups * g.ranks
+    coords = {
+        m.decode((addr + k * step) % g.total_bytes)
+        for k in range(channels + 1)
+    }
+    probes = {(addr + k * step) % g.total_bytes for k in range(channels + 1)}
+    assert len(coords) == len(probes)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**22),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=200)
+def test_placement_invariant_holds_within_every_channel(
+    offset, bank_a, bank_b
+):
+    """§V-B with channel bits: matching offsets of bank-aligned arrays
+    (theta/v/g) share (channel, rank, group, row, col), so the GradPIM
+    register-sharing invariant holds inside whichever channel the
+    elements land in."""
+    mapping = AddressMapping(_MULTI)
+    offset = (offset // 64) * 64  # column aligned
+    a = mapping.element_coords(bank_a, offset)
+    b = mapping.element_coords(bank_b, offset)
+    assert a.channel == b.channel
+    assert a.rank == b.rank
+    assert a.bankgroup == b.bankgroup
+    assert a.row == b.row
+    assert a.col == b.col
+    if bank_a != bank_b:
+        assert a.same_group_different_bank(b)
+    else:
+        assert not a.same_group_different_bank(b)
+
+
+def test_invariant_requires_same_channel():
+    a = DecodedAddress(
+        rank=0, bankgroup=1, bank=0, row=0, col=0, byte=0, channel=0
+    )
+    b = DecodedAddress(
+        rank=0, bankgroup=1, bank=1, row=0, col=0, byte=0, channel=1
+    )
+    assert not a.same_group_different_bank(b)
+
+
+def test_encode_rejects_bad_channel():
+    m = AddressMapping(_MULTI)
+    with pytest.raises(AddressError):
+        m.encode(
+            DecodedAddress(
+                rank=0, bankgroup=0, bank=0, row=0, col=0, byte=0,
+                channel=_MULTI.channels,
+            )
+        )

@@ -23,7 +23,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.dram.commands import Command, CommandType
 from repro.dram.engine import build_dependents
-from repro.dram.scheduler import CommandScheduler, IssueModel, _fresh_copy
+from repro.dram.scheduler import (
+    CommandScheduler,
+    IssueModel,
+    _fresh_copy,
+    replicate_across_channels,
+)
 from repro.dram.timing import DDR4_2133, PRESETS
 from repro.errors import ConfigError, SimulationError
 from repro.optim.precision import PRECISIONS
@@ -196,10 +201,11 @@ class TestGeneratorStreamProperties:
         scope=st.sampled_from(["channel", "dimm", "rank"]),
         timing_name=st.sampled_from(sorted(PRESETS)),
         optimizer_name=st.sampled_from(["sgd", "momentum_sgd"]),
+        channels=st.sampled_from([1, 2, 4]),
     )
     def test_equivalent_under_random_configuration(
         self, design, window, buffered, scope, timing_name,
-        optimizer_name,
+        optimizer_name, channels,
     ):
         optimizer = build_optimizer(optimizer_name, {"eta": 0.01})
         config = DESIGNS[design]
@@ -214,14 +220,23 @@ class TestGeneratorStreamProperties:
             if buffered
             else IssueModel.direct(GEOM.ranks)
         )
+        geometry = (
+            GEOM
+            if channels == 1
+            else dataclasses.replace(GEOM, channels=channels)
+        )
+        if channels > 1:
+            commands, dependents = replicate_across_channels(
+                commands, channels, dependents
+            )
         timing = PRESETS[timing_name]
         reference = CommandScheduler(
-            timing, GEOM, issue_model, engine="reference",
+            timing, geometry, issue_model, engine="reference",
             per_bank_pim=config.per_bank_pim, window=window,
             data_bus_scope=scope,
         )
         incremental = CommandScheduler(
-            timing, GEOM, issue_model, engine="incremental",
+            timing, geometry, issue_model, engine="incremental",
             per_bank_pim=config.per_bank_pim, window=window,
             data_bus_scope=scope,
         )
@@ -346,3 +361,36 @@ class TestSyntheticStreamProperties:
             data_bus_scope=scope,
             per_bank_pim=per_bank,
         )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        commands=synthetic_streams(),
+        window=st.integers(min_value=1, max_value=24),
+        channels=st.sampled_from([2, 4]),
+        per_bank=st.booleans(),
+    )
+    def test_equivalent_on_random_multi_channel_streams(
+        self, commands, window, channels, per_bank
+    ):
+        """Both engines agree on random streams tiled across channels —
+        the same contract as single-channel, along the channel axis."""
+        replicated, _ = replicate_across_channels(commands, channels)
+        geometry = dataclasses.replace(GEOM, channels=channels)
+        reference = CommandScheduler(
+            T, geometry, engine="reference", window=window,
+            per_bank_pim=per_bank,
+        )
+        incremental = CommandScheduler(
+            T, geometry, engine="incremental", window=window,
+            per_bank_pim=per_bank,
+        )
+        try:
+            ref = reference.run(replicated)
+        except SimulationError as exc:
+            with pytest.raises(SimulationError) as caught:
+                incremental.run(replicated)
+            assert str(caught.value) == str(exc)
+            return
+        new = incremental.run(replicated)
+        assert ref.issue_cycles() == new.issue_cycles()
+        assert ref.stats == new.stats

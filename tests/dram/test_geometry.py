@@ -64,3 +64,31 @@ def test_rejects_zero_ranks():
 def test_rejects_ranks_not_divisible_by_dimms():
     with pytest.raises(ConfigError):
         DeviceGeometry(ranks=4, dimms=3)
+
+
+def test_default_is_single_channel():
+    assert DEFAULT_GEOMETRY.channels == 1
+
+
+def test_channel_aggregates_scale():
+    g = DeviceGeometry(channels=8)
+    assert g.banks_per_channel == 64
+    assert g.total_banks == 8 * 64
+    assert g.channel_bytes == DEFAULT_GEOMETRY.total_bytes
+    assert g.total_bytes == 8 * DEFAULT_GEOMETRY.total_bytes
+    assert g.pim_units_per_channel == 16
+    assert g.pim_units == 8 * 16
+
+
+def test_single_channel_aggregates_unchanged():
+    g = DEFAULT_GEOMETRY
+    assert g.banks_per_channel == g.total_banks
+    assert g.channel_bytes == g.total_bytes
+    assert g.pim_units_per_channel == g.pim_units
+
+
+def test_rejects_bad_channels():
+    with pytest.raises(ConfigError):
+        DeviceGeometry(channels=0)
+    with pytest.raises(ConfigError):
+        DeviceGeometry(channels=3)  # power of two required

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.dram.timing import DDR4_2133, DDR4_3200, HBM_LIKE, PRESETS
+from repro.dram.timing import (
+    DDR4_2133,
+    DDR4_3200,
+    HBM_LIKE,
+    PRESET_CHANNELS,
+    PRESETS,
+)
 from repro.errors import ConfigError
 
 
@@ -71,11 +77,31 @@ def test_faster_grade_has_shorter_clock():
     assert DDR4_3200.tCK_ns < DDR4_2133.tCK_ns
 
 
-def test_hbm_like_has_much_higher_bandwidth():
-    assert (
-        HBM_LIKE.peak_offchip_bandwidth()
-        > 3 * DDR4_2133.peak_offchip_bandwidth()
-    )
+def test_hbm_like_per_channel_bandwidth():
+    # One HBM2 channel: 64 B per BL4 burst (2 cycles at 1 GHz) = 32 GB/s.
+    assert HBM_LIKE.peak_offchip_bandwidth() / 1e9 == pytest.approx(32.0)
+
+
+def test_hbm_like_stack_bandwidth():
+    # The full 8-channel stack delivers ~256 GB/s — the real HBM2
+    # figure, previously faked by hiding all channels behind one
+    # tBURST=1 interface.
+    channels = PRESET_CHANNELS[HBM_LIKE.name]
+    assert channels == 8
+    stack = HBM_LIKE.peak_offchip_bandwidth() * channels
+    assert stack / 1e9 == pytest.approx(256.0)
+    assert stack > 10 * DDR4_2133.peak_offchip_bandwidth()
+
+
+def test_preset_channels_cover_every_preset():
+    assert set(PRESET_CHANNELS) == set(PRESETS)
+    assert PRESET_CHANNELS["DDR4-2133"] == 1
+
+
+def test_peak_internal_bandwidth_scales_with_channels():
+    assert DDR4_2133.peak_internal_bandwidth(
+        4, 4, channels=8
+    ) == pytest.approx(8 * DDR4_2133.peak_internal_bandwidth(4, 4))
 
 
 def test_rejects_nonpositive_tck():

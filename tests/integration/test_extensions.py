@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments.extensions import (
     run_bankgroup_sweep,
+    run_channel_sweep,
     run_optimizer_sweep,
     run_schedule_overhead,
 )
@@ -31,6 +32,54 @@ def test_bankgroup_peak_doubles(bankgroup_points):
     assert by_groups[8].peak_internal_gbps == pytest.approx(
         2 * by_groups[4].peak_internal_gbps
     )
+
+
+@pytest.fixture(scope="module")
+def channel_points():
+    return run_channel_sweep(
+        channel_counts=(1, 2, 4), columns_per_stripe=8
+    )
+
+
+def test_channel_sweep_update_rate_scales(channel_points):
+    """Channels partition the parameters, so the per-parameter update
+    rate scales (nearly) linearly with the channel count."""
+    by_channels = {p.channels: p for p in channel_points}
+    assert by_channels[1].scaling_vs_one_channel == pytest.approx(1.0)
+    assert by_channels[2].scaling_vs_one_channel == pytest.approx(
+        2.0, rel=1e-6
+    )
+    assert by_channels[4].scaling_vs_one_channel == pytest.approx(
+        4.0, rel=1e-6
+    )
+
+
+def test_channel_sweep_bandwidth_scales(channel_points):
+    by_channels = {p.channels: p for p in channel_points}
+    assert by_channels[4].peak_internal_gbps == pytest.approx(
+        4 * by_channels[1].peak_internal_gbps
+    )
+    assert by_channels[4].achieved_internal_gbps == pytest.approx(
+        4 * by_channels[1].achieved_internal_gbps, rel=1e-6
+    )
+
+
+def test_channel_sweep_speedup_survives_channel_scaling(channel_points):
+    """Baseline and GradPIM scale together: the per-design speedup is
+    channel-count independent (channels multiply both sides)."""
+    speedups = [p.update_speedup for p in channel_points]
+    for s in speedups[1:]:
+        assert s == pytest.approx(speedups[0], rel=1e-6)
+
+
+def test_channel_sweep_parallel_workers_identical():
+    serial = run_channel_sweep(
+        channel_counts=(2,), columns_per_stripe=8
+    )
+    parallel = run_channel_sweep(
+        channel_counts=(2,), columns_per_stripe=8, channel_workers=2
+    )
+    assert serial == parallel
 
 
 def test_optimizer_sweep_adam_overhead_is_small():

@@ -1,12 +1,56 @@
 """The urllib client: retries, error surfacing, telemetry digestion."""
 
 import threading
+from email.utils import formatdate
 
 import pytest
 
 from repro.server import ServerClient, ServerError
+from repro.server.client import parse_retry_after
 from repro.service.spec import SimJobSpec
 from tests.server.conftest import cheap_spec, wait_until
+
+
+class TestParseRetryAfter:
+    """RFC-7231 allows both delta-seconds and HTTP-date; the client
+    must digest both (the seed crashed with ValueError on dates)."""
+
+    def test_delta_seconds(self):
+        assert parse_retry_after("2") == 2.0
+        assert parse_retry_after("0.25") == 0.25
+
+    def test_negative_delta_clamps_to_zero(self):
+        assert parse_retry_after("-3") == 0.0
+
+    def test_http_date_relative_to_now(self):
+        now = 1_700_000_000.0
+        header = formatdate(now + 7, usegmt=True)
+        assert parse_retry_after(header, now=now) == pytest.approx(
+            7.0, abs=1.0  # formatdate truncates to whole seconds
+        )
+
+    def test_http_date_in_the_past_clamps_to_zero(self):
+        now = 1_700_000_000.0
+        header = formatdate(now - 3600, usegmt=True)
+        assert parse_retry_after(header, now=now) == 0.0
+
+    def test_garbage_falls_back_to_default(self):
+        assert parse_retry_after("soon", default=1.5) == 1.5
+        assert parse_retry_after("", default=2.0) == 2.0
+        assert parse_retry_after("Wed, 99 Foo", default=0.5) == 0.5
+
+    def test_missing_header_uses_default(self):
+        assert parse_retry_after(None, default=4.0) == 4.0
+
+    def test_client_caps_the_sleep(self):
+        client = ServerClient(
+            "http://127.0.0.1:1", retry_after_cap=5.0
+        )
+        assert client.retry_after_cap == 5.0
+        assert (
+            min(parse_retry_after("86400"), client.retry_after_cap)
+            == 5.0
+        )
 
 
 class TestSubmitShapes:

@@ -18,6 +18,49 @@ class TestStreamingHistogram:
         assert h.quantile(0.5) == 0.0
         assert h.count == 0 and h.sum == 0.0
 
+    def test_empty_histogram_never_invents_values(self):
+        # Every quantile of an empty histogram is the 0.0 sentinel —
+        # never an edge of the configured [lo, hi) range.
+        h = StreamingHistogram(lo=0.5, hi=2.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.0
+        snap = h.snapshot()
+        assert snap == {
+            "count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_overflow_quantile_reports_observed_max(self):
+        """p99 landing in the open-ended overflow bucket must not
+        interpolate across [hi, max): the seed fabricated latencies
+        nothing ever exhibited (e.g. ~333 s from data that was only
+        ever 0.01 s or 500 s)."""
+        h = StreamingHistogram(lo=1e-3, hi=1.0)
+        for _ in range(97):
+            h.record(0.01)
+        for _ in range(3):
+            h.record(500.0)
+        assert h.quantile(0.99) == pytest.approx(500.0)
+        assert h.quantile(1.0) == pytest.approx(500.0)
+        # Quantiles below the overflow share stay inside [lo, hi).
+        assert 1e-3 <= h.quantile(0.5) < 1.0
+
+    def test_overflow_only_data(self):
+        h = StreamingHistogram(lo=1e-3, hi=1.0)
+        h.record(500.0)
+        for q in (0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(500.0)
+
+    def test_single_bucket_per_decade_degenerate(self):
+        h = StreamingHistogram(lo=1e-3, hi=1.0, buckets_per_decade=1)
+        for v in (0.002, 0.02, 0.2):
+            h.record(v)
+        # Quantiles stay within the observed range and monotone even
+        # with decade-wide buckets.
+        qs = [h.quantile(q / 10) for q in range(11)]
+        assert qs == sorted(qs)
+        assert all(0.002 <= q <= 0.2 for q in qs)
+        assert h.quantile(1.0) == pytest.approx(0.2)
+
     def test_single_value(self):
         h = StreamingHistogram()
         h.record(0.0123)

@@ -60,6 +60,7 @@ def specs(draw):
         ),
         designs=draw(design_sets),
         columns_per_stripe=draw(st.sampled_from((8, 16, 32))),
+        channels=draw(st.one_of(st.none(), st.sampled_from((1, 2, 4, 8)))),
     )
 
 
@@ -177,6 +178,56 @@ class TestValidation:
     def test_negative_batch_rejected(self):
         with pytest.raises(ConfigError, match="batch"):
             SimJobSpec(network="MLP1", batch=0)
+
+
+class TestChannels:
+    def test_ddr4_default_is_one_channel(self):
+        assert SimJobSpec(network="MLP1").channels == 1
+
+    def test_hbm_default_is_the_physical_stack(self):
+        # Omitting channels on the HBM2 preset materializes the real
+        # 8-channel stack — the substrate is no longer a single-bus
+        # fake.
+        spec = SimJobSpec(network="MLP1", timing="HBM-like")
+        assert spec.channels == 8
+        assert spec.resolve().geometry.channels == 8
+
+    def test_explicit_channels_beat_the_preset(self):
+        spec = SimJobSpec(network="MLP1", timing="HBM-like", channels=1)
+        assert spec.channels == 1
+        assert spec.resolve().geometry.channels == 1
+
+    def test_geometry_override_folds_into_the_field(self):
+        # Both spellings hash to one content address.
+        a = SimJobSpec(network="MLP1", geometry={"channels": 4})
+        b = SimJobSpec(network="MLP1", channels=4)
+        assert a.channels == 4
+        assert "channels" not in a.geometry
+        assert a.content_hash() == b.content_hash()
+
+    def test_conflicting_spellings_rejected(self):
+        with pytest.raises(ConfigError, match="channels"):
+            SimJobSpec(
+                network="MLP1", channels=2, geometry={"channels": 4}
+            )
+
+    def test_agreeing_spellings_accepted(self):
+        spec = SimJobSpec(
+            network="MLP1", channels=4, geometry={"channels": 4}
+        )
+        assert spec.channels == 4
+
+    def test_channel_count_changes_the_hash(self):
+        assert (
+            SimJobSpec(network="MLP1", channels=2).content_hash()
+            != SimJobSpec(network="MLP1").content_hash()
+        )
+
+    def test_bad_channel_counts_rejected(self):
+        with pytest.raises(ConfigError, match="channels"):
+            SimJobSpec(network="MLP1", channels=0)
+        with pytest.raises(ConfigError):
+            SimJobSpec(network="MLP1", channels=3)  # pow2 via geometry
 
 
 class TestResolve:
