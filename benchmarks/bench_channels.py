@@ -51,6 +51,8 @@ JSON schema (``BENCH_channels.json``)::
           "parallel_workers": int,
           "parallel_speedup": float,
           "parallel_identical": bool,
+          "scheduling_path": "parallel" | "serial-small-stream" | ...,
+          "min_commands_per_worker": int,
           "sim_ns_per_param": float,
           "rate_scaling_vs_one_channel": float,
           "achieved_internal_gbps": float,
@@ -124,7 +126,7 @@ def bench_channels(
     profile = model.profile(DESIGN, optimizer, PRECISION_8_32)
 
     config = DESIGNS[DESIGN]
-    commands, _, _, dependents = model._build_stream(
+    commands, _, _, dependents, _period = model._build_stream(
         config, optimizer, PRECISION_8_32
     )
     if n_channels > 1:
@@ -139,8 +141,11 @@ def bench_channels(
         data_bus_scope=config.data_bus_scope,
     )
     serial = scheduler.run(commands, dependents=dependents)
+    # Identity gate: force the fork machinery regardless of the
+    # small-stream threshold so the parallel code path stays exercised.
     parallel = schedule_channels(
-        scheduler, commands, dependents=dependents, workers=n_channels
+        scheduler, commands, dependents=dependents, workers=n_channels,
+        min_commands_per_worker=0,
     )
     identical = (
         serial.issue_cycles() == parallel.issue_cycles()
@@ -149,10 +154,14 @@ def bench_channels(
     serial_s = _best_of(
         lambda: scheduler.run(commands, dependents=dependents), repeats
     )
+    # Production policy: streams below the per-worker command floor
+    # schedule serially (the fork was a measured regression there —
+    # this records which path actually served the call).
+    info: dict = {}
     parallel_s = _best_of(
         lambda: schedule_channels(
             scheduler, commands, dependents=dependents,
-            workers=n_channels,
+            workers=n_channels, info=info,
         ),
         repeats,
     )
@@ -165,6 +174,8 @@ def bench_channels(
         "parallel_workers": n_channels,
         "parallel_speedup": serial_s / parallel_s,
         "parallel_identical": identical,
+        "scheduling_path": info.get("path", "serial-degenerate"),
+        "min_commands_per_worker": info.get("min_commands_per_worker"),
         "sim_ns_per_param": rate * 1e9,
         "rate_scaling_vs_one_channel": (
             one_channel_rate / rate if one_channel_rate else 1.0
@@ -225,7 +236,7 @@ def check_partition_path_identity(columns_per_stripe: int) -> bool:
         timing=HBM_LIKE, columns_per_stripe=columns_per_stripe
     )
     config = DESIGNS[DESIGN]
-    commands, _, _, dependents = model._build_stream(
+    commands, _, _, dependents, _period = model._build_stream(
         config, optimizer, PRECISION_8_32
     )
     results = []
@@ -280,7 +291,8 @@ def main(argv=None) -> int:
             f"(x{row['parallel_speedup']:4.2f})  "
             f"rate x{row['rate_scaling_vs_one_channel']:4.2f}  "
             f"internal {row['achieved_internal_gbps']:6.1f} GB/s  "
-            f"identical={row['parallel_identical']}",
+            f"identical={row['parallel_identical']}  "
+            f"path={row['scheduling_path']}",
             file=sys.stderr,
         )
     # Always the ResNet-18 workload: the checked-in golden artifact is

@@ -116,7 +116,7 @@ def bench_design(design, window: int, repeats: int) -> dict:
     config = DESIGNS[design]
     optimizer = build_optimizer(*OPTIMIZER)
     model = UpdatePhaseModel(window=window)
-    commands, _, _, dependents = model._build_stream(
+    commands, _, _, dependents, _period = model._build_stream(
         config, optimizer, PRECISION_8_32
     )
     issue_model = config.issue_model(model.geometry)

@@ -43,6 +43,13 @@ from repro.dram.scheduler import (
     split_channels,
 )
 from repro.dram.power import EnergyModel, EnergyBreakdown
+from repro.dram.steady import (
+    PeriodicOutcome,
+    PeriodSegment,
+    SegmentLock,
+    SegmentRecorder,
+    StreamPeriod,
+)
 from repro.dram.validator import validate_trace
 
 __all__ = [
@@ -70,5 +77,10 @@ __all__ = [
     "split_channels",
     "EnergyModel",
     "EnergyBreakdown",
+    "PeriodicOutcome",
+    "PeriodSegment",
+    "SegmentLock",
+    "SegmentRecorder",
+    "StreamPeriod",
     "validate_trace",
 ]

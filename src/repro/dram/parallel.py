@@ -18,16 +18,29 @@ fan-out only pays off when per-channel scheduling work exceeds the
 fork-and-pickle overhead *and* cores are actually available — on a
 single-core host the parallel path is strictly overhead (the channel
 benchmark records both timings honestly rather than gating on a
-speedup).
+speedup). ``BENCH_channels.json`` showed the fork overhead losing
+(0.73x at two channels) for the ~7k-command update-phase samples, so
+:func:`schedule_channels` falls back to the serial loop whenever the
+stream carries fewer than :data:`PARALLEL_MIN_COMMANDS_PER_WORKER`
+commands per worker; callers with unusual machines can override the
+threshold per call.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import threading
+from typing import Optional
 
 from repro.dram.scheduler import CommandScheduler, ScheduleResult
 from repro.dram.stats import TraceStats
+
+#: Minimum commands per worker before forking a process pool pays for
+#: itself. Calibrated from ``BENCH_channels.json``: at ~7k commands per
+#: channel the fork-and-pickle overhead still loses (parallel_speedup
+#: 0.73x at 2 channels, 0.82x at 8), so the floor sits well above the
+#: default update-phase sample size.
+PARALLEL_MIN_COMMANDS_PER_WORKER = 16384
 
 #: Fork-inherited work table: the parent stashes (scheduler,
 #: partitions) here before creating the pool, so forked workers read
@@ -55,14 +68,38 @@ def schedule_channels(
     commands,
     dependents=None,
     workers: int = 1,
+    min_commands_per_worker: Optional[int] = None,
+    info: Optional[dict] = None,
 ) -> ScheduleResult:
     """Schedule a multi-channel stream with channels fanned across up
-    to ``workers`` processes (see the module docstring)."""
+    to ``workers`` processes (see the module docstring).
+
+    Streams too small to amortize the fork (fewer than
+    ``min_commands_per_worker`` commands per worker, default
+    :data:`PARALLEL_MIN_COMMANDS_PER_WORKER`) schedule serially.
+    ``info``, when given, records which path actually ran under
+    ``info["path"]`` (``"parallel"``, ``"serial-small-stream"``,
+    ``"serial-degenerate"`` or ``"serial-fork-unavailable"``) plus the
+    effective threshold — the channel benchmark stores it so speedup
+    numbers are attributable.
+    """
+    threshold = (
+        PARALLEL_MIN_COMMANDS_PER_WORKER
+        if min_commands_per_worker is None
+        else min_commands_per_worker
+    )
+    if info is not None:
+        info["min_commands_per_worker"] = threshold
+        info["path"] = "serial-degenerate"
 
     def runner(parts):
         live = [p for p in parts if p.commands]
         if workers <= 1 or len(live) <= 1:
             return None  # nothing to parallelize: serial loop
+        if len(commands) < threshold * min(workers, len(live)):
+            if info is not None:
+                info["path"] = "serial-small-stream"
+            return None  # fork overhead would dominate: serial loop
         with _CHANNEL_LOCK:
             _CHANNEL_WORK["scheduler"] = scheduler
             _CHANNEL_WORK["parts"] = live
@@ -73,9 +110,13 @@ def schedule_channels(
                 ) as pool:
                     out = pool.map(_run_partition, range(len(live)))
             except (OSError, ValueError):
+                if info is not None:
+                    info["path"] = "serial-fork-unavailable"
                 return None  # fork-less platform: serial loop
             finally:
                 _CHANNEL_WORK.clear()
+        if info is not None:
+            info["path"] = "parallel"
         stats_by_channel = {}
         for part, (channel, cycles, stats) in zip(live, out):
             assert part.channel == channel

@@ -27,19 +27,26 @@ tREFI; this is documented in DESIGN.md §3.
 Performance
 -----------
 
-Two interchangeable engines produce the schedule:
+Three interchangeable engines produce the schedule:
 
 * ``engine="incremental"`` (the default) — the event-driven engine in
   :mod:`repro.dram.engine`: dependency reference-counting, per-candidate
   earliest-cycle caching invalidated through state-machine version
   stamps, and index-linked ready queues. This is the hot path behind
   every ``UpdatePhaseModel.profile()``.
+* ``engine="periodic"`` — the steady-state engine in
+  :mod:`repro.dram.steady`: locks the scheduler's fixed cycle over
+  stripe-periodic stream bodies (kernel generators attach the
+  :class:`~repro.dram.steady.StreamPeriod` metadata; pass it via
+  ``run(..., period=...)``) and replays locked sweeps arithmetically,
+  degrading to the incremental engine wherever nothing locks.
 * ``engine="reference"`` — the original greedy loop, kept verbatim as
   the equivalence oracle for tests and ``benchmarks/bench_scheduler.py``.
 
-Both engines produce identical issue cycles and statistics on every
+All engines produce identical issue cycles and statistics on every
 stream; the contract is enforced by golden and property tests
-(``tests/dram/test_engine_equivalence.py``).
+(``tests/dram/test_engine_equivalence.py``,
+``tests/dram/test_steady.py``).
 
 ``run`` never mutates the caller's :class:`Command` objects: commands
 are scheduled over fresh copies and the annotated copies are returned
@@ -67,6 +74,11 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.dram.engine import schedule_incremental
+from repro.dram.steady import (
+    PeriodicOutcome,
+    StreamPeriod,
+    schedule_steady,
+)
 
 from repro.dram.bank import BankState
 from repro.dram.bankgroup import BankGroupState
@@ -124,6 +136,10 @@ class ScheduleResult:
     timing: TimingParams
     geometry: DeviceGeometry
     issue_model: IssueModel
+    #: What the periodic engine did (``engine="periodic"`` only):
+    #: per-segment locks, commands simulated vs. arithmetically
+    #: replayed, and the fallback reason when it did not engage.
+    periodic: Optional[PeriodicOutcome] = None
 
     @property
     def total_cycles(self) -> int:
@@ -159,8 +175,12 @@ class CommandScheduler:
         ``"channel"`` (one bus, direct-attach), ``"dimm"`` (one private
         bus per DIMM buffer device — TensorDIMM), or ``"rank"``.
         ``engine`` picks the implementation: ``"incremental"`` (fast,
-        default) or ``"reference"`` (the original greedy loop, kept as
-        the equivalence oracle)."""
+        default), ``"reference"`` (the original greedy loop, kept as
+        the equivalence oracle), or ``"periodic"`` (the steady-state
+        engine of :mod:`repro.dram.steady`, which replays locked
+        stripe-periodic sweeps arithmetically and degrades to the
+        incremental engine's exact behaviour when streams carry no
+        period metadata or never lock)."""
         if issue_model is None:
             issue_model = IssueModel.direct(geometry.ranks)
         if len(issue_model.port_of_rank) != geometry.ranks:
@@ -174,7 +194,7 @@ class CommandScheduler:
             raise ConfigError(
                 f"unknown data_bus_scope {data_bus_scope!r}"
             )
-        if engine not in ("incremental", "reference"):
+        if engine not in ("incremental", "reference", "periodic"):
             raise ConfigError(f"unknown engine {engine!r}")
         self.timing = timing
         self.geometry = geometry
@@ -197,6 +217,7 @@ class CommandScheduler:
         commands: Sequence[Command],
         dependents: Optional[Sequence[Sequence[int]]] = None,
         partition_runner=None,
+        period: Optional[StreamPeriod] = None,
     ) -> ScheduleResult:
         """Schedule ``commands`` and return the annotated result.
 
@@ -216,6 +237,14 @@ class CommandScheduler:
         partitions' commands annotated — the hook the service pool uses
         to schedule channels in parallel processes. Returning ``None``
         falls back to the in-process serial loop.
+
+        ``period`` optionally supplies the stream's
+        :class:`~repro.dram.steady.StreamPeriod` metadata (kernel
+        generators attach it to their streams); only the
+        ``"periodic"`` engine consumes it. Without metadata — or on
+        multi-channel geometries, where partitions carry no metadata —
+        the periodic engine schedules through the incremental engine,
+        so it is always safe to select.
         """
         geom = self.geometry
         for i, cmd in enumerate(commands):
@@ -233,12 +262,19 @@ class CommandScheduler:
                     f"(geometry has {geom.channels})"
                 )
         copies = [_fresh_copy(cmd) for cmd in commands]
+        periodic = None
         if geom.channels > 1:
             stats = self._run_channels(
                 commands, copies, dependents, partition_runner
             )
+            if self.engine == "periodic":
+                periodic = PeriodicOutcome(reason="multi-channel")
         elif self.engine == "reference":
             stats = self._run_reference(copies)
+        elif self.engine == "periodic":
+            stats, periodic = self._run_periodic(
+                copies, dependents, period
+            )
         else:
             stats = self._run_incremental(copies, dependents)
         return ScheduleResult(
@@ -247,6 +283,7 @@ class CommandScheduler:
             timing=self.timing,
             geometry=geom,
             issue_model=self.issue_model,
+            periodic=periodic,
         )
 
     # ------------------------------------------------------------------
@@ -254,7 +291,9 @@ class CommandScheduler:
         """Schedule one channel's sub-stream in place (issue cycles are
         written onto ``partition.commands``). Channels share no state,
         so partitions may be scheduled in any order — or in parallel
-        processes (see ``repro.service.pool.schedule_channels``)."""
+        processes (see ``repro.service.pool.schedule_channels``).
+        Partitions carry no period metadata, so the ``"periodic"``
+        engine schedules them through the incremental engine."""
         if self.engine == "reference":
             return self._run_reference(partition.commands)
         return self._run_incremental(
@@ -304,6 +343,35 @@ class CommandScheduler:
             bus_ids,
             commands,
             dependents,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_periodic(
+        self,
+        commands: list[Command],
+        dependents: Optional[Sequence[Sequence[int]]],
+        period: Optional[StreamPeriod],
+    ) -> tuple[TraceStats, PeriodicOutcome]:
+        """The steady-state engine (see :mod:`repro.dram.steady`)."""
+        if period is None or not period.segments:
+            stats = self._run_incremental(commands, dependents)
+            return stats, PeriodicOutcome(
+                reason="no-period-metadata", simulated=len(commands)
+            )
+        geom = self.geometry
+        bus_ids = tuple(
+            self._bus_of_rank(r) for r in range(geom.ranks)
+        )
+        return schedule_steady(
+            self.timing,
+            geom,
+            self.issue_model,
+            self.per_bank_pim,
+            self.window,
+            bus_ids,
+            commands,
+            dependents,
+            period,
         )
 
     # ------------------------------------------------------------------

@@ -67,6 +67,10 @@ class ExperimentContext:
     #: (``--no-validate`` on the runner CLI turns it off for faster
     #: sweeps; the scheduler stays property-tested either way).
     validate: bool = True
+    #: Scheduler engine for update-phase profiling ("incremental",
+    #: "reference", or "periodic" — the steady-state extrapolation fast
+    #: path; all three produce byte-identical profiles).
+    engine: str = "incremental"
     cache: ResultCache = field(default_factory=ResultCache)
     _update_models: dict = field(default_factory=dict)
 
@@ -106,6 +110,7 @@ class ExperimentContext:
                 geometry=geometry,
                 columns_per_stripe=self.columns_per_stripe,
                 validate=self.validate,
+                engine=self.engine,
             )
             self._update_models[key] = model
         return model
@@ -186,6 +191,7 @@ class ExperimentContext:
             npu=_overrides(npu, DEFAULT_NPU),
             columns_per_stripe=self.columns_per_stripe,
             validate=self.validate,
+            engine=self.engine,
             channels=(
                 channels
                 if channels is not None

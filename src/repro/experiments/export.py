@@ -166,10 +166,11 @@ def main(argv: list[str]) -> int:
 
     usage = (
         "usage: python -m repro.experiments.export "
-        "[--jobs N] [--cache-dir DIR] <out_dir>"
+        "[--jobs N] [--cache-dir DIR] [--no-validate] "
+        "[--engine ENGINE] <out_dir>"
     )
     try:
-        positional, jobs, cache_dir = parse_args(argv)
+        positional, jobs, cache_dir, validate, engine = parse_args(argv)
     except _HelpRequested:
         print(usage)
         return 0
@@ -181,7 +182,10 @@ def main(argv: list[str]) -> int:
         print(usage)
         return 2
     context = ExperimentContext(
-        jobs=jobs, cache=ResultCache(directory=cache_dir)
+        jobs=jobs,
+        validate=validate,
+        engine=engine,
+        cache=ResultCache(directory=cache_dir),
     )
     for path in export_all(positional[0], context):
         print(f"wrote {path}")

@@ -62,8 +62,12 @@ EXPERIMENTS = {
 
 USAGE = (
     "usage: python -m repro.experiments.runner "
-    "[--jobs N] [--cache-dir DIR] [--no-validate] [figure ...]"
+    "[--jobs N] [--cache-dir DIR] [--no-validate] "
+    "[--engine ENGINE] [figure ...]"
 )
+
+#: Scheduler engines selectable on the CLI (all exact-equivalent).
+ENGINES = ("incremental", "reference", "periodic")
 
 
 class _HelpRequested(ValueError):
@@ -71,12 +75,13 @@ class _HelpRequested(ValueError):
 
 
 def parse_args(argv: list[str]):
-    """Split argv into (figure names, jobs, cache_dir, validate) or
-    raise ValueError."""
+    """Split argv into (figure names, jobs, cache_dir, validate,
+    engine) or raise ValueError."""
     names: list[str] = []
     jobs = 1
     cache_dir = None
     validate = True
+    engine = "incremental"
     i = 0
     while i < len(argv):
         arg = argv[i]
@@ -95,12 +100,18 @@ def parse_args(argv: list[str]):
                 raise ValueError("--jobs must be >= 1")
         elif arg.startswith("--cache-dir"):
             cache_dir, i = _flag_value(argv, i, "--cache-dir")
+        elif arg.startswith("--engine"):
+            engine, i = _flag_value(argv, i, "--engine")
+            if engine not in ENGINES:
+                raise ValueError(
+                    f"--engine expects one of {ENGINES}, got {engine!r}"
+                )
         elif arg.startswith("-"):
             raise ValueError(f"unknown option {arg!r}")
         else:
             names.append(arg)
             i += 1
-    return names, jobs, cache_dir, validate
+    return names, jobs, cache_dir, validate, engine
 
 
 def _flag_value(argv: list[str], i: int, flag: str) -> tuple[str, int]:
@@ -117,7 +128,7 @@ def _flag_value(argv: list[str], i: int, flag: str) -> tuple[str, int]:
 def main(argv: list[str]) -> int:
     """Entry point: run the selected (or all) experiments."""
     try:
-        names, jobs, cache_dir, validate = parse_args(argv)
+        names, jobs, cache_dir, validate, engine = parse_args(argv)
     except _HelpRequested as exc:
         print(exc)
         return 0
@@ -134,6 +145,7 @@ def main(argv: list[str]) -> int:
     ctx = ExperimentContext(
         jobs=jobs,
         validate=validate,
+        engine=engine,
         cache=ResultCache(directory=cache_dir),
     )
     for name in names:

@@ -29,6 +29,7 @@ from functools import cached_property
 from repro.dram.commands import Command, CommandType
 from repro.dram.engine import build_dependents
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.dram.steady import SegmentRecorder, StreamPeriod
 from repro.errors import CompileError
 from repro.optim.base import Lincomb, Mul, RsqrtMul, UpdateRecipe
 from repro.optim.precision import PrecisionConfig, PRECISION_8_32
@@ -47,6 +48,9 @@ class AoSKernel:
     n_columns: int  # per unit
     n_units: int
     structure_bytes: int
+    #: Stripe-period metadata (one segment: the per-column sweep over
+    #: all units), consumed by the ``"periodic"`` scheduler engine.
+    period: "StreamPeriod | None" = None
 
     @property
     def total_params(self) -> int:
@@ -150,7 +154,10 @@ class AoSKernelGenerator:
             )
             acts[unit] = len(commands) - 1
 
+        recorder = SegmentRecorder(columns=columns_per_unit)
+        recorder.begin(1, len(commands))
         for col in range(columns_per_unit):
+            recorder.sweep(len(commands))
             for unit in units:
                 rank, bg, bank = unit
                 reg = col % 2
@@ -188,6 +195,7 @@ class AoSKernelGenerator:
                 accesses[unit].append(len(commands) - 1)
                 reg_last[(unit, reg)] = len(commands) - 1
 
+        recorder.end(len(commands))
         for unit in units:
             rank, bg, bank = unit
             commands.append(
@@ -203,4 +211,5 @@ class AoSKernelGenerator:
             n_columns=columns_per_unit,
             n_units=len(units),
             structure_bytes=struct,
+            period=recorder.finish(len(commands)),
         )

@@ -31,6 +31,7 @@ from typing import Optional
 from repro.dram.commands import Command, CommandType, QUANT_REG
 from repro.dram.engine import build_dependents
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.dram.steady import SegmentRecorder, StreamPeriod
 from repro.errors import CompileError
 from repro.kernels.layout import UpdateLayout, ColumnCoords
 from repro.optim.base import (
@@ -91,6 +92,11 @@ class CompiledKernel:
     precision: PrecisionConfig
     n_hp_columns: int  # columns actually compiled
     phase_counts: dict[str, int]  # commands per phase (incl. row cmds)
+    #: Stripe-period metadata (steady-state sample kernels only): the
+    #: index range and commands-per-sweep of every periodic phase body,
+    #: consumed by the ``"periodic"`` scheduler engine. ``None`` for
+    #: full-array (``n_params``) compilations.
+    period: Optional[StreamPeriod] = None
 
     @property
     def total_commands(self) -> int:
@@ -218,7 +224,15 @@ class UpdateKernelCompiler:
         layout = self._build_layout(recipe, precision, columns)
         pass_slots = self._assign_pass_slots(recipe)
 
-        state = _EmitState(geometry=self.geometry, layout=layout)
+        # Steady-state samples (uniform per-stripe plans) carry period
+        # metadata; full-array compilations have ragged stripes and
+        # none of the periodic structure the metadata promises.
+        recorder = None
+        if columns_per_stripe is not None and columns and columns[0]:
+            recorder = SegmentRecorder(columns=len(columns[0]))
+        state = _EmitState(
+            geometry=self.geometry, layout=layout, recorder=recorder
+        )
         fuse = fuse_quantize and not precision.is_full
         if not precision.is_full:
             state.phase = "dequantize"
@@ -230,6 +244,7 @@ class UpdateKernelCompiler:
         )
         if not precision.is_full and not fuse:
             state.phase = "quantize"
+            state.end_segment()
             state.set_slots({1.0: 0})
             self._emit_quantize(state, precision, columns)
         if close_rows:
@@ -242,6 +257,11 @@ class UpdateKernelCompiler:
             precision=precision,
             n_hp_columns=sum(len(c) for c in columns),
             phase_counts=state.phase_counts,
+            period=(
+                recorder.finish(len(state.commands))
+                if recorder is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -344,7 +364,13 @@ class UpdateKernelCompiler:
     ) -> None:
         """Fig. 5 (top): q_grad -> grad through the quantization register."""
         ratio = precision.ratio
-        for stripe, hp_cols in _round_robin(columns, ratio):
+        stride = len(columns)
+        state.begin_segment(ratio)
+        for pos2, (stripe, hp_cols) in enumerate(
+            _round_robin(columns, ratio)
+        ):
+            if pos2 % stride == 0:
+                state.mark_sweep()
             lp_col = hp_cols[0] // ratio
             load = state.emit_qreg_load("q_grad", lp_col)
             for pos, j in enumerate(hp_cols):
@@ -365,8 +391,23 @@ class UpdateKernelCompiler:
         """Fig. 5 (middle): one command group per column per pass."""
         for pass_index, p in enumerate(recipe.passes):
             final = pass_index == len(recipe.passes) - 1
+            state.end_segment()
             state.set_slots(pass_slots[pass_index])
-            for stripe, hp_cols in _round_robin(columns, 1):
+            # With a fused quantize the final pass emits the packed
+            # q_theta store only every ``ratio`` columns, so the
+            # uniform repeating unit spans that many stripe rounds.
+            group = (
+                fused_precision.ratio
+                if final and fused_precision is not None
+                else 1
+            )
+            stride = len(columns) * group
+            state.begin_segment(group)
+            for pos2, (stripe, hp_cols) in enumerate(
+                _round_robin(columns, 1)
+            ):
+                if pos2 % stride == 0:
+                    state.mark_sweep()
                 j = hp_cols[0]
                 theta_reg = self._lower_pass_column(state, p, stripe, j)
                 if final and fused_precision is not None:
@@ -482,7 +523,13 @@ class UpdateKernelCompiler:
     ) -> None:
         """Fig. 5 (bottom): theta -> q_theta, a quarter at a time."""
         ratio = precision.ratio
-        for stripe, hp_cols in _round_robin(columns, ratio):
+        stride = len(columns)
+        state.begin_segment(ratio)
+        for pos2, (stripe, hp_cols) in enumerate(
+            _round_robin(columns, ratio)
+        ):
+            if pos2 % stride == 0:
+                state.mark_sweep()
             lp_col = hp_cols[0] // ratio
             for pos, j in enumerate(hp_cols):
                 reg = pos % 2
@@ -526,9 +573,11 @@ class _EmitState:
         self,
         geometry: DeviceGeometry,
         layout: UpdateLayout,
+        recorder: Optional[SegmentRecorder] = None,
     ) -> None:
         self.geometry = geometry
         self.layout = layout
+        self.recorder = recorder
         self.slots: dict[float, int] = {1.0: 0}
         self.commands: list[Command] = []
         self.phase = "setup"
@@ -575,6 +624,24 @@ class _EmitState:
                 self._programmed[(rank, slot)] = coef
                 self._mrw_dep[rank] = index
         self.slots = slot_map
+
+    # -- period metadata ---------------------------------------------------
+    def begin_segment(self, columns_per_sweep: int) -> None:
+        """Open a periodic phase body for the sweep recorder."""
+        if self.recorder is not None:
+            self.recorder.begin(columns_per_sweep, len(self.commands))
+
+    def end_segment(self) -> None:
+        """Close the open phase body (inter-phase commands — scaler
+        MRWs — belong to the next segment's prologue, not the previous
+        segment's final sweep)."""
+        if self.recorder is not None:
+            self.recorder.end(len(self.commands))
+
+    def mark_sweep(self) -> None:
+        """Record a sweep boundary (one round-robin pass over stripes)."""
+        if self.recorder is not None:
+            self.recorder.sweep(len(self.commands))
 
     # -- helpers ---------------------------------------------------------
     def regs(self, stripe: int) -> _RegAllocator:
@@ -849,6 +916,8 @@ class _EmitState:
     def close_all_rows(self) -> None:
         """Close every open row (pairing each ACT with a PRE)."""
         self.phase = "row-close"
+        if self.recorder is not None:
+            self.recorder.end(len(self.commands))
         for key in sorted(self._rows):
             open_row, accesses, act_index = self._rows[key]
             rank, bankgroup, bank = key

@@ -22,6 +22,7 @@ from functools import cached_property
 from repro.dram.commands import Command, CommandType
 from repro.dram.engine import build_dependents
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
+from repro.dram.steady import SegmentRecorder, StreamPeriod
 from repro.errors import CompileError
 from repro.kernels.layout import UpdateLayout, ColumnCoords
 from repro.optim.precision import PrecisionConfig, PRECISION_8_32
@@ -38,6 +39,10 @@ class BaselineStream:
     n_hp_columns: int
     reads: int
     writes: int
+    #: Stripe-period metadata (steady-state sample streams only),
+    #: consumed by the ``"periodic"`` scheduler engine. ``None`` for
+    #: full-array (``n_params``) streams.
+    period: "StreamPeriod | None" = None
 
     @property
     def total_commands(self) -> int:
@@ -105,11 +110,20 @@ class BaselineStreamGenerator:
 
         ratio = precision.ratio if not precision.is_full else 1
         states = tuple(optimizer.state_arrays())
-        emitter = _StreamEmitter(self.geometry, layout)
+        recorder = None
+        if columns_per_stripe is not None and columns and columns[0]:
+            recorder = SegmentRecorder(columns=len(columns[0]))
+        emitter = _StreamEmitter(self.geometry, layout, recorder)
+        stride = len(columns)
 
         if not precision.is_full and not fused:
             # Phase 1 — dequantize: q_grad -> grad over the bus.
-            for stripe, hp_cols in _round_robin(columns, ratio):
+            emitter.begin_segment(ratio)
+            for pos, (stripe, hp_cols) in enumerate(
+                _round_robin(columns, ratio)
+            ):
+                if pos % stride == 0:
+                    emitter.mark_sweep()
                 lp_col = hp_cols[0] // ratio
                 rd = emitter.access(
                     CommandType.RD, "q_grad", lp_col, packed=True
@@ -121,7 +135,12 @@ class BaselineStreamGenerator:
         grad_name = (
             "q_grad" if (fused and not precision.is_full) else "grad"
         )
-        for stripe, hp_cols in _round_robin(columns, ratio):
+        emitter.begin_segment(ratio)
+        for pos, (stripe, hp_cols) in enumerate(
+            _round_robin(columns, ratio)
+        ):
+            if pos % stride == 0:
+                emitter.mark_sweep()
             lp_col = hp_cols[0] // ratio
             shared: list[int] = []
             if grad_name == "q_grad":
@@ -153,7 +172,12 @@ class BaselineStreamGenerator:
 
         if not precision.is_full and not fused:
             # Phase 3 — quantize: theta -> q_theta over the bus.
-            for stripe, hp_cols in _round_robin(columns, ratio):
+            emitter.begin_segment(ratio)
+            for pos, (stripe, hp_cols) in enumerate(
+                _round_robin(columns, ratio)
+            ):
+                if pos % stride == 0:
+                    emitter.mark_sweep()
                 lp_col = hp_cols[0] // ratio
                 reads = [
                     emitter.access(CommandType.RD, "theta", j)
@@ -172,6 +196,11 @@ class BaselineStreamGenerator:
             n_hp_columns=sum(len(c) for c in columns),
             reads=emitter.reads,
             writes=emitter.writes,
+            period=(
+                recorder.finish(len(emitter.commands))
+                if recorder is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -263,13 +292,29 @@ def _round_robin(
 class _StreamEmitter:
     """Row-aware RD/WR emitter over an :class:`UpdateLayout`."""
 
-    def __init__(self, geometry: DeviceGeometry, layout: UpdateLayout):
+    def __init__(
+        self,
+        geometry: DeviceGeometry,
+        layout: UpdateLayout,
+        recorder: SegmentRecorder | None = None,
+    ):
         self.geometry = geometry
         self.layout = layout
+        self.recorder = recorder
         self.commands: list[Command] = []
         self.reads = 0
         self.writes = 0
         self._rows: dict[tuple[int, int, int], list] = {}
+
+    def begin_segment(self, columns_per_sweep: int) -> None:
+        """Open a periodic phase body for the sweep recorder."""
+        if self.recorder is not None:
+            self.recorder.begin(columns_per_sweep, len(self.commands))
+
+    def mark_sweep(self) -> None:
+        """Record a sweep boundary (one round-robin pass over stripes)."""
+        if self.recorder is not None:
+            self.recorder.sweep(len(self.commands))
 
     def access(
         self,
@@ -338,6 +383,8 @@ class _StreamEmitter:
         return [len(self.commands) - 1]
 
     def close_all_rows(self) -> None:
+        if self.recorder is not None:
+            self.recorder.end(len(self.commands))
         for key in sorted(self._rows):
             open_row, accesses, act_index = self._rows[key]
             rank, bankgroup, bank = key

@@ -84,6 +84,16 @@ def _parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--engine",
+        choices=("incremental", "reference", "periodic"),
+        default=None,
+        help=(
+            "force a scheduler engine onto every job (periodic = "
+            "steady-state extrapolation; all engines produce "
+            "byte-identical results)"
+        ),
+    )
+    parser.add_argument(
         "--channels",
         type=int,
         default=None,
@@ -168,6 +178,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (OSError, ValueError, ConfigError) as exc:
         print(f"bad job file: {exc}", file=sys.stderr)
         return 2
+    if args.engine is not None:
+        specs = [
+            dataclasses.replace(s, engine=args.engine) for s in specs
+        ]
     if args.no_validate:
         specs = [
             dataclasses.replace(s, validate=False) for s in specs

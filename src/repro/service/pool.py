@@ -49,6 +49,7 @@ def _substrate_key(spec: SimJobSpec) -> tuple:
         tuple(sorted(spec.geometry.items())),
         spec.channels,
         spec.validate,
+        spec.engine,
     )
 
 
@@ -63,6 +64,7 @@ def _shared_update_model(
             geometry=job.geometry,
             columns_per_stripe=job.columns_per_stripe,
             validate=job.validate,
+            engine=job.engine,
         )
         _MODELS[key] = model
     return model

@@ -96,6 +96,7 @@ class ResolvedJob:
     designs: tuple[DesignPoint, ...]
     columns_per_stripe: int
     validate: bool
+    engine: str
 
 
 @dataclass(frozen=True, eq=False)
@@ -133,6 +134,14 @@ class SimJobSpec:
     #: the job's content hash, so validated and unvalidated runs cache
     #: separately.
     validate: bool = True
+    #: Scheduler engine for update-phase profiling: ``"incremental"``
+    #: (default), ``"reference"`` (the seed greedy loop, kept as the
+    #: equivalence oracle), or ``"periodic"`` (steady-state
+    #: extrapolation — profiles a warm sample and closes the form for
+    #: the full window; byte-identical results, enforced by tests).
+    #: Part of the content hash: engines are exact-equivalent, but a
+    #: cache entry must record how it was produced.
+    engine: str = "incremental"
 
     def __post_init__(self) -> None:
         if self.network not in NETWORK_BUILDERS:
@@ -166,6 +175,11 @@ class SimJobSpec:
         if not isinstance(self.validate, bool):
             raise ConfigError(
                 f"validate must be a boolean, got {self.validate!r}"
+            )
+        if self.engine not in ("incremental", "reference", "periodic"):
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; choose from "
+                "('incremental', 'reference', 'periodic')"
             )
         object.__setattr__(
             self,
@@ -246,6 +260,7 @@ class SimJobSpec:
             "columns_per_stripe": self.columns_per_stripe,
             "channels": self.channels,
             "validate": self.validate,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -307,4 +322,5 @@ class SimJobSpec:
             designs=tuple(DesignPoint(v) for v in self.designs),
             columns_per_stripe=self.columns_per_stripe,
             validate=self.validate,
+            engine=self.engine,
         )

@@ -78,7 +78,7 @@ def _design_stream(design, model=None):
         "momentum_sgd", {"eta": 0.01, "alpha": 0.9, "weight_decay": 1e-4}
     )
     config = DESIGNS[design]
-    commands, _, _, dependents = model._build_stream(
+    commands, _, _, dependents, _period = model._build_stream(
         config, optimizer, PRECISIONS["8/32"]
     )
     return config, commands, dependents
@@ -212,7 +212,7 @@ class TestGeneratorStreamProperties:
         model = UpdatePhaseModel(
             timing=PRESETS[timing_name], columns_per_stripe=4
         )
-        commands, _, _, dependents = model._build_stream(
+        commands, _, _, dependents, _period = model._build_stream(
             config, optimizer, PRECISIONS["8/32"]
         )
         issue_model = (

@@ -1,0 +1,88 @@
+"""Small-stream serial fallback in cross-process channel scheduling.
+
+``BENCH_channels.json`` measured the fork-per-call overhead losing on
+update-phase-sized streams (parallel_speedup 0.73x at two channels), so
+:func:`repro.dram.parallel.schedule_channels` now falls back to the
+serial loop below a commands-per-worker floor — and reports which path
+ran, so benchmarks can attribute their timings.
+"""
+
+from repro.dram.parallel import (
+    PARALLEL_MIN_COMMANDS_PER_WORKER,
+    schedule_channels,
+)
+from repro.dram.scheduler import CommandScheduler, replicate_across_channels
+from repro.dram.timing import HBM_LIKE
+from repro.optim.precision import PRECISION_8_32
+from repro.optim.registry import build_optimizer
+from repro.system.design import DESIGNS, DesignPoint
+from repro.system.update_model import UpdatePhaseModel
+
+import dataclasses
+
+
+def _stream(channels=2, columns=8):
+    model = UpdatePhaseModel(
+        timing=HBM_LIKE, columns_per_stripe=columns
+    )
+    optimizer = build_optimizer(
+        "momentum_sgd", {"eta": 0.01, "alpha": 0.9, "weight_decay": 1e-4}
+    )
+    config = DESIGNS[DesignPoint.GRADPIM_BUFFERED]
+    commands, _, _, dependents, _period = model._build_stream(
+        config, optimizer, PRECISION_8_32
+    )
+    commands, dependents = replicate_across_channels(
+        commands, channels, dependents
+    )
+    geometry = dataclasses.replace(model.geometry, channels=channels)
+    scheduler = CommandScheduler(
+        HBM_LIKE,
+        geometry,
+        config.issue_model(geometry),
+        per_bank_pim=config.per_bank_pim,
+        data_bus_scope=config.data_bus_scope,
+    )
+    return scheduler, commands, dependents
+
+
+def test_small_streams_schedule_serially():
+    scheduler, commands, dependents = _stream()
+    assert len(commands) < PARALLEL_MIN_COMMANDS_PER_WORKER * 2
+    info = {}
+    result = schedule_channels(
+        scheduler, commands, dependents=dependents, workers=2,
+        info=info,
+    )
+    assert info["path"] == "serial-small-stream"
+    assert info["min_commands_per_worker"] == (
+        PARALLEL_MIN_COMMANDS_PER_WORKER
+    )
+    # The serial path is the exact same schedule.
+    direct = scheduler.run(commands, dependents=dependents)
+    assert result.issue_cycles() == direct.issue_cycles()
+    assert result.stats == direct.stats
+
+
+def test_threshold_overridable_and_parallel_path_identical():
+    scheduler, commands, dependents = _stream()
+    info = {}
+    result = schedule_channels(
+        scheduler, commands, dependents=dependents, workers=2,
+        min_commands_per_worker=0, info=info,
+    )
+    assert info["path"] in ("parallel", "serial-fork-unavailable")
+    assert info["min_commands_per_worker"] == 0
+    direct = scheduler.run(commands, dependents=dependents)
+    assert result.issue_cycles() == direct.issue_cycles()
+    assert result.stats == direct.stats
+
+
+def test_degenerate_worker_counts_stay_serial():
+    scheduler, commands, dependents = _stream()
+    info = {}
+    schedule_channels(
+        scheduler, commands, dependents=dependents, workers=1,
+        info=info,
+    )
+    assert info["path"] == "serial-degenerate"

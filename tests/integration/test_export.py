@@ -51,3 +51,25 @@ def test_fig9_export_structure(tmp_path, ctx):
 def test_cli_usage_error(capsys):
     assert main([]) == 2
     assert "usage" in capsys.readouterr().out
+
+
+def test_main_threads_runner_flags(tmp_path, monkeypatch):
+    """Regression: main() must unpack the runner's full parse_args
+    tuple (it silently exited 2 on every invocation when the shapes
+    diverged) and thread --no-validate/--engine into the context."""
+    import repro.experiments.export as export_mod
+
+    seen = {}
+
+    def fake_export_all(out_dir, context):
+        seen["jobs"] = context.jobs
+        seen["validate"] = context.validate
+        seen["engine"] = context.engine
+        return []
+
+    monkeypatch.setattr(export_mod, "export_all", fake_export_all)
+    assert main([
+        "--jobs", "2", "--no-validate", "--engine", "periodic",
+        str(tmp_path),
+    ]) == 0
+    assert seen == {"jobs": 2, "validate": False, "engine": "periodic"}

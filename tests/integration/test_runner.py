@@ -52,7 +52,12 @@ def test_main_accepts_no_validate(capsys):
 def test_parse_args_no_validate():
     from repro.experiments.runner import parse_args
 
-    assert parse_args(["fig9"]) == (["fig9"], 1, None, True)
+    assert parse_args(["fig9"]) == (["fig9"], 1, None, True, "incremental")
     assert parse_args(["--no-validate", "fig9"]) == (
-        ["fig9"], 1, None, False,
+        ["fig9"], 1, None, False, "incremental",
     )
+    assert parse_args(["--engine", "periodic", "fig9"]) == (
+        ["fig9"], 1, None, True, "periodic",
+    )
+    with pytest.raises(ValueError):
+        parse_args(["--engine", "warp-drive", "fig9"])

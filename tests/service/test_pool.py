@@ -169,9 +169,9 @@ class TestSubstrateMemoization:
         runs = []
         real = CommandScheduler.run
 
-        def counting(self, commands, dependents=None):
+        def counting(self, commands, dependents=None, **kwargs):
             runs.append(len(commands))
-            return real(self, commands, dependents)
+            return real(self, commands, dependents, **kwargs)
 
         monkeypatch.setattr(CommandScheduler, "run", counting)
         specs = [

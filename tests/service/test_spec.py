@@ -280,3 +280,47 @@ class TestValidateFlag:
             SimJobSpec(network="MLP1", validate=False).resolve().validate
             is False
         )
+
+
+class TestEngineField:
+    def test_default_and_round_trip(self):
+        spec = SimJobSpec(network="MLP1")
+        assert spec.engine == "incremental"
+        assert spec.to_dict()["engine"] == "incremental"
+        periodic = SimJobSpec.from_dict(
+            {"network": "MLP1", "engine": "periodic"}
+        )
+        assert periodic.engine == "periodic"
+        assert SimJobSpec.from_dict(periodic.to_dict()) == periodic
+
+    def test_engine_is_part_of_the_content_hash(self):
+        default = SimJobSpec(network="MLP1")
+        periodic = SimJobSpec(network="MLP1", engine="periodic")
+        assert default.content_hash() != periodic.content_hash()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            SimJobSpec(network="MLP1", engine="warp-drive")
+
+    def test_resolve_carries_engine(self):
+        assert (
+            SimJobSpec(network="MLP1", engine="periodic")
+            .resolve()
+            .engine
+            == "periodic"
+        )
+
+    def test_engines_produce_identical_results(self):
+        from repro.service.pool import clear_model_cache, execute_spec
+
+        results = {}
+        for engine in ("incremental", "periodic"):
+            clear_model_cache()
+            spec = SimJobSpec(
+                network="MLP1",
+                columns_per_stripe=8,
+                designs=("Baseline", "GradPIM-BD"),
+                engine=engine,
+            )
+            results[engine] = execute_spec(spec).to_dict()
+        assert results["incremental"] == results["periodic"]
