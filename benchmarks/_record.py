@@ -1,0 +1,67 @@
+"""Shared stamping for ``BENCH_*.json`` records.
+
+Every benchmark writes its payload through :func:`write_record`, which
+stamps three blocks alongside the benchmark's own fields so records
+from different machines and different repo states stay comparable:
+
+* ``record_schema_version`` — bumped when the stamp layout changes;
+* ``host`` — platform, python version/implementation, cpu count (the
+  context wall-clock numbers are meaningless without);
+* ``tier1`` — the tier-1 verification command the repo gates on (from
+  ROADMAP.md), so a record names the exact check its tree passed.
+
+Benchmarks keep full ownership of their payload schema; the stamp only
+adds keys at the top level (and refuses to silently overwrite one the
+payload already claimed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+#: Version of the stamp layout (not of any benchmark's own schema).
+RECORD_SCHEMA_VERSION = 1
+
+#: The tier-1 verification command (mirrors ROADMAP.md).
+TIER1_COMMAND = (
+    "PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q"
+)
+
+
+def host_stamp() -> dict:
+    """JSON-safe description of the machine running the benchmark."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def stamp(payload: dict) -> dict:
+    """Return a copy of ``payload`` with the record stamp applied."""
+    stamped = dict(payload)
+    for key, value in (
+        ("record_schema_version", RECORD_SCHEMA_VERSION),
+        ("host", host_stamp()),
+        ("tier1", {"command": TIER1_COMMAND}),
+    ):
+        if key in stamped and stamped[key] != value:
+            raise ValueError(
+                f"benchmark payload already defines {key!r}"
+            )
+        stamped[key] = value
+    return stamped
+
+
+def write_record(path: str | os.PathLike, payload: dict) -> Path:
+    """Stamp ``payload`` and write it to ``path`` as sorted JSON."""
+    out = Path(path)
+    out.write_text(
+        json.dumps(stamp(payload), indent=2, sort_keys=True) + "\n"
+    )
+    return out

@@ -77,7 +77,9 @@ import sys
 import time
 from pathlib import Path
 
+from _record import write_record
 from repro.dram.geometry import DeviceGeometry
+from repro.dram.parallel import PARALLEL_MIN_COMMANDS_PER_WORKER
 from repro.dram.scheduler import CommandScheduler, replicate_across_channels
 from repro.dram.timing import HBM_LIKE
 from repro.models.zoo import build_network
@@ -156,15 +158,18 @@ def bench_channels(
     )
     # Production policy: streams below the per-worker command floor
     # schedule serially (the fork was a measured regression there —
-    # this records which path actually served the call).
-    info: dict = {}
-    parallel_s = _best_of(
-        lambda: schedule_channels(
+    # the result's own stats record which path actually served the
+    # call, so nothing is re-derived out-of-band).
+    last: dict = {}
+
+    def _timed_parallel() -> None:
+        last["result"] = schedule_channels(
             scheduler, commands, dependents=dependents,
-            workers=n_channels, info=info,
-        ),
-        repeats,
-    )
+            workers=n_channels,
+        )
+
+    parallel_s = _best_of(_timed_parallel, repeats)
+    production_path = last["result"].stats.scheduling_path
     rate = profile.seconds_per_param
     return {
         "channels": n_channels,
@@ -174,8 +179,8 @@ def bench_channels(
         "parallel_workers": n_channels,
         "parallel_speedup": serial_s / parallel_s,
         "parallel_identical": identical,
-        "scheduling_path": info.get("path", "serial-degenerate"),
-        "min_commands_per_worker": info.get("min_commands_per_worker"),
+        "scheduling_path": production_path,
+        "min_commands_per_worker": PARALLEL_MIN_COMMANDS_PER_WORKER,
         "sim_ns_per_param": rate * 1e9,
         "rate_scaling_vs_one_channel": (
             one_channel_rate / rate if one_channel_rate else 1.0
@@ -351,9 +356,7 @@ def main(argv=None) -> int:
             ),
         },
     }
-    Path(args.output).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
+    write_record(args.output, payload)
     print(f"wrote {args.output}", file=sys.stderr)
 
     if failures:

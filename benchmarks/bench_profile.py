@@ -40,6 +40,7 @@ import sys
 import time
 from pathlib import Path
 
+from _record import write_record
 from repro.models.zoo import build_network
 from repro.optim.precision import PRECISIONS
 from repro.optim.registry import build_optimizer
@@ -260,9 +261,7 @@ def main(argv=None) -> int:
         "results": rows,
         "summary": summary,
     }
-    Path(args.output).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
+    write_record(args.output, payload)
     print(f"wrote {args.output}", file=sys.stderr)
 
     if failures:

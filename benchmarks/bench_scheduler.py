@@ -70,6 +70,7 @@ import sys
 import time
 from pathlib import Path
 
+from _record import write_record
 from repro.dram.scheduler import CommandScheduler
 from repro.models.zoo import build_network
 from repro.optim.precision import PRECISION_8_32
@@ -250,9 +251,7 @@ def main(argv=None) -> int:
             "pim_kernel_profile_speedup": geomean,
         },
     }
-    Path(args.output).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
+    write_record(args.output, payload)
     print(f"wrote {args.output}", file=sys.stderr)
 
     failures = [

@@ -46,12 +46,11 @@ Each ``client_latency`` entry is a streaming-histogram snapshot:
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import threading
 import time
-from pathlib import Path
 
+from _record import write_record
 from repro.server import ServerClient, ServerConfig, running_server
 from repro.server.metrics import StreamingHistogram
 
@@ -186,9 +185,7 @@ def main(argv=None) -> int:
         },
         "failures": failures,
     }
-    Path(args.output).write_text(
-        json.dumps(record, indent=2, sort_keys=True) + "\n"
-    )
+    write_record(args.output, record)
 
     all_latency = record["client_latency"]["all"]
     print(

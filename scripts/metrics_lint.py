@@ -1,0 +1,149 @@
+"""CI metrics lint: scrape a live /metrics, validate an exported trace.
+
+Boots a real gateway on an ephemeral port, runs one traced periodic
+job through it over HTTP, and checks the whole observability surface:
+
+* ``GET /metrics`` round-trips through ``parse_prometheus`` (every
+  line the server emits is well-formed exposition text) and carries
+  the engine counter families the dispatcher aggregates;
+* the exported trace file validates against the checked-in JSON
+  schema (``src/repro/obs/schemas/chrome_trace.schema.json``) and
+  covers the submit → dispatch → execute → cache-write span path;
+* the job envelope carries the engine flight-recorder delta.
+
+Exit status is non-zero on any violation — CI gates on it.
+
+Run:  PYTHONPATH=src python scripts/metrics_lint.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.obs.trace import (
+    disable_tracing,
+    enable_tracing,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import parse_prometheus
+from repro.server import ServerConfig, running_server
+
+#: Span names one traced server-side job must cover.
+REQUIRED_SPANS = {
+    "server.submit",
+    "server.cache_lookup",
+    "server.dispatch",
+    "server.cache_write",
+    "pool.execute",
+    "model.profile",
+}
+
+#: Metric families a post-job scrape must expose.
+REQUIRED_FAMILIES = {
+    "repro_server_requests_total",
+    "repro_server_request_seconds",
+    "repro_server_executions_total",
+}
+
+JOB = {
+    "network": "MLP1",
+    "columns_per_stripe": 8,
+    "designs": ["Baseline", "GradPIM-BD"],
+    "engine": "periodic",
+}
+
+
+def _http_json(url: str, body: dict | None = None) -> dict:
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def _http_text(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.read().decode()
+
+
+def main() -> int:
+    problems: list[str] = []
+    tracer = enable_tracing()
+    try:
+        with running_server(ServerConfig(port=0)) as server:
+            envelope = _http_json(
+                f"{server.url}/v1/jobs?wait=60", JOB
+            )["jobs"][0]
+            if envelope["status"] != "done":
+                problems.append(f"job did not finish: {envelope}")
+            report = envelope.get("engine_report")
+            if not report or report.get("engine") != "periodic":
+                problems.append(
+                    f"missing/inconsistent engine_report: {report!r}"
+                )
+            metrics_text = _http_text(f"{server.url}/metrics")
+    finally:
+        disable_tracing()
+
+    # 1. Exposition text survives a parse round trip and carries the
+    #    required families (plus at least one engine family).
+    families = parse_prometheus(metrics_text)
+    for name in sorted(REQUIRED_FAMILIES - set(families)):
+        problems.append(f"/metrics missing family {name}")
+    engine_families = [
+        f for f in families if f.startswith("repro_server_engine_")
+    ]
+    if not engine_families:
+        problems.append("/metrics carries no engine counter families")
+    outcomes = sum(
+        sum(series.values())
+        for name, series in families.items()
+        if name
+        in (
+            "repro_server_engine_fast_path_total",
+            "repro_server_engine_fallback_total",
+        )
+    )
+    if outcomes < 1:
+        problems.append(
+            "engine fast-path/fallback counters never incremented"
+        )
+
+    # 2. The exported trace validates against the checked-in schema
+    #    and covers the dispatch path.
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = tracer.write(Path(tmp) / "trace.json")
+        trace = json.loads(trace_path.read_text())
+    for error in validate_chrome_trace(trace):
+        problems.append(f"trace schema: {error}")
+    names = {
+        event["name"]
+        for event in trace["traceEvents"]
+        if event["ph"] == "X"
+    }
+    for name in sorted(REQUIRED_SPANS - names):
+        problems.append(f"trace missing span {name}")
+
+    print(
+        f"metrics-lint: {len(families)} families "
+        f"({len(engine_families)} engine), "
+        f"{len(names)} span names, "
+        f"{len(trace['traceEvents'])} trace events"
+    )
+    if problems:
+        for problem in problems:
+            print(f"LINT: {problem}", file=sys.stderr)
+        return 1
+    print("metrics-lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -77,28 +77,31 @@ def schedule_channels(
     Streams too small to amortize the fork (fewer than
     ``min_commands_per_worker`` commands per worker, default
     :data:`PARALLEL_MIN_COMMANDS_PER_WORKER`) schedule serially.
-    ``info``, when given, records which path actually ran under
-    ``info["path"]`` (``"parallel"``, ``"serial-small-stream"``,
-    ``"serial-degenerate"`` or ``"serial-fork-unavailable"``) plus the
-    effective threshold — the channel benchmark stores it so speedup
-    numbers are attributable.
+
+    The path actually taken (``"parallel"``, ``"serial-small-stream"``,
+    ``"serial-degenerate"`` or ``"serial-fork-unavailable"``) is
+    recorded on the result as ``result.stats.scheduling_path`` — the
+    channel benchmark and the engine flight recorder read it there.
+    ``info``, when given, receives the same ``"path"`` plus the
+    effective threshold (legacy out-of-band channel, kept for callers
+    that never look at the result object).
     """
     threshold = (
         PARALLEL_MIN_COMMANDS_PER_WORKER
         if min_commands_per_worker is None
         else min_commands_per_worker
     )
-    if info is not None:
-        info["min_commands_per_worker"] = threshold
-        info["path"] = "serial-degenerate"
+    if info is None:
+        info = {}
+    info["min_commands_per_worker"] = threshold
+    info["path"] = "serial-degenerate"
 
     def runner(parts):
         live = [p for p in parts if p.commands]
         if workers <= 1 or len(live) <= 1:
             return None  # nothing to parallelize: serial loop
         if len(commands) < threshold * min(workers, len(live)):
-            if info is not None:
-                info["path"] = "serial-small-stream"
+            info["path"] = "serial-small-stream"
             return None  # fork overhead would dominate: serial loop
         with _CHANNEL_LOCK:
             _CHANNEL_WORK["scheduler"] = scheduler
@@ -110,13 +113,11 @@ def schedule_channels(
                 ) as pool:
                     out = pool.map(_run_partition, range(len(live)))
             except (OSError, ValueError):
-                if info is not None:
-                    info["path"] = "serial-fork-unavailable"
+                info["path"] = "serial-fork-unavailable"
                 return None  # fork-less platform: serial loop
             finally:
                 _CHANNEL_WORK.clear()
-        if info is not None:
-            info["path"] = "parallel"
+        info["path"] = "parallel"
         stats_by_channel = {}
         for part, (channel, cycles, stats) in zip(live, out):
             assert part.channel == channel
@@ -128,6 +129,8 @@ def schedule_channels(
             for p in parts
         ]
 
-    return scheduler.run(
+    result = scheduler.run(
         commands, dependents=dependents, partition_runner=runner
     )
+    result.stats.scheduling_path = info["path"]
+    return result

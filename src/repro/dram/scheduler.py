@@ -321,7 +321,11 @@ class CommandScheduler:
                 copies[global_i].issue_cycle = (
                     part.commands[local].issue_cycle
                 )
-        return TraceStats.merge_channels(per_channel)
+        merged = TraceStats.merge_channels(per_channel)
+        # Default attribution; schedule_channels overwrites it with the
+        # path its partition runner actually took.
+        merged.scheduling_path = "serial"
+        return merged
 
     # ------------------------------------------------------------------
     def _run_incremental(

@@ -170,7 +170,9 @@ def main(argv: list[str]) -> int:
         "[--engine ENGINE] <out_dir>"
     )
     try:
-        positional, jobs, cache_dir, validate, engine = parse_args(argv)
+        (
+            positional, jobs, cache_dir, validate, engine, _trace,
+        ) = parse_args(argv)
     except _HelpRequested:
         print(usage)
         return 0

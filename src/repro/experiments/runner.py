@@ -18,6 +18,10 @@ profiled schedule — faster sweeps at the cost of the redundant
 cross-check (the scheduler itself stays property-tested against its
 reference implementation). Figure output is identical either way;
 validated and unvalidated runs use separate cache entries.
+
+``--trace out.json`` records a span trace of the whole run (submit →
+pool dispatch → model/stream build → engine schedule → validate →
+cache write) and writes Chrome trace-event JSON loadable in Perfetto.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ from repro.experiments.fig12 import (
 from repro.experiments.fig13 import render_fig13, run_fig13
 from repro.experiments.fig14 import render_fig14, run_fig14
 from repro.experiments.tables import render_tables
+from repro.obs.trace import disable_tracing, enable_tracing
 from repro.service.cache import ResultCache
 
 
@@ -63,7 +68,7 @@ EXPERIMENTS = {
 USAGE = (
     "usage: python -m repro.experiments.runner "
     "[--jobs N] [--cache-dir DIR] [--no-validate] "
-    "[--engine ENGINE] [figure ...]"
+    "[--engine ENGINE] [--trace FILE] [figure ...]"
 )
 
 #: Scheduler engines selectable on the CLI (all exact-equivalent).
@@ -76,12 +81,13 @@ class _HelpRequested(ValueError):
 
 def parse_args(argv: list[str]):
     """Split argv into (figure names, jobs, cache_dir, validate,
-    engine) or raise ValueError."""
+    engine, trace) or raise ValueError."""
     names: list[str] = []
     jobs = 1
     cache_dir = None
     validate = True
     engine = "incremental"
+    trace = None
     i = 0
     while i < len(argv):
         arg = argv[i]
@@ -106,12 +112,14 @@ def parse_args(argv: list[str]):
                 raise ValueError(
                     f"--engine expects one of {ENGINES}, got {engine!r}"
                 )
+        elif arg.startswith("--trace"):
+            trace, i = _flag_value(argv, i, "--trace")
         elif arg.startswith("-"):
             raise ValueError(f"unknown option {arg!r}")
         else:
             names.append(arg)
             i += 1
-    return names, jobs, cache_dir, validate, engine
+    return names, jobs, cache_dir, validate, engine, trace
 
 
 def _flag_value(argv: list[str], i: int, flag: str) -> tuple[str, int]:
@@ -128,7 +136,9 @@ def _flag_value(argv: list[str], i: int, flag: str) -> tuple[str, int]:
 def main(argv: list[str]) -> int:
     """Entry point: run the selected (or all) experiments."""
     try:
-        names, jobs, cache_dir, validate, engine = parse_args(argv)
+        names, jobs, cache_dir, validate, engine, trace = parse_args(
+            argv
+        )
     except _HelpRequested as exc:
         print(exc)
         return 0
@@ -148,14 +158,24 @@ def main(argv: list[str]) -> int:
         engine=engine,
         cache=ResultCache(directory=cache_dir),
     )
-    for name in names:
-        start = time.time()
-        print("=" * 72)
-        print(EXPERIMENTS[name](ctx))
-        print(
-            f"[{name} done in {time.time() - start:.1f}s]",
-            file=sys.stderr,
-        )
+    tracer = enable_tracing() if trace else None
+    try:
+        for name in names:
+            start = time.time()
+            print("=" * 72)
+            print(EXPERIMENTS[name](ctx))
+            print(
+                f"[{name} done in {time.time() - start:.1f}s]",
+                file=sys.stderr,
+            )
+    finally:
+        if tracer is not None:
+            tracer.write(trace)
+            disable_tracing()
+            print(
+                f"wrote {len(tracer.spans())} spans to {trace}",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -1,0 +1,72 @@
+"""Unified observability for the simulation stack.
+
+Every layer of the repo — the DRAM engines, the update-phase model, the
+service pool, the HTTP gateway — reports through this package:
+
+* :mod:`repro.obs.metrics` — streaming histograms and the Prometheus
+  registry (promoted from ``repro.server.metrics``, which re-exports
+  for compatibility), plus a process-global default registry and
+  cross-process snapshot/merge so pool workers' counters and latency
+  histograms survive the process boundary.
+* :mod:`repro.obs.trace` — span-based tracing: a context-manager API,
+  thread- and process-aware span records, Chrome trace-event /
+  Perfetto JSON export, and ingest of spans shipped back from worker
+  processes. Disabled by default; the off path is a single module
+  attribute check.
+* :mod:`repro.obs.report` — :class:`EngineReport`, the scheduler-engine
+  flight recorder: lock attempts, escalation rungs, super-periods,
+  replayed-vs-simulated work, fallback *reasons*, and channel
+  scheduling paths, serialized through the service envelope and
+  aggregated into ``/metrics``.
+* :mod:`repro.obs.log` — JSON structured logging with spec-hash
+  correlation ids (``repro-server --log-json``).
+
+Everything here is stdlib-only and safe to import from worker
+processes.
+"""
+
+from repro.obs.log import (
+    configure_json_logging,
+    correlation_scope,
+    get_correlation_id,
+    get_logger,
+    set_correlation_id,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    StreamingHistogram,
+    default_registry,
+    parse_prometheus,
+    set_default_registry,
+)
+from repro.obs.report import EngineReport
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "EngineReport",
+    "MetricsRegistry",
+    "Span",
+    "StreamingHistogram",
+    "Tracer",
+    "active_tracer",
+    "configure_json_logging",
+    "correlation_scope",
+    "default_registry",
+    "disable_tracing",
+    "enable_tracing",
+    "get_correlation_id",
+    "get_logger",
+    "parse_prometheus",
+    "set_correlation_id",
+    "set_default_registry",
+    "span",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,119 @@
+"""JSON structured logging with spec-hash correlation ids.
+
+The stack logs through ordinary :mod:`logging` loggers under the
+``repro`` hierarchy. Nothing is emitted by default (no handler is
+attached until :func:`configure_json_logging` runs), so library use
+stays silent; the server's ``--log-json`` flag and the tracing CLIs
+opt in to one-JSON-object-per-line output on stderr.
+
+Correlation: :func:`correlation_scope` binds a job's spec hash to the
+current thread/task via a :class:`contextvars.ContextVar`; every
+record formatted inside the scope carries it as ``correlation_id``, so
+a single job can be followed across the HTTP handler, the dispatcher
+thread, and (worker-side) the pool.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import datetime
+import json
+import logging
+import os
+import sys
+from typing import IO, Iterator, Optional
+
+#: Attributes every LogRecord carries; anything else was passed via
+#: ``extra=`` and belongs in the JSON payload.
+_STANDARD_ATTRS = frozenset(
+    logging.makeLogRecord({}).__dict__
+) | {"message", "asctime", "taskName"}
+
+_correlation_id: contextvars.ContextVar[Optional[str]] = (
+    contextvars.ContextVar("repro_correlation_id", default=None)
+)
+
+
+def get_correlation_id() -> Optional[str]:
+    """The correlation id bound to the current context, if any."""
+    return _correlation_id.get()
+
+
+def set_correlation_id(cid: Optional[str]) -> None:
+    """Bind ``cid`` (typically a spec hash) to the current context."""
+    _correlation_id.set(cid)
+
+
+@contextlib.contextmanager
+def correlation_scope(cid: Optional[str]) -> Iterator[None]:
+    """Bind ``cid`` for the duration of the ``with`` block."""
+    token = _correlation_id.set(cid)
+    try:
+        yield
+    finally:
+        _correlation_id.reset(token)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message,
+    correlation_id (when bound), pid/tid, and any ``extra=`` fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": datetime.datetime.fromtimestamp(
+                record.created, tz=datetime.timezone.utc
+            ).isoformat(timespec="milliseconds"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+            "pid": record.process,
+            "tid": record.thread,
+        }
+        cid = get_correlation_id()
+        if cid:
+            payload["correlation_id"] = cid
+        for key, value in record.__dict__.items():
+            if key in _STANDARD_ATTRS or key.startswith("_"):
+                continue
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=True)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger in the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_json_logging(
+    stream: Optional[IO[str]] = None,
+    level: int = logging.INFO,
+) -> logging.Handler:
+    """Attach a JSON handler to the ``repro`` logger tree.
+
+    Idempotent per stream: reconfiguring replaces any handler this
+    function previously installed rather than stacking duplicates.
+    Returns the installed handler (tests detach it in teardown).
+    """
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_json", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    handler._repro_json = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    # Keep records out of the (WARNING-level) lastResort handler once
+    # we own the output format.
+    root.propagate = False
+    return handler
+
+
+def pid_tag() -> str:
+    """Short ``pid`` tag for log/trace labels (test-friendly)."""
+    return f"pid-{os.getpid()}"

@@ -1,0 +1,319 @@
+"""Span-based tracing with Chrome trace-event / Perfetto export.
+
+A :class:`Tracer` collects :class:`Span` records — name, wall-clock
+window, pid/tid, free-form args — from any thread. The module-level
+:func:`span` context manager is the instrumentation API used across
+the stack::
+
+    with span("engine.schedule", engine="periodic"):
+        ...
+
+Tracing is **off by default** and the disabled path is one module
+attribute check returning a shared no-op context manager, so
+instrumented hot paths pay nothing measurable. :func:`enable_tracing`
+installs a tracer; :meth:`Tracer.write` exports Chrome trace-event
+JSON loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.
+
+Worker processes: spans record ``os.getpid()`` at creation, so spans
+shipped back from fork-pool workers (see :mod:`repro.service.pool`)
+appear as separate process tracks. Workers :meth:`Tracer.drain` their
+spans into the result payload; the parent :meth:`Tracer.ingest`\\ s
+them.
+
+Timestamps use :func:`time.perf_counter_ns` — on Linux a process-wide
+CLOCK_MONOTONIC, shared across forked children, so parent and worker
+spans share one timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional
+
+#: Path of the checked-in Chrome trace-event JSON schema (also
+#: validated by CI's metrics-lint step).
+CHROME_TRACE_SCHEMA_PATH = (
+    Path(__file__).resolve().parent / "schemas" / "chrome_trace.schema.json"
+)
+
+
+@dataclass
+class Span:
+    """One completed span: a named [start, start+dur) window."""
+
+    name: str
+    start_ns: int
+    dur_ns: int
+    pid: int
+    tid: int
+    args: dict = field(default_factory=dict)
+    cat: str = "repro"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": self.args,
+            "cat": self.cat,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Span":
+        return cls(
+            name=str(data["name"]),
+            start_ns=int(data["start_ns"]),
+            dur_ns=int(data["dur_ns"]),
+            pid=int(data["pid"]),
+            tid=int(data["tid"]),
+            args=dict(data.get("args", {})),
+            cat=str(data.get("cat", "repro")),
+        )
+
+    def to_trace_event(self) -> dict:
+        """Chrome trace-event ``X`` (complete) event, µs timebase."""
+        event = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": "X",
+            "ts": self.start_ns / 1000.0,
+            "dur": self.dur_ns / 1000.0,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.args:
+            event["args"] = self.args
+        return event
+
+
+class _LiveSpan:
+    """Context manager recording one span into a tracer on exit."""
+
+    __slots__ = ("_tracer", "_name", "_args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+
+    def set(self, **kwargs: Any) -> None:
+        """Attach additional args discovered mid-span."""
+        self._args.update(kwargs)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter_ns()
+        if exc_type is not None:
+            self._args["error"] = exc_type.__name__
+        self._tracer.add_span(
+            Span(
+                name=self._name,
+                start_ns=self._start,
+                dur_ns=end - self._start,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                args=self._args,
+            )
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the tracing-off path."""
+
+    __slots__ = ()
+
+    def set(self, **kwargs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Thread-safe span collector with Chrome trace-event export."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._origin_pid = os.getpid()
+
+    def span(self, name: str, **args: Any) -> _LiveSpan:
+        """Context manager timing the enclosed block as ``name``."""
+        return _LiveSpan(self, name, dict(args))
+
+    def add_span(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def span_names(self) -> set[str]:
+        with self._lock:
+            return {s.name for s in self._spans}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # -- cross-process shipping ----------------------------------------
+    def drain(self) -> list[dict]:
+        """Remove and return all spans as JSON-safe dicts (worker side)."""
+        with self._lock:
+            spans, self._spans = self._spans, []
+        return [s.to_dict() for s in spans]
+
+    def ingest(self, span_dicts: Iterable[Mapping]) -> int:
+        """Adopt spans shipped from another process; returns the count."""
+        spans = [Span.from_dict(d) for d in span_dicts]
+        with self._lock:
+            self._spans.extend(spans)
+        return len(spans)
+
+    # -- export --------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """The Chrome trace-event JSON object (Perfetto-loadable)."""
+        spans = self.spans()
+        events = [s.to_trace_event() for s in spans]
+        # Name each process track so Perfetto shows more than pids.
+        for pid in sorted({s.pid for s in spans}):
+            label = (
+                "repro" if pid == self._origin_pid else "repro-worker"
+            )
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"{label} [{pid}]"},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str | os.PathLike) -> Path:
+        """Export the trace to ``path``; returns the resolved path."""
+        out = Path(path)
+        out.write_text(
+            json.dumps(self.to_chrome_trace(), sort_keys=True) + "\n"
+        )
+        return out
+
+
+# ---------------------------------------------------------------------
+# Global on/off switch. One active tracer per process; the off path is
+# a single attribute check.
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def enable_tracing(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the process-wide active tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Stop tracing; returns the tracer that was active, if any."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The active tracer, or ``None`` when tracing is off."""
+    return _ACTIVE
+
+
+def span(name: str, **args: Any):
+    """Module-level span against the active tracer (no-op when off)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NOOP_SPAN
+    return tracer.span(name, **args)
+
+
+# ---------------------------------------------------------------------
+# Minimal JSON-schema validation (stdlib-only; the container has no
+# jsonschema package). Supports the subset the checked-in schema uses:
+# type, required, properties, items, enum, additionalProperties.
+
+
+def validate_json(
+    instance: Any, schema: Mapping, path: str = "$"
+) -> list[str]:
+    """Validate ``instance`` against a JSON-schema subset.
+
+    Returns a list of human-readable errors (empty = valid).
+    """
+    errors: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        checkers = {
+            "object": lambda v: isinstance(v, dict),
+            "array": lambda v: isinstance(v, list),
+            "string": lambda v: isinstance(v, str),
+            "integer": lambda v: isinstance(v, int)
+            and not isinstance(v, bool),
+            "number": lambda v: isinstance(v, (int, float))
+            and not isinstance(v, bool),
+            "boolean": lambda v: isinstance(v, bool),
+            "null": lambda v: v is None,
+        }
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(checkers[t](instance) for t in types):
+            errors.append(
+                f"{path}: expected type {expected}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(
+            f"{path}: {instance!r} not in enum {schema['enum']}"
+        )
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, value in instance.items():
+            if key in properties:
+                errors.extend(
+                    validate_json(
+                        value, properties[key], f"{path}.{key}"
+                    )
+                )
+            elif schema.get("additionalProperties") is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(
+                validate_json(item, schema["items"], f"{path}[{i}]")
+            )
+    return errors
+
+
+def validate_chrome_trace(trace: Mapping) -> list[str]:
+    """Validate a trace object against the checked-in schema."""
+    schema = json.loads(CHROME_TRACE_SCHEMA_PATH.read_text())
+    return validate_json(trace, schema)

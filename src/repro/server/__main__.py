@@ -72,6 +72,14 @@ def _parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the bound base URL to FILE once listening",
     )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help=(
+            "emit structured JSON logs on stderr (one object per "
+            "line, with spec-hash correlation ids)"
+        ),
+    )
     return parser
 
 
@@ -85,6 +93,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workers=args.workers,
             cache_dir=args.cache_dir,
             cache_max_entries=args.cache_max_entries,
+            log_json=args.log_json,
         )
         server = create_server(config)
     except (ConfigError, OSError) as exc:

@@ -26,6 +26,8 @@ from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ConfigError
+from repro.obs.log import configure_json_logging
+from repro.obs.metrics import default_registry
 from repro.server.config import ServerConfig
 from repro.server.dispatcher import Backpressure, Dispatcher
 from repro.server.jobs import JobStore
@@ -55,6 +57,8 @@ class ReproServer(ThreadingHTTPServer):
 
     def __init__(self, config: ServerConfig) -> None:
         self.config = config
+        if config.log_json:
+            configure_json_logging()
         self.metrics = MetricsRegistry()
         self.cache = ResultCache(
             max_entries=config.cache_max_entries,
@@ -232,7 +236,14 @@ class _Handler(BaseHTTPRequestHandler):
         return 200
 
     def _metrics(self, _arg, _query) -> int:
-        body = self.server.metrics.render().encode("utf-8")
+        text = self.server.metrics.render()
+        # The process-global registry carries engine/pool telemetry
+        # (namespace "repro" vs the server's "repro_server", so the
+        # families never collide).
+        shared = default_registry()
+        if not shared.is_empty():
+            text += shared.render()
+        body = text.encode("utf-8")
         self.send_response(200)
         self.send_header(
             "Content-Type", "text/plain; version=0.0.4; charset=utf-8"

@@ -62,6 +62,11 @@ class ServerConfig:
     #: (seconds a request thread may block awaiting completion).
     max_wait_seconds: float = 60.0
 
+    #: Emit structured JSON logs (``repro.obs.log``) on stderr. Off by
+    #: default — the server is silent apart from ``/metrics`` unless
+    #: asked (``repro-server --log-json``).
+    log_json: bool = False
+
     def __post_init__(self) -> None:
         if self.port < 0:
             raise ConfigError(f"port must be >= 0, got {self.port}")

@@ -34,12 +34,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.log import correlation_scope, get_logger
+from repro.obs.trace import span
 from repro.server.config import ServerConfig
 from repro.server.jobs import Job, JobStore
 from repro.server.metrics import MetricsRegistry
 from repro.service import api
 from repro.service.cache import ResultCache, cache_key
 from repro.service.spec import SimJobSpec
+
+_logger = get_logger("repro.server.dispatcher")
 
 
 class Backpressure(Exception):
@@ -108,7 +112,15 @@ class Dispatcher:
         # completing in the window between this miss and the registry
         # check below re-executes instead of coalescing, converging on
         # the identical content-addressed result.
-        cached = self.cache.lookup(key)
+        with span("server.submit", spec=key[:12]) as submit_span, \
+                correlation_scope(key):
+            return self._submit_locked(spec, key, submit_span)
+
+    def _submit_locked(
+        self, spec: SimJobSpec, key: str, submit_span
+    ) -> tuple[Job, str]:
+        with span("server.cache_lookup", spec=key[:12]):
+            cached = self.cache.lookup(key)
         if cached is not None:
             job = self.jobs.create(spec, key)
             self.metrics.inc("cache_hits_total")
@@ -120,6 +132,10 @@ class Dispatcher:
                     result=cached,
                     from_cache=True,
                 ),
+            )
+            submit_span.set(disposition="cached")
+            _logger.info(
+                "job cached", extra={"job_id": job.id}
             )
             return job, "cached"
         with self._lock:
@@ -136,6 +152,10 @@ class Dispatcher:
                 if execution.started:
                     self.jobs.mark_running(job.id)
                 self.metrics.inc("coalesced_total")
+                submit_span.set(disposition="coalesced")
+                _logger.info(
+                    "job coalesced", extra={"job_id": job.id}
+                )
                 return job, "coalesced"
             job = self.jobs.create(spec, key)
             execution = Execution(key=key, spec=spec, job_ids=[job.id])
@@ -147,6 +167,10 @@ class Dispatcher:
                 raise Backpressure(self.config.retry_after_seconds)
             self._inflight[key] = execution
             self.metrics.inc("queued_total")
+            submit_span.set(disposition="queued")
+            _logger.info(
+                "job queued", extra={"job_id": job.id}
+            )
             return job, "queued"
 
     # ------------------------------------------------------------------
@@ -233,14 +257,15 @@ class Dispatcher:
             # (counting them once); the write-back below is explicit so
             # its ordering against the registry pop stays under our
             # control.
-            if len(batch) > 1:
-                outcomes = api.submit_many(
-                    [e.spec for e in batch],
-                    jobs=self.config.workers,
-                    cache=None,
-                )
-            else:
-                outcomes = [api.submit(batch[0].spec, cache=None)]
+            with span("server.dispatch", batch=len(batch)):
+                if len(batch) > 1:
+                    outcomes = api.submit_many(
+                        [e.spec for e in batch],
+                        jobs=self.config.workers,
+                        cache=None,
+                    )
+                else:
+                    outcomes = [api.submit(batch[0].spec, cache=None)]
         except Exception as exc:  # the service API isolates per-job
             # errors; this guards the dispatcher thread itself.
             outcomes = [
@@ -257,8 +282,20 @@ class Dispatcher:
             self.metrics.inc("executions_total")
             if not outcome.ok:
                 self.metrics.inc("execution_errors_total")
+            self._aggregate_engine_report(outcome.engine_report)
+            _logger.info(
+                "execution finished",
+                extra={
+                    "status": outcome.status,
+                    "spec": execution.key[:12],
+                    "elapsed_seconds": elapsed / len(batch),
+                },
+            )
             if outcome.ok and outcome.result is not None:
-                self.cache.put(execution.spec, outcome.result)
+                with span(
+                    "server.cache_write", spec=execution.key[:12]
+                ):
+                    self.cache.put(execution.spec, outcome.result)
             # Pop the in-flight entry *after* the cache write above: a
             # submitter who misses the registry is then guaranteed to
             # hit the cache, so no duplicate execution can slip through
@@ -269,3 +306,55 @@ class Dispatcher:
                 attached = list(execution.job_ids)
             for job_id in attached:
                 self.jobs.finish(job_id, outcome)
+
+    def _aggregate_engine_report(
+        self, report: Optional[dict]
+    ) -> None:
+        """Fold one job's engine flight-recorder delta into /metrics.
+
+        Counter families: ``engine_fast_path_total`` /
+        ``engine_fallback_total{reason=...}`` /
+        ``engine_warm_runs_total`` / ``engine_locks_total{confirmed=}``
+        and ``engine_scheduling_path_total{path=...}``, all labelled by
+        nothing beyond their natural dimension so the series stay
+        bounded.
+        """
+        if not report:
+            return
+        if report.get("fast_path"):
+            self.metrics.inc(
+                "engine_fast_path_total", value=report["fast_path"]
+            )
+        for reason, n in report.get("fallback_reasons", {}).items():
+            self.metrics.inc(
+                "engine_fallback_total", {"reason": reason}, value=n
+            )
+        if report.get("warm_runs"):
+            self.metrics.inc(
+                "engine_warm_runs_total", value=report["warm_runs"]
+            )
+        attempts = report.get("lock_attempts", 0)
+        confirmed = report.get("locks_confirmed", 0)
+        if confirmed:
+            self.metrics.inc(
+                "engine_locks_total",
+                {"confirmed": "yes"},
+                value=confirmed,
+            )
+        if attempts > confirmed:
+            self.metrics.inc(
+                "engine_locks_total",
+                {"confirmed": "no"},
+                value=attempts - confirmed,
+            )
+        for path, n in report.get("scheduling_paths", {}).items():
+            self.metrics.inc(
+                "engine_scheduling_path_total", {"path": path}, value=n
+            )
+        for name in (
+            "commands_simulated", "commands_replayed", "sweeps_extended"
+        ):
+            if report.get(name):
+                self.metrics.inc(
+                    f"engine_{name}_total", value=report[name]
+                )

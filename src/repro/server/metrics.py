@@ -1,293 +1,23 @@
-"""Latency telemetry: streaming histograms and a Prometheus registry.
+"""Compatibility re-export: metrics now live in :mod:`repro.obs.metrics`.
 
-The gateway needs request-latency percentiles that survive millions of
-observations without storing them, so :class:`StreamingHistogram` bins
-observations into fixed log-spaced buckets — O(1) memory, O(1) record,
-O(buckets) quantile — the classic HDR-histogram compromise: quantiles
-are exact to within one bucket's relative width (~12% at ten buckets
-per decade), which is plenty for p50/p95/p99 dashboards.
-
-:class:`MetricsRegistry` aggregates labelled counters, gauge callbacks,
-and histograms, and renders the whole set in the Prometheus text
-exposition format for ``GET /metrics``.
+The streaming histogram and Prometheus registry were promoted out of
+the server so every layer (engines, pool workers, benchmarks) can
+record telemetry; this module keeps the historical import path
+``repro.server.metrics`` working unchanged.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (
+    SUMMARY_QUANTILES,
+    MetricsRegistry,
+    StreamingHistogram,
+    _label_text,
+    _num,
+    parse_prometheus,
+)
 
-import math
-import threading
-from bisect import bisect_right
-from typing import Callable, Iterable, Mapping
-
-#: Quantiles every histogram reports on ``/metrics``.
-SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
-
-
-class StreamingHistogram:
-    """Fixed log-spaced latency histogram with streaming quantiles.
-
-    Buckets span ``[lo, hi)`` seconds at ``buckets_per_decade``
-    log-spaced bins per decade, with open-ended underflow/overflow bins
-    at the extremes (clamped to the observed min/max during
-    interpolation, so quantiles never invent values outside the data).
-    Thread-safe: many request threads record into one histogram.
-    """
-
-    def __init__(
-        self,
-        lo: float = 1e-5,
-        hi: float = 100.0,
-        buckets_per_decade: int = 10,
-    ) -> None:
-        if not (0 < lo < hi):
-            raise ValueError(f"need 0 < lo < hi, got ({lo}, {hi})")
-        if buckets_per_decade < 1:
-            raise ValueError(
-                f"buckets_per_decade must be >= 1, got {buckets_per_decade}"
-            )
-        n = int(math.ceil(math.log10(hi / lo) * buckets_per_decade))
-        self._lo = lo
-        #: Upper edge of interior bucket ``i``; its lower edge is
-        #: ``lo`` for ``i == 0``, else ``_edges[i - 1]``.
-        self._edges = [
-            lo * 10 ** ((i + 1) / buckets_per_decade) for i in range(n)
-        ]
-        # counts[0] = underflow (< lo), counts[1 + i] = interior bucket
-        # i, counts[-1] = overflow (>= the last edge).
-        self._counts = [0] * (len(self._edges) + 2)
-        self._lock = threading.Lock()
-        self.count = 0
-        self.sum = 0.0
-        self._min = math.inf
-        self._max = -math.inf
-
-    def record(self, seconds: float) -> None:
-        """Fold one observation in."""
-        if seconds < 0:
-            seconds = 0.0
-        if seconds < self._lo:
-            index = 0
-        else:
-            index = 1 + bisect_right(self._edges, seconds)
-        with self._lock:
-            self._counts[index] += 1
-            self.count += 1
-            self.sum += seconds
-            self._min = min(self._min, seconds)
-            self._max = max(self._max, seconds)
-
-    def quantile(self, q: float) -> float:
-        """The ``q``-quantile (0..1) of everything recorded.
-
-        An empty histogram reports 0.0 (the documented no-data
-        sentinel — never an interpolated fiction). A quantile landing
-        in the open-ended overflow bucket reports the observed maximum:
-        the log-spaced resolution ends at ``hi``, so interpolating
-        across ``[hi, max)`` would fabricate latencies nothing ever
-        exhibited, while the maximum is a real observation. Interior
-        buckets interpolate linearly, clamped to the observed min/max.
-        """
-        if not 0 <= q <= 1:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        with self._lock:
-            if self.count == 0:
-                return 0.0
-            target = q * self.count
-            cumulative = 0
-            for i, n in enumerate(self._counts):
-                if n == 0:
-                    continue
-                if cumulative + n >= target:
-                    if i == len(self._counts) - 1:
-                        return self._max  # overflow: no resolution
-                    lo_edge, hi_edge = self._bucket_bounds(i)
-                    lo_edge = max(lo_edge, self._min)
-                    hi_edge = min(hi_edge, self._max)
-                    if hi_edge <= lo_edge:
-                        return lo_edge
-                    frac = (target - cumulative) / n
-                    return lo_edge + frac * (hi_edge - lo_edge)
-                cumulative += n
-            return self._max
-
-    def _bucket_bounds(self, index: int) -> tuple[float, float]:
-        # Caller holds the lock. index 0 = underflow, last = overflow.
-        if index == 0:
-            return (0.0, self._lo)
-        if index == len(self._counts) - 1:
-            return (self._edges[-1], self._max)
-        lower = self._lo if index == 1 else self._edges[index - 2]
-        return (lower, self._edges[index - 1])
-
-    def snapshot(self) -> dict:
-        """Count, sum, and the standard summary quantiles."""
-        out = {"count": self.count, "sum": self.sum}
-        for q in SUMMARY_QUANTILES:
-            out[f"p{int(q * 100)}"] = self.quantile(q)
-        return out
-
-
-def _label_text(labels: Mapping[str, str]) -> str:
-    if not labels:
-        return ""
-    inner = ",".join(
-        f'{k}="{v}"' for k, v in sorted(labels.items())
-    )
-    return "{" + inner + "}"
-
-
-class MetricsRegistry:
-    """Labelled counters, gauge callbacks, and histograms.
-
-    * ``inc(name, labels)`` — monotonically increasing counters;
-    * ``gauge(name, fn)`` — instantaneous values sampled at render
-      time (queue depth, in-flight executions, cache occupancy);
-    * ``observe(name, seconds, labels)`` — latency histograms rendered
-      as Prometheus summaries (quantile series + ``_count``/``_sum``).
-
-    ``render()`` produces the text exposition format.
-    """
-
-    def __init__(self, namespace: str = "repro_server") -> None:
-        self.namespace = namespace
-        self._lock = threading.Lock()
-        self._counters: dict[tuple[str, str], float] = {}
-        self._gauges: dict[str, Callable[[], float]] = {}
-        self._histograms: dict[tuple[str, str], StreamingHistogram] = {}
-        self._histogram_labels: dict[
-            tuple[str, str], Mapping[str, str]
-        ] = {}
-
-    # ------------------------------------------------------------------
-    def inc(
-        self,
-        name: str,
-        labels: Mapping[str, str] | None = None,
-        value: float = 1,
-    ) -> None:
-        key = (name, _label_text(labels or {}))
-        with self._lock:
-            self._counters[key] = self._counters.get(key, 0) + value
-
-    def counter_value(
-        self, name: str, labels: Mapping[str, str] | None = None
-    ) -> float:
-        with self._lock:
-            return self._counters.get(
-                (name, _label_text(labels or {})), 0
-            )
-
-    def gauge(self, name: str, fn: Callable[[], float]) -> None:
-        with self._lock:
-            self._gauges[name] = fn
-
-    def observe(
-        self,
-        name: str,
-        seconds: float,
-        labels: Mapping[str, str] | None = None,
-    ) -> None:
-        labels = dict(labels or {})
-        key = (name, _label_text(labels))
-        with self._lock:
-            histogram = self._histograms.get(key)
-            if histogram is None:
-                histogram = StreamingHistogram()
-                self._histograms[key] = histogram
-                self._histogram_labels[key] = labels
-        histogram.record(seconds)
-
-    def histogram(
-        self, name: str, labels: Mapping[str, str] | None = None
-    ) -> StreamingHistogram | None:
-        with self._lock:
-            return self._histograms.get(
-                (name, _label_text(labels or {}))
-            )
-
-    def histograms(
-        self, name: str
-    ) -> Iterable[tuple[Mapping[str, str], StreamingHistogram]]:
-        """All labelled series of one histogram family."""
-        with self._lock:
-            return [
-                (self._histogram_labels[key], hist)
-                for key, hist in self._histograms.items()
-                if key[0] == name
-            ]
-
-    # ------------------------------------------------------------------
-    def render(self) -> str:
-        """The Prometheus text exposition of everything registered."""
-        ns = self.namespace
-        lines: list[str] = []
-        with self._lock:
-            counters = dict(self._counters)
-            gauges = dict(self._gauges)
-            histograms = dict(self._histograms)
-        for name in sorted({n for n, _ in counters}):
-            lines.append(f"# TYPE {ns}_{name} counter")
-            for (n, labels), value in sorted(counters.items()):
-                if n == name:
-                    lines.append(f"{ns}_{name}{labels} {_num(value)}")
-        for name in sorted(gauges):
-            lines.append(f"# TYPE {ns}_{name} gauge")
-            try:
-                value = gauges[name]()
-            except Exception:
-                value = float("nan")
-            lines.append(f"{ns}_{name} {_num(value)}")
-        for name in sorted({n for n, _ in histograms}):
-            lines.append(f"# TYPE {ns}_{name} summary")
-            for (n, labels), hist in sorted(histograms.items()):
-                if n != name:
-                    continue
-                for q in SUMMARY_QUANTILES:
-                    q_labels = (
-                        labels[:-1] + f',quantile="{q}"}}'
-                        if labels
-                        else f'{{quantile="{q}"}}'
-                    )
-                    lines.append(
-                        f"{ns}_{name}{q_labels} {_num(hist.quantile(q))}"
-                    )
-                lines.append(
-                    f"{ns}_{name}_count{labels} {hist.count}"
-                )
-                lines.append(
-                    f"{ns}_{name}_sum{labels} {_num(hist.sum)}"
-                )
-        return "\n".join(lines) + "\n"
-
-
-def _num(value: float) -> str:
-    """Prometheus-friendly number formatting (no exponent surprises)."""
-    if value != value:  # NaN
-        return "NaN"
-    if float(value).is_integer():
-        return str(int(value))
-    return repr(float(value))
-
-
-def parse_prometheus(text: str) -> dict[str, dict[str, float]]:
-    """Invert :meth:`MetricsRegistry.render` (client-side convenience).
-
-    Returns ``{metric_name: {label_text: value}}`` where ``label_text``
-    is the literal ``{...}`` section (empty string when unlabelled).
-    """
-    out: dict[str, dict[str, float]] = {}
-    for line in text.splitlines():
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        name_part, _, value_part = line.rpartition(" ")
-        if "{" in name_part:
-            name = name_part[: name_part.index("{")]
-            labels = name_part[name_part.index("{"):]
-        else:
-            name, labels = name_part, ""
-        try:
-            out.setdefault(name, {})[labels] = float(value_part)
-        except ValueError:
-            continue
-    return out
+__all__ = [
+    "SUMMARY_QUANTILES",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    "parse_prometheus",
+]

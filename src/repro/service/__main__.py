@@ -17,6 +17,12 @@ configuration and a disk scan (entries, bytes, entries stranded by a
 code-version bump) without running anything. Live hit/miss counters
 appear in the ``cache`` block of every job run's output instead.
 
+``--trace out.json`` (or the ``repro-service trace out.json jobs.json``
+spelling) records a span trace of the whole run — submit, cache
+lookups, pool dispatch, per-job model/stream builds, engine schedule,
+validation, cache writes — and writes Chrome trace-event JSON loadable
+in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+
 ``--no-validate`` forces ``validate: false`` onto every job: the
 independent trace checker is skipped, trading the redundant cross-check
 of each scheduled trace for sweep throughput (the scheduler itself is
@@ -34,6 +40,8 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.errors import ConfigError
+from repro.obs.log import configure_json_logging
+from repro.obs.trace import disable_tracing, enable_tracing
 from repro.service.api import submit_many
 from repro.service.cache import ResultCache
 from repro.service.spec import SimJobSpec
@@ -104,6 +112,19 @@ def _parser() -> argparse.ArgumentParser:
             "preset's physical channel count — 8 for HBM2)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "record a span trace of the run and write Chrome "
+            "trace-event JSON to FILE (open in Perfetto)"
+        ),
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs on stderr",
+    )
     return parser
 
 
@@ -154,15 +175,35 @@ def _cache_stats_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def _trace_main(argv: Sequence[str]) -> int:
+    """``repro-service trace OUT.json JOB_FILE [options]``.
+
+    Sugar for ``repro-service JOB_FILE --trace OUT.json [options]`` —
+    a dedicated spelling for "run this job file and give me a
+    Perfetto-loadable trace of everything that happened".
+    """
+    if len(argv) < 2 or argv[0].startswith("-"):
+        print(
+            "usage: repro-service trace OUT.json JOB_FILE [options]",
+            file=sys.stderr,
+        )
+        return 2
+    return main([argv[1], "--trace", argv[0], *argv[2:]])
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "cache-stats":
         return _cache_stats_main(list(argv[1:]))
+    if argv and argv[0] == "trace":
+        return _trace_main(list(argv[1:]))
     args = _parser().parse_args(argv)
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.log_json:
+        configure_json_logging()
     cache = ResultCache(directory=args.cache_dir)
     try:
         request = _load_request(args.job_file)
@@ -196,7 +237,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"bad --channels: {exc}", file=sys.stderr)
             return 2
 
-    results = submit_many(specs, jobs=args.jobs, cache=cache)
+    tracer = enable_tracing() if args.trace else None
+    try:
+        results = submit_many(specs, jobs=args.jobs, cache=cache)
+    finally:
+        if tracer is not None:
+            tracer.write(args.trace)
+            disable_tracing()
+            print(
+                f"wrote {len(tracer.spans())} spans to {args.trace}",
+                file=sys.stderr,
+            )
     if axes:
         payload = SweepResult(axes=axes, jobs=results).to_dict(
             include_results=not args.summary_only

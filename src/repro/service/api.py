@@ -16,6 +16,8 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.obs.log import correlation_scope
+from repro.obs.trace import span
 from repro.service import pool
 from repro.service.cache import DEFAULT_MAX_ENTRIES, ResultCache, cache_key
 from repro.service.spec import SimJobSpec
@@ -72,6 +74,11 @@ class SimJobResult:
     traceback: Optional[str] = None
     from_cache: bool = False
     elapsed_seconds: float = 0.0
+    #: Per-job delta of the engine flight recorder
+    #: (:class:`repro.obs.report.EngineReport` dict form); ``None``
+    #: for cache hits, failed jobs, and jobs whose profiles were all
+    #: memoized already.
+    engine_report: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -90,6 +97,8 @@ class SimJobResult:
             out["error"] = self.error
         if self.traceback is not None:
             out["traceback"] = self.traceback
+        if self.engine_report is not None:
+            out["engine_report"] = self.engine_report
         if self.result is not None:
             out["speedups"] = _speedup_summary(self.result)
             if include_result:
@@ -117,36 +126,47 @@ def submit(
 ) -> SimJobResult:
     """Run (or fetch) one job. ``cache=None`` disables caching."""
     start = time.perf_counter()
-    if cache is not None:
-        cached = cache.get(spec)
-        if cached is not None:
+    spec_hash = spec.content_hash()
+    with correlation_scope(spec_hash), span(
+        "service.submit", network=spec.network, spec=spec_hash[:12]
+    ) as submit_span:
+        if cache is not None:
+            with span("service.cache_lookup", spec=spec_hash[:12]):
+                cached = cache.get(spec)
+            if cached is not None:
+                submit_span.set(disposition="cache-hit")
+                return SimJobResult(
+                    spec=spec,
+                    status="ok",
+                    result=cached,
+                    from_cache=True,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+        try:
+            with span("service.execute", spec=spec_hash[:12]):
+                result, report = pool.execute_spec_with_report(spec)
+        except Exception as exc:  # per-job isolation
+            import traceback as tb
+
+            submit_span.set(disposition="error")
             return SimJobResult(
                 spec=spec,
-                status="ok",
-                result=cached,
-                from_cache=True,
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=tb.format_exc(),
                 elapsed_seconds=time.perf_counter() - start,
             )
-    try:
-        result = pool.execute_spec(spec)
-    except Exception as exc:  # per-job isolation
-        import traceback as tb
-
+        if cache is not None:
+            with span("service.cache_write", spec=spec_hash[:12]):
+                cache.put(spec, result)
+        submit_span.set(disposition="executed")
         return SimJobResult(
             spec=spec,
-            status="error",
-            error=f"{type(exc).__name__}: {exc}",
-            traceback=tb.format_exc(),
+            status="ok",
+            result=result,
             elapsed_seconds=time.perf_counter() - start,
+            engine_report=report,
         )
-    if cache is not None:
-        cache.put(spec, result)
-    return SimJobResult(
-        spec=spec,
-        status="ok",
-        result=result,
-        elapsed_seconds=time.perf_counter() - start,
-    )
 
 
 def submit_many(
@@ -160,10 +180,19 @@ def submit_many(
     executed once.
     """
     start = time.perf_counter()
+    batch_submit = span("service.submit", batch=len(specs))
+    batch_submit.__enter__()
     outcomes: dict[int, SimJobResult] = {}
     pending: list[tuple[int, SimJobSpec]] = []
     seen_keys: dict[str, int] = {}
     duplicates: list[tuple[int, int]] = []  # (position, first position)
+    batch_lookup = (
+        span("service.cache_lookup", batch=len(specs))
+        if cache is not None
+        else None
+    )
+    if batch_lookup is not None:
+        batch_lookup.__enter__()
     for i, spec in enumerate(specs):
         if cache is not None:
             cached = cache.get(spec)
@@ -181,6 +210,8 @@ def submit_many(
             continue
         seen_keys[key] = i
         pending.append((i, spec))
+    if batch_lookup is not None:
+        batch_lookup.__exit__(None, None, None)
 
     if pending:
         payloads = pool.run_specs([s for _, s in pending], jobs=jobs)
@@ -194,12 +225,14 @@ def submit_many(
             if payload is not None and payload.get("status") == "ok":
                 result = NetworkResult.from_dict(payload["result"])
                 if cache is not None:
-                    cache.put(spec, result)
+                    with span("service.cache_write"):
+                        cache.put(spec, result)
                 outcomes[i] = SimJobResult(
                     spec=spec,
                     status="ok",
                     result=result,
                     elapsed_seconds=elapsed,
+                    engine_report=payload.get("engine_report"),
                 )
             else:
                 error = (
@@ -228,5 +261,10 @@ def submit_many(
             traceback=original.traceback,
             from_cache=original.from_cache,
             elapsed_seconds=original.elapsed_seconds,
+            engine_report=original.engine_report,
         )
+    batch_submit.set(
+        executed=len(pending), cached=len(outcomes) - len(pending)
+    )
+    batch_submit.__exit__(None, None, None)
     return [outcomes[i] for i in range(len(specs))]

@@ -27,9 +27,17 @@ from typing import Optional, Sequence
 # channel-level parallelism share one front door.
 from repro.dram.parallel import schedule_channels  # noqa: F401
 from repro.models.zoo import build_network
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.metrics import set_default_registry
+from repro.obs.report import EngineReport
+from repro.obs.trace import span
 from repro.service.spec import ResolvedJob, SimJobSpec
 from repro.system.training import NetworkResult, TrainingSimulator
 from repro.system.update_model import UpdatePhaseModel
+
+_logger = obs_log.get_logger("repro.service.pool")
 
 #: Process-local update-model cache (cycle-sim profiles are expensive).
 #: Keyed by hardware substrate only — timing grade, geometry, stripe
@@ -87,7 +95,40 @@ def execute_spec(spec: SimJobSpec) -> NetworkResult:
         update_model=_shared_update_model(spec, job),
         designs=job.designs,
     )
-    return simulator.simulate(build_network(spec.network, batch=job.batch))
+    with span(
+        "pool.execute",
+        network=spec.network,
+        engine=job.engine,
+        spec=spec.content_hash()[:12],
+    ):
+        return simulator.simulate(
+            build_network(spec.network, batch=job.batch)
+        )
+
+
+def execute_spec_with_report(
+    spec: SimJobSpec,
+) -> tuple[NetworkResult, Optional[dict]]:
+    """Run one job; returns ``(result, engine_report)``.
+
+    The engine report is the per-job delta of the shared update
+    model's flight recorder (:class:`repro.obs.report.EngineReport`)
+    across the :func:`execute_spec` call, or ``None`` when the job
+    never touched the engines — every profile it needed was already
+    memoized on the shared model. Calls through the module attribute
+    so tests monkeypatching ``execute_spec`` keep their seam.
+    """
+    key = _substrate_key(spec)
+    model = _MODELS.get(key)
+    before = model.report.to_dict() if model is not None else None
+    result = execute_spec(spec)
+    model = _MODELS.get(key)
+    if model is None:
+        return result, None
+    after = model.report.to_dict()
+    if before is None:
+        before = EngineReport(engine=model.engine).to_dict()
+    return result, EngineReport.diff_dicts(before, after)
 
 
 # ----------------------------------------------------------------------
@@ -119,23 +160,78 @@ def _warm_shared_substrates(specs: Sequence[SimJobSpec]) -> None:
 
 
 def _run_payload(spec_dict: dict) -> dict:
-    """Worker body: never raises — errors become payloads."""
+    """Worker body: never raises — errors become payloads.
+
+    Observability crosses the process boundary with the result: the
+    payload's job runs against a *fresh* tracer and metrics registry
+    (the previous ones — possibly fork-inherited from the parent, with
+    the parent's history — are restored afterwards), and whatever the
+    job recorded ships under ``payload["obs"]`` for the parent to
+    ingest. Tracing is only swapped when the parent had it enabled.
+    """
     start = time.perf_counter()
+    parent_tracer = obs_trace.active_tracer()
+    tracer = (
+        obs_trace.enable_tracing(obs_trace.Tracer())
+        if parent_tracer is not None
+        else None
+    )
+    previous_registry = set_default_registry(MetricsRegistry("repro"))
     try:
         spec = SimJobSpec.from_dict(spec_dict)
-        result = execute_spec(spec).to_dict()
-        return {
+        with obs_log.correlation_scope(spec.content_hash()):
+            result, report = execute_spec_with_report(spec)
+        elapsed = time.perf_counter() - start
+        default_registry().inc("jobs_executed_total", {"status": "ok"})
+        default_registry().observe(
+            "job_execute_seconds", elapsed, {"status": "ok"}
+        )
+        _logger.info(
+            "job executed",
+            extra={
+                "network": spec.network,
+                "engine": spec.engine,
+                "elapsed_seconds": elapsed,
+            },
+        )
+        payload = {
             "status": "ok",
-            "result": result,
-            "elapsed_seconds": time.perf_counter() - start,
+            "result": result.to_dict(),
+            "elapsed_seconds": elapsed,
         }
+        if report is not None:
+            payload["engine_report"] = report
     except Exception as exc:  # per-job isolation
-        return {
+        elapsed = time.perf_counter() - start
+        default_registry().inc(
+            "jobs_executed_total", {"status": "error"}
+        )
+        default_registry().observe(
+            "job_execute_seconds", elapsed, {"status": "error"}
+        )
+        _logger.warning(
+            "job failed",
+            extra={
+                "network": spec_dict.get("network"),
+                "error": f"{type(exc).__name__}: {exc}",
+            },
+        )
+        payload = {
             "status": "error",
             "error": f"{type(exc).__name__}: {exc}",
             "traceback": traceback.format_exc(),
-            "elapsed_seconds": time.perf_counter() - start,
+            "elapsed_seconds": elapsed,
         }
+    obs = {}
+    job_registry = set_default_registry(previous_registry)
+    if job_registry is not None and not job_registry.is_empty():
+        obs["metrics"] = job_registry.snapshot()
+    if tracer is not None:
+        obs["spans"] = tracer.drain()
+        obs_trace.enable_tracing(parent_tracer)
+    if obs:
+        payload["obs"] = obs
+    return payload
 
 
 def run_specs(
@@ -163,16 +259,45 @@ def run_specs(
         chunksize = -(-len(specs) // n_workers)  # ceil division
         try:
             ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=n_workers) as pool:
-                sorted_out = pool.map(
-                    _run_payload,
-                    [payloads[i] for i in order],
-                    chunksize=chunksize,
-                )
+            with span(
+                "pool.dispatch", jobs=n_workers, pending=len(specs)
+            ):
+                with ctx.Pool(processes=n_workers) as pool:
+                    sorted_out = pool.map(
+                        _run_payload,
+                        [payloads[i] for i in order],
+                        chunksize=chunksize,
+                    )
             out: list[Optional[dict]] = [None] * len(specs)
             for i, payload in zip(order, sorted_out):
                 out[i] = payload
+            _ingest_obs(out)
             return out
         except (OSError, ValueError):
             pass  # sandboxed / fork-less platform: fall through to serial
-    return [_run_payload(p) for p in payloads]
+    with span("pool.dispatch", jobs=1, pending=len(specs)):
+        out = [_run_payload(p) for p in payloads]
+    _ingest_obs(out)
+    return out
+
+
+def _ingest_obs(payloads: Sequence[Optional[dict]]) -> None:
+    """Fold workers' shipped spans and metrics into this process.
+
+    Each payload's ``obs`` block (attached by :func:`_run_payload`) is
+    consumed here: spans join the active tracer (worker pids keep them
+    on their own Perfetto tracks) and metrics snapshots merge into the
+    process-global registry. The block is popped so cached/serialized
+    results never carry telemetry.
+    """
+    tracer = obs_trace.active_tracer()
+    for payload in payloads:
+        if not payload:
+            continue
+        obs = payload.pop("obs", None)
+        if not obs:
+            continue
+        if tracer is not None and obs.get("spans"):
+            tracer.ingest(obs["spans"])
+        if obs.get("metrics"):
+            default_registry().merge_snapshot(obs["metrics"])

@@ -57,8 +57,10 @@ float is computed from the same integers by the same expressions).
 Whenever a lock fails — irregular streams, sample windows too small to
 settle, phase patterns that never stabilise — the model transparently
 falls back to simulating the full stream, and the trace validator runs
-on whatever was actually simulated. ``periodic_report`` records which
-path served each profile.
+on whatever was actually simulated. The model's ``report`` — an
+:class:`~repro.obs.report.EngineReport` flight recorder — records
+which path served each profile and *why* fallbacks happened
+(``periodic_report`` survives as a deprecated property view over it).
 """
 
 from __future__ import annotations
@@ -78,7 +80,17 @@ from repro.dram.scheduler import (
 from repro.dram.stats import TraceStats
 from repro.dram.timing import TimingParams, DDR4_2133
 from repro.dram.validator import validate_trace
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
+from repro.obs.report import (
+    EngineReport,
+    FALLBACK_DEADLOCK,
+    FALLBACK_ECONOMICS,
+    FALLBACK_HORIZON_EXCEEDED,
+    FALLBACK_MULTI_CHANNEL,
+    FALLBACK_NO_LOCK,
+    FALLBACK_NO_METADATA,
+)
+from repro.obs.trace import span
 from repro.units import ceil_div
 from repro.kernels.aos import AoSKernelGenerator
 from repro.kernels.compiler import UpdateKernelCompiler
@@ -207,13 +219,11 @@ class UpdatePhaseModel:
         self.thorough_validate = thorough_validate
         self.channel_workers = channel_workers
         self.periodic_warm_columns = periodic_warm_columns
-        #: How profiles were produced: ``fast_path`` counts steady-state
-        #: extrapolations, ``fallback`` full simulations under
-        #: ``engine="periodic"``, ``warm_runs`` warm samples scheduled
-        #: (including escalation retries).
-        self.periodic_report = {
-            "fast_path": 0, "fallback": 0, "warm_runs": 0,
-        }
+        #: Engine flight recorder: how profiles were produced (fast
+        #: path vs fallback, with reasons), warm-sample escalation,
+        #: lock outcomes, replayed-vs-simulated sweeps, and channel
+        #: scheduling paths. See :class:`repro.obs.report.EngineReport`.
+        self.report = EngineReport(engine=engine)
         self._cache: dict[tuple, UpdateProfile] = {}
         # Generated streams, shared across design points that compile
         # the same kernel (GradPIM-DR / GradPIM-BD differ only in how
@@ -223,6 +233,21 @@ class UpdatePhaseModel:
         # profiles are memoized separately — unbounded retention of
         # command lists would leak in long-lived service workers.
         self._streams: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def periodic_report(self) -> dict:
+        """Deprecated view over :attr:`report` (the historical dict).
+
+        Kept so pre-flight-recorder callers keep working; new code
+        should read ``model.report`` (richer: fallback reasons,
+        escalation rungs, lock outcomes, scheduling paths).
+        """
+        return {
+            "fast_path": self.report.fast_path,
+            "fallback": self.report.fallback,
+            "warm_runs": self.report.warm_runs,
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -260,28 +285,38 @@ class UpdatePhaseModel:
         config = DESIGNS[design]
         profile = None
         steady_attempted = False
-        if self.engine == "periodic" and self.channel_workers == 1:
-            steady_attempted = True
-            profile = self._profile_steady(
-                design, config, optimizer, precision
-            )
+        with span(
+            "model.profile", design=design.value, engine=self.engine
+        ):
+            if self.engine == "periodic":
+                if self.channel_workers == 1:
+                    steady_attempted = True
+                    profile, reason = self._profile_steady(
+                        design, config, optimizer, precision
+                    )
+                    if profile is None:
+                        self.report.record_fallback(reason)
+                    else:
+                        self.report.record_fast_path()
+                else:
+                    # Partitioned multi-channel scheduling carries no
+                    # period metadata; the periodic engine always
+                    # simulates there.
+                    self.report.record_fallback(FALLBACK_MULTI_CHANNEL)
             if profile is None:
-                self.periodic_report["fallback"] += 1
-            else:
-                self.periodic_report["fast_path"] += 1
-        if profile is None:
-            profile = self._profile_simulated(
-                design,
-                config,
-                optimizer,
-                precision,
-                # A failed steady lock already told us the stream does
-                # not reward periodic bookkeeping; simulate the full
-                # stream on the plain incremental engine instead.
-                scheduler_engine=(
-                    "incremental" if steady_attempted else None
-                ),
-            )
+                profile = self._profile_simulated(
+                    design,
+                    config,
+                    optimizer,
+                    precision,
+                    # A failed steady lock already told us the stream
+                    # does not reward periodic bookkeeping; simulate
+                    # the full stream on the plain incremental engine
+                    # instead.
+                    scheduler_engine=(
+                        "incremental" if steady_attempted else None
+                    ),
+                )
         self._cache[key] = profile
         return profile
 
@@ -290,7 +325,8 @@ class UpdatePhaseModel:
         scheduler_engine=None,
     ) -> UpdateProfile:
         """Schedule the full sample stream and derive the profile."""
-        built = self._build_stream(config, optimizer, precision)
+        with span("model.build_stream", design=design.value):
+            built = self._build_stream(config, optimizer, precision)
         commands, n_params, offchip_accesses, dependents, period = built
         channels = config.effective_channels(self.geometry)
         # Channels are embarrassingly parallel: every channel runs the
@@ -311,13 +347,20 @@ class UpdatePhaseModel:
             scheduler = self._scheduler(
                 config, geometry, issue_model, engine=scheduler_engine
             )
-            result = schedule_channels(
-                scheduler,
-                commands,
-                dependents=dependents,
-                workers=self.channel_workers,
-            )
+            with span(
+                "engine.schedule",
+                engine=scheduler.engine,
+                commands=len(commands),
+                channels=channels,
+            ):
+                result = schedule_channels(
+                    scheduler,
+                    commands,
+                    dependents=dependents,
+                    workers=self.channel_workers,
+                )
             stats = result.stats
+            self.report.record_scheduling_path(stats.scheduling_path)
         else:
             # One channel's schedule suffices: the replicas are
             # byte-identical streams and the scheduler is
@@ -334,24 +377,36 @@ class UpdatePhaseModel:
             scheduler = self._scheduler(
                 config, geometry, issue_model, engine=scheduler_engine
             )
-            result = scheduler.run(
-                commands, dependents=dependents, period=period
-            )
+            with span(
+                "engine.schedule",
+                engine=scheduler.engine,
+                commands=len(commands),
+                channels=channels,
+            ):
+                result = scheduler.run(
+                    commands, dependents=dependents, period=period
+                )
             stats = (
                 TraceStats.merge_channels([result.stats] * channels)
                 if channels > 1
                 else result.stats
             )
-        if self.validate:
-            validate_trace(
-                result.commands,
-                self.timing,
-                geometry,
-                issue_model.port_of_rank,
-                per_bank_pim=config.per_bank_pim,
-                data_bus_scope=config.data_bus_scope,
-                thorough=self.thorough_validate,
+            self.report.record_scheduling_path(
+                "serial-replicated" if channels > 1 else "single-channel"
             )
+        if self.validate:
+            with span(
+                "engine.validate", commands=len(result.commands)
+            ):
+                validate_trace(
+                    result.commands,
+                    self.timing,
+                    geometry,
+                    issue_model.port_of_rank,
+                    per_bank_pim=config.per_bank_pim,
+                    data_bus_scope=config.data_bus_scope,
+                    thorough=self.thorough_validate,
+                )
         if channels > 1:
             n_params *= channels
             offchip_accesses *= channels
@@ -387,12 +442,14 @@ class UpdatePhaseModel:
 
     def _profile_steady(
         self, design, config, optimizer, precision
-    ) -> Optional[UpdateProfile]:
+    ) -> tuple[Optional[UpdateProfile], Optional[str]]:
         """Extrapolate the profile from a warm sample (module docstring).
 
-        Returns ``None`` when extrapolation does not apply — the sample
-        is not wider than the warm floor, or no steady cycle locks —
-        letting the caller fall back to full simulation.
+        Returns ``(profile, None)`` on success, or ``(None, reason)``
+        when extrapolation does not apply — the sample is not wider
+        than the warm floor, or no steady cycle locks — letting the
+        caller fall back to full simulation with the reason recorded
+        on the flight recorder.
         """
         ratio = 1 if precision.is_full else precision.ratio
         if config.update_kind == UPDATE_AOS_KERNEL:
@@ -426,10 +483,12 @@ class UpdatePhaseModel:
                 # the packed phases' ratio-column sweeps), so a
                 # momentum/RMSProp kernel extrapolates from the first
                 # warm run instead of paying a realignment retry.
-                span = 3 * ratio
+                align_span = 3 * ratio
                 for s in ladder:
                     base = s * ratio
-                    candidates.append(base + (k_full - base) % span)
+                    candidates.append(
+                        base + (k_full - base) % align_span
+                    )
         # Economics: the warm run costs O(k_warm) — extrapolation only
         # pays when the sample is meaningfully narrower than the
         # request (pinning periodic_warm_columns overrides the guard).
@@ -439,19 +498,23 @@ class UpdatePhaseModel:
             else k_full * 2 // 3
         )
         tried: set[int] = set()
+        reasons: set[str] = set()
+        hopeless = False
         while candidates:
             k_warm = candidates.pop(0)
             if k_warm in tried or k_warm > ceiling or k_warm < ratio:
                 continue
             tried.add(k_warm)
             extended = self._extrapolate_from_warm(
-                design, config, optimizer, precision, k_warm, k_full
+                design, config, optimizer, precision, k_warm, k_full,
+                reasons,
             )
             if extended is None:
                 continue
             if extended == "hopeless":
                 # A segment with plenty of sweeps never settled into a
                 # machine cycle; a wider sample will not change that.
+                hopeless = True
                 break
             if isinstance(extended, int):
                 # Super-period alignment: retry at the width the locks
@@ -468,22 +531,40 @@ class UpdatePhaseModel:
             return self._finish_profile(
                 design, optimizer, precision, stats, n_params,
                 offchip_accesses,
-            )
-        return None
+            ), None
+        # Fallback classification, most diagnostic reason first.
+        if hopeless:
+            reason = FALLBACK_HORIZON_EXCEEDED
+        elif not tried:
+            # No candidate was narrow enough to beat full simulation.
+            reason = FALLBACK_ECONOMICS
+        elif FALLBACK_DEADLOCK in reasons:
+            reason = FALLBACK_DEADLOCK
+        elif len(reasons) == 1:
+            reason = next(iter(reasons))
+        else:
+            reason = FALLBACK_NO_LOCK
+        return None, reason
 
     def _extrapolate_from_warm(
-        self, design, config, optimizer, precision, k_warm, k_full
+        self, design, config, optimizer, precision, k_warm, k_full,
+        reasons: set,
     ):
         """One warm run: returns ``(stats, n_params, offchip)`` on a
         clean lock, a realigned warm width (int) when a super-period
-        misaligns the extension, or ``None``."""
-        built = self._build_stream(
-            config, optimizer, precision, columns_per_stripe=k_warm
-        )
+        misaligns the extension, or ``None`` — adding the failure's
+        fallback reason to ``reasons``."""
+        with span(
+            "model.build_stream", design=design.value, warm=k_warm
+        ):
+            built = self._build_stream(
+                config, optimizer, precision, columns_per_stripe=k_warm
+            )
         commands, n_params, offchip_accesses, dependents, period = built
         if period is None or not period.segments:
+            reasons.add(FALLBACK_NO_METADATA)
             return None
-        self.periodic_report["warm_runs"] += 1
+        self.report.record_warm_run(k_warm)
         geometry = (
             self.geometry
             if self.geometry.channels == 1
@@ -491,41 +572,66 @@ class UpdatePhaseModel:
         )
         issue_model = config.issue_model(geometry)
         scheduler = self._scheduler(config, geometry, issue_model)
-        result = scheduler.run(
-            commands, dependents=dependents, period=period
-        )
+        try:
+            with span(
+                "engine.schedule",
+                engine=scheduler.engine,
+                commands=len(commands),
+                warm=k_warm,
+            ):
+                result = scheduler.run(
+                    commands, dependents=dependents, period=period
+                )
+        except SimulationError:
+            # The warm sample deadlocked; let the fallback simulate
+            # the full stream (and surface the real error if it
+            # deadlocks too) rather than dying on the sample.
+            reasons.add(FALLBACK_DEADLOCK)
+            return None
         outcome = result.periodic
+        self.report.record_scheduling_path("steady-warm")
+        self.report.record_outcome(outcome)
         if outcome is None:
+            reasons.add(FALLBACK_NO_LOCK)
             return None
         if not outcome.all_locked:
             for seg, lock in zip(period.segments, outcome.locks):
                 if lock is None and seg.sweeps >= 16:
                     return "hopeless"
+            reasons.add(FALLBACK_NO_LOCK)
             return None
         # The extension inserts whole super-periods into every segment:
         # the added sweeps must divide by each segment's machine cycle.
         extra = k_full - k_warm
         realign = 0
         for seg, lock in zip(period.segments, outcome.locks):
-            span = seg.columns_per_sweep * lock.sweeps_per_period
-            if extra % span:
-                realign = max(realign, span)
+            cycle_span = seg.columns_per_sweep * lock.sweeps_per_period
+            if extra % cycle_span:
+                realign = max(realign, cycle_span)
         if realign:
             shift = extra % math.lcm(*(
                 seg.columns_per_sweep * lock.sweeps_per_period
                 for seg, lock in zip(period.segments, outcome.locks)
             ))
-            return k_warm + shift if k_warm + shift < k_full else None
+            if k_warm + shift < k_full:
+                return k_warm + shift
+            # The locks demand a realigned sample at least as wide as
+            # the full request — extrapolating buys nothing.
+            reasons.add(FALLBACK_ECONOMICS)
+            return None
         if self.validate:
-            validate_trace(
-                result.commands,
-                self.timing,
-                geometry,
-                issue_model.port_of_rank,
-                per_bank_pim=config.per_bank_pim,
-                data_bus_scope=config.data_bus_scope,
-                thorough=self.thorough_validate,
-            )
+            with span(
+                "engine.validate", commands=len(result.commands)
+            ):
+                validate_trace(
+                    result.commands,
+                    self.timing,
+                    geometry,
+                    issue_model.port_of_rank,
+                    per_bank_pim=config.per_bank_pim,
+                    data_bus_scope=config.data_bus_scope,
+                    thorough=self.thorough_validate,
+                )
         stats = result.stats
         ext = TraceStats()
         ext.counts = dict(stats.counts)
@@ -535,6 +641,9 @@ class UpdatePhaseModel:
         for seg, lock in zip(period.segments, outcome.locks):
             sweeps = extra // seg.columns_per_sweep
             periods = sweeps // lock.sweeps_per_period
+            self.report.record_extension(
+                periods * lock.sweeps_per_period
+            )
             ext.total_cycles += periods * lock.delta
             ext.issued_commands += (
                 periods * lock.sweeps_per_period * seg.period

@@ -52,12 +52,17 @@ def test_main_accepts_no_validate(capsys):
 def test_parse_args_no_validate():
     from repro.experiments.runner import parse_args
 
-    assert parse_args(["fig9"]) == (["fig9"], 1, None, True, "incremental")
+    assert parse_args(["fig9"]) == (
+        ["fig9"], 1, None, True, "incremental", None,
+    )
     assert parse_args(["--no-validate", "fig9"]) == (
-        ["fig9"], 1, None, False, "incremental",
+        ["fig9"], 1, None, False, "incremental", None,
     )
     assert parse_args(["--engine", "periodic", "fig9"]) == (
-        ["fig9"], 1, None, True, "periodic",
+        ["fig9"], 1, None, True, "periodic", None,
+    )
+    assert parse_args(["--trace", "out.json", "fig9"]) == (
+        ["fig9"], 1, None, True, "incremental", "out.json",
     )
     with pytest.raises(ValueError):
         parse_args(["--engine", "warp-drive", "fig9"])

@@ -1,0 +1,18 @@
+"""Observability tests: keep the process-global state isolated."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import set_default_registry
+from repro.obs.trace import disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Reset the global tracer and default registry around each test."""
+    set_default_registry(None)
+    disable_tracing()
+    yield
+    set_default_registry(None)
+    disable_tracing()

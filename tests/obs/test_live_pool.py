@@ -1,0 +1,128 @@
+"""Live worker-pool observability: spans and metrics cross the fork.
+
+These run real jobs through ``repro.service.pool.run_specs`` with
+tracing enabled and assert the workers' telemetry arrives intact in
+the parent — the cross-process half of the obs subsystem that unit
+tests can't cover.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import default_registry
+from repro.obs.trace import (
+    disable_tracing,
+    enable_tracing,
+    validate_chrome_trace,
+)
+from repro.service.api import submit_many
+from repro.service.pool import run_specs
+from repro.service.spec import SimJobSpec
+
+CHEAP = dict(columns_per_stripe=8, designs=("Baseline", "GradPIM-BD"))
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [
+        SimJobSpec(network="MLP1", batch=b, **CHEAP) for b in (16, 32)
+    ]
+
+
+def test_worker_spans_and_metrics_arrive_intact(specs):
+    tracer = enable_tracing()
+    payloads = run_specs(specs, jobs=2)
+    assert all(p["status"] == "ok" for p in payloads)
+    # Telemetry was consumed into the parent, not left on payloads.
+    assert all("obs" not in p for p in payloads)
+    names = tracer.span_names()
+    assert "pool.dispatch" in names
+    assert "pool.execute" in names  # shipped back from the workers
+    executes = [s for s in tracer.spans() if s.name == "pool.execute"]
+    assert len(executes) == len(specs)
+    # Worker metrics merged into the parent's default registry.
+    registry = default_registry()
+    assert (
+        registry.counter_value("jobs_executed_total", {"status": "ok"})
+        == len(specs)
+    )
+    hist = registry.histogram("job_execute_seconds", {"status": "ok"})
+    assert hist is not None and hist.count == len(specs)
+    # The assembled trace is Perfetto-loadable.
+    assert validate_chrome_trace(tracer.to_chrome_trace()) == []
+
+
+def test_serial_and_parallel_results_identical_with_tracing(specs):
+    enable_tracing()
+    parallel = run_specs(specs, jobs=2)
+    disable_tracing()
+    serial = run_specs(specs, jobs=1)
+    for p, s in zip(parallel, serial):
+        p = {k: v for k, v in p.items() if k != "elapsed_seconds"}
+        s = {k: v for k, v in s.items() if k != "elapsed_seconds"}
+        assert json.dumps(p, sort_keys=True) == json.dumps(
+            s, sort_keys=True
+        )
+
+
+def test_traced_submit_covers_the_full_path(tmp_path):
+    """End-to-end: a traced submit_many produces a valid trace whose
+    spans cover submit → cache lookup → dispatch → build → schedule →
+    validate → cache write."""
+    from repro.service.cache import ResultCache
+
+    # A stripe width no other test uses: the substrate must be cold so
+    # the workers actually profile (memoized profiles skip the
+    # model/engine spans by design).
+    cold = [
+        SimJobSpec(
+            network="MLP1",
+            batch=b,
+            columns_per_stripe=12,
+            designs=("Baseline", "GradPIM-BD"),
+        )
+        for b in (16, 32)
+    ]
+    tracer = enable_tracing()
+    results = submit_many(
+        cold, jobs=2, cache=ResultCache(directory=str(tmp_path))
+    )
+    assert all(r.ok for r in results)
+    names = tracer.span_names()
+    for expected in (
+        "service.submit",
+        "service.cache_lookup",
+        "service.cache_write",
+        "pool.dispatch",
+        "pool.execute",
+        "model.profile",
+        "model.build_stream",
+        "engine.schedule",
+        "engine.validate",
+    ):
+        assert expected in names, f"missing span {expected}"
+    out = tracer.write(tmp_path / "trace.json")
+    trace = json.loads(out.read_text())
+    assert validate_chrome_trace(trace) == []
+
+
+def test_engine_report_rides_the_result_envelope(tmp_path):
+    """A periodic-engine job's flight-recorder delta reaches the
+    service result (and survives its serde round trip)."""
+    from repro.service.cache import ResultCache
+
+    spec = SimJobSpec(network="MLP1", engine="periodic", **CHEAP)
+    cache = ResultCache(directory=str(tmp_path))
+    (result,) = submit_many([spec], jobs=1, cache=cache)
+    assert result.ok
+    report = result.engine_report
+    assert report is not None and report["engine"] == "periodic"
+    assert report.get("fast_path", 0) + report.get("fallback", 0) > 0
+    envelope = result.to_dict()
+    assert envelope["engine_report"] == report
+    # A cache hit re-serves the result without a fresh report.
+    (hit,) = submit_many([spec], jobs=1, cache=cache)
+    assert hit.from_cache and hit.engine_report is None

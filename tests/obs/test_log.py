@@ -1,0 +1,96 @@
+"""JSON structured logging + correlation-id propagation."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import os
+
+from repro.obs.log import (
+    JsonFormatter,
+    configure_json_logging,
+    correlation_scope,
+    get_correlation_id,
+    get_logger,
+    set_correlation_id,
+)
+
+
+def _teardown():
+    set_correlation_id(None)
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.propagate = True
+
+
+def test_correlation_scope_nests_and_restores():
+    try:
+        assert get_correlation_id() is None
+        with correlation_scope("outer"):
+            assert get_correlation_id() == "outer"
+            with correlation_scope("inner"):
+                assert get_correlation_id() == "inner"
+            assert get_correlation_id() == "outer"
+        assert get_correlation_id() is None
+    finally:
+        _teardown()
+
+
+def test_json_lines_carry_structure_and_correlation():
+    stream = io.StringIO()
+    try:
+        configure_json_logging(stream=stream)
+        logger = get_logger("repro.test")
+        with correlation_scope("abc123"):
+            logger.info("job executed", extra={"network": "MLP1"})
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "job executed"
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.test"
+        assert record["correlation_id"] == "abc123"
+        assert record["network"] == "MLP1"
+        assert record["pid"] == os.getpid()
+        assert "ts" in record
+    finally:
+        _teardown()
+
+
+def test_configure_is_idempotent():
+    a, b = io.StringIO(), io.StringIO()
+    try:
+        configure_json_logging(stream=a)
+        configure_json_logging(stream=b)  # replaces, not stacks
+        get_logger("repro.test").info("once")
+        assert a.getvalue() == ""
+        assert len(b.getvalue().strip().splitlines()) == 1
+    finally:
+        _teardown()
+
+
+def test_exceptions_render_as_strings():
+    stream = io.StringIO()
+    formatter = JsonFormatter()
+    logger = logging.getLogger("repro.exc-test")
+    logger.propagate = False
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(formatter)
+    logger.addHandler(handler)
+    try:
+        try:
+            raise ValueError("bad value")
+        except ValueError:
+            logger.exception("job failed")
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "ERROR"
+        assert "ValueError: bad value" in record["exc"]
+    finally:
+        logger.removeHandler(handler)
+
+
+def test_silent_without_configuration(capsys):
+    get_logger("repro.test").info("should go nowhere visible")
+    captured = capsys.readouterr()
+    assert "should go nowhere" not in captured.out
+    assert "should go nowhere" not in captured.err

@@ -1,0 +1,166 @@
+"""StreamingHistogram merge + cross-process registry aggregation."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    StreamingHistogram,
+    default_registry,
+    parse_prometheus,
+    set_default_registry,
+)
+
+
+# ---------------------------------------------------------------------
+# Histogram serde + merge
+# ---------------------------------------------------------------------
+def test_histogram_round_trips_losslessly():
+    hist = StreamingHistogram()
+    rng = random.Random(42)
+    for _ in range(500):
+        hist.record(rng.lognormvariate(0, 2))
+    hist.record(0.0)  # underflow bucket
+    clone = StreamingHistogram.from_dict(hist.to_dict())
+    assert clone.to_dict() == hist.to_dict()
+    for q in (0.5, 0.95, 0.99):
+        assert clone.quantile(q) == hist.quantile(q)
+
+
+def test_histogram_merge_equals_single_stream():
+    """Merging shards must reproduce the one-stream histogram exactly
+    (same buckets ⇒ same counts and quantiles; the float ``sum`` may
+    differ in the last bits from addition order)."""
+    rng = random.Random(7)
+    values = [rng.lognormvariate(-1, 3) for _ in range(900)]
+    reference = StreamingHistogram()
+    for v in values:
+        reference.record(v)
+    shards = [StreamingHistogram() for _ in range(3)]
+    for i, v in enumerate(values):
+        shards[i % 3].record(v)
+    merged = shards[0]
+    merged.merge(shards[1])
+    merged.merge(shards[2])
+    ref, got = reference.to_dict(), merged.to_dict()
+    assert got["counts"] == ref["counts"]
+    assert got["count"] == ref["count"]
+    assert got["min"] == ref["min"]
+    assert got["max"] == ref["max"]
+    assert got["sum"] == pytest.approx(ref["sum"])
+    for q in (0.5, 0.95, 0.99):
+        assert merged.quantile(q) == reference.quantile(q)
+
+
+def test_histogram_merge_rejects_layout_mismatch():
+    a = StreamingHistogram()
+    b = StreamingHistogram(lo=1.0)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+# ---------------------------------------------------------------------
+# Registry snapshot / merge
+# ---------------------------------------------------------------------
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry("repro")
+    reg.inc("jobs_total", {"status": "ok"}, value=3)
+    reg.inc("jobs_total", {"status": "error"})
+    for v in (0.01, 0.1, 1.0, 10.0):
+        reg.observe("latency_seconds", v, {"endpoint": "submit"})
+    return reg
+
+
+def test_snapshot_merge_counters_add():
+    parent = _populated_registry()
+    worker = _populated_registry()
+    parent.merge_snapshot(worker.snapshot())
+    assert parent.counter_value("jobs_total", {"status": "ok"}) == 6
+    assert parent.counter_value("jobs_total", {"status": "error"}) == 2
+
+
+def test_snapshot_merge_histograms_double_counts():
+    parent = _populated_registry()
+    parent.merge_snapshot(_populated_registry().snapshot())
+    (hist,) = [
+        h
+        for labels, h in parent.histograms("latency_seconds")
+        if labels == {"endpoint": "submit"}
+    ]
+    assert hist.count == 8
+
+
+def test_snapshot_merge_adopts_unknown_families():
+    parent = MetricsRegistry("repro")
+    parent.merge_snapshot(_populated_registry().snapshot())
+    assert parent.counter_value("jobs_total", {"status": "ok"}) == 3
+    rendered = parent.render()
+    assert "repro_jobs_total" in rendered
+    assert "repro_latency_seconds" in rendered
+
+
+def test_snapshot_is_json_safe():
+    snap = _populated_registry().snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+
+
+def test_snapshot_version_gate():
+    parent = MetricsRegistry("repro")
+    snap = _populated_registry().snapshot()
+    snap["version"] = 999
+    with pytest.raises(ValueError):
+        parent.merge_snapshot(snap)
+
+
+def test_merged_registry_renders_valid_prometheus():
+    parent = _populated_registry()
+    parent.merge_snapshot(_populated_registry().snapshot())
+    families = parse_prometheus(parent.render())
+    assert families["repro_jobs_total"]['{status="ok"}'] == 6
+
+
+# ---------------------------------------------------------------------
+# The process-global default registry
+# ---------------------------------------------------------------------
+def test_default_registry_is_process_global():
+    default_registry().inc("pings_total")
+    assert default_registry().counter_value("pings_total") == 1
+    previous = set_default_registry(MetricsRegistry("repro"))
+    assert previous is not None
+    assert previous.counter_value("pings_total") == 1
+    assert default_registry().counter_value("pings_total") == 0
+
+
+def _fork_child(queue) -> None:
+    reg = MetricsRegistry("repro")
+    reg.inc("child_jobs_total", value=2)
+    reg.observe("child_seconds", 0.5)
+    queue.put(reg.snapshot())
+
+
+def test_cross_process_counter_aggregation():
+    """A snapshot produced in a real forked child merges losslessly."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        pytest.skip("platform without fork")
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(target=_fork_child, args=(queue,)) for _ in range(2)
+    ]
+    for p in procs:
+        p.start()
+    snaps = [queue.get(timeout=30) for _ in procs]
+    for p in procs:
+        p.join(timeout=30)
+    parent = default_registry()
+    for snap in snaps:
+        parent.merge_snapshot(snap)
+    assert parent.counter_value("child_jobs_total") == 4
+    (hist,) = [h for _, h in parent.histograms("child_seconds")]
+    assert hist.count == 2

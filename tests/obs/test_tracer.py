@@ -1,0 +1,139 @@
+"""Tracer unit tests: spans, export, schema, cross-process shipping."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    validate_chrome_trace,
+    validate_json,
+)
+
+
+def test_span_context_manager_records():
+    tracer = Tracer()
+    with tracer.span("work", kind="unit"):
+        pass
+    (recorded,) = tracer.spans()
+    assert recorded.name == "work"
+    assert recorded.args == {"kind": "unit"}
+    assert recorded.dur_ns >= 0
+    assert recorded.pid == os.getpid()
+    assert recorded.tid == threading.get_ident()
+
+
+def test_span_set_attaches_args_mid_span():
+    tracer = Tracer()
+    with tracer.span("lookup") as live:
+        live.set(disposition="cache-hit")
+    (recorded,) = tracer.spans()
+    assert recorded.args["disposition"] == "cache-hit"
+
+
+def test_span_records_error_on_exception():
+    tracer = Tracer()
+    with pytest.raises(SimulationError):
+        with tracer.span("boom"):
+            raise SimulationError("deadlock")
+    (recorded,) = tracer.spans()
+    assert recorded.args["error"] == "SimulationError"
+
+
+def test_module_span_is_noop_when_disabled():
+    assert active_tracer() is None
+    ctx = span("ignored", a=1)
+    with ctx as live:
+        live.set(b=2)  # must not raise
+    assert span("again") is ctx  # one shared no-op object
+
+
+def test_enable_disable_round_trip():
+    tracer = enable_tracing()
+    assert active_tracer() is tracer
+    with span("visible"):
+        pass
+    assert disable_tracing() is tracer
+    assert active_tracer() is None
+    assert tracer.span_names() == {"visible"}
+
+
+def test_span_serde_round_trip():
+    original = Span(
+        name="x", start_ns=10, dur_ns=5, pid=1, tid=2, args={"k": "v"}
+    )
+    assert Span.from_dict(original.to_dict()) == original
+
+
+def test_drain_and_ingest_ship_spans_across_tracers():
+    worker = Tracer()
+    with worker.span("remote.work"):
+        pass
+    shipped = worker.drain()
+    assert len(worker) == 0
+    assert json.loads(json.dumps(shipped)) == shipped  # JSON-safe
+    parent = Tracer()
+    assert parent.ingest(shipped) == 1
+    assert parent.span_names() == {"remote.work"}
+
+
+def test_chrome_export_validates_and_converts_units():
+    tracer = Tracer()
+    tracer.add_span(
+        Span(name="n", start_ns=2_000, dur_ns=1_000, pid=1, tid=1)
+    )
+    trace = tracer.to_chrome_trace()
+    assert validate_chrome_trace(trace) == []
+    event = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+    assert event["ts"] == 2.0 and event["dur"] == 1.0  # ns -> µs
+    meta = next(e for e in trace["traceEvents"] if e["ph"] == "M")
+    assert meta["name"] == "process_name"
+
+
+def test_worker_pids_get_their_own_named_track(tmp_path):
+    tracer = Tracer()
+    me = os.getpid()
+    tracer.add_span(Span(name="a", start_ns=0, dur_ns=1, pid=me, tid=1))
+    tracer.add_span(
+        Span(name="b", start_ns=0, dur_ns=1, pid=me + 1, tid=1)
+    )
+    out = tracer.write(tmp_path / "trace.json")
+    trace = json.loads(out.read_text())
+    names = {
+        e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M"
+    }
+    assert names == {f"repro [{me}]", f"repro-worker [{me + 1}]"}
+    assert validate_chrome_trace(trace) == []
+
+
+def test_validate_json_reports_violations():
+    schema = {
+        "type": "object",
+        "required": ["traceEvents"],
+        "properties": {
+            "traceEvents": {
+                "type": "array",
+                "items": {
+                    "type": "object",
+                    "required": ["ph"],
+                    "properties": {"ph": {"enum": ["X", "M"]}},
+                },
+            }
+        },
+    }
+    assert validate_json({"traceEvents": []}, schema) == []
+    assert validate_json({}, schema)  # missing required
+    errors = validate_json({"traceEvents": [{"ph": "Q"}]}, schema)
+    assert any("enum" in e for e in errors)
