@@ -46,6 +46,7 @@ from repro.obs.trace import (
     active_tracer,
     disable_tracing,
     enable_tracing,
+    instant,
     span,
     validate_chrome_trace,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "enable_tracing",
     "get_correlation_id",
     "get_logger",
+    "instant",
     "parse_prometheus",
     "set_correlation_id",
     "set_default_registry",

@@ -158,6 +158,20 @@ class Tracer:
         """Context manager timing the enclosed block as ``name``."""
         return _LiveSpan(self, name, dict(args))
 
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a zero-duration event (a point on the timeline)."""
+        now = time.perf_counter_ns()
+        self.add_span(
+            Span(
+                name=name,
+                start_ns=now,
+                dur_ns=0,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                args=dict(args),
+            )
+        )
+
     def add_span(self, span: Span) -> None:
         with self._lock:
             self._spans.append(span)
@@ -251,6 +265,18 @@ def span(name: str, **args: Any):
     if tracer is None:
         return _NOOP_SPAN
     return tracer.span(name, **args)
+
+
+def instant(name: str, **args: Any) -> None:
+    """Module-level instant event against the active tracer.
+
+    Used at recovery points (fault injected, worker respawned, cache
+    entry rewritten) where the interesting fact is *that* something
+    happened, not how long it took. No-op when tracing is off.
+    """
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.instant(name, **args)
 
 
 # ---------------------------------------------------------------------

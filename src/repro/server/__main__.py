@@ -68,6 +68,48 @@ def _parser() -> argparse.ArgumentParser:
         help="bound on in-memory cached results (0 disables memory)",
     )
     parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=defaults.job_timeout_seconds,
+        metavar="SECONDS",
+        help=(
+            "per-job wall-clock budget; routes execution through "
+            "hardened per-job worker processes with kill-on-timeout, "
+            "bounded retry, and poison-job quarantine"
+        ),
+    )
+    parser.add_argument(
+        "--job-max-retries",
+        type=int,
+        default=defaults.job_max_retries,
+        metavar="N",
+        help=(
+            "retries granted to jobs lost to worker death or timeout "
+            f"(default: {defaults.job_max_retries})"
+        ),
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=defaults.default_deadline_ms,
+        metavar="MS",
+        help=(
+            "deadline for every accepted spec without its own "
+            "deadline_ms (clock starts at enqueue); expired jobs "
+            "finish in the terminal timed_out state"
+        ),
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "arm a deterministic fault-injection plan, e.g. "
+            "'seed=7;worker.kill:rate=0.1,attempts=1' (also read from "
+            "the REPRO_FAULTS environment variable)"
+        ),
+    )
+    parser.add_argument(
         "--url-file",
         metavar="FILE",
         help="write the bound base URL to FILE once listening",
@@ -94,6 +136,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cache_dir=args.cache_dir,
             cache_max_entries=args.cache_max_entries,
             log_json=args.log_json,
+            job_timeout_seconds=args.job_timeout,
+            job_max_retries=args.job_max_retries,
+            default_deadline_ms=args.deadline_ms,
+            faults=args.faults,
         )
         server = create_server(config)
     except (ConfigError, OSError) as exc:

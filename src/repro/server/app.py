@@ -25,6 +25,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro import faults
 from repro.errors import ConfigError
 from repro.obs.log import configure_json_logging
 from repro.obs.metrics import default_registry
@@ -59,6 +60,10 @@ class ReproServer(ThreadingHTTPServer):
         self.config = config
         if config.log_json:
             configure_json_logging()
+        if config.faults is not None:
+            faults.install(faults.FaultPlan.parse(config.faults))
+        else:
+            faults.auto_install()
         self.metrics = MetricsRegistry()
         self.cache = ResultCache(
             max_entries=config.cache_max_entries,
@@ -73,7 +78,9 @@ class ReproServer(ThreadingHTTPServer):
         self.metrics.gauge(
             "uptime_seconds", lambda: time.monotonic() - self.started_at
         )
-        for name in ("hits", "misses", "disk_hits", "entries"):
+        for name in (
+            "hits", "misses", "disk_hits", "entries", "checksum_failures"
+        ):
             self.metrics.gauge(
                 f"cache_{name}",
                 lambda n=name: self.cache.stats()[n],
@@ -105,14 +112,20 @@ class ReproServer(ThreadingHTTPServer):
         self._serve_thread.start()
         return self.url
 
-    def stop(self) -> None:
-        """Shut down the HTTP loop and drain the dispatcher."""
+    def stop(self) -> bool:
+        """Shut down the HTTP loop and drain the dispatcher.
+
+        Returns the dispatcher's ``stopped_clean`` flag: ``False``
+        means the dispatcher thread leaked past its join timeout (it
+        was abandoned as a daemon; see :meth:`Dispatcher.stop`).
+        """
         self.shutdown()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10.0)
             self._serve_thread = None
-        self.dispatcher.stop()
+        stopped_clean = self.dispatcher.stop()
         self.server_close()
+        return stopped_clean
 
 
 def create_server(config: Optional[ServerConfig] = None) -> ReproServer:
@@ -231,6 +244,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "uptime_seconds": time.monotonic() - server.started_at,
                 "queue_depth": server.dispatcher.queue_depth(),
                 "jobs": server.jobs.counts(),
+                "faults": faults.describe_active(),
             },
         )
         return 200

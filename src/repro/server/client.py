@@ -9,12 +9,14 @@ CI smoke need without leaving the standard library.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from email.utils import parsedate_to_datetime
 from typing import Mapping, Optional, Sequence, Union
 
+from repro.server.jobs import TERMINAL_STATES
 from repro.server.metrics import parse_prometheus
 from repro.service.spec import SimJobSpec
 
@@ -88,6 +90,11 @@ class ServerClient:
     :func:`parse_retry_after`) and the resulting sleep is capped at
     ``retry_after_cap`` seconds so a skewed server clock or a
     pathological header can never stall the client for hours.
+
+    ``retry_jitter`` spreads retry sleeps by ±that fraction so a herd
+    of clients rejected together doesn't retry in lockstep and hit the
+    same full queue again; jittered sleeps still respect the cap. Pass
+    ``rng`` (a seeded ``random.Random``) for deterministic tests.
     """
 
     def __init__(
@@ -96,11 +103,22 @@ class ServerClient:
         timeout: float = 30.0,
         max_retries: int = 5,
         retry_after_cap: float = 30.0,
+        retry_jitter: float = 0.1,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.max_retries = max_retries
         self.retry_after_cap = retry_after_cap
+        self.retry_jitter = retry_jitter
+        self._rng = rng if rng is not None else random.Random()
+
+    def _retry_sleep(self, base: float) -> float:
+        """Jittered, capped seconds to sleep before a retry."""
+        jitter = self.retry_jitter
+        if jitter > 0:
+            base *= 1.0 + self._rng.uniform(-jitter, jitter)
+        return max(0.0, min(base, self.retry_after_cap))
 
     # ------------------------------------------------------------------
     # Raw HTTP
@@ -191,9 +209,8 @@ class ServerClient:
                 if attempt < self.max_retries:
                     accepted = payload.get("accepted", 0) if payload else 0
                     remaining = remaining[accepted:]
-                    retry_after = min(
-                        parse_retry_after(headers.get("Retry-After")),
-                        self.retry_after_cap,
+                    retry_after = self._retry_sleep(
+                        parse_retry_after(headers.get("Retry-After"))
                     )
                     time.sleep(retry_after)
                     continue
@@ -215,19 +232,28 @@ class ServerClient:
         job_ids: Sequence[str],
         timeout: float = 60.0,
         poll_seconds: float = 0.05,
+        deadline: Optional[float] = None,
     ) -> list[dict]:
-        """Poll until every job is finished (or raise on timeout)."""
-        deadline = time.monotonic() + timeout
+        """Poll until every job reaches a terminal state.
+
+        ``deadline`` (seconds from now) overrides ``timeout`` when
+        given — a polling budget spelled the same way job deadlines
+        are. Terminal states include the classified failures
+        (``timed_out``, ``quarantined``), so a job the server gave up
+        on ends the wait instead of raising :class:`TimeoutError`.
+        """
+        budget = timeout if deadline is None else deadline
+        deadline_at = time.monotonic() + budget
         done: dict[str, dict] = {}
         while len(done) < len(job_ids):
             for job_id in job_ids:
                 if job_id in done:
                     continue
                 envelope = self.job(job_id)
-                if envelope["status"] in ("done", "error"):
+                if envelope["status"] in TERMINAL_STATES:
                     done[job_id] = envelope
             if len(done) < len(job_ids):
-                if time.monotonic() > deadline:
+                if time.monotonic() > deadline_at:
                     raise TimeoutError(
                         f"{len(job_ids) - len(done)} of {len(job_ids)} "
                         "jobs still pending"

@@ -67,6 +67,26 @@ class ServerConfig:
     #: asked (``repro-server --log-json``).
     log_json: bool = False
 
+    #: Per-job wall-clock budget (seconds). Setting it routes execution
+    #: through the hardened per-job-process pool: kill-on-timeout,
+    #: dead-worker retry, poison-job quarantine.
+    job_timeout_seconds: float | None = None
+
+    #: Retries granted to jobs lost to worker death or timeout under
+    #: the hardened pool.
+    job_max_retries: int = 2
+
+    #: Deadline applied to every accepted spec that doesn't carry its
+    #: own ``deadline_ms``. The clock starts at enqueue, so time spent
+    #: queued counts; an expired job finishes in the terminal
+    #: ``timed_out`` state instead of running (or waiting) forever.
+    default_deadline_ms: int | None = None
+
+    #: Fault-injection plan spec (``FaultPlan.parse`` grammar), armed
+    #: at server construction. ``None`` falls back to the
+    #: ``REPRO_FAULTS`` environment variable; both off = no injection.
+    faults: str | None = None
+
     def __post_init__(self) -> None:
         if self.port < 0:
             raise ConfigError(f"port must be >= 0, got {self.port}")
@@ -105,4 +125,25 @@ class ServerConfig:
             raise ConfigError(
                 "max_wait_seconds must be positive, got "
                 f"{self.max_wait_seconds}"
+            )
+        if (
+            self.job_timeout_seconds is not None
+            and self.job_timeout_seconds <= 0
+        ):
+            raise ConfigError(
+                "job_timeout_seconds must be positive, got "
+                f"{self.job_timeout_seconds}"
+            )
+        if self.job_max_retries < 0:
+            raise ConfigError(
+                "job_max_retries must be >= 0, got "
+                f"{self.job_max_retries}"
+            )
+        if (
+            self.default_deadline_ms is not None
+            and self.default_deadline_ms <= 0
+        ):
+            raise ConfigError(
+                "default_deadline_ms must be positive, got "
+                f"{self.default_deadline_ms}"
             )

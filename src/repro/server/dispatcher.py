@@ -34,13 +34,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import faults
 from repro.obs.log import correlation_scope, get_logger
-from repro.obs.trace import span
+from repro.obs.trace import instant, span
 from repro.server.config import ServerConfig
 from repro.server.jobs import Job, JobStore
 from repro.server.metrics import MetricsRegistry
 from repro.service import api
 from repro.service.cache import ResultCache, cache_key
+from repro.service.config import ServiceConfig
 from repro.service.spec import SimJobSpec
 
 _logger = get_logger("repro.server.dispatcher")
@@ -65,6 +67,11 @@ class Execution:
     job_ids: list[str]
     created: float = field(default_factory=time.monotonic)
     started: bool = False
+    #: Absolute ``time.monotonic`` deadline (from the spec's
+    #: ``deadline_ms`` or the server default, clocked from enqueue), or
+    #: ``None`` for no budget. An execution still queued past its
+    #: deadline finishes ``timed_out`` without ever running.
+    deadline_at: Optional[float] = None
 
 
 _SENTINEL = object()
@@ -88,6 +95,17 @@ class Dispatcher:
         self._inflight: dict[str, Execution] = {}
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
+        #: Result of the last :meth:`stop`: ``True`` (thread joined),
+        #: ``False`` (thread leaked past the join timeout), or ``None``
+        #: (never stopped).
+        self.stopped_clean: Optional[bool] = None
+        #: Hardened execution policy for the service pool. Deadlines
+        #: are passed per-execution (their clocks start at enqueue, not
+        #: at pool entry), so only the timeout/retry knobs live here.
+        self.service_config = ServiceConfig(
+            job_timeout_seconds=config.job_timeout_seconds,
+            max_retries=config.job_max_retries,
+        )
         metrics.gauge("queue_depth", self.queue_depth)
         metrics.gauge("inflight_executions", lambda: len(self._inflight))
 
@@ -158,7 +176,12 @@ class Dispatcher:
                 )
                 return job, "coalesced"
             job = self.jobs.create(spec, key)
-            execution = Execution(key=key, spec=spec, job_ids=[job.id])
+            execution = Execution(
+                key=key,
+                spec=spec,
+                job_ids=[job.id],
+                deadline_at=self._deadline_for(spec),
+            )
             try:
                 self._queue.put_nowait(execution)
             except queue.Full:
@@ -173,6 +196,17 @@ class Dispatcher:
             )
             return job, "queued"
 
+    def _deadline_for(self, spec: SimJobSpec) -> Optional[float]:
+        """The absolute deadline of a spec enqueued now, if any."""
+        ms = (
+            spec.deadline_ms
+            if spec.deadline_ms is not None
+            else self.config.default_deadline_ms
+        )
+        if ms is None:
+            return None
+        return time.monotonic() + ms / 1000.0
+
     # ------------------------------------------------------------------
     # Execution (the dispatcher thread)
     # ------------------------------------------------------------------
@@ -184,12 +218,37 @@ class Dispatcher:
         )
         self._thread.start()
 
-    def stop(self, timeout: float = 10.0) -> None:
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Stop the dispatcher thread; returns ``stopped_clean``.
+
+        ``Thread.join(timeout=...)`` returns regardless of whether the
+        thread actually exited — a dispatcher wedged in a hung
+        execution used to leak here while stop reported success. The
+        leak is now detected, logged, counted
+        (``dispatcher_stop_leaked_total``), and surfaced both in the
+        return value and on :attr:`stopped_clean`. A leaked thread is
+        abandoned (it is a daemon; it cannot outlive the process) —
+        the queue reference is dropped so it can never execute work
+        admitted after the failed stop.
+        """
         if self._thread is None:
-            return
+            return self.stopped_clean if self.stopped_clean is not None else True
         self._queue.put(_SENTINEL)  # blocks until a slot frees; always drained
-        self._thread.join(timeout=timeout)
+        thread = self._thread
+        thread.join(timeout=timeout)
         self._thread = None
+        if thread.is_alive():
+            self.stopped_clean = False
+            self.metrics.inc("dispatcher_stop_leaked_total")
+            instant("dispatcher.stop_leaked", timeout=timeout)
+            _logger.warning(
+                "dispatcher thread still alive after join timeout; "
+                "abandoning it",
+                extra={"timeout_seconds": timeout},
+            )
+            return False
+        self.stopped_clean = True
+        return True
 
     def _run(self) -> None:
         while True:
@@ -240,8 +299,59 @@ class Dispatcher:
             for job_id in attached:
                 self.jobs.finish(job_id, outcome)
 
+    def _finish_execution(
+        self, execution: Execution, outcome: api.SimJobResult
+    ) -> None:
+        """Finish every job attached to one completed execution."""
+        # Pop the in-flight entry *after* any cache write (see
+        # _execute): once the entry is gone, nothing can attach.
+        with self._lock:
+            self._inflight.pop(execution.key, None)
+            attached = list(execution.job_ids)
+        for job_id in attached:
+            self.jobs.finish(job_id, outcome)
+
     def _execute(self, batch: list[Execution]) -> None:
+        faults.sleep_site(faults.DISPATCHER_STALL)
         now = time.monotonic()
+        # Executions whose deadline passed while queued terminate as
+        # timed_out without burning a worker — the 504-style terminal
+        # answer instead of an eternal "running".
+        expired = [
+            e
+            for e in batch
+            if e.deadline_at is not None and now >= e.deadline_at
+        ]
+        if expired:
+            batch = [e for e in batch if e not in expired]
+            for execution in expired:
+                self.metrics.inc("job_timeouts_total")
+                instant(
+                    "dispatcher.deadline_expired",
+                    spec=execution.key[:12],
+                )
+                _logger.warning(
+                    "execution deadline expired while queued",
+                    extra={"spec": execution.key[:12]},
+                )
+                self._finish_execution(
+                    execution,
+                    api.SimJobResult(
+                        spec=execution.spec,
+                        status="failed",
+                        error="deadline expired while queued",
+                        failure={
+                            "reason": "timeout",
+                            "timed_out": True,
+                            "quarantined": False,
+                            "attempts": 0,
+                            "retried": False,
+                            "detail": "deadline expired while queued",
+                        },
+                    ),
+                )
+            if not batch:
+                return
         with self._lock:
             for execution in batch:
                 execution.started = True
@@ -251,6 +361,8 @@ class Dispatcher:
             self.metrics.observe(
                 "queue_wait_seconds", now - execution.created
             )
+        any_deadline = any(e.deadline_at is not None for e in batch)
+        hardened = self.service_config.wants_hardened(any_deadline)
         started = time.perf_counter()
         try:
             # cache=None: admission already resolved these as misses
@@ -258,11 +370,17 @@ class Dispatcher:
             # its ordering against the registry pop stays under our
             # control.
             with span("server.dispatch", batch=len(batch)):
-                if len(batch) > 1:
+                if len(batch) > 1 or hardened:
+                    # The hardened policy needs real worker processes
+                    # even for a batch of one: a deadline or timeout is
+                    # only enforceable on something the dispatcher can
+                    # kill.
                     outcomes = api.submit_many(
                         [e.spec for e in batch],
                         jobs=self.config.workers,
                         cache=None,
+                        config=self.service_config,
+                        deadlines=[e.deadline_at for e in batch],
                     )
                 else:
                     outcomes = [api.submit(batch[0].spec, cache=None)]
@@ -282,6 +400,7 @@ class Dispatcher:
             self.metrics.inc("executions_total")
             if not outcome.ok:
                 self.metrics.inc("execution_errors_total")
+            self._record_resilience(outcome)
             self._aggregate_engine_report(outcome.engine_report)
             _logger.info(
                 "execution finished",
@@ -306,6 +425,29 @@ class Dispatcher:
                 attached = list(execution.job_ids)
             for job_id in attached:
                 self.jobs.finish(job_id, outcome)
+
+    def _record_resilience(self, outcome: api.SimJobResult) -> None:
+        """Count one outcome's resilience events into ``/metrics``.
+
+        Renders as the ``repro_server_*`` families: timeouts,
+        quarantines, retries that recovered a job, and engine
+        degradations that fell back to the incremental scheduler.
+        """
+        reason = outcome.failure_reason
+        if reason == "timeout":
+            self.metrics.inc("job_timeouts_total")
+        elif reason == "quarantined":
+            self.metrics.inc("jobs_quarantined_total")
+        if outcome.retried:
+            self.metrics.inc("job_retries_total")
+        if outcome.degraded:
+            self.metrics.inc(
+                "degraded_total", {"kind": "engine-fallback"}
+            )
+            instant(
+                "server.degraded",
+                reason=outcome.degraded_reason or "engine-fallback",
+            )
 
     def _aggregate_engine_report(
         self, report: Optional[dict]

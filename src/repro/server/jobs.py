@@ -2,10 +2,13 @@
 
 Every spec accepted by ``POST /v1/jobs`` becomes one :class:`Job` with
 a server-unique id, a lifecycle (``queued`` → ``running`` → ``done`` |
-``error``), and a completion event request threads can block on
-(``?wait=``). The store caps retained *finished* jobs so a long-lived
-server doesn't accumulate history without bound; queued/running jobs
-are never evicted.
+``error`` | ``timed_out`` | ``quarantined``), and a completion event
+request threads can block on (``?wait=``). The failure states are
+*terminal* — a job whose worker was killed, whose deadline expired, or
+whose spec was quarantined finishes with a classified state a client
+can act on, never an eternal ``running``. The store caps retained
+*finished* jobs so a long-lived server doesn't accumulate history
+without bound; queued/running jobs are never evicted.
 """
 
 from __future__ import annotations
@@ -25,6 +28,23 @@ QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 ERROR = "error"
+TIMED_OUT = "timed_out"
+QUARANTINED = "quarantined"
+
+#: States a client can stop polling at.
+TERMINAL_STATES = frozenset({DONE, ERROR, TIMED_OUT, QUARANTINED})
+
+
+def classify_outcome(outcome: SimJobResult) -> str:
+    """The terminal lifecycle state one outcome maps to."""
+    if outcome.ok:
+        return DONE
+    if outcome.status == "failed" and outcome.failure is not None:
+        if outcome.failure.get("quarantined"):
+            return QUARANTINED
+        if outcome.failure.get("timed_out"):
+            return TIMED_OUT
+    return ERROR
 
 
 @dataclass
@@ -99,7 +119,7 @@ class JobStore:
             if job is None:
                 return
             job.outcome = outcome
-            job.status = DONE if outcome.ok else ERROR
+            job.status = classify_outcome(outcome)
             job.finished = time.monotonic()
             self._finished[job_id] = None
             while len(self._finished) > self.max_finished:
@@ -110,7 +130,14 @@ class JobStore:
     # ------------------------------------------------------------------
     def counts(self) -> dict[str, int]:
         """Jobs per lifecycle state (gauges for ``/metrics``)."""
-        out = {QUEUED: 0, RUNNING: 0, DONE: 0, ERROR: 0}
+        out = {
+            QUEUED: 0,
+            RUNNING: 0,
+            DONE: 0,
+            ERROR: 0,
+            TIMED_OUT: 0,
+            QUARANTINED: 0,
+        }
         with self._lock:
             for job in self._jobs.values():
                 out[job.status] += 1

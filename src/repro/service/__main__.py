@@ -39,11 +39,13 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import faults
 from repro.errors import ConfigError
 from repro.obs.log import configure_json_logging
 from repro.obs.trace import disable_tracing, enable_tracing
 from repro.service.api import submit_many
 from repro.service.cache import ResultCache
+from repro.service.config import ServiceConfig
 from repro.service.spec import SimJobSpec
 from repro.service.sweep import expand_grid, SweepResult
 
@@ -110,6 +112,47 @@ def _parser() -> argparse.ArgumentParser:
             "force every job onto an N-channel device (default: each "
             "job's own 'channels' field, falling back to its timing "
             "preset's physical channel count — 8 for HBM2)"
+        ),
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-job wall-clock budget; switches to hardened per-job "
+            "worker processes with kill-on-timeout, bounded retry of "
+            "interrupted jobs, and poison-job quarantine"
+        ),
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help=(
+            "deadline for every job without its own deadline_ms; "
+            "expired jobs terminate with a classified timeout failure"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "retries granted to jobs lost to worker death or timeout "
+            "under --job-timeout/--deadline-ms (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "arm a deterministic fault-injection plan, e.g. "
+            "'seed=7;worker.kill:rate=0.1,attempts=1' (also read from "
+            "the REPRO_FAULTS environment variable)"
         ),
     )
     parser.add_argument(
@@ -204,6 +247,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     if args.log_json:
         configure_json_logging()
+    if args.faults is not None:
+        try:
+            faults.install(faults.FaultPlan.parse(args.faults))
+        except ConfigError as exc:
+            print(f"bad --faults: {exc}", file=sys.stderr)
+            return 2
+    else:
+        faults.auto_install()
+    try:
+        service_config = ServiceConfig(
+            job_timeout_seconds=args.job_timeout,
+            max_retries=args.max_retries,
+            default_deadline_ms=args.deadline_ms,
+        )
+    except ConfigError as exc:
+        print(f"bad execution policy: {exc}", file=sys.stderr)
+        return 2
     cache = ResultCache(directory=args.cache_dir)
     try:
         request = _load_request(args.job_file)
@@ -239,7 +299,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     tracer = enable_tracing() if args.trace else None
     try:
-        results = submit_many(specs, jobs=args.jobs, cache=cache)
+        results = submit_many(
+            specs, jobs=args.jobs, cache=cache, config=service_config
+        )
     finally:
         if tracer is not None:
             tracer.write(args.trace)

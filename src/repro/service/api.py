@@ -20,6 +20,7 @@ from repro.obs.log import correlation_scope
 from repro.obs.trace import span
 from repro.service import pool
 from repro.service.cache import DEFAULT_MAX_ENTRIES, ResultCache, cache_key
+from repro.service.config import ServiceConfig
 from repro.service.spec import SimJobSpec
 from repro.system.training import NetworkResult
 
@@ -65,10 +66,17 @@ DEFAULT_CACHE = ResultCache(max_entries=DEFAULT_CACHE_MAX_ENTRIES)
 
 @dataclass
 class SimJobResult:
-    """Outcome envelope of one submitted job."""
+    """Outcome envelope of one submitted job.
+
+    ``status`` is ``"ok"``, ``"error"`` (the job raised — a
+    deterministic failure carrying ``error``/``traceback``), or
+    ``"failed"`` (the hardened executor classified an environmental
+    failure: ``failure`` holds the reason — ``timeout``,
+    ``worker-death``, or ``quarantined`` — plus attempt accounting).
+    """
 
     spec: SimJobSpec
-    status: str  # "ok" | "error"
+    status: str  # "ok" | "error" | "failed"
     result: Optional[NetworkResult] = None
     error: Optional[str] = None
     traceback: Optional[str] = None
@@ -79,10 +87,33 @@ class SimJobResult:
     #: for cache hits, failed jobs, and jobs whose profiles were all
     #: memoized already.
     engine_report: Optional[dict] = None
+    #: Classified failure record for ``status == "failed"`` (see
+    #: ``repro.service.pool._failure_payload``).
+    failure: Optional[dict] = None
+    #: True when the result was produced by a fallback engine after
+    #: the requested one failed; ``degraded_reason`` records why.
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+    #: How the job actually ran: ``"parallel"`` (shared fork pool),
+    #: ``"serial"`` (in-process, including the no-fork fallback),
+    #: ``"isolated"`` (hardened per-job process), or ``None`` for
+    #: cache hits, which never ran at all.
+    execution_mode: Optional[str] = None
+    #: True when at least one earlier attempt of this job was lost to
+    #: a worker death or timeout and the returned outcome came from a
+    #: retry.
+    retried: bool = False
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def failure_reason(self) -> Optional[str]:
+        """The classified reason for a ``"failed"`` outcome, if any."""
+        if self.failure is None:
+            return None
+        return self.failure.get("reason")
 
     def to_dict(self, include_result: bool = True) -> dict:
         """JSON-able form (what the CLI emits)."""
@@ -99,6 +130,16 @@ class SimJobResult:
             out["traceback"] = self.traceback
         if self.engine_report is not None:
             out["engine_report"] = self.engine_report
+        if self.failure is not None:
+            out["failure"] = dict(self.failure)
+        if self.degraded:
+            out["degraded"] = True
+            if self.degraded_reason is not None:
+                out["degraded_reason"] = self.degraded_reason
+        if self.execution_mode is not None:
+            out["execution_mode"] = self.execution_mode
+        if self.retried:
+            out["retried"] = True
         if self.result is not None:
             out["speedups"] = _speedup_summary(self.result)
             if include_result:
@@ -144,7 +185,9 @@ def submit(
                 )
         try:
             with span("service.execute", spec=spec_hash[:12]):
-                result, report = pool.execute_spec_with_report(spec)
+                result, report, degraded_reason = (
+                    pool.execute_spec_resilient(spec)
+                )
         except Exception as exc:  # per-job isolation
             import traceback as tb
 
@@ -166,6 +209,9 @@ def submit(
             result=result,
             elapsed_seconds=time.perf_counter() - start,
             engine_report=report,
+            degraded=degraded_reason is not None,
+            degraded_reason=degraded_reason,
+            execution_mode="serial",
         )
 
 
@@ -173,12 +219,24 @@ def submit_many(
     specs: Sequence[SimJobSpec],
     jobs: int = 1,
     cache: Optional[ResultCache] = DEFAULT_CACHE,
+    config: Optional[ServiceConfig] = None,
+    deadlines: Optional[Sequence[Optional[float]]] = None,
 ) -> list[SimJobResult]:
     """Run a batch of jobs, fanning cache misses across ``jobs`` workers.
 
     Results come back in spec order. Duplicate specs in one batch are
-    executed once.
+    executed once. ``config``
+    (:class:`~repro.service.config.ServiceConfig`) selects the
+    hardened execution policy — per-job timeouts, retries, quarantine;
+    ``deadlines`` optionally pins per-spec absolute ``time.monotonic``
+    deadlines (position-matched to ``specs``; the server dispatcher
+    starts those clocks at enqueue time).
     """
+    if deadlines is not None and len(deadlines) != len(specs):
+        raise ValueError(
+            f"deadlines has {len(deadlines)} entries for "
+            f"{len(specs)} specs"
+        )
     start = time.perf_counter()
     batch_submit = span("service.submit", batch=len(specs))
     batch_submit.__enter__()
@@ -214,7 +272,16 @@ def submit_many(
         batch_lookup.__exit__(None, None, None)
 
     if pending:
-        payloads = pool.run_specs([s for _, s in pending], jobs=jobs)
+        payloads = pool.run_specs(
+            [s for _, s in pending],
+            jobs=jobs,
+            config=config,
+            deadlines=(
+                [deadlines[i] for i, _ in pending]
+                if deadlines is not None
+                else None
+            ),
+        )
         batch_elapsed = time.perf_counter() - start
         for (i, spec), payload in zip(pending, payloads):
             elapsed = (
@@ -233,6 +300,25 @@ def submit_many(
                     result=result,
                     elapsed_seconds=elapsed,
                     engine_report=payload.get("engine_report"),
+                    degraded=bool(payload.get("degraded")),
+                    degraded_reason=payload.get("degraded_reason"),
+                    execution_mode=payload.get("execution_mode"),
+                    retried=bool(payload.get("retried")),
+                )
+            elif (
+                payload is not None
+                and payload.get("status") == "failed"
+            ):
+                failure = payload.get("failure") or {}
+                outcomes[i] = SimJobResult(
+                    spec=spec,
+                    status="failed",
+                    error=failure.get("detail")
+                    or failure.get("reason", "job failed"),
+                    failure=failure,
+                    elapsed_seconds=elapsed,
+                    execution_mode=payload.get("execution_mode"),
+                    retried=bool(failure.get("retried")),
                 )
             else:
                 error = (
@@ -250,6 +336,16 @@ def submit_many(
                         else None
                     ),
                     elapsed_seconds=elapsed,
+                    execution_mode=(
+                        payload.get("execution_mode")
+                        if payload is not None
+                        else None
+                    ),
+                    retried=bool(
+                        payload.get("retried")
+                        if payload is not None
+                        else False
+                    ),
                 )
     for i, first in duplicates:
         original = outcomes[first]
@@ -262,6 +358,11 @@ def submit_many(
             from_cache=original.from_cache,
             elapsed_seconds=original.elapsed_seconds,
             engine_report=original.engine_report,
+            failure=original.failure,
+            degraded=original.degraded,
+            degraded_reason=original.degraded_reason,
+            execution_mode=original.execution_mode,
+            retried=original.retried,
         )
     batch_submit.set(
         executed=len(pending), cached=len(outcomes) - len(pending)

@@ -13,6 +13,15 @@ place with :func:`os.replace`, so a reader racing a writer sees either
 the complete previous file or the complete new one — never a partial
 write. Corrupt or truncated files (e.g. from a crashed process) degrade
 to a miss.
+
+Integrity: every entry written carries a content ``checksum`` over the
+canonical serialized result. Reads verify it, so a flipped bit on disk
+— which parses as perfectly valid JSON — is caught and treated as a
+miss (counted in ``stats()['checksum_failures']`` and the
+``repro_cache_checksum_failures_total`` metric) instead of being
+served as a wrong answer; the caller re-simulates and the fresh write
+replaces the damaged file. Entries from before the checksum era carry
+no checksum and are accepted as-is.
 """
 
 from __future__ import annotations
@@ -25,6 +34,9 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
+from repro import faults
+from repro.obs import instant
+from repro.obs.metrics import default_registry
 from repro.service.spec import SimJobSpec
 from repro.system.training import NetworkResult
 
@@ -46,6 +58,21 @@ def cache_key(spec: SimJobSpec, version: Optional[str] = None) -> str:
     version = version if version is not None else _code_version()
     return hashlib.sha256(
         f"{spec.canonical_json()}|{version}".encode("utf-8")
+    ).hexdigest()
+
+
+def result_checksum(result_dict: dict) -> str:
+    """Content checksum of one serialized result.
+
+    Computed over the canonical (sorted-keys, no-whitespace) JSON of
+    the ``result`` dict, which is stable through a JSON round-trip —
+    so the checksum written at ``put`` time verifies against the dict
+    re-parsed from disk.
+    """
+    return hashlib.sha256(
+        json.dumps(
+            result_dict, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
     ).hexdigest()
 
 
@@ -86,6 +113,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.checksum_failures = 0
 
     @property
     def capacity(self) -> int:
@@ -143,11 +171,16 @@ class ResultCache:
             self._store_memory(key, result)
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            result_dict = result.to_dict()
             payload = {
                 "version": _code_version(),
                 "spec": spec.to_dict(),
-                "result": result.to_dict(),
+                "checksum": result_checksum(result_dict),
+                "result": result_dict,
             }
+            text = json.dumps(payload, sort_keys=True)
+            text = faults.corrupt_text(faults.CACHE_WRITE_CORRUPT, text)
+            text = faults.truncate_text(faults.CACHE_WRITE_TRUNCATE, text)
             # Write-then-rename so concurrent readers (and writers of
             # the same key, which converge on identical bytes) never
             # observe a partial file.
@@ -155,7 +188,7 @@ class ResultCache:
             tmp = path.with_name(
                 f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
             )
-            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.write_text(text)
             os.replace(tmp, path)
         return key
 
@@ -172,9 +205,24 @@ class ResultCache:
     def _load_disk(self, key: str) -> Optional[NetworkResult]:
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+            text = faults.corrupt_text(faults.CACHE_READ_CORRUPT, text)
+            text = faults.truncate_text(faults.CACHE_READ_TRUNCATE, text)
+            payload = json.loads(text)
             if payload.get("version") != _code_version():
                 return None  # stale: written by a different code version
+            stored = payload.get("checksum")
+            if stored is not None and (
+                stored != result_checksum(payload["result"])
+            ):
+                # Bit rot that still parses: refuse to serve it. The
+                # caller sees a miss, re-simulates, and the fresh put
+                # overwrites the damaged file.
+                with self._lock:
+                    self.checksum_failures += 1
+                default_registry().inc("cache_checksum_failures_total")
+                instant("cache.checksum_failure", key=key)
+                return None
             return NetworkResult.from_dict(payload["result"])
         except (OSError, ValueError, KeyError, TypeError):
             return None  # missing or corrupt: treat as a miss
@@ -191,6 +239,7 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "disk_hits": self.disk_hits,
+                "checksum_failures": self.checksum_failures,
                 "entries": len(self._memory),
                 "max_entries": self.max_entries,
                 "capacity": self.max_entries,  # legacy key

@@ -1,0 +1,104 @@
+"""Execution policy for the simulation service.
+
+:class:`ServiceConfig` is how a caller asks the pool for the *hardened*
+execution path: per-job wall-clock timeouts, dead-worker detection with
+respawn, bounded retry of interrupted jobs, and poison-job quarantine.
+The default config leaves all of it off — the pool keeps its fast
+shared ``fork``-pool topology, which is what the in-process test
+fixtures (monkeypatched executors, call-counting) rely on. Hardening
+is opt-in and triggered only by configuration, never by the mere
+presence of a fault injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Pool execution policy (defaults = legacy fast path).
+
+    ``job_timeout_seconds``
+        Wall-clock budget per job attempt. A job still running when the
+        budget expires has its worker killed and is classified
+        ``timeout`` (retried if attempts remain). Setting this implies
+        the hardened per-job-process topology.
+    ``max_retries``
+        Extra attempts granted to a job whose worker died or timed out
+        (2 → up to 3 attempts total). Jobs that *raise* are never
+        retried — an exception is deterministic; death and timeout are
+        environmental.
+    ``quarantine_after``
+        Consecutive failed attempts after which a job's content hash is
+        quarantined for the process lifetime: later submissions of the
+        same job short-circuit to a ``quarantined`` failure without
+        burning another worker. Defaults to ``max(2, max_retries + 1)``
+        — quarantine when the retry budget is exhausted, but never on a
+        single failure (one timeout is not evidence of a poison job).
+    ``default_deadline_ms``
+        Deadline applied to specs that don't carry their own
+        ``deadline_ms``.
+    ``hardened``
+        Force the per-job isolated-process topology on (``True``) or
+        off (``False``) regardless of timeouts. ``None`` (default)
+        derives it: hardened iff a timeout or deadline is configured.
+    """
+
+    job_timeout_seconds: Optional[float] = None
+    max_retries: int = 2
+    quarantine_after: Optional[int] = None
+    default_deadline_ms: Optional[int] = None
+    hardened: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.job_timeout_seconds is not None
+            and self.job_timeout_seconds <= 0
+        ):
+            raise ConfigError(
+                "job_timeout_seconds must be positive, got "
+                f"{self.job_timeout_seconds}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.quarantine_after is not None and self.quarantine_after < 1:
+            raise ConfigError(
+                "quarantine_after must be >= 1, got "
+                f"{self.quarantine_after}"
+            )
+        if (
+            self.default_deadline_ms is not None
+            and self.default_deadline_ms <= 0
+        ):
+            raise ConfigError(
+                "default_deadline_ms must be positive, got "
+                f"{self.default_deadline_ms}"
+            )
+
+    @property
+    def quarantine_threshold(self) -> int:
+        """Failed attempts that trip quarantine (default: retry budget,
+        floored at 2 so a lone failure never quarantines)."""
+        if self.quarantine_after is not None:
+            return self.quarantine_after
+        return max(2, self.max_retries + 1)
+
+    def wants_hardened(self, any_deadline: bool = False) -> bool:
+        """Whether this config asks for per-job process isolation."""
+        if self.hardened is not None:
+            return self.hardened
+        return (
+            self.job_timeout_seconds is not None
+            or self.default_deadline_ms is not None
+            or any_deadline
+        )
+
+
+#: The legacy fast path: shared fork pool, no timeouts, no retries.
+DEFAULT_SERVICE_CONFIG = ServiceConfig()

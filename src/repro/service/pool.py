@@ -13,14 +13,37 @@ per-job error isolation: one failing spec yields an error payload, the
 rest of the batch completes. Results cross the process boundary as
 plain dicts — the same lossless form the disk cache uses — so parallel
 runs are bit-identical to serial ones.
+
+Hardened execution (opt-in via
+:class:`~repro.service.config.ServiceConfig` — a per-job timeout, a
+deadline, or ``hardened=True``) switches the topology from one shared
+pool to one disposable ``fork`` process per job attempt: the parent
+polls each worker against its wall-clock budget, SIGKILLs the ones
+that blow it, detects workers that died underneath their job, retries
+interrupted jobs a bounded number of times (worker death and timeout
+are environmental; an *exception* is deterministic and never retried),
+and quarantines jobs that keep failing so a poison spec cannot eat the
+pool. A job that exhausts its budget terminates with a classified
+``{"status": "failed", "failure": {...}}`` payload instead of an
+exception killing the sweep — or a hang that never ends it.
+
+Every payload records its ``execution_mode`` (``"parallel"``,
+``"serial"``, or ``"isolated"``) so degraded parallelism — e.g. the
+silent serial fallback on fork-less platforms — is observable in
+results and metrics, not just slower.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import time
 import traceback
+from collections import deque
+from multiprocessing import connection
 from typing import Optional, Sequence
+
+from repro import faults
 
 # Channel-level parallel scheduling lives beside the scheduler
 # (repro.dram.parallel) and is re-exported here so job-level and
@@ -32,7 +55,8 @@ from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.metrics import set_default_registry
 from repro.obs.report import EngineReport
-from repro.obs.trace import span
+from repro.obs.trace import instant, span
+from repro.service.config import DEFAULT_SERVICE_CONFIG, ServiceConfig
 from repro.service.spec import ResolvedJob, SimJobSpec
 from repro.system.training import NetworkResult, TrainingSimulator
 from repro.system.update_model import UpdatePhaseModel
@@ -131,9 +155,93 @@ def execute_spec_with_report(
     return result, EngineReport.diff_dicts(before, after)
 
 
+def execute_spec_resilient(
+    spec: SimJobSpec,
+) -> tuple[NetworkResult, Optional[dict], Optional[str]]:
+    """Run one job with graceful engine degradation.
+
+    Returns ``(result, engine_report, degraded_reason)``. A failure of
+    the *periodic* engine — an optimization layered over the
+    incremental engine, byte-identical by the equivalence contract —
+    is not a reason to fail the job: the spec is re-run with
+    ``engine="incremental"`` and ``degraded_reason`` records why.
+    Incremental/reference failures (and a failed fallback) propagate;
+    there is nothing sound to degrade to.
+    """
+    try:
+        result, report = execute_spec_with_report(spec)
+        return result, report, None
+    except Exception as exc:
+        if spec.engine != "periodic":
+            raise
+        reason = f"{type(exc).__name__}: {exc}"
+        _logger.warning(
+            "periodic engine failed; degrading to incremental",
+            extra={"network": spec.network, "error": reason},
+        )
+        default_registry().inc(
+            "jobs_degraded_total", {"from_engine": "periodic"}
+        )
+        instant(
+            "engine.degraded",
+            from_engine="periodic",
+            to_engine="incremental",
+            error=type(exc).__name__,
+        )
+        fallback = dataclasses.replace(spec, engine="incremental")
+        result, report = execute_spec_with_report(fallback)
+        return result, report, reason
+
+
 # ----------------------------------------------------------------------
 # Worker-pool execution
 # ----------------------------------------------------------------------
+#: Content hashes of jobs whose repeated failures tripped quarantine.
+#: Process-lifetime state: later submissions of a quarantined job
+#: short-circuit to a classified failure instead of burning another
+#: worker on a poison spec.
+_QUARANTINED: set[str] = set()
+
+#: Hardened-executor poll cadence (seconds).
+_POLL_SECONDS = 0.05
+
+
+def clear_quarantine() -> None:
+    """Forget quarantined jobs (tests, operator reset)."""
+    _QUARANTINED.clear()
+
+
+def quarantined_hashes() -> frozenset[str]:
+    """The content hashes currently quarantined in this process."""
+    return frozenset(_QUARANTINED)
+
+
+def _failure_payload(
+    reason: str,
+    *,
+    attempts: int,
+    retried: bool = False,
+    timed_out: bool = False,
+    quarantined: bool = False,
+    detail: Optional[str] = None,
+    elapsed: float = 0.0,
+) -> dict:
+    """A classified terminal failure (the ``JobFailure`` envelope)."""
+    failure = {
+        "reason": reason,
+        "attempts": attempts,
+        "retried": retried,
+        "timed_out": timed_out,
+        "quarantined": quarantined,
+    }
+    if detail:
+        failure["detail"] = detail
+    return {
+        "status": "failed",
+        "failure": failure,
+        "elapsed_seconds": elapsed,
+        "execution_mode": "isolated",
+    }
 def _warm_shared_substrates(specs: Sequence[SimJobSpec]) -> None:
     """Profile substrates used by >1 spec in the parent, pre-fork.
 
@@ -179,8 +287,16 @@ def _run_payload(spec_dict: dict) -> dict:
     previous_registry = set_default_registry(MetricsRegistry("repro"))
     try:
         spec = SimJobSpec.from_dict(spec_dict)
+        # Worker-side injection sites. The destructive pair (kill,
+        # hang) only fires inside a disposable hardened worker — the
+        # injector's context guard suppresses them here otherwise.
+        faults.maybe_kill(faults.WORKER_KILL)
+        faults.sleep_site(faults.WORKER_HANG)
+        faults.maybe_raise(faults.WORKER_EXCEPTION)
         with obs_log.correlation_scope(spec.content_hash()):
-            result, report = execute_spec_with_report(spec)
+            result, report, degraded_reason = execute_spec_resilient(
+                spec
+            )
         elapsed = time.perf_counter() - start
         default_registry().inc("jobs_executed_total", {"status": "ok"})
         default_registry().observe(
@@ -199,6 +315,9 @@ def _run_payload(spec_dict: dict) -> dict:
             "result": result.to_dict(),
             "elapsed_seconds": elapsed,
         }
+        if degraded_reason is not None:
+            payload["degraded"] = True
+            payload["degraded_reason"] = degraded_reason
         if report is not None:
             payload["engine_report"] = report
     except Exception as exc:  # per-job isolation
@@ -234,23 +353,87 @@ def _run_payload(spec_dict: dict) -> dict:
     return payload
 
 
+def _effective_deadlines(
+    specs: Sequence[SimJobSpec],
+    config: ServiceConfig,
+    deadlines: Optional[Sequence[Optional[float]]],
+) -> list[Optional[float]]:
+    """Absolute (``time.monotonic``) deadline per spec, or None.
+
+    An explicit ``deadlines`` entry (the dispatcher passes the clock
+    started at enqueue time) wins; otherwise the spec's own
+    ``deadline_ms`` or the config default starts counting now.
+    """
+    now = time.monotonic()
+    out: list[Optional[float]] = []
+    for i, spec in enumerate(specs):
+        deadline = deadlines[i] if deadlines is not None else None
+        if deadline is None:
+            ms = (
+                spec.deadline_ms
+                if spec.deadline_ms is not None
+                else config.default_deadline_ms
+            )
+            if ms is not None:
+                deadline = now + ms / 1000.0
+        out.append(deadline)
+    return out
+
+
+def _serial_fallback(requested: str) -> None:
+    """Make degraded parallelism loud: one warning + one counter."""
+    _logger.warning(
+        "parallel execution unavailable (no fork); running serially",
+        extra={"requested": requested},
+    )
+    default_registry().inc(
+        "pool_serial_fallback_total", {"requested": requested}
+    )
+
+
 def run_specs(
-    specs: Sequence[SimJobSpec], jobs: int = 1
+    specs: Sequence[SimJobSpec],
+    jobs: int = 1,
+    config: Optional[ServiceConfig] = None,
+    deadlines: Optional[Sequence[Optional[float]]] = None,
 ) -> list[Optional[dict]]:
     """Execute ``specs`` with up to ``jobs`` worker processes.
 
     Returns one payload per spec, in order: ``{"status": "ok",
-    "result": <NetworkResult dict>}`` or ``{"status": "error", ...}``.
-    ``jobs <= 1`` (or a pool that fails to start) runs serially in this
-    process, which also warms this process's model cache.
+    "result": <NetworkResult dict>}``, ``{"status": "error", ...}``
+    (the job raised), or ``{"status": "failed", "failure": {...}}``
+    (the hardened executor classified a timeout, worker death, or
+    quarantine). ``jobs <= 1`` (or a pool that fails to start) runs
+    serially in this process, which also warms this process's model
+    cache.
+
+    ``config`` selects the execution policy
+    (:class:`~repro.service.config.ServiceConfig`): a job timeout,
+    deadline, or ``hardened=True`` switches from the shared fork pool
+    to one disposable process per job attempt, with kill-on-timeout,
+    dead-worker retry, and poison-job quarantine. ``deadlines``
+    optionally pins each spec's absolute ``time.monotonic`` deadline
+    (the server dispatcher starts the clock at enqueue).
 
     Parallel dispatch sorts jobs by substrate (timing grade, geometry,
     stripe width, validation mode) and hands each worker a contiguous
     chunk, so jobs sharing a substrate profile it once per worker
     instead of once per job; caller order is restored before returning.
     """
+    faults.auto_install()
+    if config is None:
+        config = DEFAULT_SERVICE_CONFIG
     payloads = [s.to_dict() for s in specs]
-    if jobs > 1 and len(specs) > 1:
+    deadlines = _effective_deadlines(specs, config, deadlines)
+    any_deadline = any(d is not None for d in deadlines)
+    if config.wants_hardened(any_deadline):
+        try:
+            out = _run_hardened(specs, payloads, jobs, config, deadlines)
+            _ingest_obs(out)
+            return out
+        except (OSError, ValueError):
+            _serial_fallback("isolated")
+    elif jobs > 1 and len(specs) > 1:
         _warm_shared_substrates(specs)
         order = sorted(
             range(len(specs)), key=lambda i: _substrate_key(specs[i])
@@ -271,14 +454,241 @@ def run_specs(
             out: list[Optional[dict]] = [None] * len(specs)
             for i, payload in zip(order, sorted_out):
                 out[i] = payload
+                if payload is not None:
+                    payload.setdefault("execution_mode", "parallel")
             _ingest_obs(out)
             return out
         except (OSError, ValueError):
-            pass  # sandboxed / fork-less platform: fall through to serial
+            _serial_fallback("parallel")
     with span("pool.dispatch", jobs=1, pending=len(specs)):
-        out = [_run_payload(p) for p in payloads]
+        out = []
+        for i, payload_in in enumerate(payloads):
+            deadline = deadlines[i]
+            if deadline is not None and time.monotonic() >= deadline:
+                out.append(
+                    _failure_payload(
+                        "timeout",
+                        attempts=0,
+                        timed_out=True,
+                        detail="deadline expired before execution",
+                    )
+                )
+                out[-1]["execution_mode"] = "serial"
+                continue
+            payload = _run_payload(payload_in)
+            payload.setdefault("execution_mode", "serial")
+            out.append(payload)
     _ingest_obs(out)
     return out
+
+
+# ----------------------------------------------------------------------
+# Hardened execution: one disposable process per job attempt.
+# ----------------------------------------------------------------------
+def _child_main(spec_dict: dict, attempt: int, conn) -> None:
+    """Entry point of one disposable per-job worker process."""
+    faults.enter_worker_context(attempt)
+    payload = _run_payload(spec_dict)  # never raises
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+def _run_hardened(
+    specs: Sequence[SimJobSpec],
+    payloads: Sequence[dict],
+    jobs: int,
+    config: ServiceConfig,
+    deadlines: Sequence[Optional[float]],
+) -> list[Optional[dict]]:
+    """Per-job isolated execution with timeouts, retry, quarantine.
+
+    Each job attempt runs in its own ``fork`` child; the parent polls
+    result pipes, SIGKILLs attempts that outlive ``min(job timeout,
+    deadline)``, classifies worker deaths (a closed pipe with no
+    payload), re-queues interrupted jobs while retry budget remains,
+    and quarantines a job once its consecutive failures reach the
+    config threshold. SIGKILL is survivable by construction here: the
+    dead process owned nothing but its one job attempt.
+    """
+    ctx = multiprocessing.get_context("fork")
+    if len(specs) > 1:
+        _warm_shared_substrates(specs)
+    n_workers = max(1, min(jobs, len(specs)))
+    timeout = config.job_timeout_seconds
+    registry = default_registry()
+    results: list[Optional[dict]] = [None] * len(specs)
+    failures = [0] * len(specs)
+    hashes = [spec.content_hash() for spec in specs]
+
+    pending: deque[tuple[int, int]] = deque()  # (index, attempt)
+    for i in range(len(specs)):
+        if hashes[i] in _QUARANTINED:
+            registry.inc(
+                "jobs_quarantined_total", {"event": "blocked"}
+            )
+            results[i] = _failure_payload(
+                "quarantined",
+                attempts=0,
+                quarantined=True,
+                detail="content hash quarantined by an earlier run",
+            )
+        else:
+            pending.append((i, 0))
+
+    # index -> (process, pipe, attempt, kill_at)
+    running: dict[int, tuple] = {}
+
+    def fail(i: int, attempt: int, kind: str, detail: str) -> None:
+        """Classify one failed attempt: quarantine, retry, or fail."""
+        failures[i] += 1
+        attempts_used = attempt + 1
+        timed_out = kind == "job-timeout"
+        registry.inc("faults_detected_total", {"kind": kind})
+        instant(
+            "pool.fault_detected",
+            kind=kind,
+            spec=hashes[i][:12],
+            attempt=attempt,
+        )
+        _logger.warning(
+            "job attempt failed",
+            extra={
+                "kind": kind,
+                "spec": hashes[i][:12],
+                "attempt": attempt,
+                "detail": detail,
+            },
+        )
+        if failures[i] >= config.quarantine_threshold:
+            _QUARANTINED.add(hashes[i])
+            registry.inc(
+                "jobs_quarantined_total", {"event": "tripped"}
+            )
+            instant("pool.job_quarantined", spec=hashes[i][:12])
+            _logger.warning(
+                "job quarantined after repeated failures",
+                extra={"spec": hashes[i][:12], "failures": failures[i]},
+            )
+            results[i] = _failure_payload(
+                "quarantined",
+                attempts=attempts_used,
+                retried=attempts_used > 1,
+                timed_out=timed_out,
+                quarantined=True,
+                detail=detail,
+            )
+        elif attempt < config.max_retries:
+            registry.inc("jobs_retried_total", {"reason": kind})
+            instant(
+                "pool.job_retry", spec=hashes[i][:12], attempt=attempt
+            )
+            pending.append((i, attempt + 1))
+        else:
+            results[i] = _failure_payload(
+                "timeout" if timed_out else "worker-death",
+                attempts=attempts_used,
+                retried=attempts_used > 1,
+                timed_out=timed_out,
+                detail=detail,
+            )
+
+    with span(
+        "pool.dispatch",
+        jobs=n_workers,
+        pending=len(specs),
+        mode="isolated",
+    ):
+        while pending or running:
+            # Launch up to the worker budget.
+            while pending and len(running) < n_workers:
+                i, attempt = pending.popleft()
+                deadline = deadlines[i]
+                now = time.monotonic()
+                if deadline is not None and now >= deadline:
+                    results[i] = _failure_payload(
+                        "timeout",
+                        attempts=attempt,
+                        retried=attempt > 0,
+                        timed_out=True,
+                        detail="deadline expired before execution",
+                    )
+                    continue
+                kill_at = (
+                    now + timeout if timeout is not None else None
+                )
+                if deadline is not None:
+                    kill_at = (
+                        deadline
+                        if kill_at is None
+                        else min(kill_at, deadline)
+                    )
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main,
+                    args=(payloads[i], attempt, child_conn),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                running[i] = (proc, parent_conn, attempt, kill_at)
+
+            # Reap blown budgets first, so a wedged worker can never
+            # block completion — this is the zero-hangs guarantee.
+            now = time.monotonic()
+            for i in list(running):
+                proc, conn, attempt, kill_at = running[i]
+                if kill_at is None or now < kill_at:
+                    continue
+                proc.kill()
+                proc.join()
+                conn.close()
+                del running[i]
+                deadline = deadlines[i]
+                if deadline is not None and now >= deadline:
+                    detail = "deadline exceeded"
+                else:
+                    detail = f"exceeded job timeout of {timeout:g}s"
+                fail(i, attempt, "job-timeout", detail)
+
+            if not running:
+                continue
+            ready = connection.wait(
+                [rec[1] for rec in running.values()],
+                timeout=_POLL_SECONDS,
+            )
+            if not ready:
+                continue
+            by_conn = {rec[1]: i for i, rec in running.items()}
+            for conn in ready:
+                i = by_conn[conn]
+                proc, _, attempt, _ = running[i]
+                try:
+                    payload = conn.recv()
+                except (EOFError, OSError):
+                    payload = None  # worker died mid-job
+                conn.close()
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join()
+                del running[i]
+                if payload is None:
+                    fail(
+                        i,
+                        attempt,
+                        "worker-death",
+                        "worker exited with code "
+                        f"{proc.exitcode} before returning a result",
+                    )
+                    continue
+                payload["execution_mode"] = "isolated"
+                if attempt > 0:
+                    payload["retried"] = True
+                    payload["attempts"] = attempt + 1
+                results[i] = payload
+    return results
 
 
 def _ingest_obs(payloads: Sequence[Optional[dict]]) -> None:

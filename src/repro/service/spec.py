@@ -142,6 +142,15 @@ class SimJobSpec:
     #: Part of the content hash: engines are exact-equivalent, but a
     #: cache entry must record how it was produced.
     engine: str = "incremental"
+    #: Optional wall-clock budget (milliseconds) for producing this
+    #: result, propagated through the server dispatcher to the pool. A
+    #: job still unfinished when its deadline expires terminates with a
+    #: classified ``timeout`` failure instead of running (or hanging)
+    #: forever. Deadlines are *delivery* policy, not simulation input:
+    #: the field is excluded from :meth:`canonical_json`, so the same
+    #: simulation requested with different budgets shares one cache
+    #: entry.
+    deadline_ms: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.network not in NETWORK_BUILDERS:
@@ -181,6 +190,16 @@ class SimJobSpec:
                 f"unknown engine {self.engine!r}; choose from "
                 "('incremental', 'reference', 'periodic')"
             )
+        if self.deadline_ms is not None:
+            if (
+                isinstance(self.deadline_ms, bool)
+                or not isinstance(self.deadline_ms, int)
+                or self.deadline_ms <= 0
+            ):
+                raise ConfigError(
+                    "deadline_ms must be a positive integer, got "
+                    f"{self.deadline_ms!r}"
+                )
         object.__setattr__(
             self,
             "optimizer_params",
@@ -247,7 +266,7 @@ class SimJobSpec:
 
     def to_dict(self) -> dict:
         """Plain JSON-able dict; the exact inverse of :meth:`from_dict`."""
-        return {
+        out = {
             "network": self.network,
             "batch": self.batch,
             "optimizer": self.optimizer,
@@ -262,6 +281,9 @@ class SimJobSpec:
             "validate": self.validate,
             "engine": self.engine,
         }
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimJobSpec":
@@ -291,10 +313,15 @@ class SimJobSpec:
     # Content addressing
     # ------------------------------------------------------------------
     def canonical_json(self) -> str:
-        """Deterministic minimal JSON: sorted keys, no whitespace."""
-        return json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
+        """Deterministic minimal JSON: sorted keys, no whitespace.
+
+        Delivery-policy fields (``deadline_ms``) are excluded — they
+        change how a result is delivered, not what is simulated, so
+        they must not fracture the content address.
+        """
+        data = self.to_dict()
+        data.pop("deadline_ms", None)
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     def content_hash(self) -> str:
         """Stable hex digest identifying this job's inputs."""

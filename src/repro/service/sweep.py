@@ -18,6 +18,7 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.errors import ConfigError
 from repro.service.api import DEFAULT_CACHE, SimJobResult, submit_many
 from repro.service.cache import ResultCache
+from repro.service.config import ServiceConfig
 from repro.service.spec import SimJobSpec
 from repro.system.design import DesignPoint
 from repro.units import geomean
@@ -87,6 +88,10 @@ class SweepResult:
             row["network"] = job.spec.network
             row["status"] = job.status
             row["from_cache"] = job.from_cache
+            if job.degraded:
+                row["degraded"] = True
+            if job.retried:
+                row["retried"] = True
             if job.ok:
                 result = job.result
                 for design in result.totals:
@@ -100,6 +105,8 @@ class SweepResult:
                     )
             else:
                 row["error"] = job.error
+                if job.failure_reason is not None:
+                    row["failure_reason"] = job.failure_reason
             rows.append(row)
         return rows
 
@@ -140,15 +147,18 @@ def run_sweep(
     axes: Mapping[str, Sequence[Any]],
     jobs: int = 1,
     cache: Optional[ResultCache] = DEFAULT_CACHE,
+    config: Optional[ServiceConfig] = None,
 ) -> SweepResult:
     """Expand and execute a campaign; see :func:`expand_grid`.
 
     ``cache`` follows the :func:`~repro.service.api.submit_many`
     contract: the process-wide default cache unless one is passed,
-    ``None`` to disable caching.
+    ``None`` to disable caching. ``config`` selects the hardened
+    execution policy (timeouts, retries, quarantine) for the whole
+    campaign.
     """
     specs = expand_grid(base, axes)
-    results = submit_many(specs, jobs=jobs, cache=cache)
+    results = submit_many(specs, jobs=jobs, cache=cache, config=config)
     return SweepResult(
         axes={k: list(v) for k, v in axes.items()}, jobs=results
     )

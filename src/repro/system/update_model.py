@@ -70,6 +70,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import faults
 from repro.dram.commands import CommandType
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
 from repro.dram.parallel import schedule_channels
@@ -282,6 +283,13 @@ class UpdatePhaseModel:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        # Fault sites: a memoization miss is where real engine work
+        # begins. engine.slow models a pathologically slow schedule;
+        # engine.fail (periodic only) exercises the graceful fallback
+        # to the byte-identical incremental engine.
+        faults.sleep_site(faults.ENGINE_SLOW)
+        if self.engine == "periodic":
+            faults.maybe_raise(faults.ENGINE_FAIL)
         config = DESIGNS[design]
         profile = None
         steady_attempted = False

@@ -1,0 +1,43 @@
+"""Shared fixtures for the fault-injection suite.
+
+Fault plans, quarantine, and the default metrics registry are all
+process-global state; every test here starts and ends with them clean.
+The ``REPRO_FAULTS`` environment variable is cleared too, so these
+tests stay deterministic even inside the chaos CI job (which arms a
+plan for the rest of the suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.obs.metrics import set_default_registry
+from repro.obs.trace import disable_tracing
+from repro.service import pool
+from repro.service.spec import SimJobSpec
+
+#: The cheapest full job: MLP1, two designs, narrow stripes.
+CHEAP = dict(
+    network="MLP1",
+    columns_per_stripe=8,
+    designs=("Baseline", "GradPIM-BD"),
+)
+
+
+def cheap_spec(**overrides) -> SimJobSpec:
+    return SimJobSpec(**{**CHEAP, **overrides})
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.uninstall()
+    pool.clear_quarantine()
+    set_default_registry(None)
+    disable_tracing()
+    yield
+    faults.uninstall()
+    pool.clear_quarantine()
+    set_default_registry(None)
+    disable_tracing()

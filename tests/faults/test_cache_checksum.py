@@ -1,0 +1,125 @@
+"""Disk-cache integrity: checksums catch bit rot; misses re-simulate."""
+
+import json
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.service.cache import ResultCache, result_checksum
+from repro.system.design import DesignPoint
+from repro.system.training import NetworkResult, PhaseTimes
+
+from tests.faults.conftest import cheap_spec
+
+
+def _fake_result(tag: float) -> NetworkResult:
+    return NetworkResult(
+        network="MLP1",
+        batch=128,
+        precision="8/32",
+        optimizer="momentum_sgd",
+        blocks=(),
+        totals={DesignPoint.BASELINE: PhaseTimes(fwd=tag)},
+        profiles={},
+    )
+
+
+def _flip_result_byte(path) -> None:
+    """Flip one digit inside the entry's result region on disk."""
+    text = path.read_text()
+    anchor = text.find('"result"')
+    assert anchor >= 0
+    for i in range(anchor, len(text)):
+        if text[i].isdigit():
+            replacement = "9" if text[i] != "9" else "3"
+            path.write_text(text[:i] + replacement + text[i + 1:])
+            return
+    raise AssertionError("no digit to flip in the result region")
+
+
+class TestChecksum:
+    def test_entries_carry_checksum(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        spec = cheap_spec()
+        key = cache.put(spec, _fake_result(1.5))
+        payload = json.loads((tmp_path / f"{key}.json").read_text())
+        assert payload["checksum"] == result_checksum(payload["result"])
+
+    def test_flipped_byte_is_a_miss_and_rewrite(self, tmp_path):
+        spec = cheap_spec()
+        writer = ResultCache(directory=tmp_path)
+        key = writer.put(spec, _fake_result(1.5))
+        _flip_result_byte(tmp_path / f"{key}.json")
+
+        # A fresh instance (cold memory layer) must read from disk,
+        # catch the checksum mismatch, and report a miss...
+        reader = ResultCache(max_entries=0, directory=tmp_path)
+        assert reader.get(spec) is None
+        assert reader.stats()["checksum_failures"] == 1
+        assert reader.stats()["misses"] == 1
+
+        # ...after which the caller re-simulates and the fresh put
+        # replaces the damaged file, making the entry servable again.
+        reader.put(spec, _fake_result(1.5))
+        roundtrip = reader.get(spec)
+        assert roundtrip is not None
+        assert roundtrip.totals[DesignPoint.BASELINE].fwd == 1.5
+
+    def test_legacy_entry_without_checksum_accepted(self, tmp_path):
+        spec = cheap_spec()
+        cache = ResultCache(directory=tmp_path)
+        key = cache.put(spec, _fake_result(2.5))
+        path = tmp_path / f"{key}.json"
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload, sort_keys=True))
+
+        reader = ResultCache(max_entries=0, directory=tmp_path)
+        result = reader.get(spec)
+        assert result is not None
+        assert reader.stats()["checksum_failures"] == 0
+
+    def test_truncated_file_is_a_miss(self, tmp_path):
+        spec = cheap_spec()
+        cache = ResultCache(directory=tmp_path)
+        key = cache.put(spec, _fake_result(3.5))
+        path = tmp_path / f"{key}.json"
+        path.write_text(path.read_text()[: 40])
+        reader = ResultCache(max_entries=0, directory=tmp_path)
+        assert reader.get(spec) is None
+
+
+class TestInjectedCacheFaults:
+    def test_read_corruption_detected(self, tmp_path):
+        spec = cheap_spec()
+        cache = ResultCache(max_entries=0, directory=tmp_path)
+        cache.put(spec, _fake_result(4.5))
+        faults.install(FaultPlan(rules=(
+            FaultRule(faults.CACHE_READ_CORRUPT, max_fires=1),
+        )))
+        assert cache.get(spec) is None  # corrupted read: refused
+        assert cache.stats()["checksum_failures"] == 1
+        assert cache.get(spec) is not None  # fault spent: clean again
+
+    def test_write_corruption_caught_on_next_read(self, tmp_path):
+        spec = cheap_spec()
+        cache = ResultCache(max_entries=0, directory=tmp_path)
+        faults.install(FaultPlan(rules=(
+            FaultRule(faults.CACHE_WRITE_CORRUPT, max_fires=1),
+        )))
+        cache.put(spec, _fake_result(5.5))  # damaged on the way down
+        assert cache.get(spec) is None
+        assert cache.stats()["checksum_failures"] == 1
+        # The recovery loop: re-simulate, rewrite (fault exhausted),
+        # and the entry serves cleanly.
+        cache.put(spec, _fake_result(5.5))
+        assert cache.get(spec) is not None
+
+    def test_read_truncation_is_a_miss(self, tmp_path):
+        spec = cheap_spec()
+        cache = ResultCache(max_entries=0, directory=tmp_path)
+        cache.put(spec, _fake_result(6.5))
+        faults.install(FaultPlan(rules=(
+            FaultRule(faults.CACHE_READ_TRUNCATE, max_fires=1, arg=0.3),
+        )))
+        assert cache.get(spec) is None
+        assert cache.get(spec) is not None

@@ -1,0 +1,79 @@
+"""Client resilience: jittered capped retries, deadline-aware waiting."""
+
+import json
+import random
+import time
+
+import pytest
+
+from repro.server.client import ServerClient, ServerError
+
+
+def _client(**kwargs) -> ServerClient:
+    return ServerClient("http://127.0.0.1:1", **kwargs)
+
+
+class TestRetrySleep:
+    def test_jittered_sleep_never_exceeds_cap(self):
+        client = _client(
+            retry_after_cap=2.5, retry_jitter=0.5, rng=random.Random(7)
+        )
+        sleeps = [client._retry_sleep(base) for base in
+                  (0.0, 0.5, 1.0, 2.4, 2.5, 30.0, 1e9)]
+        assert all(0.0 <= s <= 2.5 for s in sleeps)
+        assert sleeps[-1] == 2.5  # a pathological header is capped
+
+    def test_jitter_spreads_around_base(self):
+        client = _client(retry_jitter=0.1, rng=random.Random(3))
+        sleeps = {client._retry_sleep(1.0) for _ in range(64)}
+        assert len(sleeps) > 1  # actually jittered
+        assert all(0.9 <= s <= 1.1 for s in sleeps)
+
+    def test_zero_jitter_is_exact(self):
+        client = _client(retry_jitter=0.0, retry_after_cap=10.0)
+        assert client._retry_sleep(3.0) == 3.0
+        assert client._retry_sleep(30.0) == 10.0
+
+    def test_submit_sleeps_jittered_and_capped(self, monkeypatch):
+        client = _client(
+            max_retries=3, retry_after_cap=0.001, rng=random.Random(5)
+        )
+        body = json.dumps({"accepted": 0, "jobs": []})
+
+        def always_full(method, path, payload=None):
+            return 503, {"Retry-After": "1000"}, body
+
+        sleeps = []
+        monkeypatch.setattr(client, "_request", always_full)
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        with pytest.raises(ServerError) as info:
+            client.submit({"network": "MLP1"})
+        assert info.value.status == 503
+        assert len(sleeps) == 3  # one per retry, none after the last
+        assert all(0.0 <= s <= 0.001 for s in sleeps)
+
+
+class TestWaitFor:
+    def _scripted(self, statuses):
+        client = _client()
+        client.job = lambda job_id: {
+            "id": job_id, "status": statuses[job_id]
+        }
+        return client
+
+    def test_classified_failures_are_terminal(self):
+        client = self._scripted({
+            "a": "done", "b": "timed_out", "c": "quarantined",
+            "d": "error",
+        })
+        finals = client.wait_for(["a", "b", "c", "d"], timeout=1.0)
+        assert [f["status"] for f in finals] == [
+            "done", "timed_out", "quarantined", "error"
+        ]
+
+    def test_deadline_overrides_timeout(self):
+        client = self._scripted({"a": "running"})
+        start = time.monotonic()
+        with pytest.raises(TimeoutError):
+            client.wait_for(["a"], timeout=60.0, deadline=0.05)
+        assert time.monotonic() - start < 5.0

@@ -1,0 +1,138 @@
+"""Injector semantics: determinism, guards, and the text mutators."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+
+
+def _decisions(seed: int, rate: float, n: int = 32) -> list[bool]:
+    injector = FaultInjector(FaultPlan(
+        seed=seed, rules=(FaultRule(faults.ENGINE_SLOW, rate=rate),)
+    ))
+    return [
+        injector.check(faults.ENGINE_SLOW) is not None for _ in range(n)
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        assert _decisions(3, 0.5) == _decisions(3, 0.5)
+
+    def test_different_seed_different_decisions(self):
+        assert _decisions(3, 0.5) != _decisions(4, 0.5)
+
+    def test_rate_extremes(self):
+        assert not any(_decisions(0, 0.0))
+        assert all(_decisions(0, 1.0))
+
+    def test_max_fires_caps(self):
+        assert sum(_decisions_with(max_fires=2)) == 2
+
+    def test_after_skips_warmup(self):
+        fired = _decisions_with(after=5)
+        assert not any(fired[:5]) and all(fired[5:])
+
+    def test_attempt_bound(self):
+        injector = faults.install(FaultPlan(rules=(
+            FaultRule(faults.ENGINE_SLOW, max_attempt=1),
+        )))
+        faults.enter_worker_context(0)
+        try:
+            assert faults.fire(faults.ENGINE_SLOW) is not None
+            faults.enter_worker_context(1)  # retry attempt: past bound
+            assert faults.fire(faults.ENGINE_SLOW) is None
+        finally:
+            faults.exit_worker_context()
+        assert injector.fired(faults.ENGINE_SLOW) == 1
+
+
+def _decisions_with(**kwargs) -> list[bool]:
+    injector = FaultInjector(FaultPlan(rules=(
+        FaultRule(faults.ENGINE_SLOW, **kwargs),
+    )))
+    return [
+        injector.check(faults.ENGINE_SLOW) is not None
+        for _ in range(10)
+    ]
+
+
+class TestGuards:
+    def test_destructive_sites_suppressed_outside_worker(self):
+        injector = faults.install(FaultPlan(rules=(
+            FaultRule(faults.WORKER_KILL),
+            FaultRule(faults.WORKER_HANG),
+        )))
+        assert not faults.in_worker_context()
+        # If the guard failed, maybe_kill would SIGKILL pytest itself.
+        faults.maybe_kill(faults.WORKER_KILL)
+        assert faults.sleep_site(faults.WORKER_HANG) == 0.0
+        assert injector.fired() == 0
+        described = injector.describe()
+        assert described["suppressed"] == {
+            faults.WORKER_KILL: 1, faults.WORKER_HANG: 1,
+        }
+
+    def test_no_injector_is_quiet(self):
+        assert faults.active_injector() is None
+        assert faults.fire(faults.WORKER_EXCEPTION) is None
+        faults.maybe_raise(faults.WORKER_EXCEPTION)  # no-op
+
+    def test_maybe_raise_fires(self):
+        faults.install(FaultPlan(rules=(
+            FaultRule(faults.WORKER_EXCEPTION),
+        )))
+        with pytest.raises(faults.InjectedFault) as info:
+            faults.maybe_raise(faults.WORKER_EXCEPTION)
+        assert info.value.site == faults.WORKER_EXCEPTION
+
+    def test_auto_install_from_environment(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "seed=5;engine.slow:rate=0")
+        injector = faults.auto_install()
+        assert injector is faults.active_injector()
+        assert injector.plan.seed == 5
+        # Idempotent: a second call keeps the same injector.
+        assert faults.auto_install() is injector
+
+    def test_explicit_install_wins_over_environment(self, monkeypatch):
+        explicit = faults.install(FaultPlan(seed=1))
+        monkeypatch.setenv(faults.ENV_VAR, "seed=2;engine.slow")
+        assert faults.auto_install() is explicit
+
+
+class TestTextMutators:
+    PAYLOAD = json.dumps(
+        {"spec": {"batch": 128}, "result": {"fwd": 123.5}}
+    )
+
+    def _arm(self, site):
+        faults.install(FaultPlan(rules=(FaultRule(site),)))
+
+    def test_corrupt_changes_result_region_keeps_json(self):
+        self._arm(faults.CACHE_READ_CORRUPT)
+        mutated = faults.corrupt_text(
+            faults.CACHE_READ_CORRUPT, self.PAYLOAD
+        )
+        assert mutated != self.PAYLOAD
+        # Still parses — the corruption models silent bit rot, not a
+        # torn write; only checksum verification can catch it.
+        parsed = json.loads(mutated)
+        assert parsed["result"] != {"fwd": 123.5}
+        assert parsed["spec"] == {"batch": 128}  # anchor honoured
+
+    def test_truncate_keeps_fraction(self):
+        faults.install(FaultPlan(rules=(
+            FaultRule(faults.CACHE_READ_TRUNCATE, arg=0.25),
+        )))
+        mutated = faults.truncate_text(
+            faults.CACHE_READ_TRUNCATE, self.PAYLOAD
+        )
+        assert len(mutated) == int(len(self.PAYLOAD) * 0.25)
+
+    def test_unarmed_site_passes_text_through(self):
+        self._arm(faults.CACHE_READ_CORRUPT)
+        assert faults.truncate_text(
+            faults.CACHE_READ_TRUNCATE, self.PAYLOAD
+        ) == self.PAYLOAD

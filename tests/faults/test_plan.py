@@ -1,0 +1,79 @@
+"""FaultPlan / FaultRule parsing, validation, and round-trips."""
+
+import pytest
+
+from repro import faults
+from repro.errors import ConfigError
+from repro.faults import FaultPlan, FaultRule
+
+
+class TestParse:
+    def test_compact_spec(self):
+        plan = FaultPlan.parse(
+            "seed=42;worker.kill:rate=0.2,attempts=1;"
+            "engine.slow:delay_ms=50;cache.read.corrupt"
+        )
+        assert plan.seed == 42
+        assert plan.sites == (
+            "worker.kill", "engine.slow", "cache.read.corrupt"
+        )
+        kill = plan.rule(faults.WORKER_KILL)
+        assert kill.rate == pytest.approx(0.2)
+        assert kill.max_attempt == 1
+        slow = plan.rule(faults.ENGINE_SLOW)
+        assert slow.delay_ms == pytest.approx(50.0)
+        assert slow.delay_seconds == pytest.approx(0.05)
+        # A bare site arms with defaults: always fire, no caps.
+        bare = plan.rule(faults.CACHE_READ_CORRUPT)
+        assert bare.rate == 1.0 and bare.max_fires is None
+
+    def test_json_spec(self):
+        plan = FaultPlan.parse(
+            '{"seed": 7, "rules": [{"site": "worker.hang", '
+            '"rate": 0.5, "delay_ms": 100, "max": 3}]}'
+        )
+        assert plan.seed == 7
+        rule = plan.rule(faults.WORKER_HANG)
+        assert rule.rate == pytest.approx(0.5)
+        assert rule.max_fires == 3
+
+    def test_round_trip_through_spec(self):
+        plan = FaultPlan(
+            seed=9,
+            rules=(
+                FaultRule(faults.WORKER_KILL, rate=0.25, max_attempt=1),
+                FaultRule(faults.ENGINE_SLOW, delay_ms=10.0, max_fires=4),
+                FaultRule(faults.CACHE_READ_TRUNCATE, arg=0.75),
+            ),
+        )
+        assert FaultPlan.parse(plan.to_spec()) == plan
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_default_delays(self):
+        assert FaultRule(faults.WORKER_HANG).delay_seconds == 300.0
+        assert FaultRule(faults.WORKER_KILL).delay_seconds == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("spec", [
+        "",
+        "worker.explode",
+        "worker.kill:rate=2.0",
+        "worker.kill:rate",
+        "worker.kill:attempts=0",
+        "worker.kill:bogus=1",
+        "seed=banana;worker.kill",
+        '{"seed": 0, "bogus": []}',
+        "{not json",
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(spec)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ConfigError, match="armed twice"):
+            FaultPlan.parse("worker.kill;worker.kill:rate=0.5")
+
+    def test_rule_must_name_known_site(self):
+        with pytest.raises(ConfigError, match="unknown fault site"):
+            FaultRule(site="nope")

@@ -61,8 +61,11 @@ def test_serial_and_parallel_results_identical_with_tracing(specs):
     disable_tracing()
     serial = run_specs(specs, jobs=1)
     for p, s in zip(parallel, serial):
-        p = {k: v for k, v in p.items() if k != "elapsed_seconds"}
-        s = {k: v for k, v in s.items() if k != "elapsed_seconds"}
+        # elapsed time and execution mode are run metadata, not
+        # simulation content.
+        meta = ("elapsed_seconds", "execution_mode")
+        p = {k: v for k, v in p.items() if k not in meta}
+        s = {k: v for k, v in s.items() if k not in meta}
         assert json.dumps(p, sort_keys=True) == json.dumps(
             s, sort_keys=True
         )

@@ -19,7 +19,9 @@ class TestBasicEndpoints:
         assert health["uptime_seconds"] >= 0
         assert set(health["jobs"]) == {
             "queued", "running", "done", "error",
+            "timed_out", "quarantined",
         }
+        assert "faults" in health
 
     def test_unknown_route_404(self, live_server):
         _, client = live_server()
