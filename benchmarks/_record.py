@@ -7,6 +7,9 @@ from different machines and different repo states stay comparable:
 * ``record_schema_version`` — bumped when the stamp layout changes;
 * ``host`` — platform, python version/implementation, cpu count (the
   context wall-clock numbers are meaningless without);
+* ``build`` — the code's own provenance (:func:`repro.obs.build
+  .build_info`): package version and the schema versions the record's
+  embedded artifacts follow;
 * ``tier1`` — the tier-1 verification command the repo gates on (from
   ROADMAP.md), so a record names the exact check its tree passed.
 
@@ -22,8 +25,11 @@ import os
 import platform
 from pathlib import Path
 
+from repro.obs.build import build_info
+
 #: Version of the stamp layout (not of any benchmark's own schema).
-RECORD_SCHEMA_VERSION = 1
+#: 2: added the ``build`` provenance block.
+RECORD_SCHEMA_VERSION = 2
 
 #: The tier-1 verification command (mirrors ROADMAP.md).
 TIER1_COMMAND = (
@@ -48,6 +54,7 @@ def stamp(payload: dict) -> dict:
     for key, value in (
         ("record_schema_version", RECORD_SCHEMA_VERSION),
         ("host", host_stamp()),
+        ("build", build_info()),
         ("tier1", {"command": TIER1_COMMAND}),
     ):
         if key in stamped and stamped[key] != value:

@@ -1,11 +1,19 @@
 """Server load benchmark -> BENCH_server.json.
 
-Boots the HTTP gateway in-process on an ephemeral port, hammers it from
-T client threads issuing synchronous (``?wait=``) requests over a mixed
-hot/cold spec population — hot requests repeat one spec (exercising the
-result cache and in-flight coalescing), cold requests are all distinct
-(forcing real simulations) — then reports client-observed latency
-percentiles, throughput, and the server's own ``/metrics`` telemetry.
+Boots the HTTP gateway in-process on an ephemeral port and runs a full
+latency study with the :mod:`repro.obs.loadgen` harness:
+
+1. a **closed-loop calibration** run (send-on-completion from T
+   workers) measures the gateway's raw capacity — and doubles as the
+   side-by-side comparison the open-loop discipline exists to correct;
+2. an **open-loop rate sweep** walks seeded Poisson arrival rates
+   bracketing that capacity, recording latency from *intended* send
+   times (coordinated-omission-safe), counting late sends, and diffing
+   ``/metrics`` around every run for per-stage cost attribution
+   (queue wait / execute / cache path);
+3. the sweep **escalates** (doubling the top rate) until the
+   saturation knee — the first rate violating the p99 SLO or the
+   late-send bound — is inside the swept range.
 
 Usage::
 
@@ -13,115 +21,105 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_server.py --quick    # CI
     PYTHONPATH=src python benchmarks/bench_server.py -o out.json
 
-Exit status is non-zero when any request fails, when the server's
-request-latency percentiles come back zero, or when coalescing/caching
-never triggered — the CI smoke job gates on this.
+Exit status is non-zero when any request fails, when the emitted
+LoadReport does not validate against its schema, when the curve has
+fewer than 4 points or no detected knee, or when cache sharing /
+real executions never showed up in the attribution — the CI smoke
+job gates on this.
 
-JSON schema (``BENCH_server.json``)::
-
-    {
-      "benchmark": "server",
-      "quick": bool,
-      "threads": int,
-      "requests_total": int,
-      "hot_fraction": float,
-      "duration_seconds": float,
-      "throughput_rps": float,
-      "client_latency": {"all": {...}, "hot": {...}, "cold": {...}},
-      "server": {
-        "request_latency": {endpoint: {p50/p95/p99/count/sum}},
-        "executions_total": int,
-        "coalesced_total": int,
-        "cache_hits_total": int,
-        "queued_total": int,
-        "rejected_total": int
-      },
-      "failures": int
-    }
-
-Each ``client_latency`` entry is a streaming-histogram snapshot:
-``{count, sum, p50, p95, p99}`` in seconds.
+``BENCH_server.json`` carries the benchmark headline plus the entire
+``load_report`` (runs, curve, knee, closed-loop comparison, mix,
+seed, build provenance) under the stamp from :mod:`_record`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import threading
-import time
+from dataclasses import replace
 
 from _record import write_record
-from repro.server import ServerClient, ServerConfig, running_server
-from repro.server.metrics import StreamingHistogram
+from repro.obs.loadgen import (
+    LoadgenOptions,
+    LoadReport,
+    SpecMix,
+    curve_point,
+    detect_knee,
+    run_load,
+    validate_load_report,
+)
+from repro.server import ServerConfig, running_server
 
-#: Hot spec: every thread repeats this one (cache + coalescing path).
-#: batch=7 < the cold range (8 + index), so no cold spec can ever
-#: collide with it and pollute the hot/cold latency split.
-HOT_SPEC = {
-    "network": "MLP1",
-    "batch": 7,
-    "columns_per_stripe": 8,
-    "designs": ["Baseline", "GradPIM-BD"],
-}
-
-#: Every 10-request window issues 7 hot, 3 cold (deterministic).
-HOT_PER_WINDOW = 7
-
-
-def _cold_spec(index: int) -> dict:
-    """A spec unique to ``index`` (forces a real simulation)."""
-    return {
-        "network": "MLP1",
-        "batch": 8 + index,  # unique batch -> unique content hash
-        "columns_per_stripe": 8,
-        "designs": ["Baseline", "GradPIM-BD"],
-    }
+#: Latency SLO the knee detector enforces on intended-time p99.
+SLO_P99_SECONDS = 0.25
+#: Late-send fraction beyond which the offered rate is not credible.
+MAX_LATE_FRACTION = 0.10
+#: Capacity multiples the sweep starts from (straddling 1.0 so the
+#: curve shows both the comfortable region and the overload region).
+BASE_FACTORS = (0.3, 0.6, 1.2, 2.4)
+#: Escalation bound: how many doubled rates may be appended hunting
+#: for the knee before the benchmark gives up and fails.
+MAX_EXTRA_RATES = 4
 
 
-def run_load(
-    url: str, threads: int, requests_per_thread: int
-) -> tuple[dict[str, StreamingHistogram], int]:
-    """Fire the workload; returns per-temperature histograms, failures."""
-    histograms = {
-        "all": StreamingHistogram(),
-        "hot": StreamingHistogram(),
-        "cold": StreamingHistogram(),
-    }
-    failures = [0] * threads  # one slot per thread: no shared writes
-    barrier = threading.Barrier(threads)
+def sweep_until_knee(
+    url: str,
+    mix: SpecMix,
+    rates: list[float],
+    requests_per_rate: int,
+    workers: int,
+    seed: int,
+) -> tuple[list, list, dict | None]:
+    """Run the rates, escalating past the top until a knee appears.
 
-    def worker(thread_index: int) -> None:
-        client = ServerClient(url, timeout=120.0, max_retries=10)
-        barrier.wait()  # synchronized start: real concurrency
-        for i in range(requests_per_thread):
-            hot = (i % 10) < HOT_PER_WINDOW
-            if hot:
-                spec = HOT_SPEC
-            else:
-                spec = _cold_spec(
-                    thread_index * requests_per_thread + i
-                )
-            start = time.perf_counter()
-            try:
-                [envelope] = client.submit(spec, wait=120)
-                ok = envelope["status"] == "done"
-            except Exception:
-                ok = False
-            elapsed = time.perf_counter() - start
-            if not ok:
-                failures[thread_index] += 1
-                continue
-            histograms["all"].record(elapsed)
-            histograms["hot" if hot else "cold"].record(elapsed)
-
-    pool = [
-        threading.Thread(target=worker, args=(t,)) for t in range(threads)
-    ]
-    for thread in pool:
-        thread.start()
-    for thread in pool:
-        thread.join()
-    return histograms, sum(failures)
+    Returns ``(runs, curve, knee)``. Every rate gets a disjoint
+    cold-batch block (block 0 belongs to the closed-loop calibration
+    run) so cold requests stay cold at every point.
+    """
+    runs: list = []
+    curve: list = []
+    pending = list(rates)
+    block = 1
+    extra = 0
+    while True:
+        for rate in pending:
+            rate_mix = replace(
+                mix, cold_offset=block * requests_per_rate
+            )
+            block += 1
+            result = run_load(
+                url,
+                rate_mix,
+                LoadgenOptions(
+                    process="poisson",
+                    rate=rate,
+                    requests=requests_per_rate,
+                    seed=seed,
+                    workers=workers,
+                ),
+            )
+            runs.append(result)
+            point = curve_point(result)
+            curve.append(point)
+            print(
+                f"[bench_server] rate {point['rate']:.0f} -> "
+                f"{point['throughput_rps']:.0f} req/s, "
+                f"p99 {point['p99'] * 1e3:.1f} ms, "
+                f"late {point['late_fraction']:.1%}",
+                file=sys.stderr,
+            )
+        knee = detect_knee(curve, SLO_P99_SECONDS, MAX_LATE_FRACTION)
+        if knee is not None or extra >= MAX_EXTRA_RATES:
+            return runs, curve, knee
+        # No violation anywhere in the swept range: the server is
+        # faster than the calibration suggested. Push the top rate.
+        pending = [curve[-1]["rate"] * 2.0]
+        extra += 1
+        print(
+            "[bench_server] no knee yet, escalating to "
+            f"{pending[0]:.0f} req/s",
+            file=sys.stderr,
+        )
 
 
 def main(argv=None) -> int:
@@ -132,93 +130,132 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="small CI-sized run"
     )
     parser.add_argument(
-        "--threads", type=int, default=None, metavar="T",
-        help="client threads (default: 4 quick, 8 full)",
+        "--requests", type=int, default=None, metavar="R",
+        help="requests per rate (default: 60 quick, 200 full)",
     )
     parser.add_argument(
-        "--requests", type=int, default=None, metavar="R",
-        help="requests per thread (default: 25 quick, 100 full)",
+        "--workers", type=int, default=None, metavar="T",
+        help="sender threads (default: 8 quick, 16 full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="arrival + mix seed"
     )
     parser.add_argument(
         "-o", "--output", default="BENCH_server.json", metavar="FILE"
     )
     args = parser.parse_args(argv)
-    threads = args.threads or (4 if args.quick else 8)
-    requests_per_thread = args.requests or (25 if args.quick else 100)
+    requests_per_rate = args.requests or (60 if args.quick else 200)
+    workers = args.workers or (8 if args.quick else 16)
 
-    config = ServerConfig(port=0, queue_depth=max(64, threads * 4))
+    mix = SpecMix(seed=args.seed)
+    config = ServerConfig(port=0, queue_depth=max(64, workers * 8))
     with running_server(config) as server:
-        scraper = ServerClient(server.url)
-        print(f"[bench_server] serving on {server.url}", file=sys.stderr)
-        started = time.perf_counter()
-        histograms, failures = run_load(
-            server.url, threads, requests_per_thread
+        print(
+            f"[bench_server] serving on {server.url}", file=sys.stderr
         )
-        duration = time.perf_counter() - started
-        server_latency = scraper.latency_summary()
-        counters = {
-            name: server.metrics.counter_value(name)
-            for name in (
-                "executions_total",
-                "coalesced_total",
-                "cache_hits_total",
-                "queued_total",
-                "rejected_total",
-            )
-        }
 
-    total = threads * requests_per_thread
+        # Closed-loop calibration: raw capacity with send-on-completion
+        # (block 0 of the cold-batch space).
+        closed = run_load(
+            server.url,
+            mix,
+            LoadgenOptions(
+                process="closed",
+                rate=None,
+                requests=requests_per_rate,
+                seed=args.seed,
+                workers=workers,
+            ),
+        )
+        capacity = closed.achieved_rps
+        print(
+            f"[bench_server] closed-loop capacity "
+            f"{capacity:.0f} req/s, naive p99 "
+            f"{closed.latency.spectrum()['p99'] * 1e3:.1f} ms",
+            file=sys.stderr,
+        )
+
+        rates = sorted(capacity * f for f in BASE_FACTORS)
+        runs, curve, knee = sweep_until_knee(
+            server.url,
+            mix,
+            rates,
+            requests_per_rate,
+            workers,
+            args.seed,
+        )
+
+    report = LoadReport(
+        seed=args.seed,
+        process="poisson",
+        mix=mix.describe(),
+        slo={
+            "p99_seconds": SLO_P99_SECONDS,
+            "max_late_fraction": MAX_LATE_FRACTION,
+        },
+        runs=[result.to_dict() for result in runs],
+        curve=curve,
+        knee=knee,
+        closed_loop=closed.to_dict(),
+    )
+    report_dict = report.to_dict()
+    schema_problems = validate_load_report(report_dict)
+
+    failures = closed.failures + sum(r.failures for r in runs)
     record = {
         "benchmark": "server",
         "quick": bool(args.quick),
-        "threads": threads,
-        "requests_total": total,
-        "hot_fraction": HOT_PER_WINDOW / 10,
-        "duration_seconds": duration,
-        "throughput_rps": (total - failures) / duration,
-        "client_latency": {
-            name: hist.snapshot() for name, hist in histograms.items()
-        },
-        "server": {
-            "request_latency": server_latency,
-            **{k: int(v) for k, v in counters.items()},
-        },
+        "seed": args.seed,
+        "workers": workers,
+        "requests_per_rate": requests_per_rate,
+        "requests_total": requests_per_rate * (len(runs) + 1),
+        "closed_loop_capacity_rps": capacity,
+        "knee": knee,
         "failures": failures,
+        "load_report": report_dict,
     }
     write_record(args.output, record)
 
-    all_latency = record["client_latency"]["all"]
-    print(
-        f"[bench_server] {total} requests, {threads} threads: "
-        f"{record['throughput_rps']:.0f} req/s, "
-        f"p50 {all_latency['p50'] * 1e3:.2f} ms, "
-        f"p95 {all_latency['p95'] * 1e3:.2f} ms, "
-        f"p99 {all_latency['p99'] * 1e3:.2f} ms",
-        file=sys.stderr,
-    )
-    print(
-        f"[bench_server] executions {counters['executions_total']:.0f}, "
-        f"coalesced {counters['coalesced_total']:.0f}, "
-        f"cache hits {counters['cache_hits_total']:.0f}, "
-        f"failures {failures}",
-        file=sys.stderr,
-    )
+    if knee:
+        print(
+            f"[bench_server] saturation knee at {knee['rate']:.0f} "
+            f"req/s ({knee['reason']}); last good rate "
+            f"{knee['last_good_rate'] or 0:.0f} req/s",
+            file=sys.stderr,
+        )
     print(f"wrote {args.output}", file=sys.stderr)
 
     problems = []
     if failures:
         problems.append(f"{failures} requests failed")
-    post = server_latency.get("POST /v1/jobs", {})
-    if not all(
-        post.get(q, 0.0) > 0.0 for q in ("p50", "p95", "p99")
-    ):
+    for problem in schema_problems:
+        problems.append(f"LoadReport schema: {problem}")
+    if len(curve) < 4:
         problems.append(
-            "server-side POST /v1/jobs latency percentiles are zero"
+            f"curve has only {len(curve)} points (need >= 4)"
         )
-    if counters["cache_hits_total"] + counters["coalesced_total"] <= 0:
+    if knee is None:
+        problems.append(
+            "no saturation knee found (even after escalation)"
+        )
+    attribution_ok = False
+    sharing_ok = False
+    for result in runs:
+        counters = (result.attribution or {}).get("counters", {})
+        if counters.get("executions", 0) > 0:
+            attribution_ok = True
+        if (
+            counters.get("cache_hits", 0)
+            + counters.get("coalesced", 0)
+            > 0
+        ):
+            sharing_ok = True
+    if not attribution_ok:
+        problems.append(
+            "attribution shows zero executions across the sweep"
+        )
+    if not sharing_ok:
         problems.append("hot traffic never hit the cache or coalesced")
-    if counters["executions_total"] >= total:
-        problems.append("no request sharing at all (every request ran)")
     for problem in problems:
         print(f"[bench_server] FAIL: {problem}", file=sys.stderr)
     return 1 if problems else 0

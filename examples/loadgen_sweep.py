@@ -1,0 +1,111 @@
+"""Find the gateway's saturation knee with an open-loop rate sweep.
+
+Boots the gateway on an ephemeral port, measures its raw capacity
+with a closed-loop calibration run, then sweeps seeded Poisson
+arrival rates around that capacity with the open-loop harness —
+latency measured from *intended* send times (coordinated-omission
+safe), late sends counted, and server-side cost attributed per stage
+by diffing ``/metrics`` around each run. Prints the resulting
+throughput-vs-latency curve and the detected knee.
+
+Run:  PYTHONPATH=src python examples/loadgen_sweep.py
+
+The same study is available as a CLI (``repro-loadgen --self-serve``)
+and is what ``benchmarks/bench_server.py`` records into
+``BENCH_server.json``.
+"""
+
+from repro.obs.loadgen import (
+    LoadgenOptions,
+    SpecMix,
+    SweepOptions,
+    run_load,
+    run_sweep,
+)
+from repro.server import ServerConfig, running_server
+
+REQUESTS = 80
+WORKERS = 8
+
+
+def main() -> None:
+    # 70 % of requests repeat one hot spec (cache/coalesce path),
+    # the rest are unique cold simulations — same seed, same stream.
+    mix = SpecMix(seed=42, hot_fraction=0.7)
+
+    with running_server(ServerConfig(port=0)) as server:
+        print(f"server listening on {server.url}\n")
+
+        # 1. Closed loop: send-on-completion. This number LOOKS great
+        #    under overload because a stalled server silently slows
+        #    the request stream down — that's coordinated omission.
+        closed = run_load(
+            server.url,
+            mix,
+            LoadgenOptions(
+                process="closed",
+                rate=None,
+                requests=REQUESTS,
+                workers=WORKERS,
+            ),
+        )
+        capacity = closed.achieved_rps
+        print(
+            f"closed-loop calibration: {capacity:.0f} req/s, "
+            f"naive p99 "
+            f"{closed.latency.spectrum()['p99'] * 1e3:.1f} ms"
+        )
+
+        # 2. Open loop: the schedule does not care how the server is
+        #    doing. Rates straddle the measured capacity so the curve
+        #    shows both the comfortable and the overloaded regime.
+        report = run_sweep(
+            server.url,
+            mix,
+            SweepOptions(
+                rates=sorted(
+                    capacity * f for f in (0.3, 0.6, 1.2, 2.4)
+                ),
+                requests_per_rate=REQUESTS,
+                workers=WORKERS,
+                seed=42,
+                slo_p99_seconds=0.25,
+                max_late_fraction=0.10,
+            ),
+            closed_loop=closed,
+        )
+
+    print("\nthroughput vs latency (open loop, intended-time):")
+    for point in report.curve:
+        print(
+            f"  rate {point['rate']:7.1f} req/s -> "
+            f"{point['throughput_rps']:7.1f} req/s  "
+            f"p50 {point['p50'] * 1e3:7.2f} ms  "
+            f"p99 {point['p99'] * 1e3:7.2f} ms  "
+            f"late {point['late_fraction']:5.1%}"
+        )
+
+    if report.knee:
+        print(
+            f"\nsaturation knee: {report.knee['rate']:.0f} req/s "
+            f"({report.knee['reason']}); honest operating range "
+            f"tops out at {report.knee['last_good_rate'] or 0:.0f} "
+            "req/s"
+        )
+    else:
+        print("\nno knee inside the swept range — the server kept up")
+
+    # 3. Where did the time go? The harness diffed /metrics around
+    #    each run: queue wait vs execute vs the near-free cache path.
+    last = report.runs[-1]
+    per = last["attribution"]["per_request"]
+    print(
+        f"\nper-stage attribution at {last['target_rate']:.0f} req/s:"
+        f"\n  cache-path fraction {per['cache_path_fraction']:.1%}"
+        f"\n  mean queue wait     {per['queue_seconds'] * 1e3:.2f} ms"
+        f"\n  mean execute        {per['execute_seconds'] * 1e3:.2f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

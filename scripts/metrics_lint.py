@@ -5,7 +5,10 @@ job through it over HTTP, and checks the whole observability surface:
 
 * ``GET /metrics`` round-trips through ``parse_prometheus`` (every
   line the server emits is well-formed exposition text) and carries
-  the engine counter families the dispatcher aggregates;
+  the engine counter families the dispatcher aggregates, the
+  ``repro_server_build_info`` provenance gauge, and the exact
+  ``_min``/``_max``/``_mean`` series every histogram family now
+  publishes;
 * the exported trace file validates against the checked-in JSON
   schema (``src/repro/obs/schemas/chrome_trace.schema.json``) and
   covers the submit → dispatch → execute → cache-write span path;
@@ -47,7 +50,15 @@ REQUIRED_FAMILIES = {
     "repro_server_requests_total",
     "repro_server_request_seconds",
     "repro_server_executions_total",
+    "repro_server_build_info",
+    # Exact observed stats rendered alongside each histogram family.
+    "repro_server_request_seconds_min",
+    "repro_server_request_seconds_max",
+    "repro_server_request_seconds_mean",
 }
+
+#: Labels the build_info gauge must carry (provenance stamp).
+REQUIRED_BUILD_LABELS = {"version", "python"}
 
 JOB = {
     "network": "MLP1",
@@ -115,6 +126,20 @@ def main() -> int:
         problems.append(
             "engine fast-path/fallback counters never incremented"
         )
+    for labels, value in families.get(
+        "repro_server_build_info", {}
+    ).items():
+        if value != 1:
+            problems.append(
+                f"build_info gauge must be 1, got {value}"
+            )
+        missing = [
+            label
+            for label in sorted(REQUIRED_BUILD_LABELS)
+            if f'{label}="' not in labels
+        ]
+        for label in missing:
+            problems.append(f"build_info missing label {label!r}")
 
     # 2. The exported trace validates against the checked-in schema
     #    and covers the dispatch path.

@@ -20,11 +20,21 @@ service pool, the HTTP gateway — reports through this package:
   aggregated into ``/metrics``.
 * :mod:`repro.obs.log` — JSON structured logging with spec-hash
   correlation ids (``repro-server --log-json``).
+* :mod:`repro.obs.loadgen` — open-loop load generation with
+  coordinated-omission-safe latency recording, rate sweeps with
+  saturation-knee detection, and per-stage cost attribution from
+  ``/metrics`` diffs (``repro-loadgen``). Imported on demand, not
+  re-exported here: it pulls in the HTTP client stack.
+* :mod:`repro.obs.build` — :func:`~repro.obs.build.build_info`, the
+  provenance stamp (code version, schema versions, python) published
+  as the ``repro_server_build_info`` gauge and embedded in every
+  ``LoadReport`` and benchmark record.
 
 Everything here is stdlib-only and safe to import from worker
 processes.
 """
 
+from repro.obs.build import build_info
 from repro.obs.log import (
     configure_json_logging,
     correlation_scope,
@@ -58,6 +68,7 @@ __all__ = [
     "StreamingHistogram",
     "Tracer",
     "active_tracer",
+    "build_info",
     "configure_json_logging",
     "correlation_scope",
     "default_registry",

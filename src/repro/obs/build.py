@@ -1,0 +1,35 @@
+"""Build/version identification shared by every telemetry surface.
+
+One function, :func:`build_info`, names *what code produced this
+number*: the package version, the python runtime, and the schema
+versions of every versioned artifact the stack emits. The same dict is
+
+* rendered on ``/metrics`` as the conventional info-style gauge
+  ``repro_server_build_info{...} 1`` (a constant-1 gauge whose labels
+  carry the facts, so a scrape can be joined against the code that
+  served it);
+* stamped into every ``LoadReport`` (``repro.obs.loadgen``); and
+* stamped into every ``BENCH_*.json`` via ``benchmarks/_record.py``,
+
+so a latency curve, a flight recorder, and a benchmark record can
+always be traced back to one build.
+"""
+
+from __future__ import annotations
+
+import platform
+
+
+def build_info() -> dict[str, str]:
+    """String-valued build identification (JSON- and label-safe)."""
+    from repro import __version__
+    from repro.obs.loadgen.report import LOAD_REPORT_SCHEMA_VERSION
+    from repro.obs.metrics import SNAPSHOT_VERSION
+
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "metrics_snapshot_schema": str(SNAPSHOT_VERSION),
+        "load_report_schema": str(LOAD_REPORT_SCHEMA_VERSION),
+    }

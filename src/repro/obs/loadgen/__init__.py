@@ -1,0 +1,71 @@
+"""Open-loop load generation with latency discipline.
+
+The harness this package implements answers the question a
+benchmark number usually dodges: *at what offered load does the
+gateway stop meeting its latency promise, and where does the time
+go once it does?* It fires seeded, schedule-driven request streams
+(:mod:`.arrival`, :mod:`.mix`), records latency from *intended*
+send times so a stalled server cannot hide behind coordinated
+omission (:mod:`.generator`, :mod:`.recorder`), attributes
+server-side cost per stage by diffing ``/metrics``
+(:mod:`.attribution`), sweeps arrival rates to find the saturation
+knee (:mod:`.sweep`), and serializes the whole study as a
+schema-validated :class:`~repro.obs.loadgen.report.LoadReport`
+(:mod:`.report`, :mod:`.cli`).
+"""
+
+from repro.obs.loadgen.arrival import ARRIVAL_PROCESSES, arrival_offsets
+from repro.obs.loadgen.attribution import (
+    StageAttribution,
+    diff_scrapes,
+    scrape,
+)
+from repro.obs.loadgen.generator import (
+    LoadgenOptions,
+    LoadRunResult,
+    run_load,
+)
+from repro.obs.loadgen.mix import KINDS, SpecMix
+from repro.obs.loadgen.recorder import (
+    SPECTRUM_QUANTILES,
+    LatencyRecorder,
+    quantile_label,
+)
+from repro.obs.loadgen.report import (
+    LOAD_REPORT_SCHEMA_PATH,
+    LOAD_REPORT_SCHEMA_VERSION,
+    LoadReport,
+    validate_load_report,
+)
+from repro.obs.loadgen.sweep import (
+    SweepOptions,
+    curve_point,
+    detect_knee,
+    geometric_rates,
+    run_sweep,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "KINDS",
+    "LOAD_REPORT_SCHEMA_PATH",
+    "LOAD_REPORT_SCHEMA_VERSION",
+    "LatencyRecorder",
+    "LoadReport",
+    "LoadRunResult",
+    "LoadgenOptions",
+    "SPECTRUM_QUANTILES",
+    "SpecMix",
+    "StageAttribution",
+    "SweepOptions",
+    "arrival_offsets",
+    "curve_point",
+    "detect_knee",
+    "diff_scrapes",
+    "geometric_rates",
+    "quantile_label",
+    "run_load",
+    "run_sweep",
+    "scrape",
+    "validate_load_report",
+]

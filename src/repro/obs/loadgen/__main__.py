@@ -1,0 +1,6 @@
+"""``python -m repro.obs.loadgen`` — same as ``repro-loadgen``."""
+
+from repro.obs.loadgen.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Deterministic arrival processes for open-loop load generation.
+
+An arrival process decides *when each request should be sent*,
+independently of how the server responds — the defining property of
+open-loop load. The schedule is materialized up front as a list of
+intended send offsets (seconds from run start), so
+
+* the run is exactly reproducible from ``(process, rate, n, seed)``;
+* latency can be measured from the *intended* send time, which is the
+  coordinated-omission-safe discipline: a stalled server inflates the
+  latency of every request scheduled behind the stall, exactly as real
+  clients would experience it, instead of silently thinning the
+  arrival stream.
+
+Processes:
+
+``poisson``
+    Exponential inter-arrivals at ``rate`` req/s (memoryless — the
+    standard model of independent user traffic). Seeded and
+    deterministic.
+``uniform``
+    Fixed ``1/rate`` spacing (deterministic pacing; isolates queueing
+    effects from arrival burstiness).
+``closed``
+    No schedule: the generator sends each request when the previous one
+    completes (per worker). With a ``rate``, intended times are still
+    the uniform schedule, so the corrected/naive latency split exposes
+    coordinated omission on a run that suffers from it; with
+    ``rate=None`` intended time degenerates to the actual send time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ConfigError
+
+#: The recognised arrival processes.
+ARRIVAL_PROCESSES = ("poisson", "uniform", "closed")
+
+
+def arrival_offsets(
+    process: str,
+    rate: Optional[float],
+    n: int,
+    seed: int = 0,
+) -> list[float]:
+    """Intended send offsets (seconds from run start) for ``n`` sends.
+
+    ``rate`` is the target arrival rate in requests/second; it may be
+    ``None`` only for the ``closed`` process (pure closed loop, no
+    intended schedule — every offset is 0.0 and the generator falls
+    back to send-time accounting).
+    """
+    if process not in ARRIVAL_PROCESSES:
+        raise ConfigError(
+            f"unknown arrival process {process!r}; choose from "
+            f"{ARRIVAL_PROCESSES}"
+        )
+    if n < 1:
+        raise ConfigError(f"need at least one arrival, got n={n}")
+    if rate is None:
+        if process != "closed":
+            raise ConfigError(
+                f"the {process!r} process needs a rate"
+            )
+        return [0.0] * n
+    if rate <= 0:
+        raise ConfigError(f"rate must be positive, got {rate}")
+    if process == "poisson":
+        rng = random.Random(seed)
+        offsets, t = [], 0.0
+        for _ in range(n):
+            t += rng.expovariate(rate)
+            offsets.append(t)
+        return offsets
+    # uniform, and the intended schedule of a rated closed loop.
+    return [i / rate for i in range(n)]

@@ -1,0 +1,175 @@
+"""Per-stage cost attribution from server ``/metrics`` diffs.
+
+A client-observed percentile says *how slow*; it cannot say *where the
+time went*. The gateway already publishes per-stage telemetry — the
+``queue_wait_seconds`` and ``execute_seconds`` histograms the
+dispatcher records, the cache/coalesce/reject disposition counters,
+and the engine flight-recorder families — so the harness scrapes
+``/metrics`` immediately before and after a run and diffs the
+monotonic families. Every delta then belongs to this run's traffic
+(modulo concurrent scrapers, which a benchmark harness owns outright),
+decomposing the client-observed latency into:
+
+``queue``
+    Seconds executions sat in the bounded dispatcher queue.
+``execute``
+    Seconds spent actually simulating (per-execution share).
+``cache``
+    Requests answered straight from the result cache, plus requests
+    coalesced onto an in-flight execution — the near-zero-cost path
+    explaining why hot percentiles sit decades below cold ones.
+
+Histogram families diff exactly on ``_count``/``_sum`` (both are
+monotonic totals); quantile series are *not* diffable and are
+deliberately ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.obs.metrics import parse_prometheus
+
+#: Server histogram families attributed as pipeline stages:
+#: ``stage name -> /metrics family prefix``.
+STAGE_FAMILIES = {
+    "queue": "repro_server_queue_wait_seconds",
+    "execute": "repro_server_execute_seconds",
+    "request": "repro_server_request_seconds",
+}
+
+#: Disposition / outcome counters worth diffing, by short name.
+COUNTER_FAMILIES = {
+    "requests": "repro_server_requests_total",
+    "executions": "repro_server_executions_total",
+    "execution_errors": "repro_server_execution_errors_total",
+    "queued": "repro_server_queued_total",
+    "coalesced": "repro_server_coalesced_total",
+    "cache_hits": "repro_server_cache_hits_total",
+    "rejected": "repro_server_rejected_total",
+    "job_timeouts": "repro_server_job_timeouts_total",
+}
+
+#: Engine flight-recorder families (diffed summed over labels).
+ENGINE_PREFIX = "repro_server_engine_"
+
+
+def scrape(metrics_text: str) -> dict[str, dict[str, float]]:
+    """Parse one ``/metrics`` exposition into diffable families."""
+    return parse_prometheus(metrics_text)
+
+
+def _family_total(
+    families: Mapping[str, Mapping[str, float]], name: str
+) -> float:
+    """Sum one family across all label sets (0.0 when absent)."""
+    return float(sum(families.get(name, {}).values()))
+
+
+@dataclass(frozen=True)
+class StageAttribution:
+    """The server-side cost decomposition of one load run."""
+
+    #: ``{stage: {"count": Δ, "sum_seconds": Δ, "mean_seconds": μ}}``
+    stages: dict
+    #: ``{short_name: Δ}`` for :data:`COUNTER_FAMILIES`.
+    counters: dict
+    #: ``{family: Δ}`` for the engine flight-recorder counters.
+    engine: dict
+
+    def to_dict(self) -> dict:
+        out = {
+            "stages": {k: dict(v) for k, v in self.stages.items()},
+            "counters": dict(self.counters),
+            "engine": dict(self.engine),
+        }
+        out["per_request"] = self.per_request()
+        return out
+
+    # ------------------------------------------------------------------
+    def per_request(self) -> dict:
+        """Mean per-request stage costs and path fractions.
+
+        ``queue_seconds``/``execute_seconds`` are normalized over the
+        *jobs this run submitted* (cache hits and coalesced
+        attachments included — they paid ~nothing, which is the
+        point), so the numbers add up to the mean server-side cost of
+        one client request. ``cache_path_fraction`` is the share of
+        jobs that never reached a simulation of their own.
+        """
+        counters = self.counters
+        jobs = (
+            counters.get("queued", 0.0)
+            + counters.get("coalesced", 0.0)
+            + counters.get("cache_hits", 0.0)
+        )
+        queue_sum = self.stages.get("queue", {}).get(
+            "sum_seconds", 0.0
+        )
+        execute_sum = self.stages.get("execute", {}).get(
+            "sum_seconds", 0.0
+        )
+        out = {
+            "jobs": jobs,
+            "queue_seconds": queue_sum / jobs if jobs else 0.0,
+            "execute_seconds": execute_sum / jobs if jobs else 0.0,
+            "cache_path_fraction": (
+                (
+                    counters.get("cache_hits", 0.0)
+                    + counters.get("coalesced", 0.0)
+                )
+                / jobs
+                if jobs
+                else 0.0
+            ),
+        }
+        server_side = queue_sum + execute_sum
+        out["queue_fraction"] = (
+            queue_sum / server_side if server_side else 0.0
+        )
+        out["execute_fraction"] = (
+            execute_sum / server_side if server_side else 0.0
+        )
+        return out
+
+
+def diff_scrapes(
+    before: Mapping[str, Mapping[str, float]],
+    after: Mapping[str, Mapping[str, float]],
+) -> StageAttribution:
+    """Attribute the delta between two ``/metrics`` scrapes."""
+    stages = {}
+    for stage, family in STAGE_FAMILIES.items():
+        count = _family_total(after, f"{family}_count") - _family_total(
+            before, f"{family}_count"
+        )
+        total = _family_total(after, f"{family}_sum") - _family_total(
+            before, f"{family}_sum"
+        )
+        stages[stage] = {
+            "count": count,
+            "sum_seconds": total,
+            "mean_seconds": total / count if count else 0.0,
+        }
+    counters = {
+        short: _family_total(after, family)
+        - _family_total(before, family)
+        for short, family in COUNTER_FAMILIES.items()
+    }
+    engine_names = {
+        name
+        for families in (before, after)
+        for name in families
+        if name.startswith(ENGINE_PREFIX)
+    }
+    engine = {}
+    for name in sorted(engine_names):
+        delta = _family_total(after, name) - _family_total(
+            before, name
+        )
+        if delta:
+            engine[name] = delta
+    return StageAttribution(
+        stages=stages, counters=counters, engine=engine
+    )

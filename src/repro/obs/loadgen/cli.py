@@ -1,0 +1,287 @@
+"""CLI: open-loop load generation against the simulation gateway.
+
+::
+
+    repro-loadgen --url http://127.0.0.1:8037 --rates 25,50,100,200
+    repro-loadgen --self-serve --rates 40,80,160 --requests 150 \\
+        --output load_report.json
+
+``--self-serve`` boots an in-process gateway on an ephemeral port,
+runs the study against it, and tears it down — the one-command path
+CI and quick local experiments use. The output is a ``LoadReport``
+validated against the checked-in schema before it is written; a
+report this tool emits is by construction a report the schema
+accepts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.obs.loadgen.generator import LoadgenOptions, run_load
+from repro.obs.loadgen.mix import SpecMix
+from repro.obs.loadgen.report import validate_load_report
+from repro.obs.loadgen.sweep import SweepOptions, run_sweep
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description=(
+            "Fire a seeded open-loop request stream at a repro "
+            "gateway, sweep arrival rates, and emit a LoadReport "
+            "(latency spectra, saturation knee, per-stage cost "
+            "attribution)."
+        ),
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--url", help="base URL of a running gateway"
+    )
+    target.add_argument(
+        "--self-serve",
+        action="store_true",
+        help=(
+            "boot an in-process gateway on an ephemeral port for the "
+            "duration of the study"
+        ),
+    )
+    parser.add_argument(
+        "--rates",
+        default="25,50,100,200",
+        metavar="R1,R2,...",
+        help="arrival rates (req/s) to sweep, ascending",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        metavar="N",
+        help="requests per rate",
+    )
+    parser.add_argument(
+        "--process",
+        choices=("poisson", "uniform"),
+        default="poisson",
+        help="open-loop arrival process",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="arrival + mix seed"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=32,
+        metavar="N",
+        help="sender threads",
+    )
+    parser.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.7,
+        metavar="F",
+        help="fraction of requests repeating the hot spec",
+    )
+    parser.add_argument(
+        "--periodic-fraction",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="fraction of cold requests using the periodic engine",
+    )
+    parser.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="latency SLO: intended-time p99 must stay below",
+    )
+    parser.add_argument(
+        "--max-late-fraction",
+        type=float,
+        default=0.10,
+        metavar="F",
+        help="late-send fraction beyond which the rate is saturated",
+    )
+    parser.add_argument(
+        "--late-tolerance-ms",
+        type=float,
+        default=10.0,
+        metavar="MS",
+        help="send lag beyond which a send counts as late",
+    )
+    parser.add_argument(
+        "--wait-seconds",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="server-side wait bound per request",
+    )
+    parser.add_argument(
+        "--no-closed-loop",
+        action="store_true",
+        help="skip the closed-loop comparison run",
+    )
+    parser.add_argument(
+        "--server-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="gateway worker processes (--self-serve only)",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "fault-injection plan for the self-served gateway, e.g. "
+            "'seed=1;dispatcher.stall:rate=0.05,delay_ms=250'"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        metavar="FILE",
+        help="write the LoadReport JSON here (default: stdout)",
+    )
+    return parser
+
+
+def _parse_rates(text: str) -> list[float]:
+    try:
+        rates = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise ConfigError(f"bad --rates value: {text!r}") from exc
+    if not rates:
+        raise ConfigError("--rates must name at least one rate")
+    return rates
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    try:
+        rates = _parse_rates(args.rates)
+        mix = SpecMix(
+            hot_fraction=args.hot_fraction,
+            periodic_fraction=args.periodic_fraction,
+            seed=args.seed,
+        )
+        sweep = SweepOptions(
+            rates=rates,
+            requests_per_rate=args.requests,
+            process=args.process,
+            seed=args.seed,
+            workers=args.workers,
+            wait_seconds=args.wait_seconds,
+            late_tolerance_seconds=args.late_tolerance_ms / 1000.0,
+            slo_p99_seconds=args.slo_p99_ms / 1000.0,
+            max_late_fraction=args.max_late_fraction,
+        )
+    except ConfigError as exc:
+        print(f"bad arguments: {exc}", file=sys.stderr)
+        return 2
+
+    server = None
+    try:
+        if args.self_serve:
+            from repro.server import ServerConfig, create_server
+
+            server = create_server(
+                ServerConfig(
+                    port=0,
+                    workers=args.server_workers,
+                    faults=args.faults,
+                )
+            )
+            server.start_background()
+            url = server.url
+            print(
+                f"repro-loadgen: self-served gateway at {url}",
+                file=sys.stderr,
+            )
+        else:
+            url = args.url
+
+        closed = None
+        if not args.no_closed_loop:
+            closed = run_load(
+                url,
+                mix,
+                LoadgenOptions(
+                    process="closed",
+                    rate=None,
+                    requests=args.requests,
+                    seed=args.seed,
+                    workers=args.workers,
+                    wait_seconds=args.wait_seconds,
+                    late_tolerance_seconds=(
+                        args.late_tolerance_ms / 1000.0
+                    ),
+                ),
+            )
+            print(
+                "repro-loadgen: closed-loop comparison "
+                f"{closed.achieved_rps:.1f} req/s, "
+                f"p99 {closed.latency.spectrum()['p99'] * 1000:.1f} ms",
+                file=sys.stderr,
+            )
+
+        report = run_sweep(url, mix, sweep, closed_loop=closed)
+    except ConfigError as exc:
+        print(f"load run failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if server is not None:
+            server.stop()
+
+    data = report.to_dict()
+    problems = validate_load_report(data)
+    if problems:
+        for problem in problems:
+            print(f"schema violation: {problem}", file=sys.stderr)
+        return 1
+
+    for point in report.curve:
+        print(
+            f"repro-loadgen: rate {point['rate']:.1f} -> "
+            f"{point['throughput_rps']:.1f} req/s, "
+            f"p99 {point['p99'] * 1000:.1f} ms, "
+            f"late {point['late_fraction']:.1%}",
+            file=sys.stderr,
+        )
+    if report.knee:
+        print(
+            "repro-loadgen: saturation knee at "
+            f"{report.knee['rate']:.1f} req/s "
+            f"({report.knee['reason']})",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "repro-loadgen: no knee found in the swept range",
+            file=sys.stderr,
+        )
+
+    text = json.dumps(data, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(
+            f"repro-loadgen: wrote {args.output}", file=sys.stderr
+        )
+    else:
+        print(text)
+    return 0
+
+
+def entry() -> None:
+    """Console-script entry point (``repro-loadgen``)."""
+    raise SystemExit(main())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,305 @@
+"""The load generator: schedule-driven request firing + recording.
+
+:func:`run_load` fires one :class:`~repro.obs.loadgen.mix.SpecMix`
+request stream at a gateway according to an arrival schedule
+(:mod:`repro.obs.loadgen.arrival`) and records latency with the
+coordinated-omission-safe discipline:
+
+* **latency** is measured from the *intended* send time of the
+  schedule, not from when the sender thread actually got around to
+  sending. A stalled server therefore charges its stall to every
+  request scheduled behind it — exactly what real, independent clients
+  would experience.
+* **service latency** (the naive completion − actual-send measurement)
+  is recorded alongside, so the two disciplines can be compared — on a
+  saturated closed-loop run the naive numbers stay flat while the
+  intended-time numbers grow linearly; the gap *is* coordinated
+  omission.
+* a send that leaves more than ``late_tolerance_seconds`` after its
+  intended time is counted as a **late send**. A rising late-send
+  fraction means the generator itself (bounded sender concurrency)
+  could not hold the open loop — reported, never hidden.
+
+Open-loop sends are decoupled from responses by a pool of sender
+threads pulling the next scheduled index; closed-loop mode
+(``process="closed"``) partitions indices across workers and sends
+each request only when the worker's previous one completed, which is
+the classic benchmarking shape the open-loop discipline exists to
+correct.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+from repro.obs.loadgen.arrival import ARRIVAL_PROCESSES, arrival_offsets
+from repro.obs.loadgen.attribution import diff_scrapes, scrape
+from repro.obs.loadgen.mix import KINDS, SpecMix
+from repro.obs.loadgen.recorder import LatencyRecorder
+from repro.obs.metrics import StreamingHistogram
+from repro.server.client import ServerClient
+
+
+@dataclass(frozen=True)
+class LoadgenOptions:
+    """One load run's knobs (all deterministic given the seed)."""
+
+    process: str = "poisson"
+    #: Target arrival rate (req/s). ``None`` only for pure closed loop.
+    rate: Optional[float] = 50.0
+    requests: int = 100
+    seed: int = 0
+    #: Sender threads. Open loop needs enough that in-flight requests
+    #: do not delay scheduled sends; exhaustion shows up honestly as
+    #: late sends.
+    workers: int = 32
+    #: Send lag beyond which a send counts as late.
+    late_tolerance_seconds: float = 0.010
+    #: Server-side ``?wait=`` bound per request.
+    wait_seconds: float = 30.0
+    #: Client HTTP timeout.
+    timeout_seconds: float = 120.0
+    #: Scrape ``/metrics`` before/after and attach the stage diff.
+    attribute: bool = True
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ConfigError(
+                f"unknown arrival process {self.process!r}; choose "
+                f"from {ARRIVAL_PROCESSES}"
+            )
+        if self.rate is None and self.process != "closed":
+            raise ConfigError(
+                f"the {self.process!r} process needs a rate"
+            )
+        if self.requests < 1:
+            raise ConfigError(
+                f"requests must be >= 1, got {self.requests}"
+            )
+        if self.workers < 1:
+            raise ConfigError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.late_tolerance_seconds <= 0:
+            raise ConfigError(
+                "late_tolerance_seconds must be positive, got "
+                f"{self.late_tolerance_seconds}"
+            )
+
+
+@dataclass
+class LoadRunResult:
+    """Everything one load run measured."""
+
+    options: LoadgenOptions
+    mix: dict
+    #: Coordinated-omission-safe latency (from intended send time).
+    latency: LatencyRecorder
+    #: Naive latency (from actual send time) for comparison.
+    service_latency: LatencyRecorder
+    #: Intended-time latency split by request temperature.
+    per_kind: dict[str, LatencyRecorder]
+    #: Client-side split: HTTP service time vs Retry-After backoff.
+    client_service: StreamingHistogram
+    client_backoff: StreamingHistogram
+    duration_seconds: float = 0.0
+    sent: int = 0
+    completed: int = 0
+    failures: int = 0
+    late_sends: int = 0
+    retries: int = 0
+    attribution: Optional[dict] = None
+
+    @property
+    def offered_rate(self) -> float:
+        """The schedule's arrival rate (requests/span of intended
+        times); 0.0 for a pure closed loop."""
+        rate = self.options.rate
+        return float(rate) if rate else 0.0
+
+    @property
+    def achieved_rps(self) -> float:
+        return (
+            self.completed / self.duration_seconds
+            if self.duration_seconds > 0
+            else 0.0
+        )
+
+    @property
+    def late_fraction(self) -> float:
+        return self.late_sends / self.sent if self.sent else 0.0
+
+    def to_dict(self) -> dict:
+        """The JSON form embedded in a ``LoadReport`` run entry."""
+        return {
+            "process": self.options.process,
+            "mix": dict(self.mix),
+            "target_rate": self.options.rate,
+            "requests": self.options.requests,
+            "seed": self.options.seed,
+            "workers": self.options.workers,
+            "duration_seconds": self.duration_seconds,
+            "sent": self.sent,
+            "completed": self.completed,
+            "failures": self.failures,
+            "late_sends": self.late_sends,
+            "late_fraction": self.late_fraction,
+            "retries": self.retries,
+            "achieved_rps": self.achieved_rps,
+            "latency": self.latency.spectrum(),
+            "service_latency": self.service_latency.spectrum(),
+            "per_kind": {
+                kind: recorder.spectrum()
+                for kind, recorder in self.per_kind.items()
+                if recorder.count
+            },
+            "client": {
+                "service": self.client_service.snapshot(),
+                "backoff": self.client_backoff.snapshot(),
+            },
+            "attribution": self.attribution,
+        }
+
+
+def run_load(
+    url: str,
+    mix: SpecMix,
+    options: LoadgenOptions,
+    client_factory: Optional[Callable[[], ServerClient]] = None,
+) -> LoadRunResult:
+    """Fire one load run at ``url`` and record it (see module doc)."""
+    offsets = arrival_offsets(
+        options.process, options.rate, options.requests, options.seed
+    )
+    stream = mix.generate(options.requests)
+    result = LoadRunResult(
+        options=options,
+        mix=mix.describe(),
+        latency=LatencyRecorder(),
+        service_latency=LatencyRecorder(),
+        per_kind={kind: LatencyRecorder() for kind in KINDS},
+        client_service=StreamingHistogram(),
+        client_backoff=StreamingHistogram(),
+    )
+
+    def make_client() -> ServerClient:
+        if client_factory is not None:
+            return client_factory()
+        return ServerClient(
+            url, timeout=options.timeout_seconds, max_retries=10
+        )
+
+    workers = min(options.workers, options.requests)
+    lock = threading.Lock()
+    counts = {"sent": 0, "late": 0, "failures": 0, "completed": 0}
+    next_index = [0]
+    clients: list[ServerClient] = []
+    closed = options.process == "closed"
+    pure_closed = closed and options.rate is None
+
+    # Scrape before the barrier releases anything.
+    scraper = make_client()
+    before = scrape(scraper.metrics_text()) if options.attribute else None
+
+    barrier = threading.Barrier(workers + 1)
+    #: Run-start timestamp, written by the coordinator before it joins
+    #: the barrier (so every worker reads it only after release).
+    start_box = [0.0]
+
+    def fire(
+        client: ServerClient, index: int, start: float
+    ) -> None:
+        spec, kind = stream[index]
+        intended = start + offsets[index]
+        now = time.perf_counter()
+        if now < intended:
+            time.sleep(intended - now)
+        send = time.perf_counter()
+        if pure_closed:
+            intended = send
+        ok = False
+        try:
+            [envelope] = client.submit(
+                spec, wait=options.wait_seconds
+            )
+            if envelope["status"] in ("queued", "running"):
+                [envelope] = client.wait_for(
+                    [envelope["id"]],
+                    timeout=options.timeout_seconds,
+                )
+            ok = envelope["status"] == "done"
+        except Exception:
+            ok = False
+        done = time.perf_counter()
+        with lock:
+            counts["sent"] += 1
+            if send - intended > options.late_tolerance_seconds:
+                counts["late"] += 1
+            if not ok:
+                counts["failures"] += 1
+                return
+            counts["completed"] += 1
+        result.latency.record(done - intended)
+        result.service_latency.record(done - send)
+        result.per_kind[kind].record(done - intended)
+
+    def open_loop_worker() -> None:
+        client = make_client()
+        with lock:
+            clients.append(client)
+        barrier.wait()
+        start = start_box[0]
+        while True:
+            with lock:
+                index = next_index[0]
+                if index >= options.requests:
+                    return
+                next_index[0] += 1
+            fire(client, index, start)
+
+    def closed_loop_worker(worker: int) -> None:
+        client = make_client()
+        with lock:
+            clients.append(client)
+        barrier.wait()
+        start = start_box[0]
+        for index in range(worker, options.requests, workers):
+            fire(client, index, start)
+
+    threads = [
+        threading.Thread(
+            target=closed_loop_worker if closed else open_loop_worker,
+            args=(t,) if closed else (),
+            name=f"loadgen-{t}",
+            daemon=True,
+        )
+        for t in range(workers)
+    ]
+    # Workers block on the barrier with their clients constructed; the
+    # coordinator stamps the run-start time (a small lead so offset 0
+    # is never born late) and releases everyone at once.
+    for thread in threads:
+        thread.start()
+    start_box[0] = time.perf_counter() + 0.02
+    barrier.wait()
+    for thread in threads:
+        thread.join()
+    result.duration_seconds = time.perf_counter() - start_box[0]
+
+    result.sent = counts["sent"]
+    result.late_sends = counts["late"]
+    result.failures = counts["failures"]
+    result.completed = counts["completed"]
+    for client in clients:
+        stats = client.client_stats()
+        result.client_service.merge(stats["service"])
+        result.client_backoff.merge(stats["backoff"])
+        result.retries += stats["retries"]
+    if options.attribute:
+        after = scrape(scraper.metrics_text())
+        result.attribution = diff_scrapes(before, after).to_dict()
+    return result

@@ -1,0 +1,222 @@
+"""Seeded ``SimJobSpec`` mixes for load generation.
+
+A :class:`SpecMix` turns a request index into a concrete job spec with
+one of three temperatures:
+
+``hot``
+    Every hot request repeats one fixed spec — the cache-hit and
+    in-flight-coalescing path.
+``cold-periodic``
+    Cycles through a small pool of distinct specs, so the first lap is
+    real simulation and every later lap is a warm cache hit — the
+    steady-state profile of a production sweep re-running popular
+    configurations.
+``cold``
+    Unique per request (a fresh batch size mints a fresh content
+    hash) — always a real simulation.
+
+Engine / design-set / optimizer distributions apply to the non-hot
+population, sampled from a seeded RNG so a mix is a pure function of
+its configuration: same seed, same request stream, byte for byte.
+
+Batch-number discipline keeps the temperatures honest: the hot spec and
+the periodic pool use reserved low batch numbers, cold specs count up
+from ``cold_batch_base`` — no accidental content-hash collisions can
+blur the hot/cold latency split.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.service.spec import SimJobSpec
+
+#: The cheapest full job (mirrors the server test fixture): ~tens of
+#: milliseconds cold, sub-millisecond from a warm cache.
+DEFAULT_BASE_SPEC: dict = {
+    "network": "MLP1",
+    "columns_per_stripe": 8,
+    "designs": ["Baseline", "GradPIM-BD"],
+}
+
+#: Request temperatures a mix can emit.
+KINDS = ("hot", "cold", "cold-periodic")
+
+
+def _pick(rng: random.Random, weights: Mapping) -> object:
+    """One seeded draw from a ``{choice: weight}`` mapping."""
+    choices = list(weights)
+    return rng.choices(
+        choices, weights=[weights[c] for c in choices]
+    )[0]
+
+
+@dataclass(frozen=True)
+class SpecMix:
+    """Deterministic request-stream recipe (see module docstring).
+
+    ``engines`` / ``optimizers`` / ``design_sets`` are weight maps
+    applied to the cold and cold-periodic population (hot requests pin
+    one spec so the cache path stays one content address). Design sets
+    are keyed by comma-joined design names; optimizers by registry
+    name (class-default hyperparameters).
+    """
+
+    base: Mapping = field(
+        default_factory=lambda: dict(DEFAULT_BASE_SPEC)
+    )
+    hot_fraction: float = 0.7
+    #: Fraction of the *non-hot* population that is cold-periodic.
+    periodic_fraction: float = 0.0
+    #: Distinct specs the cold-periodic stream cycles through.
+    periodic_pool: int = 8
+    engines: Optional[Mapping[str, float]] = None
+    optimizers: Optional[Mapping[str, float]] = None
+    design_sets: Optional[Mapping[str, float]] = None
+    seed: int = 0
+    hot_batch: int = 7
+    periodic_batch_base: int = 512
+    cold_batch_base: int = 2048
+    #: Shift applied to cold batch numbers. A sweep hands every rate a
+    #: disjoint offset block so its cold requests mint fresh content
+    #: hashes — without it, rate #2 would replay rate #1's cold specs
+    #: straight out of the server cache and the curve would silently
+    #: degenerate into pure cache traffic.
+    cold_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ConfigError(
+                f"hot_fraction must be in [0, 1], got {self.hot_fraction}"
+            )
+        if not 0.0 <= self.periodic_fraction <= 1.0:
+            raise ConfigError(
+                "periodic_fraction must be in [0, 1], got "
+                f"{self.periodic_fraction}"
+            )
+        if self.periodic_pool < 1:
+            raise ConfigError(
+                f"periodic_pool must be >= 1, got {self.periodic_pool}"
+            )
+        if not (
+            self.hot_batch
+            < self.periodic_batch_base
+            < self.cold_batch_base
+        ):
+            raise ConfigError(
+                "batch bases must satisfy hot < periodic < cold "
+                f"(got {self.hot_batch}, {self.periodic_batch_base}, "
+                f"{self.cold_batch_base})"
+            )
+        if (
+            self.cold_batch_base - self.periodic_batch_base
+            < self.periodic_pool
+        ):
+            raise ConfigError(
+                "periodic pool overruns the cold batch range"
+            )
+        if self.cold_offset < 0:
+            raise ConfigError(
+                f"cold_offset must be >= 0, got {self.cold_offset}"
+            )
+        # Validate the whole recipe eagerly: every spec a mix can mint
+        # must construct (bad engine names, unknown optimizers, or
+        # malformed design sets fail here, not mid-run).
+        self.hot_spec()
+        rng = random.Random(self.seed)
+        for j in range(self.periodic_pool):
+            self._cold_dict(
+                rng, self.periodic_batch_base + j
+            )
+
+    # ------------------------------------------------------------------
+    def hot_spec(self) -> dict:
+        """The one spec every hot request repeats."""
+        spec = dict(self.base)
+        spec["batch"] = self.hot_batch
+        SimJobSpec.from_dict(spec)  # validate
+        return spec
+
+    def _cold_dict(self, rng: random.Random, batch: int) -> dict:
+        spec = dict(self.base)
+        spec["batch"] = batch
+        if self.engines:
+            spec["engine"] = _pick(rng, self.engines)
+        if self.optimizers:
+            spec["optimizer"] = _pick(rng, self.optimizers)
+            # Registry defaults: the spec-level default hyperparameters
+            # belong to momentum_sgd only.
+            spec["optimizer_params"] = {}
+        if self.design_sets:
+            spec["designs"] = str(_pick(rng, self.design_sets)).split(
+                ","
+            )
+        SimJobSpec.from_dict(spec)  # validate
+        return spec
+
+    # ------------------------------------------------------------------
+    def generate(self, n: int) -> list[tuple[dict, str]]:
+        """``n`` request specs as ``(spec_dict, kind)`` pairs.
+
+        Deterministic in ``(mix config, n)``; a longer stream extends a
+        shorter one (the first ``k`` pairs agree for every ``k <= n``).
+        """
+        rng = random.Random(self.seed)
+        hot = self.hot_spec()
+        periodic = [
+            self._cold_dict(rng, self.periodic_batch_base + j)
+            for j in range(self.periodic_pool)
+        ]
+        out: list[tuple[dict, str]] = []
+        cold_index = 0
+        periodic_index = 0
+        for _ in range(n):
+            if rng.random() < self.hot_fraction:
+                out.append((dict(hot), "hot"))
+            elif rng.random() < self.periodic_fraction:
+                out.append(
+                    (
+                        dict(
+                            periodic[
+                                periodic_index % self.periodic_pool
+                            ]
+                        ),
+                        "cold-periodic",
+                    )
+                )
+                periodic_index += 1
+            else:
+                out.append(
+                    (
+                        self._cold_dict(
+                            rng,
+                            self.cold_batch_base
+                            + self.cold_offset
+                            + cold_index,
+                        ),
+                        "cold",
+                    )
+                )
+                cold_index += 1
+        return out
+
+    def describe(self) -> dict:
+        """JSON-safe summary stamped into reports."""
+        return {
+            "base": dict(self.base),
+            "hot_fraction": self.hot_fraction,
+            "periodic_fraction": self.periodic_fraction,
+            "periodic_pool": self.periodic_pool,
+            "engines": dict(self.engines) if self.engines else None,
+            "optimizers": (
+                dict(self.optimizers) if self.optimizers else None
+            ),
+            "design_sets": (
+                dict(self.design_sets) if self.design_sets else None
+            ),
+            "seed": self.seed,
+            "cold_offset": self.cold_offset,
+        }

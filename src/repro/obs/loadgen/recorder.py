@@ -1,0 +1,64 @@
+"""High-resolution latency recording for the load harness.
+
+:class:`LatencyRecorder` is a :class:`~repro.obs.metrics
+.StreamingHistogram` tuned for latency-discipline reporting rather
+than dashboard summaries: microsecond-to-kilosecond range at 40
+log-spaced buckets per decade (~6% bucket width — HDR-histogram-grade
+resolution at a few kilobytes of state), exact min/max/mean/stddev
+from the histogram's lossless accumulators, and a full percentile
+*spectrum* p50 → p99.99 instead of three dashboard quantiles. Being a
+``StreamingHistogram`` it inherits lossless bucket-wise merge (shards
+recorded by concurrent sender threads combine exactly) and the
+JSON-safe ``to_dict``/``from_dict`` serde the reports persist.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import StreamingHistogram
+
+#: The reported percentile spectrum (tail-heavy by design: latency
+#: discipline lives in the p99+ decades).
+SPECTRUM_QUANTILES = (0.50, 0.90, 0.95, 0.99, 0.999, 0.9999)
+
+
+def quantile_label(q: float) -> str:
+    """``0.999`` → ``"p99.9"`` (trailing zeros trimmed)."""
+    return f"p{q * 100:g}"
+
+
+class LatencyRecorder(StreamingHistogram):
+    """A streaming histogram specialized for latency spectra."""
+
+    def __init__(
+        self,
+        lo: float = 1e-6,
+        hi: float = 1000.0,
+        buckets_per_decade: int = 40,
+    ) -> None:
+        super().__init__(
+            lo=lo, hi=hi, buckets_per_decade=buckets_per_decade
+        )
+
+    def spectrum(self) -> dict:
+        """The full latency digest: spectrum + exact statistics.
+
+        Keys: ``count``, ``sum``, ``min``, ``max``, ``mean``,
+        ``stddev``, and one ``pXX`` entry per
+        :data:`SPECTRUM_QUANTILES`. All values in seconds; an empty
+        recorder reports the 0.0/``None`` no-data sentinels.
+        """
+        out = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "stddev": self.stddev,
+        }
+        for q in SPECTRUM_QUANTILES:
+            out[quantile_label(q)] = self.quantile(q)
+        return out
+
+    # ``to_dict``/``from_dict``/``merge`` are inherited: the snapshot
+    # carries the bucket layout, so a recorder round-trips and merges
+    # losslessly through the base-class serde.

@@ -1,0 +1,112 @@
+"""``LoadReport``: the serialized outcome of a latency study.
+
+One report captures a full rate sweep — every per-rate run (latency
+spectra, late-send accounting, per-stage attribution), the derived
+throughput-vs-latency curve, the detected saturation knee, an optional
+closed-loop comparison run, the spec-mix recipe, the seed, and the
+build info of the code that produced it. Reports round-trip through
+JSON and validate against the checked-in schema
+(``src/repro/obs/schemas/load_report.schema.json``), the same
+discipline the Chrome-trace exporter follows, so CI can assert a
+well-formed report without executing any harness code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.obs.build import build_info
+from repro.obs.trace import validate_json
+
+#: Bumped whenever the report layout changes.
+LOAD_REPORT_SCHEMA_VERSION = 1
+
+#: The checked-in JSON schema a report must satisfy.
+LOAD_REPORT_SCHEMA_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "schemas"
+    / "load_report.schema.json"
+)
+
+
+@dataclass
+class LoadReport:
+    """A latency study: runs, curve, knee, and provenance."""
+
+    seed: int
+    process: str
+    mix: dict
+    slo: dict
+    runs: list = field(default_factory=list)
+    curve: list = field(default_factory=list)
+    knee: Optional[dict] = None
+    closed_loop: Optional[dict] = None
+    build: dict = field(default_factory=build_info)
+    schema_version: int = LOAD_REPORT_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "seed": self.seed,
+            "process": self.process,
+            "mix": dict(self.mix),
+            "slo": dict(self.slo),
+            "runs": [dict(r) for r in self.runs],
+            "curve": [dict(p) for p in self.curve],
+            "knee": dict(self.knee) if self.knee else None,
+            "closed_loop": (
+                dict(self.closed_loop) if self.closed_loop else None
+            ),
+            "build": dict(self.build),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LoadReport":
+        version = data.get("schema_version")
+        if version != LOAD_REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported LoadReport schema version: {version!r}"
+            )
+        return cls(
+            seed=int(data["seed"]),
+            process=str(data["process"]),
+            mix=dict(data["mix"]),
+            slo=dict(data["slo"]),
+            runs=[dict(r) for r in data.get("runs", [])],
+            curve=[dict(p) for p in data.get("curve", [])],
+            knee=(
+                dict(data["knee"]) if data.get("knee") else None
+            ),
+            closed_loop=(
+                dict(data["closed_loop"])
+                if data.get("closed_loop")
+                else None
+            ),
+            build=dict(data.get("build", {})),
+            schema_version=int(version),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LoadReport":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path) -> Path:
+        out = Path(path)
+        out.write_text(self.to_json() + "\n")
+        return out
+
+
+def validate_load_report(data: Mapping) -> list[str]:
+    """Validate a report dict against the checked-in schema.
+
+    Returns human-readable problems (empty = valid), exactly like
+    :func:`repro.obs.trace.validate_chrome_trace`.
+    """
+    schema = json.loads(LOAD_REPORT_SCHEMA_PATH.read_text())
+    return validate_json(data, schema)

@@ -1,0 +1,203 @@
+"""Rate sweeps and saturation-knee detection.
+
+:func:`run_sweep` walks a list of arrival rates (same seed, same spec
+mix at every point, so the points differ *only* in offered load),
+builds the throughput-vs-latency curve, and finds the saturation knee:
+the first rate whose coordinated-omission-safe p99 exceeds the latency
+SLO, whose late-send fraction exceeds its bound, or that failed
+requests outright. Everything below the knee is the system's honest
+operating range; a single-rate benchmark number is meaningless without
+it — which is precisely why ``BENCH_server.json`` records the whole
+curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.obs.loadgen.generator import (
+    LoadgenOptions,
+    LoadRunResult,
+    run_load,
+)
+from repro.obs.loadgen.mix import SpecMix
+from repro.obs.loadgen.report import LoadReport
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """A rate sweep: which rates, how much per rate, and the SLO."""
+
+    rates: Sequence[float]
+    requests_per_rate: int = 200
+    process: str = "poisson"
+    seed: int = 0
+    workers: int = 32
+    wait_seconds: float = 30.0
+    timeout_seconds: float = 120.0
+    late_tolerance_seconds: float = 0.010
+    #: Latency SLO: p99 (intended-time discipline) must stay below.
+    slo_p99_seconds: float = 0.25
+    #: Generator-health bound: beyond this late-send fraction the
+    #: offered load is no longer the nominal rate.
+    max_late_fraction: float = 0.10
+    #: Give every rate a disjoint cold-batch block (see
+    #: ``SpecMix.cold_offset``) so cold requests stay cold at every
+    #: point instead of replaying the previous rate's cache entries.
+    distinct_cold_per_rate: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            raise ConfigError("a sweep needs at least one rate")
+        if any(r <= 0 for r in self.rates):
+            raise ConfigError(
+                f"rates must be positive, got {list(self.rates)}"
+            )
+        if list(self.rates) != sorted(self.rates):
+            raise ConfigError("rates must be sorted ascending")
+        if self.slo_p99_seconds <= 0:
+            raise ConfigError(
+                "slo_p99_seconds must be positive, got "
+                f"{self.slo_p99_seconds}"
+            )
+        if not 0 < self.max_late_fraction <= 1:
+            raise ConfigError(
+                "max_late_fraction must be in (0, 1], got "
+                f"{self.max_late_fraction}"
+            )
+
+
+def curve_point(result: LoadRunResult) -> dict:
+    """One throughput-vs-latency curve entry from a finished run."""
+    spectrum = result.latency.spectrum()
+    return {
+        "rate": float(result.options.rate or 0.0),
+        "throughput_rps": result.achieved_rps,
+        "p50": spectrum["p50"],
+        "p95": spectrum["p95"],
+        "p99": spectrum["p99"],
+        "p99.9": spectrum["p99.9"],
+        "late_fraction": result.late_fraction,
+        "failures": result.failures,
+    }
+
+
+def detect_knee(
+    curve: Sequence[dict],
+    slo_p99_seconds: float,
+    max_late_fraction: float,
+) -> Optional[dict]:
+    """The first curve point that violates the discipline, annotated.
+
+    Violations, in reporting priority: request failures, p99 over the
+    SLO, late-send fraction over its bound. Returns ``None`` when
+    every point is clean (the sweep never found saturation — widen
+    it). ``last_good_*`` name the highest rate that still met the
+    discipline: that is the number a capacity plan may quote.
+    """
+    last_good: Optional[dict] = None
+    for point in curve:
+        reason = None
+        if point["failures"] > 0:
+            reason = "failures"
+        elif point["p99"] > slo_p99_seconds:
+            reason = "p99-slo"
+        elif point["late_fraction"] > max_late_fraction:
+            reason = "late-sends"
+        if reason is not None:
+            return {
+                "rate": point["rate"],
+                "reason": reason,
+                "p99": point["p99"],
+                "late_fraction": point["late_fraction"],
+                "last_good_rate": (
+                    last_good["rate"] if last_good else None
+                ),
+                "last_good_throughput_rps": (
+                    last_good["throughput_rps"] if last_good else None
+                ),
+            }
+        last_good = point
+    return None
+
+
+def run_sweep(
+    url: str,
+    mix: SpecMix,
+    options: SweepOptions,
+    closed_loop: Optional[LoadRunResult] = None,
+) -> LoadReport:
+    """Walk the rates against ``url`` and assemble the report.
+
+    Every rate reuses the same seed and mix; pass ``closed_loop`` (a
+    finished comparison run) to record it side by side.
+    """
+    runs: list[LoadRunResult] = []
+    for index, rate in enumerate(options.rates):
+        rate_mix = mix
+        if options.distinct_cold_per_rate:
+            # Block 0 is left for any warmup / closed-loop run the
+            # caller fired with the unshifted mix.
+            rate_mix = replace(
+                mix,
+                cold_offset=mix.cold_offset
+                + (index + 1) * options.requests_per_rate,
+            )
+        runs.append(
+            run_load(
+                url,
+                rate_mix,
+                LoadgenOptions(
+                    process=options.process,
+                    rate=float(rate),
+                    requests=options.requests_per_rate,
+                    seed=options.seed,
+                    workers=options.workers,
+                    wait_seconds=options.wait_seconds,
+                    timeout_seconds=options.timeout_seconds,
+                    late_tolerance_seconds=(
+                        options.late_tolerance_seconds
+                    ),
+                ),
+            )
+        )
+    curve = [curve_point(result) for result in runs]
+    knee = detect_knee(
+        curve, options.slo_p99_seconds, options.max_late_fraction
+    )
+    return LoadReport(
+        seed=options.seed,
+        process=options.process,
+        mix=mix.describe(),
+        slo={
+            "p99_seconds": options.slo_p99_seconds,
+            "max_late_fraction": options.max_late_fraction,
+        },
+        runs=[result.to_dict() for result in runs],
+        curve=curve,
+        knee=knee,
+        closed_loop=(
+            closed_loop.to_dict() if closed_loop is not None else None
+        ),
+    )
+
+
+def geometric_rates(
+    base: float, factors: Sequence[float]
+) -> list[float]:
+    """``base`` scaled by each factor (the usual sweep construction:
+    factors straddle 1.0 around a measured closed-loop capacity)."""
+    if base <= 0:
+        raise ConfigError(f"base rate must be positive, got {base}")
+    return [base * f for f in factors]
+
+
+__all__ = [
+    "SweepOptions",
+    "curve_point",
+    "detect_knee",
+    "geometric_rates",
+    "run_sweep",
+]

@@ -29,13 +29,21 @@ from __future__ import annotations
 import math
 import threading
 from bisect import bisect_right
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Optional
 
 #: Quantiles every histogram reports on ``/metrics``.
 SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
 
 #: Version stamp on registry snapshots, bumped on layout changes.
-SNAPSHOT_VERSION = 1
+#: Version 2 added the exact sum-of-squares to histogram state.
+SNAPSHOT_VERSION = 2
+
+#: Snapshot versions :meth:`MetricsRegistry.merge_snapshot` accepts.
+#: Version-1 snapshots (pre sum-of-squares) merge losslessly for every
+#: pre-existing field; their missing ``sum_sq`` folds in as 0.0, so a
+#: merged variance can undercount but counts/buckets/quantiles stay
+#: exact.
+ACCEPTED_SNAPSHOT_VERSIONS = frozenset({1, 2})
 
 
 class StreamingHistogram:
@@ -74,6 +82,7 @@ class StreamingHistogram:
         self._lock = threading.Lock()
         self.count = 0
         self.sum = 0.0
+        self.sum_sq = 0.0
         self._min = math.inf
         self._max = -math.inf
 
@@ -89,8 +98,37 @@ class StreamingHistogram:
             self._counts[index] += 1
             self.count += 1
             self.sum += seconds
+            self.sum_sq += seconds * seconds
             self._min = min(self._min, seconds)
             self._max = max(self._max, seconds)
+
+    # -- exact observed statistics -------------------------------------
+    # Bucket counts quantize, but these never do: min/max/mean/stddev
+    # come from exact accumulators, so a knee detector comparing a p99
+    # against an SLO can trust the true observed extreme rather than a
+    # bucket's upper bound.
+    @property
+    def min(self) -> Optional[float]:
+        """Exact observed minimum (``None`` while empty)."""
+        return self._min if self.count else None
+
+    @property
+    def max(self) -> Optional[float]:
+        """Exact observed maximum (``None`` while empty)."""
+        return self._max if self.count else None
+
+    @property
+    def mean(self) -> float:
+        """Exact observed mean (0.0 while empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation from the exact accumulators."""
+        if not self.count:
+            return 0.0
+        variance = self.sum_sq / self.count - self.mean**2
+        return math.sqrt(max(0.0, variance))
 
     def quantile(self, q: float) -> float:
         """The ``q``-quantile (0..1) of everything recorded.
@@ -136,8 +174,14 @@ class StreamingHistogram:
         return (lower, self._edges[index - 1])
 
     def snapshot(self) -> dict:
-        """Count, sum, and the standard summary quantiles."""
-        out = {"count": self.count, "sum": self.sum}
+        """Count, sum, exact min/max/mean, and the summary quantiles."""
+        out = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
         for q in SUMMARY_QUANTILES:
             out[f"p{int(q * 100)}"] = self.quantile(q)
         return out
@@ -152,6 +196,7 @@ class StreamingHistogram:
                 "counts": list(self._counts),
                 "count": self.count,
                 "sum": self.sum,
+                "sum_sq": self.sum_sq,
                 "min": self._min if self.count else None,
                 "max": self._max if self.count else None,
             }
@@ -175,6 +220,9 @@ class StreamingHistogram:
         hist._counts = [int(c) for c in counts]
         hist.count = int(data["count"])
         hist.sum = float(data["sum"])
+        # Absent in version-1 snapshots: 0.0 keeps the merge arithmetic
+        # total (variance undercounts; everything else stays exact).
+        hist.sum_sq = float(data.get("sum_sq", 0.0))
         if data.get("min") is not None:
             hist._min = float(data["min"])
         if data.get("max") is not None:
@@ -199,12 +247,14 @@ class StreamingHistogram:
         with other._lock:
             counts = list(other._counts)
             count, total = other.count, other.sum
+            total_sq = other.sum_sq
             omin, omax = other._min, other._max
         with self._lock:
             for i, c in enumerate(counts):
                 self._counts[i] += c
             self.count += count
             self.sum += total
+            self.sum_sq += total_sq
             self._min = min(self._min, omin)
             self._max = max(self._max, omax)
 
@@ -234,7 +284,7 @@ class MetricsRegistry:
         self.namespace = namespace
         self._lock = threading.Lock()
         self._counters: dict[tuple[str, str], float] = {}
-        self._gauges: dict[str, Callable[[], float]] = {}
+        self._gauges: dict[tuple[str, str], Callable[[], float]] = {}
         self._histograms: dict[tuple[str, str], StreamingHistogram] = {}
         self._histogram_labels: dict[
             tuple[str, str], Mapping[str, str]
@@ -259,9 +309,19 @@ class MetricsRegistry:
                 (name, _label_text(labels or {})), 0
             )
 
-    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+    def gauge(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        """Register a gauge callback, optionally labelled.
+
+        Labels support info-style families (``build_info{version=...,
+        python=...} 1``) alongside the plain instantaneous gauges.
+        """
         with self._lock:
-            self._gauges[name] = fn
+            self._gauges[(name, _label_text(labels or {}))] = fn
 
     def observe(
         self,
@@ -344,7 +404,7 @@ class MetricsRegistry:
         Counters add; histograms merge bucket-wise (a histogram family
         not yet present here is adopted wholesale).
         """
-        if snap.get("version") != SNAPSHOT_VERSION:
+        if snap.get("version") not in ACCEPTED_SNAPSHOT_VERSIONS:
             raise ValueError(
                 f"unsupported metrics snapshot version: "
                 f"{snap.get('version')!r}"
@@ -382,13 +442,16 @@ class MetricsRegistry:
             for (n, labels), value in sorted(counters.items()):
                 if n == name:
                     lines.append(f"{ns}_{name}{labels} {_num(value)}")
-        for name in sorted(gauges):
+        for name in sorted({n for n, _ in gauges}):
             lines.append(f"# TYPE {ns}_{name} gauge")
-            try:
-                value = gauges[name]()
-            except Exception:
-                value = float("nan")
-            lines.append(f"{ns}_{name} {_num(value)}")
+            for (n, labels), fn in sorted(gauges.items()):
+                if n != name:
+                    continue
+                try:
+                    value = fn()
+                except Exception:
+                    value = float("nan")
+                lines.append(f"{ns}_{name}{labels} {_num(value)}")
         for name in sorted({n for n, _ in histograms}):
             lines.append(f"# TYPE {ns}_{name} summary")
             for (n, labels), hist in sorted(histograms.items()):
@@ -408,6 +471,19 @@ class MetricsRegistry:
                 )
                 lines.append(
                     f"{ns}_{name}_sum{labels} {_num(hist.sum)}"
+                )
+                # Exact observed extremes and mean: bucket resolution
+                # bounds the quantiles, but these never lie.
+                lines.append(
+                    f"{ns}_{name}_min{labels} "
+                    f"{_num(hist.min if hist.min is not None else 0.0)}"
+                )
+                lines.append(
+                    f"{ns}_{name}_max{labels} "
+                    f"{_num(hist.max if hist.max is not None else 0.0)}"
+                )
+                lines.append(
+                    f"{ns}_{name}_mean{labels} {_num(hist.mean)}"
                 )
         return "\n".join(lines) + "\n"
 

@@ -27,6 +27,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro import faults
 from repro.errors import ConfigError
+from repro.obs.build import build_info
 from repro.obs.log import configure_json_logging
 from repro.obs.metrics import default_registry
 from repro.server.config import ServerConfig
@@ -78,6 +79,9 @@ class ReproServer(ThreadingHTTPServer):
         self.metrics.gauge(
             "uptime_seconds", lambda: time.monotonic() - self.started_at
         )
+        # Info-style gauge: constant 1.0, provenance in the labels —
+        # the standard way to ship build metadata through Prometheus.
+        self.metrics.gauge("build_info", lambda: 1.0, labels=build_info())
         for name in (
             "hits", "misses", "disk_hits", "entries", "checksum_failures"
         ):

@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import json
 import random
+import threading
 import time
 import urllib.error
 import urllib.request
 from email.utils import parsedate_to_datetime
 from typing import Mapping, Optional, Sequence, Union
 
+from repro.obs.metrics import StreamingHistogram
 from repro.server.jobs import TERMINAL_STATES
 from repro.server.metrics import parse_prometheus
 from repro.service.spec import SimJobSpec
@@ -112,6 +114,16 @@ class ServerClient:
         self.retry_after_cap = retry_after_cap
         self.retry_jitter = retry_jitter
         self._rng = rng if rng is not None else random.Random()
+        # Client-side accounting: HTTP round-trip time (service) is
+        # recorded separately from Retry-After backoff sleeps, so a
+        # latency report can say how much of a submit's wall time the
+        # server actually worked versus how long the client sat out
+        # backpressure. One lock guards both histograms — clients are
+        # cheap enough that load harnesses give each thread its own.
+        self._stats_lock = threading.Lock()
+        self._service_hist = StreamingHistogram()
+        self._backoff_hist = StreamingHistogram()
+        self._retries = 0
 
     def _retry_sleep(self, base: float) -> float:
         """Jittered, capped seconds to sleep before a retry."""
@@ -140,6 +152,7 @@ class ServerClient:
             method=method,
             headers={"Content-Type": "application/json"} if data else {},
         )
+        started = time.perf_counter()
         try:
             with urllib.request.urlopen(
                 request, timeout=self.timeout
@@ -155,6 +168,10 @@ class ServerClient:
                 dict(exc.headers),
                 exc.read().decode("utf-8", errors="replace"),
             )
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._stats_lock:
+                self._service_hist.record(elapsed)
 
     def _json(self, method: str, path: str, body: Optional[dict] = None):
         status, _, text = self._request(method, path, body)
@@ -212,6 +229,9 @@ class ServerClient:
                     retry_after = self._retry_sleep(
                         parse_retry_after(headers.get("Retry-After"))
                     )
+                    with self._stats_lock:
+                        self._retries += 1
+                        self._backoff_hist.record(retry_after)
                     time.sleep(retry_after)
                     continue
             raise ServerError(
@@ -268,11 +288,54 @@ class ServerClient:
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
+    def client_stats(self) -> dict:
+        """This client's own accounting, by wall-time category.
+
+        Returns ``{"service": StreamingHistogram, "backoff":
+        StreamingHistogram, "retries": int}``. *Service* is HTTP
+        round-trip time (one sample per request, including requests
+        the server answered with an error status); *backoff* is the
+        Retry-After sleeps taken under 503 backpressure. Keeping the
+        two apart is what lets :meth:`client_latency_summary` — and
+        the load-generation harness — report honest service latency
+        instead of folding the client's own waiting into it.
+
+        The histograms are live references: snapshot or merge them
+        before issuing more requests if a frozen view is needed.
+        """
+        with self._stats_lock:
+            return {
+                "service": self._service_hist,
+                "backoff": self._backoff_hist,
+                "retries": self._retries,
+            }
+
+    def client_latency_summary(self) -> dict:
+        """Client-observed latency split: service vs retry backoff.
+
+        Unlike :meth:`latency_summary` (the *server's* per-endpoint
+        digest scraped from ``/metrics``), this summarizes what this
+        client measured itself: ``{"service": snapshot, "backoff":
+        snapshot, "retries": n}`` where each snapshot carries count /
+        sum / min / max / mean / p50 / p95 / p99. A submit that spent
+        1.2 s sleeping out backpressure and 30 ms being served shows
+        up here as 30 ms of service — the 1.2 s is in ``backoff``
+        where it belongs.
+        """
+        with self._stats_lock:
+            return {
+                "service": self._service_hist.snapshot(),
+                "backoff": self._backoff_hist.snapshot(),
+                "retries": self._retries,
+            }
+
     def latency_summary(self) -> dict[str, dict[str, float]]:
         """Per-endpoint request-latency digest from ``/metrics``.
 
         Returns ``{endpoint: {"p50": s, "p95": s, "p99": s,
-        "count": n, "sum": s}}``.
+        "count": n, "sum": s}}``. This is the *server's* view of
+        request service time; the client's own connect/retry overhead
+        is deliberately absent (see :meth:`client_latency_summary`).
         """
         metrics = parse_prometheus(self.metrics_text())
         out: dict[str, dict[str, float]] = {}

@@ -1,0 +1,360 @@
+"""Unit tests for the load-generation harness (no live server).
+
+Covers the deterministic pieces: arrival schedules, spec mixes, the
+latency recorder's percentile spectrum, /metrics diff attribution,
+knee detection, and LoadReport serde + schema validation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.loadgen import (
+    LatencyRecorder,
+    LoadReport,
+    LoadgenOptions,
+    SpecMix,
+    SweepOptions,
+    arrival_offsets,
+    detect_knee,
+    diff_scrapes,
+    geometric_rates,
+    quantile_label,
+    scrape,
+    validate_load_report,
+)
+from repro.service.spec import SimJobSpec
+
+
+# ---------------------------------------------------------------------
+# Arrival schedules
+# ---------------------------------------------------------------------
+class TestArrival:
+    def test_poisson_is_seeded_and_monotonic(self):
+        a = arrival_offsets("poisson", 100.0, 50, seed=3)
+        b = arrival_offsets("poisson", 100.0, 50, seed=3)
+        c = arrival_offsets("poisson", 100.0, 50, seed=4)
+        assert a == b
+        assert a != c
+        assert a == sorted(a)
+        assert all(offset >= 0 for offset in a)
+
+    def test_poisson_mean_gap_tracks_rate(self):
+        offsets = arrival_offsets("poisson", 200.0, 4000, seed=0)
+        mean_gap = offsets[-1] / (len(offsets) - 1)
+        assert mean_gap == pytest.approx(1 / 200.0, rel=0.1)
+
+    def test_uniform_is_exact(self):
+        assert arrival_offsets("uniform", 10.0, 4, seed=9) == [
+            0.0,
+            0.1,
+            0.2,
+            pytest.approx(0.3),
+        ]
+
+    def test_closed_without_rate_is_all_zero(self):
+        assert arrival_offsets("closed", None, 3, seed=0) == [0, 0, 0]
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(ConfigError):
+            arrival_offsets("bursty", 10.0, 5)
+        with pytest.raises(ConfigError):
+            arrival_offsets("poisson", None, 5)
+        with pytest.raises(ConfigError):
+            arrival_offsets("poisson", -1.0, 5)
+
+
+# ---------------------------------------------------------------------
+# Spec mixes
+# ---------------------------------------------------------------------
+class TestSpecMix:
+    def test_stream_is_deterministic_and_prefix_stable(self):
+        mix = SpecMix(seed=5)
+        long = mix.generate(60)
+        short = mix.generate(20)
+        assert long[:20] == short
+        assert long == SpecMix(seed=5).generate(60)
+
+    def test_every_spec_validates(self):
+        mix = SpecMix(
+            seed=2,
+            hot_fraction=0.4,
+            periodic_fraction=0.5,
+            optimizers={"adam": 1.0, "sgd": 1.0},
+            engines={"incremental": 1.0, "periodic": 1.0},
+        )
+        for spec, kind in mix.generate(40):
+            SimJobSpec.from_dict(spec)
+            assert kind in ("hot", "cold", "cold-periodic")
+
+    def test_hot_requests_share_one_content_identity(self):
+        mix = SpecMix(seed=1, hot_fraction=0.5)
+        stream = mix.generate(80)
+        hot = [s for s, kind in stream if kind == "hot"]
+        cold = [s for s, kind in stream if kind == "cold"]
+        assert len({json.dumps(s, sort_keys=True) for s in hot}) == 1
+        # Cold specs are pairwise distinct and never collide with hot.
+        blobs = {json.dumps(s, sort_keys=True) for s in cold}
+        assert len(blobs) == len(cold)
+        assert json.dumps(hot[0], sort_keys=True) not in blobs
+
+    def test_cold_offset_shifts_cold_only(self):
+        base = SpecMix(seed=3, hot_fraction=0.5)
+        shifted = SpecMix(seed=3, hot_fraction=0.5, cold_offset=1000)
+        for (a, ka), (b, kb) in zip(
+            base.generate(40), shifted.generate(40)
+        ):
+            assert ka == kb
+            if ka == "cold":
+                assert b["batch"] == a["batch"] + 1000
+            else:
+                assert a == b
+
+    def test_periodic_pool_cycles(self):
+        mix = SpecMix(
+            seed=0,
+            hot_fraction=0.0,
+            periodic_fraction=1.0,
+            periodic_pool=3,
+        )
+        stream = mix.generate(9)
+        assert all(kind == "cold-periodic" for _, kind in stream)
+        batches = [spec["batch"] for spec, _ in stream]
+        assert batches == batches[:3] * 3
+
+    def test_bad_recipes_fail_eagerly(self):
+        with pytest.raises(ConfigError):
+            SpecMix(hot_fraction=1.5)
+        with pytest.raises(ConfigError):
+            SpecMix(hot_batch=600)  # violates hot < periodic < cold
+        with pytest.raises(ConfigError):
+            SpecMix(cold_offset=-1)
+        with pytest.raises(Exception):
+            SpecMix(optimizers={"definitely-not-real": 1.0})
+
+
+# ---------------------------------------------------------------------
+# Recorder
+# ---------------------------------------------------------------------
+class TestLatencyRecorder:
+    def test_spectrum_labels(self):
+        assert quantile_label(0.5) == "p50"
+        assert quantile_label(0.999) == "p99.9"
+        assert quantile_label(0.9999) == "p99.99"
+
+    def test_spectrum_is_monotone_and_exact_at_edges(self):
+        recorder = LatencyRecorder()
+        values = [0.001 * (i + 1) for i in range(1000)]
+        for v in values:
+            recorder.record(v)
+        spectrum = recorder.spectrum()
+        assert spectrum["count"] == 1000
+        assert spectrum["min"] == 0.001
+        assert spectrum["max"] == 1.0
+        assert spectrum["mean"] == pytest.approx(0.5005)
+        quantiles = [
+            spectrum[k]
+            for k in ("p50", "p90", "p95", "p99", "p99.9", "p99.99")
+        ]
+        assert quantiles == sorted(quantiles)
+        assert spectrum["p50"] == pytest.approx(0.5, rel=0.1)
+
+    def test_round_trip_preserves_type_and_spectrum(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.02)
+        clone = LatencyRecorder.from_dict(recorder.to_dict())
+        assert isinstance(clone, LatencyRecorder)
+        assert clone.spectrum() == recorder.spectrum()
+
+
+# ---------------------------------------------------------------------
+# Attribution
+# ---------------------------------------------------------------------
+def _exposition(count, total, cache_hits, queued, executions):
+    return "\n".join(
+        [
+            f"repro_server_queue_wait_seconds_count {count}",
+            f"repro_server_queue_wait_seconds_sum {total / 2}",
+            f"repro_server_execute_seconds_count {count}",
+            f"repro_server_execute_seconds_sum {total}",
+            f"repro_server_cache_hits_total {cache_hits}",
+            f"repro_server_queued_total {queued}",
+            f"repro_server_executions_total {executions}",
+            "repro_server_engine_lock_attempts_total 5",
+            "",
+        ]
+    )
+
+
+class TestAttribution:
+    def test_diff_is_the_delta_not_the_level(self):
+        before = scrape(_exposition(10, 1.0, 90, 10, 10))
+        after = scrape(_exposition(14, 3.0, 96, 14, 14))
+        attribution = diff_scrapes(before, after)
+        assert attribution.stages["execute"]["count"] == 4
+        assert attribution.stages["execute"]["sum_seconds"] == (
+            pytest.approx(2.0)
+        )
+        assert attribution.counters["cache_hits"] == 6
+        assert attribution.counters["queued"] == 4
+        # Engine family unchanged -> not reported.
+        assert attribution.engine == {}
+
+    def test_per_request_decomposition(self):
+        before = scrape(_exposition(0, 0.0, 0, 0, 0))
+        after = scrape(_exposition(5, 2.0, 15, 5, 5))
+        per = diff_scrapes(before, after).per_request()
+        assert per["jobs"] == 20
+        assert per["cache_path_fraction"] == pytest.approx(0.75)
+        assert per["execute_seconds"] == pytest.approx(2.0 / 20)
+        assert per["queue_fraction"] + per["execute_fraction"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_missing_families_attribute_to_zero(self):
+        empty = diff_scrapes(scrape(""), scrape(""))
+        assert empty.stages["queue"]["sum_seconds"] == 0.0
+        assert empty.per_request()["jobs"] == 0
+
+
+# ---------------------------------------------------------------------
+# Sweep / knee
+# ---------------------------------------------------------------------
+def _point(rate, p99=0.01, late=0.0, failures=0):
+    return {
+        "rate": rate,
+        "throughput_rps": rate * 0.95,
+        "p50": p99 / 2,
+        "p95": p99 * 0.9,
+        "p99": p99,
+        "p99.9": p99 * 1.1,
+        "late_fraction": late,
+        "failures": failures,
+    }
+
+
+class TestKnee:
+    def test_clean_curve_has_no_knee(self):
+        curve = [_point(r) for r in (10, 20, 40)]
+        assert detect_knee(curve, 0.25, 0.1) is None
+
+    def test_p99_violation_names_last_good_rate(self):
+        curve = [_point(10), _point(20), _point(40, p99=0.4)]
+        knee = detect_knee(curve, 0.25, 0.1)
+        assert knee["rate"] == 40
+        assert knee["reason"] == "p99-slo"
+        assert knee["last_good_rate"] == 20
+
+    def test_failures_trump_latency(self):
+        curve = [_point(10, p99=0.4, failures=2)]
+        knee = detect_knee(curve, 0.25, 0.1)
+        assert knee["reason"] == "failures"
+        assert knee["last_good_rate"] is None
+
+    def test_late_sends_are_a_saturation_signal(self):
+        curve = [_point(10), _point(20, late=0.5)]
+        assert detect_knee(curve, 0.25, 0.1)["reason"] == "late-sends"
+
+    def test_sweep_options_validate(self):
+        with pytest.raises(ConfigError):
+            SweepOptions(rates=[])
+        with pytest.raises(ConfigError):
+            SweepOptions(rates=[40, 20])  # not ascending
+        with pytest.raises(ConfigError):
+            SweepOptions(rates=[10], max_late_fraction=0.0)
+        assert geometric_rates(100.0, [0.5, 1.0, 2.0]) == [
+            50.0,
+            100.0,
+            200.0,
+        ]
+        with pytest.raises(ConfigError):
+            geometric_rates(0.0, [1.0])
+
+
+class TestLoadgenOptions:
+    def test_open_loop_needs_a_rate(self):
+        with pytest.raises(ConfigError):
+            LoadgenOptions(process="poisson", rate=None)
+        LoadgenOptions(process="closed", rate=None)  # fine
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ConfigError):
+            LoadgenOptions(requests=0)
+        with pytest.raises(ConfigError):
+            LoadgenOptions(workers=0)
+        with pytest.raises(ConfigError):
+            LoadgenOptions(late_tolerance_seconds=0.0)
+
+
+# ---------------------------------------------------------------------
+# LoadReport serde + schema
+# ---------------------------------------------------------------------
+def _minimal_run(rate):
+    recorder = LatencyRecorder()
+    recorder.record(0.01)
+    spectrum = recorder.spectrum()
+    return {
+        "process": "poisson",
+        "target_rate": rate,
+        "requests": 1,
+        "seed": 0,
+        "workers": 1,
+        "duration_seconds": 0.5,
+        "sent": 1,
+        "completed": 1,
+        "failures": 0,
+        "late_sends": 0,
+        "late_fraction": 0.0,
+        "retries": 0,
+        "achieved_rps": 2.0,
+        "latency": spectrum,
+        "service_latency": spectrum,
+        "per_kind": {},
+        "client": {},
+        "attribution": None,
+    }
+
+
+class TestLoadReport:
+    def _report(self):
+        return LoadReport(
+            seed=0,
+            process="poisson",
+            mix=SpecMix().describe(),
+            slo={"p99_seconds": 0.25, "max_late_fraction": 0.1},
+            runs=[_minimal_run(10.0)],
+            curve=[_point(10.0)],
+            knee=None,
+            closed_loop=None,
+        )
+
+    def test_round_trip(self):
+        report = self._report()
+        clone = LoadReport.from_json(report.to_json())
+        assert clone.to_dict() == report.to_dict()
+
+    def test_validates_against_checked_in_schema(self):
+        assert validate_load_report(self._report().to_dict()) == []
+
+    def test_schema_rejects_mutations(self):
+        data = self._report().to_dict()
+        del data["curve"]
+        assert validate_load_report(data)
+        data = self._report().to_dict()
+        data["knee"] = {"rate": 1.0, "reason": "vibes"}
+        assert validate_load_report(data)
+
+    def test_version_gate(self):
+        data = self._report().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError):
+            LoadReport.from_dict(data)
+
+    def test_build_stamp_present(self):
+        build = self._report().to_dict()["build"]
+        assert build["version"]
+        assert build["python"]
+        assert build["load_report_schema"] == "1"

@@ -64,6 +64,47 @@ def test_histogram_merge_rejects_layout_mismatch():
         a.merge(b)
 
 
+def test_merge_folds_exact_accumulators():
+    """min/max/mean/stddev stay exact across a merge — the merged
+    histogram agrees with one that saw the whole stream."""
+    rng = random.Random(11)
+    values = [rng.lognormvariate(-2, 1) for _ in range(400)]
+    reference = StreamingHistogram()
+    for v in values:
+        reference.record(v)
+    left, right = StreamingHistogram(), StreamingHistogram()
+    for i, v in enumerate(values):
+        (left if i % 2 else right).record(v)
+    left.merge(right)
+    assert left.min == reference.min
+    assert left.max == reference.max
+    assert left.mean == pytest.approx(reference.mean)
+    assert left.stddev == pytest.approx(reference.stddev)
+
+
+def test_version1_snapshot_still_accepted():
+    """A snapshot from before the sum_sq accumulator (version 1) must
+    still merge: counts/quantiles exact, variance merely undercounted
+    for the legacy share."""
+    hist = StreamingHistogram()
+    for v in (0.01, 0.1, 1.0):
+        hist.record(v)
+    legacy = hist.to_dict()
+    legacy.pop("sum_sq")  # exactly what a v1 writer produced
+    clone = StreamingHistogram.from_dict(legacy)
+    assert clone.count == hist.count
+    assert clone.min == hist.min
+    assert clone.max == hist.max
+    assert clone.quantile(0.5) == hist.quantile(0.5)
+    assert clone.sum_sq == 0.0
+
+    reg = MetricsRegistry("repro")
+    snap = _populated_registry().snapshot()
+    snap["version"] = 1
+    reg.merge_snapshot(snap)  # accepted, not raised
+    assert reg.counter_value("jobs_total", {"status": "ok"}) == 3
+
+
 # ---------------------------------------------------------------------
 # Registry snapshot / merge
 # ---------------------------------------------------------------------

@@ -1,0 +1,170 @@
+"""The load-generation harness against a live gateway.
+
+The headline test here is coordinated-omission correctness: with the
+``dispatcher.stall`` fault site armed, a paced closed-loop run's
+naive (send-time) latencies stay flat while the intended-time
+latencies grow with every request queued behind the stall — and the
+harness must report the intended-time discipline as its headline
+number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.loadgen import (
+    LoadgenOptions,
+    SpecMix,
+    SweepOptions,
+    run_load,
+    run_sweep,
+    validate_load_report,
+)
+
+
+def _quick_mix(**overrides) -> SpecMix:
+    return SpecMix(**{"seed": 1, "hot_fraction": 0.6, **overrides})
+
+
+class TestOpenLoopSmoke:
+    def test_run_records_everything(self, live_server):
+        server, _ = live_server()
+        result = run_load(
+            server.url,
+            _quick_mix(),
+            LoadgenOptions(
+                process="poisson", rate=150.0, requests=25, workers=8
+            ),
+        )
+        assert result.sent == 25
+        assert result.completed == 25
+        assert result.failures == 0
+        assert result.latency.count == 25
+        assert result.service_latency.count == 25
+        # The hot share repeats one spec: the server must have served
+        # part of the run from cache or coalescing.
+        counters = result.attribution["counters"]
+        assert counters["requests"] >= 25
+        assert counters["cache_hits"] + counters["coalesced"] > 0
+        assert counters["executions"] > 0
+        per = result.attribution["per_request"]
+        assert 0.0 < per["cache_path_fraction"] < 1.0
+        spectrum = result.latency.spectrum()
+        assert spectrum["min"] > 0
+        assert spectrum["p50"] <= spectrum["p99"] <= spectrum["max"]
+
+    def test_pure_closed_loop_equates_disciplines(self, live_server):
+        server, _ = live_server()
+        result = run_load(
+            server.url,
+            _quick_mix(),
+            LoadgenOptions(
+                process="closed", rate=None, requests=10, workers=2
+            ),
+        )
+        assert result.completed == 10
+        # No schedule -> intended time degenerates to send time and
+        # the two recorders agree exactly.
+        assert (
+            result.latency.spectrum()
+            == result.service_latency.spectrum()
+        )
+        assert result.late_sends == 0
+
+    def test_sweep_emits_a_valid_report(self, live_server):
+        server, _ = live_server()
+        mix = _quick_mix()
+        report = run_sweep(
+            server.url,
+            mix,
+            SweepOptions(
+                rates=[80.0, 160.0],
+                requests_per_rate=12,
+                workers=6,
+                seed=3,
+            ),
+        )
+        assert validate_load_report(report.to_dict()) == []
+        assert len(report.curve) == 2
+        assert [run["target_rate"] for run in report.runs] == [
+            80.0,
+            160.0,
+        ]
+        # Each rate got a disjoint cold-batch block.
+        offsets = [run["mix"]["cold_offset"] for run in report.runs]
+        assert len(set(offsets)) == 2
+        for run in report.runs:
+            assert run["failures"] == 0
+            assert run["attribution"]["counters"]["executions"] > 0
+
+
+class TestCoordinatedOmission:
+    """A stalled server must not be able to hide behind a slow client.
+
+    ``dispatcher.stall`` delays every execution by ``STALL`` seconds.
+    A single paced closed-loop sender then falls ever further behind
+    its schedule: the naive send-time latency of each request stays
+    ~``STALL`` (flat — the classic coordinated-omission blind spot),
+    while the intended-time latency grows by ~``STALL - spacing``
+    per request.
+    """
+
+    STALL = 0.12
+    RATE = 25.0  # 40 ms spacing, ~3x faster than the stalled service
+    REQUESTS = 10
+
+    def _stalled_run(self, live_server):
+        server, _ = live_server(
+            faults=f"seed=1;dispatcher.stall:rate=1,delay_ms="
+            f"{int(self.STALL * 1000)}",
+        )
+        # All-cold mix: every request is a real (stalled) execution.
+        return run_load(
+            server.url,
+            _quick_mix(hot_fraction=0.0),
+            LoadgenOptions(
+                process="closed",
+                rate=self.RATE,
+                requests=self.REQUESTS,
+                workers=1,
+            ),
+        )
+
+    def test_intended_time_latency_exposes_the_stall(
+        self, live_server
+    ):
+        result = self._stalled_run(live_server)
+        assert result.completed == self.REQUESTS
+        naive = result.service_latency.spectrum()
+        corrected = result.latency.spectrum()
+
+        # Naive latency is flat around one stall; the corrected
+        # discipline accumulates the backlog.
+        assert naive["max"] < corrected["max"] / 2
+        assert corrected["mean"] > naive["mean"] * 1.5
+        # Linear growth: the last request waited roughly
+        # (n-1) * (STALL - spacing) behind its intended time, far
+        # beyond any single service time.
+        backlog = (self.REQUESTS - 1) * (
+            self.STALL - 1.0 / self.RATE
+        )
+        assert corrected["max"] > 0.5 * backlog + naive["p50"]
+
+        # The sender could not keep its schedule — and said so.
+        assert result.late_fraction > 0.5
+
+    def test_harness_reports_the_corrected_discipline(
+        self, live_server
+    ):
+        result = self._stalled_run(live_server)
+        run_entry = result.to_dict()
+        # The headline "latency" field IS the intended-time spectrum;
+        # the naive one is explicitly labelled service_latency.
+        assert run_entry["latency"] == result.latency.spectrum()
+        assert (
+            run_entry["service_latency"]
+            == result.service_latency.spectrum()
+        )
+        assert run_entry["latency"]["max"] > (
+            run_entry["service_latency"]["max"]
+        )

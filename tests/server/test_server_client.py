@@ -1,7 +1,10 @@
 """The urllib client: retries, error surfacing, telemetry digestion."""
 
+import json
+import random
 import threading
 from email.utils import formatdate
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import pytest
 
@@ -164,3 +167,107 @@ class TestTelemetryDigest:
         assert health["count"] == 3
         assert health["sum"] > 0
         assert set(health) >= {"p50", "p95", "p99", "count", "sum"}
+
+
+class _FlakySubmitHandler(BaseHTTPRequestHandler):
+    """Stub gateway: the first ``server.inject_503`` POSTs get a 503
+    with Retry-After, then every submit succeeds instantly."""
+
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length", 0))
+        body = json.loads(self.rfile.read(length) or b"{}")
+        if self.server.inject_503 > 0:
+            self.server.inject_503 -= 1
+            payload = json.dumps(
+                {"error": "queue full", "accepted": 0, "jobs": []}
+            ).encode()
+            self.send_response(503)
+            self.send_header("Retry-After", "0.1")
+        else:
+            payload = json.dumps(
+                {
+                    "jobs": [
+                        {"id": f"job-{i}", "status": "done"}
+                        for i, _ in enumerate(body.get("jobs", []))
+                    ]
+                }
+            ).encode()
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, *_):
+        pass
+
+
+@pytest.fixture()
+def flaky_gateway():
+    server = ThreadingHTTPServer(
+        ("127.0.0.1", 0), _FlakySubmitHandler
+    )
+    server.inject_503 = 0
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+
+
+class TestClientStats:
+    """Regression: the client's latency accounting must keep retry
+    backoff out of service time. The seed's summary folded Retry-After
+    sleeps into one number, so a submit that slept out two 503s looked
+    like a 200 ms request against a server that served it in 2 ms."""
+
+    def test_backoff_is_not_service_time(self, flaky_gateway):
+        stub, url = flaky_gateway
+        stub.inject_503 = 2
+        client = ServerClient(
+            url,
+            max_retries=5,
+            retry_jitter=0.0,
+            rng=random.Random(0),
+        )
+        [envelope] = client.submit(cheap_spec(batch=16))
+        assert envelope["status"] == "done"
+
+        stats = client.client_stats()
+        # Three HTTP round trips (503, 503, 200), two backoff sleeps.
+        assert stats["service"].count == 3
+        assert stats["backoff"].count == 2
+        assert stats["retries"] == 2
+        # The two 0.1 s Retry-After sleeps live in backoff...
+        assert stats["backoff"].sum == pytest.approx(0.2)
+        # ...and are absent from service time: a loopback round trip
+        # is orders of magnitude shorter than one backoff sleep.
+        assert stats["service"].max < 0.1
+
+    def test_summary_reports_the_split(self, flaky_gateway):
+        stub, url = flaky_gateway
+        stub.inject_503 = 1
+        client = ServerClient(
+            url,
+            max_retries=3,
+            retry_jitter=0.0,
+            rng=random.Random(0),
+        )
+        client.submit(cheap_spec(batch=16))
+        summary = client.client_latency_summary()
+        assert set(summary) == {"service", "backoff", "retries"}
+        assert summary["retries"] == 1
+        assert summary["service"]["count"] == 2
+        assert summary["backoff"]["count"] == 1
+        assert summary["backoff"]["min"] == pytest.approx(0.1)
+        assert set(summary["service"]) >= {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+        }
+
+    def test_clean_clients_report_zero(self, live_server):
+        _, client = live_server()
+        client.submit(cheap_spec(batch=16), wait=30)
+        stats = client.client_stats()
+        assert stats["retries"] == 0
+        assert stats["backoff"].count == 0
+        assert stats["service"].count >= 1

@@ -26,7 +26,8 @@ class TestStreamingHistogram:
             assert h.quantile(q) == 0.0
         snap = h.snapshot()
         assert snap == {
-            "count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            "count": 0, "sum": 0.0, "min": None, "max": None,
+            "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
         }
 
     def test_overflow_quantile_reports_observed_max(self):
@@ -122,7 +123,23 @@ class TestStreamingHistogram:
         h = StreamingHistogram()
         h.record(0.01)
         snap = h.snapshot()
-        assert set(snap) == {"count", "sum", "p50", "p95", "p99"}
+        assert set(snap) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+        }
+
+    def test_exact_accumulators(self):
+        # min/max/mean are exact (accumulator-tracked), not bucket
+        # approximations — a value recorded once comes back verbatim.
+        h = StreamingHistogram()
+        for v in (0.004, 0.9, 0.017):
+            h.record(v)
+        assert h.min == 0.004
+        assert h.max == 0.9
+        assert abs(h.mean - (0.004 + 0.9 + 0.017) / 3) < 1e-12
+        assert h.stddev > 0.0
+        snap = h.snapshot()
+        assert snap["min"] == 0.004
+        assert snap["max"] == 0.9
 
 
 class TestMetricsRegistry:
