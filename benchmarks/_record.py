@@ -5,8 +5,9 @@ stamps three blocks alongside the benchmark's own fields so records
 from different machines and different repo states stay comparable:
 
 * ``record_schema_version`` — bumped when the stamp layout changes;
-* ``host`` — platform, python version/implementation, cpu count (the
-  context wall-clock numbers are meaningless without);
+* ``host`` — platform, python version/implementation, cpu count, and
+  the process's peak RSS at stamping time (the context wall-clock and
+  memory numbers are meaningless without);
 * ``build`` — the code's own provenance (:func:`repro.obs.build
   .build_info`): package version and the schema versions the record's
   embedded artifacts follow;
@@ -25,16 +26,36 @@ import os
 import platform
 from pathlib import Path
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
 from repro.obs.build import build_info
 
 #: Version of the stamp layout (not of any benchmark's own schema).
 #: 2: added the ``build`` provenance block.
-RECORD_SCHEMA_VERSION = 2
+#: 3: added ``host.peak_rss_bytes``.
+RECORD_SCHEMA_VERSION = 3
 
 #: The tier-1 verification command (mirrors ROADMAP.md).
 TIER1_COMMAND = (
     "PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q"
 )
+
+
+def peak_rss_bytes() -> int | None:
+    """Peak resident-set size of this process in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise
+    to bytes. ``None`` where the ``resource`` module is unavailable.
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":
+        return int(peak)
+    return int(peak) * 1024
 
 
 def host_stamp() -> dict:
@@ -45,6 +66,7 @@ def host_stamp() -> dict:
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 

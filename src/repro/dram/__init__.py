@@ -15,9 +15,11 @@ The public surface:
 * :class:`repro.dram.geometry.DeviceGeometry`
 * :class:`repro.dram.commands.Command` / :class:`CommandType`
 * :class:`repro.dram.scheduler.CommandScheduler`
+* :class:`repro.dram.columnar.ColumnarStream` (struct-of-arrays view)
 * :class:`repro.dram.address.AddressMapping`
 * :class:`repro.dram.power.EnergyModel`
-* :func:`repro.dram.validator.validate_trace`
+* :func:`repro.dram.validator.validate_trace` /
+  :func:`repro.dram.validator.validate_trace_columnar`
 """
 
 from repro.dram.timing import (
@@ -32,6 +34,11 @@ from repro.dram.currents import IddCurrents, DDR4_2133_CURRENTS
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
 from repro.dram.commands import Command, CommandType
 from repro.dram.address import AddressMapping, DecodedAddress
+from repro.dram.columnar import (
+    ColumnarSchedule,
+    ColumnarStream,
+    schedule_columnar,
+)
 from repro.dram.engine import build_dependents
 from repro.dram.parallel import schedule_channels
 from repro.dram.scheduler import (
@@ -50,7 +57,7 @@ from repro.dram.steady import (
     SegmentRecorder,
     StreamPeriod,
 )
-from repro.dram.validator import validate_trace
+from repro.dram.validator import validate_trace, validate_trace_columnar
 
 __all__ = [
     "TimingParams",
@@ -68,12 +75,15 @@ __all__ = [
     "AddressMapping",
     "DecodedAddress",
     "ChannelPartition",
+    "ColumnarSchedule",
+    "ColumnarStream",
     "CommandScheduler",
     "IssueModel",
     "ScheduleResult",
     "build_dependents",
     "replicate_across_channels",
     "schedule_channels",
+    "schedule_columnar",
     "split_channels",
     "EnergyModel",
     "EnergyBreakdown",
@@ -83,4 +93,5 @@ __all__ = [
     "SegmentRecorder",
     "StreamPeriod",
     "validate_trace",
+    "validate_trace_columnar",
 ]

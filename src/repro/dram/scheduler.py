@@ -27,7 +27,7 @@ tREFI; this is documented in DESIGN.md §3.
 Performance
 -----------
 
-Three interchangeable engines produce the schedule:
+Four interchangeable engines produce the schedule:
 
 * ``engine="incremental"`` (the default) — the event-driven engine in
   :mod:`repro.dram.engine`: dependency reference-counting, per-candidate
@@ -40,6 +40,12 @@ Three interchangeable engines produce the schedule:
   :class:`~repro.dram.steady.StreamPeriod` metadata; pass it via
   ``run(..., period=...)``) and replays locked sweeps arithmetically,
   degrading to the incremental engine wherever nothing locks.
+* ``engine="columnar"`` — the struct-of-arrays engine in
+  :mod:`repro.dram.columnar`: schedules
+  :class:`~repro.dram.columnar.ColumnarStream` columns directly with
+  vectorized stream preparation/validation and issue-cycle memoization
+  on the immutable stream, skipping per-command copies and Python
+  validation loops entirely.
 * ``engine="reference"`` — the original greedy loop, kept verbatim as
   the equivalence oracle for tests and ``benchmarks/bench_scheduler.py``.
 
@@ -73,6 +79,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.dram.columnar import (
+    ColumnarSchedule,
+    ColumnarStream,
+    schedule_columnar,
+)
 from repro.dram.engine import schedule_incremental
 from repro.dram.steady import (
     PeriodicOutcome,
@@ -127,19 +138,49 @@ class IssueModel:
         return cls(name="buffered", port_of_rank=tuple(range(ranks)))
 
 
-@dataclass
 class ScheduleResult:
-    """Outcome of scheduling one command stream."""
+    """Outcome of scheduling one command stream.
 
-    commands: list[Command]
-    stats: TraceStats
-    timing: TimingParams
-    geometry: DeviceGeometry
-    issue_model: IssueModel
-    #: What the periodic engine did (``engine="periodic"`` only):
-    #: per-segment locks, commands simulated vs. arithmetically
-    #: replayed, and the fallback reason when it did not engage.
-    periodic: Optional[PeriodicOutcome] = None
+    The columnar engine returns results backed by a
+    :class:`~repro.dram.columnar.ColumnarSchedule` instead of a list of
+    annotated :class:`Command` objects; ``commands`` materializes the
+    objects lazily on first access, so consumers that only read
+    ``stats`` or ``issue_cycles()`` never pay for per-command objects.
+    """
+
+    __slots__ = (
+        "_commands", "stats", "timing", "geometry", "issue_model",
+        "periodic", "columnar",
+    )
+
+    def __init__(
+        self,
+        commands: Optional[list[Command]] = None,
+        stats: Optional[TraceStats] = None,
+        timing: Optional[TimingParams] = None,
+        geometry: Optional[DeviceGeometry] = None,
+        issue_model: Optional[IssueModel] = None,
+        periodic: Optional[PeriodicOutcome] = None,
+        columnar: Optional["ColumnarSchedule"] = None,
+    ) -> None:
+        self._commands = commands
+        self.stats = stats
+        self.timing = timing
+        self.geometry = geometry
+        self.issue_model = issue_model
+        #: What the periodic engine did (``engine="periodic"`` only):
+        #: per-segment locks, commands simulated vs. arithmetically
+        #: replayed, and the fallback reason when it did not engage.
+        self.periodic = periodic
+        #: The scheduled columnar stream (``engine="columnar"`` only).
+        self.columnar = columnar
+
+    @property
+    def commands(self) -> list[Command]:
+        """Annotated commands (materialized lazily for columnar runs)."""
+        if self._commands is None and self.columnar is not None:
+            self._commands = self.columnar.to_commands()
+        return self._commands
 
     @property
     def total_cycles(self) -> int:
@@ -148,6 +189,8 @@ class ScheduleResult:
 
     def issue_cycles(self) -> list[int]:
         """Issue cycle of every command, in stream order."""
+        if self._commands is None and self.columnar is not None:
+            return self.columnar.issue_cycle.tolist()
         return [c.issue_cycle for c in self.commands]
 
 
@@ -180,7 +223,12 @@ class CommandScheduler:
         engine of :mod:`repro.dram.steady`, which replays locked
         stripe-periodic sweeps arithmetically and degrades to the
         incremental engine's exact behaviour when streams carry no
-        period metadata or never lock)."""
+        period metadata or never lock), or ``"columnar"`` (the
+        struct-of-arrays engine of :mod:`repro.dram.columnar`:
+        vectorized stream preparation and validation over a
+        :class:`~repro.dram.columnar.ColumnarStream` plus issue-cycle
+        memoization on the immutable stream, byte-identical to the
+        reference on every input)."""
         if issue_model is None:
             issue_model = IssueModel.direct(geometry.ranks)
         if len(issue_model.port_of_rank) != geometry.ranks:
@@ -194,7 +242,9 @@ class CommandScheduler:
             raise ConfigError(
                 f"unknown data_bus_scope {data_bus_scope!r}"
             )
-        if engine not in ("incremental", "reference", "periodic"):
+        if engine not in (
+            "incremental", "reference", "periodic", "columnar"
+        ):
             raise ConfigError(f"unknown engine {engine!r}")
         self.timing = timing
         self.geometry = geometry
@@ -218,6 +268,7 @@ class CommandScheduler:
         dependents: Optional[Sequence[Sequence[int]]] = None,
         partition_runner=None,
         period: Optional[StreamPeriod] = None,
+        columnar: Optional[ColumnarStream] = None,
     ) -> ScheduleResult:
         """Schedule ``commands`` and return the annotated result.
 
@@ -245,8 +296,19 @@ class CommandScheduler:
         multi-channel geometries, where partitions carry no metadata —
         the periodic engine schedules through the incremental engine,
         so it is always safe to select.
+
+        ``columnar`` optionally supplies the stream's prebuilt
+        :class:`~repro.dram.columnar.ColumnarStream` (it must describe
+        the same stream as ``commands``; kernel artifacts cache it).
+        Only the ``"columnar"`` engine consumes it — that engine builds
+        the stream from ``commands`` on the fly when it is absent.
         """
         geom = self.geometry
+        if self.engine == "columnar" and geom.channels == 1:
+            # Single-channel columnar fast path: vectorized validation
+            # over the columns, no per-command copies, no Python
+            # per-command validation loops.
+            return self._run_columnar(commands, dependents, columnar)
         for i, cmd in enumerate(commands):
             for d in cmd.deps:
                 if d >= i or d < 0:
@@ -275,7 +337,7 @@ class CommandScheduler:
             stats, periodic = self._run_periodic(
                 copies, dependents, period
             )
-        else:
+        else:  # incremental (columnar single-channel returned above)
             stats = self._run_incremental(copies, dependents)
         return ScheduleResult(
             commands=copies,
@@ -296,6 +358,14 @@ class CommandScheduler:
         engine schedules them through the incremental engine."""
         if self.engine == "reference":
             return self._run_reference(partition.commands)
+        if self.engine == "columnar":
+            stream = ColumnarStream.from_commands(
+                partition.commands, dependents=partition.dependents
+            )
+            issue, stats = self._schedule_stream(stream)
+            for cmd, cycle in zip(partition.commands, issue.tolist()):
+                cmd.issue_cycle = cycle
+            return stats
         return self._run_incremental(
             partition.commands, partition.dependents
         )
@@ -347,6 +417,44 @@ class CommandScheduler:
             bus_ids,
             commands,
             dependents,
+        )
+
+    # ------------------------------------------------------------------
+    def _schedule_stream(self, stream: ColumnarStream):
+        """Schedule a columnar stream under this scheduler's substrate."""
+        geom = self.geometry
+        bus_ids = tuple(
+            self._bus_of_rank(r) for r in range(geom.ranks)
+        )
+        return schedule_columnar(
+            stream,
+            self.timing,
+            geom,
+            self.issue_model,
+            self.per_bank_pim,
+            self.window,
+            bus_ids,
+        )
+
+    def _run_columnar(
+        self,
+        commands: Sequence[Command],
+        dependents: Optional[Sequence[Sequence[int]]],
+        stream: Optional[ColumnarStream],
+    ) -> ScheduleResult:
+        """The struct-of-arrays engine (see :mod:`repro.dram.columnar`)."""
+        if stream is None:
+            stream = ColumnarStream.from_commands(
+                commands, dependents=dependents
+            )
+        stream.check_structure(self.geometry)
+        issue, stats = self._schedule_stream(stream)
+        return ScheduleResult(
+            stats=stats,
+            timing=self.timing,
+            geometry=self.geometry,
+            issue_model=self.issue_model,
+            columnar=ColumnarSchedule(stream, issue),
         )
 
     # ------------------------------------------------------------------

@@ -22,6 +22,17 @@ Two checking modes cover the same rules:
   test suite runs both modes and asserts they accept the same traces
   and reject the same seeded violations.
 
+A third entry point, :func:`validate_trace_columnar`, checks a
+scheduled :class:`~repro.dram.columnar.ColumnarSchedule` without ever
+materializing ``Command`` objects: every rule family is evaluated as a
+handful of whole-array numpy operations (segmented sorts, adjacent
+differences, exclusive running maxima), fused across channels through
+global resource ids. The accept path — the only path valid traces take
+— is O(sort) with no per-command Python work. When any family flags a
+problem, the trace is materialized and re-checked through the scalar
+sweep so the raised :class:`TimingViolation` is byte-identical to the
+one ``validate_trace`` produces.
+
 Production sweeps that trust the (property-tested) scheduler can skip
 validation entirely via ``SimJobSpec(validate=False)`` /
 ``--no-validate``; see :mod:`repro.service`.
@@ -31,6 +42,8 @@ from __future__ import annotations
 
 import operator
 from typing import Sequence
+
+import numpy as np
 
 from repro.dram.commands import (
     COLUMN_COMMANDS,
@@ -401,6 +414,301 @@ def _validate_sweep(
 
 def _burst_start(burst: tuple) -> int:
     return burst[0]
+
+
+# ----------------------------------------------------------------------
+# Fused columnar checker (vectorized accept path)
+# ----------------------------------------------------------------------
+def _kind_mask(members) -> np.ndarray:
+    from repro.dram.columnar import KIND_ORDER
+
+    return np.array([k in members for k in KIND_ORDER], dtype=bool)
+
+
+class _KindTables:
+    """Per-kind-code classification masks, built once on first use."""
+
+    _cache = None
+
+    @classmethod
+    def get(cls):
+        if cls._cache is None:
+            from repro.dram.columnar import KIND_INDEX
+
+            cls._cache = {
+                "col": _kind_mask(COLUMN_COMMANDS),
+                "int": _kind_mask(INTERNAL_COLUMN_COMMANDS),
+                "ext": _kind_mask(EXTERNAL_COLUMN_COMMANDS),
+                "alu": _kind_mask(PIM_ALU_COMMANDS),
+                "rd": _kind_mask(READ_COMMANDS),
+                "wr": _kind_mask(WRITE_COMMANDS),
+                "act": _kind_mask({CommandType.ACT}),
+                "pre": _kind_mask({CommandType.PRE}),
+                "RD": KIND_INDEX[CommandType.RD],
+                "WR": KIND_INDEX[CommandType.WR],
+            }
+        return cls._cache
+
+
+#: Per-segment offset for the segmented-cummax trick; every value fed
+#: through it (cycles, positions, burst ends) must stay below this.
+_SEG_BIG = np.int64(1) << 41
+
+
+def _seg_excl_cummax(
+    values: np.ndarray, mask: np.ndarray, seg: np.ndarray
+) -> np.ndarray:
+    """Exclusive segmented running maximum.
+
+    ``out[i]`` is the max of ``values[j]`` over ``j < i`` in the same
+    segment with ``mask[j]`` set, or a negative number when no such
+    ``j`` exists. Non-negative inputs only. Works by offsetting each
+    segment into its own value band so one global
+    ``np.maximum.accumulate`` never lets a previous segment's maximum
+    leak forward as anything but a negative.
+    """
+    v = np.where(mask, values, -1) + seg * _SEG_BIG
+    run = np.maximum.accumulate(v)
+    excl = np.empty_like(run)
+    excl[0] = -1
+    excl[1:] = run[:-1]
+    return excl - seg * _SEG_BIG
+
+
+def _sorted_family(idx, res, t):
+    """Sort one family's rows by (resource, cycle, stream index) and
+    return (ordered stream indices, resources, cycles, segment ids,
+    same-segment adjacency mask)."""
+    order = np.lexsort((idx, t[idx], res))
+    o = idx[order]
+    r = res[order]
+    c = t[o]
+    same = r[1:] == r[:-1]
+    seg = np.zeros(len(o), dtype=np.int64)
+    if len(o) > 1:
+        np.cumsum(~same, out=seg[1:])
+    return o, r, c, seg, same
+
+
+def validate_trace_columnar(
+    schedule,
+    timing: TimingParams,
+    geometry: DeviceGeometry,
+    port_of_rank: Sequence[int],
+    per_bank_pim: bool = False,
+    data_bus_scope: str = "channel",
+) -> None:
+    """Validate a :class:`~repro.dram.columnar.ColumnarSchedule`.
+
+    Same rules and same exceptions as :func:`validate_trace` (default
+    sweep mode), evaluated as whole-array numpy passes over the
+    schedule's columns. Valid traces — the only traces the scheduler
+    emits — never materialize a single ``Command``; a flagged trace is
+    re-checked through the scalar sweep to raise the identical
+    :class:`TimingViolation`.
+    """
+    if data_bus_scope not in ("channel", "dimm", "rank"):
+        raise TimingViolation(
+            "config", 0, f"unknown data_bus_scope {data_bus_scope!r}"
+        )
+    from repro.dram.columnar import _latency_table
+
+    stream = schedule.stream
+    n = stream.n
+    if n == 0:
+        return
+    K = _KindTables.get()
+    t = schedule.issue_cycle.astype(np.int64)
+    kind = stream.kind.astype(np.int64)
+    rank = stream.rank.astype(np.int64)
+    bg = stream.bankgroup.astype(np.int64)
+    bank = stream.bank.astype(np.int64)
+
+    def _flagged(family: str) -> None:
+        # Materialize and let the scalar sweep raise the canonical
+        # exception; the guard raise only fires if the two checkers
+        # ever disagree (which the test suite forbids).
+        validate_trace(
+            schedule.to_commands(), timing, geometry, port_of_rank,
+            per_bank_pim=per_bank_pim, data_bus_scope=data_bus_scope,
+        )
+        raise TimingViolation(
+            family, 0,
+            "columnar validator flagged a violation the scalar sweep "
+            "did not reproduce",
+        )
+
+    if bool((t < 0).any()):
+        _flagged("unissued")
+    channels = geometry.channels
+    if channels > 1:
+        ch = stream.channel.astype(np.int64)
+        if bool(((ch < 0) | (ch >= channels)).any()):
+            _flagged("channel")
+    else:
+        ch = np.zeros(n, dtype=np.int64)
+
+    # Dependencies: every consumer must issue at or after each
+    # dependency's completion.
+    if len(stream.dep_indices):
+        done = t + _latency_table(timing)[kind]
+        counts = np.diff(stream.dep_indptr)
+        rows = np.repeat(np.arange(n, dtype=np.int64), counts)
+        if bool((t[rows] < done[stream.dep_indices]).any()):
+            _flagged("dependency")
+
+    t_ = timing
+    is_col = K["col"][kind]
+    is_int = K["int"][kind]
+    is_ext = K["ext"][kind]
+    is_alu = K["alu"][kind]
+    is_rd = K["rd"][kind]
+    is_wr = K["wr"][kind]
+    is_act = K["act"][kind]
+    is_pre = K["pre"][kind]
+    idx_all = np.arange(n, dtype=np.int64)
+
+    # Global (channel-fused) resource ids.
+    n_ranks = geometry.ranks
+    rank_g = ch * n_ranks + rank
+    group_g = rank_g * geometry.bankgroups + bg
+    bank_g = group_g * geometry.banks_per_group + bank
+    port_arr = np.asarray(port_of_rank, dtype=np.int64)
+    n_ports = int(port_arr.max()) + 1
+    port_g = ch * n_ports + port_arr[rank]
+
+    # Command-bus slots: within a port, cycles must be unique.
+    _, _, c, _, same = _sorted_family(idx_all, port_g, t)
+    if bool((same & (c[1:] == c[:-1])).any()):
+        _flagged("command-bus")
+
+    # Bank row-state rules.
+    bmask = is_act | is_pre | is_col
+    bidx = idx_all[bmask]
+    if len(bidx):
+        o, _, c, seg, _ = _sorted_family(bidx, bank_g[bmask], t)
+        p = np.arange(len(o), dtype=np.int64)
+        k_act = is_act[o]
+        k_pre = is_pre[o]
+        k_col = is_col[o]
+        la = _seg_excl_cummax(p, k_act, seg)  # last ACT position
+        lp = _seg_excl_cummax(p, k_pre, seg)  # last PRE position
+        open_before = la > lp
+        la_c = np.maximum(la, 0)
+        lp_c = np.maximum(lp, 0)
+        act_t = c[la_c]  # cycle of the last ACT (where la >= 0)
+        bad = k_act & (
+            open_before | ((lp >= 0) & (c < c[lp_c] + t_.tRP))
+        )
+        # Running read cycles / write data-ends (never reset, as in the
+        # scalar sweep; cycle-sorted order makes "last read" the max).
+        lr = _seg_excl_cummax(c, k_col & is_rd[o], seg)
+        wr_end = t + np.where(
+            kind == K["WR"], t_.tCWL + t_.tBURST, t_.tBURST
+        )
+        we = _seg_excl_cummax(wr_end[o], k_col & is_wr[o], seg)
+        bad |= k_pre & (
+            ~open_before
+            | ((la >= 0) & (c < act_t + t_.tRAS))
+            | ((lr >= 0) & (c < lr + t_.tRTP))
+            | ((we >= 0) & (c < we + t_.tWR))
+        )
+        rows_s = stream.row.astype(np.int64)[o]
+        bad |= k_col & (
+            ~open_before
+            | (rows_s[la_c] != rows_s)
+            | (c < act_t + t_.tRCD)
+        )
+        if bool(bad.any()):
+            _flagged("bank")
+
+    # Bank-group rules: tCCD_L and tWTR_L over columns, tPIM over ALU.
+    cidx = idx_all[is_col]
+    if len(cidx):
+        n_groups = channels * n_ranks * geometry.bankgroups
+        ckey = np.where(
+            is_int & per_bank_pim, n_groups + bank_g, group_g
+        )
+        _, _, c, _, same = _sorted_family(cidx, ckey[is_col], t)
+        if bool((same & (c[1:] < c[:-1] + t_.tCCD_L)).any()):
+            _flagged("tCCD_L")
+        o, _, c, seg, _ = _sorted_family(cidx, group_g[is_col], t)
+        wr_end = t + np.where(
+            kind == K["WR"], t_.tCWL + t_.tBURST, t_.tBURST
+        )
+        ready = _seg_excl_cummax(
+            wr_end[o] + t_.tWTR_L, is_wr[o], seg
+        )
+        if bool((is_rd[o] & (ready >= 0) & (c < ready)).any()):
+            _flagged("tWTR_L")
+    aidx = idx_all[is_alu]
+    if len(aidx):
+        akey = bank_g if per_bank_pim else group_g
+        _, _, c, _, same = _sorted_family(aidx, akey[is_alu], t)
+        if bool((same & (c[1:] < c[:-1] + t_.tPIM)).any()):
+            _flagged("tPIM")
+
+    # Rank rules: tRRD/tFAW over ACTs, tCCD_S/tWTR_S over externals.
+    actidx = idx_all[is_act]
+    if len(actidx):
+        o, _, c, _, same = _sorted_family(actidx, rank_g[is_act], t)
+        bg_s = bg[o]
+        spacing = np.where(bg_s[1:] == bg_s[:-1], t_.tRRD_L, t_.tRRD_S)
+        if bool((same & (c[1:] < c[:-1] + spacing)).any()):
+            _flagged("tRRD")
+        if len(o) > 4:
+            r_s = rank_g[o]
+            same4 = r_s[4:] == r_s[:-4]
+            if bool((same4 & (c[4:] < c[:-4] + t_.tFAW)).any()):
+                _flagged("tFAW")
+    extidx = idx_all[is_ext]
+    if len(extidx):
+        o, _, c, seg, same = _sorted_family(extidx, rank_g[is_ext], t)
+        if bool((same & (c[1:] < c[:-1] + t_.tCCD_S)).any()):
+            _flagged("tCCD_S")
+        ready = _seg_excl_cummax(
+            c + t_.tCWL + t_.tBURST + t_.tWTR_S,
+            kind[o] == K["WR"],
+            seg,
+        )
+        if bool((is_rd[o] & (ready >= 0) & (c < ready)).any()):
+            _flagged("tWTR_S")
+
+        # Data-bus occupancy: adjacent-burst gaps per bus scope.
+        if data_bus_scope == "channel":
+            bus_of_rank = np.zeros(n_ranks, dtype=np.int64)
+            n_buses = 1
+        elif data_bus_scope == "dimm":
+            bus_of_rank = np.array(
+                [geometry.dimm_of_rank(r) for r in range(n_ranks)],
+                dtype=np.int64,
+            )
+            n_buses = geometry.dimms
+        else:  # rank
+            bus_of_rank = np.arange(n_ranks, dtype=np.int64)
+            n_buses = n_ranks
+        bus_g = (ch * n_buses + bus_of_rank[rank])[is_ext]
+        te = t[extidx]
+        start = te + np.where(
+            kind[extidx] == K["RD"], t_.tCL, t_.tCWL
+        )
+        # The scalar sweep sorts bursts by start with trace-order ties.
+        order = np.lexsort((extidx, te, start, bus_g))
+        b = bus_g[order]
+        s = start[order]
+        e = s + t_.tBURST
+        k_s = kind[extidx][order]
+        r_s = rank_g[is_ext][order]
+        same = b[1:] == b[:-1]
+        gap = np.where(k_s[1:] != k_s[:-1], 2, 0)
+        gap = np.where(
+            (r_s[1:] != r_s[:-1])
+            & (t_.rank_switch_penalty > gap),
+            t_.rank_switch_penalty,
+            gap,
+        )
+        if bool((same & (s[1:] < e[:-1] + gap)).any()):
+            _flagged("data-bus")
 
 
 # ----------------------------------------------------------------------

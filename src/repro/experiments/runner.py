@@ -72,7 +72,7 @@ USAGE = (
 )
 
 #: Scheduler engines selectable on the CLI (all exact-equivalent).
-ENGINES = ("incremental", "reference", "periodic")
+ENGINES = ("incremental", "reference", "periodic", "columnar")
 
 
 class _HelpRequested(ValueError):

@@ -24,13 +24,12 @@ overlaps the bank accesses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
 
 from repro.dram.commands import Command, CommandType
-from repro.dram.engine import build_dependents
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
 from repro.dram.steady import SegmentRecorder, StreamPeriod
 from repro.errors import CompileError
+from repro.kernels.artifact import CommandStreamArtifact
 from repro.optim.base import Lincomb, Mul, RsqrtMul, UpdateRecipe
 from repro.optim.precision import PrecisionConfig, PRECISION_8_32
 
@@ -40,8 +39,11 @@ LANE_MARSHALLING_OPS = 2
 
 
 @dataclass
-class AoSKernel:
-    """A generated AoS update stream."""
+class AoSKernel(CommandStreamArtifact):
+    """A generated AoS update stream.
+
+    ``dependents`` and ``columnar`` (the cached scheduling views) come
+    from :class:`~repro.kernels.artifact.CommandStreamArtifact`."""
 
     commands: list[Command]
     params_per_column: int
@@ -59,12 +61,6 @@ class AoSKernel:
     @property
     def total_commands(self) -> int:
         return len(self.commands)
-
-    @cached_property
-    def dependents(self) -> list[list[int]]:
-        """Dependent-command adjacency, computed once per kernel (fed
-        to :meth:`CommandScheduler.run` by the update model)."""
-        return build_dependents(self.commands)
 
 
 def structure_bytes(optimizer, precision: PrecisionConfig) -> int:

@@ -25,14 +25,13 @@ two must agree, which the test suite verifies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
 from typing import Optional
 
 from repro.dram.commands import Command, CommandType, QUANT_REG
-from repro.dram.engine import build_dependents
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
 from repro.dram.steady import SegmentRecorder, StreamPeriod
 from repro.errors import CompileError
+from repro.kernels.artifact import CommandStreamArtifact
 from repro.kernels.layout import UpdateLayout, ColumnCoords
 from repro.optim.base import (
     Lincomb,
@@ -83,8 +82,11 @@ GRAD_ACCUMULATE = _GradAccumulateRecipe()
 
 
 @dataclass
-class CompiledKernel:
-    """A lowered update kernel plus metadata for analytical scaling."""
+class CompiledKernel(CommandStreamArtifact):
+    """A lowered update kernel plus metadata for analytical scaling.
+
+    ``dependents`` and ``columnar`` (the cached scheduling views) come
+    from :class:`~repro.kernels.artifact.CommandStreamArtifact`."""
 
     commands: list[Command]
     layout: UpdateLayout
@@ -101,12 +103,6 @@ class CompiledKernel:
     @property
     def total_commands(self) -> int:
         return len(self.commands)
-
-    @cached_property
-    def dependents(self) -> list[list[int]]:
-        """Dependent-command adjacency, computed once per kernel (fed
-        to :meth:`CommandScheduler.run` by the update model)."""
-        return build_dependents(self.commands)
 
     def commands_per_hp_column(self) -> float:
         """Average commands per high-precision column."""

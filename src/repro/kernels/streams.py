@@ -17,21 +17,23 @@ exactly how the comparator differs architecturally.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
 
 from repro.dram.commands import Command, CommandType
-from repro.dram.engine import build_dependents
 from repro.dram.geometry import DeviceGeometry, DEFAULT_GEOMETRY
 from repro.dram.steady import SegmentRecorder, StreamPeriod
 from repro.errors import CompileError
+from repro.kernels.artifact import CommandStreamArtifact
 from repro.kernels.layout import UpdateLayout, ColumnCoords
 from repro.optim.precision import PrecisionConfig, PRECISION_8_32
 from repro.units import ceil_div
 
 
 @dataclass
-class BaselineStream:
-    """A generated baseline update stream."""
+class BaselineStream(CommandStreamArtifact):
+    """A generated baseline update stream.
+
+    ``dependents`` and ``columnar`` (the cached scheduling views) come
+    from :class:`~repro.kernels.artifact.CommandStreamArtifact`."""
 
     commands: list[Command]
     layout: UpdateLayout
@@ -47,15 +49,6 @@ class BaselineStream:
     @property
     def total_commands(self) -> int:
         return len(self.commands)
-
-    @cached_property
-    def dependents(self) -> list[list[int]]:
-        """Dependent-command adjacency, computed once per stream.
-
-        Passed to :meth:`CommandScheduler.run` so re-scheduling the
-        same stream (different windows, issue models, engines) skips
-        the O(commands + deps) rebuild."""
-        return build_dependents(self.commands)
 
     def offchip_bytes(self, geometry: DeviceGeometry) -> int:
         """Bytes this update moves over the off-chip bus."""

@@ -95,11 +95,12 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("incremental", "reference", "periodic"),
+        choices=("incremental", "reference", "periodic", "columnar"),
         default=None,
         help=(
             "force a scheduler engine onto every job (periodic = "
-            "steady-state extrapolation; all engines produce "
+            "steady-state extrapolation, columnar = vectorized "
+            "struct-of-arrays hot path; all engines produce "
             "byte-identical results)"
         ),
     )

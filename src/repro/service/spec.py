@@ -136,11 +136,13 @@ class SimJobSpec:
     validate: bool = True
     #: Scheduler engine for update-phase profiling: ``"incremental"``
     #: (default), ``"reference"`` (the seed greedy loop, kept as the
-    #: equivalence oracle), or ``"periodic"`` (steady-state
+    #: equivalence oracle), ``"periodic"`` (steady-state
     #: extrapolation — profiles a warm sample and closes the form for
-    #: the full window; byte-identical results, enforced by tests).
-    #: Part of the content hash: engines are exact-equivalent, but a
-    #: cache entry must record how it was produced.
+    #: the full window), or ``"columnar"`` (struct-of-arrays hot path
+    #: with vectorized validation and issue-cycle memoization). All
+    #: engines are byte-identical, enforced by tests. Part of the
+    #: content hash: engines are exact-equivalent, but a cache entry
+    #: must record how it was produced.
     engine: str = "incremental"
     #: Optional wall-clock budget (milliseconds) for producing this
     #: result, propagated through the server dispatcher to the pool. A
@@ -185,10 +187,12 @@ class SimJobSpec:
             raise ConfigError(
                 f"validate must be a boolean, got {self.validate!r}"
             )
-        if self.engine not in ("incremental", "reference", "periodic"):
+        if self.engine not in (
+            "incremental", "reference", "periodic", "columnar"
+        ):
             raise ConfigError(
                 f"unknown engine {self.engine!r}; choose from "
-                "('incremental', 'reference', 'periodic')"
+                "('incremental', 'reference', 'periodic', 'columnar')"
             )
         if self.deadline_ms is not None:
             if (

@@ -80,7 +80,7 @@ from repro.dram.scheduler import (
 )
 from repro.dram.stats import TraceStats
 from repro.dram.timing import TimingParams, DDR4_2133
-from repro.dram.validator import validate_trace
+from repro.dram.validator import validate_trace, validate_trace_columnar
 from repro.errors import ConfigError, SimulationError
 from repro.obs.report import (
     EngineReport,
@@ -335,7 +335,8 @@ class UpdatePhaseModel:
         """Schedule the full sample stream and derive the profile."""
         with span("model.build_stream", design=design.value):
             built = self._build_stream(config, optimizer, precision)
-        commands, n_params, offchip_accesses, dependents, period = built
+        (commands, n_params, offchip_accesses, dependents, period,
+         artifact) = built
         channels = config.effective_channels(self.geometry)
         # Channels are embarrassingly parallel: every channel runs the
         # same steady-state sample over its own parameter slice, so the
@@ -392,7 +393,14 @@ class UpdatePhaseModel:
                 channels=channels,
             ):
                 result = scheduler.run(
-                    commands, dependents=dependents, period=period
+                    commands,
+                    dependents=dependents,
+                    period=period,
+                    columnar=(
+                        artifact.columnar
+                        if scheduler.engine == "columnar"
+                        else None
+                    ),
                 )
             stats = (
                 TraceStats.merge_channels([result.stats] * channels)
@@ -403,18 +411,34 @@ class UpdatePhaseModel:
                 "serial-replicated" if channels > 1 else "single-channel"
             )
         if self.validate:
-            with span(
-                "engine.validate", commands=len(result.commands)
-            ):
-                validate_trace(
-                    result.commands,
-                    self.timing,
-                    geometry,
-                    issue_model.port_of_rank,
-                    per_bank_pim=config.per_bank_pim,
-                    data_bus_scope=config.data_bus_scope,
-                    thorough=self.thorough_validate,
-                )
+            if result.columnar is not None and not self.thorough_validate:
+                # Columnar schedules validate through the fused numpy
+                # checker — same rules, no Command materialization.
+                with span(
+                    "engine.validate",
+                    commands=result.columnar.stream.n,
+                ):
+                    validate_trace_columnar(
+                        result.columnar,
+                        self.timing,
+                        geometry,
+                        issue_model.port_of_rank,
+                        per_bank_pim=config.per_bank_pim,
+                        data_bus_scope=config.data_bus_scope,
+                    )
+            else:
+                with span(
+                    "engine.validate", commands=len(result.commands)
+                ):
+                    validate_trace(
+                        result.commands,
+                        self.timing,
+                        geometry,
+                        issue_model.port_of_rank,
+                        per_bank_pim=config.per_bank_pim,
+                        data_bus_scope=config.data_bus_scope,
+                        thorough=self.thorough_validate,
+                    )
         if channels > 1:
             n_params *= channels
             offchip_accesses *= channels
@@ -568,7 +592,7 @@ class UpdatePhaseModel:
             built = self._build_stream(
                 config, optimizer, precision, columns_per_stripe=k_warm
             )
-        commands, n_params, offchip_accesses, dependents, period = built
+        commands, n_params, offchip_accesses, dependents, period, _ = built
         if period is None or not period.segments:
             reasons.add(FALLBACK_NO_METADATA)
             return None
@@ -737,7 +761,12 @@ class UpdatePhaseModel:
         columns_per_stripe: Optional[int] = None,
     ):
         """Returns (commands, params represented, off-chip accesses,
-        dependent-command adjacency, stripe-period metadata).
+        dependent-command adjacency, stripe-period metadata, artifact).
+
+        The trailing element is the generator's artifact object itself
+        (:class:`~repro.kernels.artifact.CommandStreamArtifact`): it
+        owns the cached ``columnar`` struct-of-arrays view that the
+        ``"columnar"`` engine schedules (and memoizes issue cycles) on.
 
         ``columns_per_stripe`` overrides the model's sample width (the
         steady-state fast path uses it to build warm samples)."""
@@ -777,6 +806,7 @@ class UpdatePhaseModel:
                 offchip,
                 stream.dependents,
                 stream.period,
+                stream,
             )
         if config.update_kind == UPDATE_PIM_KERNEL:
             key = (
@@ -799,6 +829,7 @@ class UpdatePhaseModel:
                 0,
                 kernel.dependents,
                 kernel.period,
+                kernel,
             )
         if config.update_kind == UPDATE_AOS_KERNEL:
             key = (
@@ -821,5 +852,6 @@ class UpdatePhaseModel:
                 0,
                 kernel.dependents,
                 kernel.period,
+                kernel,
             )
         raise ConfigError(f"unknown update kind {config.update_kind!r}")

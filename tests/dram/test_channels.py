@@ -46,7 +46,7 @@ def _stream(design=DesignPoint.GRADPIM_BUFFERED, columns=4):
         "momentum_sgd", {"eta": 0.01, "alpha": 0.9, "weight_decay": 1e-4}
     )
     config = DESIGNS[design]
-    commands, _, _, dependents, _period = model._build_stream(
+    commands, _, _, dependents, _period, _art = model._build_stream(
         config, optimizer, PRECISIONS["8/32"]
     )
     return config, commands, dependents

@@ -1,6 +1,7 @@
-"""Incremental engine == reference scheduler, on everything.
+"""Incremental and columnar engines == reference scheduler.
 
-The incremental event-driven engine (:mod:`repro.dram.engine`) promises
+The incremental event-driven engine (:mod:`repro.dram.engine`) and the
+columnar struct-of-arrays engine (:mod:`repro.dram.columnar`) promise
 *exact* equivalence with the reference greedy loop: identical issue
 cycles and identical :class:`TraceStats` on every stream. These tests
 enforce the contract three ways:
@@ -47,28 +48,37 @@ def _schedulers(issue_model=None, **kwargs):
     incremental = CommandScheduler(
         T, GEOM, issue_model, engine="incremental", **kwargs
     )
-    return reference, incremental
+    columnar = CommandScheduler(
+        T, GEOM, issue_model, engine="columnar", **kwargs
+    )
+    return reference, incremental, columnar
 
 
 def _assert_equivalent(commands, issue_model=None, dependents=None,
                        **kwargs):
-    """Both engines produce the same schedule — or the same deadlock.
+    """All engines produce the same schedule — or the same deadlock.
 
     A window-limited scheduler can legitimately deadlock on streams
     whose cross-port dependencies point beyond every port's lookahead;
-    equivalence then means both engines refuse identically.
+    equivalence then means every engine refuses identically.
     """
-    reference, incremental = _schedulers(issue_model, **kwargs)
+    reference, incremental, columnar = _schedulers(issue_model, **kwargs)
     try:
         ref = reference.run(commands)
     except SimulationError as exc:
         with pytest.raises(SimulationError) as caught:
             incremental.run(commands, dependents=dependents)
         assert str(caught.value) == str(exc)
+        with pytest.raises(SimulationError) as caught:
+            columnar.run(commands, dependents=dependents)
+        assert str(caught.value) == str(exc)
         return None, None
     new = incremental.run(commands, dependents=dependents)
     assert ref.issue_cycles() == new.issue_cycles()
     assert ref.stats == new.stats
+    col = columnar.run(commands, dependents=dependents)
+    assert ref.issue_cycles() == col.issue_cycles()
+    assert ref.stats == col.stats
     return ref, new
 
 
@@ -78,7 +88,7 @@ def _design_stream(design, model=None):
         "momentum_sgd", {"eta": 0.01, "alpha": 0.9, "weight_decay": 1e-4}
     )
     config = DESIGNS[design]
-    commands, _, _, dependents, _period = model._build_stream(
+    commands, _, _, dependents, _period, _art = model._build_stream(
         config, optimizer, PRECISIONS["8/32"]
     )
     return config, commands, dependents
@@ -106,17 +116,18 @@ class TestGoldenDesignPoints:
             thorough_validate=True,
         )
         new = UpdatePhaseModel(columns_per_stripe=8)
+        col = UpdatePhaseModel(columns_per_stripe=8, engine="columnar")
         for design in DesignPoint:
-            assert seed.profile(design, optimizer) == new.profile(
-                design, optimizer
-            )
+            expected = seed.profile(design, optimizer)
+            assert expected == new.profile(design, optimizer)
+            assert expected == col.profile(design, optimizer)
 
 
 class TestRunContract:
     def test_caller_commands_never_mutated(self):
         _, commands, _ = _design_stream(DesignPoint.GRADPIM_BUFFERED)
         config = DESIGNS[DesignPoint.GRADPIM_BUFFERED]
-        for engine in ("reference", "incremental"):
+        for engine in ("reference", "incremental", "columnar"):
             sched = CommandScheduler(
                 T, GEOM, config.issue_model(GEOM), engine=engine,
                 data_bus_scope=config.data_bus_scope,
@@ -125,7 +136,9 @@ class TestRunContract:
             assert all(c.issue_cycle == -1 for c in commands)
             assert all(c.issue_cycle >= 0 for c in result.commands)
 
-    @pytest.mark.parametrize("engine", ["reference", "incremental"])
+    @pytest.mark.parametrize(
+        "engine", ["reference", "incremental", "columnar"]
+    )
     def test_rescheduling_same_stream_is_identical(self, engine):
         # Regression: the seed scheduler annotated the caller's Command
         # objects in place, so a second run of the same stream saw
@@ -144,7 +157,7 @@ class TestRunContract:
         config, commands, dependents = _design_stream(
             DesignPoint.GRADPIM_DIRECT
         )
-        _, incremental = _schedulers(
+        _, incremental, _ = _schedulers(
             config.issue_model(GEOM),
             data_bus_scope=config.data_bus_scope,
         )
@@ -212,7 +225,7 @@ class TestGeneratorStreamProperties:
         model = UpdatePhaseModel(
             timing=PRESETS[timing_name], columns_per_stripe=4
         )
-        commands, _, _, dependents, _period = model._build_stream(
+        commands, _, _, dependents, _period, _art = model._build_stream(
             config, optimizer, PRECISIONS["8/32"]
         )
         issue_model = (
@@ -230,20 +243,29 @@ class TestGeneratorStreamProperties:
                 commands, channels, dependents
             )
         timing = PRESETS[timing_name]
-        reference = CommandScheduler(
-            timing, geometry, issue_model, engine="reference",
+        engine_kwargs = dict(
             per_bank_pim=config.per_bank_pim, window=window,
             data_bus_scope=scope,
         )
+        reference = CommandScheduler(
+            timing, geometry, issue_model, engine="reference",
+            **engine_kwargs,
+        )
         incremental = CommandScheduler(
             timing, geometry, issue_model, engine="incremental",
-            per_bank_pim=config.per_bank_pim, window=window,
-            data_bus_scope=scope,
+            **engine_kwargs,
+        )
+        columnar = CommandScheduler(
+            timing, geometry, issue_model, engine="columnar",
+            **engine_kwargs,
         )
         ref = reference.run(commands)
         new = incremental.run(commands, dependents=dependents)
         assert ref.issue_cycles() == new.issue_cycles()
         assert ref.stats == new.stats
+        col = columnar.run(commands, dependents=dependents)
+        assert ref.issue_cycles() == col.issue_cycles()
+        assert ref.stats == col.stats
 
 
 # ----------------------------------------------------------------------
@@ -372,7 +394,7 @@ class TestSyntheticStreamProperties:
     def test_equivalent_on_random_multi_channel_streams(
         self, commands, window, channels, per_bank
     ):
-        """Both engines agree on random streams tiled across channels —
+        """All engines agree on random streams tiled across channels —
         the same contract as single-channel, along the channel axis."""
         replicated, _ = replicate_across_channels(commands, channels)
         geometry = dataclasses.replace(GEOM, channels=channels)
@@ -384,13 +406,23 @@ class TestSyntheticStreamProperties:
             T, geometry, engine="incremental", window=window,
             per_bank_pim=per_bank,
         )
+        columnar = CommandScheduler(
+            T, geometry, engine="columnar", window=window,
+            per_bank_pim=per_bank,
+        )
         try:
             ref = reference.run(replicated)
         except SimulationError as exc:
             with pytest.raises(SimulationError) as caught:
                 incremental.run(replicated)
             assert str(caught.value) == str(exc)
+            with pytest.raises(SimulationError) as caught:
+                columnar.run(replicated)
+            assert str(caught.value) == str(exc)
             return
         new = incremental.run(replicated)
         assert ref.issue_cycles() == new.issue_cycles()
         assert ref.stats == new.stats
+        col = columnar.run(replicated)
+        assert ref.issue_cycles() == col.issue_cycles()
+        assert ref.stats == col.stats

@@ -29,7 +29,7 @@ def _stream(channels=2, columns=8):
         "momentum_sgd", {"eta": 0.01, "alpha": 0.9, "weight_decay": 1e-4}
     )
     config = DESIGNS[DesignPoint.GRADPIM_BUFFERED]
-    commands, _, _, dependents, _period = model._build_stream(
+    commands, _, _, dependents, _period, _art = model._build_stream(
         config, optimizer, PRECISION_8_32
     )
     commands, dependents = replicate_across_channels(

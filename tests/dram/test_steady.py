@@ -61,7 +61,7 @@ def _built(design, optimizer_name="momentum_sgd", precision="8/32",
         optimizer_name, OPTIMIZER_PARAMS.get(optimizer_name, {})
     )
     config = DESIGNS[design]
-    commands, _, _, dependents, period = model._build_stream(
+    commands, _, _, dependents, period, _art = model._build_stream(
         config, optimizer, PRECISIONS[precision]
     )
     return config, commands, dependents, period

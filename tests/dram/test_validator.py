@@ -237,7 +237,7 @@ class TestModeEquivalence:
             {"eta": 0.01, "alpha": 0.9, "weight_decay": 1e-4},
         )
         config = DESIGNS[design]
-        commands, _, _, deps, _period = model._build_stream(
+        commands, _, _, deps, _period, _art = model._build_stream(
             config, optimizer, PRECISION_8_32
         )
         issue_model = config.issue_model(model.geometry)

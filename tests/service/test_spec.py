@@ -314,7 +314,7 @@ class TestEngineField:
         from repro.service.pool import clear_model_cache, execute_spec
 
         results = {}
-        for engine in ("incremental", "periodic"):
+        for engine in ("incremental", "periodic", "columnar"):
             clear_model_cache()
             spec = SimJobSpec(
                 network="MLP1",
@@ -324,3 +324,4 @@ class TestEngineField:
             )
             results[engine] = execute_spec(spec).to_dict()
         assert results["incremental"] == results["periodic"]
+        assert results["incremental"] == results["columnar"]
