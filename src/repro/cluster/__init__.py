@@ -1,0 +1,62 @@
+"""The sharded serving tier: router + supervisor + shard fleet.
+
+``repro.server`` is one gateway process; this package multiplies it. A
+:class:`ClusterRouter` front process consistent-hash-routes jobs by
+``SimJobSpec`` content hash to N supervised shard processes — each a
+full, unmodified ``repro.server`` gateway on an ephemeral port — so
+request coalescing and cache locality survive sharding. A
+:class:`Supervisor` owns shard lifecycle (spawn, ``/readyz`` probing,
+SIGKILL-on-death, exponential-backoff restart under a crash-loop
+budget) and the router fails over: a dead shard's hash range re-routes
+to live peers with minimal key movement, its in-flight jobs are
+re-homed under their original router ids, and clients see 503 +
+``Retry-After`` only when *no* replica can admit. Results stay
+byte-identical to single-process serving because specs are
+deterministic and the shards share one content-addressed on-disk cache
+root.
+
+Quick start::
+
+    from repro.cluster import ClusterConfig, running_cluster
+    from repro.server.client import ServerClient
+
+    with running_cluster(ClusterConfig(port=0, shards=3)) as cluster:
+        client = ServerClient(cluster.url)   # the /v1 protocol, unchanged
+        client.submit({"network": "MLP1"}, wait=30.0)
+
+Or from the command line: ``repro-cluster --shards 3``.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.hashring import HashRing
+from repro.cluster.router import (
+    ClusterRouter,
+    RouterJobStore,
+    create_cluster,
+    running_cluster,
+)
+from repro.cluster.shard import (
+    DEAD,
+    FAILED,
+    READY,
+    STARTING,
+    SUSPECT,
+    ShardProcess,
+)
+from repro.cluster.supervisor import Supervisor
+
+__all__ = [
+    "DEAD",
+    "FAILED",
+    "READY",
+    "STARTING",
+    "SUSPECT",
+    "ClusterConfig",
+    "ClusterRouter",
+    "HashRing",
+    "RouterJobStore",
+    "ShardProcess",
+    "Supervisor",
+    "create_cluster",
+    "running_cluster",
+]

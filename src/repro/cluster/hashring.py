@@ -1,0 +1,103 @@
+"""Consistent-hash ring: spec content hash -> shard, minimal movement.
+
+Routing by the job's *content address* (``cache_key``) is what lets
+coalescing and cache locality survive sharding: every request for one
+spec lands on the same shard, so the shard's in-flight coalescing and
+in-memory cache behave exactly as in the single-process gateway.
+
+The ring hashes each node onto ``vnodes`` points of a 64-bit circle
+(sha256-derived — stable across processes and Python runs, unlike
+``hash()``); a key routes to the first node point at or clockwise of
+the key's own point. Removing a node moves only that node's ~1/N of
+the key space onto its ring successors — everyone else's cache
+locality is untouched, which is the whole argument for consistent
+hashing over modulo sharding during failover.
+
+:meth:`preference` returns *all* distinct live nodes in ring-walk
+order from a key's point: entry 0 is the owner, the rest are the
+graceful-spill order the router tries under backpressure or failover
+(deterministic, so two routers — or one router before and after a
+restart — agree).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Optional
+
+
+def _point(data: str) -> int:
+    """A stable 64-bit ring coordinate for an arbitrary string."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes (not thread-safe; the
+    supervisor serializes mutations and reads under its own lock)."""
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: list[tuple[int, str]] = []  # sorted (point, node)
+        self._nodes: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def add(self, node: str) -> int:
+        """Add a node; returns how many vnode points it claimed."""
+        if node in self._nodes:
+            return 0
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            bisect.insort(self._points, (_point(f"{node}#{i}"), node))
+        return self.vnodes
+
+    def remove(self, node: str) -> int:
+        """Remove a node; returns how many vnode points moved (i.e.
+        were reassigned to ring successors)."""
+        if node not in self._nodes:
+            return 0
+        self._nodes.discard(node)
+        before = len(self._points)
+        self._points = [p for p in self._points if p[1] != node]
+        return before - len(self._points)
+
+    def route(self, key: str) -> Optional[str]:
+        """The owning node for a key, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        idx = bisect.bisect_right(self._points, (_point(key), ""))
+        if idx >= len(self._points):
+            idx = 0  # wrap past 2^64 back to the first point
+        return self._points[idx][1]
+
+    def preference(self, key: str, limit: Optional[int] = None) -> list[str]:
+        """Distinct nodes in ring-walk order from the key's point.
+
+        ``[owner, first_spill_target, ...]`` — the deterministic
+        failover/spill order for the key. ``limit`` truncates.
+        """
+        if not self._points:
+            return []
+        want = len(self._nodes) if limit is None else min(
+            limit, len(self._nodes)
+        )
+        out: list[str] = []
+        start = bisect.bisect_right(self._points, (_point(key), ""))
+        for step in range(len(self._points)):
+            node = self._points[(start + step) % len(self._points)][1]
+            if node not in out:
+                out.append(node)
+                if len(out) >= want:
+                    break
+        return out

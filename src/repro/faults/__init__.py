@@ -53,6 +53,10 @@ from repro.faults.plan import (
     ENGINE_SLOW,
     FaultPlan,
     FaultRule,
+    PROBE_DROP,
+    ROUTER_SLOW,
+    SHARD_HANG,
+    SHARD_KILL,
     SITES,
     WORKER_EXCEPTION,
     WORKER_HANG,
@@ -73,6 +77,10 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "InjectedFault",
+    "PROBE_DROP",
+    "ROUTER_SLOW",
+    "SHARD_HANG",
+    "SHARD_KILL",
     "SITES",
     "WORKER_EXCEPTION",
     "WORKER_HANG",

@@ -70,6 +70,17 @@ ENGINE_SLOW = "engine.slow"
 #: Raise inside a *periodic*-engine profile (exercises the graceful
 #: degradation path onto the incremental engine).
 ENGINE_FAIL = "engine.fail"
+#: SIGKILL a shard gateway child from the cluster supervisor's probe
+#: loop (the supervisor is instrumented to fail over and restart it).
+SHARD_KILL = "shard.kill"
+#: SIGSTOP a shard gateway child so readiness probes time out (models a
+#: wedged-but-alive process; the supervisor declares it dead).
+SHARD_HANG = "shard.hang"
+#: Discard one successful readiness probe at the supervisor (models a
+#: lossy probe network; consecutive drops trigger spurious failover).
+PROBE_DROP = "probe.drop"
+#: Sleep ``delay_ms`` in the cluster router's request path.
+ROUTER_SLOW = "router.slow"
 
 SITES = (
     WORKER_KILL,
@@ -82,6 +93,10 @@ SITES = (
     DISPATCHER_STALL,
     ENGINE_SLOW,
     ENGINE_FAIL,
+    SHARD_KILL,
+    SHARD_HANG,
+    PROBE_DROP,
+    ROUTER_SLOW,
 )
 
 #: Sites that SIGKILL or wedge the current process; they only fire in a
@@ -95,6 +110,7 @@ DEFAULT_DELAYS = {
     WORKER_HANG: 300.0,
     ENGINE_SLOW: 0.05,
     DISPATCHER_STALL: 0.25,
+    ROUTER_SLOW: 0.05,
 }
 
 _RULE_PARAMS = frozenset(

@@ -47,6 +47,7 @@ from repro.obs.metrics import (
     StreamingHistogram,
     default_registry,
     parse_prometheus,
+    relabel_prometheus,
     set_default_registry,
 )
 from repro.obs.report import EngineReport
@@ -78,6 +79,7 @@ __all__ = [
     "get_logger",
     "instant",
     "parse_prometheus",
+    "relabel_prometheus",
     "set_correlation_id",
     "set_default_registry",
     "span",

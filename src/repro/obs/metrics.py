@@ -521,6 +521,43 @@ def parse_prometheus(text: str) -> dict[str, dict[str, float]]:
     return out
 
 
+def relabel_prometheus(text: str, extra: Mapping[str, str]) -> str:
+    """Stamp extra labels onto every sample of an exposition page.
+
+    The cluster router scrapes each shard gateway's ``/metrics`` and
+    republishes the union; without a distinguishing label the shards'
+    identically-named series would collide. Sample lines gain the
+    ``extra`` labels (merged before any existing ones, so readers that
+    sum a family across all label sets — the loadgen attribution path —
+    keep working unchanged); comment lines pass through untouched.
+    """
+    stamp = ",".join(
+        f'{key}="{value}"' for key, value in sorted(extra.items())
+    )
+    if not stamp:
+        return text
+    out = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            out.append(line)
+            continue
+        name_part, sep, value_part = stripped.rpartition(" ")
+        if not sep:
+            out.append(line)
+            continue
+        if "{" in name_part:
+            brace = name_part.index("{")
+            rest = name_part[brace + 1:]
+            name_part = name_part[:brace] + "{" + stamp + (
+                "," + rest if rest != "}" else "}"
+            )
+        else:
+            name_part = name_part + "{" + stamp + "}"
+        out.append(f"{name_part} {value_part}")
+    return "\n".join(out) + ("\n" if text.endswith("\n") else "")
+
+
 # ---------------------------------------------------------------------
 # Process-global default registry.
 #

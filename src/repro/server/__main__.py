@@ -89,6 +89,17 @@ def _parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--quarantine-ttl",
+        type=float,
+        default=defaults.quarantine_ttl_seconds,
+        metavar="SECONDS",
+        help=(
+            "let a poison-job quarantine expire after SECONDS so the "
+            "hash can re-earn trust (default: quarantine holds for "
+            "the process lifetime)"
+        ),
+    )
+    parser.add_argument(
         "--deadline-ms",
         type=int,
         default=defaults.default_deadline_ms,
@@ -138,6 +149,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             log_json=args.log_json,
             job_timeout_seconds=args.job_timeout,
             job_max_retries=args.job_max_retries,
+            quarantine_ttl_seconds=args.quarantine_ttl,
             default_deadline_ms=args.deadline_ms,
             faults=args.faults,
         )

@@ -10,6 +10,7 @@ Endpoints::
     GET  /v1/jobs/{id}[?summary=1]  job status / result envelope
     GET  /v1/results/{spec_hash}    direct content-addressed lookup
     GET  /healthz                   liveness + queue snapshot
+    GET  /readyz                    readiness (503 while starting/draining)
     GET  /metrics                   Prometheus text exposition
 
 Every request is timed into a per-endpoint streaming histogram
@@ -123,6 +124,9 @@ class ReproServer(ThreadingHTTPServer):
         means the dispatcher thread leaked past its join timeout (it
         was abandoned as a daemon; see :meth:`Dispatcher.stop`).
         """
+        # Flip readiness first: probes racing the shutdown see
+        # not-ready (and stop routing) before connections start failing.
+        self.dispatcher.draining = True
         self.shutdown()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10.0)
@@ -210,6 +214,8 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in path.split("/") if p]
         if method == "GET" and parts == ["healthz"]:
             return "GET /healthz", self._healthz, None
+        if method == "GET" and parts == ["readyz"]:
+            return "GET /readyz", self._readyz, None
         if method == "GET" and parts == ["metrics"]:
             return "GET /metrics", self._metrics, None
         if method == "POST" and parts == ["v1", "jobs"]:
@@ -231,7 +237,9 @@ class _Handler(BaseHTTPRequestHandler):
                 parts[2],
             )
         raise _HTTPError(
-            405 if parts in (["v1", "jobs"], ["healthz"], ["metrics"])
+            405
+            if parts
+            in (["v1", "jobs"], ["healthz"], ["readyz"], ["metrics"])
             else 404,
             f"no route for {method} {path}",
         )
@@ -252,6 +260,26 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
         return 200
+
+    def _readyz(self, _arg, _query) -> int:
+        """Readiness, distinct from liveness: can this gateway take
+        traffic *now*? 503 before the dispatcher starts and from the
+        first moment of a drain — the supervisor's probe target."""
+        dispatcher = self.server.dispatcher
+        ready = dispatcher.is_ready()
+        status = 200 if ready else 503
+        body = {
+            "ready": ready,
+            "draining": dispatcher.draining,
+            "queue_depth": dispatcher.queue_depth(),
+        }
+        if not ready:
+            body["reason"] = (
+                "draining" if dispatcher.draining
+                else "dispatcher not started"
+            )
+        self._send_json(status, body)
+        return status
 
     def _metrics(self, _arg, _query) -> int:
         text = self.server.metrics.render()

@@ -97,6 +97,14 @@ class ServerClient:
     of clients rejected together doesn't retry in lockstep and hit the
     same full queue again; jittered sleeps still respect the cap. Pass
     ``rng`` (a seeded ``random.Random``) for deterministic tests.
+
+    ``request_timeout`` is the per-request socket timeout (seconds)
+    applied to every HTTP round trip — a gateway that accepts the
+    connection and then never answers fails the request instead of
+    hanging the client forever. It defaults to ``timeout`` (kept as an
+    alias for compatibility). Server-side ``?wait=`` submits get the
+    wait budget *added on top*, so a legitimate long-poll is never
+    mistaken for a dead server.
     """
 
     def __init__(
@@ -107,9 +115,17 @@ class ServerClient:
         retry_after_cap: float = 30.0,
         retry_jitter: float = 0.1,
         rng: Optional[random.Random] = None,
+        request_timeout: Optional[float] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be > 0, got {request_timeout}"
+            )
         self.timeout = timeout
+        self.request_timeout = (
+            request_timeout if request_timeout is not None else timeout
+        )
         self.max_retries = max_retries
         self.retry_after_cap = retry_after_cap
         self.retry_jitter = retry_jitter
@@ -140,9 +156,12 @@ class ServerClient:
         method: str,
         path: str,
         body: Optional[dict] = None,
+        timeout: Optional[float] = None,
     ) -> tuple[int, dict, str]:
         """Returns ``(status, headers, body_text)``; never raises for
-        HTTP-level errors (only transport failures propagate)."""
+        HTTP-level errors (only transport failures propagate).
+        ``timeout`` overrides ``request_timeout`` for this round trip
+        (long-poll submits pass their wait budget on top)."""
         data = (
             json.dumps(body).encode("utf-8") if body is not None else None
         )
@@ -155,7 +174,10 @@ class ServerClient:
         started = time.perf_counter()
         try:
             with urllib.request.urlopen(
-                request, timeout=self.timeout
+                request,
+                timeout=(
+                    timeout if timeout is not None else self.request_timeout
+                ),
             ) as response:
                 return (
                     response.status,
@@ -215,7 +237,10 @@ class ServerClient:
         suffix = f"?wait={wait:g}" if wait > 0 else ""
         for attempt in range(self.max_retries + 1):
             status, headers, text = self._request(
-                "POST", f"/v1/jobs{suffix}", {"jobs": remaining}
+                "POST",
+                f"/v1/jobs{suffix}",
+                {"jobs": remaining},
+                timeout=self.request_timeout + wait,
             )
             payload = _parse_body(text)
             if status in (200, 202):

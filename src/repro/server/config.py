@@ -76,6 +76,11 @@ class ServerConfig:
     #: the hardened pool.
     job_max_retries: int = 2
 
+    #: How long a poison-job quarantine holds (seconds). ``None``
+    #: keeps quarantine process-lifetime; with a TTL a quarantined
+    #: content hash re-earns trust and runs again after it elapses.
+    quarantine_ttl_seconds: float | None = None
+
     #: Deadline applied to every accepted spec that doesn't carry its
     #: own ``deadline_ms``. The clock starts at enqueue, so time spent
     #: queued counts; an expired job finishes in the terminal
@@ -138,6 +143,14 @@ class ServerConfig:
             raise ConfigError(
                 "job_max_retries must be >= 0, got "
                 f"{self.job_max_retries}"
+            )
+        if (
+            self.quarantine_ttl_seconds is not None
+            and self.quarantine_ttl_seconds <= 0
+        ):
+            raise ConfigError(
+                "quarantine_ttl_seconds must be positive, got "
+                f"{self.quarantine_ttl_seconds}"
             )
         if (
             self.default_deadline_ms is not None

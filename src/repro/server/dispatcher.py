@@ -95,6 +95,12 @@ class Dispatcher:
         self._inflight: dict[str, Execution] = {}
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
+        #: Readiness gate for ``GET /readyz``: flipped on before the
+        #: dispatcher thread starts accepting work and off the moment a
+        #: drain begins, so a supervisor or load balancer stops routing
+        #: to a gateway that is shutting down while ``/healthz`` (pure
+        #: liveness) still answers 200.
+        self.draining = False
         #: Result of the last :meth:`stop`: ``True`` (thread joined),
         #: ``False`` (thread leaked past the join timeout), or ``None``
         #: (never stopped).
@@ -105,6 +111,7 @@ class Dispatcher:
         self.service_config = ServiceConfig(
             job_timeout_seconds=config.job_timeout_seconds,
             max_retries=config.job_max_retries,
+            quarantine_ttl_seconds=config.quarantine_ttl_seconds,
         )
         metrics.gauge("queue_depth", self.queue_depth)
         metrics.gauge("inflight_executions", lambda: len(self._inflight))
@@ -218,6 +225,18 @@ class Dispatcher:
         )
         self._thread.start()
 
+    def is_ready(self) -> bool:
+        """True while the dispatcher can accept and execute new work.
+
+        Not-ready covers the whole lifecycle outside steady state: the
+        window before :meth:`start`, a drain in progress, and after the
+        dispatcher thread exited (or leaked).
+        """
+        thread = self._thread
+        return (
+            thread is not None and thread.is_alive() and not self.draining
+        )
+
     def stop(self, timeout: float = 10.0) -> bool:
         """Stop the dispatcher thread; returns ``stopped_clean``.
 
@@ -231,6 +250,7 @@ class Dispatcher:
         the queue reference is dropped so it can never execute work
         admitted after the failed stop.
         """
+        self.draining = True
         if self._thread is None:
             return self.stopped_clean if self.stopped_clean is not None else True
         self._queue.put(_SENTINEL)  # blocks until a slot frees; always drained

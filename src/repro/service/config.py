@@ -39,6 +39,14 @@ class ServiceConfig:
         burning another worker. Defaults to ``max(2, max_retries + 1)``
         — quarantine when the retry budget is exhausted, but never on a
         single failure (one timeout is not evidence of a poison job).
+    ``quarantine_ttl_seconds``
+        How long a tripped quarantine holds. ``None`` (default) keeps
+        the PR-7 behavior: quarantine is process-lifetime. With a TTL,
+        a submission arriving after the hash has been quarantined that
+        long runs again — the hash re-earns trust (and re-quarantines
+        on the same threshold if it is still poison). Transient
+        environmental failures (a full disk, a bad deploy since rolled
+        back) stop condemning a spec forever.
     ``default_deadline_ms``
         Deadline applied to specs that don't carry their own
         ``deadline_ms``.
@@ -51,6 +59,7 @@ class ServiceConfig:
     job_timeout_seconds: Optional[float] = None
     max_retries: int = 2
     quarantine_after: Optional[int] = None
+    quarantine_ttl_seconds: Optional[float] = None
     default_deadline_ms: Optional[int] = None
     hardened: Optional[bool] = None
 
@@ -71,6 +80,14 @@ class ServiceConfig:
             raise ConfigError(
                 "quarantine_after must be >= 1, got "
                 f"{self.quarantine_after}"
+            )
+        if (
+            self.quarantine_ttl_seconds is not None
+            and self.quarantine_ttl_seconds <= 0
+        ):
+            raise ConfigError(
+                "quarantine_ttl_seconds must be positive, got "
+                f"{self.quarantine_ttl_seconds}"
             )
         if (
             self.default_deadline_ms is not None

@@ -196,11 +196,13 @@ def execute_spec_resilient(
 # ----------------------------------------------------------------------
 # Worker-pool execution
 # ----------------------------------------------------------------------
-#: Content hashes of jobs whose repeated failures tripped quarantine.
-#: Process-lifetime state: later submissions of a quarantined job
-#: short-circuit to a classified failure instead of burning another
-#: worker on a poison spec.
-_QUARANTINED: set[str] = set()
+#: Content hash -> ``time.monotonic()`` when its quarantine tripped.
+#: Process-lifetime state by default: later submissions of a
+#: quarantined job short-circuit to a classified failure instead of
+#: burning another worker on a poison spec. A config with
+#: ``quarantine_ttl_seconds`` set lets an entry expire (checked lazily
+#: at submission) so the hash can re-earn trust.
+_QUARANTINED: dict[str, float] = {}
 
 #: Hardened-executor poll cadence (seconds).
 _POLL_SECONDS = 0.05
@@ -523,8 +525,23 @@ def _run_hardened(
     hashes = [spec.content_hash() for spec in specs]
 
     pending: deque[tuple[int, int]] = deque()  # (index, attempt)
+    ttl = config.quarantine_ttl_seconds
     for i in range(len(specs)):
-        if hashes[i] in _QUARANTINED:
+        quarantined_at = _QUARANTINED.get(hashes[i])
+        if (
+            quarantined_at is not None
+            and ttl is not None
+            and time.monotonic() - quarantined_at >= ttl
+        ):
+            # The TTL elapsed: the hash re-earns trust and runs again
+            # (re-quarantining on the same threshold if still poison).
+            del _QUARANTINED[hashes[i]]
+            registry.inc(
+                "jobs_quarantined_total", {"event": "expired"}
+            )
+            instant("pool.quarantine_expired", spec=hashes[i][:12])
+            quarantined_at = None
+        if quarantined_at is not None:
             registry.inc(
                 "jobs_quarantined_total", {"event": "blocked"}
             )
@@ -562,7 +579,7 @@ def _run_hardened(
             },
         )
         if failures[i] >= config.quarantine_threshold:
-            _QUARANTINED.add(hashes[i])
+            _QUARANTINED[hashes[i]] = time.monotonic()
             registry.inc(
                 "jobs_quarantined_total", {"event": "tripped"}
             )

@@ -1,0 +1,93 @@
+"""Shared fixtures for the sharded serving tier suite.
+
+Clusters bind port 0 and use aggressive probe/backoff settings so
+failover tests converge in tenths of seconds instead of the
+production-default seconds. Fault plans and the default metrics
+registry are process-global (the router runs in *this* process); every
+test starts and ends with them clean, so the suite stays deterministic
+even inside the chaos CI job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro import faults
+from repro.cluster import ClusterConfig, create_cluster
+from repro.obs.metrics import set_default_registry
+from repro.obs.trace import disable_tracing
+from repro.service import pool
+
+#: Live-cluster tests fork shard gateway children.
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shard processes require the fork start method",
+)
+
+#: The cheapest full job: MLP1, two designs, narrow stripes.
+CHEAP_SPEC = {
+    "network": "MLP1",
+    "columns_per_stripe": 8,
+    "designs": ["Baseline", "GradPIM-BD"],
+}
+
+#: Supervisor knobs tuned for test wall-clock: fast probes, short
+#: backoff, snappy Retry-After.
+FAST = dict(
+    port=0,
+    probe_interval_seconds=0.1,
+    probe_timeout_seconds=1.0,
+    probe_misses=2,
+    restart_backoff_seconds=0.1,
+    restart_backoff_max_seconds=1.0,
+    retry_after_seconds=0.05,
+)
+
+
+def cheap_spec(batch: int = 128) -> dict:
+    return dict(CHEAP_SPEC, batch=batch)
+
+
+def wait_until(predicate, timeout=15.0, poll=0.02):
+    """Poll until ``predicate()`` is true (supervision is async)."""
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError("condition never became true")
+        time.sleep(poll)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.uninstall()
+    pool.clear_quarantine()
+    set_default_registry(None)
+    disable_tracing()
+    yield
+    faults.uninstall()
+    pool.clear_quarantine()
+    set_default_registry(None)
+    disable_tracing()
+
+
+@pytest.fixture()
+def live_cluster(tmp_path):
+    """Factory: start background clusters (shared on-disk cache root,
+    fast supervision), stop them all at teardown."""
+    clusters = []
+
+    def start(**overrides):
+        defaults = dict(FAST, cache_dir=str(tmp_path / "cache"))
+        config = ClusterConfig(**{**defaults, **overrides})
+        cluster = create_cluster(config)
+        clusters.append(cluster)
+        cluster.start_background()
+        return cluster
+
+    yield start
+    for cluster in clusters:
+        cluster.stop()

@@ -1,0 +1,97 @@
+"""Cluster chaos acceptance: seeded shard death mid-sweep.
+
+The bar (mirrors the single-gateway chaos acceptance): a live 3-shard
+cluster with a seeded ``shard.kill`` fired while a sweep is in flight
+completes *every* job byte-identical to fault-free single-process
+ground truth, with zero client-visible hangs, and surfaces the
+failover/restart counters in the aggregated ``/metrics``.
+"""
+
+import pytest
+
+from repro.server import ServerClient
+from repro.service import api
+from repro.service.spec import SimJobSpec
+
+from tests.cluster.conftest import cheap_spec, needs_fork, wait_until
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+#: One deterministic plan for the whole cluster. ``shard.kill`` is
+#: checked once per ready shard per supervisor tick, so ``after=2``
+#: SIGKILLs the third shard probed on the very first tick — while the
+#: sweep's submissions are still streaming in. ``router.slow`` adds
+#: seeded latency jitter on the router's own request path.
+CHAOS = (
+    "seed=1301;"
+    "shard.kill:rate=1,max=1,after=2;"
+    "router.slow:rate=0.1,delay_ms=2,max=25"
+)
+
+BATCHES = [16 + 4 * i for i in range(32)]
+
+
+@needs_fork
+class TestClusterChaosAcceptance:
+    def test_sweep_survives_shard_death_byte_identical(
+        self, live_cluster
+    ):
+        # Fault-free ground truth, computed in-process before any
+        # chaos is armed.
+        expected = {}
+        for batch in BATCHES:
+            outcome = api.submit(
+                SimJobSpec.from_dict(cheap_spec(batch=batch)),
+                cache=None,
+            )
+            assert outcome.ok
+            expected[batch] = outcome.result.to_dict()
+
+        cluster = live_cluster(
+            shards=3,
+            probe_interval_seconds=0.05,
+            faults=CHAOS,
+        )
+        client = ServerClient(cluster.url, max_retries=8)
+
+        # Sweep 1: the seeded kill lands during this sweep. Every
+        # submission is admitted (spill absorbs the dying shard),
+        # every poll answers (re-homing absorbs lost jobs), and
+        # wait_for's bounded timeout doubles as the no-hangs check.
+        specs = [cheap_spec(batch=batch) for batch in BATCHES]
+        envelopes = client.submit(specs)
+        assert len(envelopes) == len(BATCHES)
+        finals = client.wait_for(
+            [e["id"] for e in envelopes], timeout=120.0
+        )
+        for batch, final in zip(BATCHES, finals):
+            assert final["status"] == "done", final
+            assert final["result"] == expected[batch]
+
+        # The chaos actually happened, and the cluster healed: the
+        # kill fired, the failover re-routed, the supervisor restarted
+        # the victim back to a full fleet.
+        wait_until(
+            lambda: cluster.supervisor.ready_count() == 3, timeout=30.0
+        )
+        text = cluster.metrics_text()
+        assert 'faults_injected_total{site="shard.kill"}' in text
+        assert "repro_cluster_failovers_total" in text
+        assert "repro_cluster_restarts_total" in text
+        assert "repro_cluster_rehash_moves_total" in text
+
+        # Sweep 2 against the healed fleet: warm now, still identical.
+        envelopes = client.submit(specs)
+        finals = client.wait_for(
+            [e["id"] for e in envelopes], timeout=120.0
+        )
+        for batch, final in zip(BATCHES, finals):
+            assert final["status"] == "done", final
+            assert final["result"] == expected[batch]
+
+        # Nothing queued, nothing running, nothing lost.
+        health = client.healthz()
+        counts = health["jobs"]
+        assert counts.get("queued", 0) == 0
+        assert counts.get("running", 0) == 0
+        assert counts.get("done", 0) == 2 * len(BATCHES)

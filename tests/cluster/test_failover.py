@@ -1,0 +1,124 @@
+"""Supervised failover: shard death, re-homing, restart, crash loops."""
+
+import os
+import signal
+
+import pytest
+
+from repro.cluster import DEAD, FAILED, READY
+from repro.obs.metrics import parse_prometheus
+from repro.server import ServerClient, ServerError
+
+from tests.cluster.conftest import cheap_spec, needs_fork, wait_until
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def metric_sum(cluster, family: str) -> float:
+    families = parse_prometheus(cluster.metrics_text())
+    return sum(families.get(family, {}).values())
+
+
+@needs_fork
+class TestFailover:
+    def test_dead_shard_rehomes_jobs_and_restarts(self, live_cluster):
+        cluster = live_cluster(shards=3)
+        client = ServerClient(cluster.url, max_retries=3)
+        spec = cheap_spec(batch=72)
+        [envelope] = client.submit(spec, wait=30.0)
+        assert envelope["status"] == "done"
+        owner = cluster.supervisor.get(envelope["shard"])
+
+        # SIGKILL the owning shard out from under the router.
+        os.kill(owner.pid, signal.SIGKILL)
+
+        # Polling the router id still answers: the job is re-homed to
+        # a live shard and — thanks to the shared content-addressed
+        # cache — lands the byte-identical result without a client
+        # ever seeing the failure.
+        final = client.wait_for([envelope["id"]], timeout=60.0)[0]
+        assert final["status"] == "done"
+        assert final["result"] == envelope["result"]
+
+        # The supervisor declares the death (probe or router report),
+        # then restarts the shard under the same id; its hash range
+        # moves back with zero residual churn.
+        wait_until(
+            lambda: metric_sum(
+                cluster, "repro_cluster_failovers_total"
+            ) >= 1
+        )
+        wait_until(
+            lambda: owner.state == READY and owner.restarts >= 1,
+            timeout=30.0,
+        )
+        assert cluster.supervisor.ready_count() == 3
+        families = parse_prometheus(cluster.metrics_text())
+        failovers = families["repro_cluster_failovers_total"]
+        assert sum(failovers.values()) >= 1
+        assert any('shard="' + owner.id in k for k in failovers)
+        assert metric_sum(cluster, "repro_cluster_restarts_total") >= 1
+        assert (
+            metric_sum(cluster, "repro_cluster_rehash_moves_total")
+            >= cluster.config.vnodes
+        )
+
+    def test_submissions_fail_over_while_a_shard_is_down(
+        self, live_cluster
+    ):
+        cluster = live_cluster(
+            shards=2,
+            restart_backoff_seconds=5.0,
+            restart_backoff_max_seconds=5.0,
+        )
+        client = ServerClient(cluster.url, max_retries=3)
+        victim = cluster.supervisor.get("s0")
+        os.kill(victim.pid, signal.SIGKILL)
+        wait_until(lambda: victim.state == DEAD)
+        # Every key routes somewhere live: submissions meant for the
+        # dead shard spill to its ring successor instead of erroring.
+        envelopes = client.submit(
+            [cheap_spec(batch=b) for b in (80, 88, 96)], wait=30.0
+        )
+        assert {e["status"] for e in envelopes} == {"done"}
+        assert {e["shard"] for e in envelopes} == {"s1"}
+
+    def test_crash_loop_parks_the_shard_as_failed(self, live_cluster):
+        cluster = live_cluster(shards=2, restart_budget=0)
+        victim = cluster.supervisor.get("s1")
+        os.kill(victim.pid, signal.SIGKILL)
+        # Budget 0: the first death exhausts the restart allowance, so
+        # the shard parks FAILED instead of flapping forever.
+        wait_until(lambda: victim.state == FAILED)
+        assert metric_sum(cluster, "repro_cluster_crash_loops_total") == 1
+        # The survivor keeps the whole key space.
+        client = ServerClient(cluster.url, max_retries=3)
+        [envelope] = client.submit(cheap_spec(batch=104), wait=30.0)
+        assert envelope["status"] == "done"
+        assert envelope["shard"] == "s0"
+
+    def test_total_outage_degrades_to_503_and_synthetic_queued(
+        self, live_cluster
+    ):
+        cluster = live_cluster(shards=1, restart_budget=0)
+        client = ServerClient(cluster.url, max_retries=0)
+        [envelope] = client.submit(cheap_spec(batch=112), wait=30.0)
+        only = cluster.supervisor.get("s0")
+        os.kill(only.pid, signal.SIGKILL)
+        wait_until(lambda: only.state == FAILED)
+
+        # Admission: 503 + Retry-After — the *only* case the router
+        # rejects, because no replica can admit.
+        with pytest.raises(ServerError) as err:
+            client.submit(cheap_spec(batch=120))
+        assert err.value.status == 503
+        status, _, _ = client._request("GET", "/readyz")
+        assert status == 503
+
+        # Polling: a synthetic queued envelope, not a hang or a 500 —
+        # the client keeps polling and a recovered cluster would
+        # re-home on a later poll.
+        poll = client.job(envelope["id"])
+        assert poll["status"] == "queued"
+        assert poll["shard"] is None
+        assert metric_sum(cluster, "repro_cluster_polls_unplaced_total") >= 1

@@ -1,0 +1,72 @@
+"""The router's job book-keeping: ids, re-homing, bounded eviction."""
+
+from repro.cluster import RouterJobStore
+
+
+def record(store, n=1, shard="s0", status="queued"):
+    jobs = [
+        store.record(
+            {"network": "MLP1"}, f"key-{i}", shard, f"job-{i:04d}", status
+        )
+        for i in range(n)
+    ]
+    return jobs if n > 1 else jobs[0]
+
+
+class TestRouterJobStore:
+    def test_router_ids_are_minted_monotonically(self):
+        store = RouterJobStore()
+        a, b = record(store, n=2)
+        assert a.id == "cjob-00000001"
+        assert b.id == "cjob-00000002"
+        assert store.get(a.id) is a
+        assert store.get("cjob-nope") is None
+
+    def test_status_updates_and_counts(self):
+        store = RouterJobStore()
+        a, b = record(store, n=2)
+        store.update_status(a.id, "running")
+        store.update_status(b.id, "done")
+        store.update_status(b.id, None)  # no-op, never clobbers
+        store.update_status("cjob-nope", "done")  # unknown id: no-op
+        assert store.counts() == {"running": 1, "done": 1}
+
+    def test_owned_by_lists_only_inflight_jobs(self):
+        store = RouterJobStore()
+        a, b, c = record(store, n=3)
+        store.update_status(b.id, "done")
+        assert {j.id for j in store.owned_by("s0")} == {a.id, c.id}
+        assert store.owned_by("s9") == []
+
+    def test_reassign_moves_the_shard_home(self):
+        store = RouterJobStore()
+        job = record(store)
+        store.reassign(job.id, "s2", "job-9999", "running")
+        assert job.shard_id == "s2"
+        assert job.shard_job_id == "job-9999"
+        assert job.status == "running"
+        assert [j.id for j in store.owned_by("s2")] == [job.id]
+        assert store.owned_by("s0") == []
+        store.reassign("cjob-nope", "s1", "x", "queued")  # no-op
+
+    def test_terminal_records_evicted_past_the_bound(self):
+        store = RouterJobStore(max_tracked=2)
+        jobs = record(store, n=4)
+        for job in jobs[:3]:
+            store.update_status(job.id, "done")
+        # Oldest terminal record fell off; in-flight ones never do.
+        assert store.get(jobs[0].id) is None
+        assert store.get(jobs[1].id) is not None
+        assert store.get(jobs[2].id) is not None
+        assert store.get(jobs[3].id) is not None
+
+    def test_going_nonterminal_again_restores_retention(self):
+        # A re-homed job can regress done -> queued (re-execution on a
+        # new shard); it must leave the eviction queue while in flight.
+        store = RouterJobStore(max_tracked=1)
+        a, b = record(store, n=2)
+        store.update_status(a.id, "done")
+        store.update_status(a.id, "queued")
+        store.update_status(b.id, "done")
+        assert store.get(a.id) is not None
+        assert store.get(b.id) is not None

@@ -40,7 +40,7 @@ class TestRetrySleep:
         )
         body = json.dumps({"accepted": 0, "jobs": []})
 
-        def always_full(method, path, payload=None):
+        def always_full(method, path, payload=None, timeout=None):
             return 503, {"Retry-After": "1000"}, body
 
         sleeps = []

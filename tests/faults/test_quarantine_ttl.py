@@ -1,0 +1,88 @@
+"""Quarantine TTL: poison-job blocks can expire and re-execute.
+
+The default (no TTL) holds a tripped quarantine for the process
+lifetime — the long-standing behaviour, pinned here as a regression
+test. With ``quarantine_ttl_seconds`` set, a quarantined hash is
+re-admitted once the TTL elapses: transient poison (a fault burst, a
+since-fixed dependency) stops blacklisting a spec forever.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan
+from repro.obs.metrics import default_registry
+from repro.service import api, pool
+from repro.service.config import ServiceConfig
+
+from tests.faults.conftest import cheap_spec
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="hardened execution requires the fork start method",
+)
+
+
+def trip_quarantine(spec, ttl=None):
+    """Kill the worker on every attempt until retries exhaust, which
+    trips the quarantine; the caller uninstalls the plan to model
+    since-fixed poison before probing expiry behaviour."""
+    faults.install(FaultPlan.parse("seed=5;worker.kill:rate=1"))
+    config = ServiceConfig(
+        job_timeout_seconds=30.0,
+        max_retries=2,
+        quarantine_ttl_seconds=ttl,
+    )
+    [outcome] = api.submit_many([spec], cache=None, config=config)
+    assert outcome.failure_reason == "quarantined"
+    assert spec.content_hash() in pool.quarantined_hashes()
+    return config
+
+
+@needs_fork
+class TestQuarantineTtl:
+    def test_default_blocks_for_the_process_lifetime(self):
+        # Regression: without a TTL, elapsed time never re-admits.
+        spec = cheap_spec(batch=40)
+        config = trip_quarantine(spec, ttl=None)
+        time.sleep(0.25)
+        [blocked] = api.submit_many([spec], cache=None, config=config)
+        assert blocked.failure_reason == "quarantined"
+        assert blocked.failure["attempts"] == 0
+        rendered = default_registry().render()
+        assert 'jobs_quarantined_total{event="blocked"}' in rendered
+        assert 'jobs_quarantined_total{event="expired"}' not in rendered
+
+    def test_ttl_expiry_readmits_and_reruns(self):
+        spec = cheap_spec(batch=44)
+        expected = api.submit(spec, cache=None)
+        assert expected.ok
+        config = trip_quarantine(spec, ttl=0.2)
+        faults.uninstall()  # the poison was transient
+        time.sleep(0.3)
+        # Past the TTL the block lapses, the job executes again, and
+        # the result is byte-identical to the fault-free run.
+        [outcome] = api.submit_many([spec], cache=None, config=config)
+        assert outcome.ok
+        assert outcome.result.to_dict() == expected.result.to_dict()
+        assert spec.content_hash() not in pool.quarantined_hashes()
+        rendered = default_registry().render()
+        assert 'jobs_quarantined_total{event="expired"}' in rendered
+
+    def test_unexpired_ttl_still_blocks(self):
+        spec = cheap_spec(batch=52)
+        config = trip_quarantine(spec, ttl=60.0)
+        [blocked] = api.submit_many([spec], cache=None, config=config)
+        assert blocked.failure_reason == "quarantined"
+        assert blocked.failure["attempts"] == 0
+
+    def test_ttl_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ServiceConfig(quarantine_ttl_seconds=0)
+        with pytest.raises(ConfigError):
+            ServiceConfig(quarantine_ttl_seconds=-1.0)

@@ -3,6 +3,7 @@
 import json
 import random
 import threading
+import time
 from email.utils import formatdate
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -271,3 +272,68 @@ class TestClientStats:
         assert stats["retries"] == 0
         assert stats["backoff"].count == 0
         assert stats["service"].count >= 1
+
+
+class TestRequestTimeout:
+    """The per-request socket budget: a gateway that accepts the TCP
+    connection and then never answers must fail the request, not hang
+    the client forever."""
+
+    def test_defaults_to_the_timeout_alias(self):
+        client = ServerClient("http://127.0.0.1:1", timeout=7.0)
+        assert client.request_timeout == 7.0
+        assert ServerClient(
+            "http://127.0.0.1:1", timeout=7.0, request_timeout=2.0
+        ).request_timeout == 2.0
+
+    def test_nonpositive_request_timeout_rejected(self):
+        for bad in (0, -1.5):
+            with pytest.raises(ValueError):
+                ServerClient("http://127.0.0.1:1", request_timeout=bad)
+
+    def test_unresponsive_socket_times_out(self):
+        import socket
+        import time as _time
+
+        # A listener that accepts connections (kernel backlog) but
+        # never reads or responds — the stub of a wedged gateway.
+        listener = socket.socket()
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            port = listener.getsockname()[1]
+            client = ServerClient(
+                f"http://127.0.0.1:{port}",
+                request_timeout=0.3,
+                max_retries=0,
+            )
+            start = _time.monotonic()
+            # URLError and socket.timeout are both OSError subclasses.
+            with pytest.raises(OSError):
+                client.healthz()
+            assert _time.monotonic() - start < 5.0
+        finally:
+            listener.close()
+
+    def test_long_poll_budget_rides_on_top(
+        self, live_server, gated_executor
+    ):
+        # A ?wait= submit must not be killed by the socket timeout:
+        # the wait budget is added on top, so a legitimate long poll
+        # on a job that takes longer than request_timeout still
+        # completes instead of raising mid-wait.
+        release, _ = gated_executor
+        _, client = live_server()
+        client.request_timeout = 0.5
+        envelopes = []
+
+        def submit():
+            envelopes.extend(client.submit(cheap_spec(batch=16), wait=30))
+
+        thread = threading.Thread(target=submit)
+        thread.start()
+        time.sleep(1.0)  # hold execution well past request_timeout
+        release.set()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert envelopes and envelopes[0]["status"] == "done"

@@ -282,3 +282,55 @@ class TestMetricsEndpoint:
         assert "repro_server_cache_entries" in parsed
         status_counts = parsed["repro_server_requests_total"]
         assert any('status="200"' in k for k in status_counts)
+
+
+class TestReadiness:
+    """Liveness (/healthz) and readiness (/readyz) are split: a
+    draining or not-yet-started gateway is alive but must not be sent
+    new work (the cluster supervisor routes on exactly this signal)."""
+
+    def _get(self, client, path):
+        status, _, text = client._request("GET", path)
+        return status, json.loads(text)
+
+    def test_readyz_ok_while_serving(self, live_server):
+        _, client = live_server()
+        status, body = self._get(client, "/readyz")
+        assert status == 200
+        assert body["ready"] is True
+        assert body["draining"] is False
+        assert "queue_depth" in body
+
+    def test_readyz_503_while_draining_healthz_still_200(
+        self, live_server
+    ):
+        server, client = live_server()
+        server.dispatcher.draining = True
+        status, body = self._get(client, "/readyz")
+        assert status == 503
+        assert body["ready"] is False
+        assert body["reason"] == "draining"
+        # Liveness is unaffected: the process is healthy, just not
+        # accepting new work.
+        assert client.healthz()["status"] == "ok"
+
+    def test_readyz_405_on_post(self, live_server):
+        _, client = live_server()
+        status, _, _ = client._request("POST", "/readyz", body={})
+        assert status == 405
+
+    def test_not_ready_before_dispatcher_starts(self):
+        from repro.server import ServerConfig, create_server
+
+        server = create_server(ServerConfig(port=0))
+        try:
+            assert not server.dispatcher.is_ready()
+        finally:
+            server.server_close()
+
+    def test_not_ready_after_stop(self, live_server):
+        server, _ = live_server()
+        assert server.dispatcher.is_ready()
+        server.stop()
+        assert server.dispatcher.draining
+        assert not server.dispatcher.is_ready()

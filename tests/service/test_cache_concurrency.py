@@ -7,6 +7,7 @@ two writers on one key, a reader racing a writer, and crash debris
 """
 
 import json
+import multiprocessing
 import threading
 
 import pytest
@@ -139,6 +140,68 @@ class TestConcurrentDisk:
 
         _run_threads([worker(i) for i in range(4)])
         assert len(cache) <= 4
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="cross-process cache sharing requires the fork start method",
+)
+class TestCrossProcessSharing:
+    """Cluster shards are separate *processes* pointing independent
+    ResultCache instances at one shared root — the arrangement that
+    makes failover re-execution byte-identical and usually free. The
+    atomic tmp+replace write discipline must hold across processes,
+    not just threads."""
+
+    def test_processes_racing_put_and_lookup(self, tmp_path, spec):
+        ctx = multiprocessing.get_context("fork")
+        key = cache_key(spec)
+
+        def writer(tag):
+            cache = ResultCache(directory=tmp_path)
+            for _ in range(50):
+                cache.put(spec, _result(tag))
+
+        writers = [
+            ctx.Process(target=writer, args=(tag,)) for tag in (1.0, 2.0)
+        ]
+        for proc in writers:
+            proc.start()
+        # A third instance (this process) races lookups against both
+        # writers: every probe is a hit or a miss, never an exception
+        # or a torn read.
+        seen = []
+        while any(proc.is_alive() for proc in writers):
+            got = ResultCache(directory=tmp_path).lookup(key)
+            if got is not None:
+                seen.append(got.totals[DesignPoint.BASELINE].fwd)
+        for proc in writers:
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+        assert all(tag in (1.0, 2.0) for tag in seen)
+
+        # After the dust settles: one complete entry, no temp debris.
+        final = ResultCache(directory=tmp_path).get(spec)
+        assert final is not None
+        assert final.totals[DesignPoint.BASELINE].fwd in (1.0, 2.0)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_second_process_reads_what_the_first_wrote(
+        self, tmp_path, spec
+    ):
+        ctx = multiprocessing.get_context("fork")
+        ResultCache(directory=tmp_path).put(spec, _result(7.0))
+
+        def reader():
+            got = ResultCache(directory=tmp_path).get(spec)
+            assert got is not None
+            assert got.totals[DesignPoint.BASELINE].fwd == 7.0
+
+        proc = ctx.Process(target=reader)
+        proc.start()
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
 
 
 class TestBoundedDefaultCache:
